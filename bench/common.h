@@ -1,0 +1,84 @@
+// Shared helpers for the figure-reproduction benches.
+
+#ifndef EDC_BENCH_COMMON_H_
+#define EDC_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "edc/harness/driver.h"
+#include "edc/harness/fixture.h"
+#include "edc/recipes/recipes.h"
+
+namespace edc {
+
+inline const std::vector<SystemKind>& AllSystems() {
+  static const std::vector<SystemKind> kSystems{
+      SystemKind::kZooKeeper, SystemKind::kExtensibleZooKeeper, SystemKind::kDepSpace,
+      SystemKind::kExtensibleDepSpace};
+  return kSystems;
+}
+
+// Paper sweep: 1-50 clients (Fig. 6/8), 2-50 (Fig. 10/12).
+inline std::vector<size_t> ClientSweep(size_t first) { return {first, 10, 20, 30, 40, 50}; }
+
+// Runs the simulator until `flag` is true (bounded); dies loudly otherwise.
+inline void WaitFor(CoordFixture& fixture, const bool& flag, const char* what,
+                    Duration max = Seconds(10)) {
+  SimTime deadline = fixture.loop().now() + max;
+  while (!flag && fixture.loop().now() < deadline) {
+    fixture.Settle(Millis(100));
+  }
+  if (!flag) {
+    std::fprintf(stderr, "FATAL: timed out waiting for %s\n", what);
+    std::exit(1);
+  }
+}
+
+// Builds a fixture and per-client recipe objects; runs Setup on client 0 and
+// Attach on the rest.
+template <typename Recipe, typename... Args>
+std::vector<std::unique_ptr<Recipe>> SetupRecipe(CoordFixture& fixture, bool ext,
+                                                 Args... args) {
+  std::vector<std::unique_ptr<Recipe>> recipes;
+  for (size_t i = 0; i < fixture.num_clients(); ++i) {
+    recipes.push_back(std::make_unique<Recipe>(fixture.coord(i), ext, args...));
+  }
+  bool ready = false;
+  recipes[0]->Setup([&](Status s) {
+    if (!s.ok()) {
+      std::fprintf(stderr, "FATAL: setup failed: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+    ready = true;
+  });
+  WaitFor(fixture, ready, "recipe setup");
+  size_t attached = 1;
+  bool all_attached = fixture.num_clients() == 1;
+  for (size_t i = 1; i < fixture.num_clients(); ++i) {
+    recipes[i]->Attach([&, i](Status s) {
+      if (!s.ok()) {
+        std::fprintf(stderr, "FATAL: attach %zu failed: %s\n", i, s.ToString().c_str());
+        std::exit(1);
+      }
+      if (++attached == fixture.num_clients()) {
+        all_attached = true;
+      }
+    });
+  }
+  WaitFor(fixture, all_attached, "recipe attach");
+  return recipes;
+}
+
+struct SeededAverages {
+  RunAggregate throughput;  // ops/s
+  RunAggregate latency_ms;
+  RunAggregate kb_per_op;
+};
+
+}  // namespace edc
+
+#endif  // EDC_BENCH_COMMON_H_

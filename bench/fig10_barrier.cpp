@@ -1,0 +1,96 @@
+// Reproduces paper Fig. 10: distributed-barrier latency and client data per
+// enter operation vs group size (2-50 clients).
+//
+// Expected shape: the extension variant needs a single blocking RPC per
+// participant and the release notification goes out the instant the last
+// participant arrives, so both latency and bytes stay well below the
+// traditional recipe (which needs create + subObjects + block/create, plus a
+// fetch after the unblock notification).
+
+#include "bench/common.h"
+
+namespace edc {
+namespace {
+
+constexpr int kSeeds = 3;
+constexpr int kRounds = 20;  // measured barrier rounds per run
+
+struct BarrierRun {
+  double latency_ms = 0;  // mean time from round start to last release
+  double kb_per_op = 0;   // client bytes per enter operation
+};
+
+BarrierRun RunOne(SystemKind system, size_t clients, uint64_t seed) {
+  FixtureOptions options;
+  options.system = system;
+  options.num_clients = clients;
+  options.seed = seed;
+  CoordFixture fixture(options);
+  fixture.Start();
+  auto barriers =
+      SetupRecipe<DistributedBarrier>(fixture, IsExtensible(system),
+                                      static_cast<int>(clients));
+
+  Recorder round_latency;
+  int64_t bytes_before = fixture.ClientBytesSent();
+  int64_t enters = 0;
+
+  for (int round = 0; round < kRounds; ++round) {
+    SimTime start = fixture.loop().now();
+    SimTime last_release = start;
+    size_t released = 0;
+    bool all_released = false;
+    for (size_t i = 0; i < clients; ++i) {
+      barriers[i]->Enter([&](Status s) {
+        if (!s.ok()) {
+          std::fprintf(stderr, "FATAL: barrier enter failed: %s\n", s.ToString().c_str());
+          std::exit(1);
+        }
+        if (++released == clients) {
+          all_released = true;
+          last_release = fixture.loop().now();
+        }
+      });
+      ++enters;
+    }
+    WaitFor(fixture, all_released, "barrier round", Seconds(30));
+    round_latency.Record(last_release - start);
+    bool reset_done = false;
+    barriers[0]->Reset([&](Status) { reset_done = true; });
+    WaitFor(fixture, reset_done, "barrier reset", Seconds(30));
+  }
+
+  BarrierRun out;
+  out.latency_ms = round_latency.Mean() / 1e6;
+  out.kb_per_op = static_cast<double>(fixture.ClientBytesSent() - bytes_before) / 1024.0 /
+                  static_cast<double>(enters);
+  return out;
+}
+
+void Main() {
+  BenchTable table({"system", "clients", "avg_lat_ms", "client_kb_per_op"});
+  for (SystemKind system : AllSystems()) {
+    for (size_t clients : ClientSweep(2)) {
+      RunAggregate latency;
+      RunAggregate kb;
+      for (int seed = 0; seed < kSeeds; ++seed) {
+        BarrierRun run = RunOne(system, clients, 3000 + static_cast<uint64_t>(seed));
+        latency.Add(run.latency_ms);
+        kb.Add(run.kb_per_op);
+      }
+      table.AddRow({SystemName(system), std::to_string(clients), Fmt(latency.Mean()),
+                    Fmt(kb.Mean(), 3)});
+    }
+  }
+  std::printf("=== Fig. 10: distributed barrier (avg of %d runs, %d rounds each) ===\n",
+              kSeeds, kRounds);
+  table.Print();
+}
+
+}  // namespace
+}  // namespace edc
+
+int main() {
+  edc::Main();
+  return 0;
+}

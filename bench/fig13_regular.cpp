@@ -1,0 +1,144 @@
+// Reproduces paper Fig. 13: impact of the queue extension on regular
+// clients. 30 regular clients (15 readers / 15 writers, 256-byte objects)
+// share EZK / EDS with a varying number of queue clients; reported is the
+// regular clients' read and write latency against the queue throughput
+// achieved.
+//
+// Expected shape: write latency climbs with queue throughput (both share the
+// ordered update path); read latency stays essentially flat (reads take the
+// fast path at the connected replica and bypass the extension machinery).
+
+#include "bench/common.h"
+
+namespace edc {
+namespace {
+
+constexpr Duration kWarmup = Seconds(1);
+constexpr Duration kMeasure = Seconds(3);
+constexpr int kSeeds = 3;
+constexpr size_t kRegularClients = 30;  // 15 readers + 15 writers
+const std::string kPayload(256, 'x');   // typical coordination object size
+
+struct MixedRun {
+  double queue_kops = 0;
+  double read_ms = 0;
+  double write_ms = 0;
+};
+
+MixedRun RunOne(SystemKind system, size_t queue_clients, uint64_t seed) {
+  FixtureOptions options;
+  options.system = system;
+  options.num_clients = queue_clients + kRegularClients;
+  options.seed = seed;
+  CoordFixture fixture(options);
+  fixture.Start();
+
+  // Queue clients are 0..queue_clients-1.
+  std::vector<std::unique_ptr<DistributedQueue>> queues;
+  for (size_t i = 0; i < queue_clients; ++i) {
+    queues.push_back(
+        std::make_unique<DistributedQueue>(fixture.coord(i), IsExtensible(system)));
+  }
+  bool ready = false;
+  queues[0]->Setup([&](Status s) { ready = s.ok(); });
+  WaitFor(fixture, ready, "queue setup");
+  size_t attached = 1;
+  bool all = queue_clients == 1;
+  for (size_t i = 1; i < queue_clients; ++i) {
+    queues[i]->Attach([&](Status) {
+      if (++attached == queue_clients) {
+        all = true;
+      }
+    });
+  }
+  WaitFor(fixture, all, "queue attach");
+
+  // Regular clients own one 256-byte object each.
+  size_t created = 0;
+  bool objects_ready = false;
+  for (size_t r = 0; r < kRegularClients; ++r) {
+    size_t idx = queue_clients + r;
+    fixture.coord(idx)->Create("/reg-" + std::to_string(r), kPayload,
+                               [&](Result<std::string>) {
+                                 if (++created == kRegularClients) {
+                                   objects_ready = true;
+                                 }
+                               });
+  }
+  WaitFor(fixture, objects_ready, "regular objects");
+
+  Recorder read_latency;
+  Recorder write_latency;
+  auto queue_ops = std::make_shared<std::vector<int64_t>>(queue_clients, 0);
+  ClosedLoop driver(&fixture, [&, queue_ops](size_t i, std::function<void()> done) {
+    if (i < queue_clients) {
+      std::string id = "c" + std::to_string(i) + "-" + std::to_string(++(*queue_ops)[i]);
+      queues[i]->Add(id, "", [&, i, done = std::move(done)](Status) {
+        queues[i]->Remove([done = std::move(done)](Result<std::string>) { done(); });
+      });
+      return;
+    }
+    size_t r = i - queue_clients;
+    SimTime start = fixture.loop().now();
+    if (r < kRegularClients / 2) {
+      fixture.coord(i)->Read("/reg-" + std::to_string(r),
+                             [&, start, done = std::move(done)](Result<std::string>) {
+                               read_latency.Record(fixture.loop().now() - start);
+                               done();
+                             });
+    } else {
+      fixture.coord(i)->Update("/reg-" + std::to_string(r), kPayload,
+                               [&, start, done = std::move(done)](Status) {
+                                 write_latency.Record(fixture.loop().now() - start);
+                                 done();
+                               });
+    }
+  });
+  RunStats stats = driver.Run(kWarmup, kMeasure);
+  (void)stats;
+
+  MixedRun out;
+  int64_t queue_total = 0;
+  for (int64_t n : *queue_ops) {
+    queue_total += n;
+  }
+  out.queue_kops = static_cast<double>(queue_total) * 2.0 /
+                   ToSeconds(kWarmup + kMeasure) / 1000.0;
+  out.read_ms = read_latency.Mean() / 1e6;
+  out.write_ms = write_latency.Mean() / 1e6;
+  return out;
+}
+
+void Main() {
+  BenchTable table(
+      {"system", "queue_clients", "queue_kops_per_s", "reg_read_ms", "reg_write_ms"});
+  for (SystemKind system :
+       {SystemKind::kExtensibleZooKeeper, SystemKind::kExtensibleDepSpace}) {
+    for (size_t queue_clients : {size_t{1}, size_t{5}, size_t{10}, size_t{20},
+                                 size_t{35}, size_t{50}}) {
+      RunAggregate kops;
+      RunAggregate read_ms;
+      RunAggregate write_ms;
+      for (int seed = 0; seed < kSeeds; ++seed) {
+        MixedRun run = RunOne(system, queue_clients, 5000 + static_cast<uint64_t>(seed));
+        kops.Add(run.queue_kops);
+        read_ms.Add(run.read_ms);
+        write_ms.Add(run.write_ms);
+      }
+      table.AddRow({SystemName(system), std::to_string(queue_clients), Fmt(kops.Mean()),
+                    Fmt(read_ms.Mean(), 3), Fmt(write_ms.Mean(), 3)});
+    }
+  }
+  std::printf("=== Fig. 13: impact of the queue extension on regular clients "
+              "(avg of %d runs) ===\n",
+              kSeeds);
+  table.Print();
+}
+
+}  // namespace
+}  // namespace edc
+
+int main() {
+  edc::Main();
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Microbenchmarks of the substrate data structures (real CPU time, via
+// google-benchmark): data-tree operations, tuple matching, and the wire
+// codec. These are the hot paths under every simulated request.
+
+#include <benchmark/benchmark.h>
+
+#include "edc/common/codec.h"
+#include "edc/ds/tuple_space.h"
+#include "edc/zk/data_tree.h"
+
+namespace edc {
+namespace {
+
+void BM_DataTreeCreateDelete(benchmark::State& state) {
+  DataTree tree;
+  (void)tree.Create("/bench", "", 0, false, 1, 0);
+  uint64_t zxid = 2;
+  for (auto _ : state) {
+    auto path = tree.Create("/bench/node", "payload", 0, false, zxid++, 0);
+    benchmark::DoNotOptimize(path);
+    (void)tree.Delete("/bench/node", -1, zxid++);
+  }
+}
+BENCHMARK(BM_DataTreeCreateDelete);
+
+void BM_DataTreeGetDeep(benchmark::State& state) {
+  DataTree tree;
+  std::string path;
+  for (int depth = 0; depth < state.range(0); ++depth) {
+    path += "/d" + std::to_string(depth);
+    (void)tree.Create(path, "x", 0, false, 1, 0);
+  }
+  for (auto _ : state) {
+    auto node = tree.Get(path);
+    benchmark::DoNotOptimize(node);
+  }
+}
+BENCHMARK(BM_DataTreeGetDeep)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_DataTreeGetChildren(benchmark::State& state) {
+  DataTree tree;
+  (void)tree.Create("/q", "", 0, false, 1, 0);
+  for (int i = 0; i < state.range(0); ++i) {
+    (void)tree.Create("/q/e" + std::to_string(i), "", 0, false, 2, 0);
+  }
+  for (auto _ : state) {
+    auto children = tree.GetChildren("/q");
+    benchmark::DoNotOptimize(children);
+  }
+}
+BENCHMARK(BM_DataTreeGetChildren)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_TreeSerialize(benchmark::State& state) {
+  DataTree tree;
+  (void)tree.Create("/s", "", 0, false, 1, 0);
+  for (int i = 0; i < state.range(0); ++i) {
+    (void)tree.Create("/s/n" + std::to_string(i), std::string(64, 'x'), 0, false, 2, 0);
+  }
+  for (auto _ : state) {
+    auto bytes = tree.Serialize();
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(tree.Serialize().size()));
+}
+BENCHMARK(BM_TreeSerialize)->Arg(100)->Arg(1000);
+
+void BM_TupleMatch(benchmark::State& state) {
+  TupleSpace space;
+  for (int i = 0; i < state.range(0); ++i) {
+    space.Out(ObjectTuple("/obj/" + std::to_string(i), "data"), i, 1, 0);
+  }
+  DsTemplate templ = ObjectTemplate("/obj/" + std::to_string(state.range(0) - 1));
+  for (auto _ : state) {
+    auto match = space.Rdp(templ);
+    benchmark::DoNotOptimize(match);
+  }
+}
+BENCHMARK(BM_TupleMatch)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_TuplePrefixScan(benchmark::State& state) {
+  TupleSpace space;
+  for (int i = 0; i < state.range(0); ++i) {
+    space.Out(ObjectTuple("/queue/e" + std::to_string(i), ""), i, 1, 0);
+  }
+  DsTemplate templ = ObjectPrefixTemplate("/queue");
+  for (auto _ : state) {
+    auto all = space.RdAll(templ);
+    benchmark::DoNotOptimize(all);
+  }
+}
+BENCHMARK(BM_TuplePrefixScan)->Arg(10)->Arg(100);
+
+void BM_CodecEncodeDecode(benchmark::State& state) {
+  std::string payload(static_cast<size_t>(state.range(0)), 'p');
+  for (auto _ : state) {
+    Encoder enc;
+    enc.PutU64(12345);
+    enc.PutString("/some/path/to/node");
+    enc.PutString(payload);
+    enc.PutVarint(777);
+    Decoder dec(enc.buffer());
+    benchmark::DoNotOptimize(dec.GetU64());
+    benchmark::DoNotOptimize(dec.GetString());
+    benchmark::DoNotOptimize(dec.GetString());
+    benchmark::DoNotOptimize(dec.GetVarint());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_CodecEncodeDecode)->Arg(64)->Arg(1024);
+
+}  // namespace
+}  // namespace edc
+
+BENCHMARK_MAIN();

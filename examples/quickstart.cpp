@@ -1,0 +1,61 @@
+// Quickstart: boot an EXTENSIBLE ZOOKEEPER ensemble in the simulator,
+// register the shared-counter extension, and bump the counter with single
+// RPCs — the paper's headline use case in ~60 lines.
+//
+//   cmake --build build && ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "edc/harness/fixture.h"
+#include "edc/recipes/recipes.h"
+
+using namespace edc;  // NOLINT: example brevity
+
+int main() {
+  // Three-replica EZK ensemble plus two clients, simulated on a LAN.
+  FixtureOptions options;
+  options.system = SystemKind::kExtensibleZooKeeper;
+  options.num_clients = 2;
+  CoordFixture fixture(options);
+  fixture.Start();
+
+  // Client 0 creates the counter object and registers the extension (plain
+  // create operations on the /em namespace — the kernel API is unchanged).
+  SharedCounter owner(fixture.coord(0), /*use_extension=*/true);
+  bool ready = false;
+  owner.Setup([&](Status s) {
+    if (!s.ok()) {
+      std::fprintf(stderr, "setup failed: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+    ready = true;
+  });
+  while (!ready) {
+    fixture.Settle(Millis(100));
+  }
+
+  // Client 1 acknowledges the extension, then both increment concurrently.
+  SharedCounter user(fixture.coord(1), /*use_extension=*/true);
+  bool acked = false;
+  user.Attach([&](Status s) { acked = s.ok(); });
+  while (!acked) {
+    fixture.Settle(Millis(100));
+  }
+
+  int done = 0;
+  for (int i = 0; i < 5; ++i) {
+    owner.Increment([&](Result<int64_t> v) {
+      std::printf("owner  incremented -> %lld\n", static_cast<long long>(*v));
+      ++done;
+    });
+    user.Increment([&](Result<int64_t> v) {
+      std::printf("client incremented -> %lld\n", static_cast<long long>(*v));
+      ++done;
+    });
+  }
+  while (done < 10) {
+    fixture.Settle(Millis(100));
+  }
+  std::printf("10 atomic increments, one RPC each; no retries under contention.\n");
+  return 0;
+}

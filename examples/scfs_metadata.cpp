@@ -1,0 +1,102 @@
+// §7.2 use case: file-system metadata on a coordination service (SCFS).
+// Objects are files/directories; renaming a directory must atomically update
+// the directory object and every child's parent pointer — POSIX rename
+// semantics that are impossible to retain with client-side operations alone.
+// The scfs_rename extension performs the whole move in one RPC (instead of
+// k+1 RPCs for k children, and atomically).
+//
+// Runs on EXTENSIBLE DEPSPACE, matching the paper's SCFS deployment.
+
+#include <cstdio>
+#include <string>
+
+#include "edc/harness/fixture.h"
+#include "edc/recipes/scripts.h"
+
+using namespace edc;  // NOLINT: example brevity
+
+namespace {
+
+void Await(CoordFixture& fixture, const bool& flag) {
+  while (!flag) {
+    fixture.Settle(Millis(100));
+  }
+}
+
+}  // namespace
+
+int main() {
+  FixtureOptions options;
+  options.system = SystemKind::kExtensibleDepSpace;
+  options.num_clients = 1;
+  CoordFixture fixture(options);
+  fixture.Start();
+  CoordClient* fs = fixture.coord(0);
+
+  // Register the rename hook (the modification SCFS needed DepSpace source
+  // changes for; here it is a dynamically loaded extension).
+  bool registered = false;
+  fs->RegisterExtension("scfs_rename", kRenameExtension, [&](Status s) {
+    if (!s.ok()) {
+      std::fprintf(stderr, "register failed: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+    registered = true;
+  });
+  Await(fixture, registered);
+
+  // Build a small directory tree: /home/alice with three files, plus the
+  // rename trigger object.
+  int created = 0;
+  auto mk = [&](const std::string& path, const std::string& data) {
+    fs->Create(path, data, [&](Result<std::string>) { ++created; });
+  };
+  mk("/scfs-rename", "");
+  mk("/home", "dir");
+  mk("/home/alice", "dir");
+  mk("/home/alice/notes.txt", "todo: run benchmarks");
+  mk("/home/alice/paper.tex", "\\documentclass{article}");
+  mk("/home/alice/data.csv", "a,b,c");
+  while (created < 6) {
+    fixture.Settle(Millis(100));
+  }
+  std::printf("created /home/alice with 3 files\n");
+
+  // POSIX rename: mv /home/alice /home/bob — ONE update RPC, atomic.
+  bool renamed = false;
+  fs->Update("/scfs-rename", "/home/alice|/home/bob", [&](Status s) {
+    if (!s.ok()) {
+      std::fprintf(stderr, "rename failed: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+    renamed = true;
+  });
+  Await(fixture, renamed);
+  std::printf("renamed /home/alice -> /home/bob in one atomic RPC\n\n");
+
+  // Verify: old names gone, new names carry the data.
+  struct Check {
+    const char* path;
+    bool expect;
+  };
+  Check checks[] = {
+      {"/home/alice", false},          {"/home/alice/notes.txt", false},
+      {"/home/bob", true},             {"/home/bob/notes.txt", true},
+      {"/home/bob/paper.tex", true},   {"/home/bob/data.csv", true},
+  };
+  int verified = 0;
+  for (const Check& check : checks) {
+    fs->Read(check.path, [&, check](Result<std::string> r) {
+      bool exists = r.ok();
+      std::printf("  %-24s %s\n", check.path, exists ? "exists" : "gone");
+      if (exists == check.expect) {
+        ++verified;
+      }
+    });
+  }
+  while (verified < 6) {
+    fixture.Settle(Millis(100));
+  }
+  std::printf("\nPOSIX rename semantics retained; RPCs: 1 instead of k+1=4.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// §7.1 use case: round-robin flow assignment in a distributed SDN
+// controller. Each controller node grabs a globally unique sequence number
+// from the coordination service and maps it onto a backend server. Without
+// extensions the shared counter bottlenecks below ~2k flows/s under
+// contention; with the counter extension the same EZK ensemble sustains an
+// order of magnitude more — enough to put the coordination service ON the
+// flow-setup path.
+
+#include <cstdio>
+#include <vector>
+
+#include "edc/harness/fixture.h"
+#include "edc/recipes/recipes.h"
+
+using namespace edc;  // NOLINT: example brevity
+
+namespace {
+
+constexpr size_t kControllers = 8;
+constexpr int kBackends = 4;
+constexpr Duration kRun = Seconds(2);
+
+double AssignFlows(SystemKind system) {
+  FixtureOptions options;
+  options.system = system;
+  options.num_clients = kControllers;
+  CoordFixture fixture(options);
+  fixture.Start();
+
+  std::vector<std::unique_ptr<SharedCounter>> counters;
+  for (size_t i = 0; i < kControllers; ++i) {
+    counters.push_back(
+        std::make_unique<SharedCounter>(fixture.coord(i), IsExtensible(system)));
+  }
+  bool ready = false;
+  counters[0]->Setup([&](Status) { ready = true; });
+  while (!ready) {
+    fixture.Settle(Millis(100));
+  }
+  int attached = 1;
+  for (size_t i = 1; i < kControllers; ++i) {
+    counters[i]->Attach([&](Status) { ++attached; });
+  }
+  while (attached < static_cast<int>(kControllers)) {
+    fixture.Settle(Millis(100));
+  }
+
+  // Every controller node assigns flows in a closed loop.
+  std::vector<int64_t> per_backend(kBackends, 0);
+  int64_t assigned = 0;
+  SimTime end = fixture.loop().now() + kRun;
+  std::function<void(size_t)> assign = [&](size_t node) {
+    if (fixture.loop().now() >= end) {
+      return;
+    }
+    counters[node]->Increment([&, node](Result<int64_t> seq) {
+      if (seq.ok()) {
+        ++per_backend[static_cast<size_t>(*seq % kBackends)];
+        ++assigned;
+      }
+      assign(node);
+    });
+  };
+  for (size_t i = 0; i < kControllers; ++i) {
+    assign(i);
+  }
+  fixture.loop().RunUntil(end);
+
+  std::printf("%-10s assigned %6lld flows in %.0fs (%.0f flows/s); backend spread:",
+              SystemName(system), static_cast<long long>(assigned), ToSeconds(kRun),
+              static_cast<double>(assigned) / ToSeconds(kRun));
+  for (int b = 0; b < kBackends; ++b) {
+    std::printf(" %lld", static_cast<long long>(per_backend[static_cast<size_t>(b)]));
+  }
+  std::printf("\n");
+  return static_cast<double>(assigned) / ToSeconds(kRun);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("SDN load balancing via a shared sequence number (%zu controller nodes)\n\n",
+              kControllers);
+  double base = AssignFlows(SystemKind::kZooKeeper);
+  double ext = AssignFlows(SystemKind::kExtensibleZooKeeper);
+  std::printf("\nextension speedup: %.1fx — the paper argues >2k flows/s is out of reach\n"
+              "without extensions, while EZK reaches the ~25k increments/s regime (§7.1).\n",
+              ext / base);
+  return 0;
+}

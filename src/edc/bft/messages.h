@@ -1,0 +1,97 @@
+// Wire messages of the PBFT-style ordering protocol (the BFT-SMaRt analogue
+// under the DepSpace-like service).
+
+#ifndef EDC_BFT_MESSAGES_H_
+#define EDC_BFT_MESSAGES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "edc/common/codec.h"
+#include "edc/common/hash.h"
+#include "edc/common/result.h"
+#include "edc/sim/network.h"
+#include "edc/sim/time.h"
+
+namespace edc {
+
+constexpr uint32_t kBftTypeBase = 300;
+
+enum class BftMsgType : uint32_t {
+  kRequest = kBftTypeBase + 0,     // client -> all replicas
+  kPrePrepare = kBftTypeBase + 1,  // primary -> backups
+  kPrepare = kBftTypeBase + 2,     // replica -> all
+  kCommit = kBftTypeBase + 3,      // replica -> all
+  kReply = kBftTypeBase + 4,       // replica -> client
+  kViewChange = kBftTypeBase + 5,
+  kNewView = kBftTypeBase + 6,
+  kMax = kBftTypeBase + 7,
+};
+
+inline bool IsBftPacket(uint32_t type) {
+  return type >= kBftTypeBase && type < static_cast<uint32_t>(BftMsgType::kMax);
+}
+
+struct BftRequest {
+  NodeId client = 0;
+  uint64_t req_id = 0;
+  std::vector<uint8_t> payload;
+
+  bool is_noop() const { return client == 0; }
+  void Encode(Encoder& enc) const;
+  static Result<BftRequest> Decode(Decoder& dec);
+  uint64_t Digest(uint64_t seq, SimTime ts) const;
+};
+
+struct PrePrepareMsg {
+  uint64_t view = 0;
+  uint64_t seq = 0;
+  SimTime ts = 0;  // deterministic timestamp assigned by the primary
+  BftRequest request;
+};
+
+struct PhaseMsg {  // PREPARE and COMMIT
+  uint64_t view = 0;
+  uint64_t seq = 0;
+  uint64_t digest = 0;
+};
+
+struct ReplyMsg {
+  uint64_t req_id = 0;
+  uint64_t view = 0;
+  std::vector<uint8_t> payload;
+};
+
+struct PreparedEntry {
+  uint64_t seq = 0;
+  SimTime ts = 0;
+  BftRequest request;
+};
+
+struct ViewChangeMsg {
+  uint64_t new_view = 0;
+  uint64_t last_executed = 0;
+  std::vector<PreparedEntry> prepared;
+};
+
+struct NewViewMsg {
+  uint64_t new_view = 0;
+  std::vector<PreparedEntry> reproposed;
+};
+
+std::vector<uint8_t> EncodeBftRequest(const BftRequest& m);
+Result<BftRequest> DecodeBftRequest(const std::vector<uint8_t>& buf);
+std::vector<uint8_t> EncodePrePrepare(const PrePrepareMsg& m);
+Result<PrePrepareMsg> DecodePrePrepare(const std::vector<uint8_t>& buf);
+std::vector<uint8_t> EncodePhaseMsg(const PhaseMsg& m);
+Result<PhaseMsg> DecodePhaseMsg(const std::vector<uint8_t>& buf);
+std::vector<uint8_t> EncodeReplyMsg(const ReplyMsg& m);
+Result<ReplyMsg> DecodeReplyMsg(const std::vector<uint8_t>& buf);
+std::vector<uint8_t> EncodeViewChange(const ViewChangeMsg& m);
+Result<ViewChangeMsg> DecodeViewChange(const std::vector<uint8_t>& buf);
+std::vector<uint8_t> EncodeNewView(const NewViewMsg& m);
+Result<NewViewMsg> DecodeNewView(const std::vector<uint8_t>& buf);
+
+}  // namespace edc
+
+#endif  // EDC_BFT_MESSAGES_H_

@@ -1,0 +1,465 @@
+#include "edc/bft/replica.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <utility>
+
+#include "edc/common/logging.h"
+
+namespace edc {
+
+BftReplica::BftReplica(EventLoop* loop, Network* net, CpuQueue* cpu, const CostModel& costs,
+                       BftConfig config, BftCallbacks* callbacks)
+    : loop_(loop),
+      net_(net),
+      cpu_(cpu),
+      costs_(costs),
+      config_(std::move(config)),
+      callbacks_(callbacks) {
+  assert(config_.members.size() >= static_cast<size_t>(3 * config_.f + 1));
+}
+
+void BftReplica::Start() {
+  ++generation_;
+  running_ = true;
+  view_ = 0;
+  view_changing_ = false;
+  next_seq_ = 0;
+  last_executed_ = 0;
+  last_ts_ = 0;
+  entries_.clear();
+  pending_.clear();
+  executed_reqs_.clear();
+  view_changes_.clear();
+}
+
+void BftReplica::Crash() {
+  ++generation_;
+  running_ = false;
+  loop_->Cancel(request_timer_);
+}
+
+void BftReplica::Restart() {
+  // The service layer must have reset its state machine; we rejoin at view 0
+  // and catch up through normal ordering (acceptable while <= f replicas
+  // misbehave overall, which is what the tests exercise).
+  Start();
+}
+
+void BftReplica::SendTo(NodeId dst, BftMsgType type, std::vector<uint8_t> payload) {
+  Packet pkt;
+  pkt.src = config_.self;
+  pkt.dst = dst;
+  pkt.type = static_cast<uint32_t>(type);
+  pkt.payload = std::move(payload);
+  net_->Send(std::move(pkt));
+}
+
+void BftReplica::BroadcastToReplicas(BftMsgType type, const std::vector<uint8_t>& payload) {
+  for (NodeId peer : config_.members) {
+    if (peer != config_.self) {
+      SendTo(peer, type, payload);
+    }
+  }
+}
+
+void BftReplica::SendReply(NodeId client, uint64_t req_id, std::vector<uint8_t> payload) {
+  ReplyMsg reply{req_id, view_, std::move(payload)};
+  SendTo(client, BftMsgType::kReply, EncodeReplyMsg(reply));
+}
+
+void BftReplica::HandlePacket(Packet&& pkt) {
+  if (!running_) {
+    return;
+  }
+  uint64_t gen = generation_;
+  auto shared = std::make_shared<Packet>(std::move(pkt));
+  cpu_->Submit(costs_.bft_msg_cpu, [this, gen, shared]() {
+    if (gen != generation_ || !running_) {
+      return;
+    }
+    Process(std::move(*shared));
+  });
+}
+
+void BftReplica::Process(Packet&& pkt) {
+  switch (static_cast<BftMsgType>(pkt.type)) {
+    case BftMsgType::kRequest: {
+      auto m = DecodeBftRequest(pkt.payload);
+      if (m.ok()) {
+        OnRequest(std::move(*m));
+      }
+      break;
+    }
+    case BftMsgType::kPrePrepare: {
+      auto m = DecodePrePrepare(pkt.payload);
+      if (m.ok()) {
+        OnPrePrepare(pkt.src, std::move(*m));
+      }
+      break;
+    }
+    case BftMsgType::kPrepare: {
+      auto m = DecodePhaseMsg(pkt.payload);
+      if (m.ok()) {
+        OnPrepare(pkt.src, *m);
+      }
+      break;
+    }
+    case BftMsgType::kCommit: {
+      auto m = DecodePhaseMsg(pkt.payload);
+      if (m.ok()) {
+        OnCommit(pkt.src, *m);
+      }
+      break;
+    }
+    case BftMsgType::kViewChange: {
+      auto m = DecodeViewChange(pkt.payload);
+      if (m.ok()) {
+        OnViewChange(pkt.src, std::move(*m));
+      }
+      break;
+    }
+    case BftMsgType::kNewView: {
+      auto m = DecodeNewView(pkt.payload);
+      if (m.ok()) {
+        OnNewView(std::move(*m));
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+bool BftReplica::AlreadyOrdered(const BftRequest& req) const {
+  auto it = executed_reqs_.find(req.client);
+  if (it != executed_reqs_.end() && it->second.count(req.req_id) > 0) {
+    return true;
+  }
+  for (const auto& [seq, entry] : entries_) {
+    if (entry.has_request && entry.request.client == req.client &&
+        entry.request.req_id == req.req_id) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void BftReplica::OnRequest(BftRequest&& req) {
+  if (AlreadyOrdered(req)) {
+    return;
+  }
+  for (const BftRequest& p : pending_) {
+    if (p.client == req.client && p.req_id == req.req_id) {
+      return;
+    }
+  }
+  pending_.push_back(std::move(req));
+  if (is_primary() && !view_changing_) {
+    ProposePending();
+  } else {
+    ArmRequestTimer();
+  }
+}
+
+void BftReplica::ProposePending() {
+  while (!pending_.empty()) {
+    BftRequest req = std::move(pending_.front());
+    pending_.pop_front();
+    if (!AlreadyOrdered(req)) {
+      Propose(std::move(req));
+    }
+  }
+}
+
+void BftReplica::Propose(BftRequest req) {
+  uint64_t seq = ++next_seq_;
+  SimTime ts = std::max(last_ts_ + 1, loop_->now());
+  last_ts_ = ts;
+
+  Entry& entry = entries_[seq];
+  entry.view = view_;
+  entry.ts = ts;
+  entry.digest = req.Digest(seq, ts);
+  entry.request = req;
+  entry.has_request = true;
+  entry.prepares.insert(config_.self);  // pre-prepare counts as the primary's prepare
+
+  if (equivocate_) {
+    // Byzantine primary: stamp a different timestamp for every backup, so
+    // digests diverge and no backup ever collects a matching quorum.
+    SimTime bogus = ts;
+    for (NodeId peer : config_.members) {
+      if (peer == config_.self) {
+        continue;
+      }
+      bogus += 1;
+      PrePrepareMsg msg{view_, seq, bogus, req};
+      SendTo(peer, BftMsgType::kPrePrepare, EncodePrePrepare(msg));
+    }
+  } else {
+    PrePrepareMsg msg{view_, seq, ts, req};
+    BroadcastToReplicas(BftMsgType::kPrePrepare, EncodePrePrepare(msg));
+  }
+  CheckPrepared(seq);
+}
+
+void BftReplica::OnPrePrepare(NodeId from, PrePrepareMsg&& msg) {
+  if (msg.view != view_ || from != PrimaryOf(view_) || view_changing_) {
+    return;
+  }
+  if (msg.seq <= last_executed_) {
+    return;
+  }
+  Entry& entry = entries_[msg.seq];
+  if (entry.has_request && entry.digest != msg.request.Digest(msg.seq, msg.ts)) {
+    return;  // conflicting pre-prepare; keep the first
+  }
+  entry.view = msg.view;
+  entry.ts = msg.ts;
+  entry.digest = msg.request.Digest(msg.seq, msg.ts);
+  entry.request = std::move(msg.request);
+  entry.has_request = true;
+  entry.prepares.insert(from);          // primary's pre-prepare
+  entry.prepares.insert(config_.self);  // our own prepare
+  PhaseMsg prepare{view_, msg.seq, entry.digest};
+  BroadcastToReplicas(BftMsgType::kPrepare, EncodePhaseMsg(prepare));
+  CheckPrepared(msg.seq);
+  ArmRequestTimer();
+}
+
+void BftReplica::OnPrepare(NodeId from, const PhaseMsg& msg) {
+  if (msg.view != view_ || view_changing_ || msg.seq <= last_executed_) {
+    return;
+  }
+  Entry& entry = entries_[msg.seq];
+  if (entry.has_request && entry.digest != msg.digest) {
+    return;  // mismatching digest (equivocating primary)
+  }
+  entry.prepares.insert(from);
+  CheckPrepared(msg.seq);
+}
+
+void BftReplica::CheckPrepared(uint64_t seq) {
+  auto it = entries_.find(seq);
+  if (it == entries_.end()) {
+    return;
+  }
+  Entry& entry = it->second;
+  if (!entry.has_request || entry.sent_commit || entry.prepares.size() < PrepareQuorum()) {
+    return;
+  }
+  entry.sent_commit = true;
+  entry.commits.insert(config_.self);
+  PhaseMsg commit{view_, seq, entry.digest};
+  BroadcastToReplicas(BftMsgType::kCommit, EncodePhaseMsg(commit));
+  CheckCommitted(seq);
+}
+
+void BftReplica::OnCommit(NodeId from, const PhaseMsg& msg) {
+  if (msg.view != view_ || view_changing_ || msg.seq <= last_executed_) {
+    return;
+  }
+  Entry& entry = entries_[msg.seq];
+  if (entry.has_request && entry.digest != msg.digest) {
+    return;
+  }
+  entry.commits.insert(from);
+  CheckCommitted(msg.seq);
+}
+
+void BftReplica::CheckCommitted(uint64_t seq) {
+  auto it = entries_.find(seq);
+  if (it == entries_.end()) {
+    return;
+  }
+  Entry& entry = it->second;
+  if (entry.has_request && entry.sent_commit && entry.commits.size() >= CommitQuorum()) {
+    TryExecute();
+  }
+}
+
+void BftReplica::TryExecute() {
+  while (true) {
+    auto it = entries_.find(last_executed_ + 1);
+    if (it == entries_.end()) {
+      break;
+    }
+    Entry& entry = it->second;
+    if (!entry.has_request || !entry.sent_commit || entry.commits.size() < CommitQuorum() ||
+        entry.executed) {
+      break;
+    }
+    entry.executed = true;
+    ++last_executed_;
+    if (!entry.request.is_noop()) {
+      executed_reqs_[entry.request.client].insert(entry.request.req_id);
+      BftExecOutcome outcome =
+          callbacks_->Execute(last_executed_, entry.ts, entry.request);
+      if (outcome.cpu_cost > 0) {
+        cpu_->Submit(outcome.cpu_cost, []() {});  // occupy the core
+      }
+    }
+    // Remove any matching buffered copy and disarm the timer if idle.
+    for (auto p = pending_.begin(); p != pending_.end(); ++p) {
+      if (p->client == entry.request.client && p->req_id == entry.request.req_id) {
+        pending_.erase(p);
+        break;
+      }
+    }
+    entries_.erase(it);
+  }
+  if (pending_.empty() && entries_.empty()) {
+    loop_->Cancel(request_timer_);
+    request_timer_ = kInvalidTimer;
+  } else {
+    ArmRequestTimer();
+  }
+  if (is_primary() && !view_changing_) {
+    ProposePending();
+  }
+}
+
+// -------------------------------------------------------------- view change
+
+void BftReplica::ArmRequestTimer() {
+  if (request_timer_ != kInvalidTimer) {
+    return;
+  }
+  exec_at_arm_ = last_executed_;
+  uint64_t gen = generation_;
+  request_timer_ = loop_->Schedule(config_.request_timeout, [this, gen]() {
+    if (gen != generation_ || !running_) {
+      return;
+    }
+    request_timer_ = kInvalidTimer;
+    OnRequestTimeout();
+  });
+}
+
+void BftReplica::OnRequestTimeout() {
+  bool work_outstanding = !pending_.empty() || !entries_.empty();
+  if (view_changing_) {
+    // View change itself stalled (e.g. the would-be primary is down); move
+    // to the next view.
+    StartViewChange(vc_target_ + 1);
+    return;
+  }
+  if (!work_outstanding) {
+    return;
+  }
+  // A loaded-but-progressing primary is not a faulty primary: only suspect
+  // it when no request at all executed during the whole timeout window.
+  if (last_executed_ > exec_at_arm_) {
+    ArmRequestTimer();
+    return;
+  }
+  StartViewChange(view_ + 1);
+}
+
+void BftReplica::StartViewChange(uint64_t new_view) {
+  view_changing_ = true;
+  vc_target_ = std::max(vc_target_, new_view);
+  ViewChangeMsg msg;
+  msg.new_view = new_view;
+  msg.last_executed = last_executed_;
+  for (const auto& [seq, entry] : entries_) {
+    if (entry.has_request && entry.prepares.size() >= PrepareQuorum()) {
+      msg.prepared.push_back(PreparedEntry{seq, entry.ts, entry.request});
+    }
+  }
+  EDC_LOG(kDebug) << "replica " << config_.self << " view-change to " << new_view;
+  view_changes_[new_view][config_.self] = msg;
+  BroadcastToReplicas(BftMsgType::kViewChange, EncodeViewChange(msg));
+  ArmRequestTimer();  // keep escalating if this view change stalls
+  OnViewChange(config_.self, std::move(msg));
+}
+
+void BftReplica::OnViewChange(NodeId from, ViewChangeMsg&& msg) {
+  if (msg.new_view <= view_) {
+    return;
+  }
+  auto& quorum = view_changes_[msg.new_view];
+  quorum[from] = std::move(msg);
+  uint64_t new_view = quorum.begin()->second.new_view;
+
+  // Join a view change that f+1 others already back, even without a timeout.
+  if (!view_changing_ && quorum.size() >= static_cast<size_t>(config_.f + 1)) {
+    StartViewChange(new_view);
+    return;
+  }
+  if (quorum.size() < static_cast<size_t>(2 * config_.f + 1) ||
+      PrimaryOf(new_view) != config_.self) {
+    return;
+  }
+  // We are the new primary: re-propose the union of prepared entries.
+  std::map<uint64_t, PreparedEntry> merged;
+  uint64_t min_exec = UINT64_MAX;
+  for (const auto& [node, vc] : quorum) {
+    min_exec = std::min(min_exec, vc.last_executed);
+    for (const PreparedEntry& e : vc.prepared) {
+      merged.emplace(e.seq, e);
+    }
+  }
+  NewViewMsg nv;
+  nv.new_view = new_view;
+  uint64_t max_seq = last_executed_;
+  for (const auto& [seq, e] : merged) {
+    max_seq = std::max(max_seq, seq);
+  }
+  for (uint64_t seq = last_executed_ + 1; seq <= max_seq; ++seq) {
+    auto it = merged.find(seq);
+    if (it != merged.end()) {
+      nv.reproposed.push_back(it->second);
+    } else {
+      // Pad ordering gaps with no-ops.
+      PreparedEntry noop;
+      noop.seq = seq;
+      noop.ts = ++last_ts_;
+      nv.reproposed.push_back(noop);
+    }
+  }
+  BroadcastToReplicas(BftMsgType::kNewView, EncodeNewView(nv));
+  OnNewView(std::move(nv));
+}
+
+void BftReplica::OnNewView(NewViewMsg&& msg) {
+  if (msg.new_view <= view_) {
+    return;
+  }
+  view_ = msg.new_view;
+  view_changing_ = false;
+  entries_.clear();
+  view_changes_.erase(msg.new_view);
+  next_seq_ = last_executed_;
+  for (const PreparedEntry& e : msg.reproposed) {
+    next_seq_ = std::max(next_seq_, e.seq);
+    if (e.seq <= last_executed_) {
+      continue;
+    }
+    AdoptEntry(e, view_);
+  }
+  last_ts_ = std::max(last_ts_, loop_->now());
+  if (is_primary()) {
+    ProposePending();
+  } else if (!pending_.empty() || !entries_.empty()) {
+    ArmRequestTimer();
+  }
+}
+
+void BftReplica::AdoptEntry(const PreparedEntry& e, uint64_t view) {
+  Entry& entry = entries_[e.seq];
+  entry.view = view;
+  entry.ts = e.ts;
+  entry.digest = e.request.Digest(e.seq, e.ts);
+  entry.request = e.request;
+  entry.has_request = true;
+  entry.prepares.insert(PrimaryOf(view));
+  entry.prepares.insert(config_.self);
+  PhaseMsg prepare{view, e.seq, entry.digest};
+  BroadcastToReplicas(BftMsgType::kPrepare, EncodePhaseMsg(prepare));
+  CheckPrepared(e.seq);
+}
+
+}  // namespace edc

@@ -1,0 +1,161 @@
+// PBFT-style Byzantine fault-tolerant state machine replication.
+//
+// 3f+1 replicas; clients multicast requests to all of them and accept a
+// result once f+1 replicas sent matching replies. The primary of view v
+// (members[v mod n]) assigns sequence numbers and deterministic timestamps in
+// PRE-PREPARE; replicas exchange PREPARE (2f+1 matching, counting the
+// primary's pre-prepare) and COMMIT (2f+1) before executing in sequence
+// order.
+//
+// View change (simplified but quorum-sound): a backup that buffers a client
+// request and sees no execution within `request_timeout` broadcasts
+// VIEW-CHANGE carrying its prepared entries; on 2f+1 such messages the new
+// primary re-proposes the union of prepared entries (gaps padded with no-ops)
+// in a NEW-VIEW, then re-proposes any still-unordered buffered requests.
+// Because every committed entry is prepared at 2f+1 replicas, it appears in
+// any 2f+1-message view-change quorum, so committed state survives primary
+// failure. Fault injection for tests: SetEquivocate() makes a Byzantine
+// primary stamp different timestamps per backup, which prevents agreement and
+// drives the ensemble through a view change.
+//
+// Omitted relative to full PBFT (documented scope): checkpoints/log GC,
+// MACs/signatures, and state transfer for replicas that slept through whole
+// views (the simulator never needs them at benchmark scale).
+
+#ifndef EDC_BFT_REPLICA_H_
+#define EDC_BFT_REPLICA_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "edc/bft/messages.h"
+#include "edc/sim/cpu.h"
+#include "edc/sim/costs.h"
+#include "edc/sim/event_loop.h"
+#include "edc/sim/network.h"
+
+namespace edc {
+
+// Outcome of executing one ordered request at the service layer.
+struct BftExecOutcome {
+  // Extra CPU the execution consumed (extension steps etc.); the replica
+  // occupies its core for this long before processing further messages.
+  Duration cpu_cost = 0;
+};
+
+class BftCallbacks {
+ public:
+  virtual ~BftCallbacks() = default;
+  // Deterministic execution of the request ordered at (seq, ts). The service
+  // sends client replies itself via BftReplica::SendReply.
+  virtual BftExecOutcome Execute(uint64_t seq, SimTime ts, const BftRequest& request) = 0;
+};
+
+struct BftConfig {
+  std::vector<NodeId> members;  // size 3f+1
+  NodeId self = 0;
+  int f = 1;
+  Duration request_timeout = Millis(300);
+};
+
+class BftReplica {
+ public:
+  BftReplica(EventLoop* loop, Network* net, CpuQueue* cpu, const CostModel& costs,
+             BftConfig config, BftCallbacks* callbacks);
+
+  BftReplica(const BftReplica&) = delete;
+  BftReplica& operator=(const BftReplica&) = delete;
+
+  void Start();
+  void Crash();
+  void Restart();  // NOTE: rejoining replica replays nothing (no state
+                   // transfer); tests restart replicas only while < f others
+                   // are down, which PBFT tolerates.
+
+  void HandlePacket(Packet&& pkt);
+  void SendReply(NodeId client, uint64_t req_id, std::vector<uint8_t> payload);
+
+  bool running() const { return running_; }
+  uint64_t view() const { return view_; }
+  bool is_primary() const { return running_ && PrimaryOf(view_) == config_.self; }
+  uint64_t last_executed() const { return last_executed_; }
+
+  // Fault injection: primary stamps a different timestamp per backup.
+  void SetEquivocate(bool on) { equivocate_ = on; }
+
+ private:
+  struct Entry {
+    uint64_t view = 0;
+    SimTime ts = 0;
+    uint64_t digest = 0;
+    bool has_request = false;
+    BftRequest request;
+    std::set<NodeId> prepares;
+    std::set<NodeId> commits;
+    bool sent_commit = false;
+    bool executed = false;
+  };
+
+  size_t PrepareQuorum() const { return static_cast<size_t>(2 * config_.f + 1); }
+  size_t CommitQuorum() const { return static_cast<size_t>(2 * config_.f + 1); }
+  NodeId PrimaryOf(uint64_t view) const {
+    return config_.members[view % config_.members.size()];
+  }
+
+  void SendTo(NodeId dst, BftMsgType type, std::vector<uint8_t> payload);
+  void BroadcastToReplicas(BftMsgType type, const std::vector<uint8_t>& payload);
+  void Process(Packet&& pkt);
+
+  void OnRequest(BftRequest&& req);
+  void ProposePending();
+  void Propose(BftRequest req);
+  void OnPrePrepare(NodeId from, PrePrepareMsg&& msg);
+  void OnPrepare(NodeId from, const PhaseMsg& msg);
+  void OnCommit(NodeId from, const PhaseMsg& msg);
+  void CheckPrepared(uint64_t seq);
+  void CheckCommitted(uint64_t seq);
+  void TryExecute();
+
+  void ArmRequestTimer();
+  void OnRequestTimeout();
+  void StartViewChange(uint64_t new_view);
+  void OnViewChange(NodeId from, ViewChangeMsg&& msg);
+  void OnNewView(NewViewMsg&& msg);
+  void AdoptEntry(const PreparedEntry& e, uint64_t view);
+
+  bool AlreadyOrdered(const BftRequest& req) const;
+
+  EventLoop* loop_;
+  Network* net_;
+  CpuQueue* cpu_;
+  CostModel costs_;
+  BftConfig config_;
+  BftCallbacks* callbacks_;
+
+  bool running_ = false;
+  uint64_t generation_ = 0;
+  bool equivocate_ = false;
+
+  uint64_t view_ = 0;
+  bool view_changing_ = false;
+  uint64_t vc_target_ = 0;  // highest view we have demanded a change to
+  uint64_t next_seq_ = 0;  // primary only
+  uint64_t last_executed_ = 0;
+  SimTime last_ts_ = 0;
+
+  std::map<uint64_t, Entry> entries_;  // by seq, current view only
+  std::deque<BftRequest> pending_;     // buffered, not yet pre-prepared
+  std::map<NodeId, std::set<uint64_t>> executed_reqs_;  // dedup
+
+  std::map<uint64_t, std::map<NodeId, ViewChangeMsg>> view_changes_;  // by new_view
+
+  TimerId request_timer_ = kInvalidTimer;
+  uint64_t exec_at_arm_ = 0;  // progress marker: last_executed_ when armed
+};
+
+}  // namespace edc
+
+#endif  // EDC_BFT_REPLICA_H_

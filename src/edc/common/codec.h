@@ -1,0 +1,165 @@
+// Binary wire codec.
+//
+// Every message that crosses a simulated network link is serialized with
+// Encoder and parsed with Decoder, so the byte counts the benchmarks report
+// (e.g. "KB sent per queue operation", paper Fig. 8/10) are measured on real
+// encoded frames rather than estimated.
+//
+// Format: little-endian fixed-width integers, unsigned LEB128 varints, and
+// length-prefixed byte strings. Decoder is bounds-checked and never reads past
+// the underlying buffer; all failures surface as kDecodeError.
+
+#ifndef EDC_COMMON_CODEC_H_
+#define EDC_COMMON_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "edc/common/result.h"
+
+namespace edc {
+
+class Encoder {
+ public:
+  Encoder() = default;
+
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+  void PutU16(uint16_t v) { PutFixed(v); }
+  void PutU32(uint32_t v) { PutFixed(v); }
+  void PutU64(uint64_t v) { PutFixed(v); }
+  void PutI64(int64_t v) { PutFixed(static_cast<uint64_t>(v)); }
+
+  // Unsigned LEB128.
+  void PutVarint(uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<uint8_t>(v));
+  }
+
+  // Varint length prefix followed by raw bytes.
+  void PutString(std::string_view s) {
+    PutVarint(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  void PutBytes(const std::vector<uint8_t>& b) {
+    PutVarint(b.size());
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+  std::vector<uint8_t> Release() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void PutFixed(T v) {
+    uint8_t tmp[sizeof(T)];
+    std::memcpy(tmp, &v, sizeof(T));  // host is little-endian (x86/ARM64)
+    buf_.insert(buf_.end(), tmp, tmp + sizeof(T));
+  }
+
+  std::vector<uint8_t> buf_;
+};
+
+class Decoder {
+ public:
+  explicit Decoder(const std::vector<uint8_t>& buf) : data_(buf.data()), size_(buf.size()) {}
+  Decoder(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  Result<uint8_t> GetU8() {
+    if (pos_ + 1 > size_) {
+      return Fail();
+    }
+    return data_[pos_++];
+  }
+  Result<bool> GetBool() {
+    auto v = GetU8();
+    if (!v.ok()) {
+      return v.status();
+    }
+    return *v != 0;
+  }
+  Result<uint16_t> GetU16() { return GetFixed<uint16_t>(); }
+  Result<uint32_t> GetU32() { return GetFixed<uint32_t>(); }
+  Result<uint64_t> GetU64() { return GetFixed<uint64_t>(); }
+  Result<int64_t> GetI64() {
+    auto v = GetFixed<uint64_t>();
+    if (!v.ok()) {
+      return v.status();
+    }
+    return static_cast<int64_t>(*v);
+  }
+
+  Result<uint64_t> GetVarint() {
+    uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (pos_ >= size_ || shift > 63) {
+        return Fail();
+      }
+      uint8_t b = data_[pos_++];
+      v |= static_cast<uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) {
+        return v;
+      }
+      shift += 7;
+    }
+  }
+
+  Result<std::string> GetString() {
+    auto n = GetVarint();
+    if (!n.ok()) {
+      return n.status();
+    }
+    if (pos_ + *n > size_) {
+      return Fail();
+    }
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), *n);
+    pos_ += *n;
+    return s;
+  }
+
+  Result<std::vector<uint8_t>> GetBytes() {
+    auto n = GetVarint();
+    if (!n.ok()) {
+      return n.status();
+    }
+    if (pos_ + *n > size_) {
+      return Fail();
+    }
+    std::vector<uint8_t> b(data_ + pos_, data_ + pos_ + *n);
+    pos_ += *n;
+    return b;
+  }
+
+  bool AtEnd() const { return pos_ == size_; }
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  Status Fail() const { return Status(ErrorCode::kDecodeError, "truncated buffer"); }
+
+  template <typename T>
+  Result<T> GetFixed() {
+    if (pos_ + sizeof(T) > size_) {
+      return Fail();
+    }
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace edc
+
+#endif  // EDC_COMMON_CODEC_H_

@@ -1,0 +1,36 @@
+// FNV-1a hashing, used for message digests inside the BFT ordering protocol.
+// (A cryptographic hash in production; collision resistance is irrelevant to
+// the protocol logic exercised here.)
+
+#ifndef EDC_COMMON_HASH_H_
+#define EDC_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace edc {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+inline uint64_t Fnv1a64(const uint8_t* data, size_t size, uint64_t seed = kFnvOffset) {
+  uint64_t h = seed;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline uint64_t Fnv1a64(const std::vector<uint8_t>& data, uint64_t seed = kFnvOffset) {
+  return Fnv1a64(data.data(), data.size(), seed);
+}
+
+inline uint64_t Fnv1a64(std::string_view s, uint64_t seed = kFnvOffset) {
+  return Fnv1a64(reinterpret_cast<const uint8_t*>(s.data()), s.size(), seed);
+}
+
+}  // namespace edc
+
+#endif  // EDC_COMMON_HASH_H_

@@ -1,0 +1,103 @@
+#include "edc/common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace edc {
+
+void Recorder::Sort() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Recorder::Mean() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (int64_t s : samples_) {
+    sum += static_cast<double>(s);
+  }
+  return sum / static_cast<double>(samples_.size());
+}
+
+int64_t Recorder::Min() const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  Sort();
+  return samples_.front();
+}
+
+int64_t Recorder::Max() const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  Sort();
+  return samples_.back();
+}
+
+int64_t Recorder::Percentile(double q) const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  Sort();
+  if (q <= 0.0) {
+    return samples_.front();
+  }
+  if (q >= 1.0) {
+    return samples_.back();
+  }
+  size_t rank = static_cast<size_t>(q * static_cast<double>(samples_.size() - 1) + 0.5);
+  return samples_[rank];
+}
+
+double Recorder::StdDev() const {
+  if (samples_.size() < 2) {
+    return 0.0;
+  }
+  double mean = Mean();
+  double acc = 0.0;
+  for (int64_t s : samples_) {
+    double d = static_cast<double>(s) - mean;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+std::string Recorder::SummaryNs() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "n=%zu mean=%.3fms p50=%.3fms p99=%.3fms max=%.3fms",
+                count(), Mean() / 1e6, static_cast<double>(Percentile(0.5)) / 1e6,
+                static_cast<double>(Percentile(0.99)) / 1e6,
+                static_cast<double>(Max()) / 1e6);
+  return buf;
+}
+
+double RunAggregate::Mean() const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double v : values_) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values_.size());
+}
+
+double RunAggregate::StdDev() const {
+  if (values_.size() < 2) {
+    return 0.0;
+  }
+  double mean = Mean();
+  double acc = 0.0;
+  for (double v : values_) {
+    acc += (v - mean) * (v - mean);
+  }
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+}  // namespace edc

@@ -1,0 +1,76 @@
+// Sample recorders for the benchmark harness.
+//
+// Recorder keeps raw samples (latencies in nanoseconds, byte counts, ...) and
+// answers mean/percentile queries; Counter accumulates monotonic totals
+// (ops completed, bytes sent). Both are cheap enough to live on simulated hot
+// paths.
+
+#ifndef EDC_COMMON_HISTOGRAM_H_
+#define EDC_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace edc {
+
+class Recorder {
+ public:
+  void Record(int64_t value) {
+    samples_.push_back(value);
+    sorted_ = false;
+  }
+
+  void Clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double Mean() const;
+  int64_t Min() const;
+  int64_t Max() const;
+  // q in [0,1]; nearest-rank on the sorted samples. Returns 0 when empty.
+  int64_t Percentile(double q) const;
+  double StdDev() const;
+
+  // "mean=1.23ms p50=... p99=..." with values interpreted as nanoseconds.
+  std::string SummaryNs() const;
+
+ private:
+  void Sort() const;
+
+  mutable std::vector<int64_t> samples_;
+  mutable bool sorted_ = false;
+};
+
+class Counter {
+ public:
+  void Add(int64_t delta) { total_ += delta; }
+  void Increment() { ++total_; }
+  int64_t total() const { return total_; }
+  void Reset() { total_ = 0; }
+
+ private:
+  int64_t total_ = 0;
+};
+
+// Aggregates per-seed scalar results (e.g. throughput of one run) and reports
+// mean and standard deviation across runs, mirroring the paper's
+// "average of five runs" methodology.
+class RunAggregate {
+ public:
+  void Add(double value) { values_.push_back(value); }
+  size_t count() const { return values_.size(); }
+  double Mean() const;
+  double StdDev() const;
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace edc
+
+#endif  // EDC_COMMON_HISTOGRAM_H_

@@ -1,0 +1,54 @@
+// Minimal leveled logging.
+//
+// The simulator runs millions of events per benchmark; logging must cost
+// nothing when disabled. EDC_LOG(level) expands to a short-circuited stream
+// whose right-hand side is not evaluated unless the level is active.
+
+#ifndef EDC_COMMON_LOGGING_H_
+#define EDC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace edc {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+// Global threshold; messages below it are discarded. Defaults to kWarn so
+// benchmarks stay quiet; tests raise verbosity selectively.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace log_internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+#define EDC_LOG_ENABLED(level) (static_cast<int>(level) >= static_cast<int>(::edc::GetLogLevel()))
+
+#define EDC_LOG(level)                                              \
+  if (!EDC_LOG_ENABLED(::edc::LogLevel::level)) {                   \
+  } else                                                            \
+    ::edc::log_internal::LogMessage(::edc::LogLevel::level, __FILE__, __LINE__).stream()
+
+}  // namespace edc
+
+#endif  // EDC_COMMON_LOGGING_H_

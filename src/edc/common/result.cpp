@@ -1,0 +1,58 @@
+#include "edc/common/result.h"
+
+namespace edc {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "OK";
+    case ErrorCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ErrorCode::kTimeout:
+      return "TIMEOUT";
+    case ErrorCode::kConnectionLoss:
+      return "CONNECTION_LOSS";
+    case ErrorCode::kNotReady:
+      return "NOT_READY";
+    case ErrorCode::kInternal:
+      return "INTERNAL";
+    case ErrorCode::kNoNode:
+      return "NO_NODE";
+    case ErrorCode::kNodeExists:
+      return "NODE_EXISTS";
+    case ErrorCode::kBadVersion:
+      return "BAD_VERSION";
+    case ErrorCode::kNotEmpty:
+      return "NOT_EMPTY";
+    case ErrorCode::kNoChildrenForEphemerals:
+      return "NO_CHILDREN_FOR_EPHEMERALS";
+    case ErrorCode::kSessionExpired:
+      return "SESSION_EXPIRED";
+    case ErrorCode::kAccessDenied:
+      return "ACCESS_DENIED";
+    case ErrorCode::kPolicyViolation:
+      return "POLICY_VIOLATION";
+    case ErrorCode::kExtensionRejected:
+      return "EXTENSION_REJECTED";
+    case ErrorCode::kExtensionError:
+      return "EXTENSION_ERROR";
+    case ErrorCode::kExtensionLimit:
+      return "EXTENSION_LIMIT";
+    case ErrorCode::kNotAcknowledged:
+      return "NOT_ACKNOWLEDGED";
+    case ErrorCode::kDecodeError:
+      return "DECODE_ERROR";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  std::string out(ErrorCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace edc

@@ -1,0 +1,118 @@
+// Error handling primitives used across the EDC codebase.
+//
+// We do not use exceptions on hot paths; fallible operations return Status or
+// Result<T>. ErrorCode deliberately mirrors the union of client-visible error
+// conditions of the two coordination services (ZooKeeper-like and
+// DepSpace-like) plus extension-specific failures, so that a single code
+// travels unchanged from server internals to client libraries.
+
+#ifndef EDC_COMMON_RESULT_H_
+#define EDC_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace edc {
+
+enum class ErrorCode : int {
+  kOk = 0,
+  // Generic.
+  kInvalidArgument,
+  kTimeout,
+  kConnectionLoss,
+  kNotReady,         // replica has no leader / no primary yet
+  kInternal,
+  // Data-store conditions.
+  kNoNode,           // node/tuple does not exist
+  kNodeExists,       // create on an existing node / duplicate tuple
+  kBadVersion,       // conditional update failed
+  kNotEmpty,         // delete on a node with children
+  kNoChildrenForEphemerals,
+  kSessionExpired,
+  kAccessDenied,
+  kPolicyViolation,  // DepSpace-style policy layer rejected the operation
+  // Extension machinery.
+  kExtensionRejected,   // verifier refused the extension at registration
+  kExtensionError,      // extension raised or crashed during execution
+  kExtensionLimit,      // sandbox resource limit exceeded
+  kNotAcknowledged,     // client has not registered/acknowledged the extension
+  // Codec.
+  kDecodeError,
+};
+
+// Human-readable name for an ErrorCode ("kOk" -> "OK", etc).
+std::string_view ErrorCodeName(ErrorCode code);
+
+// A Status is an ErrorCode plus an optional context message.
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  explicit Status(ErrorCode code) : code_(code) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "BAD_VERSION: expected 3, got 5" style rendering for logs and tests.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+// Result<T> holds either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : data_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(data_).ok() && "Result<T> must not hold an OK status");
+  }
+  Result(ErrorCode code) : data_(Status(code)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOkStatus;
+    if (ok()) {
+      return kOkStatus;
+    }
+    return std::get<Status>(data_);
+  }
+
+  ErrorCode code() const { return ok() ? ErrorCode::kOk : status().code(); }
+
+  T& value() {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  const T& value() const {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+
+  T value_or(T fallback) const { return ok() ? std::get<T>(data_) : std::move(fallback); }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace edc
+
+#endif  // EDC_COMMON_RESULT_H_

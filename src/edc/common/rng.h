@@ -1,0 +1,72 @@
+// Deterministic pseudo-random number generation.
+//
+// Every source of randomness in the simulator (network jitter, client think
+// time, seed-per-run averaging) draws from an explicitly seeded Rng so that a
+// given (config, seed) pair replays bit-identically. xoshiro256** seeded via
+// SplitMix64, per Blackman & Vigna.
+
+#ifndef EDC_COMMON_RNG_H_
+#define EDC_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace edc {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t UniformU64(uint64_t n) {
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = -n % n;
+    while (true) {
+      uint64_t r = NextU64();
+      if (r >= threshold) {
+        return r % n;
+      }
+    }
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(UniformU64(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() { return static_cast<double>(NextU64() >> 11) * 0x1.0p-53; }
+
+  // Derive an independent child stream (for per-node RNGs).
+  Rng Fork() { return Rng(NextU64() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace edc
+
+#endif  // EDC_COMMON_RNG_H_

@@ -1,0 +1,44 @@
+// String and path helpers shared by the services.
+//
+// Paths follow ZooKeeper conventions: absolute, '/'-separated, no trailing
+// slash (except the root "/"), no empty components, components must not be
+// "." or "..".
+
+#ifndef EDC_COMMON_STRINGS_H_
+#define EDC_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "edc/common/result.h"
+
+namespace edc {
+
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+std::string StrJoin(const std::vector<std::string>& parts, std::string_view sep);
+
+// Validates an absolute data-object path. Returns kInvalidArgument on
+// malformed input.
+Status ValidatePath(std::string_view path);
+
+// Parent of "/a/b/c" is "/a/b"; parent of "/a" is "/"; parent of "/" is "".
+std::string ParentPath(std::string_view path);
+
+// Basename of "/a/b/c" is "c"; basename of "/" is "".
+std::string BaseName(std::string_view path);
+
+// True if `path` is `prefix` itself or lies strictly below it
+// ("/a/b" is under "/a", not under "/ab").
+bool PathIsUnder(std::string_view path, std::string_view prefix);
+
+// ZooKeeper-style sequential suffix: value zero-padded to ten digits.
+std::string SequenceSuffix(uint64_t n);
+
+// Lexical int64 parse; full-string match required.
+Result<int64_t> ParseInt64(std::string_view text);
+
+}  // namespace edc
+
+#endif  // EDC_COMMON_STRINGS_H_

@@ -1,0 +1,233 @@
+#include "edc/ds/client.h"
+
+#include <utility>
+
+namespace edc {
+
+DsClient::DsClient(EventLoop* loop, Network* net, NodeId id, std::vector<NodeId> replicas,
+                   DsClientOptions options)
+    : loop_(loop), net_(net), id_(id), replicas_(std::move(replicas)), options_(options) {
+  net_->Register(id_, this);
+}
+
+void DsClient::Call(DsOp op, ReplyCb done) {
+  if (!alive_) {
+    return;
+  }
+  uint64_t req_id = ++next_req_;
+  PendingCall call;
+  call.op = std::move(op);
+  call.done = std::move(done);
+  calls_.emplace(req_id, std::move(call));
+  Transmit(req_id);
+  ArmRetry(req_id);
+}
+
+void DsClient::Transmit(uint64_t req_id) {
+  auto it = calls_.find(req_id);
+  if (it == calls_.end()) {
+    return;
+  }
+  BftRequest req;
+  req.client = id_;
+  req.req_id = req_id;
+  req.payload = it->second.op.Encode();
+  std::vector<uint8_t> encoded = EncodeBftRequest(req);
+  for (NodeId replica : replicas_) {
+    Packet pkt;
+    pkt.src = id_;
+    pkt.dst = replica;
+    pkt.type = static_cast<uint32_t>(BftMsgType::kRequest);
+    pkt.payload = encoded;
+    net_->Send(std::move(pkt));
+  }
+}
+
+void DsClient::ArmRetry(uint64_t req_id) {
+  loop_->Schedule(options_.retransmit_interval, [this, req_id]() {
+    if (!alive_ || calls_.count(req_id) == 0) {
+      return;
+    }
+    // Blocking rd/in legitimately wait; retransmissions are deduplicated by
+    // the replicas, so retrying is harmless and covers lost packets and
+    // primary failover.
+    Transmit(req_id);
+    ArmRetry(req_id);
+  });
+}
+
+void DsClient::HandlePacket(Packet&& pkt) {
+  if (!alive_ || pkt.type != static_cast<uint32_t>(BftMsgType::kReply)) {
+    return;
+  }
+  auto reply = DecodeReplyMsg(pkt.payload);
+  if (!reply.ok()) {
+    return;
+  }
+  auto it = calls_.find(reply->req_id);
+  if (it == calls_.end()) {
+    return;
+  }
+  std::string key(reply->payload.begin(), reply->payload.end());
+  int votes = ++it->second.votes[key];
+  if (votes < options_.f + 1) {
+    return;
+  }
+  ReplyCb done = std::move(it->second.done);
+  calls_.erase(it);
+  auto decoded = DsReply::Decode(reply->payload);
+  if (!decoded.ok()) {
+    done(decoded.status());
+    return;
+  }
+  if (decoded->code != ErrorCode::kOk) {
+    done(Status(decoded->code, decoded->value));
+    return;
+  }
+  done(std::move(*decoded));
+}
+
+void DsClient::Out(DsTuple tuple, ReplyCb done) {
+  DsOp op;
+  op.type = DsOpType::kOut;
+  op.tuple = std::move(tuple);
+  Call(std::move(op), std::move(done));
+}
+
+void DsClient::OutLease(DsTuple tuple, ReplyCb done) {
+  DsOp op;
+  op.type = DsOpType::kOut;
+  op.tuple = tuple;
+  op.lease = options_.lease;
+  // Remember an exact template for renewals.
+  DsTemplate templ;
+  for (const DsField& f : tuple) {
+    templ.push_back(DsTField::Exact(f));
+  }
+  leases_.push_back(std::move(templ));
+  if (renew_timer_ == kInvalidTimer) {
+    renew_timer_ = loop_->Schedule(options_.renew_interval, [this]() { RenewTick(); });
+  }
+  Call(std::move(op), std::move(done));
+}
+
+void DsClient::ReleaseLease(const DsTemplate& templ) {
+  for (auto it = leases_.begin(); it != leases_.end(); ++it) {
+    if (it->size() == templ.size()) {
+      bool same = true;
+      for (size_t i = 0; i < templ.size(); ++i) {
+        same = same && (*it)[i].kind == templ[i].kind && (*it)[i].value == templ[i].value;
+      }
+      if (same) {
+        leases_.erase(it);
+        return;
+      }
+    }
+  }
+}
+
+void DsClient::EnableAutoRenewAll() {
+  if (auto_renew_all_) {
+    return;
+  }
+  auto_renew_all_ = true;
+  if (renew_timer_ == kInvalidTimer) {
+    renew_timer_ = loop_->Schedule(options_.renew_interval, [this]() { RenewTick(); });
+  }
+}
+
+void DsClient::RenewTick() {
+  renew_timer_ = kInvalidTimer;
+  if (!alive_ || (leases_.empty() && !auto_renew_all_)) {
+    return;
+  }
+  if (auto_renew_all_) {
+    DsOp op;
+    op.type = DsOpType::kRenew;
+    op.templ = DsTemplate{DsTField::Any(), DsTField::Any()};
+    op.lease = options_.lease;
+    Call(op, [](Result<DsReply>) {});
+  } else {
+    for (const DsTemplate& templ : leases_) {
+      DsOp op;
+      op.type = DsOpType::kRenew;
+      op.templ = templ;
+      op.lease = options_.lease;
+      Call(op, [](Result<DsReply>) {});
+    }
+  }
+  renew_timer_ = loop_->Schedule(options_.renew_interval, [this]() { RenewTick(); });
+}
+
+void DsClient::Rdp(DsTemplate templ, ReplyCb done) {
+  DsOp op;
+  op.type = DsOpType::kRdp;
+  op.templ = std::move(templ);
+  Call(std::move(op), std::move(done));
+}
+
+void DsClient::Inp(DsTemplate templ, ReplyCb done) {
+  DsOp op;
+  op.type = DsOpType::kInp;
+  op.templ = std::move(templ);
+  Call(std::move(op), std::move(done));
+}
+
+void DsClient::Rd(DsTemplate templ, ReplyCb done) {
+  DsOp op;
+  op.type = DsOpType::kRd;
+  op.templ = std::move(templ);
+  Call(std::move(op), std::move(done));
+}
+
+void DsClient::In(DsTemplate templ, ReplyCb done) {
+  DsOp op;
+  op.type = DsOpType::kIn;
+  op.templ = std::move(templ);
+  Call(std::move(op), std::move(done));
+}
+
+void DsClient::Cas(DsTemplate templ, DsTuple tuple, ReplyCb done) {
+  DsOp op;
+  op.type = DsOpType::kCas;
+  op.templ = std::move(templ);
+  op.tuple = std::move(tuple);
+  Call(std::move(op), std::move(done));
+}
+
+void DsClient::Replace(DsTemplate templ, DsTuple tuple, ReplyCb done) {
+  DsOp op;
+  op.type = DsOpType::kReplace;
+  op.templ = std::move(templ);
+  op.tuple = std::move(tuple);
+  Call(std::move(op), std::move(done));
+}
+
+void DsClient::RdAll(DsTemplate templ, ReplyCb done) {
+  DsOp op;
+  op.type = DsOpType::kRdAll;
+  op.templ = std::move(templ);
+  Call(std::move(op), std::move(done));
+}
+
+void DsClient::RegisterExtension(const std::string& name, const std::string& code,
+                                 ReplyCb done) {
+  Out(ObjectTuple("/em/" + name, code), std::move(done));
+}
+
+void DsClient::DeregisterExtension(const std::string& name, ReplyCb done) {
+  Inp(ObjectTemplate("/em/" + name), std::move(done));
+}
+
+void DsClient::AcknowledgeExtension(const std::string& name, ReplyCb done) {
+  Out(ObjectTuple("/em/" + name + "/ack/" + std::to_string(id_), ""), std::move(done));
+}
+
+void DsClient::Kill() {
+  alive_ = false;
+  calls_.clear();
+  leases_.clear();
+  loop_->Cancel(renew_timer_);
+}
+
+}  // namespace edc

@@ -1,0 +1,105 @@
+// Client library for the DepSpace-like service.
+//
+// Requests are multicast to all 3f+1 replicas (this is why a DepSpace client
+// sends ~4x the bytes a ZooKeeper client sends per operation — the paper's
+// Fig. 8/10 measure exactly that); a result is accepted once f+1 replicas
+// returned byte-identical replies. Lease tuples created through OutLease are
+// renewed automatically until ReleaseLease — stopping renewal (client crash)
+// makes them expire server-side, which is the failure-detection primitive
+// the leader-election recipe builds on.
+
+#ifndef EDC_DS_CLIENT_H_
+#define EDC_DS_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "edc/bft/messages.h"
+#include "edc/ds/types.h"
+#include "edc/sim/event_loop.h"
+#include "edc/sim/network.h"
+
+namespace edc {
+
+struct DsClientOptions {
+  int f = 1;
+  Duration retransmit_interval = Seconds(1);
+  Duration lease = Seconds(2);
+  Duration renew_interval = Millis(500);
+};
+
+class DsClient : public NetworkNode {
+ public:
+  using ReplyCb = std::function<void(Result<DsReply>)>;
+
+  DsClient(EventLoop* loop, Network* net, NodeId id, std::vector<NodeId> replicas,
+           DsClientOptions options);
+
+  DsClient(const DsClient&) = delete;
+  DsClient& operator=(const DsClient&) = delete;
+
+  void Out(DsTuple tuple, ReplyCb done);
+  // Lease tuple (monitor primitive); auto-renewed until ReleaseLease/crash.
+  void OutLease(DsTuple tuple, ReplyCb done);
+  void ReleaseLease(const DsTemplate& templ);
+  void Rdp(DsTemplate templ, ReplyCb done);
+  void Inp(DsTemplate templ, ReplyCb done);
+  void Rd(DsTemplate templ, ReplyCb done);   // blocking
+  void In(DsTemplate templ, ReplyCb done);   // blocking
+  void Cas(DsTemplate templ, DsTuple tuple, ReplyCb done);
+  void Replace(DsTemplate templ, DsTuple tuple, ReplyCb done);
+  void RdAll(DsTemplate templ, ReplyCb done);
+  void Call(DsOp op, ReplyCb done);
+
+  // EDS conveniences (§5.2.2): registration/ack/deregistration are ordinary
+  // tuple operations on the extension manager's dedicated namespace.
+  void RegisterExtension(const std::string& name, const std::string& code, ReplyCb done);
+  void DeregisterExtension(const std::string& name, ReplyCb done);
+  void AcknowledgeExtension(const std::string& name, ReplyCb done);
+
+  // Periodically renews EVERY lease tuple this client owns (universal
+  // template) — needed when a server-side extension created lease tuples on
+  // the client's behalf (monitor inside an extension): the client is the
+  // owner and must keep them alive.
+  void EnableAutoRenewAll();
+
+  // Simulate process death: stop renewing leases and drop pending calls.
+  void Kill();
+
+  NodeId id() const { return id_; }
+  size_t outstanding() const { return calls_.size(); }
+
+  // NetworkNode.
+  void HandlePacket(Packet&& pkt) override;
+
+ private:
+  struct PendingCall {
+    DsOp op;
+    ReplyCb done;
+    std::map<std::string, int> votes;  // encoded reply -> count
+  };
+
+  void Transmit(uint64_t req_id);
+  void ArmRetry(uint64_t req_id);
+  void RenewTick();
+
+  EventLoop* loop_;
+  Network* net_;
+  NodeId id_;
+  std::vector<NodeId> replicas_;
+  DsClientOptions options_;
+
+  uint64_t next_req_ = 0;
+  std::map<uint64_t, PendingCall> calls_;
+  std::vector<DsTemplate> leases_;
+  bool alive_ = true;
+  bool auto_renew_all_ = false;
+  TimerId renew_timer_ = kInvalidTimer;
+};
+
+}  // namespace edc
+
+#endif  // EDC_DS_CLIENT_H_

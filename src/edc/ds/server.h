@@ -1,0 +1,166 @@
+// Replica of the DepSpace-like coordination service.
+//
+// Stack (paper Fig. 4, bottom-up): BFT ordering (edc/bft) -> extension
+// manager hooks -> policy enforcement -> access control -> tuple space.
+// Every request, including reads, is totally ordered and executed by every
+// replica; clients multicast to all 3f+1 replicas and vote on f+1 matching
+// replies (that asymmetry versus ZooKeeper's read fast path is exactly what
+// the paper's KB/op measurements show in Fig. 8/10).
+//
+// Blocking semantics: rd/in with no match register a waiter and defer the
+// reply; an out that produces a match unblocks all matching rd waiters and
+// the single oldest in waiter (which consumes the tuple). Lease tuples
+// expire deterministically against the ordered timestamp carried by each
+// request.
+
+#ifndef EDC_DS_SERVER_H_
+#define EDC_DS_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "edc/bft/replica.h"
+#include "edc/ds/hooks.h"
+#include "edc/ds/tuple_space.h"
+#include "edc/ds/types.h"
+#include "edc/sim/cpu.h"
+#include "edc/sim/costs.h"
+
+namespace edc {
+
+class DsServer;
+
+// Access-control layer: per-operation admission by client id. The default
+// denies regular access to the extension manager's /em namespace and allows
+// everything else.
+struct DsAccessControl {
+  using CheckFn =
+      std::function<Status(NodeId client, DsOpType type, const DsTuple* tuple,
+                           const DsTemplate* templ)>;
+  CheckFn check;  // empty = default rule
+};
+
+// Policy-enforcement layer: structural constraints on operations (e.g. tuple
+// arity/size limits), applied after access control.
+struct DsPolicy {
+  using CheckFn = std::function<Status(const DsOp& op, size_t space_size)>;
+  CheckFn check;  // empty = accept all
+};
+
+struct DsServerOptions {
+  int cpu_cores = 1;
+  int f = 1;
+  Duration request_timeout = Millis(300);
+  DsAccessControl access;
+  DsPolicy policy;
+  size_t max_event_rounds = 8;  // unblock/event-extension cascade cap
+};
+
+// State-access facade handed to normal execution, extensions and event
+// extensions alike: enforces access control + policy and records events.
+class DsExecContext {
+ public:
+  DsExecContext(DsServer* server, NodeId client, uint64_t req_id, SimTime ts);
+
+  Status Out(DsTuple tuple, Duration lease);
+  Result<DsTuple> Rdp(const DsTemplate& templ);
+  Result<DsTuple> Inp(const DsTemplate& templ);
+  std::vector<DsEntry> RdAll(const DsTemplate& templ);
+  Status Cas(const DsTemplate& templ, DsTuple tuple, Duration lease);
+  Status Replace(const DsTemplate& templ, DsTuple tuple);
+  size_t Renew(const DsTemplate& templ, Duration lease);
+  // Defer the reply of (client, req_id) until a tuple matching `templ`
+  // appears; `consume` = in semantics (remove on unblock).
+  void Block(DsTemplate templ, bool consume);
+
+  NodeId client() const { return client_; }
+  uint64_t req_id() const { return req_id_; }
+  SimTime ts() const { return ts_; }
+  std::vector<DsEvent>& events() { return events_; }
+  size_t state_ops() const { return state_ops_; }
+
+  // Privileged (extension-manager layer) access, bypassing ACL: used for the
+  // /em registry tuples regular clients must not touch.
+  Status PrivilegedOut(DsTuple tuple);
+  Result<DsTuple> PrivilegedInp(const DsTemplate& templ);
+
+ private:
+  DsServer* server_;
+  NodeId client_;
+  uint64_t req_id_;
+  SimTime ts_;
+  std::vector<DsEvent> events_;
+  size_t state_ops_ = 0;
+
+  friend class DsServer;
+};
+
+class DsServer : public NetworkNode, public BftCallbacks {
+ public:
+  DsServer(EventLoop* loop, Network* net, NodeId id, std::vector<NodeId> members,
+           const CostModel& costs, DsServerOptions options);
+
+  void SetHooks(DsServerHooks* hooks) { hooks_ = hooks; }
+
+  void Start();
+  void Crash();
+  void Restart();
+
+  // NetworkNode.
+  void HandlePacket(Packet&& pkt) override;
+
+  // BftCallbacks.
+  BftExecOutcome Execute(uint64_t seq, SimTime ts, const BftRequest& request) override;
+
+  NodeId id() const { return id_; }
+  bool running() const { return running_; }
+  const TupleSpace& space() const { return space_; }
+  BftReplica& bft() { return *bft_; }
+  CpuQueue& cpu() { return cpu_; }
+  int64_t ops_executed() const { return ops_executed_; }
+
+  // Fault injection passthrough.
+  void SetEquivocate(bool on) { bft_->SetEquivocate(on); }
+
+ private:
+  friend class DsExecContext;
+
+  struct Waiter {
+    DsTemplate templ;
+    NodeId client = 0;
+    uint64_t req_id = 0;
+    bool consume = false;
+    uint64_t order = 0;
+  };
+
+  Status CheckAccess(NodeId client, DsOpType type, const DsTuple* tuple,
+                     const DsTemplate* templ) const;
+  Status CheckPolicy(const DsOp& op) const;
+
+  DsExecOutcome ExecuteNormal(DsExecContext* ctx, const DsOp& op);
+  // Unblock waiters + run event extensions until quiescent (capped rounds).
+  void ProcessEvents(DsExecContext* ctx, Duration* extra_cpu);
+  void Reply(NodeId client, uint64_t req_id, const DsReply& reply);
+
+  EventLoop* loop_;
+  NodeId id_;
+  CostModel costs_;
+  DsServerOptions options_;
+  CpuQueue cpu_;
+  std::unique_ptr<BftReplica> bft_;
+  DsServerHooks* hooks_ = nullptr;
+
+  bool running_ = false;
+  TupleSpace space_;
+  std::vector<Waiter> waiters_;
+  uint64_t next_waiter_order_ = 1;
+  int64_t ops_executed_ = 0;
+};
+
+}  // namespace edc
+
+#endif  // EDC_DS_SERVER_H_

@@ -1,0 +1,75 @@
+// Deterministic tuple-space state machine.
+//
+// Every mutation happens at an ordered timestamp supplied by the BFT layer,
+// so all replicas hold identical spaces. Matching is by insertion order
+// (deterministic); entries carry creation time (for the recipes' "lowest
+// creation timestamp" selections) and an optional lease deadline — lease
+// tuples are DepSpace's client-failure-detection primitive (monitor in
+// Table 2): a tuple whose owner stops renewing it expires and disappears.
+
+#ifndef EDC_DS_TUPLE_SPACE_H_
+#define EDC_DS_TUPLE_SPACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "edc/common/result.h"
+#include "edc/ds/types.h"
+#include "edc/sim/network.h"
+
+namespace edc {
+
+struct DsEntry {
+  DsTuple tuple;
+  uint64_t seq = 0;       // insertion order, unique
+  SimTime ctime = 0;      // ordered timestamp of the out
+  SimTime deadline = 0;   // 0 = no lease
+  NodeId owner = 0;       // client that inserted it (lease renewal rights)
+};
+
+class TupleSpace {
+ public:
+  // Inserts; duplicates are allowed (a tuple space is a multiset).
+  void Out(DsTuple tuple, SimTime now, NodeId owner, Duration lease);
+
+  // First match in insertion order, not removed. Null status kNoNode if none.
+  Result<DsTuple> Rdp(const DsTemplate& templ) const;
+  // First match, removed.
+  Result<DsTuple> Inp(const DsTemplate& templ);
+  // All matches in insertion order.
+  std::vector<DsEntry> RdAll(const DsTemplate& templ) const;
+
+  // DepSpace cas: insert `tuple` iff nothing matches `templ`. Returns
+  // kNodeExists with the blocking tuple otherwise.
+  Status Cas(const DsTemplate& templ, DsTuple tuple, SimTime now, NodeId owner,
+             Duration lease);
+
+  // Atomic inp(templ)+out(tuple). If `expected_data` is set, the match's
+  // second field must equal it (conditional replace, Table 2's cas(o,cc,nc)).
+  // kNoNode if nothing matches, kBadVersion if the condition fails.
+  Status Replace(const DsTemplate& templ, DsTuple tuple, SimTime now, NodeId owner,
+                 DsTuple* removed);
+
+  // Extends the deadline of matching lease tuples owned by `owner`.
+  size_t Renew(const DsTemplate& templ, NodeId owner, SimTime now, Duration lease);
+
+  // Removes tuples whose lease expired at `now`; returns them (the server
+  // turns them into deletion events).
+  std::vector<DsTuple> Expire(SimTime now);
+
+  bool HasMatch(const DsTemplate& templ) const;
+  size_t size() const { return entries_.size(); }
+  const std::vector<DsEntry>& entries() const { return entries_; }
+
+  std::vector<uint8_t> Serialize() const;
+  Status Load(const std::vector<uint8_t>& snapshot);
+
+ private:
+  std::vector<DsEntry> entries_;
+  uint64_t next_seq_ = 1;
+};
+
+}  // namespace edc
+
+#endif  // EDC_DS_TUPLE_SPACE_H_

@@ -1,0 +1,93 @@
+// Tuple-space types and wire protocol of the DepSpace-like service.
+//
+// The data model is an augmented tuple space (Linda heritage): tuples are
+// sequences of int/string fields; templates match them field-wise with
+// exact, wildcard (ANY) and prefix (SUB_ANY-style, for hierarchical names)
+// entries. The coordination-object mapping used by the recipes stores each
+// object as the pair <path, data>.
+//
+// Client requests ride inside BftRequest payloads (packet types are the BFT
+// range); this header defines their encoding.
+
+#ifndef EDC_DS_TYPES_H_
+#define EDC_DS_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "edc/common/codec.h"
+#include "edc/common/result.h"
+#include "edc/sim/time.h"
+
+namespace edc {
+
+using DsField = std::variant<int64_t, std::string>;
+
+struct DsTField {
+  enum class Kind : uint8_t { kExact = 0, kAny = 1, kPrefix = 2 };
+  Kind kind = Kind::kAny;
+  DsField value;  // kExact: full match; kPrefix: string path prefix
+
+  static DsTField Exact(DsField v) { return DsTField{Kind::kExact, std::move(v)}; }
+  static DsTField Any() { return DsTField{Kind::kAny, int64_t{0}}; }
+  static DsTField Prefix(std::string p) { return DsTField{Kind::kPrefix, std::move(p)}; }
+};
+
+using DsTuple = std::vector<DsField>;
+using DsTemplate = std::vector<DsTField>;
+
+bool FieldMatches(const DsTField& tf, const DsField& f);
+// A template matches a tuple of the same arity whose every field matches.
+bool TupleMatches(const DsTemplate& templ, const DsTuple& tuple);
+
+std::string FieldToString(const DsField& f);
+std::string TupleToString(const DsTuple& t);
+
+// Coordination-object helpers (Table 2 mapping: object = <path, data>).
+DsTuple ObjectTuple(const std::string& path, const std::string& data);
+DsTemplate ObjectTemplate(const std::string& path);          // exact path, ANY data
+DsTemplate ObjectPrefixTemplate(const std::string& prefix);  // path prefix, ANY data
+
+void EncodeField(Encoder& enc, const DsField& f);
+Result<DsField> DecodeField(Decoder& dec);
+void EncodeTuple(Encoder& enc, const DsTuple& t);
+Result<DsTuple> DecodeTuple(Decoder& dec);
+void EncodeTemplate(Encoder& enc, const DsTemplate& t);
+Result<DsTemplate> DecodeTemplate(Decoder& dec);
+
+enum class DsOpType : uint8_t {
+  kOut = 0,      // insert tuple (lease > 0: lease tuple, the monitor primitive)
+  kRdp = 1,      // read, non-blocking (null if no match)
+  kInp = 2,      // remove, non-blocking
+  kRd = 3,       // read, BLOCKS until a match exists
+  kIn = 4,       // remove, BLOCKS until a match exists
+  kCas = 5,      // out(tuple) iff no tuple matches templ (DepSpace cas)
+  kReplace = 6,  // atomically inp(templ) + out(tuple)
+  kRdAll = 7,    // read all matches
+  kRenew = 8,    // extend leases of matching tuples owned by the caller
+};
+
+struct DsOp {
+  DsOpType type = DsOpType::kRdp;
+  DsTuple tuple;
+  DsTemplate templ;
+  Duration lease = 0;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<DsOp> Decode(const std::vector<uint8_t>& buf);
+};
+
+struct DsReply {
+  ErrorCode code = ErrorCode::kOk;
+  std::vector<DsTuple> tuples;  // rdp/inp/rd/in: 0 or 1; rdAll: n
+  std::string value;            // extension result / error message
+
+  std::vector<uint8_t> Encode() const;
+  static Result<DsReply> Decode(const std::vector<uint8_t>& buf);
+};
+
+}  // namespace edc
+
+#endif  // EDC_DS_TYPES_H_

@@ -1,0 +1,183 @@
+#include "edc/ext/registry.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "edc/common/strings.h"
+#include "edc/script/parser.h"
+
+namespace edc {
+
+Status ExtensionRegistry::Load(const std::string& name, uint64_t owner,
+                               const std::string& source, const VerifierConfig& config) {
+  auto program = ParseProgram(source);
+  if (!program.ok()) {
+    return program.status();
+  }
+  if (auto s = VerifyProgram(**program, config); !s.ok()) {
+    return s;
+  }
+  LoadedExtension ext;
+  ext.name = name;
+  ext.owner = owner;
+  ext.program = std::move(*program);
+  ext.reg_order = next_order_++;
+  extensions_[name] = std::move(ext);
+  return Status::Ok();
+}
+
+void ExtensionRegistry::Unload(const std::string& name) { extensions_.erase(name); }
+
+void ExtensionRegistry::Clear() {
+  extensions_.clear();
+  next_order_ = 1;
+}
+
+void ExtensionRegistry::RecordAck(const std::string& name, uint64_t client) {
+  auto it = extensions_.find(name);
+  if (it != extensions_.end()) {
+    it->second.acks.insert(client);
+  }
+}
+
+void ExtensionRegistry::RemoveAck(const std::string& name, uint64_t client) {
+  auto it = extensions_.find(name);
+  if (it != extensions_.end()) {
+    it->second.acks.erase(client);
+  }
+}
+
+LoadedExtension* ExtensionRegistry::Find(const std::string& name) {
+  auto it = extensions_.find(name);
+  return it == extensions_.end() ? nullptr : &it->second;
+}
+
+bool ExtensionRegistry::Authorized(const LoadedExtension& ext, uint64_t client) {
+  return ext.owner == client || ext.acks.count(client) > 0;
+}
+
+bool ExtensionRegistry::SubscriptionMatches(const Subscription& sub, bool is_event,
+                                            const std::string& kind, const std::string& path) {
+  if (sub.is_event != is_event) {
+    return false;
+  }
+  if (sub.kind != kind && !(!is_event && sub.kind == "any")) {
+    return false;
+  }
+  if (sub.prefix) {
+    return PathIsUnder(path, sub.pattern);
+  }
+  return sub.pattern == path;
+}
+
+const LoadedExtension* ExtensionRegistry::MatchOperation(uint64_t client,
+                                                         const std::string& kind,
+                                                         const std::string& path) const {
+  const LoadedExtension* best = nullptr;
+  for (const auto& [name, ext] : extensions_) {
+    if (!Authorized(ext, client)) {
+      continue;
+    }
+    for (const Subscription& sub : ext.program->subscriptions) {
+      if (SubscriptionMatches(sub, /*is_event=*/false, kind, path)) {
+        if (best == nullptr || ext.reg_order > best->reg_order) {
+          best = &ext;
+        }
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<LoadedExtension*> ExtensionRegistry::MatchEvent(const std::string& kind,
+                                                            const std::string& path) {
+  std::vector<LoadedExtension*> matches;
+  for (auto& [name, ext] : extensions_) {
+    for (const Subscription& sub : ext.program->subscriptions) {
+      if (SubscriptionMatches(sub, /*is_event=*/true, kind, path)) {
+        matches.push_back(&ext);
+        break;
+      }
+    }
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const LoadedExtension* a, const LoadedExtension* b) {
+              return a->reg_order < b->reg_order;
+            });
+  return matches;
+}
+
+bool ExtensionRegistry::HasEventExtensionFor(uint64_t client, const std::string& kind,
+                                             const std::string& path) const {
+  for (const auto& [name, ext] : extensions_) {
+    if (!Authorized(ext, client)) {
+      continue;
+    }
+    for (const Subscription& sub : ext.program->subscriptions) {
+      if (SubscriptionMatches(sub, /*is_event=*/true, kind, path)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool ExtensionRegistry::RecordStrike(const std::string& name, int limit) {
+  if (limit <= 0) {
+    return false;
+  }
+  auto it = extensions_.find(name);
+  if (it == extensions_.end()) {
+    return false;
+  }
+  return ++it->second.strikes >= limit;
+}
+
+std::string EncodeRegistration(uint64_t owner, const std::string& source) {
+  Encoder enc;
+  enc.PutU64(owner);
+  enc.PutString(source);
+  const std::vector<uint8_t>& buf = enc.buffer();
+  return std::string(buf.begin(), buf.end());
+}
+
+Result<std::pair<uint64_t, std::string>> DecodeRegistration(const std::string& blob) {
+  Decoder dec(reinterpret_cast<const uint8_t*>(blob.data()), blob.size());
+  auto owner = dec.GetU64();
+  if (!owner.ok()) {
+    return owner.status();
+  }
+  auto source = dec.GetString();
+  if (!source.ok()) {
+    return source.status();
+  }
+  return std::make_pair(*owner, std::move(*source));
+}
+
+const char* OpHandlerFor(const std::string& kind) {
+  for (const char* known : {"read", "create", "update", "delete", "cas", "block"}) {
+    if (kind == known) {
+      return known;
+    }
+  }
+  return nullptr;
+}
+
+const char* EventHandlerFor(const std::string& kind) {
+  if (kind == "created") {
+    return "on_created";
+  }
+  if (kind == "deleted") {
+    return "on_deleted";
+  }
+  if (kind == "changed") {
+    return "on_changed";
+  }
+  if (kind == "unblocked") {
+    return "on_unblocked";
+  }
+  return nullptr;
+}
+
+}  // namespace edc

@@ -1,0 +1,162 @@
+// Closed-loop workload driver and table output for the figure benches.
+//
+// Mirrors the paper's methodology (§6): every client continuously re-issues
+// the operation under test (at most one outstanding request per client);
+// measurements cover a window after warmup; each configuration is run with
+// several seeds and averaged.
+
+#ifndef EDC_HARNESS_DRIVER_H_
+#define EDC_HARNESS_DRIVER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "edc/common/histogram.h"
+#include "edc/harness/fixture.h"
+
+namespace edc {
+
+struct RunStats {
+  int64_t ops = 0;             // completed in the measure window
+  Recorder latency;            // per-op latency, ns
+  int64_t client_bytes = 0;    // bytes sent by clients during the window
+  Duration window = 0;
+
+  double ThroughputOpsPerSec() const {
+    return window > 0 ? static_cast<double>(ops) / ToSeconds(window) : 0.0;
+  }
+  double MeanLatencyMs() const { return latency.Mean() / 1e6; }
+  double KbPerOp() const {
+    return ops > 0 ? static_cast<double>(client_bytes) / 1024.0 /
+                         static_cast<double>(ops)
+                   : 0.0;
+  }
+};
+
+class ClosedLoop {
+ public:
+  // `op` must invoke its completion callback exactly once (success or not).
+  using OpFn = std::function<void(size_t client, std::function<void()> done)>;
+
+  ClosedLoop(CoordFixture* fixture, OpFn op) : fixture_(fixture), op_(std::move(op)) {}
+
+  RunStats Run(Duration warmup, Duration measure) {
+    // All mutable state lives behind a shared_ptr: straggler completions that
+    // fire after Run() returns keep it alive instead of touching dead stack.
+    struct Ctx {
+      CoordFixture* fixture = nullptr;
+      OpFn op;
+      RunStats stats;
+      SimTime measure_start = 0;
+      SimTime measure_end = 0;
+      int64_t bytes_at_start = 0;
+      std::function<void(size_t)> issue;
+    };
+    auto ctx = std::make_shared<Ctx>();
+    ctx->fixture = fixture_;
+    ctx->op = op_;
+    ctx->stats.window = measure;
+    ctx->measure_start = fixture_->loop().now() + warmup;
+    ctx->measure_end = ctx->measure_start + measure;
+
+    // Weak self-reference breaks the ctx->issue->ctx ownership cycle.
+    std::weak_ptr<Ctx> weak = ctx;
+    ctx->issue = [weak](size_t i) {
+      auto self = weak.lock();
+      if (!self) {
+        return;
+      }
+      SimTime issued = self->fixture->loop().now();
+      if (issued >= self->measure_end) {
+        return;
+      }
+      self->op(i, [weak, i, issued]() {
+        auto inner = weak.lock();
+        if (!inner) {
+          return;
+        }
+        SimTime done_at = inner->fixture->loop().now();
+        if (issued >= inner->measure_start && done_at <= inner->measure_end) {
+          inner->stats.latency.Record(done_at - issued);
+          ++inner->stats.ops;
+        }
+        inner->issue(i);
+      });
+    };
+
+    // Snapshot byte counters exactly at the measure boundary.
+    fixture_->loop().ScheduleAt(ctx->measure_start, [ctx]() {
+      ctx->bytes_at_start = ctx->fixture->ClientBytesSent();
+    });
+
+    for (size_t i = 0; i < fixture_->num_clients(); ++i) {
+      ctx->issue(i);
+    }
+    fixture_->loop().RunUntil(ctx->measure_end);
+    ctx->stats.client_bytes = fixture_->ClientBytesSent() - ctx->bytes_at_start;
+    RunStats out = ctx->stats;
+    // Let stragglers drain so the fixture can be reused.
+    fixture_->loop().RunUntil(ctx->measure_end + Seconds(2));
+    return out;
+  }
+
+ private:
+  CoordFixture* fixture_;
+  OpFn op_;
+};
+
+// Fixed-width table printer for paper-style output.
+class BenchTable {
+ public:
+  explicit BenchTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    PrintRow(headers_, widths);
+    std::string sep;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      sep += std::string(widths[c] + 2, '-');
+    }
+    std::printf("%s\n", sep.c_str());
+    for (const auto& row : rows_) {
+      PrintRow(row, widths);
+    }
+  }
+
+ private:
+  static void PrintRow(const std::vector<std::string>& cells,
+                       const std::vector<size_t>& widths) {
+    std::string line;
+    for (size_t c = 0; c < cells.size() && c < widths.size(); ++c) {
+      line += cells[c];
+      line += std::string(widths[c] - cells[c].size() + 2, ' ');
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace edc
+
+#endif  // EDC_HARNESS_DRIVER_H_

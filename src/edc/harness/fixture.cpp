@@ -1,0 +1,109 @@
+#include "edc/harness/fixture.h"
+
+#include <cassert>
+
+namespace edc {
+
+const char* SystemName(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kZooKeeper:
+      return "ZooKeeper";
+    case SystemKind::kExtensibleZooKeeper:
+      return "EZK";
+    case SystemKind::kDepSpace:
+      return "DepSpace";
+    case SystemKind::kExtensibleDepSpace:
+      return "EDS";
+  }
+  return "?";
+}
+
+bool IsExtensible(SystemKind kind) {
+  return kind == SystemKind::kExtensibleZooKeeper || kind == SystemKind::kExtensibleDepSpace;
+}
+
+bool IsZkFamily(SystemKind kind) {
+  return kind == SystemKind::kZooKeeper || kind == SystemKind::kExtensibleZooKeeper;
+}
+
+CoordFixture::CoordFixture(FixtureOptions options) : options_(options) {
+  net_ = std::make_unique<Network>(&loop_, Rng(options_.seed), options_.link);
+}
+
+CoordFixture::~CoordFixture() = default;
+
+void CoordFixture::Start() {
+  if (IsZkFamily(options_.system)) {
+    std::vector<NodeId> members{1, 2, 3};
+    for (NodeId id : members) {
+      auto server = std::make_unique<ZkServer>(&loop_, net_.get(), id, members,
+                                               options_.costs, ZkServerOptions{});
+      net_->Register(id, server.get());
+      zk_servers.push_back(std::move(server));
+    }
+    if (IsExtensible(options_.system)) {
+      for (auto& server : zk_servers) {
+        zk_managers_.push_back(
+            std::make_unique<ZkExtensionManager>(server.get(), options_.limits));
+      }
+    }
+    for (auto& server : zk_servers) {
+      server->Start();
+    }
+    loop_.RunUntil(loop_.now() + Seconds(2));  // leader election
+
+    size_t connected = 0;
+    for (size_t i = 0; i < options_.num_clients; ++i) {
+      NodeId node = client_node(i);
+      NodeId server = members[i % members.size()];
+      auto client =
+          std::make_unique<ZkClient>(&loop_, net_.get(), node, server, ZkClientOptions{});
+      client->Connect([&connected](Status s) {
+        if (s.ok()) {
+          ++connected;
+        }
+      });
+      coords_.push_back(std::make_unique<ZkCoordClient>(client.get(),
+                                                        IsExtensible(options_.system)));
+      zk_clients_.push_back(std::move(client));
+    }
+    loop_.RunUntil(loop_.now() + Seconds(2));
+    assert(connected == options_.num_clients && "zk clients failed to connect");
+    (void)connected;
+    return;
+  }
+
+  std::vector<NodeId> members{1, 2, 3, 4};
+  for (NodeId id : members) {
+    auto server = std::make_unique<DsServer>(&loop_, net_.get(), id, members,
+                                             options_.costs, DsServerOptions{});
+    net_->Register(id, server.get());
+    ds_servers.push_back(std::move(server));
+  }
+  if (IsExtensible(options_.system)) {
+    for (auto& server : ds_servers) {
+      ds_managers_.push_back(
+          std::make_unique<DsExtensionManager>(server.get(), options_.limits));
+    }
+  }
+  for (auto& server : ds_servers) {
+    server->Start();
+  }
+  for (size_t i = 0; i < options_.num_clients; ++i) {
+    auto client = std::make_unique<DsClient>(&loop_, net_.get(), client_node(i), members,
+                                             DsClientOptions{});
+    coords_.push_back(std::make_unique<DsCoordClient>(&loop_, client.get()));
+    ds_clients_.push_back(std::move(client));
+  }
+  loop_.RunUntil(loop_.now() + Millis(500));
+}
+
+int64_t CoordFixture::ClientBytesSent() const {
+  int64_t total = 0;
+  for (size_t i = 0; i < coords_.size(); ++i) {
+    total += net_->StatsFor(client_node(i)).bytes_sent;
+  }
+  return total;
+}
+
+}  // namespace edc

@@ -1,0 +1,84 @@
+// Benchmark fixture: boots one of the four evaluated systems (ZooKeeper,
+// EXTENSIBLE ZOOKEEPER, DepSpace, EXTENSIBLE DEPSPACE) inside the simulator
+// with the paper's fault threshold (f=1: three ZK replicas / four DepSpace
+// replicas) and connects N coordination clients.
+
+#ifndef EDC_HARNESS_FIXTURE_H_
+#define EDC_HARNESS_FIXTURE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "edc/common/rng.h"
+#include "edc/ds/client.h"
+#include "edc/ds/server.h"
+#include "edc/ext/ds_binding.h"
+#include "edc/ext/zk_binding.h"
+#include "edc/recipes/coord.h"
+#include "edc/sim/costs.h"
+#include "edc/sim/event_loop.h"
+#include "edc/sim/network.h"
+#include "edc/zk/client.h"
+#include "edc/zk/server.h"
+
+namespace edc {
+
+enum class SystemKind {
+  kZooKeeper,
+  kExtensibleZooKeeper,
+  kDepSpace,
+  kExtensibleDepSpace,
+};
+
+const char* SystemName(SystemKind kind);
+bool IsExtensible(SystemKind kind);
+bool IsZkFamily(SystemKind kind);
+
+struct FixtureOptions {
+  SystemKind system = SystemKind::kZooKeeper;
+  size_t num_clients = 1;
+  uint64_t seed = 1;
+  LinkParams link;  // LAN defaults; override for the WAN experiment
+  CostModel costs;
+  ExtensionLimits limits;
+};
+
+class CoordFixture {
+ public:
+  explicit CoordFixture(FixtureOptions options);
+  ~CoordFixture();
+
+  // Boots servers and connects every client; runs the sim until ready.
+  void Start();
+
+  size_t num_clients() const { return coords_.size(); }
+  CoordClient* coord(size_t i) { return coords_[i].get(); }
+  NodeId client_node(size_t i) const { return 100 + static_cast<NodeId>(i); }
+
+  EventLoop& loop() { return loop_; }
+  Network& net() { return *net_; }
+  void Settle(Duration d) { loop_.RunUntil(loop_.now() + d); }
+
+  // Total bytes clients have sent so far (request side of "data sent by
+  // client", Fig. 8/10).
+  int64_t ClientBytesSent() const;
+
+  // Direct server access for special benches (fault injection, CPU stats).
+  std::vector<std::unique_ptr<ZkServer>> zk_servers;
+  std::vector<std::unique_ptr<DsServer>> ds_servers;
+
+ private:
+  FixtureOptions options_;
+  EventLoop loop_;
+  std::unique_ptr<Network> net_;
+  std::vector<std::unique_ptr<ZkExtensionManager>> zk_managers_;
+  std::vector<std::unique_ptr<DsExtensionManager>> ds_managers_;
+  std::vector<std::unique_ptr<ZkClient>> zk_clients_;
+  std::vector<std::unique_ptr<DsClient>> ds_clients_;
+  std::vector<std::unique_ptr<CoordClient>> coords_;
+};
+
+}  // namespace edc
+
+#endif  // EDC_HARNESS_FIXTURE_H_

@@ -1,0 +1,78 @@
+#include "edc/logstore/logstore.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace edc {
+
+void LogStore::Append(std::vector<uint8_t> record, DurableCallback on_durable) {
+  pending_.push_back(Pending{std::move(record), std::move(on_durable)});
+  if (!flush_scheduled_) {
+    flush_scheduled_ = true;
+    uint64_t epoch = flush_epoch_;
+    loop_->Schedule(config_.group_commit_window, [this, epoch]() {
+      if (epoch != flush_epoch_) {
+        return;  // a crash intervened
+      }
+      Flush();
+    });
+  }
+}
+
+void LogStore::Flush() {
+  flush_scheduled_ = false;
+  if (pending_.empty()) {
+    return;
+  }
+  size_t batch_bytes = 0;
+  for (const Pending& p : pending_) {
+    batch_bytes += p.record.size();
+  }
+  Duration write_time = static_cast<Duration>(static_cast<double>(batch_bytes) * 8.0 /
+                                              config_.disk_bandwidth_bps * 1e9);
+  SimTime start = std::max(loop_->now(), disk_free_at_);
+  SimTime durable_at = start + config_.fsync_latency + write_time;
+  disk_free_at_ = durable_at;
+  ++syncs_;
+  appended_bytes_ += static_cast<int64_t>(batch_bytes);
+
+  auto batch = std::make_shared<std::vector<Pending>>(std::move(pending_));
+  pending_.clear();
+  uint64_t epoch = flush_epoch_;
+  loop_->ScheduleAt(durable_at, [this, batch, epoch]() {
+    if (epoch != flush_epoch_) {
+      return;
+    }
+    for (Pending& p : *batch) {
+      records_.push_back(std::move(p.record));
+    }
+    for (Pending& p : *batch) {
+      if (p.cb) {
+        p.cb();
+      }
+    }
+  });
+}
+
+void LogStore::Truncate(size_t first_removed) {
+  if (first_removed < records_.size()) {
+    records_.resize(first_removed);
+  }
+}
+
+void LogStore::DropHead(size_t count) {
+  if (count >= records_.size()) {
+    records_.clear();
+  } else {
+    records_.erase(records_.begin(), records_.begin() + static_cast<ptrdiff_t>(count));
+  }
+}
+
+void LogStore::DropUnsynced() {
+  pending_.clear();
+  flush_scheduled_ = false;
+  ++flush_epoch_;
+}
+
+}  // namespace edc

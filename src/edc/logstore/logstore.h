@@ -1,0 +1,79 @@
+// Simulated durable write-ahead log with group commit.
+//
+// Real coordination services bound write throughput with the fsync path;
+// ZooKeeper batches concurrent appends into one sync. We reproduce that
+// shape: appends arriving within `group_commit_window` share a single
+// simulated fsync whose latency is `fsync_latency` plus a size-proportional
+// disk-bandwidth term. The log's contents survive simulated crashes (the
+// in-memory image models the on-disk file), which is what lets a recovering
+// replica replay its history during state transfer.
+
+#ifndef EDC_LOGSTORE_LOGSTORE_H_
+#define EDC_LOGSTORE_LOGSTORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "edc/sim/event_loop.h"
+#include "edc/sim/time.h"
+
+namespace edc {
+
+struct LogStoreConfig {
+  Duration fsync_latency = Micros(60);
+  Duration group_commit_window = Micros(20);
+  double disk_bandwidth_bps = 2e9;  // bits/s sequential write
+};
+
+class LogStore {
+ public:
+  using DurableCallback = std::function<void()>;
+
+  LogStore(EventLoop* loop, LogStoreConfig config) : loop_(loop), config_(config) {}
+
+  LogStore(const LogStore&) = delete;
+  LogStore& operator=(const LogStore&) = delete;
+
+  // Appends a record; `on_durable` fires once the shared fsync completes.
+  void Append(std::vector<uint8_t> record, DurableCallback on_durable);
+
+  // Durable records, in append order. Records that have been appended but not
+  // yet synced are NOT visible here (a crash would lose them).
+  const std::vector<std::vector<uint8_t>>& records() const { return records_; }
+
+  // Drops durable records with index >= first_removed (log truncation after
+  // snapshot or divergence repair).
+  void Truncate(size_t first_removed);
+
+  // Drops the first `count` durable records (checkpoint + log rotation).
+  void DropHead(size_t count);
+
+  // Drops in-flight (unsynced) appends, modeling a crash before fsync.
+  void DropUnsynced();
+
+  int64_t syncs() const { return syncs_; }
+  int64_t appended_bytes() const { return appended_bytes_; }
+
+ private:
+  struct Pending {
+    std::vector<uint8_t> record;
+    DurableCallback cb;
+  };
+
+  void Flush();
+
+  EventLoop* loop_;
+  LogStoreConfig config_;
+  std::vector<std::vector<uint8_t>> records_;
+  std::vector<Pending> pending_;
+  bool flush_scheduled_ = false;
+  SimTime disk_free_at_ = 0;
+  int64_t syncs_ = 0;
+  int64_t appended_bytes_ = 0;
+  uint64_t flush_epoch_ = 0;  // invalidates scheduled flushes after DropUnsynced
+};
+
+}  // namespace edc
+
+#endif  // EDC_LOGSTORE_LOGSTORE_H_

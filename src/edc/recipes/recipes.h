@@ -1,0 +1,112 @@
+// The four coordination recipes of the paper's evaluation (§6.1), each in a
+// traditional (client-side, multi-RPC) and an extension-based (single-RPC)
+// variant, written against the abstract CoordClient so the same code runs on
+// both the ZooKeeper-like and the DepSpace-like service.
+
+#ifndef EDC_RECIPES_RECIPES_H_
+#define EDC_RECIPES_RECIPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "edc/recipes/coord.h"
+
+namespace edc {
+
+// Fig. 5: shared counter.
+class SharedCounter {
+ public:
+  using IntCb = std::function<void(Result<int64_t>)>;
+
+  SharedCounter(CoordClient* client, bool use_extension)
+      : client_(client), use_extension_(use_extension) {}
+
+  // Owner: creates /ctr (and registers the extension).
+  void Setup(CoordClient::Cb done);
+  // Non-owners in extension mode: acknowledge the owner's extension.
+  void Attach(CoordClient::Cb done);
+  void Increment(IntCb done);
+
+  int64_t retries() const { return retries_; }
+
+ private:
+  void TryIncrement(std::shared_ptr<IntCb> done);
+
+  CoordClient* client_;
+  bool use_extension_;
+  int64_t retries_ = 0;
+};
+
+// Fig. 7: distributed queue.
+class DistributedQueue {
+ public:
+  using ValueCb = CoordClient::ValueCb;
+
+  DistributedQueue(CoordClient* client, bool use_extension)
+      : client_(client), use_extension_(use_extension) {}
+
+  void Setup(CoordClient::Cb done);
+  void Attach(CoordClient::Cb done);
+  void Add(const std::string& element_id, const std::string& data, CoordClient::Cb done);
+  void Remove(ValueCb done);
+
+  int64_t retries() const { return retries_; }
+
+ private:
+  void TryRemove(std::shared_ptr<ValueCb> done, int attempts);
+
+  CoordClient* client_;
+  bool use_extension_;
+  int64_t retries_ = 0;
+};
+
+// Fig. 9: distributed barrier for `size` participants.
+class DistributedBarrier {
+ public:
+  DistributedBarrier(CoordClient* client, bool use_extension, int size)
+      : client_(client), use_extension_(use_extension), size_(size) {}
+
+  void Setup(CoordClient::Cb done);
+  void Attach(CoordClient::Cb done);
+  // Completes once all `size` participants entered.
+  void Enter(CoordClient::Cb done);
+  // Clears barrier state for the next round (driven by the harness).
+  void Reset(CoordClient::Cb done);
+
+ private:
+  CoordClient* client_;
+  bool use_extension_;
+  int size_;
+};
+
+// Fig. 11: leader election.
+class LeaderElection {
+ public:
+  LeaderElection(CoordClient* client, bool use_extension)
+      : client_(client), use_extension_(use_extension) {}
+
+  void Setup(CoordClient::Cb done);
+  void Attach(CoordClient::Cb done);
+  // Completes when this client becomes leader.
+  void BecomeLeader(CoordClient::Cb done);
+  // Steps down (deletes the id object); triggers the next election round.
+  void Abdicate(CoordClient::Cb done);
+
+ private:
+  void CheckLeader(std::shared_ptr<CoordClient::Cb> done);
+
+  CoordClient* client_;
+  bool use_extension_;
+  // Traditional variant: unique id object per candidacy round. Reusing the
+  // same name across rounds would let deletion observers miss the
+  // delete/recreate pair entirely (ABA) — the reason real recipes use
+  // sequential nodes.
+  int round_ = 0;
+  std::string my_path_;
+};
+
+}  // namespace edc
+
+#endif  // EDC_RECIPES_RECIPES_H_

@@ -1,0 +1,139 @@
+// CoordScript sources of the extension-based recipes (paper Figs. 5/7/9/11).
+//
+// The same sources register unchanged against EZK and EDS: they only use
+// deterministic white-listed functions. Path prefix lengths are hardcoded in
+// substr() calls ("/enter/" = 7, "/leader/" = 8, "/clients/" = 9).
+
+#ifndef EDC_RECIPES_SCRIPTS_H_
+#define EDC_RECIPES_SCRIPTS_H_
+
+namespace edc {
+
+// Fig. 5: shared counter. One RPC to /ctr-increment reads, bumps and returns
+// the counter atomically.
+inline constexpr char kCounterExtension[] = R"(
+extension ctr_increment {
+  on op read "/ctr-increment";
+  fn read(oid) {
+    let obj = read_object("/ctr");
+    if (obj == null) { return error("no counter object"); }
+    let c = parse_int(get(obj, "data"));
+    update("/ctr", str(c + 1));
+    return c + 1;
+  }
+}
+)";
+
+// Fig. 7: distributed queue. One RPC to /queue/head removes and returns the
+// oldest element atomically.
+inline constexpr char kQueueExtension[] = R"(
+extension queue_remove {
+  on op read "/queue/head";
+  fn read(oid) {
+    let objs = sub_objects("/queue");
+    if (len(objs) == 0) { return error("empty"); }
+    let head = min_by(objs, "ctime");
+    delete_object(get(head, "path"));
+    return get(head, "data");
+  }
+}
+)";
+
+// Fig. 9: distributed barrier. A single blocking RPC registers the caller
+// and releases everyone when the group (size in /barrier-size) is complete.
+inline constexpr char kBarrierExtension[] = R"(
+extension barrier_enter {
+  on op block "/enter/*";
+  fn block(oid) {
+    let cid = substr(oid, 7, len(oid) - 7);
+    if (!exists("/barrier/" + cid)) {
+      create("/barrier/" + cid, "");
+    }
+    let objs = sub_objects("/barrier");
+    let size_obj = read_object("/barrier-size");
+    if (size_obj == null) { return error("no barrier size"); }
+    let n = parse_int(get(size_obj, "data"));
+    if (len(objs) < n) {
+      block("/barrier-ready");
+    } else {
+      if (!exists("/barrier-ready")) {
+        create("/barrier-ready", "");
+      }
+    }
+    return null;
+  }
+}
+)";
+
+// Fig. 11: leader election. becomeLeader blocks on /leader/<cid>; the
+// extension monitors the caller and appoints successors when a leader's id
+// object disappears (combined operation + event extension).
+inline constexpr char kElectionExtension[] = R"(
+extension leader_elect {
+  on op block "/leader/*";
+  on event deleted "/clients/*";
+  fn block(oid) {
+    let cid = substr(oid, 8, len(oid) - 8);
+    if (!exists("/clients/" + cid)) {
+      monitor(cid, "/clients/" + cid);
+    }
+    let objs = sub_objects("/clients");
+    let ldr = min_by(objs, "ctime");
+    let lpath = get(ldr, "path");
+    let lid = substr(lpath, 9, len(lpath) - 9);
+    if (lid == cid && !exists("/leader/" + cid)) {
+      create("/leader/" + cid, "");
+    }
+    block(oid);
+    return null;
+  }
+  fn on_deleted(oid) {
+    let cid = substr(oid, 9, len(oid) - 9);
+    if (exists("/leader/" + cid)) {
+      delete_object("/leader/" + cid);
+    }
+    let objs = sub_objects("/clients");
+    if (len(objs) > 0) {
+      let ldr = min_by(objs, "ctime");
+      let lpath = get(ldr, "path");
+      let lid = substr(lpath, 9, len(lpath) - 9);
+      if (!exists("/leader/" + lid)) {
+        create("/leader/" + lid, "");
+      }
+    }
+    return null;
+  }
+}
+)";
+
+// §7.2: SCFS-style atomic rename. Updating /scfs-rename with "old|new"
+// atomically rewrites a directory object and every child's parent pointer —
+// impossible to express as client-side operations without extensions.
+inline constexpr char kRenameExtension[] = R"(
+extension scfs_rename {
+  on op update "/scfs-rename";
+  fn update(oid, spec) {
+    let sep = index_of(spec, "|");
+    if (sep < 1) { return error("rename spec must be old|new"); }
+    let old_path = substr(spec, 0, sep);
+    let new_path = substr(spec, sep + 1, len(spec) - sep - 1);
+    let obj = read_object(old_path);
+    if (obj == null) { return error("no such object"); }
+    if (exists(new_path)) { return error("target exists"); }
+    create(new_path, get(obj, "data"));
+    foreach (child in sub_objects(old_path)) {
+      let child_path = get(child, "path");
+      let name = substr(child_path, len(old_path) + 1,
+                        len(child_path) - len(old_path) - 1);
+      create(new_path + "/" + name, get(child, "data"));
+      delete_object(child_path);
+    }
+    delete_object(old_path);
+    return new_path;
+  }
+}
+)";
+
+}  // namespace edc
+
+#endif  // EDC_RECIPES_SCRIPTS_H_

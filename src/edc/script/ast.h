@@ -1,0 +1,93 @@
+// Abstract syntax tree for CoordScript.
+//
+// The language is deliberately loop-restricted: the only iteration construct
+// is foreach over an already-materialized list, and there are no user-defined
+// function calls (handlers cannot call each other), so every program's
+// execution is bounded by (input size x program size). This encodes §4.1.1 of
+// the paper at the grammar level; the verifier re-checks it as defense in
+// depth.
+
+#ifndef EDC_SCRIPT_AST_H_
+#define EDC_SCRIPT_AST_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "edc/script/value.h"
+
+namespace edc {
+
+// ---- Expressions ----
+
+enum class BinaryOp { kAdd, kSub, kMul, kDiv, kMod, kEq, kNe, kLt, kLe, kGt, kGe, kAnd, kOr };
+enum class UnaryOp { kNeg, kNot };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind { kLiteral, kVar, kUnary, kBinary, kCall, kIndex, kListLit };
+
+  Kind kind;
+  int line = 0;
+
+  // kLiteral
+  Value literal;
+  // kVar / kCall
+  std::string name;
+  // kUnary / kBinary
+  UnaryOp unary_op = UnaryOp::kNeg;
+  BinaryOp binary_op = BinaryOp::kAdd;
+  ExprPtr lhs;  // also unary operand / index base
+  ExprPtr rhs;  // also index expression
+  // kCall args / kListLit items
+  std::vector<ExprPtr> args;
+};
+
+// ---- Statements ----
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+using Block = std::vector<StmtPtr>;
+
+struct Stmt {
+  enum class Kind { kLet, kAssign, kIf, kForEach, kReturn, kExpr };
+
+  Kind kind;
+  int line = 0;
+
+  std::string name;  // let/assign target, foreach loop variable
+  ExprPtr expr;      // initializer / condition / foreach list / return value
+  Block body;        // if-then / foreach body
+  Block else_body;   // if-else
+};
+
+// ---- Program ----
+
+struct Subscription {
+  bool is_event = false;
+  std::string kind;     // op: read|create|delete|update|cas|block|any
+                        // event: created|deleted|changed|unblocked
+  std::string pattern;  // object path; trailing '*' stripped into `prefix`
+  bool prefix = false;
+};
+
+struct Handler {
+  std::string name;
+  std::vector<std::string> params;
+  Block body;
+  int line = 0;
+};
+
+struct Program {
+  std::string name;
+  std::vector<Subscription> subscriptions;
+  std::map<std::string, Handler> handlers;
+  size_t source_bytes = 0;
+};
+
+}  // namespace edc
+
+#endif  // EDC_SCRIPT_AST_H_

@@ -1,0 +1,416 @@
+#include "edc/script/builtins.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "edc/common/strings.h"
+
+namespace edc {
+
+Status ScriptError(const std::string& message) {
+  return Status(ErrorCode::kExtensionError, message);
+}
+
+namespace {
+
+Status Arity(const std::string& name, const std::vector<Value>& args, size_t n) {
+  if (args.size() != n) {
+    return ScriptError(name + " expects " + std::to_string(n) + " argument(s), got " +
+                       std::to_string(args.size()));
+  }
+  return Status::Ok();
+}
+
+Status WantStr(const std::string& name, const Value& v) {
+  if (!v.is_str()) {
+    return ScriptError(name + ": expected str, got " + Value::TypeName(v.type()));
+  }
+  return Status::Ok();
+}
+
+Status WantInt(const std::string& name, const Value& v) {
+  if (!v.is_int()) {
+    return ScriptError(name + ": expected int, got " + Value::TypeName(v.type()));
+  }
+  return Status::Ok();
+}
+
+Status WantList(const std::string& name, const Value& v) {
+  if (!v.is_list()) {
+    return ScriptError(name + ": expected list, got " + Value::TypeName(v.type()));
+  }
+  return Status::Ok();
+}
+
+Status WantMap(const std::string& name, const Value& v) {
+  if (!v.is_map()) {
+    return ScriptError(name + ": expected map, got " + Value::TypeName(v.type()));
+  }
+  return Status::Ok();
+}
+
+// Looks up a sort/selection key inside a map element.
+Result<Value> FieldOf(const std::string& name, const Value& elem, const std::string& field) {
+  if (auto s = WantMap(name, elem); !s.ok()) {
+    return s;
+  }
+  auto it = elem.AsMap().find(field);
+  if (it == elem.AsMap().end()) {
+    return ScriptError(name + ": element has no field '" + field + "'");
+  }
+  return it->second;
+}
+
+// Three-way comparison for ordering keys (int or str).
+Result<int> CompareKeys(const std::string& name, const Value& a, const Value& b) {
+  if (a.is_int() && b.is_int()) {
+    if (a.AsInt() < b.AsInt()) {
+      return -1;
+    }
+    return a.AsInt() > b.AsInt() ? 1 : 0;
+  }
+  if (a.is_str() && b.is_str()) {
+    int c = a.AsStr().compare(b.AsStr());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  return ScriptError(name + ": keys must be uniformly int or str");
+}
+
+std::map<std::string, BuiltinInfo> BuildRegistry() {
+  std::map<std::string, BuiltinInfo> reg;
+  auto add = [&](const std::string& name, BuiltinFn fn) {
+    reg.emplace(name, BuiltinInfo{std::move(fn), /*deterministic=*/true});
+  };
+
+  add("len", [](std::vector<Value>& args) -> Result<Value> {
+    if (auto s = Arity("len", args, 1); !s.ok()) {
+      return s;
+    }
+    const Value& v = args[0];
+    if (v.is_str()) {
+      return Value(static_cast<int64_t>(v.AsStr().size()));
+    }
+    if (v.is_list()) {
+      return Value(static_cast<int64_t>(v.AsList().size()));
+    }
+    if (v.is_map()) {
+      return Value(static_cast<int64_t>(v.AsMap().size()));
+    }
+    return ScriptError("len: expected str/list/map");
+  });
+
+  add("str", [](std::vector<Value>& args) -> Result<Value> {
+    if (auto s = Arity("str", args, 1); !s.ok()) {
+      return s;
+    }
+    return Value(args[0].ToString());
+  });
+
+  add("parse_int", [](std::vector<Value>& args) -> Result<Value> {
+    if (auto s = Arity("parse_int", args, 1); !s.ok()) {
+      return s;
+    }
+    if (auto s = WantStr("parse_int", args[0]); !s.ok()) {
+      return s;
+    }
+    auto v = ParseInt64(args[0].AsStr());
+    if (!v.ok()) {
+      return ScriptError("parse_int: '" + args[0].AsStr() + "' is not an integer");
+    }
+    return Value(*v);
+  });
+
+  add("abs", [](std::vector<Value>& args) -> Result<Value> {
+    if (auto s = Arity("abs", args, 1); !s.ok()) {
+      return s;
+    }
+    if (auto s = WantInt("abs", args[0]); !s.ok()) {
+      return s;
+    }
+    int64_t v = args[0].AsInt();
+    return Value(v < 0 ? -v : v);
+  });
+
+  add("min", [](std::vector<Value>& args) -> Result<Value> {
+    if (auto s = Arity("min", args, 2); !s.ok()) {
+      return s;
+    }
+    auto c = CompareKeys("min", args[0], args[1]);
+    if (!c.ok()) {
+      return c.status();
+    }
+    return *c <= 0 ? args[0] : args[1];
+  });
+
+  add("max", [](std::vector<Value>& args) -> Result<Value> {
+    if (auto s = Arity("max", args, 2); !s.ok()) {
+      return s;
+    }
+    auto c = CompareKeys("max", args[0], args[1]);
+    if (!c.ok()) {
+      return c.status();
+    }
+    return *c >= 0 ? args[0] : args[1];
+  });
+
+  add("concat", [](std::vector<Value>& args) -> Result<Value> {
+    std::string out;
+    for (const Value& v : args) {
+      out += v.ToString();
+    }
+    return Value(std::move(out));
+  });
+
+  add("substr", [](std::vector<Value>& args) -> Result<Value> {
+    if (auto s = Arity("substr", args, 3); !s.ok()) {
+      return s;
+    }
+    if (auto s = WantStr("substr", args[0]); !s.ok()) {
+      return s;
+    }
+    if (auto s = WantInt("substr", args[1]); !s.ok()) {
+      return s;
+    }
+    if (auto s = WantInt("substr", args[2]); !s.ok()) {
+      return s;
+    }
+    const std::string& str = args[0].AsStr();
+    int64_t start = args[1].AsInt();
+    int64_t count = args[2].AsInt();
+    if (start < 0 || count < 0 || static_cast<size_t>(start) > str.size()) {
+      return ScriptError("substr: range out of bounds");
+    }
+    return Value(str.substr(static_cast<size_t>(start), static_cast<size_t>(count)));
+  });
+
+  add("starts_with", [](std::vector<Value>& args) -> Result<Value> {
+    if (auto s = Arity("starts_with", args, 2); !s.ok()) {
+      return s;
+    }
+    if (auto s = WantStr("starts_with", args[0]); !s.ok()) {
+      return s;
+    }
+    if (auto s = WantStr("starts_with", args[1]); !s.ok()) {
+      return s;
+    }
+    return Value(args[0].AsStr().starts_with(args[1].AsStr()));
+  });
+
+  add("ends_with", [](std::vector<Value>& args) -> Result<Value> {
+    if (auto s = Arity("ends_with", args, 2); !s.ok()) {
+      return s;
+    }
+    if (auto s = WantStr("ends_with", args[0]); !s.ok()) {
+      return s;
+    }
+    if (auto s = WantStr("ends_with", args[1]); !s.ok()) {
+      return s;
+    }
+    return Value(args[0].AsStr().ends_with(args[1].AsStr()));
+  });
+
+  add("contains", [](std::vector<Value>& args) -> Result<Value> {
+    if (auto s = Arity("contains", args, 2); !s.ok()) {
+      return s;
+    }
+    if (auto s = WantStr("contains", args[0]); !s.ok()) {
+      return s;
+    }
+    if (auto s = WantStr("contains", args[1]); !s.ok()) {
+      return s;
+    }
+    return Value(args[0].AsStr().find(args[1].AsStr()) != std::string::npos);
+  });
+
+  add("index_of", [](std::vector<Value>& args) -> Result<Value> {
+    if (auto s = Arity("index_of", args, 2); !s.ok()) {
+      return s;
+    }
+    if (auto s = WantStr("index_of", args[0]); !s.ok()) {
+      return s;
+    }
+    if (auto s = WantStr("index_of", args[1]); !s.ok()) {
+      return s;
+    }
+    size_t pos = args[0].AsStr().find(args[1].AsStr());
+    return Value(pos == std::string::npos ? static_cast<int64_t>(-1)
+                                          : static_cast<int64_t>(pos));
+  });
+
+  add("split", [](std::vector<Value>& args) -> Result<Value> {
+    if (auto s = Arity("split", args, 2); !s.ok()) {
+      return s;
+    }
+    if (auto s = WantStr("split", args[0]); !s.ok()) {
+      return s;
+    }
+    if (auto s = WantStr("split", args[1]); !s.ok()) {
+      return s;
+    }
+    if (args[1].AsStr().size() != 1) {
+      return ScriptError("split: separator must be a single character");
+    }
+    ValueList parts;
+    for (std::string& p : StrSplit(args[0].AsStr(), args[1].AsStr()[0])) {
+      parts.emplace_back(std::move(p));
+    }
+    return Value::List(std::move(parts));
+  });
+
+  add("append", [](std::vector<Value>& args) -> Result<Value> {
+    if (auto s = Arity("append", args, 2); !s.ok()) {
+      return s;
+    }
+    if (auto s = WantList("append", args[0]); !s.ok()) {
+      return s;
+    }
+    ValueList out = args[0].AsList();
+    out.push_back(args[1]);
+    return Value::List(std::move(out));
+  });
+
+  add("get", [](std::vector<Value>& args) -> Result<Value> {
+    if (auto s = Arity("get", args, 2); !s.ok()) {
+      return s;
+    }
+    if (args[0].is_map()) {
+      if (auto s = WantStr("get", args[1]); !s.ok()) {
+        return s;
+      }
+      auto it = args[0].AsMap().find(args[1].AsStr());
+      return it == args[0].AsMap().end() ? Value() : it->second;
+    }
+    if (args[0].is_list()) {
+      if (auto s = WantInt("get", args[1]); !s.ok()) {
+        return s;
+      }
+      int64_t i = args[1].AsInt();
+      const ValueList& list = args[0].AsList();
+      if (i < 0 || static_cast<size_t>(i) >= list.size()) {
+        return ScriptError("get: index out of range");
+      }
+      return list[static_cast<size_t>(i)];
+    }
+    return ScriptError("get: expected map or list");
+  });
+
+  add("has", [](std::vector<Value>& args) -> Result<Value> {
+    if (auto s = Arity("has", args, 2); !s.ok()) {
+      return s;
+    }
+    if (auto s = WantMap("has", args[0]); !s.ok()) {
+      return s;
+    }
+    if (auto s = WantStr("has", args[1]); !s.ok()) {
+      return s;
+    }
+    return Value(args[0].AsMap().count(args[1].AsStr()) > 0);
+  });
+
+  add("keys", [](std::vector<Value>& args) -> Result<Value> {
+    if (auto s = Arity("keys", args, 1); !s.ok()) {
+      return s;
+    }
+    if (auto s = WantMap("keys", args[0]); !s.ok()) {
+      return s;
+    }
+    ValueList out;
+    for (const auto& [k, v] : args[0].AsMap()) {
+      out.emplace_back(k);
+    }
+    return Value::List(std::move(out));
+  });
+
+  auto extreme_by = [](const std::string& name, bool want_min) {
+    return [name, want_min](std::vector<Value>& args) -> Result<Value> {
+      if (auto s = Arity(name, args, 2); !s.ok()) {
+        return s;
+      }
+      if (auto s = WantList(name, args[0]); !s.ok()) {
+        return s;
+      }
+      if (auto s = WantStr(name, args[1]); !s.ok()) {
+        return s;
+      }
+      const ValueList& list = args[0].AsList();
+      if (list.empty()) {
+        return Value();
+      }
+      const std::string& field = args[1].AsStr();
+      size_t best = 0;
+      auto best_key = FieldOf(name, list[0], field);
+      if (!best_key.ok()) {
+        return best_key.status();
+      }
+      for (size_t i = 1; i < list.size(); ++i) {
+        auto key = FieldOf(name, list[i], field);
+        if (!key.ok()) {
+          return key.status();
+        }
+        auto c = CompareKeys(name, *key, *best_key);
+        if (!c.ok()) {
+          return c.status();
+        }
+        if ((want_min && *c < 0) || (!want_min && *c > 0)) {
+          best = i;
+          best_key = *key;
+        }
+      }
+      return list[best];
+    };
+  };
+  add("min_by", extreme_by("min_by", true));
+  add("max_by", extreme_by("max_by", false));
+
+  add("sort_by", [](std::vector<Value>& args) -> Result<Value> {
+    if (auto s = Arity("sort_by", args, 2); !s.ok()) {
+      return s;
+    }
+    if (auto s = WantList("sort_by", args[0]); !s.ok()) {
+      return s;
+    }
+    if (auto s = WantStr("sort_by", args[1]); !s.ok()) {
+      return s;
+    }
+    ValueList out = args[0].AsList();
+    const std::string& field = args[1].AsStr();
+    Status error = Status::Ok();
+    std::stable_sort(out.begin(), out.end(), [&](const Value& a, const Value& b) {
+      if (!error.ok()) {
+        return false;
+      }
+      auto ka = FieldOf("sort_by", a, field);
+      auto kb = FieldOf("sort_by", b, field);
+      if (!ka.ok() || !kb.ok()) {
+        error = ka.ok() ? kb.status() : ka.status();
+        return false;
+      }
+      auto c = CompareKeys("sort_by", *ka, *kb);
+      if (!c.ok()) {
+        error = c.status();
+        return false;
+      }
+      return *c < 0;
+    });
+    if (!error.ok()) {
+      return error;
+    }
+    return Value::List(std::move(out));
+  });
+
+  add("error", [](std::vector<Value>& args) -> Result<Value> {
+    std::string msg = args.empty() ? "extension error" : args[0].ToString();
+    return ScriptError(msg);
+  });
+
+  return reg;
+}
+
+}  // namespace
+
+const std::map<std::string, BuiltinInfo>& CoreBuiltins() {
+  static const auto* kRegistry = new std::map<std::string, BuiltinInfo>(BuildRegistry());
+  return *kRegistry;
+}
+
+}  // namespace edc

@@ -1,0 +1,36 @@
+// Pure (stateless) builtin functions available to CoordScript programs.
+//
+// This is the white list of §4.1.1: basic math, boolean, string and list
+// operations, all deterministic. Service-state access (create/read/update/…)
+// and environment functions (now/random, EZK-only) are *host* functions
+// supplied by the sandbox, not listed here.
+
+#ifndef EDC_SCRIPT_BUILTINS_H_
+#define EDC_SCRIPT_BUILTINS_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "edc/common/result.h"
+#include "edc/script/value.h"
+
+namespace edc {
+
+using BuiltinFn = std::function<Result<Value>(std::vector<Value>&)>;
+
+struct BuiltinInfo {
+  BuiltinFn fn;
+  bool deterministic = true;
+};
+
+// Name -> implementation for every core builtin.
+const std::map<std::string, BuiltinInfo>& CoreBuiltins();
+
+// Convenience for error construction inside builtins and host functions.
+Status ScriptError(const std::string& message);
+
+}  // namespace edc
+
+#endif  // EDC_SCRIPT_BUILTINS_H_

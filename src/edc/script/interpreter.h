@@ -1,0 +1,82 @@
+// Sandboxed tree-walking interpreter for CoordScript.
+//
+// Execution is metered: every AST node evaluated consumes one step from the
+// ExecBudget, and oversized intermediate values abort the run. Exhaustion
+// returns kExtensionLimit; script-level failures (type errors, error(...),
+// out-of-range access) return kExtensionError. Neither can disturb host
+// state beyond what the ScriptHost has already admitted — state access goes
+// exclusively through host functions, which the sandbox's state proxy guards
+// (paper §4.1.2).
+
+#ifndef EDC_SCRIPT_INTERPRETER_H_
+#define EDC_SCRIPT_INTERPRETER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "edc/common/result.h"
+#include "edc/script/ast.h"
+#include "edc/script/value.h"
+
+namespace edc {
+
+// Service-state and environment functions injected by the extension sandbox.
+class ScriptHost {
+ public:
+  virtual ~ScriptHost() = default;
+  virtual bool HasFunction(const std::string& name) const = 0;
+  virtual Result<Value> Call(const std::string& name, std::vector<Value>& args) = 0;
+};
+
+struct ExecBudget {
+  int64_t max_steps = 100000;
+  size_t max_value_bytes = 64 * 1024;
+};
+
+struct ExecStats {
+  int64_t steps_used = 0;
+};
+
+class Interpreter {
+ public:
+  // `program` and `host` must outlive the interpreter.
+  Interpreter(const Program* program, ScriptHost* host, ExecBudget budget)
+      : program_(program), host_(host), budget_(budget) {}
+
+  // Runs handler `name` with `args` (missing parameters become null, extra
+  // args are dropped). Returns the handler's return value, or null if it
+  // falls off the end.
+  Result<Value> Invoke(const std::string& name, std::vector<Value> args);
+
+  const ExecStats& stats() const { return stats_; }
+
+ private:
+  enum class FlowKind { kNormal, kReturn };
+  struct Flow {
+    FlowKind kind = FlowKind::kNormal;
+    Value value;
+  };
+
+  Result<Flow> ExecBlock(const Block& block);
+  Result<Flow> ExecStmt(const Stmt& stmt);
+  Result<Value> Eval(const Expr& expr);
+  Result<Value> EvalBinary(const Expr& expr);
+  Result<Value> EvalCall(const Expr& expr);
+
+  Status ChargeStep(int line);
+  Status CheckSize(const Value& v, int line);
+
+  Value* FindVar(const std::string& name);
+
+  const Program* program_;
+  ScriptHost* host_;
+  ExecBudget budget_;
+  ExecStats stats_;
+  std::vector<std::map<std::string, Value>> scopes_;
+};
+
+}  // namespace edc
+
+#endif  // EDC_SCRIPT_INTERPRETER_H_

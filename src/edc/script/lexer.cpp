@@ -1,0 +1,239 @@
+#include "edc/script/lexer.h"
+
+#include <cctype>
+#include <string>
+#include <unordered_map>
+
+namespace edc {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kInt: return "integer";
+    case TokenKind::kString: return "string";
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kExtension: return "'extension'";
+    case TokenKind::kOn: return "'on'";
+    case TokenKind::kOp: return "'op'";
+    case TokenKind::kEvent: return "'event'";
+    case TokenKind::kFn: return "'fn'";
+    case TokenKind::kLet: return "'let'";
+    case TokenKind::kIf: return "'if'";
+    case TokenKind::kElse: return "'else'";
+    case TokenKind::kForeach: return "'foreach'";
+    case TokenKind::kIn: return "'in'";
+    case TokenKind::kReturn: return "'return'";
+    case TokenKind::kTrue: return "'true'";
+    case TokenKind::kFalse: return "'false'";
+    case TokenKind::kNull: return "'null'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kEq: return "'=='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kAndAnd: return "'&&'";
+    case TokenKind::kOrOr: return "'||'";
+    case TokenKind::kBang: return "'!'";
+    case TokenKind::kEof: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string, TokenKind>& Keywords() {
+  static const auto* kMap = new std::unordered_map<std::string, TokenKind>{
+      {"extension", TokenKind::kExtension}, {"on", TokenKind::kOn},
+      {"op", TokenKind::kOp},               {"event", TokenKind::kEvent},
+      {"fn", TokenKind::kFn},               {"let", TokenKind::kLet},
+      {"if", TokenKind::kIf},               {"else", TokenKind::kElse},
+      {"foreach", TokenKind::kForeach},     {"in", TokenKind::kIn},
+      {"return", TokenKind::kReturn},       {"true", TokenKind::kTrue},
+      {"false", TokenKind::kFalse},         {"null", TokenKind::kNull},
+  };
+  return *kMap;
+}
+
+Status LexError(int line, const std::string& what) {
+  return Status(ErrorCode::kDecodeError, "lex error at line " + std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view src) {
+  std::vector<Token> out;
+  size_t i = 0;
+  int line = 1;
+
+  auto push = [&](TokenKind kind) { out.push_back(Token{kind, "", 0, line}); };
+
+  while (i < src.size()) {
+    char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      while (i < src.size() && src[i] != '\n') {
+        ++i;
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < src.size() && std::isdigit(static_cast<unsigned char>(src[i]))) {
+        ++i;
+      }
+      Token t;
+      t.kind = TokenKind::kInt;
+      t.line = line;
+      t.int_value = 0;
+      for (size_t j = start; j < i; ++j) {
+        int64_t digit = src[j] - '0';
+        if (t.int_value > (INT64_MAX - digit) / 10) {
+          return LexError(line, "integer literal overflow");
+        }
+        t.int_value = t.int_value * 10 + digit;
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < src.size() &&
+             (std::isalnum(static_cast<unsigned char>(src[i])) || src[i] == '_')) {
+        ++i;
+      }
+      std::string word(src.substr(start, i - start));
+      auto kw = Keywords().find(word);
+      if (kw != Keywords().end()) {
+        push(kw->second);
+      } else {
+        out.push_back(Token{TokenKind::kIdent, std::move(word), 0, line});
+      }
+      continue;
+    }
+    if (c == '"') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < src.size()) {
+        char d = src[i];
+        if (d == '"') {
+          closed = true;
+          ++i;
+          break;
+        }
+        if (d == '\n') {
+          return LexError(line, "newline in string literal");
+        }
+        if (d == '\\') {
+          if (i + 1 >= src.size()) {
+            return LexError(line, "dangling escape");
+          }
+          char e = src[i + 1];
+          switch (e) {
+            case 'n': text += '\n'; break;
+            case 't': text += '\t'; break;
+            case '\\': text += '\\'; break;
+            case '"': text += '"'; break;
+            default:
+              return LexError(line, std::string("unknown escape '\\") + e + "'");
+          }
+          i += 2;
+          continue;
+        }
+        text += d;
+        ++i;
+      }
+      if (!closed) {
+        return LexError(line, "unterminated string literal");
+      }
+      out.push_back(Token{TokenKind::kString, std::move(text), 0, line});
+      continue;
+    }
+    // Operators and punctuation.
+    auto two = [&](char second, TokenKind kind) -> bool {
+      if (i + 1 < src.size() && src[i + 1] == second) {
+        push(kind);
+        i += 2;
+        return true;
+      }
+      return false;
+    };
+    switch (c) {
+      case '{': push(TokenKind::kLBrace); ++i; break;
+      case '}': push(TokenKind::kRBrace); ++i; break;
+      case '(': push(TokenKind::kLParen); ++i; break;
+      case ')': push(TokenKind::kRParen); ++i; break;
+      case '[': push(TokenKind::kLBracket); ++i; break;
+      case ']': push(TokenKind::kRBracket); ++i; break;
+      case ',': push(TokenKind::kComma); ++i; break;
+      case ';': push(TokenKind::kSemicolon); ++i; break;
+      case '+': push(TokenKind::kPlus); ++i; break;
+      case '-': push(TokenKind::kMinus); ++i; break;
+      case '*': push(TokenKind::kStar); ++i; break;
+      case '/': push(TokenKind::kSlash); ++i; break;
+      case '%': push(TokenKind::kPercent); ++i; break;
+      case '=':
+        if (!two('=', TokenKind::kEq)) {
+          push(TokenKind::kAssign);
+          ++i;
+        }
+        break;
+      case '!':
+        if (!two('=', TokenKind::kNe)) {
+          push(TokenKind::kBang);
+          ++i;
+        }
+        break;
+      case '<':
+        if (!two('=', TokenKind::kLe)) {
+          push(TokenKind::kLt);
+          ++i;
+        }
+        break;
+      case '>':
+        if (!two('=', TokenKind::kGe)) {
+          push(TokenKind::kGt);
+          ++i;
+        }
+        break;
+      case '&':
+        if (!two('&', TokenKind::kAndAnd)) {
+          return LexError(line, "single '&'");
+        }
+        break;
+      case '|':
+        if (!two('|', TokenKind::kOrOr)) {
+          return LexError(line, "single '|'");
+        }
+        break;
+      default:
+        return LexError(line, std::string("unexpected character '") + c + "'");
+    }
+  }
+  out.push_back(Token{TokenKind::kEof, "", 0, line});
+  return out;
+}
+
+}  // namespace edc

@@ -1,0 +1,22 @@
+// Lexer for CoordScript.
+//
+// Supports // line comments, decimal integer literals, double-quoted string
+// literals with \" \\ \n \t escapes. Lexing errors surface as kDecodeError
+// with the offending line number.
+
+#ifndef EDC_SCRIPT_LEXER_H_
+#define EDC_SCRIPT_LEXER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "edc/common/result.h"
+#include "edc/script/token.h"
+
+namespace edc {
+
+Result<std::vector<Token>> Lex(std::string_view source);
+
+}  // namespace edc
+
+#endif  // EDC_SCRIPT_LEXER_H_

@@ -1,0 +1,607 @@
+#include "edc/script/parser.h"
+
+#include <string>
+#include <utility>
+
+#include "edc/script/lexer.h"
+
+namespace edc {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::shared_ptr<Program>> Parse() {
+    auto prog = std::make_shared<Program>();
+    if (auto s = Expect(TokenKind::kExtension); !s.ok()) {
+      return s;
+    }
+    auto name = ExpectIdent();
+    if (!name.ok()) {
+      return name.status();
+    }
+    prog->name = *name;
+    if (auto s = Expect(TokenKind::kLBrace); !s.ok()) {
+      return s;
+    }
+    while (!Check(TokenKind::kRBrace)) {
+      if (Check(TokenKind::kOn)) {
+        auto sub = ParseSubscription();
+        if (!sub.ok()) {
+          return sub.status();
+        }
+        prog->subscriptions.push_back(*sub);
+      } else if (Check(TokenKind::kFn)) {
+        auto handler = ParseHandler();
+        if (!handler.ok()) {
+          return handler.status();
+        }
+        if (prog->handlers.count(handler->name) > 0) {
+          return Error("duplicate handler '" + handler->name + "'");
+        }
+        prog->handlers.emplace(handler->name, std::move(*handler));
+      } else {
+        return Error("expected 'on' subscription or 'fn' handler");
+      }
+    }
+    Advance();  // consume '}'
+    if (!Check(TokenKind::kEof)) {
+      return Error("trailing input after extension body");
+    }
+    if (prog->handlers.empty()) {
+      return Error("extension declares no handlers");
+    }
+    return prog;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  bool Match(TokenKind kind) {
+    if (Check(kind)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status Error(const std::string& what) const {
+    return Status(ErrorCode::kExtensionRejected,
+                  "parse error at line " + std::to_string(Peek().line) + ": " + what);
+  }
+
+  Status Expect(TokenKind kind) {
+    if (!Check(kind)) {
+      return Error(std::string("expected ") + TokenKindName(kind) + ", found " +
+                   TokenKindName(Peek().kind));
+    }
+    Advance();
+    return Status::Ok();
+  }
+
+  Result<std::string> ExpectIdent() {
+    if (!Check(TokenKind::kIdent)) {
+      return Error(std::string("expected identifier, found ") + TokenKindName(Peek().kind));
+    }
+    return Advance().text;
+  }
+
+  Result<Subscription> ParseSubscription() {
+    Advance();  // 'on'
+    Subscription sub;
+    if (Match(TokenKind::kOp)) {
+      sub.is_event = false;
+    } else if (Match(TokenKind::kEvent)) {
+      sub.is_event = true;
+    } else {
+      return Error("expected 'op' or 'event' after 'on'");
+    }
+    auto kind = ExpectIdent();
+    if (!kind.ok()) {
+      return kind.status();
+    }
+    sub.kind = *kind;
+    if (!Check(TokenKind::kString)) {
+      return Error("expected pattern string");
+    }
+    sub.pattern = Advance().text;
+    if (!sub.pattern.empty() && sub.pattern.back() == '*') {
+      sub.prefix = true;
+      sub.pattern.pop_back();
+      // "/queue/*" means everything under /queue; normalize away a trailing
+      // slash so prefix matching uses path semantics.
+      if (sub.pattern.size() > 1 && sub.pattern.back() == '/') {
+        sub.pattern.pop_back();
+      }
+    }
+    if (auto s = Expect(TokenKind::kSemicolon); !s.ok()) {
+      return s;
+    }
+    return sub;
+  }
+
+  Result<Handler> ParseHandler() {
+    Handler handler;
+    handler.line = Peek().line;
+    Advance();  // 'fn'
+    auto name = ExpectIdent();
+    if (!name.ok()) {
+      return name.status();
+    }
+    handler.name = *name;
+    if (auto s = Expect(TokenKind::kLParen); !s.ok()) {
+      return s;
+    }
+    if (!Check(TokenKind::kRParen)) {
+      while (true) {
+        auto param = ExpectIdent();
+        if (!param.ok()) {
+          return param.status();
+        }
+        handler.params.push_back(*param);
+        if (!Match(TokenKind::kComma)) {
+          break;
+        }
+      }
+    }
+    if (auto s = Expect(TokenKind::kRParen); !s.ok()) {
+      return s;
+    }
+    auto body = ParseBlock();
+    if (!body.ok()) {
+      return body.status();
+    }
+    handler.body = std::move(*body);
+    return handler;
+  }
+
+  Result<Block> ParseBlock() {
+    if (auto s = Expect(TokenKind::kLBrace); !s.ok()) {
+      return s;
+    }
+    Block block;
+    while (!Check(TokenKind::kRBrace)) {
+      if (Check(TokenKind::kEof)) {
+        return Error("unterminated block");
+      }
+      auto stmt = ParseStmt();
+      if (!stmt.ok()) {
+        return stmt.status();
+      }
+      block.push_back(std::move(*stmt));
+    }
+    Advance();  // '}'
+    return block;
+  }
+
+  Result<StmtPtr> ParseStmt() {
+    int line = Peek().line;
+    if (Match(TokenKind::kLet)) {
+      auto name = ExpectIdent();
+      if (!name.ok()) {
+        return name.status();
+      }
+      if (auto s = Expect(TokenKind::kAssign); !s.ok()) {
+        return s;
+      }
+      auto init = ParseExpr();
+      if (!init.ok()) {
+        return init.status();
+      }
+      if (auto s = Expect(TokenKind::kSemicolon); !s.ok()) {
+        return s;
+      }
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = Stmt::Kind::kLet;
+      stmt->line = line;
+      stmt->name = *name;
+      stmt->expr = std::move(*init);
+      return stmt;
+    }
+    if (Check(TokenKind::kIf)) {
+      return ParseIf();
+    }
+    if (Match(TokenKind::kForeach)) {
+      if (auto s = Expect(TokenKind::kLParen); !s.ok()) {
+        return s;
+      }
+      auto var = ExpectIdent();
+      if (!var.ok()) {
+        return var.status();
+      }
+      if (auto s = Expect(TokenKind::kIn); !s.ok()) {
+        return s;
+      }
+      auto list = ParseExpr();
+      if (!list.ok()) {
+        return list.status();
+      }
+      if (auto s = Expect(TokenKind::kRParen); !s.ok()) {
+        return s;
+      }
+      auto body = ParseBlock();
+      if (!body.ok()) {
+        return body.status();
+      }
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = Stmt::Kind::kForEach;
+      stmt->line = line;
+      stmt->name = *var;
+      stmt->expr = std::move(*list);
+      stmt->body = std::move(*body);
+      return stmt;
+    }
+    if (Match(TokenKind::kReturn)) {
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = Stmt::Kind::kReturn;
+      stmt->line = line;
+      if (!Check(TokenKind::kSemicolon)) {
+        auto value = ParseExpr();
+        if (!value.ok()) {
+          return value.status();
+        }
+        stmt->expr = std::move(*value);
+      }
+      if (auto s = Expect(TokenKind::kSemicolon); !s.ok()) {
+        return s;
+      }
+      return stmt;
+    }
+    // Assignment (IDENT '=' ...) or expression statement.
+    if (Check(TokenKind::kIdent) && tokens_[pos_ + 1].kind == TokenKind::kAssign) {
+      std::string name = Advance().text;
+      Advance();  // '='
+      auto rhs = ParseExpr();
+      if (!rhs.ok()) {
+        return rhs.status();
+      }
+      if (auto s = Expect(TokenKind::kSemicolon); !s.ok()) {
+        return s;
+      }
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = Stmt::Kind::kAssign;
+      stmt->line = line;
+      stmt->name = name;
+      stmt->expr = std::move(*rhs);
+      return stmt;
+    }
+    auto expr = ParseExpr();
+    if (!expr.ok()) {
+      return expr.status();
+    }
+    if (auto s = Expect(TokenKind::kSemicolon); !s.ok()) {
+      return s;
+    }
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kExpr;
+    stmt->line = line;
+    stmt->expr = std::move(*expr);
+    return stmt;
+  }
+
+  Result<StmtPtr> ParseIf() {
+    int line = Peek().line;
+    Advance();  // 'if'
+    if (auto s = Expect(TokenKind::kLParen); !s.ok()) {
+      return s;
+    }
+    auto cond = ParseExpr();
+    if (!cond.ok()) {
+      return cond.status();
+    }
+    if (auto s = Expect(TokenKind::kRParen); !s.ok()) {
+      return s;
+    }
+    auto then_block = ParseBlock();
+    if (!then_block.ok()) {
+      return then_block.status();
+    }
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kIf;
+    stmt->line = line;
+    stmt->expr = std::move(*cond);
+    stmt->body = std::move(*then_block);
+    if (Match(TokenKind::kElse)) {
+      if (Check(TokenKind::kIf)) {
+        auto nested = ParseIf();
+        if (!nested.ok()) {
+          return nested.status();
+        }
+        stmt->else_body.push_back(std::move(*nested));
+      } else {
+        auto else_block = ParseBlock();
+        if (!else_block.ok()) {
+          return else_block.status();
+        }
+        stmt->else_body = std::move(*else_block);
+      }
+    }
+    return stmt;
+  }
+
+  // Precedence climbing.
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    auto lhs = ParseAnd();
+    if (!lhs.ok()) {
+      return lhs;
+    }
+    while (Check(TokenKind::kOrOr)) {
+      int line = Advance().line;
+      auto rhs = ParseAnd();
+      if (!rhs.ok()) {
+        return rhs;
+      }
+      lhs = MakeBinary(BinaryOp::kOr, std::move(*lhs), std::move(*rhs), line);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    auto lhs = ParseEquality();
+    if (!lhs.ok()) {
+      return lhs;
+    }
+    while (Check(TokenKind::kAndAnd)) {
+      int line = Advance().line;
+      auto rhs = ParseEquality();
+      if (!rhs.ok()) {
+        return rhs;
+      }
+      lhs = MakeBinary(BinaryOp::kAnd, std::move(*lhs), std::move(*rhs), line);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseEquality() {
+    auto lhs = ParseComparison();
+    if (!lhs.ok()) {
+      return lhs;
+    }
+    while (Check(TokenKind::kEq) || Check(TokenKind::kNe)) {
+      BinaryOp op = Check(TokenKind::kEq) ? BinaryOp::kEq : BinaryOp::kNe;
+      int line = Advance().line;
+      auto rhs = ParseComparison();
+      if (!rhs.ok()) {
+        return rhs;
+      }
+      lhs = MakeBinary(op, std::move(*lhs), std::move(*rhs), line);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    auto lhs = ParseTerm();
+    if (!lhs.ok()) {
+      return lhs;
+    }
+    while (Check(TokenKind::kLt) || Check(TokenKind::kLe) || Check(TokenKind::kGt) ||
+           Check(TokenKind::kGe)) {
+      BinaryOp op = BinaryOp::kLt;
+      switch (Peek().kind) {
+        case TokenKind::kLt: op = BinaryOp::kLt; break;
+        case TokenKind::kLe: op = BinaryOp::kLe; break;
+        case TokenKind::kGt: op = BinaryOp::kGt; break;
+        default: op = BinaryOp::kGe; break;
+      }
+      int line = Advance().line;
+      auto rhs = ParseTerm();
+      if (!rhs.ok()) {
+        return rhs;
+      }
+      lhs = MakeBinary(op, std::move(*lhs), std::move(*rhs), line);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseTerm() {
+    auto lhs = ParseFactor();
+    if (!lhs.ok()) {
+      return lhs;
+    }
+    while (Check(TokenKind::kPlus) || Check(TokenKind::kMinus)) {
+      BinaryOp op = Check(TokenKind::kPlus) ? BinaryOp::kAdd : BinaryOp::kSub;
+      int line = Advance().line;
+      auto rhs = ParseFactor();
+      if (!rhs.ok()) {
+        return rhs;
+      }
+      lhs = MakeBinary(op, std::move(*lhs), std::move(*rhs), line);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseFactor() {
+    auto lhs = ParseUnary();
+    if (!lhs.ok()) {
+      return lhs;
+    }
+    while (Check(TokenKind::kStar) || Check(TokenKind::kSlash) || Check(TokenKind::kPercent)) {
+      BinaryOp op = Check(TokenKind::kStar)
+                        ? BinaryOp::kMul
+                        : (Check(TokenKind::kSlash) ? BinaryOp::kDiv : BinaryOp::kMod);
+      int line = Advance().line;
+      auto rhs = ParseUnary();
+      if (!rhs.ok()) {
+        return rhs;
+      }
+      lhs = MakeBinary(op, std::move(*lhs), std::move(*rhs), line);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Check(TokenKind::kMinus) || Check(TokenKind::kBang)) {
+      UnaryOp op = Check(TokenKind::kMinus) ? UnaryOp::kNeg : UnaryOp::kNot;
+      int line = Advance().line;
+      auto operand = ParseUnary();
+      if (!operand.ok()) {
+        return operand;
+      }
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kUnary;
+      e->line = line;
+      e->unary_op = op;
+      e->lhs = std::move(*operand);
+      return e;
+    }
+    return ParsePostfix();
+  }
+
+  Result<ExprPtr> ParsePostfix() {
+    auto base = ParsePrimary();
+    if (!base.ok()) {
+      return base;
+    }
+    while (Check(TokenKind::kLBracket)) {
+      int line = Advance().line;
+      auto idx = ParseExpr();
+      if (!idx.ok()) {
+        return idx;
+      }
+      if (auto s = Expect(TokenKind::kRBracket); !s.ok()) {
+        return s;
+      }
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kIndex;
+      e->line = line;
+      e->lhs = std::move(*base);
+      e->rhs = std::move(*idx);
+      base = std::move(e);
+    }
+    return base;
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    int line = Peek().line;
+    if (Check(TokenKind::kInt)) {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kLiteral;
+      e->line = line;
+      e->literal = Value(Advance().int_value);
+      return e;
+    }
+    if (Check(TokenKind::kString)) {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kLiteral;
+      e->line = line;
+      e->literal = Value(Advance().text);
+      return e;
+    }
+    if (Match(TokenKind::kTrue) || Check(TokenKind::kFalse)) {
+      bool v = tokens_[pos_ - 1].kind == TokenKind::kTrue;
+      if (!v) {
+        Advance();
+      }
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kLiteral;
+      e->line = line;
+      e->literal = Value(v);
+      return e;
+    }
+    if (Match(TokenKind::kNull)) {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kLiteral;
+      e->line = line;
+      e->literal = Value();
+      return e;
+    }
+    if (Check(TokenKind::kIdent)) {
+      std::string name = Advance().text;
+      if (Match(TokenKind::kLParen)) {
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::Kind::kCall;
+        e->line = line;
+        e->name = std::move(name);
+        if (!Check(TokenKind::kRParen)) {
+          while (true) {
+            auto arg = ParseExpr();
+            if (!arg.ok()) {
+              return arg;
+            }
+            e->args.push_back(std::move(*arg));
+            if (!Match(TokenKind::kComma)) {
+              break;
+            }
+          }
+        }
+        if (auto s = Expect(TokenKind::kRParen); !s.ok()) {
+          return s;
+        }
+        return e;
+      }
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kVar;
+      e->line = line;
+      e->name = std::move(name);
+      return e;
+    }
+    if (Match(TokenKind::kLParen)) {
+      auto inner = ParseExpr();
+      if (!inner.ok()) {
+        return inner;
+      }
+      if (auto s = Expect(TokenKind::kRParen); !s.ok()) {
+        return s;
+      }
+      return inner;
+    }
+    if (Match(TokenKind::kLBracket)) {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kListLit;
+      e->line = line;
+      if (!Check(TokenKind::kRBracket)) {
+        while (true) {
+          auto item = ParseExpr();
+          if (!item.ok()) {
+            return item;
+          }
+          e->args.push_back(std::move(*item));
+          if (!Match(TokenKind::kComma)) {
+            break;
+          }
+        }
+      }
+      if (auto s = Expect(TokenKind::kRBracket); !s.ok()) {
+        return s;
+      }
+      return e;
+    }
+    return Error(std::string("expected expression, found ") + TokenKindName(Peek().kind));
+  }
+
+  static ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs, int line) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kBinary;
+    e->line = line;
+    e->binary_op = op;
+    e->lhs = std::move(lhs);
+    e->rhs = std::move(rhs);
+    return e;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::shared_ptr<Program>> ParseProgram(std::string_view source) {
+  auto tokens = Lex(source);
+  if (!tokens.ok()) {
+    return Status(ErrorCode::kExtensionRejected, tokens.status().message());
+  }
+  Parser parser(std::move(*tokens));
+  auto prog = parser.Parse();
+  if (!prog.ok()) {
+    return prog.status();
+  }
+  (*prog)->source_bytes = source.size();
+  return *prog;
+}
+
+}  // namespace edc

@@ -1,0 +1,21 @@
+// Recursive-descent parser for CoordScript. See ast.h for the language shape.
+
+#ifndef EDC_SCRIPT_PARSER_H_
+#define EDC_SCRIPT_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "edc/common/result.h"
+#include "edc/script/ast.h"
+
+namespace edc {
+
+// Lexes and parses `source`. Parse failures return kExtensionRejected with a
+// line-qualified message (a malformed extension must never reach the server's
+// execution path).
+Result<std::shared_ptr<Program>> ParseProgram(std::string_view source);
+
+}  // namespace edc
+
+#endif  // EDC_SCRIPT_PARSER_H_

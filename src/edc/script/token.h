@@ -1,0 +1,71 @@
+// Token stream for the CoordScript lexer.
+
+#ifndef EDC_SCRIPT_TOKEN_H_
+#define EDC_SCRIPT_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace edc {
+
+enum class TokenKind {
+  // Literals / identifiers.
+  kInt,
+  kString,
+  kIdent,
+  // Keywords.
+  kExtension,
+  kOn,
+  kOp,
+  kEvent,
+  kFn,
+  kLet,
+  kIf,
+  kElse,
+  kForeach,
+  kIn,
+  kReturn,
+  kTrue,
+  kFalse,
+  kNull,
+  // Punctuation.
+  kLBrace,
+  kRBrace,
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kSemicolon,
+  kAssign,
+  // Operators.
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAndAnd,
+  kOrOr,
+  kBang,
+  // Sentinel.
+  kEof,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;   // identifier name or string literal contents
+  int64_t int_value = 0;
+  int line = 0;
+};
+
+const char* TokenKindName(TokenKind kind);
+
+}  // namespace edc
+
+#endif  // EDC_SCRIPT_TOKEN_H_

@@ -1,0 +1,47 @@
+// Per-operation CPU service costs charged to simulated server cores.
+//
+// These numbers are the calibration knobs of the reproduction: they were
+// tuned (see EXPERIMENTS.md) so that the baseline systems land in the same
+// operating regime as the paper's 4-core/GbE testbed — ZooKeeper-like write
+// throughput in the tens of kOps/s, BFT ordering a few times more expensive
+// than primary-backup, sub-millisecond uncontended request latency. The
+// *shapes* the benchmarks reproduce (contention retries, RPC counts, bytes
+// per op) do not depend on the exact values.
+
+#ifndef EDC_SIM_COSTS_H_
+#define EDC_SIM_COSTS_H_
+
+#include "edc/sim/time.h"
+
+namespace edc {
+
+struct CostModel {
+  // Generic request handling.
+  Duration rpc_decode_cpu = Micros(2);    // parse + dispatch an incoming packet
+  Duration read_cpu = Micros(6);          // serve a read from local state
+  Duration prep_cpu = Micros(4);          // validate an update, build the txn
+  Duration apply_txn_cpu = Micros(5);     // apply one state delta
+  Duration watch_fire_cpu = Micros(2);    // per triggered watch/notification
+
+  // Zab-style primary-backup broadcast.
+  Duration zab_propose_cpu = Micros(3);   // leader, per proposal sent
+  Duration zab_ack_cpu = Micros(1);
+  Duration zab_commit_cpu = Micros(2);
+
+  // PBFT-style BFT ordering (per protocol message handled).
+  Duration bft_msg_cpu = Micros(4);
+  Duration bft_execute_cpu = Micros(6);  // tuple-space op execution
+
+  // Extension machinery.
+  Duration ext_match_cpu = Nanos(400);    // subscription check per request
+  Duration ext_invoke_cpu = Micros(1);    // sandbox setup per invocation
+  Duration ext_step_cpu = Nanos(80);     // per interpreter step
+  Duration ext_verify_cpu_per_byte = Nanos(60);  // registration-time verify+compile
+
+  // Client-side CPU is not modeled (clients in the paper run on separate,
+  // never-saturated machines).
+};
+
+}  // namespace edc
+
+#endif  // EDC_SIM_COSTS_H_

@@ -1,0 +1,40 @@
+#include "edc/sim/cpu.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace edc {
+
+CpuQueue::CpuQueue(EventLoop* loop, int cores) : loop_(loop) {
+  assert(cores >= 1);
+  free_at_.assign(static_cast<size_t>(cores), 0);
+}
+
+void CpuQueue::Submit(Duration cost, std::function<void()> done) {
+  if (cost < 0) {
+    cost = 0;
+  }
+  // Earliest-free core wins; ties go to the lowest index, deterministically.
+  size_t best = 0;
+  for (size_t i = 1; i < free_at_.size(); ++i) {
+    if (free_at_[i] < free_at_[best]) {
+      best = i;
+    }
+  }
+  SimTime start = std::max(loop_->now(), free_at_[best]);
+  SimTime finish = start + cost;
+  free_at_[best] = finish;
+  busy_ns_ += cost;
+  loop_->ScheduleAt(finish, std::move(done));
+}
+
+Duration CpuQueue::QueueDelay() const {
+  SimTime earliest = free_at_[0];
+  for (SimTime t : free_at_) {
+    earliest = std::min(earliest, t);
+  }
+  return std::max<Duration>(0, earliest - loop_->now());
+}
+
+}  // namespace edc

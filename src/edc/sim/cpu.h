@@ -1,0 +1,51 @@
+// Per-host CPU model.
+//
+// Each simulated server owns a CpuQueue: submitted work items occupy a core
+// for their service cost and complete in submission order per core. This is
+// what produces realistic saturation — when offered load exceeds capacity the
+// queue grows and latency climbs, exactly the regime the paper's contention
+// experiments (Fig. 6/8) exercise.
+
+#ifndef EDC_SIM_CPU_H_
+#define EDC_SIM_CPU_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "edc/sim/event_loop.h"
+#include "edc/sim/time.h"
+
+namespace edc {
+
+class CpuQueue {
+ public:
+  // `cores` parallel workers; work is dispatched to the earliest-free core
+  // (single run queue, like a work-conserving scheduler).
+  CpuQueue(EventLoop* loop, int cores);
+
+  CpuQueue(const CpuQueue&) = delete;
+  CpuQueue& operator=(const CpuQueue&) = delete;
+
+  // Runs `done` once `cost` ns of CPU time have been spent, after all
+  // previously submitted work on the chosen core.
+  void Submit(Duration cost, std::function<void()> done);
+
+  // Total CPU-ns consumed so far (across cores).
+  int64_t busy_ns() const { return busy_ns_; }
+
+  // Instantaneous backlog estimate: ns until a newly submitted zero-cost item
+  // would run.
+  Duration QueueDelay() const;
+
+  int cores() const { return static_cast<int>(free_at_.size()); }
+
+ private:
+  EventLoop* loop_;
+  std::vector<SimTime> free_at_;
+  int64_t busy_ns_ = 0;
+};
+
+}  // namespace edc
+
+#endif  // EDC_SIM_CPU_H_

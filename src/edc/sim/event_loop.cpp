@@ -1,0 +1,73 @@
+#include "edc/sim/event_loop.h"
+
+#include <cassert>
+#include <utility>
+
+namespace edc {
+
+TimerId EventLoop::Schedule(Duration delay, Callback cb) {
+  if (delay < 0) {
+    delay = 0;
+  }
+  return ScheduleAt(now_ + delay, std::move(cb));
+}
+
+TimerId EventLoop::ScheduleAt(SimTime at, Callback cb) {
+  assert(cb && "null callback scheduled");
+  if (at < now_) {
+    at = now_;
+  }
+  TimerId id = next_id_++;
+  queue_.push(Event{at, next_seq_++, id, std::move(cb)});
+  return id;
+}
+
+void EventLoop::Cancel(TimerId id) {
+  if (id != kInvalidTimer) {
+    cancelled_.insert(id);
+  }
+}
+
+bool EventLoop::PopAndRun() {
+  // const_cast to move the callback out: priority_queue::top() is const, but
+  // we pop immediately after, so the move never breaks heap invariants.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  auto it = cancelled_.find(ev.id);
+  if (it != cancelled_.end()) {
+    cancelled_.erase(it);
+    return false;
+  }
+  assert(ev.at >= now_);
+  now_ = ev.at;
+  ev.cb();
+  ++events_processed_;
+  return true;
+}
+
+uint64_t EventLoop::Run() {
+  stopped_ = false;
+  uint64_t n = 0;
+  while (!queue_.empty() && !stopped_) {
+    if (PopAndRun()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+uint64_t EventLoop::RunUntil(SimTime deadline) {
+  stopped_ = false;
+  uint64_t n = 0;
+  while (!queue_.empty() && !stopped_ && queue_.top().at <= deadline) {
+    if (PopAndRun()) {
+      ++n;
+    }
+  }
+  if (!stopped_ && now_ < deadline) {
+    now_ = deadline;
+  }
+  return n;
+}
+
+}  // namespace edc

@@ -1,0 +1,82 @@
+// Deterministic discrete-event loop.
+//
+// Events fire in (time, insertion-sequence) order, so two events scheduled
+// for the same instant run in the order they were scheduled — this, plus the
+// seeded Rng, is what makes whole-cluster runs replayable.
+
+#ifndef EDC_SIM_EVENT_LOOP_H_
+#define EDC_SIM_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "edc/sim/time.h"
+
+namespace edc {
+
+using TimerId = uint64_t;
+constexpr TimerId kInvalidTimer = 0;
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `cb` to run `delay` ns from now. Returns an id usable with
+  // Cancel(). Negative delays are clamped to zero.
+  TimerId Schedule(Duration delay, Callback cb);
+  TimerId ScheduleAt(SimTime at, Callback cb);
+
+  // Cancels a pending timer; no-op if it already fired or was cancelled.
+  void Cancel(TimerId id);
+
+  // Runs until no events remain or Stop() is called. Returns events processed.
+  uint64_t Run();
+
+  // Runs events with timestamp <= deadline, then advances now() to deadline.
+  uint64_t RunUntil(SimTime deadline);
+
+  // Makes Run()/RunUntil() return after the current event completes.
+  void Stop() { stopped_ = true; }
+
+  size_t pending() const { return queue_.size() - cancelled_.size(); }
+  uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    uint64_t seq;
+    TimerId id;
+    Callback cb;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) {
+        return a.at > b.at;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  bool PopAndRun();
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 1;
+  TimerId next_id_ = 1;
+  bool stopped_ = false;
+  uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::unordered_set<TimerId> cancelled_;
+};
+
+}  // namespace edc
+
+#endif  // EDC_SIM_EVENT_LOOP_H_

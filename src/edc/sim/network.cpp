@@ -1,0 +1,99 @@
+#include "edc/sim/network.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "edc/common/logging.h"
+
+namespace edc {
+
+void Network::Register(NodeId id, NetworkNode* node) {
+  nodes_[id] = node;
+  node_up_[id] = true;
+}
+
+void Network::Unregister(NodeId id) {
+  nodes_.erase(id);
+  node_up_.erase(id);
+}
+
+void Network::SetLink(NodeId a, NodeId b, const LinkParams& params) {
+  link_overrides_[PairKey{a, b}] = params;
+  link_overrides_[PairKey{b, a}] = params;
+}
+
+void Network::Disconnect(NodeId a, NodeId b) {
+  partitioned_[PairKey{a, b}] = true;
+  partitioned_[PairKey{b, a}] = true;
+}
+
+void Network::Reconnect(NodeId a, NodeId b) {
+  partitioned_.erase(PairKey{a, b});
+  partitioned_.erase(PairKey{b, a});
+}
+
+void Network::SetNodeUp(NodeId id, bool up) { node_up_[id] = up; }
+
+bool Network::IsNodeUp(NodeId id) const {
+  auto it = node_up_.find(id);
+  return it != node_up_.end() && it->second;
+}
+
+const LinkParams& Network::ParamsFor(NodeId src, NodeId dst) const {
+  auto it = link_overrides_.find(PairKey{src, dst});
+  return it != link_overrides_.end() ? it->second : defaults_;
+}
+
+bool Network::IsPartitioned(NodeId a, NodeId b) const {
+  return partitioned_.count(PairKey{a, b}) > 0;
+}
+
+void Network::Send(Packet pkt) {
+  if (!IsNodeUp(pkt.src)) {
+    return;  // a crashed node produces no traffic
+  }
+  const size_t wire = WireSize(pkt);
+  auto& src_stats = stats_[pkt.src];
+  src_stats.packets_sent += 1;
+  src_stats.bytes_sent += static_cast<int64_t>(wire);
+  total_bytes_sent_ += static_cast<int64_t>(wire);
+
+  if (IsPartitioned(pkt.src, pkt.dst)) {
+    return;
+  }
+  const LinkParams& link = ParamsFor(pkt.src, pkt.dst);
+  if (link.drop_probability > 0.0 && rng_.NextDouble() < link.drop_probability) {
+    EDC_LOG(kDebug) << "drop " << pkt.src << "->" << pkt.dst << " type=" << pkt.type;
+    return;
+  }
+
+  Duration jitter = link.jitter > 0 ? static_cast<Duration>(
+                                          rng_.UniformU64(static_cast<uint64_t>(link.jitter)))
+                                    : 0;
+  Duration serialization =
+      static_cast<Duration>(static_cast<double>(wire) * 8.0 / link.bandwidth_bps * 1e9);
+  SimTime arrival = loop_->now() + link.latency + jitter + serialization;
+
+  // Enforce per-connection FIFO: never deliver before an earlier packet on
+  // the same (src, dst) pair.
+  auto& last = last_delivery_[PairKey{pkt.src, pkt.dst}];
+  arrival = std::max(arrival, last + 1);
+  last = arrival;
+
+  NodeId dst = pkt.dst;
+  loop_->ScheduleAt(arrival, [this, p = std::move(pkt), dst]() mutable {
+    if (!IsNodeUp(dst)) {
+      return;
+    }
+    auto it = nodes_.find(dst);
+    if (it == nodes_.end()) {
+      return;
+    }
+    auto& dst_stats = stats_[dst];
+    dst_stats.packets_received += 1;
+    dst_stats.bytes_received += static_cast<int64_t>(WireSize(p));
+    it->second->HandlePacket(std::move(p));
+  });
+}
+
+}  // namespace edc

@@ -1,0 +1,123 @@
+// Simulated switched network.
+//
+// Nodes register under a NodeId and receive packets via HandlePacket. Each
+// (src, dst) pair behaves like a TCP connection: FIFO delivery, per-link
+// latency + jitter, serialization delay from a configurable bandwidth, and an
+// optional drop probability (drops break FIFO like a connection reset would;
+// protocols that need reliability must retransmit). Crashed nodes and
+// partitioned pairs silently discard traffic.
+//
+// The network charges every packet a fixed per-frame overhead
+// (kFrameOverheadBytes, Ethernet+IP+TCP headers) on top of the encoded
+// payload and keeps per-node byte counters; the paper's "KB sent per
+// operation" series (Fig. 8/10) read these counters.
+
+#ifndef EDC_SIM_NETWORK_H_
+#define EDC_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "edc/common/rng.h"
+#include "edc/sim/event_loop.h"
+#include "edc/sim/time.h"
+
+namespace edc {
+
+using NodeId = uint32_t;
+
+struct Packet {
+  NodeId src = 0;
+  NodeId dst = 0;
+  uint32_t type = 0;
+  std::vector<uint8_t> payload;
+};
+
+// Ethernet + IPv4 + TCP headers, the per-frame cost a real deployment pays.
+constexpr size_t kFrameOverheadBytes = 66;
+
+inline size_t WireSize(const Packet& pkt) { return pkt.payload.size() + kFrameOverheadBytes; }
+
+class NetworkNode {
+ public:
+  virtual ~NetworkNode() = default;
+  virtual void HandlePacket(Packet&& pkt) = 0;
+};
+
+struct LinkParams {
+  Duration latency = Micros(100);     // one-way propagation
+  Duration jitter = Micros(20);       // uniform [0, jitter)
+  double bandwidth_bps = 1e9;         // bits per second
+  double drop_probability = 0.0;
+};
+
+struct NodeNetStats {
+  int64_t packets_sent = 0;
+  int64_t bytes_sent = 0;
+  int64_t packets_received = 0;
+  int64_t bytes_received = 0;
+};
+
+class Network {
+ public:
+  Network(EventLoop* loop, Rng rng, LinkParams defaults)
+      : loop_(loop), rng_(rng), defaults_(defaults) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  void Register(NodeId id, NetworkNode* node);
+  void Unregister(NodeId id);
+
+  // Overrides link parameters in both directions between a and b.
+  void SetLink(NodeId a, NodeId b, const LinkParams& params);
+
+  // Partition control (bidirectional).
+  void Disconnect(NodeId a, NodeId b);
+  void Reconnect(NodeId a, NodeId b);
+
+  // A down node neither sends nor receives; packets in flight to it at the
+  // time it goes down are lost on arrival.
+  void SetNodeUp(NodeId id, bool up);
+  bool IsNodeUp(NodeId id) const;
+
+  // Queues `pkt` for delivery. Loss, partitions and down nodes are resolved
+  // at send/arrival time.
+  void Send(Packet pkt);
+
+  NodeNetStats StatsFor(NodeId id) const {
+    auto it = stats_.find(id);
+    return it == stats_.end() ? NodeNetStats{} : it->second;
+  }
+  void ResetStats() { stats_.clear(); }
+  int64_t total_bytes_sent() const { return total_bytes_sent_; }
+
+ private:
+  struct PairKey {
+    NodeId a;
+    NodeId b;
+    bool operator<(const PairKey& o) const {
+      return a != o.a ? a < o.a : b < o.b;
+    }
+  };
+
+  const LinkParams& ParamsFor(NodeId src, NodeId dst) const;
+  bool IsPartitioned(NodeId a, NodeId b) const;
+
+  EventLoop* loop_;
+  Rng rng_;
+  LinkParams defaults_;
+  std::unordered_map<NodeId, NetworkNode*> nodes_;
+  std::unordered_map<NodeId, bool> node_up_;  // absent => up
+  std::map<PairKey, LinkParams> link_overrides_;
+  std::map<PairKey, bool> partitioned_;
+  std::map<PairKey, SimTime> last_delivery_;  // FIFO enforcement
+  std::unordered_map<NodeId, NodeNetStats> stats_;
+  int64_t total_bytes_sent_ = 0;
+};
+
+}  // namespace edc
+
+#endif  // EDC_SIM_NETWORK_H_

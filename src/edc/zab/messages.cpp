@@ -1,0 +1,185 @@
+#include "edc/zab/messages.h"
+
+namespace edc {
+
+std::vector<uint8_t> EncodeElectionVote(const ElectionVote& m) {
+  Encoder enc;
+  enc.PutU64(m.election_round);
+  enc.PutU32(m.vote_for);
+  enc.PutU64(m.vote_zxid);
+  enc.PutU32(m.vote_epoch);
+  enc.PutU32(m.from);
+  enc.PutBool(m.from_looking);
+  return enc.Release();
+}
+
+Result<ElectionVote> DecodeElectionVote(const std::vector<uint8_t>& buf) {
+  Decoder dec(buf);
+  ElectionVote m;
+  auto round = dec.GetU64();
+  auto vote_for = dec.GetU32();
+  auto vote_zxid = dec.GetU64();
+  auto vote_epoch = dec.GetU32();
+  auto from = dec.GetU32();
+  auto looking = dec.GetBool();
+  if (!round.ok() || !vote_for.ok() || !vote_zxid.ok() || !vote_epoch.ok() || !from.ok() ||
+      !looking.ok()) {
+    return ErrorCode::kDecodeError;
+  }
+  m.election_round = *round;
+  m.vote_for = *vote_for;
+  m.vote_zxid = *vote_zxid;
+  m.vote_epoch = *vote_epoch;
+  m.from = *from;
+  m.from_looking = *looking;
+  return m;
+}
+
+std::vector<uint8_t> EncodeLeaderInfo(const LeaderInfo& m) {
+  Encoder enc;
+  enc.PutU32(m.leader);
+  enc.PutU32(m.epoch);
+  return enc.Release();
+}
+
+Result<LeaderInfo> DecodeLeaderInfo(const std::vector<uint8_t>& buf) {
+  Decoder dec(buf);
+  auto leader = dec.GetU32();
+  auto epoch = dec.GetU32();
+  if (!leader.ok() || !epoch.ok()) {
+    return ErrorCode::kDecodeError;
+  }
+  return LeaderInfo{*leader, *epoch};
+}
+
+std::vector<uint8_t> EncodeFollowerInfo(const FollowerInfo& m) {
+  Encoder enc;
+  enc.PutU64(m.last_zxid);
+  return enc.Release();
+}
+
+Result<FollowerInfo> DecodeFollowerInfo(const std::vector<uint8_t>& buf) {
+  Decoder dec(buf);
+  auto zxid = dec.GetU64();
+  if (!zxid.ok()) {
+    return ErrorCode::kDecodeError;
+  }
+  return FollowerInfo{*zxid};
+}
+
+std::vector<uint8_t> EncodeDiffMsg(const DiffMsg& m) {
+  Encoder enc;
+  enc.PutU64(m.committed_zxid);
+  enc.PutVarint(m.proposals.size());
+  for (const ZabProposal& p : m.proposals) {
+    p.Encode(enc);
+  }
+  return enc.Release();
+}
+
+Result<DiffMsg> DecodeDiffMsg(const std::vector<uint8_t>& buf) {
+  Decoder dec(buf);
+  DiffMsg m;
+  auto committed = dec.GetU64();
+  if (!committed.ok()) {
+    return committed.status();
+  }
+  m.committed_zxid = *committed;
+  auto n = dec.GetVarint();
+  if (!n.ok()) {
+    return n.status();
+  }
+  for (uint64_t i = 0; i < *n; ++i) {
+    auto p = ZabProposal::Decode(dec);
+    if (!p.ok()) {
+      return p.status();
+    }
+    m.proposals.push_back(std::move(*p));
+  }
+  return m;
+}
+
+std::vector<uint8_t> EncodeSnapMsg(const SnapMsg& m) {
+  Encoder enc;
+  enc.PutU64(m.snapshot_zxid);
+  enc.PutU32(m.epoch);
+  enc.PutBytes(m.snapshot);
+  return enc.Release();
+}
+
+Result<SnapMsg> DecodeSnapMsg(const std::vector<uint8_t>& buf) {
+  Decoder dec(buf);
+  SnapMsg m;
+  auto zxid = dec.GetU64();
+  auto epoch = dec.GetU32();
+  if (!zxid.ok() || !epoch.ok()) {
+    return ErrorCode::kDecodeError;
+  }
+  auto snap = dec.GetBytes();
+  if (!snap.ok()) {
+    return snap.status();
+  }
+  m.snapshot_zxid = *zxid;
+  m.epoch = *epoch;
+  m.snapshot = std::move(*snap);
+  return m;
+}
+
+std::vector<uint8_t> EncodeEpochMsg(const EpochMsg& m) {
+  Encoder enc;
+  enc.PutU32(m.epoch);
+  enc.PutU64(m.committed_zxid);
+  return enc.Release();
+}
+
+Result<EpochMsg> DecodeEpochMsg(const std::vector<uint8_t>& buf) {
+  Decoder dec(buf);
+  auto epoch = dec.GetU32();
+  auto committed = dec.GetU64();
+  if (!epoch.ok() || !committed.ok()) {
+    return ErrorCode::kDecodeError;
+  }
+  return EpochMsg{*epoch, *committed};
+}
+
+std::vector<uint8_t> EncodeProposeMsg(const ProposeMsg& m) {
+  Encoder enc;
+  enc.PutU32(m.epoch);
+  m.proposal.Encode(enc);
+  return enc.Release();
+}
+
+Result<ProposeMsg> DecodeProposeMsg(const std::vector<uint8_t>& buf) {
+  Decoder dec(buf);
+  ProposeMsg m;
+  auto epoch = dec.GetU32();
+  if (!epoch.ok()) {
+    return epoch.status();
+  }
+  m.epoch = *epoch;
+  auto p = ZabProposal::Decode(dec);
+  if (!p.ok()) {
+    return p.status();
+  }
+  m.proposal = std::move(*p);
+  return m;
+}
+
+std::vector<uint8_t> EncodeZxidMsg(const ZxidMsg& m) {
+  Encoder enc;
+  enc.PutU32(m.epoch);
+  enc.PutU64(m.zxid);
+  return enc.Release();
+}
+
+Result<ZxidMsg> DecodeZxidMsg(const std::vector<uint8_t>& buf) {
+  Decoder dec(buf);
+  auto epoch = dec.GetU32();
+  auto zxid = dec.GetU64();
+  if (!epoch.ok() || !zxid.ok()) {
+    return ErrorCode::kDecodeError;
+  }
+  return ZxidMsg{*epoch, *zxid};
+}
+
+}  // namespace edc

@@ -1,0 +1,144 @@
+// Wire messages of the Zab-style atomic broadcast protocol.
+//
+// zxid layout follows ZooKeeper: high 32 bits epoch, low 32 bits counter.
+
+#ifndef EDC_ZAB_MESSAGES_H_
+#define EDC_ZAB_MESSAGES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "edc/common/codec.h"
+#include "edc/common/result.h"
+#include "edc/sim/network.h"
+
+namespace edc {
+
+// Packet type range reserved for Zab traffic.
+constexpr uint32_t kZabTypeBase = 100;
+
+enum class ZabMsgType : uint32_t {
+  kElection = kZabTypeBase + 0,   // vote exchange while LOOKING
+  kLeaderInfo = kZabTypeBase + 1, // settled node tells a looking node who leads
+  kFollowerInfo = kZabTypeBase + 2,  // follower -> new leader: my last zxid
+  kDiff = kZabTypeBase + 3,       // leader -> follower: missing proposals
+  kTrunc = kZabTypeBase + 4,      // leader -> follower: drop entries after zxid
+  kSnap = kZabTypeBase + 5,       // leader -> follower: full snapshot
+  kNewLeader = kZabTypeBase + 6,  // leader -> follower: end of sync
+  kAckNewLeader = kZabTypeBase + 7,
+  kUpToDate = kZabTypeBase + 8,   // leader -> follower: broadcast phase open
+  kPropose = kZabTypeBase + 9,
+  kAck = kZabTypeBase + 10,
+  kCommit = kZabTypeBase + 11,
+  kHeartbeat = kZabTypeBase + 12,
+  kMax = kZabTypeBase + 13,
+};
+
+inline bool IsZabPacket(uint32_t type) {
+  return type >= kZabTypeBase && type < static_cast<uint32_t>(ZabMsgType::kMax);
+}
+
+inline uint64_t MakeZxid(uint32_t epoch, uint32_t counter) {
+  return (static_cast<uint64_t>(epoch) << 32) | counter;
+}
+inline uint32_t ZxidEpoch(uint64_t zxid) { return static_cast<uint32_t>(zxid >> 32); }
+inline uint32_t ZxidCounter(uint64_t zxid) { return static_cast<uint32_t>(zxid); }
+
+struct ZabProposal {
+  uint64_t zxid = 0;
+  std::vector<uint8_t> txn;
+
+  void Encode(Encoder& enc) const {
+    enc.PutU64(zxid);
+    enc.PutBytes(txn);
+  }
+  static Result<ZabProposal> Decode(Decoder& dec) {
+    ZabProposal p;
+    auto zxid = dec.GetU64();
+    if (!zxid.ok()) {
+      return zxid.status();
+    }
+    p.zxid = *zxid;
+    auto txn = dec.GetBytes();
+    if (!txn.ok()) {
+      return txn.status();
+    }
+    p.txn = std::move(*txn);
+    return p;
+  }
+};
+
+// kElection payload.
+struct ElectionVote {
+  uint64_t election_round = 0;
+  NodeId vote_for = 0;
+  uint64_t vote_zxid = 0;
+  uint32_t vote_epoch = 0;  // currentEpoch of the candidate
+  NodeId from = 0;
+  bool from_looking = true;
+};
+
+// kLeaderInfo payload: current leader as known by a settled node.
+struct LeaderInfo {
+  NodeId leader = 0;
+  uint32_t epoch = 0;
+};
+
+// kFollowerInfo / kAckNewLeader payload.
+struct FollowerInfo {
+  uint64_t last_zxid = 0;
+};
+
+// kDiff payload: proposals after the follower's last zxid, plus the commit
+// frontier so the follower can deliver immediately.
+struct DiffMsg {
+  uint64_t committed_zxid = 0;
+  std::vector<ZabProposal> proposals;
+};
+
+// kSnap payload.
+struct SnapMsg {
+  uint64_t snapshot_zxid = 0;
+  uint32_t epoch = 0;
+  std::vector<uint8_t> snapshot;
+};
+
+// kNewLeader / kUpToDate / kHeartbeat share this shape.
+struct EpochMsg {
+  uint32_t epoch = 0;
+  uint64_t committed_zxid = 0;
+};
+
+// kPropose payload.
+struct ProposeMsg {
+  uint32_t epoch = 0;
+  ZabProposal proposal;
+};
+
+// kAck / kCommit payload.
+struct ZxidMsg {
+  uint32_t epoch = 0;
+  uint64_t zxid = 0;
+};
+
+// Encoding helpers (free functions so messages stay aggregates).
+std::vector<uint8_t> EncodeElectionVote(const ElectionVote& m);
+Result<ElectionVote> DecodeElectionVote(const std::vector<uint8_t>& buf);
+std::vector<uint8_t> EncodeLeaderInfo(const LeaderInfo& m);
+Result<LeaderInfo> DecodeLeaderInfo(const std::vector<uint8_t>& buf);
+std::vector<uint8_t> EncodeFollowerInfo(const FollowerInfo& m);
+Result<FollowerInfo> DecodeFollowerInfo(const std::vector<uint8_t>& buf);
+std::vector<uint8_t> EncodeDiffMsg(const DiffMsg& m);
+Result<DiffMsg> DecodeDiffMsg(const std::vector<uint8_t>& buf);
+std::vector<uint8_t> EncodeSnapMsg(const SnapMsg& m);
+Result<SnapMsg> DecodeSnapMsg(const std::vector<uint8_t>& buf);
+std::vector<uint8_t> EncodeEpochMsg(const EpochMsg& m);
+Result<EpochMsg> DecodeEpochMsg(const std::vector<uint8_t>& buf);
+std::vector<uint8_t> EncodeProposeMsg(const ProposeMsg& m);
+Result<ProposeMsg> DecodeProposeMsg(const std::vector<uint8_t>& buf);
+std::vector<uint8_t> EncodeZxidMsg(const ZxidMsg& m);
+Result<ZxidMsg> DecodeZxidMsg(const std::vector<uint8_t>& buf);
+
+}  // namespace edc
+
+#endif  // EDC_ZAB_MESSAGES_H_

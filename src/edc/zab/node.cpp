@@ -1,0 +1,653 @@
+#include "edc/zab/node.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <utility>
+
+#include "edc/common/logging.h"
+
+namespace edc {
+
+ZabNode::ZabNode(EventLoop* loop, Network* net, CpuQueue* cpu, LogStore* log,
+                 const CostModel& costs, ZabConfig config, ZabCallbacks* callbacks)
+    : loop_(loop),
+      net_(net),
+      cpu_(cpu),
+      log_(log),
+      costs_(costs),
+      config_(std::move(config)),
+      callbacks_(callbacks) {
+  assert(!config_.members.empty());
+}
+
+uint64_t ZabNode::last_logged() const {
+  return history_.empty() ? base_zxid_ : history_.back().zxid;
+}
+
+void ZabNode::SendTo(NodeId dst, ZabMsgType type, std::vector<uint8_t> payload) {
+  Packet pkt;
+  pkt.src = config_.self;
+  pkt.dst = dst;
+  pkt.type = static_cast<uint32_t>(type);
+  pkt.payload = std::move(payload);
+  net_->Send(std::move(pkt));
+}
+
+void ZabNode::BroadcastMsg(ZabMsgType type, const std::vector<uint8_t>& payload) {
+  for (NodeId peer : config_.members) {
+    if (peer != config_.self) {
+      SendTo(peer, type, payload);
+    }
+  }
+}
+
+void ZabNode::ArmTimer(TimerId* slot, Duration delay, std::function<void()> fn) {
+  loop_->Cancel(*slot);
+  uint64_t gen = generation_;
+  *slot = loop_->Schedule(delay, [this, gen, fn = std::move(fn)]() {
+    if (gen != generation_ || role_ == Role::kDown) {
+      return;
+    }
+    fn();
+  });
+}
+
+void ZabNode::Start() {
+  ++generation_;
+  history_.clear();
+  for (const auto& record : log_->records()) {
+    Decoder dec(record);
+    auto p = ZabProposal::Decode(dec);
+    if (p.ok()) {
+      history_.push_back(std::move(*p));
+    }
+  }
+  current_epoch_ = history_.empty() ? 0 : ZxidEpoch(history_.back().zxid);
+  base_zxid_ = 0;
+  committed_zxid_ = 0;
+  delivered_count_ = 0;
+  synced_ = false;
+  broadcast_active_ = false;
+  acks_.clear();
+  newleader_acks_.clear();
+  EnterLooking();
+}
+
+void ZabNode::Crash() {
+  ++generation_;
+  role_ = Role::kDown;
+  log_->DropUnsynced();
+  loop_->Cancel(election_timer_);
+  loop_->Cancel(heartbeat_timer_);
+  loop_->Cancel(leader_timeout_timer_);
+}
+
+void ZabNode::Restart() {
+  assert(role_ == Role::kDown);
+  Start();
+}
+
+// ---------------------------------------------------------------- election
+
+void ZabNode::EnterLooking() {
+  role_ = Role::kLooking;
+  synced_ = false;
+  broadcast_active_ = false;
+  leader_ = 0;
+  loop_->Cancel(heartbeat_timer_);
+  loop_->Cancel(leader_timeout_timer_);
+  ++election_round_;
+  my_vote_ = Vote{current_epoch_, last_logged(), config_.self};
+  tally_.clear();
+  tally_[config_.self] = my_vote_;
+  EDC_LOG(kDebug) << "node " << config_.self << " LOOKING round=" << election_round_
+                  << " zxid=" << my_vote_.zxid;
+  SendMyVote(0);
+  ArmTimer(&election_timer_, config_.election_retry, [this]() { ElectionRetryTick(); });
+  // A quorum of one (single-node ensemble) decides immediately.
+  CheckElectionDecision();
+}
+
+void ZabNode::ElectionRetryTick() {
+  if (role_ != Role::kLooking) {
+    return;
+  }
+  SendMyVote(0);
+  CheckElectionDecision();
+  if (role_ == Role::kLooking) {
+    ArmTimer(&election_timer_, config_.election_retry, [this]() { ElectionRetryTick(); });
+  }
+}
+
+void ZabNode::SendMyVote(NodeId dst_or_all) {
+  ElectionVote vote;
+  vote.election_round = election_round_;
+  vote.vote_for = my_vote_.node;
+  vote.vote_zxid = my_vote_.zxid;
+  vote.vote_epoch = my_vote_.epoch;
+  vote.from = config_.self;
+  vote.from_looking = role_ == Role::kLooking;
+  auto payload = EncodeElectionVote(vote);
+  if (dst_or_all == 0) {
+    BroadcastMsg(ZabMsgType::kElection, payload);
+  } else {
+    SendTo(dst_or_all, ZabMsgType::kElection, std::move(payload));
+  }
+}
+
+void ZabNode::OnElectionVote(const ElectionVote& vote, NodeId from) {
+  if (role_ != Role::kLooking) {
+    // Settled nodes point lookers at the current leader.
+    if (vote.from_looking && leader_ != 0) {
+      SendTo(from, ZabMsgType::kLeaderInfo, EncodeLeaderInfo({leader_, current_epoch_}));
+    }
+    return;
+  }
+  if (vote.election_round > election_round_) {
+    election_round_ = vote.election_round;
+    tally_.clear();
+    tally_[config_.self] = my_vote_;
+  } else if (vote.election_round < election_round_) {
+    SendMyVote(from);
+    return;
+  }
+  Vote candidate{vote.vote_epoch, vote.vote_zxid, vote.vote_for};
+  if (candidate.BetterThan(my_vote_)) {
+    my_vote_ = candidate;
+    tally_[config_.self] = my_vote_;
+    SendMyVote(0);
+  }
+  tally_[from] = candidate;
+  CheckElectionDecision();
+}
+
+void ZabNode::CheckElectionDecision() {
+  size_t agree = 0;
+  uint32_t max_epoch = current_epoch_;
+  for (const auto& [node, vote] : tally_) {
+    if (vote.node == my_vote_.node) {
+      ++agree;
+    }
+    max_epoch = std::max(max_epoch, vote.epoch);
+  }
+  if (agree >= Quorum()) {
+    DecideLeader(my_vote_.node, max_epoch);
+  }
+}
+
+void ZabNode::DecideLeader(NodeId leader, uint32_t max_epoch_seen) {
+  loop_->Cancel(election_timer_);
+  if (leader == config_.self) {
+    current_epoch_ = std::max(current_epoch_, max_epoch_seen) + 1;
+    BecomeLeader();
+  } else {
+    BecomeFollower(leader, max_epoch_seen);
+  }
+}
+
+void ZabNode::OnLeaderInfo(const LeaderInfo& info) {
+  if (role_ != Role::kLooking) {
+    return;
+  }
+  if (info.leader == config_.self) {
+    return;  // stale; keep looking
+  }
+  loop_->Cancel(election_timer_);
+  BecomeFollower(info.leader, info.epoch);
+}
+
+// ----------------------------------------------------------------- leading
+
+void ZabNode::BecomeLeader() {
+  role_ = Role::kLeading;
+  leader_ = config_.self;
+  counter_ = 0;
+  broadcast_active_ = false;
+  acks_.clear();
+  newleader_acks_.clear();
+  newleader_acks_.insert(config_.self);
+  // Our whole durable history counts as self-acked.
+  for (size_t i = delivered_count_; i < history_.size(); ++i) {
+    acks_[history_[i].zxid].insert(config_.self);
+  }
+  EDC_LOG(kInfo) << "node " << config_.self << " LEADING epoch=" << current_epoch_;
+  ActivateBroadcastIfQuorum();
+  SendHeartbeats();
+}
+
+void ZabNode::SendHeartbeats() {
+  if (role_ != Role::kLeading) {
+    return;
+  }
+  BroadcastMsg(ZabMsgType::kHeartbeat, EncodeEpochMsg({current_epoch_, committed_zxid_}));
+  ArmTimer(&heartbeat_timer_, config_.heartbeat_interval, [this]() { SendHeartbeats(); });
+}
+
+void ZabNode::OnFollowerInfo(NodeId from, const FollowerInfo& info) {
+  if (role_ != Role::kLeading) {
+    return;
+  }
+  uint64_t my_last = last_logged();
+  if (info.last_zxid > my_last) {
+    SendTo(from, ZabMsgType::kTrunc, EncodeZxidMsg({current_epoch_, my_last}));
+  } else if (info.last_zxid < base_zxid_) {
+    // SNAP path: our log no longer holds the entries the follower is missing
+    // (they were compacted away), so ship the whole state machine plus the
+    // uncommitted tail.
+    SnapMsg snap;
+    snap.snapshot_zxid = committed_zxid_;
+    snap.epoch = current_epoch_;
+    snap.snapshot = callbacks_->TakeSnapshot();
+    SendTo(from, ZabMsgType::kSnap, EncodeSnapMsg(snap));
+    DiffMsg tail;
+    tail.committed_zxid = committed_zxid_;
+    for (const ZabProposal& p : history_) {
+      if (p.zxid > committed_zxid_) {
+        tail.proposals.push_back(p);
+      }
+    }
+    SendTo(from, ZabMsgType::kDiff, EncodeDiffMsg(tail));
+  } else {
+    DiffMsg diff;
+    diff.committed_zxid = committed_zxid_;
+    for (const ZabProposal& p : history_) {
+      if (p.zxid > info.last_zxid) {
+        diff.proposals.push_back(p);
+      }
+    }
+    SendTo(from, ZabMsgType::kDiff, EncodeDiffMsg(diff));
+  }
+  SendTo(from, ZabMsgType::kNewLeader, EncodeEpochMsg({current_epoch_, committed_zxid_}));
+}
+
+void ZabNode::OnAckNewLeader(NodeId from, const FollowerInfo& info) {
+  if (role_ != Role::kLeading) {
+    return;
+  }
+  newleader_acks_.insert(from);
+  for (const ZabProposal& p : history_) {
+    if (p.zxid <= info.last_zxid) {
+      RecordAck(from, p.zxid);
+    }
+  }
+  ActivateBroadcastIfQuorum();
+  TryCommit();
+}
+
+void ZabNode::ActivateBroadcastIfQuorum() {
+  if (broadcast_active_ || newleader_acks_.size() < Quorum()) {
+    return;
+  }
+  broadcast_active_ = true;
+  TryCommit();
+  callbacks_->OnRoleChange(true, config_.self, current_epoch_);
+}
+
+bool ZabNode::Broadcast(std::vector<uint8_t> txn) {
+  if (role_ != Role::kLeading || !broadcast_active_) {
+    return false;
+  }
+  ZabProposal proposal;
+  proposal.zxid = MakeZxid(current_epoch_, ++counter_);
+  proposal.txn = std::move(txn);
+  history_.push_back(proposal);
+  ProposeMsg msg{current_epoch_, proposal};
+  auto payload = EncodeProposeMsg(msg);
+  BroadcastMsg(ZabMsgType::kPropose, payload);
+  uint64_t zxid = proposal.zxid;
+  AppendDurable(std::move(proposal), [this, zxid]() {
+    RecordAck(config_.self, zxid);
+    TryCommit();
+  });
+  return true;
+}
+
+void ZabNode::RecordAck(NodeId from, uint64_t zxid) {
+  if (zxid <= committed_zxid_) {
+    return;
+  }
+  acks_[zxid].insert(from);
+}
+
+void ZabNode::OnAck(NodeId from, const ZxidMsg& msg) {
+  if (role_ != Role::kLeading || msg.epoch != current_epoch_) {
+    return;
+  }
+  RecordAck(from, msg.zxid);
+  TryCommit();
+}
+
+void ZabNode::TryCommit() {
+  if (role_ != Role::kLeading || !broadcast_active_) {
+    return;
+  }
+  while (delivered_count_ < history_.size()) {
+    uint64_t zxid = history_[delivered_count_].zxid;
+    auto it = acks_.find(zxid);
+    if (it == acks_.end() || it->second.size() < Quorum()) {
+      break;
+    }
+    acks_.erase(it);
+    committed_zxid_ = zxid;
+    callbacks_->OnDeliver(zxid, history_[delivered_count_].txn);
+    ++delivered_count_;
+    BroadcastMsg(ZabMsgType::kCommit, EncodeZxidMsg({current_epoch_, zxid}));
+  }
+}
+
+// --------------------------------------------------------------- following
+
+void ZabNode::BecomeFollower(NodeId leader, uint32_t leader_epoch) {
+  role_ = Role::kFollowing;
+  leader_ = leader;
+  synced_ = false;
+  current_epoch_ = std::max(current_epoch_, leader_epoch);
+  EDC_LOG(kDebug) << "node " << config_.self << " FOLLOWING " << leader;
+  SendTo(leader, ZabMsgType::kFollowerInfo, EncodeFollowerInfo({last_logged()}));
+  ResetLeaderTimeout();
+}
+
+void ZabNode::ResetLeaderTimeout() {
+  ArmTimer(&leader_timeout_timer_, config_.leader_timeout, [this]() {
+    EDC_LOG(kDebug) << "node " << config_.self << " leader timeout";
+    EnterLooking();
+  });
+}
+
+void ZabNode::OnDiff(DiffMsg&& msg) {
+  if (role_ != Role::kFollowing) {
+    return;
+  }
+  for (ZabProposal& p : msg.proposals) {
+    if (p.zxid <= last_logged()) {
+      continue;
+    }
+    history_.push_back(p);
+    AppendDurable(std::move(p), nullptr);
+  }
+  DeliverUpTo(msg.committed_zxid);
+  ResetLeaderTimeout();
+}
+
+void ZabNode::OnTrunc(const ZxidMsg& msg) {
+  if (role_ != Role::kFollowing) {
+    return;
+  }
+  size_t keep = 0;
+  while (keep < history_.size() && history_[keep].zxid <= msg.zxid) {
+    ++keep;
+  }
+  history_.resize(keep);
+  // The durable log may contain fewer records (unsynced appends were lost in
+  // a crash) but never more than history_; align conservatively.
+  if (log_->records().size() > keep) {
+    log_->Truncate(keep);
+  }
+  ResetLeaderTimeout();
+}
+
+void ZabNode::OnSnap(SnapMsg&& msg) {
+  if (role_ != Role::kFollowing) {
+    return;
+  }
+  callbacks_->InstallSnapshot(msg.snapshot_zxid, msg.snapshot);
+  history_.clear();
+  log_->Truncate(0);
+  base_zxid_ = msg.snapshot_zxid;
+  committed_zxid_ = msg.snapshot_zxid;
+  delivered_count_ = 0;
+  ResetLeaderTimeout();
+}
+
+void ZabNode::OnNewLeader(const EpochMsg& msg) {
+  if (role_ != Role::kFollowing) {
+    return;
+  }
+  current_epoch_ = std::max(current_epoch_, msg.epoch);
+  synced_ = true;
+  DeliverUpTo(msg.committed_zxid);
+  SendTo(leader_, ZabMsgType::kAckNewLeader, EncodeFollowerInfo({last_logged()}));
+  callbacks_->OnRoleChange(false, leader_, current_epoch_);
+  ResetLeaderTimeout();
+}
+
+void ZabNode::OnUpToDate(const EpochMsg& msg) {
+  if (role_ == Role::kFollowing && synced_) {
+    DeliverUpTo(msg.committed_zxid);
+    ResetLeaderTimeout();
+  }
+}
+
+void ZabNode::OnPropose(const ProposeMsg& msg) {
+  if (role_ != Role::kFollowing || !synced_ || msg.epoch != current_epoch_) {
+    return;
+  }
+  if (msg.proposal.zxid <= last_logged()) {
+    return;  // duplicate
+  }
+  ZabProposal p = msg.proposal;
+  uint64_t zxid = p.zxid;
+  history_.push_back(p);
+  AppendDurable(std::move(p), [this, zxid]() {
+    if (role_ == Role::kFollowing && synced_) {
+      SendTo(leader_, ZabMsgType::kAck, EncodeZxidMsg({current_epoch_, zxid}));
+    }
+  });
+  ResetLeaderTimeout();
+}
+
+void ZabNode::OnCommitMsg(const ZxidMsg& msg) {
+  if (role_ != Role::kFollowing || !synced_ || msg.epoch != current_epoch_) {
+    return;
+  }
+  DeliverUpTo(msg.zxid);
+  ResetLeaderTimeout();
+}
+
+void ZabNode::OnHeartbeat(NodeId from, const EpochMsg& msg) {
+  // A live leader's heartbeat pulls lookers back into the ensemble and
+  // demotes stale leaders after a healed partition.
+  if (role_ == Role::kLeading && msg.epoch > current_epoch_) {
+    EnterLooking();
+    return;
+  }
+  if (role_ == Role::kLooking) {
+    loop_->Cancel(election_timer_);
+    BecomeFollower(from, msg.epoch);
+    return;
+  }
+  if (role_ == Role::kFollowing) {
+    if (from != leader_) {
+      // We follow the wrong node (a stale election decision); the heartbeat
+      // sender is the actual leader — realign instead of refreshing a
+      // timeout that would never make progress.
+      if (msg.epoch >= current_epoch_) {
+        BecomeFollower(from, msg.epoch);
+      }
+      return;
+    }
+    ResetLeaderTimeout();
+    if (synced_ && msg.epoch == current_epoch_) {
+      DeliverUpTo(msg.committed_zxid);
+    }
+  }
+}
+
+// ------------------------------------------------------------------ shared
+
+void ZabNode::DeliverUpTo(uint64_t frontier) {
+  while (delivered_count_ < history_.size() &&
+         history_[delivered_count_].zxid <= frontier) {
+    committed_zxid_ = history_[delivered_count_].zxid;
+    callbacks_->OnDeliver(committed_zxid_, history_[delivered_count_].txn);
+    ++delivered_count_;
+  }
+  committed_zxid_ = std::max(committed_zxid_, std::min(frontier, last_logged()));
+}
+
+void ZabNode::AppendDurable(ZabProposal proposal, std::function<void()> on_durable) {
+  Encoder enc;
+  proposal.Encode(enc);
+  uint64_t gen = generation_;
+  log_->Append(enc.Release(), [this, gen, cb = std::move(on_durable)]() {
+    if (gen != generation_ || !cb) {
+      return;
+    }
+    cb();
+  });
+}
+
+const ZabProposal* ZabNode::FindInHistory(uint64_t zxid) const {
+  for (const ZabProposal& p : history_) {
+    if (p.zxid == zxid) {
+      return &p;
+    }
+  }
+  return nullptr;
+}
+
+void ZabNode::CompactLog() {
+  size_t drop = 0;
+  while (drop < history_.size() && history_[drop].zxid <= committed_zxid_ &&
+         drop < delivered_count_) {
+    ++drop;
+  }
+  if (drop == 0) {
+    return;
+  }
+  base_zxid_ = history_[drop - 1].zxid;
+  history_.erase(history_.begin(), history_.begin() + static_cast<ptrdiff_t>(drop));
+  delivered_count_ -= drop;
+  log_->DropHead(drop);
+}
+
+// -------------------------------------------------------------- dispatcher
+
+void ZabNode::HandlePacket(Packet&& pkt) {
+  if (role_ == Role::kDown) {
+    return;
+  }
+  Duration cost = costs_.rpc_decode_cpu;
+  switch (static_cast<ZabMsgType>(pkt.type)) {
+    case ZabMsgType::kPropose:
+      cost = costs_.zab_propose_cpu;
+      break;
+    case ZabMsgType::kAck:
+      cost = costs_.zab_ack_cpu;
+      break;
+    case ZabMsgType::kCommit:
+      cost = costs_.zab_commit_cpu;
+      break;
+    default:
+      break;
+  }
+  uint64_t gen = generation_;
+  auto shared = std::make_shared<Packet>(std::move(pkt));
+  cpu_->Submit(cost, [this, gen, shared]() {
+    if (gen != generation_ || role_ == Role::kDown) {
+      return;
+    }
+    Process(std::move(*shared));
+  });
+}
+
+void ZabNode::Process(Packet&& pkt) {
+  switch (static_cast<ZabMsgType>(pkt.type)) {
+    case ZabMsgType::kElection: {
+      auto m = DecodeElectionVote(pkt.payload);
+      if (m.ok()) {
+        OnElectionVote(*m, pkt.src);
+      }
+      break;
+    }
+    case ZabMsgType::kLeaderInfo: {
+      auto m = DecodeLeaderInfo(pkt.payload);
+      if (m.ok()) {
+        OnLeaderInfo(*m);
+      }
+      break;
+    }
+    case ZabMsgType::kFollowerInfo: {
+      auto m = DecodeFollowerInfo(pkt.payload);
+      if (m.ok()) {
+        OnFollowerInfo(pkt.src, *m);
+      }
+      break;
+    }
+    case ZabMsgType::kDiff: {
+      auto m = DecodeDiffMsg(pkt.payload);
+      if (m.ok()) {
+        OnDiff(std::move(*m));
+      }
+      break;
+    }
+    case ZabMsgType::kTrunc: {
+      auto m = DecodeZxidMsg(pkt.payload);
+      if (m.ok()) {
+        OnTrunc(*m);
+      }
+      break;
+    }
+    case ZabMsgType::kSnap: {
+      auto m = DecodeSnapMsg(pkt.payload);
+      if (m.ok()) {
+        OnSnap(std::move(*m));
+      }
+      break;
+    }
+    case ZabMsgType::kNewLeader: {
+      auto m = DecodeEpochMsg(pkt.payload);
+      if (m.ok()) {
+        OnNewLeader(*m);
+      }
+      break;
+    }
+    case ZabMsgType::kAckNewLeader: {
+      auto m = DecodeFollowerInfo(pkt.payload);
+      if (m.ok()) {
+        OnAckNewLeader(pkt.src, *m);
+      }
+      break;
+    }
+    case ZabMsgType::kUpToDate: {
+      auto m = DecodeEpochMsg(pkt.payload);
+      if (m.ok()) {
+        OnUpToDate(*m);
+      }
+      break;
+    }
+    case ZabMsgType::kPropose: {
+      auto m = DecodeProposeMsg(pkt.payload);
+      if (m.ok()) {
+        OnPropose(*m);
+      }
+      break;
+    }
+    case ZabMsgType::kAck: {
+      auto m = DecodeZxidMsg(pkt.payload);
+      if (m.ok()) {
+        OnAck(pkt.src, *m);
+      }
+      break;
+    }
+    case ZabMsgType::kCommit: {
+      auto m = DecodeZxidMsg(pkt.payload);
+      if (m.ok()) {
+        OnCommitMsg(*m);
+      }
+      break;
+    }
+    case ZabMsgType::kHeartbeat: {
+      auto m = DecodeEpochMsg(pkt.payload);
+      if (m.ok()) {
+        OnHeartbeat(pkt.src, *m);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace edc

@@ -1,0 +1,200 @@
+// Zab-style primary-backup atomic broadcast (the replication kernel under the
+// ZooKeeper-like service, cf. Junqueira et al., "Zab: High-performance
+// broadcast for primary-backup systems").
+//
+// Protocol phases implemented:
+//   * Leader election — simplified fast leader election: LOOKING nodes
+//     exchange votes carrying (currentEpoch, lastZxid, nodeId); the highest
+//     credential wins once a quorum agrees. Settled nodes answer lookers with
+//     LEADERINFO so recovering replicas converge quickly.
+//   * Synchronization — a follower announces its last zxid (FOLLOWERINFO);
+//     the leader responds with TRUNC (follower ahead), DIFF (missing tail) or
+//     SNAP+DIFF (the compacted log no longer covers the gap), followed by
+//     NEWLEADER. The leader activates broadcast after a quorum acks.
+//   * Broadcast — leader assigns zxids (epoch<<32|counter), appends durably,
+//     sends PROPOSE; followers append durably and ACK; quorum acks commit
+//     in zxid order; COMMIT/heartbeats move the followers' commit frontier.
+//
+// Crash/recovery: Crash() wipes volatile state (the durable LogStore
+// survives); Restart() reloads the log and re-enters election. Delivery
+// replays from zxid 0, so the owning service must reset its state machine on
+// restart and rebuild via OnDeliver/InstallSnapshot.
+
+#ifndef EDC_ZAB_NODE_H_
+#define EDC_ZAB_NODE_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "edc/logstore/logstore.h"
+#include "edc/sim/cpu.h"
+#include "edc/sim/costs.h"
+#include "edc/sim/event_loop.h"
+#include "edc/sim/network.h"
+#include "edc/zab/messages.h"
+
+namespace edc {
+
+class ZabCallbacks {
+ public:
+  virtual ~ZabCallbacks() = default;
+  // Committed transactions, strictly in zxid order.
+  virtual void OnDeliver(uint64_t zxid, const std::vector<uint8_t>& txn) = 0;
+  // Role transitions (leader elected, lost leadership, new epoch).
+  virtual void OnRoleChange(bool leader, NodeId leader_id, uint32_t epoch) = 0;
+  // State transfer hooks.
+  virtual std::vector<uint8_t> TakeSnapshot() = 0;
+  virtual void InstallSnapshot(uint64_t zxid, const std::vector<uint8_t>& snapshot) = 0;
+};
+
+struct ZabConfig {
+  std::vector<NodeId> members;
+  NodeId self = 0;
+  Duration heartbeat_interval = Millis(50);
+  Duration leader_timeout = Millis(250);
+  Duration election_retry = Millis(120);
+};
+
+class ZabNode {
+ public:
+  ZabNode(EventLoop* loop, Network* net, CpuQueue* cpu, LogStore* log, const CostModel& costs,
+          ZabConfig config, ZabCallbacks* callbacks);
+
+  ZabNode(const ZabNode&) = delete;
+  ZabNode& operator=(const ZabNode&) = delete;
+
+  // Initial boot (empty volatile state; durable log may contain history).
+  void Start();
+  // Simulated process crash: volatile state lost, unsynced log appends drop.
+  void Crash();
+  // Reboot after Crash(): reload the durable log and rejoin the ensemble.
+  void Restart();
+
+  // Leader-only: order `txn`. Returns false when this node cannot currently
+  // broadcast (not leader, or sync phase still in progress).
+  bool Broadcast(std::vector<uint8_t> txn);
+
+  // Routes a Zab-range packet into the protocol (charges CPU internally).
+  void HandlePacket(Packet&& pkt);
+
+  bool running() const { return role_ != Role::kDown; }
+  bool is_leader() const { return role_ == Role::kLeading && broadcast_active_; }
+  bool is_active_follower() const { return role_ == Role::kFollowing && synced_; }
+  NodeId leader() const { return leader_; }
+  uint32_t epoch() const { return current_epoch_; }
+  uint64_t last_committed() const { return committed_zxid_; }
+  uint64_t last_logged() const;
+
+  // Testing/ablation: forget log entries up to the current commit frontier,
+  // keeping a snapshot, to force the SNAP path for lagging followers.
+  void CompactLog();
+
+ private:
+  enum class Role { kDown, kLooking, kFollowing, kLeading };
+
+  struct Vote {
+    uint32_t epoch = 0;
+    uint64_t zxid = 0;
+    NodeId node = 0;
+
+    bool BetterThan(const Vote& o) const {
+      if (epoch != o.epoch) {
+        return epoch > o.epoch;
+      }
+      if (zxid != o.zxid) {
+        return zxid > o.zxid;
+      }
+      return node > o.node;
+    }
+    bool operator==(const Vote& o) const {
+      return epoch == o.epoch && zxid == o.zxid && node == o.node;
+    }
+  };
+
+  size_t Quorum() const { return config_.members.size() / 2 + 1; }
+  void SendTo(NodeId dst, ZabMsgType type, std::vector<uint8_t> payload);
+  void BroadcastMsg(ZabMsgType type, const std::vector<uint8_t>& payload);
+
+  void Process(Packet&& pkt);
+
+  // Election.
+  void EnterLooking();
+  void ElectionRetryTick();
+  void SendMyVote(NodeId dst_or_all);
+  void OnElectionVote(const ElectionVote& vote, NodeId from);
+  void OnLeaderInfo(const LeaderInfo& info);
+  void CheckElectionDecision();
+  void DecideLeader(NodeId leader, uint32_t leader_epoch);
+
+  // Leading.
+  void BecomeLeader();
+  void OnFollowerInfo(NodeId from, const FollowerInfo& info);
+  void OnAckNewLeader(NodeId from, const FollowerInfo& info);
+  void OnAck(NodeId from, const ZxidMsg& msg);
+  void RecordAck(NodeId from, uint64_t zxid);
+  void TryCommit();
+  void ActivateBroadcastIfQuorum();
+  void SendHeartbeats();
+
+  // Following.
+  void BecomeFollower(NodeId leader, uint32_t leader_epoch);
+  void OnPropose(const ProposeMsg& msg);
+  void OnCommitMsg(const ZxidMsg& msg);
+  void OnDiff(DiffMsg&& msg);
+  void OnTrunc(const ZxidMsg& msg);
+  void OnSnap(SnapMsg&& msg);
+  void OnNewLeader(const EpochMsg& msg);
+  void OnUpToDate(const EpochMsg& msg);
+  void OnHeartbeat(NodeId from, const EpochMsg& msg);
+  void ResetLeaderTimeout();
+
+  // Shared.
+  void DeliverUpTo(uint64_t frontier);
+  void AppendDurable(ZabProposal proposal, std::function<void()> on_durable);
+  const ZabProposal* FindInHistory(uint64_t zxid) const;
+  void ArmTimer(TimerId* slot, Duration delay, std::function<void()> fn);
+
+  EventLoop* loop_;
+  Network* net_;
+  CpuQueue* cpu_;
+  LogStore* log_;
+  CostModel costs_;
+  ZabConfig config_;
+  ZabCallbacks* callbacks_;
+
+  Role role_ = Role::kDown;
+  uint64_t generation_ = 0;  // invalidates timers/log-callbacks across crashes
+  uint32_t current_epoch_ = 0;
+  NodeId leader_ = 0;
+
+  // Log state. `history_` mirrors the durable log plus in-flight appends;
+  // entries at index i have zxid history_[i].zxid, all > base_zxid_.
+  std::vector<ZabProposal> history_;
+  uint64_t base_zxid_ = 0;  // zxid covered by the latest installed snapshot
+  uint64_t committed_zxid_ = 0;
+  size_t delivered_count_ = 0;  // prefix of history_ already delivered
+
+  // Election state.
+  uint64_t election_round_ = 0;
+  Vote my_vote_;
+  std::map<NodeId, Vote> tally_;
+
+  // Leader state.
+  uint32_t counter_ = 0;
+  bool broadcast_active_ = false;
+  std::map<uint64_t, std::set<NodeId>> acks_;
+  std::set<NodeId> newleader_acks_;
+
+  // Follower state.
+  bool synced_ = false;
+
+  TimerId election_timer_ = kInvalidTimer;
+  TimerId heartbeat_timer_ = kInvalidTimer;
+  TimerId leader_timeout_timer_ = kInvalidTimer;
+};
+
+}  // namespace edc
+
+#endif  // EDC_ZAB_NODE_H_

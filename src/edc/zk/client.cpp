@@ -1,0 +1,257 @@
+#include "edc/zk/client.h"
+
+#include <memory>
+#include <utility>
+
+#include "edc/common/logging.h"
+
+namespace edc {
+
+ZkClient::ZkClient(EventLoop* loop, Network* net, NodeId id, NodeId server,
+                   ZkClientOptions options)
+    : loop_(loop), net_(net), id_(id), server_(server), options_(options) {
+  net_->Register(id_, this);
+}
+
+void ZkClient::Connect(VoidCb done) {
+  connect_cb_ = std::move(done);
+  SendConnect();
+}
+
+void ZkClient::SendConnect() {
+  Packet pkt;
+  pkt.src = id_;
+  pkt.dst = server_;
+  pkt.type = static_cast<uint32_t>(ZkMsgType::kConnect);
+  pkt.payload = EncodeZkConnect(ZkConnectMsg{options_.session_timeout});
+  net_->Send(std::move(pkt));
+}
+
+void ZkClient::SendPing() {
+  if (session_ == 0 || closing_) {
+    return;
+  }
+  ZkOp op;
+  op.type = ZkOpType::kPing;
+  SendRequest(std::move(op), [](const ZkReplyMsg&) {});
+  ping_timer_ = loop_->Schedule(options_.ping_interval, [this]() { SendPing(); });
+}
+
+void ZkClient::SendRequest(ZkOp op, ReplyCb done) {
+  ZkRequestMsg msg;
+  msg.session = session_;
+  msg.req_id = ++next_req_;
+  msg.op = std::move(op);
+  pending_[msg.req_id] = std::move(done);
+  Packet pkt;
+  pkt.src = id_;
+  pkt.dst = server_;
+  pkt.type = static_cast<uint32_t>(ZkMsgType::kRequest);
+  pkt.payload = EncodeZkRequest(msg);
+  net_->Send(std::move(pkt));
+}
+
+void ZkClient::Request(ZkOp op, ReplyCb done) { SendRequest(std::move(op), std::move(done)); }
+
+Status ZkClient::StatusOf(const ZkReplyMsg& reply) {
+  if (reply.code == ErrorCode::kOk) {
+    return Status::Ok();
+  }
+  return Status(reply.code, reply.value);
+}
+
+void ZkClient::HandlePacket(Packet&& pkt) {
+  switch (static_cast<ZkMsgType>(pkt.type)) {
+    case ZkMsgType::kConnectReply: {
+      auto m = DecodeZkConnectReply(pkt.payload);
+      if (!m.ok()) {
+        return;
+      }
+      session_ = m->session;
+      if (connect_cb_) {
+        auto cb = std::move(connect_cb_);
+        connect_cb_ = nullptr;
+        cb(Status::Ok());
+      }
+      ping_timer_ = loop_->Schedule(options_.ping_interval, [this]() { SendPing(); });
+      break;
+    }
+    case ZkMsgType::kReply: {
+      auto m = DecodeZkReply(pkt.payload);
+      if (!m.ok()) {
+        return;
+      }
+      if (m->req_id == 0) {
+        // Failed connect (e.g. no leader yet): retry.
+        if (session_ == 0 && connect_cb_) {
+          loop_->Schedule(options_.connect_retry, [this]() {
+            if (session_ == 0 && connect_cb_) {
+              SendConnect();
+            }
+          });
+        }
+        return;
+      }
+      auto it = pending_.find(m->req_id);
+      if (it == pending_.end()) {
+        return;
+      }
+      ReplyCb cb = std::move(it->second);
+      pending_.erase(it);
+      cb(*m);
+      break;
+    }
+    case ZkMsgType::kWatchEvent: {
+      auto m = DecodeZkWatchEvent(pkt.payload);
+      if (m.ok() && watch_handler_) {
+        watch_handler_(*m);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void ZkClient::Create(const std::string& path, const std::string& data, bool ephemeral,
+                      bool sequential, StringCb done) {
+  ZkOp op;
+  op.type = ZkOpType::kCreate;
+  op.path = path;
+  op.data = data;
+  op.ephemeral = ephemeral;
+  op.sequential = sequential;
+  SendRequest(std::move(op), [done = std::move(done)](const ZkReplyMsg& reply) {
+    if (reply.code != ErrorCode::kOk) {
+      done(StatusOf(reply));
+      return;
+    }
+    done(reply.value);
+  });
+}
+
+void ZkClient::Delete(const std::string& path, int32_t version, VoidCb done) {
+  ZkOp op;
+  op.type = ZkOpType::kDelete;
+  op.path = path;
+  op.version = version;
+  SendRequest(std::move(op),
+              [done = std::move(done)](const ZkReplyMsg& reply) { done(StatusOf(reply)); });
+}
+
+void ZkClient::Exists(const std::string& path, bool watch, ExistsCb done) {
+  ZkOp op;
+  op.type = ZkOpType::kExists;
+  op.path = path;
+  op.watch = watch;
+  SendRequest(std::move(op), [done = std::move(done)](const ZkReplyMsg& reply) {
+    if (reply.code != ErrorCode::kOk) {
+      done(StatusOf(reply));
+      return;
+    }
+    ExistsResult result;
+    result.exists = reply.value == "1";
+    if (reply.has_stat) {
+      result.stat = reply.stat;
+    }
+    done(result);
+  });
+}
+
+void ZkClient::GetData(const std::string& path, bool watch, NodeCb done) {
+  ZkOp op;
+  op.type = ZkOpType::kGetData;
+  op.path = path;
+  op.watch = watch;
+  SendRequest(std::move(op), [done = std::move(done)](const ZkReplyMsg& reply) {
+    if (reply.code != ErrorCode::kOk) {
+      done(StatusOf(reply));
+      return;
+    }
+    done(NodeResult{reply.value, reply.stat});
+  });
+}
+
+void ZkClient::SetData(const std::string& path, const std::string& data, int32_t version,
+                       VoidCb done) {
+  ZkOp op;
+  op.type = ZkOpType::kSetData;
+  op.path = path;
+  op.data = data;
+  op.version = version;
+  SendRequest(std::move(op),
+              [done = std::move(done)](const ZkReplyMsg& reply) { done(StatusOf(reply)); });
+}
+
+void ZkClient::GetChildren(const std::string& path, bool watch, ChildrenCb done) {
+  ZkOp op;
+  op.type = ZkOpType::kGetChildren;
+  op.path = path;
+  op.watch = watch;
+  SendRequest(std::move(op), [done = std::move(done)](const ZkReplyMsg& reply) {
+    if (reply.code != ErrorCode::kOk) {
+      done(StatusOf(reply));
+      return;
+    }
+    done(reply.children);
+  });
+}
+
+void ZkClient::Multi(std::vector<ZkOp> ops, VoidCb done) {
+  ZkOp op;
+  op.type = ZkOpType::kMulti;
+  op.ops = std::move(ops);
+  SendRequest(std::move(op),
+              [done = std::move(done)](const ZkReplyMsg& reply) { done(StatusOf(reply)); });
+}
+
+void ZkClient::Close(VoidCb done) {
+  closing_ = true;
+  loop_->Cancel(ping_timer_);
+  ZkOp op;
+  op.type = ZkOpType::kCloseSession;
+  SendRequest(std::move(op), [this, done = std::move(done)](const ZkReplyMsg& reply) {
+    session_ = 0;
+    done(StatusOf(reply));
+  });
+}
+
+void ZkClient::RegisterExtension(const std::string& name, const std::string& code,
+                                 VoidCb done) {
+  Create("/em/" + name, code, false, false,
+         [done = std::move(done)](Result<std::string> r) { done(r.status()); });
+}
+
+void ZkClient::DeregisterExtension(const std::string& name, VoidCb done) {
+  // Remove acknowledgment children first (delete requires an empty node).
+  std::string path = "/em/" + name;
+  GetChildren(path, false,
+              [this, path, done = std::move(done)](Result<std::vector<std::string>> r) {
+                if (!r.ok()) {
+                  done(r.status());
+                  return;
+                }
+                auto remaining = std::make_shared<size_t>(r->size());
+                auto finish = [this, path, done]() {
+                  Delete(path, -1, [done](Status s) { done(s); });
+                };
+                if (*remaining == 0) {
+                  finish();
+                  return;
+                }
+                for (const std::string& child : *r) {
+                  Delete(path + "/" + child, -1, [remaining, finish](Status) {
+                    if (--*remaining == 0) {
+                      finish();
+                    }
+                  });
+                }
+              });
+}
+
+void ZkClient::AcknowledgeExtension(const std::string& name, VoidCb done) {
+  Create("/em/" + name + "/ack-" + std::to_string(session_), "", false, false,
+         [done = std::move(done)](Result<std::string> r) { done(r.status()); });
+}
+
+}  // namespace edc

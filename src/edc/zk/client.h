@@ -1,0 +1,109 @@
+// Asynchronous client library for the ZooKeeper-like service.
+//
+// One client object = one session against one replica. All calls are
+// callback-based (the simulator is a single event loop). The EZK extension
+// conveniences follow §5.1.2: registration and deregistration map to plain
+// create/delete operations on the extension manager's /em subtree — the
+// coordination kernel itself is unchanged.
+
+#ifndef EDC_ZK_CLIENT_H_
+#define EDC_ZK_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "edc/sim/event_loop.h"
+#include "edc/sim/network.h"
+#include "edc/zk/types.h"
+
+namespace edc {
+
+struct ZkClientOptions {
+  Duration session_timeout = Seconds(5);
+  Duration ping_interval = Seconds(1);
+  Duration connect_retry = Millis(200);
+};
+
+class ZkClient : public NetworkNode {
+ public:
+  struct NodeResult {
+    std::string data;
+    ZkStat stat;
+  };
+  struct ExistsResult {
+    bool exists = false;
+    ZkStat stat;
+  };
+
+  using VoidCb = std::function<void(Status)>;
+  using StringCb = std::function<void(Result<std::string>)>;
+  using NodeCb = std::function<void(Result<NodeResult>)>;
+  using ExistsCb = std::function<void(Result<ExistsResult>)>;
+  using ChildrenCb = std::function<void(Result<std::vector<std::string>>)>;
+  using ReplyCb = std::function<void(const ZkReplyMsg&)>;
+  using WatchCb = std::function<void(const ZkWatchEventMsg&)>;
+
+  ZkClient(EventLoop* loop, Network* net, NodeId id, NodeId server, ZkClientOptions options);
+
+  ZkClient(const ZkClient&) = delete;
+  ZkClient& operator=(const ZkClient&) = delete;
+
+  void Connect(VoidCb done);
+  void Close(VoidCb done);
+
+  void Create(const std::string& path, const std::string& data, bool ephemeral,
+              bool sequential, StringCb done);
+  void Delete(const std::string& path, int32_t version, VoidCb done);
+  void Exists(const std::string& path, bool watch, ExistsCb done);
+  void GetData(const std::string& path, bool watch, NodeCb done);
+  void SetData(const std::string& path, const std::string& data, int32_t version,
+               VoidCb done);
+  void GetChildren(const std::string& path, bool watch, ChildrenCb done);
+  void Multi(std::vector<ZkOp> ops, VoidCb done);
+
+  // Low-level escape hatch: send any op, get the raw reply (extension-based
+  // recipes use this for ops whose replies carry extension results).
+  void Request(ZkOp op, ReplyCb done);
+
+  // Watch notifications for this session (one handler; recipes demultiplex).
+  void SetWatchHandler(WatchCb handler) { watch_handler_ = std::move(handler); }
+
+  // EZK conveniences (§5.1.2).
+  void RegisterExtension(const std::string& name, const std::string& code, VoidCb done);
+  void DeregisterExtension(const std::string& name, VoidCb done);
+  void AcknowledgeExtension(const std::string& name, VoidCb done);
+
+  bool connected() const { return session_ != 0; }
+  uint64_t session() const { return session_; }
+  NodeId id() const { return id_; }
+
+  // NetworkNode.
+  void HandlePacket(Packet&& pkt) override;
+
+ private:
+  void SendConnect();
+  void SendPing();
+  void SendRequest(ZkOp op, ReplyCb done);
+  static Status StatusOf(const ZkReplyMsg& reply);
+
+  EventLoop* loop_;
+  Network* net_;
+  NodeId id_;
+  NodeId server_;
+  ZkClientOptions options_;
+
+  uint64_t session_ = 0;
+  uint64_t next_req_ = 0;
+  VoidCb connect_cb_;
+  std::map<uint64_t, ReplyCb> pending_;
+  WatchCb watch_handler_;
+  TimerId ping_timer_ = kInvalidTimer;
+  bool closing_ = false;
+};
+
+}  // namespace edc
+
+#endif  // EDC_ZK_CLIENT_H_

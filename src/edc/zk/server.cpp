@@ -1,0 +1,786 @@
+#include "edc/zk/server.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "edc/common/logging.h"
+#include "edc/common/strings.h"
+
+namespace edc {
+
+namespace {
+// Paths present in a freshly initialized service: the extension-manager data
+// object (§3.5) exists from the start on every replica.
+constexpr char kEmPath[] = "/em";
+}  // namespace
+
+ZkServer::ZkServer(EventLoop* loop, Network* net, NodeId id, std::vector<NodeId> members,
+                   const CostModel& costs, ZkServerOptions options)
+    : loop_(loop),
+      net_(net),
+      id_(id),
+      costs_(costs),
+      options_(options),
+      cpu_(loop, options.cpu_cores),
+      log_(loop, options.log) {
+  ZabConfig zcfg;
+  zcfg.members = std::move(members);
+  zcfg.self = id;
+  zcfg.heartbeat_interval = options.zab_heartbeat;
+  zcfg.leader_timeout = options.zab_leader_timeout;
+  zcfg.election_retry = options.zab_election_retry;
+  zab_ = std::make_unique<ZabNode>(loop, net, &cpu_, &log_, costs, zcfg, this);
+}
+
+void ZkServer::Start() {
+  ++generation_;
+  running_ = true;
+  sessions_.clear();
+  block_table_.clear();
+  outstanding_.clear();
+  watch_mgr_.Clear();
+  client_nodes_.clear();
+  pending_connects_.clear();
+  expiring_sessions_.clear();
+  txns_applied_ = 0;
+  tree_.Load({});  // empty tree
+  (void)tree_.Create(kEmPath, "", 0, false, 0, 0);
+  if (hooks_ != nullptr) {
+    hooks_->OnStateReloaded();
+  }
+  zab_->Start();
+  StartSessionTimer();
+}
+
+void ZkServer::Crash() {
+  ++generation_;
+  running_ = false;
+  zab_->Crash();
+  loop_->Cancel(session_timer_);
+  session_timer_ = kInvalidTimer;
+}
+
+void ZkServer::Restart() {
+  ++generation_;
+  running_ = true;
+  sessions_.clear();
+  block_table_.clear();
+  outstanding_.clear();
+  watch_mgr_.Clear();
+  client_nodes_.clear();
+  pending_connects_.clear();
+  expiring_sessions_.clear();
+  tree_.Load({});
+  (void)tree_.Create(kEmPath, "", 0, false, 0, 0);
+  if (hooks_ != nullptr) {
+    hooks_->OnStateReloaded();
+  }
+  zab_->Restart();
+  StartSessionTimer();
+}
+
+void ZkServer::StartSessionTimer() {
+  uint64_t gen = generation_;
+  session_timer_ = loop_->Schedule(options_.session_check_interval, [this, gen]() {
+    if (gen != generation_ || !running_) {
+      return;
+    }
+    CheckSessions();
+    StartSessionTimer();
+  });
+}
+
+void ZkServer::CheckSessions() {
+  for (const auto& [session, info] : sessions_) {
+    if (info.owner != id_ || info.timeout <= 0) {
+      continue;
+    }
+    if (expiring_sessions_.count(session) > 0) {
+      continue;
+    }
+    if (info.last_seen + info.timeout < loop_->now()) {
+      expiring_sessions_.insert(session);
+      ZkRequestMsg msg;
+      msg.session = session;
+      msg.req_id = AllocInternalReqId();
+      msg.op.type = ZkOpType::kCloseSession;
+      EDC_LOG(kDebug) << "server " << id_ << " expiring session " << session;
+      RouteToLeader(id_, msg);
+    }
+  }
+}
+
+void ZkServer::SendPacket(NodeId dst, ZkMsgType type, std::vector<uint8_t> payload) {
+  Packet pkt;
+  pkt.src = id_;
+  pkt.dst = dst;
+  pkt.type = static_cast<uint32_t>(type);
+  pkt.payload = std::move(payload);
+  net_->Send(std::move(pkt));
+}
+
+void ZkServer::HandlePacket(Packet&& pkt) {
+  if (!running_) {
+    return;
+  }
+  if (IsZabPacket(pkt.type)) {
+    zab_->HandlePacket(std::move(pkt));
+    return;
+  }
+  if (!IsZkPacket(pkt.type)) {
+    return;
+  }
+  uint64_t gen = generation_;
+  auto shared = std::make_shared<Packet>(std::move(pkt));
+  cpu_.Submit(costs_.rpc_decode_cpu, [this, gen, shared]() {
+    if (gen != generation_ || !running_) {
+      return;
+    }
+    ProcessClientPacket(std::move(*shared));
+  });
+}
+
+void ZkServer::ProcessClientPacket(Packet&& pkt) {
+  switch (static_cast<ZkMsgType>(pkt.type)) {
+    case ZkMsgType::kConnect:
+      OnConnect(std::move(pkt));
+      break;
+    case ZkMsgType::kRequest:
+      OnClientRequest(std::move(pkt));
+      break;
+    case ZkMsgType::kForward: {
+      auto m = DecodeZkForward(pkt.payload);
+      if (m.ok()) {
+        PrepAndPropose(m->origin, std::move(m->request));
+      }
+      break;
+    }
+    case ZkMsgType::kForwardReply: {
+      auto m = DecodeZkForwardReply(pkt.payload);
+      if (m.ok()) {
+        SendReplyToClient(m->session, m->reply);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void ZkServer::OnConnect(Packet&& pkt) {
+  auto m = DecodeZkConnect(pkt.payload);
+  if (!m.ok()) {
+    return;
+  }
+  uint64_t session = (static_cast<uint64_t>(id_) << 40) | ++session_counter_;
+  pending_connects_[session] = pkt.src;
+  client_nodes_[session] = pkt.src;
+  ZkRequestMsg msg;
+  msg.session = session;
+  msg.req_id = 0;
+  msg.op.type = ZkOpType::kSessionCreate;
+  msg.op.data = std::to_string(m->session_timeout);
+  RouteToLeader(id_, msg);
+}
+
+void ZkServer::OnClientRequest(Packet&& pkt) {
+  auto m = DecodeZkRequest(pkt.payload);
+  if (!m.ok()) {
+    return;
+  }
+  ZkRequestMsg& msg = *m;
+  auto session_it = sessions_.find(msg.session);
+  if (session_it == sessions_.end()) {
+    ZkReplyMsg reply;
+    reply.req_id = msg.req_id;
+    reply.code = ErrorCode::kSessionExpired;
+    SendPacket(pkt.src, ZkMsgType::kReply, EncodeZkReply(reply));
+    return;
+  }
+  client_nodes_[msg.session] = pkt.src;
+  if (session_it->second.owner == id_) {
+    session_it->second.last_seen = loop_->now();
+  }
+
+  if (msg.op.type == ZkOpType::kPing) {
+    ZkReplyMsg reply;
+    reply.req_id = msg.req_id;
+    SendPacket(pkt.src, ZkMsgType::kReply, EncodeZkReply(reply));
+    return;
+  }
+
+  // Extension-subscribed operations take the leader path even when they are
+  // reads; the subscription check itself is the §6.2 "overhead" hot path.
+  bool matched = false;
+  if (hooks_ != nullptr) {
+    cpu_.Submit(costs_.ext_match_cpu, []() {});
+    matched = hooks_->MatchesOperation(msg.session, msg.op);
+  }
+  if (!matched && IsReadOp(msg.op.type)) {
+    uint64_t gen = generation_;
+    NodeId client = pkt.src;
+    auto shared = std::make_shared<ZkRequestMsg>(std::move(msg));
+    cpu_.Submit(costs_.read_cpu, [this, gen, shared, client]() {
+      if (gen != generation_ || !running_) {
+        return;
+      }
+      ServeRead(shared->session, *shared, client);
+    });
+    return;
+  }
+  RouteToLeader(id_, msg);
+}
+
+void ZkServer::ServeRead(uint64_t session, const ZkRequestMsg& msg, NodeId client) {
+  ZkReplyMsg reply;
+  reply.req_id = msg.req_id;
+  switch (msg.op.type) {
+    case ZkOpType::kExists: {
+      bool exists = tree_.Exists(msg.op.path);
+      reply.value = exists ? "1" : "0";
+      if (exists) {
+        auto node = tree_.Get(msg.op.path);
+        reply.has_stat = true;
+        reply.stat = node->stat;
+      }
+      if (msg.op.watch) {
+        watch_mgr_.AddDataWatch(msg.op.path, session);
+      }
+      break;
+    }
+    case ZkOpType::kGetData: {
+      auto node = tree_.Get(msg.op.path);
+      if (!node.ok()) {
+        reply.code = node.status().code();
+        break;
+      }
+      reply.value = node->data;
+      reply.has_stat = true;
+      reply.stat = node->stat;
+      if (msg.op.watch) {
+        watch_mgr_.AddDataWatch(msg.op.path, session);
+      }
+      break;
+    }
+    case ZkOpType::kGetChildren: {
+      auto children = tree_.GetChildren(msg.op.path);
+      if (!children.ok()) {
+        reply.code = children.status().code();
+        break;
+      }
+      reply.children = std::move(*children);
+      if (msg.op.watch) {
+        watch_mgr_.AddChildWatch(msg.op.path, session);
+      }
+      break;
+    }
+    default:
+      reply.code = ErrorCode::kInvalidArgument;
+      break;
+  }
+  SendPacket(client, ZkMsgType::kReply, EncodeZkReply(reply));
+}
+
+void ZkServer::RouteToLeader(uint32_t origin, const ZkRequestMsg& msg) {
+  if (zab_->is_leader()) {
+    PrepAndPropose(origin, msg);
+    return;
+  }
+  NodeId leader = zab_->leader();
+  if (leader == 0 || leader == id_) {
+    ZkReplyMsg reply;
+    reply.req_id = msg.req_id;
+    reply.code = ErrorCode::kNotReady;
+    RouteReply(origin, msg.session, std::move(reply));
+    return;
+  }
+  ZkForwardMsg fwd;
+  fwd.origin = origin;
+  fwd.request = msg;
+  SendPacket(leader, ZkMsgType::kForward, EncodeZkForward(fwd));
+}
+
+void ZkServer::PrepAndPropose(uint32_t origin, ZkRequestMsg msg) {
+  uint64_t gen = generation_;
+  auto shared = std::make_shared<ZkRequestMsg>(std::move(msg));
+  cpu_.Submit(costs_.prep_cpu, [this, gen, origin, shared]() {
+    if (gen != generation_ || !running_) {
+      return;
+    }
+    DoPrep(origin, std::move(*shared));
+  });
+}
+
+void ZkServer::DoPrep(uint32_t origin, ZkRequestMsg msg) {
+  auto fail = [&](const Status& status) {
+    ZkReplyMsg reply;
+    reply.req_id = msg.req_id;
+    reply.code = status.code();
+    reply.value = status.message();
+    RouteReply(origin, msg.session, std::move(reply));
+  };
+
+  if (!zab_->is_leader()) {
+    fail(Status(ErrorCode::kNotReady, "not leader"));
+    return;
+  }
+
+  // Registration-time hook (verify + rewrite of /em creates).
+  if (hooks_ != nullptr && !IsReadOp(msg.op.type)) {
+    Duration extra = 0;
+    Status s = hooks_->PreprocessUpdate(msg.session, &msg.op, &extra);
+    if (extra > 0) {
+      cpu_.Submit(extra, []() {});
+    }
+    if (!s.ok()) {
+      fail(s);
+      return;
+    }
+  }
+
+  PrepSession prep(&tree_, &outstanding_, msg.session, msg.req_id, loop_->now());
+  bool has_result = false;
+  std::string result;
+  bool handled = false;
+
+  if (hooks_ != nullptr && hooks_->MatchesOperation(msg.session, msg.op)) {
+    ZkPrepOutcome outcome = hooks_->HandleOperation(&prep, msg.session, msg.op);
+    if (outcome.extra_cpu > 0) {
+      cpu_.Submit(outcome.extra_cpu, []() {});
+    }
+    handled = outcome.handled;
+    if (handled) {
+      if (!outcome.status.ok()) {
+        fail(outcome.status);
+        return;
+      }
+      has_result = outcome.has_result;
+      result = std::move(outcome.result);
+    }
+  }
+
+  if (!handled) {
+    switch (msg.op.type) {
+      case ZkOpType::kCreate: {
+        auto actual = prep.Create(msg.op.path, msg.op.data, msg.op.ephemeral,
+                                  msg.op.sequential);
+        if (!actual.ok()) {
+          fail(actual.status());
+          return;
+        }
+        has_result = true;
+        result = *actual;
+        break;
+      }
+      case ZkOpType::kDelete: {
+        auto s = prep.Delete(msg.op.path, msg.op.version);
+        if (!s.ok()) {
+          fail(s);
+          return;
+        }
+        break;
+      }
+      case ZkOpType::kSetData: {
+        auto s = prep.SetData(msg.op.path, msg.op.data, msg.op.version);
+        if (!s.ok()) {
+          fail(s);
+          return;
+        }
+        break;
+      }
+      case ZkOpType::kMulti: {
+        for (const ZkOp& sub : msg.op.ops) {
+          Status s;
+          switch (sub.type) {
+            case ZkOpType::kCreate: {
+              auto r = prep.Create(sub.path, sub.data, sub.ephemeral, sub.sequential);
+              s = r.ok() ? Status::Ok() : r.status();
+              break;
+            }
+            case ZkOpType::kDelete:
+              s = prep.Delete(sub.path, sub.version);
+              break;
+            case ZkOpType::kSetData:
+              s = prep.SetData(sub.path, sub.data, sub.version);
+              break;
+            default:
+              s = Status(ErrorCode::kInvalidArgument, "bad op in multi");
+              break;
+          }
+          if (!s.ok()) {
+            fail(s);
+            return;
+          }
+        }
+        break;
+      }
+      case ZkOpType::kCloseSession:
+        prep.CloseSession(msg.session);
+        break;
+      case ZkOpType::kSessionCreate: {
+        auto timeout = ParseInt64(msg.op.data);
+        prep.CreateSession(msg.session, origin, timeout.value_or(0));
+        break;
+      }
+      case ZkOpType::kExists:
+      case ZkOpType::kGetData:
+      case ZkOpType::kGetChildren: {
+        // An extension-routed read that no extension ultimately handled:
+        // serve it linearizably from the leader's view.
+        ZkReplyMsg reply;
+        reply.req_id = msg.req_id;
+        auto node = prep.Get(msg.op.path);
+        if (msg.op.type == ZkOpType::kExists) {
+          reply.value = node.ok() ? "1" : "0";
+        } else if (msg.op.type == ZkOpType::kGetData) {
+          if (!node.ok()) {
+            reply.code = node.status().code();
+          } else {
+            reply.value = node->data;
+          }
+        } else {
+          auto children = prep.Children(msg.op.path);
+          if (!children.ok()) {
+            reply.code = children.status().code();
+          } else {
+            reply.children = std::move(*children);
+          }
+        }
+        RouteReply(origin, msg.session, std::move(reply));
+        return;
+      }
+      default:
+        fail(Status(ErrorCode::kInvalidArgument, "unsupported op"));
+        return;
+    }
+  }
+
+  if (prep.ops().empty()) {
+    // Read-only extension execution: reply directly from the leader.
+    ZkReplyMsg reply;
+    reply.req_id = msg.req_id;
+    reply.value = std::move(result);
+    RouteReply(origin, msg.session, std::move(reply));
+    return;
+  }
+
+  ZkTxn txn;
+  txn.session = msg.session;
+  txn.req_id = msg.req_id;
+  txn.time = loop_->now();
+  txn.ops = std::move(prep.ops());
+  txn.has_result = has_result;
+  txn.result = std::move(result);
+  outstanding_.push_back(prep.TakeDelta());
+  if (!zab_->Broadcast(txn.Encode())) {
+    outstanding_.pop_back();
+    fail(Status(ErrorCode::kNotReady, "broadcast failed"));
+  }
+}
+
+bool ZkServer::ProposeFromPrep(PrepSession* prep, bool has_result, std::string result,
+                               Duration extra_cpu, uint8_t ext_depth) {
+  if (!zab_->is_leader()) {
+    return false;
+  }
+  if (extra_cpu > 0) {
+    cpu_.Submit(extra_cpu, []() {});
+  }
+  if (prep->ops().empty()) {
+    return true;
+  }
+  ZkTxn txn;
+  txn.session = prep->session();
+  txn.req_id = prep->req_id();
+  txn.time = loop_->now();
+  txn.ops = std::move(prep->ops());
+  txn.has_result = has_result;
+  txn.result = std::move(result);
+  txn.ext_depth = ext_depth;
+  outstanding_.push_back(prep->TakeDelta());
+  if (!zab_->Broadcast(txn.Encode())) {
+    outstanding_.pop_back();
+    return false;
+  }
+  return true;
+}
+
+std::unique_ptr<PrepSession> ZkServer::BeginInternalPrep(uint64_t session) {
+  return std::make_unique<PrepSession>(&tree_, &outstanding_, session, AllocInternalReqId(),
+                                       loop_->now());
+}
+
+bool ZkServer::TxnIsDeferred(const ZkTxn& txn) {
+  for (const ZkTxnOp& op : txn.ops) {
+    if (op.type == ZkTxnOpType::kBlock && op.session == txn.session &&
+        op.req_id == txn.req_id) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ZkServer::OnDeliver(uint64_t zxid, const std::vector<uint8_t>& txn_bytes) {
+  auto txn = ZkTxn::Decode(txn_bytes);
+  if (!txn.ok()) {
+    EDC_LOG(kError) << "server " << id_ << ": undecodable txn at zxid " << zxid;
+    return;
+  }
+  if (!outstanding_.empty() && outstanding_.front().session == txn->session &&
+      outstanding_.front().req_id == txn->req_id) {
+    outstanding_.pop_front();
+  }
+  ApplyTxn(zxid, *txn);
+}
+
+void ZkServer::ApplyTxn(uint64_t zxid, const ZkTxn& txn) {
+  ++txns_applied_;
+  std::vector<ZkEvent> events;
+  std::vector<std::string> block_candidates;
+
+  for (const ZkTxnOp& op : txn.ops) {
+    switch (op.type) {
+      case ZkTxnOpType::kCreate: {
+        auto r = tree_.Create(op.path, op.data, op.ephemeral_owner, false, zxid, txn.time);
+        if (!r.ok()) {
+          EDC_LOG(kError) << "server " << id_ << ": apply create failed: "
+                          << r.status().ToString();
+          break;
+        }
+        events.push_back(ZkEvent{ZkEventType::kNodeCreated, op.path});
+        events.push_back(ZkEvent{ZkEventType::kNodeChildrenChanged, ParentPath(op.path)});
+        block_candidates.push_back(op.path);
+        break;
+      }
+      case ZkTxnOpType::kDelete: {
+        auto s = tree_.Delete(op.path, -1, zxid);
+        if (!s.ok()) {
+          EDC_LOG(kError) << "server " << id_ << ": apply delete failed: " << s.ToString();
+          break;
+        }
+        events.push_back(ZkEvent{ZkEventType::kNodeDeleted, op.path});
+        events.push_back(ZkEvent{ZkEventType::kNodeChildrenChanged, ParentPath(op.path)});
+        break;
+      }
+      case ZkTxnOpType::kSetData: {
+        auto s = tree_.SetData(op.path, op.data, -1, zxid, txn.time);
+        if (!s.ok()) {
+          EDC_LOG(kError) << "server " << id_ << ": apply setData failed: " << s.ToString();
+          break;
+        }
+        events.push_back(ZkEvent{ZkEventType::kNodeDataChanged, op.path});
+        break;
+      }
+      case ZkTxnOpType::kCreateSession: {
+        SessionInfo info;
+        info.owner = op.session_owner;
+        info.timeout = static_cast<Duration>(op.req_id);
+        info.last_seen = loop_->now();
+        sessions_[op.session] = info;
+        if (op.session_owner == id_) {
+          session_counter_ =
+              std::max(session_counter_, op.session & ((uint64_t{1} << 40) - 1));
+          auto it = pending_connects_.find(op.session);
+          if (it != pending_connects_.end()) {
+            ZkConnectReplyMsg reply{op.session, ErrorCode::kOk};
+            SendPacket(it->second, ZkMsgType::kConnectReply, EncodeZkConnectReply(reply));
+            pending_connects_.erase(it);
+          }
+        }
+        break;
+      }
+      case ZkTxnOpType::kCloseSession: {
+        for (const std::string& path : tree_.EphemeralsOf(op.session)) {
+          if (tree_.Delete(path, -1, zxid).ok()) {
+            events.push_back(ZkEvent{ZkEventType::kNodeDeleted, path});
+            events.push_back(
+                ZkEvent{ZkEventType::kNodeChildrenChanged, ParentPath(path)});
+          }
+        }
+        sessions_.erase(op.session);
+        expiring_sessions_.erase(op.session);
+        watch_mgr_.RemoveSession(op.session);
+        client_nodes_.erase(op.session);
+        for (auto& [path, waiters] : block_table_) {
+          waiters.erase(std::remove_if(waiters.begin(), waiters.end(),
+                                       [&op](const std::pair<uint64_t, uint64_t>& w) {
+                                         return w.first == op.session;
+                                       }),
+                        waiters.end());
+        }
+        break;
+      }
+      case ZkTxnOpType::kBlock: {
+        block_table_[op.path].emplace_back(op.session, op.req_id);
+        block_candidates.push_back(op.path);
+        break;
+      }
+    }
+  }
+
+  cpu_.Submit(static_cast<Duration>(txn.ops.size()) * costs_.apply_txn_cpu, []() {});
+
+  // Reply to the originating client at its owner replica (results are
+  // piggybacked on the transaction, §5.1.2). Deferred if the client now
+  // waits on a server-side block.
+  if (txn.session != 0 && txn.req_id != 0 && !TxnIsDeferred(txn)) {
+    auto it = sessions_.find(txn.session);
+    if (it != sessions_.end() && it->second.owner == id_) {
+      ZkReplyMsg reply;
+      reply.req_id = txn.req_id;
+      reply.value = txn.result;
+      SendReplyToClient(txn.session, reply);
+    }
+  }
+
+  // Server-side unblocks: any block entry whose path now exists fires. This
+  // runs after all ops so a transaction that both registers a block and
+  // creates the node (barrier's last participant) resolves consistently.
+  for (const std::string& path : block_candidates) {
+    auto waiters = block_table_.find(path);
+    if (waiters == block_table_.end() || !tree_.Exists(path)) {
+      continue;
+    }
+    auto node = tree_.Get(path);
+    for (const auto& [session, req_id] : waiters->second) {
+      auto owner = sessions_.find(session);
+      if (owner != sessions_.end() && owner->second.owner == id_) {
+        ZkReplyMsg reply;
+        reply.req_id = req_id;
+        reply.value = node.ok() ? node->data : "";
+        SendReplyToClient(session, reply);
+      }
+    }
+    block_table_.erase(waiters);
+  }
+
+  // Watches (volatile, connection-local) and notification suppression.
+  for (const ZkEvent& event : events) {
+    std::vector<uint64_t> watchers = watch_mgr_.Trigger(event.type, event.path);
+    for (uint64_t session : watchers) {
+      if (hooks_ != nullptr && hooks_->SuppressNotification(session, event)) {
+        continue;
+      }
+      auto it = client_nodes_.find(session);
+      if (it != client_nodes_.end()) {
+        cpu_.Submit(costs_.watch_fire_cpu, []() {});
+        ZkWatchEventMsg ev{event.type, event.path};
+        SendPacket(it->second, ZkMsgType::kWatchEvent, EncodeZkWatchEvent(ev));
+      }
+    }
+  }
+
+  if (hooks_ != nullptr) {
+    hooks_->AfterApply(txn, events, zab_->is_leader());
+  }
+}
+
+void ZkServer::OnRoleChange(bool leader, NodeId leader_id, uint32_t epoch) {
+  (void)leader_id;
+  (void)epoch;
+  outstanding_.clear();
+  EDC_LOG(kDebug) << "server " << id_ << (leader ? " is now leader" : " follows")
+                  << " epoch " << epoch;
+}
+
+std::vector<uint8_t> ZkServer::TakeSnapshot() {
+  Encoder enc;
+  enc.PutBytes(tree_.Serialize());
+  enc.PutVarint(sessions_.size());
+  for (const auto& [session, info] : sessions_) {
+    enc.PutU64(session);
+    enc.PutU32(info.owner);
+    enc.PutI64(info.timeout);
+  }
+  enc.PutVarint(block_table_.size());
+  for (const auto& [path, waiters] : block_table_) {
+    enc.PutString(path);
+    enc.PutVarint(waiters.size());
+    for (const auto& [session, req_id] : waiters) {
+      enc.PutU64(session);
+      enc.PutU64(req_id);
+    }
+  }
+  return enc.Release();
+}
+
+void ZkServer::InstallSnapshot(uint64_t zxid, const std::vector<uint8_t>& snapshot) {
+  (void)zxid;
+  Decoder dec(snapshot);
+  auto tree_bytes = dec.GetBytes();
+  if (!tree_bytes.ok() || !tree_.Load(*tree_bytes).ok()) {
+    EDC_LOG(kError) << "server " << id_ << ": snapshot tree load failed";
+    return;
+  }
+  sessions_.clear();
+  auto n_sessions = dec.GetVarint();
+  if (n_sessions.ok()) {
+    for (uint64_t i = 0; i < *n_sessions; ++i) {
+      auto session = dec.GetU64();
+      auto owner = dec.GetU32();
+      auto timeout = dec.GetI64();
+      if (!session.ok() || !owner.ok() || !timeout.ok()) {
+        break;
+      }
+      SessionInfo info;
+      info.owner = *owner;
+      info.timeout = *timeout;
+      info.last_seen = loop_->now();
+      sessions_[*session] = info;
+      if (*owner == id_) {
+        session_counter_ = std::max(session_counter_, *session & ((uint64_t{1} << 40) - 1));
+      }
+    }
+  }
+  block_table_.clear();
+  auto n_blocks = dec.GetVarint();
+  if (n_blocks.ok()) {
+    for (uint64_t i = 0; i < *n_blocks; ++i) {
+      auto path = dec.GetString();
+      auto n_waiters = dec.GetVarint();
+      if (!path.ok() || !n_waiters.ok()) {
+        break;
+      }
+      auto& waiters = block_table_[*path];
+      for (uint64_t j = 0; j < *n_waiters; ++j) {
+        auto session = dec.GetU64();
+        auto req_id = dec.GetU64();
+        if (!session.ok() || !req_id.ok()) {
+          break;
+        }
+        waiters.emplace_back(*session, *req_id);
+      }
+    }
+  }
+  watch_mgr_.Clear();
+  if (hooks_ != nullptr) {
+    hooks_->OnStateReloaded();
+  }
+}
+
+void ZkServer::RouteReply(uint32_t origin, uint64_t session, ZkReplyMsg reply) {
+  if (origin == id_) {
+    SendReplyToClient(session, reply);
+    return;
+  }
+  ZkForwardReplyMsg msg;
+  msg.session = session;
+  msg.reply = std::move(reply);
+  SendPacket(origin, ZkMsgType::kForwardReply, EncodeZkForwardReply(msg));
+}
+
+void ZkServer::SendReplyToClient(uint64_t session, const ZkReplyMsg& reply) {
+  auto it = client_nodes_.find(session);
+  if (it == client_nodes_.end()) {
+    auto pending = pending_connects_.find(session);
+    if (pending == pending_connects_.end()) {
+      return;
+    }
+    SendPacket(pending->second, ZkMsgType::kReply, EncodeZkReply(reply));
+    return;
+  }
+  SendPacket(it->second, ZkMsgType::kReply, EncodeZkReply(reply));
+}
+
+}  // namespace edc

@@ -1,0 +1,150 @@
+// Replica of the ZooKeeper-like coordination service.
+//
+// Each server is one simulated host: a CPU queue, a durable log, a Zab node,
+// the data tree, and the request-processor pipeline. Reads are served by the
+// replica the client is connected to (the fast path); updates — and any
+// operation matching an extension subscription — are forwarded to the Zab
+// leader, prepped into a deterministic transaction there, broadcast, and
+// applied by every replica. The replica owning the client's session sends
+// the reply when it applies the transaction (results, including extension
+// results, are piggybacked on the transaction, §5.1.2).
+
+#ifndef EDC_ZK_SERVER_H_
+#define EDC_ZK_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "edc/logstore/logstore.h"
+#include "edc/sim/cpu.h"
+#include "edc/sim/costs.h"
+#include "edc/sim/event_loop.h"
+#include "edc/sim/network.h"
+#include "edc/zab/node.h"
+#include "edc/zk/data_tree.h"
+#include "edc/zk/hooks.h"
+#include "edc/zk/prep.h"
+#include "edc/zk/txn.h"
+#include "edc/zk/types.h"
+#include "edc/zk/watch_manager.h"
+
+namespace edc {
+
+struct ZkServerOptions {
+  int cpu_cores = 1;
+  LogStoreConfig log;
+  Duration zab_heartbeat = Millis(50);
+  Duration zab_leader_timeout = Millis(250);
+  Duration zab_election_retry = Millis(120);
+  Duration session_check_interval = Millis(200);
+};
+
+class ZkServer : public NetworkNode, public ZabCallbacks {
+ public:
+  ZkServer(EventLoop* loop, Network* net, NodeId id, std::vector<NodeId> members,
+           const CostModel& costs, ZkServerOptions options);
+  ~ZkServer() override = default;
+
+  // Must be set before Start() if extensions are enabled; nullptr = plain
+  // ZooKeeper.
+  void SetHooks(ZkServerHooks* hooks) { hooks_ = hooks; }
+
+  void Start();
+  void Crash();
+  void Restart();
+
+  // NetworkNode.
+  void HandlePacket(Packet&& pkt) override;
+
+  // ZabCallbacks.
+  void OnDeliver(uint64_t zxid, const std::vector<uint8_t>& txn) override;
+  void OnRoleChange(bool leader, NodeId leader_id, uint32_t epoch) override;
+  std::vector<uint8_t> TakeSnapshot() override;
+  void InstallSnapshot(uint64_t zxid, const std::vector<uint8_t>& snapshot) override;
+
+  // Introspection (extension manager, tests, benches).
+  NodeId id() const { return id_; }
+  SimTime now() const { return loop_->now(); }
+  bool IsLeader() const { return zab_->is_leader(); }
+  NodeId leader() const { return zab_->leader(); }
+  bool running() const { return running_; }
+  const DataTree& tree() const { return tree_; }
+  ZabNode& zab() { return *zab_; }
+  CpuQueue& cpu() { return cpu_; }
+  int64_t txns_applied() const { return txns_applied_; }
+
+  // --- services for the extension manager -------------------------------
+  // Leader-only: open a prep session for an internal (event-extension)
+  // transaction. `session` is the privilege context (0 = server).
+  std::unique_ptr<PrepSession> BeginInternalPrep(uint64_t session);
+  // Broadcast the ops accumulated in `prep` as one multi-transaction.
+  // `ext_depth` tags extension-generated chains (see ZkTxn::ext_depth).
+  bool ProposeFromPrep(PrepSession* prep, bool has_result, std::string result,
+                       Duration extra_cpu, uint8_t ext_depth = 0);
+  uint64_t AllocInternalReqId() { return ++internal_req_counter_; }
+
+ private:
+  struct SessionInfo {
+    uint32_t owner = 0;
+    Duration timeout = 0;
+    SimTime last_seen = 0;  // meaningful on the owner replica only
+  };
+
+  void StartSessionTimer();
+  void CheckSessions();
+
+  void ProcessClientPacket(Packet&& pkt);
+  void OnConnect(Packet&& pkt);
+  void OnClientRequest(Packet&& pkt);
+  void ServeRead(uint64_t session, const ZkRequestMsg& msg, NodeId client);
+  void RouteToLeader(uint32_t origin, const ZkRequestMsg& msg);
+  void PrepAndPropose(uint32_t origin, ZkRequestMsg msg);
+  void DoPrep(uint32_t origin, ZkRequestMsg msg);
+
+  void ApplyTxn(uint64_t zxid, const ZkTxn& txn);
+  static bool TxnIsDeferred(const ZkTxn& txn);
+
+  void RouteReply(uint32_t origin, uint64_t session, ZkReplyMsg reply);
+  void SendReplyToClient(uint64_t session, const ZkReplyMsg& reply);
+  void SendPacket(NodeId dst, ZkMsgType type, std::vector<uint8_t> payload);
+
+  EventLoop* loop_;
+  Network* net_;
+  NodeId id_;
+  CostModel costs_;
+  ZkServerOptions options_;
+  CpuQueue cpu_;
+  LogStore log_;
+  std::unique_ptr<ZabNode> zab_;
+  ZkServerHooks* hooks_ = nullptr;
+
+  bool running_ = false;
+  uint64_t generation_ = 0;
+
+  // Replicated state machine.
+  DataTree tree_;
+  std::map<uint64_t, SessionInfo> sessions_;
+  std::map<std::string, std::vector<std::pair<uint64_t, uint64_t>>> block_table_;
+
+  // Leader-only pipeline state.
+  std::deque<PendingDelta> outstanding_;
+
+  // Connection-local volatile state.
+  WatchManager watch_mgr_;
+  std::map<uint64_t, NodeId> client_nodes_;
+  std::map<uint64_t, NodeId> pending_connects_;
+  std::set<uint64_t> expiring_sessions_;
+  uint64_t session_counter_ = 0;
+  uint64_t internal_req_counter_ = 0;
+  int64_t txns_applied_ = 0;
+  TimerId session_timer_ = kInvalidTimer;
+};
+
+}  // namespace edc
+
+#endif  // EDC_ZK_SERVER_H_

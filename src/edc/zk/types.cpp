@@ -1,0 +1,291 @@
+#include "edc/zk/types.h"
+
+namespace edc {
+
+namespace {
+constexpr int kMaxMultiDepth = 2;
+}
+
+void ZkOp::Encode(Encoder& enc) const {
+  enc.PutU8(static_cast<uint8_t>(type));
+  enc.PutString(path);
+  enc.PutString(data);
+  enc.PutU32(static_cast<uint32_t>(version));
+  enc.PutBool(watch);
+  enc.PutBool(ephemeral);
+  enc.PutBool(sequential);
+  enc.PutVarint(ops.size());
+  for (const ZkOp& sub : ops) {
+    sub.Encode(enc);
+  }
+}
+
+Result<ZkOp> ZkOp::Decode(Decoder& dec, int depth) {
+  if (depth > kMaxMultiDepth) {
+    return ErrorCode::kDecodeError;
+  }
+  ZkOp op;
+  auto type = dec.GetU8();
+  if (!type.ok() || *type > static_cast<uint8_t>(ZkOpType::kSessionCreate)) {
+    return ErrorCode::kDecodeError;
+  }
+  op.type = static_cast<ZkOpType>(*type);
+  auto path = dec.GetString();
+  auto data = dec.GetString();
+  auto version = dec.GetU32();
+  auto watch = dec.GetBool();
+  auto ephemeral = dec.GetBool();
+  auto sequential = dec.GetBool();
+  auto n = dec.GetVarint();
+  if (!path.ok() || !data.ok() || !version.ok() || !watch.ok() || !ephemeral.ok() ||
+      !sequential.ok() || !n.ok()) {
+    return ErrorCode::kDecodeError;
+  }
+  op.path = std::move(*path);
+  op.data = std::move(*data);
+  op.version = static_cast<int32_t>(*version);
+  op.watch = *watch;
+  op.ephemeral = *ephemeral;
+  op.sequential = *sequential;
+  for (uint64_t i = 0; i < *n; ++i) {
+    auto sub = Decode(dec, depth + 1);
+    if (!sub.ok()) {
+      return sub.status();
+    }
+    op.ops.push_back(std::move(*sub));
+  }
+  return op;
+}
+
+void ZkStat::Encode(Encoder& enc) const {
+  enc.PutU64(czxid);
+  enc.PutU64(mzxid);
+  enc.PutU64(pzxid);
+  enc.PutI64(ctime);
+  enc.PutI64(mtime);
+  enc.PutU32(static_cast<uint32_t>(version));
+  enc.PutU32(static_cast<uint32_t>(cversion));
+  enc.PutU64(ephemeral_owner);
+  enc.PutU32(num_children);
+}
+
+Result<ZkStat> ZkStat::Decode(Decoder& dec) {
+  ZkStat s;
+  auto czxid = dec.GetU64();
+  auto mzxid = dec.GetU64();
+  auto pzxid = dec.GetU64();
+  auto ctime = dec.GetI64();
+  auto mtime = dec.GetI64();
+  auto version = dec.GetU32();
+  auto cversion = dec.GetU32();
+  auto owner = dec.GetU64();
+  auto num = dec.GetU32();
+  if (!czxid.ok() || !mzxid.ok() || !pzxid.ok() || !ctime.ok() || !mtime.ok() ||
+      !version.ok() || !cversion.ok() || !owner.ok() || !num.ok()) {
+    return ErrorCode::kDecodeError;
+  }
+  s.czxid = *czxid;
+  s.mzxid = *mzxid;
+  s.pzxid = *pzxid;
+  s.ctime = *ctime;
+  s.mtime = *mtime;
+  s.version = static_cast<int32_t>(*version);
+  s.cversion = static_cast<int32_t>(*cversion);
+  s.ephemeral_owner = *owner;
+  s.num_children = *num;
+  return s;
+}
+
+std::vector<uint8_t> EncodeZkRequest(const ZkRequestMsg& m) {
+  Encoder enc;
+  enc.PutU64(m.session);
+  enc.PutU64(m.req_id);
+  m.op.Encode(enc);
+  return enc.Release();
+}
+
+Result<ZkRequestMsg> DecodeZkRequest(const std::vector<uint8_t>& buf) {
+  Decoder dec(buf);
+  ZkRequestMsg m;
+  auto session = dec.GetU64();
+  auto req_id = dec.GetU64();
+  if (!session.ok() || !req_id.ok()) {
+    return ErrorCode::kDecodeError;
+  }
+  m.session = *session;
+  m.req_id = *req_id;
+  auto op = ZkOp::Decode(dec);
+  if (!op.ok()) {
+    return op.status();
+  }
+  m.op = std::move(*op);
+  return m;
+}
+
+std::vector<uint8_t> EncodeZkReply(const ZkReplyMsg& m) {
+  Encoder enc;
+  enc.PutU64(m.req_id);
+  enc.PutU32(static_cast<uint32_t>(m.code));
+  enc.PutString(m.value);
+  enc.PutBool(m.has_stat);
+  if (m.has_stat) {
+    m.stat.Encode(enc);
+  }
+  enc.PutVarint(m.children.size());
+  for (const std::string& c : m.children) {
+    enc.PutString(c);
+  }
+  return enc.Release();
+}
+
+Result<ZkReplyMsg> DecodeZkReply(const std::vector<uint8_t>& buf) {
+  Decoder dec(buf);
+  ZkReplyMsg m;
+  auto req_id = dec.GetU64();
+  auto code = dec.GetU32();
+  if (!req_id.ok() || !code.ok()) {
+    return ErrorCode::kDecodeError;
+  }
+  m.req_id = *req_id;
+  m.code = static_cast<ErrorCode>(*code);
+  auto value = dec.GetString();
+  auto has_stat = dec.GetBool();
+  if (!value.ok() || !has_stat.ok()) {
+    return ErrorCode::kDecodeError;
+  }
+  m.value = std::move(*value);
+  m.has_stat = *has_stat;
+  if (m.has_stat) {
+    auto stat = ZkStat::Decode(dec);
+    if (!stat.ok()) {
+      return stat.status();
+    }
+    m.stat = *stat;
+  }
+  auto n = dec.GetVarint();
+  if (!n.ok()) {
+    return n.status();
+  }
+  for (uint64_t i = 0; i < *n; ++i) {
+    auto c = dec.GetString();
+    if (!c.ok()) {
+      return c.status();
+    }
+    m.children.push_back(std::move(*c));
+  }
+  return m;
+}
+
+std::vector<uint8_t> EncodeZkWatchEvent(const ZkWatchEventMsg& m) {
+  Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(m.type));
+  enc.PutString(m.path);
+  return enc.Release();
+}
+
+Result<ZkWatchEventMsg> DecodeZkWatchEvent(const std::vector<uint8_t>& buf) {
+  Decoder dec(buf);
+  ZkWatchEventMsg m;
+  auto type = dec.GetU8();
+  if (!type.ok() || *type > static_cast<uint8_t>(ZkEventType::kNodeChildrenChanged)) {
+    return ErrorCode::kDecodeError;
+  }
+  m.type = static_cast<ZkEventType>(*type);
+  auto path = dec.GetString();
+  if (!path.ok()) {
+    return path.status();
+  }
+  m.path = std::move(*path);
+  return m;
+}
+
+std::vector<uint8_t> EncodeZkConnect(const ZkConnectMsg& m) {
+  Encoder enc;
+  enc.PutI64(m.session_timeout);
+  return enc.Release();
+}
+
+Result<ZkConnectMsg> DecodeZkConnect(const std::vector<uint8_t>& buf) {
+  Decoder dec(buf);
+  auto t = dec.GetI64();
+  if (!t.ok()) {
+    return t.status();
+  }
+  return ZkConnectMsg{*t};
+}
+
+std::vector<uint8_t> EncodeZkConnectReply(const ZkConnectReplyMsg& m) {
+  Encoder enc;
+  enc.PutU64(m.session);
+  enc.PutU32(static_cast<uint32_t>(m.code));
+  return enc.Release();
+}
+
+Result<ZkConnectReplyMsg> DecodeZkConnectReply(const std::vector<uint8_t>& buf) {
+  Decoder dec(buf);
+  auto session = dec.GetU64();
+  auto code = dec.GetU32();
+  if (!session.ok() || !code.ok()) {
+    return ErrorCode::kDecodeError;
+  }
+  return ZkConnectReplyMsg{*session, static_cast<ErrorCode>(*code)};
+}
+
+std::vector<uint8_t> EncodeZkForward(const ZkForwardMsg& m) {
+  Encoder enc;
+  enc.PutU32(m.origin);
+  enc.PutU64(m.request.session);
+  enc.PutU64(m.request.req_id);
+  m.request.op.Encode(enc);
+  return enc.Release();
+}
+
+Result<ZkForwardMsg> DecodeZkForward(const std::vector<uint8_t>& buf) {
+  Decoder dec(buf);
+  ZkForwardMsg m;
+  auto origin = dec.GetU32();
+  auto session = dec.GetU64();
+  auto req_id = dec.GetU64();
+  if (!origin.ok() || !session.ok() || !req_id.ok()) {
+    return ErrorCode::kDecodeError;
+  }
+  m.origin = *origin;
+  m.request.session = *session;
+  m.request.req_id = *req_id;
+  auto op = ZkOp::Decode(dec);
+  if (!op.ok()) {
+    return op.status();
+  }
+  m.request.op = std::move(*op);
+  return m;
+}
+
+std::vector<uint8_t> EncodeZkForwardReply(const ZkForwardReplyMsg& m) {
+  Encoder enc;
+  enc.PutU64(m.session);
+  std::vector<uint8_t> reply = EncodeZkReply(m.reply);
+  enc.PutBytes(reply);
+  return enc.Release();
+}
+
+Result<ZkForwardReplyMsg> DecodeZkForwardReply(const std::vector<uint8_t>& buf) {
+  Decoder dec(buf);
+  ZkForwardReplyMsg m;
+  auto session = dec.GetU64();
+  if (!session.ok()) {
+    return session.status();
+  }
+  m.session = *session;
+  auto reply_bytes = dec.GetBytes();
+  if (!reply_bytes.ok()) {
+    return reply_bytes.status();
+  }
+  auto reply = DecodeZkReply(*reply_bytes);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  m.reply = std::move(*reply);
+  return m;
+}
+
+}  // namespace edc

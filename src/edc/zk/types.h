@@ -1,0 +1,154 @@
+// Client-visible types and wire protocol of the ZooKeeper-like service.
+//
+// The coordination kernel is deliberately ZooKeeper's: a hierarchical
+// namespace of small data nodes with versions, ephemeral and sequential
+// nodes, one-shot watches, and multi-transactions. Packet types 200-299.
+
+#ifndef EDC_ZK_TYPES_H_
+#define EDC_ZK_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "edc/common/codec.h"
+#include "edc/common/result.h"
+#include "edc/sim/time.h"
+
+namespace edc {
+
+constexpr uint32_t kZkTypeBase = 200;
+
+enum class ZkMsgType : uint32_t {
+  kConnect = kZkTypeBase + 0,       // client -> replica
+  kConnectReply = kZkTypeBase + 1,  // replica -> client
+  kRequest = kZkTypeBase + 2,       // client -> replica
+  kReply = kZkTypeBase + 3,         // replica -> client
+  kWatchEvent = kZkTypeBase + 4,    // replica -> client
+  kForward = kZkTypeBase + 5,       // follower -> leader (writes / ext ops)
+  kForwardReply = kZkTypeBase + 6,  // leader -> follower (error short-circuit)
+  kMax = kZkTypeBase + 7,
+};
+
+inline bool IsZkPacket(uint32_t type) {
+  return type >= kZkTypeBase && type < static_cast<uint32_t>(ZkMsgType::kMax);
+}
+
+enum class ZkOpType : uint8_t {
+  kPing = 0,
+  kCloseSession = 1,
+  kCreate = 2,
+  kDelete = 3,
+  kExists = 4,
+  kGetData = 5,
+  kSetData = 6,
+  kGetChildren = 7,
+  kMulti = 8,
+  // Internal: replica -> leader session establishment (never sent by
+  // clients; `data` carries the session timeout in ns).
+  kSessionCreate = 9,
+};
+
+inline bool IsReadOp(ZkOpType t) {
+  return t == ZkOpType::kExists || t == ZkOpType::kGetData || t == ZkOpType::kGetChildren;
+}
+
+// A single client operation. `version` follows ZooKeeper semantics: -1
+// matches any version. Multi bodies may contain only create/delete/setData.
+struct ZkOp {
+  ZkOpType type = ZkOpType::kPing;
+  std::string path;
+  std::string data;
+  int32_t version = -1;
+  bool watch = false;
+  bool ephemeral = false;
+  bool sequential = false;
+  std::vector<ZkOp> ops;  // multi
+
+  void Encode(Encoder& enc) const;
+  static Result<ZkOp> Decode(Decoder& dec, int depth = 0);
+};
+
+// Node metadata, ZooKeeper Stat analogue.
+struct ZkStat {
+  uint64_t czxid = 0;
+  uint64_t mzxid = 0;
+  uint64_t pzxid = 0;
+  SimTime ctime = 0;
+  SimTime mtime = 0;
+  int32_t version = 0;
+  int32_t cversion = 0;
+  uint64_t ephemeral_owner = 0;
+  uint32_t num_children = 0;
+
+  void Encode(Encoder& enc) const;
+  static Result<ZkStat> Decode(Decoder& dec);
+};
+
+struct ZkRequestMsg {
+  uint64_t session = 0;
+  uint64_t req_id = 0;
+  ZkOp op;
+};
+
+struct ZkReplyMsg {
+  uint64_t req_id = 0;
+  ErrorCode code = ErrorCode::kOk;
+  std::string value;  // created path / node data / extension result
+  bool has_stat = false;
+  ZkStat stat;
+  std::vector<std::string> children;
+};
+
+enum class ZkEventType : uint8_t {
+  kNodeCreated = 0,
+  kNodeDeleted = 1,
+  kNodeDataChanged = 2,
+  kNodeChildrenChanged = 3,
+};
+
+struct ZkWatchEventMsg {
+  ZkEventType type = ZkEventType::kNodeCreated;
+  std::string path;
+};
+
+struct ZkConnectMsg {
+  Duration session_timeout = 0;
+};
+
+struct ZkConnectReplyMsg {
+  uint64_t session = 0;
+  ErrorCode code = ErrorCode::kOk;
+};
+
+std::vector<uint8_t> EncodeZkRequest(const ZkRequestMsg& m);
+Result<ZkRequestMsg> DecodeZkRequest(const std::vector<uint8_t>& buf);
+std::vector<uint8_t> EncodeZkReply(const ZkReplyMsg& m);
+Result<ZkReplyMsg> DecodeZkReply(const std::vector<uint8_t>& buf);
+std::vector<uint8_t> EncodeZkWatchEvent(const ZkWatchEventMsg& m);
+Result<ZkWatchEventMsg> DecodeZkWatchEvent(const std::vector<uint8_t>& buf);
+std::vector<uint8_t> EncodeZkConnect(const ZkConnectMsg& m);
+Result<ZkConnectMsg> DecodeZkConnect(const std::vector<uint8_t>& buf);
+std::vector<uint8_t> EncodeZkConnectReply(const ZkConnectReplyMsg& m);
+Result<ZkConnectReplyMsg> DecodeZkConnectReply(const std::vector<uint8_t>& buf);
+
+// Forwarded request: the origin replica wraps the client request so the
+// leader can route the (error) reply back.
+struct ZkForwardMsg {
+  uint32_t origin = 0;  // replica that owns the client connection
+  ZkRequestMsg request;
+};
+
+struct ZkForwardReplyMsg {
+  uint64_t session = 0;
+  ZkReplyMsg reply;
+};
+
+std::vector<uint8_t> EncodeZkForward(const ZkForwardMsg& m);
+Result<ZkForwardMsg> DecodeZkForward(const std::vector<uint8_t>& buf);
+std::vector<uint8_t> EncodeZkForwardReply(const ZkForwardReplyMsg& m);
+Result<ZkForwardReplyMsg> DecodeZkForwardReply(const std::vector<uint8_t>& buf);
+
+}  // namespace edc
+
+#endif  // EDC_ZK_TYPES_H_

@@ -1,0 +1,59 @@
+#include "edc/zk/watch_manager.h"
+
+namespace edc {
+
+std::vector<uint64_t> WatchManager::Pop(std::map<std::string, std::set<uint64_t>>& watches,
+                                        const std::string& path) {
+  auto it = watches.find(path);
+  if (it == watches.end()) {
+    return {};
+  }
+  std::vector<uint64_t> sessions(it->second.begin(), it->second.end());
+  watches.erase(it);
+  return sessions;
+}
+
+std::vector<uint64_t> WatchManager::Trigger(ZkEventType type, const std::string& path) {
+  switch (type) {
+    case ZkEventType::kNodeCreated:
+    case ZkEventType::kNodeDataChanged:
+      return Pop(data_watches_, path);
+    case ZkEventType::kNodeDeleted: {
+      std::vector<uint64_t> sessions = Pop(data_watches_, path);
+      for (uint64_t s : Pop(child_watches_, path)) {
+        sessions.push_back(s);
+      }
+      return sessions;
+    }
+    case ZkEventType::kNodeChildrenChanged:
+      return Pop(child_watches_, path);
+  }
+  return {};
+}
+
+void WatchManager::RemoveSession(uint64_t session) {
+  for (auto& [path, sessions] : data_watches_) {
+    sessions.erase(session);
+  }
+  for (auto& [path, sessions] : child_watches_) {
+    sessions.erase(session);
+  }
+}
+
+size_t WatchManager::data_watch_count() const {
+  size_t n = 0;
+  for (const auto& [path, sessions] : data_watches_) {
+    n += sessions.size();
+  }
+  return n;
+}
+
+size_t WatchManager::child_watch_count() const {
+  size_t n = 0;
+  for (const auto& [path, sessions] : child_watches_) {
+    n += sessions.size();
+  }
+  return n;
+}
+
+}  // namespace edc

@@ -1,0 +1,53 @@
+// Per-replica one-shot watches (ZooKeeper semantics).
+//
+// Watches are volatile, connection-local state: they are registered by read
+// operations served at this replica and fire at most once. Data watches
+// (exists/getData) trigger on creation, deletion and data change of the
+// watched path; child watches (getChildren) trigger on membership changes
+// and on deletion of the watched node itself.
+
+#ifndef EDC_ZK_WATCH_MANAGER_H_
+#define EDC_ZK_WATCH_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "edc/zk/types.h"
+
+namespace edc {
+
+class WatchManager {
+ public:
+  void AddDataWatch(const std::string& path, uint64_t session) {
+    data_watches_[path].insert(session);
+  }
+  void AddChildWatch(const std::string& path, uint64_t session) {
+    child_watches_[path].insert(session);
+  }
+
+  // Sessions whose watch fires for this event; fired watches are removed.
+  std::vector<uint64_t> Trigger(ZkEventType type, const std::string& path);
+
+  void RemoveSession(uint64_t session);
+  void Clear() {
+    data_watches_.clear();
+    child_watches_.clear();
+  }
+
+  size_t data_watch_count() const;
+  size_t child_watch_count() const;
+
+ private:
+  static std::vector<uint64_t> Pop(std::map<std::string, std::set<uint64_t>>& watches,
+                                   const std::string& path);
+
+  std::map<std::string, std::set<uint64_t>> data_watches_;
+  std::map<std::string, std::set<uint64_t>> child_watches_;
+};
+
+}  // namespace edc
+
+#endif  // EDC_ZK_WATCH_MANAGER_H_

@@ -1,0 +1,320 @@
+#include "edc/bft/replica.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "edc/common/rng.h"
+#include "edc/sim/cpu.h"
+#include "edc/sim/network.h"
+
+namespace edc {
+namespace {
+
+std::vector<uint8_t> Bytes(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+std::string Str(const std::vector<uint8_t>& b) { return std::string(b.begin(), b.end()); }
+
+// Deterministic state machine: applies "add:<n>" requests to a counter and
+// replies with the post-state, so divergence between replicas is visible to
+// the voting client.
+class CounterReplica : public NetworkNode, public BftCallbacks {
+ public:
+  CounterReplica(EventLoop* loop, Network* net, NodeId id, std::vector<NodeId> members)
+      : cpu(loop, 1) {
+    BftConfig cfg;
+    cfg.members = std::move(members);
+    cfg.self = id;
+    cfg.f = 1;
+    replica = std::make_unique<BftReplica>(loop, net, &cpu, CostModel{}, cfg, this);
+    net->Register(id, this);
+  }
+
+  void HandlePacket(Packet&& pkt) override {
+    if (IsBftPacket(pkt.type)) {
+      replica->HandlePacket(std::move(pkt));
+    }
+  }
+
+  BftExecOutcome Execute(uint64_t seq, SimTime ts, const BftRequest& request) override {
+    EXPECT_EQ(seq, last_seq + 1);
+    EXPECT_GT(ts, last_ts);
+    last_seq = seq;
+    last_ts = ts;
+    std::string body = Str(request.payload);
+    if (body.rfind("add:", 0) == 0) {
+      counter += std::stoll(body.substr(4));
+    }
+    order.push_back(body);
+    replica->SendReply(request.client, request.req_id, Bytes(std::to_string(counter)));
+    return BftExecOutcome{};
+  }
+
+  CpuQueue cpu;
+  std::unique_ptr<BftReplica> replica;
+  int64_t counter = 0;
+  uint64_t last_seq = 0;
+  SimTime last_ts = -1;
+  std::vector<std::string> order;
+};
+
+// Client that multicasts a request to all replicas and accepts a reply once
+// f+1 matching responses arrive; retransmits on timeout.
+class VotingClient : public NetworkNode {
+ public:
+  VotingClient(EventLoop* loop, Network* net, NodeId id, std::vector<NodeId> replicas, int f)
+      : loop_(loop), net_(net), id_(id), replicas_(std::move(replicas)), f_(f) {
+    net->Register(id, this);
+  }
+
+  void Send(const std::string& body, std::function<void(std::string)> done) {
+    uint64_t req_id = ++next_req_;
+    calls_[req_id] = Call{body, std::move(done), {}};
+    Transmit(req_id);
+    ArmRetry(req_id);
+  }
+
+  void HandlePacket(Packet&& pkt) override {
+    if (pkt.type != static_cast<uint32_t>(BftMsgType::kReply)) {
+      return;
+    }
+    auto reply = DecodeReplyMsg(pkt.payload);
+    if (!reply.ok()) {
+      return;
+    }
+    auto it = calls_.find(reply->req_id);
+    if (it == calls_.end()) {
+      return;
+    }
+    std::string body = Str(reply->payload);
+    int votes = ++it->second.votes[body];
+    if (votes >= f_ + 1) {
+      auto done = std::move(it->second.done);
+      calls_.erase(it);
+      done(body);
+    }
+  }
+
+  size_t outstanding() const { return calls_.size(); }
+
+ private:
+  struct Call {
+    std::string body;
+    std::function<void(std::string)> done;
+    std::map<std::string, int> votes;
+  };
+
+  void Transmit(uint64_t req_id) {
+    auto it = calls_.find(req_id);
+    if (it == calls_.end()) {
+      return;
+    }
+    BftRequest req;
+    req.client = id_;
+    req.req_id = req_id;
+    req.payload = Bytes(it->second.body);
+    for (NodeId r : replicas_) {
+      Packet pkt;
+      pkt.src = id_;
+      pkt.dst = r;
+      pkt.type = static_cast<uint32_t>(BftMsgType::kRequest);
+      pkt.payload = EncodeBftRequest(req);
+      net_->Send(std::move(pkt));
+    }
+  }
+
+  void ArmRetry(uint64_t req_id) {
+    loop_->Schedule(Millis(800), [this, req_id]() {
+      if (calls_.count(req_id) > 0) {
+        Transmit(req_id);
+        ArmRetry(req_id);
+      }
+    });
+  }
+
+  EventLoop* loop_;
+  Network* net_;
+  NodeId id_;
+  std::vector<NodeId> replicas_;
+  int f_;
+  uint64_t next_req_ = 0;
+  std::map<uint64_t, Call> calls_;
+};
+
+class BftClusterTest : public ::testing::Test {
+ protected:
+  void Boot(int n = 4) {
+    net_ = std::make_unique<Network>(&loop_, Rng(3), LinkParams{});
+    std::vector<NodeId> members;
+    for (int i = 1; i <= n; ++i) {
+      members.push_back(static_cast<NodeId>(i));
+    }
+    for (NodeId id : members) {
+      replicas_.push_back(std::make_unique<CounterReplica>(&loop_, net_.get(), id, members));
+    }
+    for (auto& r : replicas_) {
+      r->replica->Start();
+    }
+    client_ = std::make_unique<VotingClient>(&loop_, net_.get(), 100, members, 1);
+  }
+
+  void Settle(Duration d = Seconds(2)) { loop_.RunUntil(loop_.now() + d); }
+
+  EventLoop loop_;
+  std::unique_ptr<Network> net_;
+  std::vector<std::unique_ptr<CounterReplica>> replicas_;
+  std::unique_ptr<VotingClient> client_;
+};
+
+TEST_F(BftClusterTest, OrdersAndExecutesOnAllReplicas) {
+  Boot();
+  std::vector<std::string> results;
+  for (int i = 0; i < 10; ++i) {
+    client_->Send("add:1", [&](std::string r) { results.push_back(r); });
+  }
+  Settle();
+  ASSERT_EQ(results.size(), 10u);
+  EXPECT_EQ(results.back(), "10");
+  for (auto& r : replicas_) {
+    EXPECT_EQ(r->counter, 10);
+    EXPECT_EQ(r->order.size(), 10u);
+    EXPECT_EQ(r->order, replicas_[0]->order);  // identical total order
+  }
+}
+
+TEST_F(BftClusterTest, RepliesRequireMatchingQuorum) {
+  Boot();
+  bool done = false;
+  client_->Send("add:5", [&](std::string r) {
+    done = true;
+    EXPECT_EQ(r, "5");
+  });
+  Settle();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(client_->outstanding(), 0u);
+}
+
+TEST_F(BftClusterTest, DuplicateRequestExecutesOnce) {
+  Boot();
+  std::string result;
+  client_->Send("add:1", [&](std::string r) { result = r; });
+  Settle(Seconds(3));  // long enough for a client retransmission cycle
+  EXPECT_EQ(result, "1");
+  for (auto& r : replicas_) {
+    EXPECT_EQ(r->counter, 1);
+  }
+}
+
+TEST_F(BftClusterTest, ToleratesOneBackupCrash) {
+  Boot();
+  replicas_[3]->replica->Crash();
+  net_->SetNodeUp(4, false);
+  int completed = 0;
+  for (int i = 0; i < 5; ++i) {
+    client_->Send("add:2", [&](std::string) { ++completed; });
+  }
+  Settle();
+  EXPECT_EQ(completed, 5);
+  EXPECT_EQ(replicas_[0]->counter, 10);
+}
+
+TEST_F(BftClusterTest, PrimaryCrashTriggersViewChange) {
+  Boot();
+  // Replica 1 is the view-0 primary.
+  replicas_[0]->replica->Crash();
+  net_->SetNodeUp(1, false);
+  std::vector<std::string> results;
+  for (int i = 0; i < 3; ++i) {
+    client_->Send("add:1", [&](std::string r) { results.push_back(r); });
+  }
+  Settle(Seconds(6));
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results.back(), "3");
+  for (size_t i = 1; i < replicas_.size(); ++i) {
+    EXPECT_GT(replicas_[i]->replica->view(), 0u);
+    EXPECT_EQ(replicas_[i]->counter, 3);
+  }
+}
+
+TEST_F(BftClusterTest, EquivocatingPrimaryIsReplaced) {
+  Boot();
+  replicas_[0]->replica->SetEquivocate(true);
+  std::string result;
+  client_->Send("add:7", [&](std::string r) { result = r; });
+  Settle(Seconds(8));
+  EXPECT_EQ(result, "7");
+  // The ensemble moved past the Byzantine view-0 primary.
+  EXPECT_GT(replicas_[1]->replica->view(), 0u);
+  // Correct replicas agree.
+  EXPECT_EQ(replicas_[1]->counter, 7);
+  EXPECT_EQ(replicas_[2]->counter, 7);
+  EXPECT_EQ(replicas_[3]->counter, 7);
+}
+
+TEST_F(BftClusterTest, CommittedStateSurvivesViewChange) {
+  Boot();
+  std::vector<std::string> results;
+  client_->Send("add:1", [&](std::string r) { results.push_back(r); });
+  Settle();
+  ASSERT_EQ(results.size(), 1u);
+  replicas_[0]->replica->Crash();
+  net_->SetNodeUp(1, false);
+  client_->Send("add:1", [&](std::string r) { results.push_back(r); });
+  Settle(Seconds(6));
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[1], "2");  // earlier commit retained
+}
+
+TEST_F(BftClusterTest, SevenReplicasF2ToleratesTwoCrashes) {
+  // f=2 requires 3f+1=7 replicas; rebuild with custom f.
+  net_ = std::make_unique<Network>(&loop_, Rng(9), LinkParams{});
+  std::vector<NodeId> members{1, 2, 3, 4, 5, 6, 7};
+  std::vector<std::unique_ptr<CounterReplica>> reps;
+  std::vector<std::unique_ptr<CpuQueue>> cpus;
+  struct Shell : NetworkNode, BftCallbacks {
+    explicit Shell(EventLoop* l) : cpu(l, 1) {}
+    void HandlePacket(Packet&& pkt) override { replica->HandlePacket(std::move(pkt)); }
+    BftExecOutcome Execute(uint64_t, SimTime, const BftRequest& req) override {
+      ++executed;
+      replica->SendReply(req.client, req.req_id, req.payload);
+      return BftExecOutcome{};
+    }
+    CpuQueue cpu;
+    std::unique_ptr<BftReplica> replica;
+    int executed = 0;
+  };
+  std::vector<std::unique_ptr<Shell>> shells;
+  for (NodeId id : members) {
+    auto shell = std::make_unique<Shell>(&loop_);
+    BftConfig cfg;
+    cfg.members = members;
+    cfg.self = id;
+    cfg.f = 2;
+    shell->replica =
+        std::make_unique<BftReplica>(&loop_, net_.get(), &shell->cpu, CostModel{}, cfg,
+                                     shell.get());
+    net_->Register(id, shell.get());
+    shell->replica->Start();
+    shells.push_back(std::move(shell));
+  }
+  VotingClient client(&loop_, net_.get(), 100, members, 2);
+  shells[5]->replica->Crash();
+  net_->SetNodeUp(6, false);
+  shells[6]->replica->Crash();
+  net_->SetNodeUp(7, false);
+  bool done = false;
+  client.Send("ping", [&](std::string r) {
+    done = true;
+    EXPECT_EQ(r, "ping");
+  });
+  Settle();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(shells[0]->executed, 1);
+}
+
+}  // namespace
+}  // namespace edc

@@ -1,0 +1,75 @@
+#include "edc/common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace edc {
+namespace {
+
+TEST(RecorderTest, EmptyIsSafe) {
+  Recorder r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.Mean(), 0.0);
+  EXPECT_EQ(r.Min(), 0);
+  EXPECT_EQ(r.Max(), 0);
+  EXPECT_EQ(r.Percentile(0.5), 0);
+  EXPECT_EQ(r.StdDev(), 0.0);
+}
+
+TEST(RecorderTest, BasicStats) {
+  Recorder r;
+  for (int64_t v : {1, 2, 3, 4, 5}) {
+    r.Record(v);
+  }
+  EXPECT_EQ(r.count(), 5u);
+  EXPECT_DOUBLE_EQ(r.Mean(), 3.0);
+  EXPECT_EQ(r.Min(), 1);
+  EXPECT_EQ(r.Max(), 5);
+  EXPECT_EQ(r.Percentile(0.5), 3);
+  EXPECT_NEAR(r.StdDev(), 1.5811, 1e-3);
+}
+
+TEST(RecorderTest, PercentileEdges) {
+  Recorder r;
+  for (int64_t i = 1; i <= 100; ++i) {
+    r.Record(i);
+  }
+  EXPECT_EQ(r.Percentile(0.0), 1);
+  EXPECT_EQ(r.Percentile(1.0), 100);
+  EXPECT_NEAR(static_cast<double>(r.Percentile(0.99)), 99.0, 1.0);
+}
+
+TEST(RecorderTest, RecordAfterQueryResorts) {
+  Recorder r;
+  r.Record(10);
+  EXPECT_EQ(r.Max(), 10);
+  r.Record(20);
+  EXPECT_EQ(r.Max(), 20);
+  r.Record(5);
+  EXPECT_EQ(r.Min(), 5);
+}
+
+TEST(RecorderTest, SummaryMentionsCount) {
+  Recorder r;
+  r.Record(1000000);
+  EXPECT_NE(r.SummaryNs().find("n=1"), std::string::npos);
+}
+
+TEST(RunAggregateTest, MeanAndStdDev) {
+  RunAggregate agg;
+  agg.Add(10.0);
+  agg.Add(20.0);
+  agg.Add(30.0);
+  EXPECT_DOUBLE_EQ(agg.Mean(), 20.0);
+  EXPECT_NEAR(agg.StdDev(), 10.0, 1e-9);
+  EXPECT_EQ(agg.count(), 3u);
+}
+
+TEST(RunAggregateTest, SingleValueHasZeroDev) {
+  RunAggregate agg;
+  agg.Add(5.0);
+  EXPECT_DOUBLE_EQ(agg.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(agg.StdDev(), 0.0);
+}
+
+}  // namespace
+}  // namespace edc

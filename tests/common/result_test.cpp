@@ -1,0 +1,71 @@
+#include "edc/common/result.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace edc {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesMessage) {
+  Status s(ErrorCode::kBadVersion, "expected 3");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kBadVersion);
+  EXPECT_EQ(s.ToString(), "BAD_VERSION: expected 3");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kDecodeError); ++c) {
+    EXPECT_NE(ErrorCodeName(static_cast<ErrorCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.code(), ErrorCode::kOk);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status(ErrorCode::kNoNode, "missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), ErrorCode::kNoNode);
+  EXPECT_EQ(r.status().message(), "missing");
+}
+
+TEST(ResultTest, ImplicitFromErrorCode) {
+  Result<std::string> r = ErrorCode::kTimeout;
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), ErrorCode::kTimeout);
+}
+
+TEST(ResultTest, ValueOr) {
+  Result<int> ok(7);
+  Result<int> err(ErrorCode::kInternal);
+  EXPECT_EQ(ok.value_or(0), 7);
+  EXPECT_EQ(err.value_or(0), 0);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> taken = std::move(r.value());
+  EXPECT_EQ(*taken, 5);
+}
+
+}  // namespace
+}  // namespace edc

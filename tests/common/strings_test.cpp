@@ -1,0 +1,81 @@
+#include "edc/common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace edc {
+namespace {
+
+TEST(StrSplitTest, Basic) {
+  auto parts = StrSplit("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StrSplitTest, EmptyAndEdges) {
+  EXPECT_EQ(StrSplit("", ',').size(), 1u);
+  auto parts = StrSplit(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StrJoinTest, RoundTripWithSplit) {
+  std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(StrJoin(parts, "/"), "x/y/z");
+  EXPECT_EQ(StrJoin({}, "/"), "");
+}
+
+TEST(ValidatePathTest, AcceptsWellFormed) {
+  EXPECT_TRUE(ValidatePath("/").ok());
+  EXPECT_TRUE(ValidatePath("/a").ok());
+  EXPECT_TRUE(ValidatePath("/a/b/c").ok());
+  EXPECT_TRUE(ValidatePath("/em/ext-0000000001").ok());
+}
+
+TEST(ValidatePathTest, RejectsMalformed) {
+  EXPECT_FALSE(ValidatePath("").ok());
+  EXPECT_FALSE(ValidatePath("a/b").ok());
+  EXPECT_FALSE(ValidatePath("/a/").ok());
+  EXPECT_FALSE(ValidatePath("/a//b").ok());
+  EXPECT_FALSE(ValidatePath("/a/./b").ok());
+  EXPECT_FALSE(ValidatePath("/a/../b").ok());
+}
+
+TEST(PathTest, ParentAndBase) {
+  EXPECT_EQ(ParentPath("/a/b/c"), "/a/b");
+  EXPECT_EQ(ParentPath("/a"), "/");
+  EXPECT_EQ(ParentPath("/"), "");
+  EXPECT_EQ(BaseName("/a/b/c"), "c");
+  EXPECT_EQ(BaseName("/a"), "a");
+  EXPECT_EQ(BaseName("/"), "");
+}
+
+TEST(PathTest, IsUnder) {
+  EXPECT_TRUE(PathIsUnder("/a/b", "/a"));
+  EXPECT_TRUE(PathIsUnder("/a", "/a"));
+  EXPECT_TRUE(PathIsUnder("/a/b/c", "/"));
+  EXPECT_FALSE(PathIsUnder("/ab", "/a"));
+  EXPECT_FALSE(PathIsUnder("/a", "/a/b"));
+}
+
+TEST(SequenceSuffixTest, ZeroPadsToTenDigits) {
+  EXPECT_EQ(SequenceSuffix(0), "0000000000");
+  EXPECT_EQ(SequenceSuffix(42), "0000000042");
+  EXPECT_EQ(SequenceSuffix(1234567890), "1234567890");
+}
+
+TEST(ParseInt64Test, ParsesAndRejects) {
+  EXPECT_EQ(*ParseInt64("123"), 123);
+  EXPECT_EQ(*ParseInt64("-7"), -7);
+  EXPECT_EQ(*ParseInt64("0"), 0);
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("x").ok());
+  EXPECT_FALSE(ParseInt64("999999999999999999999999").ok());
+}
+
+}  // namespace
+}  // namespace edc

@@ -1,0 +1,61 @@
+// Shared in-simulator DepSpace cluster fixture for ds/ext/recipes tests.
+
+#ifndef EDC_TESTS_DS_DS_CLUSTER_H_
+#define EDC_TESTS_DS_DS_CLUSTER_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "edc/common/rng.h"
+#include "edc/ds/client.h"
+#include "edc/ds/server.h"
+#include "edc/sim/costs.h"
+#include "edc/sim/event_loop.h"
+#include "edc/sim/network.h"
+
+namespace edc {
+
+class DsCluster {
+ public:
+  explicit DsCluster(uint64_t seed = 21, DsServerOptions options = DsServerOptions{}) {
+    net = std::make_unique<Network>(&loop, Rng(seed), LinkParams{});
+    for (NodeId id = 1; id <= 4; ++id) {
+      members.push_back(id);
+    }
+    for (NodeId id : members) {
+      auto server =
+          std::make_unique<DsServer>(&loop, net.get(), id, members, CostModel{}, options);
+      net->Register(id, server.get());
+      servers.push_back(std::move(server));
+    }
+  }
+
+  void Start() {
+    for (auto& s : servers) {
+      s->Start();
+    }
+  }
+
+  DsClient* AddClient(DsClientOptions options = DsClientOptions{}) {
+    NodeId id = next_client_id++;
+    auto client = std::make_unique<DsClient>(&loop, net.get(), id, members, options);
+    DsClient* raw = client.get();
+    clients.push_back(std::move(client));
+    return raw;
+  }
+
+  void Settle(Duration d = Millis(500)) { loop.RunUntil(loop.now() + d); }
+
+  EventLoop loop;
+  std::unique_ptr<Network> net;
+  std::vector<NodeId> members;
+  std::vector<std::unique_ptr<DsServer>> servers;
+  std::vector<std::unique_ptr<DsClient>> clients;
+  NodeId next_client_id = 100;
+};
+
+}  // namespace edc
+
+#endif  // EDC_TESTS_DS_DS_CLUSTER_H_

@@ -1,0 +1,127 @@
+#include "edc/ext/registry.h"
+
+#include <gtest/gtest.h>
+
+namespace edc {
+namespace {
+
+VerifierConfig Cfg() {
+  VerifierConfig cfg;
+  cfg.allowed_functions = CoreAllowedFunctions();
+  cfg.allowed_functions["read_object"] = true;
+  return cfg;
+}
+
+constexpr char kReadExt[] =
+    R"(extension e { on op read "/x"; fn read(o) { return 1; } })";
+constexpr char kPrefixExt[] =
+    R"(extension e { on op read "/q/*"; fn read(o) { return 1; } })";
+constexpr char kEventExt[] =
+    R"(extension e { on event deleted "/m/*"; fn on_deleted(o) { return null; } })";
+
+TEST(ExtensionRegistryTest, LoadVerifiesAndStores) {
+  ExtensionRegistry registry;
+  ASSERT_TRUE(registry.Load("a", 1, kReadExt, Cfg()).ok());
+  EXPECT_TRUE(registry.Contains("a"));
+  EXPECT_EQ(registry.Find("a")->owner, 1u);
+  EXPECT_EQ(registry.Load("bad", 1, "garbage", Cfg()).code(),
+            ErrorCode::kExtensionRejected);
+  EXPECT_FALSE(registry.Contains("bad"));
+}
+
+TEST(ExtensionRegistryTest, AuthorizationOwnerAndAcks) {
+  ExtensionRegistry registry;
+  ASSERT_TRUE(registry.Load("a", 1, kReadExt, Cfg()).ok());
+  EXPECT_NE(registry.MatchOperation(1, "read", "/x"), nullptr);
+  EXPECT_EQ(registry.MatchOperation(2, "read", "/x"), nullptr);
+  registry.RecordAck("a", 2);
+  EXPECT_NE(registry.MatchOperation(2, "read", "/x"), nullptr);
+  registry.RemoveAck("a", 2);
+  EXPECT_EQ(registry.MatchOperation(2, "read", "/x"), nullptr);
+}
+
+TEST(ExtensionRegistryTest, PrefixAndExactPatterns) {
+  ExtensionRegistry registry;
+  ASSERT_TRUE(registry.Load("p", 1, kPrefixExt, Cfg()).ok());
+  EXPECT_NE(registry.MatchOperation(1, "read", "/q/e1"), nullptr);
+  EXPECT_NE(registry.MatchOperation(1, "read", "/q/deep/er"), nullptr);
+  EXPECT_EQ(registry.MatchOperation(1, "read", "/qq"), nullptr);
+  EXPECT_EQ(registry.MatchOperation(1, "read", "/other"), nullptr);
+  // Kind must match too.
+  EXPECT_EQ(registry.MatchOperation(1, "delete", "/q/e1"), nullptr);
+}
+
+TEST(ExtensionRegistryTest, LastRegisteredWinsForOperations) {
+  ExtensionRegistry registry;
+  ASSERT_TRUE(registry.Load("first", 1, kReadExt, Cfg()).ok());
+  ASSERT_TRUE(registry.Load("second", 1, kReadExt, Cfg()).ok());
+  const LoadedExtension* match = registry.MatchOperation(1, "read", "/x");
+  ASSERT_NE(match, nullptr);
+  EXPECT_EQ(match->name, "second");  // §3.3: last registered executes
+  registry.Unload("second");
+  match = registry.MatchOperation(1, "read", "/x");
+  ASSERT_NE(match, nullptr);
+  EXPECT_EQ(match->name, "first");
+}
+
+TEST(ExtensionRegistryTest, EventExtensionsFireInRegistrationOrder) {
+  ExtensionRegistry registry;
+  ASSERT_TRUE(registry.Load("b", 1, kEventExt, Cfg()).ok());
+  ASSERT_TRUE(registry.Load("a", 2, kEventExt, Cfg()).ok());
+  auto matches = registry.MatchEvent("deleted", "/m/x");
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0]->name, "b");  // registration order, not name order
+  EXPECT_EQ(matches[1]->name, "a");
+  EXPECT_TRUE(registry.MatchEvent("created", "/m/x").empty());
+  EXPECT_TRUE(registry.MatchEvent("deleted", "/other").empty());
+}
+
+TEST(ExtensionRegistryTest, HasEventExtensionRespectsAuthorization) {
+  ExtensionRegistry registry;
+  ASSERT_TRUE(registry.Load("e", 1, kEventExt, Cfg()).ok());
+  EXPECT_TRUE(registry.HasEventExtensionFor(1, "deleted", "/m/x"));
+  EXPECT_FALSE(registry.HasEventExtensionFor(2, "deleted", "/m/x"));
+  registry.RecordAck("e", 2);
+  EXPECT_TRUE(registry.HasEventExtensionFor(2, "deleted", "/m/x"));
+}
+
+TEST(ExtensionRegistryTest, StrikesAccumulateToLimit) {
+  ExtensionRegistry registry;
+  ASSERT_TRUE(registry.Load("flaky", 1, kReadExt, Cfg()).ok());
+  EXPECT_FALSE(registry.RecordStrike("flaky", 3));
+  EXPECT_FALSE(registry.RecordStrike("flaky", 3));
+  EXPECT_TRUE(registry.RecordStrike("flaky", 3));
+  // Limit 0 disables striking entirely.
+  EXPECT_FALSE(registry.RecordStrike("flaky", 0));
+  // Unknown names never strike.
+  EXPECT_FALSE(registry.RecordStrike("ghost", 1));
+}
+
+TEST(ExtensionRegistryTest, RegistrationBlobRoundTrips) {
+  std::string blob = EncodeRegistration(0x123456789ULL, kReadExt);
+  auto decoded = DecodeRegistration(blob);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->first, 0x123456789ULL);
+  EXPECT_EQ(decoded->second, kReadExt);
+  EXPECT_FALSE(DecodeRegistration("short").ok());
+}
+
+TEST(ExtensionRegistryTest, HandlerNameMapping) {
+  EXPECT_STREQ(OpHandlerFor("read"), "read");
+  EXPECT_STREQ(OpHandlerFor("block"), "block");
+  EXPECT_EQ(OpHandlerFor("any"), nullptr);
+  EXPECT_STREQ(EventHandlerFor("deleted"), "on_deleted");
+  EXPECT_STREQ(EventHandlerFor("unblocked"), "on_unblocked");
+  EXPECT_EQ(EventHandlerFor("nonsense"), nullptr);
+}
+
+TEST(ExtensionRegistryTest, ClearResetsEverything) {
+  ExtensionRegistry registry;
+  ASSERT_TRUE(registry.Load("a", 1, kReadExt, Cfg()).ok());
+  registry.Clear();
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_FALSE(registry.Contains("a"));
+}
+
+}  // namespace
+}  // namespace edc

@@ -1,0 +1,101 @@
+// §7.2 SCFS rename extension: atomic directory rename with parent-pointer
+// rewrite, on both host systems.
+
+#include <gtest/gtest.h>
+
+#include "edc/common/strings.h"
+#include "edc/ext/ds_binding.h"
+#include "edc/ext/zk_binding.h"
+#include "edc/recipes/scripts.h"
+#include "tests/ds/ds_cluster.h"
+#include "tests/zk/zk_cluster.h"
+
+namespace edc {
+namespace {
+
+TEST(RenameExtensionTest, AtomicRenameOnEzk) {
+  ZkCluster cluster;
+  std::vector<std::unique_ptr<ZkExtensionManager>> managers;
+  for (auto& server : cluster.servers) {
+    managers.push_back(std::make_unique<ZkExtensionManager>(server.get(), ExtensionLimits{}));
+  }
+  cluster.Start();
+  ZkClient* client = cluster.AddClient();
+  Status reg = Status(ErrorCode::kInternal);
+  client->RegisterExtension("scfs_rename", kRenameExtension, [&](Status s) { reg = s; });
+  cluster.Settle();
+  ASSERT_TRUE(reg.ok()) << reg.ToString();
+
+  for (const char* path : {"/scfs-rename", "/dir"}) {
+    client->Create(path, "", false, false, [](Result<std::string>) {});
+  }
+  cluster.Settle();
+  for (const char* path : {"/dir/a", "/dir/b"}) {
+    client->Create(path, std::string("data-") + BaseName(path), false, false,
+                   [](Result<std::string>) {});
+  }
+  cluster.Settle();
+
+  Status renamed = Status(ErrorCode::kInternal);
+  client->SetData("/scfs-rename", "/dir|/moved", -1, [&](Status s) { renamed = s; });
+  cluster.Settle();
+  ASSERT_TRUE(renamed.ok()) << renamed.ToString();
+
+  const DataTree& tree = cluster.Leader()->tree();
+  EXPECT_FALSE(tree.Exists("/dir"));
+  EXPECT_FALSE(tree.Exists("/dir/a"));
+  EXPECT_TRUE(tree.Exists("/moved"));
+  EXPECT_EQ(tree.Get("/moved/a")->data, "data-a");
+  EXPECT_EQ(tree.Get("/moved/b")->data, "data-b");
+
+  // Target collision is rejected with no partial state.
+  client->Create("/dir2", "", false, false, [](Result<std::string>) {});
+  client->Create("/exists", "", false, false, [](Result<std::string>) {});
+  cluster.Settle();
+  Status conflict = Status::Ok();
+  client->SetData("/scfs-rename", "/dir2|/exists", -1, [&](Status s) { conflict = s; });
+  cluster.Settle();
+  EXPECT_EQ(conflict.code(), ErrorCode::kExtensionError);
+  EXPECT_TRUE(tree.Exists("/dir2"));
+}
+
+TEST(RenameExtensionTest, AtomicRenameOnEds) {
+  DsCluster cluster;
+  std::vector<std::unique_ptr<DsExtensionManager>> managers;
+  for (auto& server : cluster.servers) {
+    managers.push_back(std::make_unique<DsExtensionManager>(server.get(), ExtensionLimits{}));
+  }
+  cluster.Start();
+  DsClient* client = cluster.AddClient();
+  Status reg = Status(ErrorCode::kInternal);
+  client->RegisterExtension("scfs_rename", kRenameExtension,
+                            [&](Result<DsReply> r) { reg = r.status(); });
+  cluster.Settle();
+  ASSERT_TRUE(reg.ok()) << reg.ToString();
+
+  client->Out(ObjectTuple("/scfs-rename", ""), [](Result<DsReply>) {});
+  client->Out(ObjectTuple("/dir", "dir"), [](Result<DsReply>) {});
+  client->Out(ObjectTuple("/dir/a", "data-a"), [](Result<DsReply>) {});
+  cluster.Settle();
+
+  Status renamed = Status(ErrorCode::kInternal);
+  client->Replace(ObjectTemplate("/scfs-rename"), ObjectTuple("/scfs-rename", "/dir|/moved"),
+                  [&](Result<DsReply> r) { renamed = r.status(); });
+  cluster.Settle();
+  ASSERT_TRUE(renamed.ok()) << renamed.ToString();
+
+  const TupleSpace& space = cluster.servers[0]->space();
+  EXPECT_FALSE(space.HasMatch(ObjectTemplate("/dir")));
+  EXPECT_FALSE(space.HasMatch(ObjectTemplate("/dir/a")));
+  EXPECT_TRUE(space.HasMatch(ObjectTemplate("/moved")));
+  auto child = space.Rdp(ObjectTemplate("/moved/a"));
+  ASSERT_TRUE(child.ok());
+  EXPECT_EQ(FieldToString((*child)[1]), "data-a");
+  // Deterministic across replicas.
+  for (auto& server : cluster.servers) {
+    EXPECT_EQ(server->space().Serialize(), space.Serialize());
+  }
+}
+
+}  // namespace
+}  // namespace edc

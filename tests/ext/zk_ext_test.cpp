@@ -1,0 +1,472 @@
+#include "edc/ext/zk_binding.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tests/zk/zk_cluster.h"
+
+namespace edc {
+namespace {
+
+constexpr char kCounterExt[] = R"(
+extension ctr_increment {
+  on op read "/ctr-increment";
+  fn read(oid) {
+    let obj = read_object("/ctr");
+    if (obj == null) { return error("no counter"); }
+    let c = parse_int(get(obj, "data"));
+    update("/ctr", str(c + 1));
+    return c + 1;
+  }
+}
+)";
+
+constexpr char kQueueExt[] = R"(
+extension queue_remove {
+  on op read "/queue-head";
+  fn read(oid) {
+    let objs = sub_objects("/queue");
+    if (len(objs) == 0) { return error("empty queue"); }
+    let head = min_by(objs, "ctime");
+    delete_object(get(head, "path"));
+    return get(head, "data");
+  }
+}
+)";
+
+// Extensible cluster: every server gets a ZkExtensionManager.
+class EzkCluster : public ZkCluster {
+ public:
+  explicit EzkCluster(ExtensionLimits limits = ExtensionLimits{}) {
+    for (auto& server : servers) {
+      managers.push_back(std::make_unique<ZkExtensionManager>(server.get(), limits));
+    }
+  }
+
+  std::vector<std::unique_ptr<ZkExtensionManager>> managers;
+};
+
+Status RegisterAndWait(EzkCluster& cluster, ZkClient* client, const std::string& name,
+                       const std::string& code) {
+  Status status = Status(ErrorCode::kInternal);
+  client->RegisterExtension(name, code, [&](Status s) { status = s; });
+  cluster.Settle();
+  return status;
+}
+
+// Sends the request the counter recipe sends and returns the extension
+// result (the reply's value field).
+Result<std::string> Increment(EzkCluster& cluster, ZkClient* client) {
+  Result<std::string> result = Status(ErrorCode::kInternal);
+  ZkOp op;
+  op.type = ZkOpType::kGetData;
+  op.path = "/ctr-increment";
+  client->Request(op, [&](const ZkReplyMsg& reply) {
+    if (reply.code != ErrorCode::kOk) {
+      result = Status(reply.code, reply.value);
+    } else {
+      result = reply.value;
+    }
+  });
+  cluster.Settle();
+  return result;
+}
+
+TEST(EzkExtensionTest, RegistersVerifiesAndExecutesCounter) {
+  EzkCluster cluster;
+  cluster.Start();
+  ZkClient* client = cluster.AddClient();
+  client->Create("/ctr", "0", false, false, [](Result<std::string>) {});
+  cluster.Settle();
+  ASSERT_TRUE(RegisterAndWait(cluster, client, "ctr_increment", kCounterExt).ok());
+  // Registration is replicated: every replica's manager knows the extension.
+  for (auto& mgr : cluster.managers) {
+    EXPECT_TRUE(mgr->registry().Contains("ctr_increment"));
+  }
+  auto r1 = Increment(cluster, client);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_EQ(*r1, "1");
+  auto r2 = Increment(cluster, client);
+  EXPECT_EQ(*r2, "2");
+  // The state change went through replication: all trees agree.
+  for (auto& server : cluster.servers) {
+    EXPECT_EQ(server->tree().Get("/ctr")->data, "2");
+  }
+}
+
+TEST(EzkExtensionTest, SingleRpcPerIncrement) {
+  EzkCluster cluster;
+  cluster.Start();
+  ZkClientOptions quiet;
+  quiet.ping_interval = Seconds(100);  // keep pings out of the packet count
+  ZkClient* client = cluster.AddClient(1, quiet);
+  client->Create("/ctr", "0", false, false, [](Result<std::string>) {});
+  cluster.Settle();
+  ASSERT_TRUE(RegisterAndWait(cluster, client, "ctr_increment", kCounterExt).ok());
+  cluster.net->ResetStats();
+  ASSERT_TRUE(Increment(cluster, client).ok());
+  // One request packet (plus the reply); pings are 1s apart so none land in
+  // this window.
+  EXPECT_EQ(cluster.net->StatsFor(client->id()).packets_sent, 1);
+}
+
+TEST(EzkExtensionTest, MalformedExtensionRejectedAtRegistration) {
+  EzkCluster cluster;
+  cluster.Start();
+  ZkClient* client = cluster.AddClient();
+  Status s = RegisterAndWait(cluster, client, "bad", "extension bad { fn read(o) {");
+  EXPECT_EQ(s.code(), ErrorCode::kExtensionRejected);
+  EXPECT_FALSE(cluster.Leader()->tree().Exists("/em/bad"));
+  for (auto& mgr : cluster.managers) {
+    EXPECT_FALSE(mgr->registry().Contains("bad"));
+  }
+}
+
+TEST(EzkExtensionTest, WhitelistViolationRejected) {
+  EzkCluster cluster;
+  cluster.Start();
+  ZkClient* client = cluster.AddClient();
+  Status s = RegisterAndWait(cluster, client, "evil", R"(
+    extension evil { on op read "/x"; fn read(o) { return open_socket("evil.com"); } })");
+  EXPECT_EQ(s.code(), ErrorCode::kExtensionRejected);
+}
+
+TEST(EzkExtensionTest, NondeterministicFunctionsAllowedUnderPrimaryBackup) {
+  EzkCluster cluster;
+  cluster.Start();
+  ZkClient* client = cluster.AddClient();
+  Status s = RegisterAndWait(cluster, client, "stamps", R"(
+    extension stamps {
+      on op read "/stamp";
+      fn read(oid) { return now(); }
+    })");
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST(EzkExtensionTest, EmSubscriptionsForbidden) {
+  EzkCluster cluster;
+  cluster.Start();
+  ZkClient* client = cluster.AddClient();
+  Status s = RegisterAndWait(cluster, client, "sneaky", R"(
+    extension sneaky { on op read "/em/*"; fn read(o) { return read_object(o); } })");
+  EXPECT_EQ(s.code(), ErrorCode::kExtensionRejected);
+}
+
+TEST(EzkExtensionTest, OnlyRegistrantTriggersUntilAcknowledged) {
+  EzkCluster cluster;
+  cluster.Start();
+  ZkClient* owner = cluster.AddClient(1);
+  ZkClient* other = cluster.AddClient(2);
+  owner->Create("/ctr", "0", false, false, [](Result<std::string>) {});
+  cluster.Settle();
+  ASSERT_TRUE(RegisterAndWait(cluster, owner, "ctr_increment", kCounterExt).ok());
+
+  // The other client's read is NOT intercepted: plain GetData -> kNoNode.
+  auto miss = Increment(cluster, other);
+  EXPECT_EQ(miss.code(), ErrorCode::kNoNode);
+
+  // After acknowledging, the extension fires for it too (§3.6).
+  Status ack = Status(ErrorCode::kInternal);
+  other->AcknowledgeExtension("ctr_increment", [&](Status s) { ack = s; });
+  cluster.Settle();
+  ASSERT_TRUE(ack.ok()) << ack.ToString();
+  auto hit = Increment(cluster, other);
+  ASSERT_TRUE(hit.ok()) << hit.status().ToString();
+  EXPECT_EQ(*hit, "1");
+}
+
+TEST(EzkExtensionTest, DeregistrationRestoresNormalBehavior) {
+  EzkCluster cluster;
+  cluster.Start();
+  ZkClient* client = cluster.AddClient();
+  client->Create("/ctr", "0", false, false, [](Result<std::string>) {});
+  cluster.Settle();
+  ASSERT_TRUE(RegisterAndWait(cluster, client, "ctr_increment", kCounterExt).ok());
+  ASSERT_TRUE(Increment(cluster, client).ok());
+  Status dereg = Status(ErrorCode::kInternal);
+  client->DeregisterExtension("ctr_increment", [&](Status s) { dereg = s; });
+  cluster.Settle();
+  ASSERT_TRUE(dereg.ok()) << dereg.ToString();
+  for (auto& mgr : cluster.managers) {
+    EXPECT_FALSE(mgr->registry().Contains("ctr_increment"));
+  }
+  EXPECT_EQ(Increment(cluster, client).code(), ErrorCode::kNoNode);
+}
+
+TEST(EzkExtensionTest, OnlyOwnerMayDeregister) {
+  EzkCluster cluster;
+  cluster.Start();
+  ZkClient* owner = cluster.AddClient();
+  ZkClient* other = cluster.AddClient();
+  ASSERT_TRUE(RegisterAndWait(cluster, owner, "ctr_increment", kCounterExt).ok());
+  Status s = Status(ErrorCode::kInternal);
+  other->Delete("/em/ctr_increment", -1, [&](Status st) { s = st; });
+  cluster.Settle();
+  EXPECT_EQ(s.code(), ErrorCode::kAccessDenied);
+  EXPECT_TRUE(cluster.managers[0]->registry().Contains("ctr_increment"));
+}
+
+TEST(EzkExtensionTest, QueueExtensionRemovesHeadAtomically) {
+  EzkCluster cluster;
+  cluster.Start();
+  ZkClient* client = cluster.AddClient();
+  client->Create("/queue", "", false, false, [](Result<std::string>) {});
+  cluster.Settle();
+  ASSERT_TRUE(RegisterAndWait(cluster, client, "queue_remove", kQueueExt).ok());
+  for (int i = 0; i < 3; ++i) {
+    client->Create("/queue/e-", "payload" + std::to_string(i), false, true,
+                   [](Result<std::string>) {});
+  }
+  cluster.Settle();
+  for (int i = 0; i < 3; ++i) {
+    std::string data;
+    ZkOp op;
+    op.type = ZkOpType::kGetData;
+    op.path = "/queue-head";
+    client->Request(op, [&](const ZkReplyMsg& reply) {
+      ASSERT_EQ(reply.code, ErrorCode::kOk);
+      data = reply.value;
+    });
+    cluster.Settle();
+    EXPECT_EQ(data, "payload" + std::to_string(i));  // FIFO
+  }
+  // Empty queue: the extension's error() surfaces as an extension error.
+  ErrorCode code = ErrorCode::kOk;
+  ZkOp op;
+  op.type = ZkOpType::kGetData;
+  op.path = "/queue-head";
+  client->Request(op, [&](const ZkReplyMsg& reply) { code = reply.code; });
+  cluster.Settle();
+  EXPECT_EQ(code, ErrorCode::kExtensionError);
+  EXPECT_TRUE(cluster.Leader()->tree().GetChildren("/queue")->empty());
+}
+
+TEST(EzkExtensionTest, FailedExtensionLeavesNoPartialState) {
+  EzkCluster cluster;
+  cluster.Start();
+  ZkClient* client = cluster.AddClient();
+  ASSERT_TRUE(RegisterAndWait(cluster, client, "partial", R"(
+    extension partial {
+      on op read "/go";
+      fn read(oid) {
+        create("/half-done", "x");
+        error("abort after first write");
+        return 1;
+      }
+    })").ok());
+  ErrorCode code = ErrorCode::kOk;
+  ZkOp op;
+  op.type = ZkOpType::kGetData;
+  op.path = "/go";
+  client->Request(op, [&](const ZkReplyMsg& reply) { code = reply.code; });
+  cluster.Settle();
+  EXPECT_EQ(code, ErrorCode::kExtensionError);
+  // Atomicity: the create before the failure was rolled up into a txn that
+  // was never proposed.
+  EXPECT_FALSE(cluster.Leader()->tree().Exists("/half-done"));
+}
+
+TEST(EzkExtensionTest, StateOpBudgetEnforced) {
+  ExtensionLimits limits;
+  limits.max_state_ops = 3;
+  EzkCluster cluster(limits);
+  cluster.Start();
+  ZkClient* client = cluster.AddClient();
+  ASSERT_TRUE(RegisterAndWait(cluster, client, "greedy", R"(
+    extension greedy {
+      on op read "/go";
+      fn read(oid) {
+        foreach (i in [1, 2, 3, 4, 5, 6]) { create("/greedy-" + i, ""); }
+        return 1;
+      }
+    })").ok());
+  ErrorCode code = ErrorCode::kOk;
+  ZkOp op;
+  op.type = ZkOpType::kGetData;
+  op.path = "/go";
+  client->Request(op, [&](const ZkReplyMsg& reply) { code = reply.code; });
+  cluster.Settle();
+  EXPECT_EQ(code, ErrorCode::kExtensionLimit);
+  EXPECT_FALSE(cluster.Leader()->tree().Exists("/greedy-1"));
+}
+
+TEST(EzkExtensionTest, StrikeLimitEvictsCrashLoopingExtension) {
+  ExtensionLimits limits;
+  limits.strike_limit = 3;
+  EzkCluster cluster(limits);
+  cluster.Start();
+  ZkClient* client = cluster.AddClient();
+  ASSERT_TRUE(RegisterAndWait(cluster, client, "crashy", R"(
+    extension crashy {
+      on op read "/boom";
+      fn read(oid) { return error("always fails"); }
+    })").ok());
+  ZkOp op;
+  op.type = ZkOpType::kGetData;
+  op.path = "/boom";
+  for (int i = 0; i < 3; ++i) {
+    client->Request(op, [](const ZkReplyMsg&) {});
+    cluster.Settle();
+  }
+  cluster.Settle();
+  for (auto& mgr : cluster.managers) {
+    EXPECT_FALSE(mgr->registry().Contains("crashy"));
+  }
+  EXPECT_FALSE(cluster.Leader()->tree().Exists("/em/crashy"));
+}
+
+TEST(EzkExtensionTest, ExtensionsSurviveReplicaRestart) {
+  EzkCluster cluster;
+  cluster.Start();
+  ZkServer* follower = cluster.Follower();
+  size_t follower_idx = 0;
+  for (size_t i = 0; i < cluster.servers.size(); ++i) {
+    if (cluster.servers[i].get() == follower) {
+      follower_idx = i;
+    }
+  }
+  ZkClient* client = cluster.AddClient(cluster.Leader()->id());
+  client->Create("/ctr", "0", false, false, [](Result<std::string>) {});
+  cluster.Settle();
+  ASSERT_TRUE(RegisterAndWait(cluster, client, "ctr_increment", kCounterExt).ok());
+  cluster.CrashServer(follower);
+  cluster.Settle();
+  cluster.RestartServer(follower);
+  cluster.Settle(Seconds(3));
+  // The restarted replica's manager reloaded the extension from the
+  // replicated /em state (§3.8).
+  EXPECT_TRUE(cluster.managers[follower_idx]->registry().Contains("ctr_increment"));
+}
+
+TEST(EzkExtensionTest, BlockHostFunctionDefersReplyUntilCreation) {
+  EzkCluster cluster;
+  cluster.Start();
+  ZkClient* waiter = cluster.AddClient(1);
+  ZkClient* creator = cluster.AddClient(2);
+  ASSERT_TRUE(RegisterAndWait(cluster, waiter, "gate", R"(
+    extension gate {
+      on op block "/gate/*";
+      fn block(oid) {
+        block("/gate-open");
+        return null;
+      }
+    })").ok());
+  bool unblocked = false;
+  ZkOp op;
+  op.type = ZkOpType::kExists;
+  op.path = "/gate/w1";
+  op.watch = true;
+  waiter->Request(op, [&](const ZkReplyMsg& reply) {
+    unblocked = reply.code == ErrorCode::kOk;
+  });
+  cluster.Settle();
+  EXPECT_FALSE(unblocked);  // reply deferred server-side, zero extra RPCs
+  creator->Create("/gate-open", "", false, false, [](Result<std::string>) {});
+  cluster.Settle();
+  EXPECT_TRUE(unblocked);
+}
+
+TEST(EzkExtensionTest, EventExtensionReactsToDeletions) {
+  EzkCluster cluster;
+  cluster.Start();
+  ZkClient* client = cluster.AddClient();
+  client->Create("/members", "", false, false, [](Result<std::string>) {});
+  client->Create("/tomb", "", false, false, [](Result<std::string>) {});
+  cluster.Settle();
+  // On every deletion under /members, record a tombstone.
+  ASSERT_TRUE(RegisterAndWait(cluster, client, "grave", R"(
+    extension grave {
+      on event deleted "/members/*";
+      fn on_deleted(oid) {
+        let objs = sub_objects("/members");
+        create("/tomb/count-" + len(objs), oid);
+        return null;
+      }
+    })").ok());
+  client->Create("/members/a", "", false, false, [](Result<std::string>) {});
+  client->Create("/members/b", "", false, false, [](Result<std::string>) {});
+  cluster.Settle();
+  client->Delete("/members/a", -1, [](Status) {});
+  cluster.Settle();
+  auto tombs = cluster.Leader()->tree().GetChildren("/tomb");
+  ASSERT_TRUE(tombs.ok());
+  ASSERT_EQ(tombs->size(), 1u);
+  EXPECT_EQ((*tombs)[0], "count-1");
+  EXPECT_EQ(cluster.Leader()->tree().Get("/tomb/count-1")->data, "/members/a");
+}
+
+TEST(EzkExtensionTest, EventChainDepthIsBounded) {
+  EzkCluster cluster;
+  cluster.Start();
+  ZkClient* client = cluster.AddClient();
+  client->Create("/chain", "", false, false, [](Result<std::string>) {});
+  cluster.Settle();
+  // Each created node under /chain creates another one: would run forever
+  // without the depth cap.
+  ASSERT_TRUE(RegisterAndWait(cluster, client, "runaway", R"(
+    extension runaway {
+      on event created "/chain/*";
+      fn on_created(oid) {
+        let objs = sub_objects("/chain");
+        create("/chain/n-" + len(objs), "");
+        return null;
+      }
+    })").ok());
+  client->Create("/chain/seed", "", false, false, [](Result<std::string>) {});
+  cluster.Settle(Seconds(2));
+  auto children = cluster.Leader()->tree().GetChildren("/chain");
+  ASSERT_TRUE(children.ok());
+  EXPECT_LE(children->size(), ZkExtensionManager::kMaxEventDepth + 1u);
+  EXPECT_GT(children->size(), 1u);  // the chain did run
+}
+
+TEST(EzkExtensionTest, NotificationSuppressedWhenEventExtensionMatches) {
+  EzkCluster cluster;
+  cluster.Start();
+  ZkClient* client = cluster.AddClient();
+  client->Create("/obs", "", false, false, [](Result<std::string>) {});
+  cluster.Settle();
+  ASSERT_TRUE(RegisterAndWait(cluster, client, "absorb", R"(
+    extension absorb {
+      on event deleted "/obs/*";
+      fn on_deleted(oid) { return null; }
+    })").ok());
+  client->Create("/obs/x", "", false, false, [](Result<std::string>) {});
+  cluster.Settle();
+  int notifications = 0;
+  client->SetWatchHandler([&](const ZkWatchEventMsg&) { ++notifications; });
+  client->Exists("/obs/x", true, [](Result<ZkClient::ExistsResult>) {});
+  cluster.Settle();
+  client->Delete("/obs/x", -1, [](Status) {});
+  cluster.Settle();
+  // The event extension took responsibility: the raw notification to the
+  // registrant was suppressed (§5.1.2).
+  EXPECT_EQ(notifications, 0);
+}
+
+TEST(EzkExtensionTest, RegularClientsUnaffectedByOthersExtensions) {
+  EzkCluster cluster;
+  cluster.Start();
+  ZkClient* power = cluster.AddClient(1);
+  ZkClient* regular = cluster.AddClient(2);
+  power->Create("/ctr", "0", false, false, [](Result<std::string>) {});
+  cluster.Settle();
+  ASSERT_TRUE(RegisterAndWait(cluster, power, "ctr_increment", kCounterExt).ok());
+  // A regular client reading and writing unrelated nodes sees plain
+  // ZooKeeper semantics.
+  Result<std::string> created = Status(ErrorCode::kInternal);
+  regular->Create("/plain", "v", false, false, [&](Result<std::string> r) { created = r; });
+  cluster.Settle();
+  ASSERT_TRUE(created.ok());
+  Result<ZkClient::NodeResult> read = Status(ErrorCode::kInternal);
+  regular->GetData("/plain", false, [&](Result<ZkClient::NodeResult> r) { read = r; });
+  cluster.Settle();
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->data, "v");
+}
+
+}  // namespace
+}  // namespace edc

@@ -1,0 +1,106 @@
+// Sanity tests for the benchmark harness itself (fixture + closed loop).
+
+#include <gtest/gtest.h>
+
+#include "bench/common.h"
+#include "edc/harness/driver.h"
+#include "edc/harness/fixture.h"
+
+namespace edc {
+namespace {
+
+TEST(HarnessTest, FixtureBootsAllFourSystems) {
+  for (SystemKind system : AllSystems()) {
+    FixtureOptions options;
+    options.system = system;
+    options.num_clients = 3;
+    CoordFixture fixture(options);
+    fixture.Start();
+    EXPECT_EQ(fixture.num_clients(), 3u) << SystemName(system);
+    // Every client can complete one operation.
+    int done = 0;
+    for (size_t i = 0; i < 3; ++i) {
+      fixture.coord(i)->Create("/boot-" + std::to_string(i), "x",
+                               [&](Result<std::string> r) {
+                                 EXPECT_TRUE(r.ok()) << r.status().ToString();
+                                 ++done;
+                               });
+    }
+    fixture.Settle(Seconds(2));
+    EXPECT_EQ(done, 3) << SystemName(system);
+  }
+}
+
+TEST(HarnessTest, ClosedLoopMeasuresOnlyTheWindow) {
+  FixtureOptions options;
+  options.system = SystemKind::kZooKeeper;
+  options.num_clients = 2;
+  CoordFixture fixture(options);
+  fixture.Start();
+  bool ready = false;
+  fixture.coord(0)->Create("/x", "v", [&](Result<std::string>) { ready = true; });
+  fixture.Settle(Seconds(1));
+  ASSERT_TRUE(ready);
+
+  ClosedLoop driver(&fixture, [&](size_t i, std::function<void()> done) {
+    fixture.coord(i)->Read("/x", [done = std::move(done)](Result<std::string>) { done(); });
+  });
+  RunStats stats = driver.Run(Millis(500), Seconds(2));
+  EXPECT_GT(stats.ops, 100);  // reads are sub-millisecond; thousands fit
+  EXPECT_GT(stats.client_bytes, 0);
+  EXPECT_GT(stats.ThroughputOpsPerSec(), 100.0);
+  EXPECT_GT(stats.MeanLatencyMs(), 0.0);
+  EXPECT_LT(stats.MeanLatencyMs(), 50.0);
+  // Latency samples only from inside the window.
+  EXPECT_EQ(static_cast<int64_t>(stats.latency.count()), stats.ops);
+}
+
+TEST(HarnessTest, ClientBytesMonotonic) {
+  FixtureOptions options;
+  options.system = SystemKind::kDepSpace;
+  options.num_clients = 1;
+  CoordFixture fixture(options);
+  fixture.Start();
+  int64_t before = fixture.ClientBytesSent();
+  bool done = false;
+  fixture.coord(0)->Create("/b", "data", [&](Result<std::string>) { done = true; });
+  fixture.Settle(Seconds(1));
+  ASSERT_TRUE(done);
+  // DepSpace clients multicast to all 4 replicas: 4 request frames at least.
+  int64_t delta = fixture.ClientBytesSent() - before;
+  EXPECT_GE(delta, static_cast<int64_t>(4 * kFrameOverheadBytes));
+}
+
+TEST(HarnessTest, WanLinkRaisesLatency) {
+  FixtureOptions lan;
+  lan.system = SystemKind::kZooKeeper;
+  lan.num_clients = 1;
+  FixtureOptions wan = lan;
+  wan.link.latency = Millis(20);
+  wan.link.jitter = 0;
+
+  auto measure = [](FixtureOptions options) {
+    CoordFixture fixture(options);
+    fixture.Start();
+    bool ready = false;
+    fixture.coord(0)->Create("/w", "v", [&](Result<std::string>) { ready = true; });
+    fixture.Settle(Seconds(2));
+    EXPECT_TRUE(ready);
+    SimTime start = fixture.loop().now();
+    SimTime end = 0;
+    bool read_done = false;
+    fixture.coord(0)->Read("/w", [&](Result<std::string>) {
+      end = fixture.loop().now();
+      read_done = true;
+    });
+    fixture.Settle(Seconds(2));
+    EXPECT_TRUE(read_done);
+    return end - start;
+  };
+  Duration lan_latency = measure(lan);
+  Duration wan_latency = measure(wan);
+  EXPECT_GT(wan_latency, lan_latency + Millis(30));  // ~2x 20ms one-way
+}
+
+}  // namespace
+}  // namespace edc

@@ -1,0 +1,161 @@
+#include "edc/script/builtins.h"
+
+#include <gtest/gtest.h>
+
+namespace edc {
+namespace {
+
+Result<Value> Call(const std::string& name, std::vector<Value> args) {
+  auto it = CoreBuiltins().find(name);
+  if (it == CoreBuiltins().end()) {
+    return Status(ErrorCode::kInternal, "no builtin " + name);
+  }
+  return it->second.fn(args);
+}
+
+Value Obj(const std::string& path, int64_t ctime) {
+  return Value::Map({{"path", Value(path)}, {"ctime", Value(ctime)}});
+}
+
+TEST(BuiltinsTest, Len) {
+  EXPECT_EQ(Call("len", {Value("abc")})->AsInt(), 3);
+  EXPECT_EQ(Call("len", {Value::List({Value(1), Value(2)})})->AsInt(), 2);
+  EXPECT_EQ(Call("len", {Value::Map({{"a", Value(1)}})})->AsInt(), 1);
+  EXPECT_FALSE(Call("len", {Value(5)}).ok());
+  EXPECT_FALSE(Call("len", {}).ok());
+}
+
+TEST(BuiltinsTest, StrAndParseInt) {
+  EXPECT_EQ(Call("str", {Value(42)})->AsStr(), "42");
+  EXPECT_EQ(Call("parse_int", {Value("42")})->AsInt(), 42);
+  EXPECT_EQ(Call("parse_int", {Value("-3")})->AsInt(), -3);
+  EXPECT_FALSE(Call("parse_int", {Value("4x")}).ok());
+  EXPECT_FALSE(Call("parse_int", {Value(7)}).ok());
+}
+
+TEST(BuiltinsTest, MinMaxAbs) {
+  EXPECT_EQ(Call("min", {Value(3), Value(5)})->AsInt(), 3);
+  EXPECT_EQ(Call("max", {Value(3), Value(5)})->AsInt(), 5);
+  EXPECT_EQ(Call("min", {Value("b"), Value("a")})->AsStr(), "a");
+  EXPECT_EQ(Call("abs", {Value(-9)})->AsInt(), 9);
+  EXPECT_FALSE(Call("min", {Value(1), Value("x")}).ok());
+}
+
+TEST(BuiltinsTest, StringOps) {
+  EXPECT_EQ(Call("concat", {Value("a"), Value(1), Value("b")})->AsStr(), "a1b");
+  EXPECT_EQ(Call("substr", {Value("hello"), Value(1), Value(3)})->AsStr(), "ell");
+  EXPECT_FALSE(Call("substr", {Value("hi"), Value(5), Value(1)}).ok());
+  EXPECT_TRUE(Call("starts_with", {Value("/queue/e1"), Value("/queue/")})->AsBool());
+  EXPECT_TRUE(Call("ends_with", {Value("x.txt"), Value(".txt")})->AsBool());
+  EXPECT_TRUE(Call("contains", {Value("abc"), Value("b")})->AsBool());
+  EXPECT_EQ(Call("index_of", {Value("abc"), Value("c")})->AsInt(), 2);
+  EXPECT_EQ(Call("index_of", {Value("abc"), Value("z")})->AsInt(), -1);
+}
+
+TEST(BuiltinsTest, Split) {
+  auto out = Call("split", {Value("/a/b"), Value("/")});
+  ASSERT_TRUE(out.ok());
+  const ValueList& parts = out->AsList();
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0].AsStr(), "");
+  EXPECT_EQ(parts[1].AsStr(), "a");
+  EXPECT_EQ(parts[2].AsStr(), "b");
+  EXPECT_FALSE(Call("split", {Value("x"), Value("ab")}).ok());
+}
+
+TEST(BuiltinsTest, AppendIsFunctional) {
+  Value list = Value::List({Value(1)});
+  auto out = Call("append", {list, Value(2)});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->AsList().size(), 2u);
+  EXPECT_EQ(list.AsList().size(), 1u);  // original untouched
+}
+
+TEST(BuiltinsTest, GetHasKeys) {
+  Value m = Value::Map({{"a", Value(1)}, {"b", Value(2)}});
+  EXPECT_EQ(Call("get", {m, Value("a")})->AsInt(), 1);
+  EXPECT_TRUE(Call("get", {m, Value("zz")})->is_null());
+  EXPECT_TRUE(Call("has", {m, Value("b")})->AsBool());
+  EXPECT_FALSE(Call("has", {m, Value("zz")})->AsBool());
+  auto keys = Call("keys", {m});
+  ASSERT_TRUE(keys.ok());
+  EXPECT_EQ(keys->AsList().size(), 2u);
+  Value list = Value::List({Value("x"), Value("y")});
+  EXPECT_EQ(Call("get", {list, Value(1)})->AsStr(), "y");
+  EXPECT_FALSE(Call("get", {list, Value(9)}).ok());
+}
+
+TEST(BuiltinsTest, MinByMaxBySortBy) {
+  Value list = Value::List({Obj("/q/b", 20), Obj("/q/a", 10), Obj("/q/c", 30)});
+  EXPECT_EQ(Call("min_by", {list, Value("ctime")})->AsMap().at("path").AsStr(), "/q/a");
+  EXPECT_EQ(Call("max_by", {list, Value("ctime")})->AsMap().at("path").AsStr(), "/q/c");
+  auto sorted = Call("sort_by", {list, Value("ctime")});
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_EQ(sorted->AsList()[0].AsMap().at("path").AsStr(), "/q/a");
+  EXPECT_EQ(sorted->AsList()[2].AsMap().at("path").AsStr(), "/q/c");
+  // Empty list -> null extremum, empty sort.
+  Value empty = Value::List({});
+  EXPECT_TRUE(Call("min_by", {empty, Value("ctime")})->is_null());
+  EXPECT_EQ(Call("sort_by", {empty, Value("ctime")})->AsList().size(), 0u);
+  // Missing field is an error.
+  EXPECT_FALSE(Call("min_by", {list, Value("nope")}).ok());
+}
+
+TEST(BuiltinsTest, SortByIsStable) {
+  Value list = Value::List({
+      Value::Map({{"k", Value(1)}, {"tag", Value("first")}}),
+      Value::Map({{"k", Value(1)}, {"tag", Value("second")}}),
+  });
+  auto sorted = Call("sort_by", {list, Value("k")});
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_EQ(sorted->AsList()[0].AsMap().at("tag").AsStr(), "first");
+}
+
+TEST(BuiltinsTest, ErrorRaises) {
+  auto out = Call("error", {Value("boom")});
+  EXPECT_EQ(out.code(), ErrorCode::kExtensionError);
+  EXPECT_NE(out.status().message().find("boom"), std::string::npos);
+}
+
+TEST(BuiltinsTest, AllBuiltinsAreDeterministic) {
+  for (const auto& [name, info] : CoreBuiltins()) {
+    EXPECT_TRUE(info.deterministic) << name;
+  }
+}
+
+TEST(ValueTest, TruthinessTable) {
+  EXPECT_FALSE(Value().Truthy());
+  EXPECT_FALSE(Value(false).Truthy());
+  EXPECT_FALSE(Value(0).Truthy());
+  EXPECT_FALSE(Value("").Truthy());
+  EXPECT_FALSE(Value::List({}).Truthy());
+  EXPECT_TRUE(Value(true).Truthy());
+  EXPECT_TRUE(Value(1).Truthy());
+  EXPECT_TRUE(Value("x").Truthy());
+  EXPECT_TRUE(Value::List({Value(0)}).Truthy());
+}
+
+TEST(ValueTest, EqualsDeep) {
+  Value a = Value::Map({{"l", Value::List({Value(1), Value("x")})}});
+  Value b = Value::Map({{"l", Value::List({Value(1), Value("x")})}});
+  Value c = Value::Map({{"l", Value::List({Value(2), Value("x")})}});
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_FALSE(a.Equals(c));
+  EXPECT_FALSE(Value(1).Equals(Value("1")));
+  EXPECT_TRUE(Value().Equals(Value()));
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value(42).ToString(), "42");
+  EXPECT_EQ(Value::List({Value(1), Value("a")}).ToString(), "[1, a]");
+  EXPECT_EQ(Value::Map({{"k", Value(1)}}).ToString(), "{k: 1}");
+}
+
+TEST(ValueTest, ApproxSizeGrowsWithContent) {
+  EXPECT_LT(Value(1).ApproxSize(), Value(std::string(100, 'x')).ApproxSize());
+  Value nested = Value::List({Value(std::string(50, 'a')), Value(std::string(50, 'b'))});
+  EXPECT_GT(nested.ApproxSize(), 100u);
+}
+
+}  // namespace
+}  // namespace edc

@@ -1,0 +1,106 @@
+#include "edc/script/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace edc {
+namespace {
+
+std::vector<TokenKind> Kinds(const std::vector<Token>& toks) {
+  std::vector<TokenKind> out;
+  for (const Token& t : toks) {
+    out.push_back(t.kind);
+  }
+  return out;
+}
+
+TEST(LexerTest, KeywordsAndIdents) {
+  auto toks = Lex("extension foo fn let if else foreach in return");
+  ASSERT_TRUE(toks.ok());
+  auto kinds = Kinds(*toks);
+  EXPECT_EQ(kinds[0], TokenKind::kExtension);
+  EXPECT_EQ(kinds[1], TokenKind::kIdent);
+  EXPECT_EQ((*toks)[1].text, "foo");
+  EXPECT_EQ(kinds[2], TokenKind::kFn);
+  EXPECT_EQ(kinds.back(), TokenKind::kEof);
+}
+
+TEST(LexerTest, IntegerLiterals) {
+  auto toks = Lex("0 42 1234567890123");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].int_value, 0);
+  EXPECT_EQ((*toks)[1].int_value, 42);
+  EXPECT_EQ((*toks)[2].int_value, 1234567890123LL);
+}
+
+TEST(LexerTest, IntegerOverflowRejected) {
+  EXPECT_FALSE(Lex("99999999999999999999999").ok());
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  auto toks = Lex(R"("hello" "a\nb" "q\"q" "back\\slash" "")");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].text, "hello");
+  EXPECT_EQ((*toks)[1].text, "a\nb");
+  EXPECT_EQ((*toks)[2].text, "q\"q");
+  EXPECT_EQ((*toks)[3].text, "back\\slash");
+  EXPECT_EQ((*toks)[4].text, "");
+}
+
+TEST(LexerTest, UnterminatedStringRejected) {
+  EXPECT_FALSE(Lex("\"abc").ok());
+  EXPECT_FALSE(Lex("\"abc\nxyz\"").ok());
+  EXPECT_FALSE(Lex("\"abc\\").ok());
+  EXPECT_FALSE(Lex("\"bad\\q\"").ok());
+}
+
+TEST(LexerTest, OperatorsTwoChar) {
+  auto toks = Lex("== != <= >= && || = < > !");
+  ASSERT_TRUE(toks.ok());
+  auto kinds = Kinds(*toks);
+  EXPECT_EQ(kinds[0], TokenKind::kEq);
+  EXPECT_EQ(kinds[1], TokenKind::kNe);
+  EXPECT_EQ(kinds[2], TokenKind::kLe);
+  EXPECT_EQ(kinds[3], TokenKind::kGe);
+  EXPECT_EQ(kinds[4], TokenKind::kAndAnd);
+  EXPECT_EQ(kinds[5], TokenKind::kOrOr);
+  EXPECT_EQ(kinds[6], TokenKind::kAssign);
+  EXPECT_EQ(kinds[7], TokenKind::kLt);
+  EXPECT_EQ(kinds[8], TokenKind::kGt);
+  EXPECT_EQ(kinds[9], TokenKind::kBang);
+}
+
+TEST(LexerTest, SingleAmpersandOrPipeRejected) {
+  EXPECT_FALSE(Lex("a & b").ok());
+  EXPECT_FALSE(Lex("a | b").ok());
+}
+
+TEST(LexerTest, CommentsIgnored) {
+  auto toks = Lex("a // this is a comment\nb");
+  ASSERT_TRUE(toks.ok());
+  ASSERT_EQ(toks->size(), 3u);  // a, b, eof
+  EXPECT_EQ((*toks)[1].text, "b");
+  EXPECT_EQ((*toks)[1].line, 2);
+}
+
+TEST(LexerTest, LineNumbersTracked) {
+  auto toks = Lex("a\nb\n\nc");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].line, 1);
+  EXPECT_EQ((*toks)[1].line, 2);
+  EXPECT_EQ((*toks)[2].line, 4);
+}
+
+TEST(LexerTest, UnknownCharacterRejected) {
+  EXPECT_FALSE(Lex("a $ b").ok());
+  EXPECT_FALSE(Lex("a @ b").ok());
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  auto toks = Lex("");
+  ASSERT_TRUE(toks.ok());
+  ASSERT_EQ(toks->size(), 1u);
+  EXPECT_EQ((*toks)[0].kind, TokenKind::kEof);
+}
+
+}  // namespace
+}  // namespace edc

@@ -1,0 +1,110 @@
+#include "edc/sim/event_loop.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace edc {
+namespace {
+
+TEST(EventLoopTest, RunsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.Schedule(Millis(3), [&] { order.push_back(3); });
+  loop.Schedule(Millis(1), [&] { order.push_back(1); });
+  loop.Schedule(Millis(2), [&] { order.push_back(2); });
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), Millis(3));
+}
+
+TEST(EventLoopTest, SameTimeFifoBySchedulingOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.Schedule(Millis(5), [&order, i] { order.push_back(i); });
+  }
+  loop.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventLoopTest, NestedScheduling) {
+  EventLoop loop;
+  int fired = 0;
+  loop.Schedule(Millis(1), [&] {
+    loop.Schedule(Millis(1), [&] {
+      ++fired;
+      EXPECT_EQ(loop.now(), Millis(2));
+    });
+  });
+  loop.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventLoopTest, CancelPreventsExecution) {
+  EventLoop loop;
+  bool ran = false;
+  TimerId id = loop.Schedule(Millis(1), [&] { ran = true; });
+  loop.Cancel(id);
+  loop.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventLoopTest, CancelAfterFireIsNoop) {
+  EventLoop loop;
+  int runs = 0;
+  TimerId id = loop.Schedule(Millis(1), [&] { ++runs; });
+  loop.Run();
+  loop.Cancel(id);  // must not crash or affect later timers
+  loop.Schedule(Millis(1), [&] { ++runs; });
+  loop.Run();
+  EXPECT_EQ(runs, 2);
+}
+
+TEST(EventLoopTest, RunUntilAdvancesClockToDeadline) {
+  EventLoop loop;
+  int fired = 0;
+  loop.Schedule(Millis(10), [&] { ++fired; });
+  loop.Schedule(Millis(30), [&] { ++fired; });
+  loop.RunUntil(Millis(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.now(), Millis(20));
+  loop.RunUntil(Millis(40));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoopTest, StopHaltsRun) {
+  EventLoop loop;
+  int fired = 0;
+  loop.Schedule(Millis(1), [&] {
+    ++fired;
+    loop.Stop();
+  });
+  loop.Schedule(Millis(2), [&] { ++fired; });
+  loop.Run();
+  EXPECT_EQ(fired, 1);
+  loop.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoopTest, NegativeDelayClampsToNow) {
+  EventLoop loop;
+  loop.Schedule(Millis(5), [&] {
+    loop.Schedule(-Millis(10), [&] { EXPECT_EQ(loop.now(), Millis(5)); });
+  });
+  loop.Run();
+}
+
+TEST(EventLoopTest, PendingCountExcludesCancelled) {
+  EventLoop loop;
+  TimerId a = loop.Schedule(Millis(1), [] {});
+  loop.Schedule(Millis(2), [] {});
+  EXPECT_EQ(loop.pending(), 2u);
+  loop.Cancel(a);
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace edc

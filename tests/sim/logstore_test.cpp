@@ -1,0 +1,111 @@
+#include "edc/logstore/logstore.h"
+
+#include <gtest/gtest.h>
+
+namespace edc {
+namespace {
+
+std::vector<uint8_t> Rec(uint8_t tag, size_t n = 8) { return std::vector<uint8_t>(n, tag); }
+
+TEST(LogStoreTest, AppendBecomesDurableAfterFsync) {
+  EventLoop loop;
+  LogStore log(&loop, LogStoreConfig{});
+  bool durable = false;
+  log.Append(Rec(1), [&] { durable = true; });
+  EXPECT_FALSE(durable);
+  EXPECT_TRUE(log.records().empty());
+  loop.Run();
+  EXPECT_TRUE(durable);
+  ASSERT_EQ(log.records().size(), 1u);
+  EXPECT_EQ(log.records()[0], Rec(1));
+}
+
+TEST(LogStoreTest, GroupCommitBatchesConcurrentAppends) {
+  EventLoop loop;
+  LogStoreConfig cfg;
+  cfg.group_commit_window = Micros(100);
+  LogStore log(&loop, cfg);
+  int durable = 0;
+  for (int i = 0; i < 10; ++i) {
+    log.Append(Rec(static_cast<uint8_t>(i)), [&] { ++durable; });
+  }
+  loop.Run();
+  EXPECT_EQ(durable, 10);
+  EXPECT_EQ(log.syncs(), 1);  // one shared fsync
+}
+
+TEST(LogStoreTest, SeparatedAppendsSyncSeparately) {
+  EventLoop loop;
+  LogStore log(&loop, LogStoreConfig{});
+  log.Append(Rec(1), nullptr);
+  loop.Run();
+  log.Append(Rec(2), nullptr);
+  loop.Run();
+  EXPECT_EQ(log.syncs(), 2);
+  EXPECT_EQ(log.records().size(), 2u);
+}
+
+TEST(LogStoreTest, DurabilityOrderMatchesAppendOrder) {
+  EventLoop loop;
+  LogStore log(&loop, LogStoreConfig{});
+  std::vector<int> order;
+  log.Append(Rec(1), [&] { order.push_back(1); });
+  log.Append(Rec(2), [&] { order.push_back(2); });
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(log.records()[0], Rec(1));
+  EXPECT_EQ(log.records()[1], Rec(2));
+}
+
+TEST(LogStoreTest, DropUnsyncedLosesPendingAppends) {
+  EventLoop loop;
+  LogStore log(&loop, LogStoreConfig{});
+  bool durable = false;
+  log.Append(Rec(1), [&] { durable = true; });
+  log.DropUnsynced();  // crash before fsync
+  loop.Run();
+  EXPECT_FALSE(durable);
+  EXPECT_TRUE(log.records().empty());
+}
+
+TEST(LogStoreTest, TruncateDropsTail) {
+  EventLoop loop;
+  LogStore log(&loop, LogStoreConfig{});
+  for (uint8_t i = 0; i < 5; ++i) {
+    log.Append(Rec(i), nullptr);
+  }
+  loop.Run();
+  log.Truncate(2);
+  ASSERT_EQ(log.records().size(), 2u);
+  EXPECT_EQ(log.records()[1], Rec(1));
+}
+
+TEST(LogStoreTest, DropHeadCompacts) {
+  EventLoop loop;
+  LogStore log(&loop, LogStoreConfig{});
+  for (uint8_t i = 0; i < 5; ++i) {
+    log.Append(Rec(i), nullptr);
+  }
+  loop.Run();
+  log.DropHead(3);
+  ASSERT_EQ(log.records().size(), 2u);
+  EXPECT_EQ(log.records()[0], Rec(3));
+  log.DropHead(99);
+  EXPECT_TRUE(log.records().empty());
+}
+
+TEST(LogStoreTest, AppendAfterCrashStartsFreshBatch) {
+  EventLoop loop;
+  LogStore log(&loop, LogStoreConfig{});
+  log.Append(Rec(1), nullptr);
+  log.DropUnsynced();
+  bool durable = false;
+  log.Append(Rec(2), [&] { durable = true; });
+  loop.Run();
+  EXPECT_TRUE(durable);
+  ASSERT_EQ(log.records().size(), 1u);
+  EXPECT_EQ(log.records()[0], Rec(2));
+}
+
+}  // namespace
+}  // namespace edc

@@ -1,0 +1,136 @@
+#include "edc/sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "edc/common/rng.h"
+
+namespace edc {
+namespace {
+
+class Sink : public NetworkNode {
+ public:
+  void HandlePacket(Packet&& pkt) override { received.push_back(std::move(pkt)); }
+  std::vector<Packet> received;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : net_(&loop_, Rng(1), LinkParams{}) {
+    net_.Register(1, &a_);
+    net_.Register(2, &b_);
+  }
+
+  Packet Make(NodeId src, NodeId dst, uint32_t type, size_t bytes = 10) {
+    Packet p;
+    p.src = src;
+    p.dst = dst;
+    p.type = type;
+    p.payload.assign(bytes, 0x7f);
+    return p;
+  }
+
+  EventLoop loop_;
+  Network net_;
+  Sink a_;
+  Sink b_;
+};
+
+TEST_F(NetworkTest, DeliversWithLatency) {
+  net_.Send(Make(1, 2, 7));
+  loop_.Run();
+  ASSERT_EQ(b_.received.size(), 1u);
+  EXPECT_EQ(b_.received[0].type, 7u);
+  EXPECT_GE(loop_.now(), Micros(100));  // at least base latency
+}
+
+TEST_F(NetworkTest, FifoPerPairEvenWithJitter) {
+  for (uint32_t i = 0; i < 50; ++i) {
+    net_.Send(Make(1, 2, i));
+  }
+  loop_.Run();
+  ASSERT_EQ(b_.received.size(), 50u);
+  for (uint32_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(b_.received[i].type, i);
+  }
+}
+
+TEST_F(NetworkTest, CountsBytesIncludingFrameOverhead) {
+  net_.Send(Make(1, 2, 0, 100));
+  loop_.Run();
+  EXPECT_EQ(net_.StatsFor(1).bytes_sent, static_cast<int64_t>(100 + kFrameOverheadBytes));
+  EXPECT_EQ(net_.StatsFor(1).packets_sent, 1);
+  EXPECT_EQ(net_.StatsFor(2).bytes_received, static_cast<int64_t>(100 + kFrameOverheadBytes));
+}
+
+TEST_F(NetworkTest, PartitionDropsBothDirections) {
+  net_.Disconnect(1, 2);
+  net_.Send(Make(1, 2, 0));
+  net_.Send(Make(2, 1, 0));
+  loop_.Run();
+  EXPECT_TRUE(a_.received.empty());
+  EXPECT_TRUE(b_.received.empty());
+  net_.Reconnect(1, 2);
+  net_.Send(Make(1, 2, 0));
+  loop_.Run();
+  EXPECT_EQ(b_.received.size(), 1u);
+}
+
+TEST_F(NetworkTest, DownNodeNeitherSendsNorReceives) {
+  net_.SetNodeUp(2, false);
+  net_.Send(Make(1, 2, 0));
+  net_.Send(Make(2, 1, 0));
+  loop_.Run();
+  EXPECT_TRUE(a_.received.empty());
+  EXPECT_TRUE(b_.received.empty());
+  net_.SetNodeUp(2, true);
+  net_.Send(Make(1, 2, 0));
+  loop_.Run();
+  EXPECT_EQ(b_.received.size(), 1u);
+}
+
+TEST_F(NetworkTest, InFlightPacketLostIfReceiverCrashes) {
+  net_.Send(Make(1, 2, 0));
+  net_.SetNodeUp(2, false);  // crash while packet in flight
+  loop_.Run();
+  EXPECT_TRUE(b_.received.empty());
+}
+
+TEST_F(NetworkTest, DropProbabilityOneLosesEverything) {
+  LinkParams lossy;
+  lossy.drop_probability = 1.0;
+  net_.SetLink(1, 2, lossy);
+  for (int i = 0; i < 10; ++i) {
+    net_.Send(Make(1, 2, 0));
+  }
+  loop_.Run();
+  EXPECT_TRUE(b_.received.empty());
+  // Bytes still counted as sent (the sender paid for them).
+  EXPECT_EQ(net_.StatsFor(1).packets_sent, 10);
+}
+
+TEST_F(NetworkTest, BandwidthAddsSerializationDelay) {
+  LinkParams slow;
+  slow.latency = 0;
+  slow.jitter = 0;
+  slow.bandwidth_bps = 8000.0;  // 1000 bytes/s
+  net_.SetLink(1, 2, slow);
+  net_.Send(Make(1, 2, 0, 1000 - kFrameOverheadBytes));  // 1000 wire bytes
+  loop_.Run();
+  ASSERT_EQ(b_.received.size(), 1u);
+  EXPECT_NEAR(static_cast<double>(loop_.now()), 1e9, 1e7);  // ~1 simulated second
+}
+
+TEST_F(NetworkTest, LinkOverrideAppliesSymmetrically) {
+  LinkParams wan;
+  wan.latency = Millis(20);
+  wan.jitter = 0;
+  net_.SetLink(1, 2, wan);
+  net_.Send(Make(2, 1, 0));
+  loop_.Run();
+  EXPECT_GE(loop_.now(), Millis(20));
+}
+
+}  // namespace
+}  // namespace edc

@@ -1,0 +1,140 @@
+#include "edc/zk/data_tree.h"
+
+#include <gtest/gtest.h>
+
+namespace edc {
+namespace {
+
+class DataTreeTest : public ::testing::Test {
+ protected:
+  DataTree tree_;
+};
+
+TEST_F(DataTreeTest, CreateAndGet) {
+  auto path = tree_.Create("/a", "hello", 0, false, 5, 1000);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(*path, "/a");
+  auto node = tree_.Get("/a");
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ(node->data, "hello");
+  EXPECT_EQ(node->stat.czxid, 5u);
+  EXPECT_EQ(node->stat.ctime, 1000);
+  EXPECT_EQ(node->stat.version, 0);
+  EXPECT_EQ(tree_.node_count(), 2u);
+}
+
+TEST_F(DataTreeTest, CreateRequiresParent) {
+  EXPECT_EQ(tree_.Create("/a/b", "", 0, false, 1, 0).code(), ErrorCode::kNoNode);
+  ASSERT_TRUE(tree_.Create("/a", "", 0, false, 1, 0).ok());
+  EXPECT_TRUE(tree_.Create("/a/b", "", 0, false, 2, 0).ok());
+}
+
+TEST_F(DataTreeTest, CreateDuplicateFails) {
+  ASSERT_TRUE(tree_.Create("/a", "", 0, false, 1, 0).ok());
+  EXPECT_EQ(tree_.Create("/a", "", 0, false, 2, 0).code(), ErrorCode::kNodeExists);
+}
+
+TEST_F(DataTreeTest, CreateRejectsBadPaths) {
+  EXPECT_EQ(tree_.Create("a", "", 0, false, 1, 0).code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(tree_.Create("/a/", "", 0, false, 1, 0).code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(tree_.Create("/", "", 0, false, 1, 0).code(), ErrorCode::kNodeExists);
+}
+
+TEST_F(DataTreeTest, SequentialNamesIncrease) {
+  ASSERT_TRUE(tree_.Create("/q", "", 0, false, 1, 0).ok());
+  auto a = tree_.Create("/q/e-", "", 0, true, 2, 0);
+  auto b = tree_.Create("/q/e-", "", 0, true, 3, 0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, "/q/e-0000000000");
+  EXPECT_EQ(*b, "/q/e-0000000001");
+  // Counter survives deletion of earlier elements (no reuse).
+  ASSERT_TRUE(tree_.Delete(*a, -1, 4).ok());
+  auto c = tree_.Create("/q/e-", "", 0, true, 5, 0);
+  EXPECT_EQ(*c, "/q/e-0000000002");
+}
+
+TEST_F(DataTreeTest, EphemeralCannotHaveChildren) {
+  ASSERT_TRUE(tree_.Create("/e", "", 42, false, 1, 0).ok());
+  EXPECT_EQ(tree_.Create("/e/x", "", 0, false, 2, 0).code(),
+            ErrorCode::kNoChildrenForEphemerals);
+}
+
+TEST_F(DataTreeTest, DeleteChecksVersionAndChildren) {
+  ASSERT_TRUE(tree_.Create("/a", "", 0, false, 1, 0).ok());
+  ASSERT_TRUE(tree_.Create("/a/b", "", 0, false, 2, 0).ok());
+  EXPECT_EQ(tree_.Delete("/a", -1, 3).code(), ErrorCode::kNotEmpty);
+  EXPECT_EQ(tree_.Delete("/a/b", 7, 3).code(), ErrorCode::kBadVersion);
+  EXPECT_TRUE(tree_.Delete("/a/b", 0, 3).ok());
+  EXPECT_TRUE(tree_.Delete("/a", -1, 4).ok());
+  EXPECT_EQ(tree_.Delete("/a", -1, 5).code(), ErrorCode::kNoNode);
+  EXPECT_EQ(tree_.node_count(), 1u);
+}
+
+TEST_F(DataTreeTest, SetDataBumpsVersion) {
+  ASSERT_TRUE(tree_.Create("/a", "v0", 0, false, 1, 10).ok());
+  EXPECT_TRUE(tree_.SetData("/a", "v1", 0, 2, 20).ok());
+  EXPECT_EQ(tree_.SetData("/a", "v2", 0, 3, 30).code(), ErrorCode::kBadVersion);
+  EXPECT_TRUE(tree_.SetData("/a", "v2", 1, 3, 30).ok());
+  EXPECT_TRUE(tree_.SetData("/a", "v3", -1, 4, 40).ok());
+  auto node = tree_.Get("/a");
+  EXPECT_EQ(node->data, "v3");
+  EXPECT_EQ(node->stat.version, 3);
+  EXPECT_EQ(node->stat.mzxid, 4u);
+  EXPECT_EQ(node->stat.mtime, 40);
+  EXPECT_EQ(node->stat.ctime, 10);
+}
+
+TEST_F(DataTreeTest, ChildrenSortedAndCounted) {
+  ASSERT_TRUE(tree_.Create("/p", "", 0, false, 1, 0).ok());
+  for (const char* name : {"/p/c", "/p/a", "/p/b"}) {
+    ASSERT_TRUE(tree_.Create(name, "", 0, false, 2, 0).ok());
+  }
+  auto children = tree_.GetChildren("/p");
+  ASSERT_TRUE(children.ok());
+  EXPECT_EQ(*children, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(tree_.Get("/p")->stat.num_children, 3u);
+  EXPECT_EQ(tree_.Get("/p")->stat.cversion, 3);
+}
+
+TEST_F(DataTreeTest, EphemeralsOfSession) {
+  ASSERT_TRUE(tree_.Create("/d", "", 0, false, 1, 0).ok());
+  ASSERT_TRUE(tree_.Create("/d/e1", "", 7, false, 2, 0).ok());
+  ASSERT_TRUE(tree_.Create("/d/e2", "", 8, false, 3, 0).ok());
+  ASSERT_TRUE(tree_.Create("/d/e3", "", 7, false, 4, 0).ok());
+  auto paths = tree_.EphemeralsOf(7);
+  EXPECT_EQ(paths, (std::vector<std::string>{"/d/e1", "/d/e3"}));
+  EXPECT_TRUE(tree_.EphemeralsOf(99).empty());
+}
+
+TEST_F(DataTreeTest, SerializeLoadRoundTrip) {
+  ASSERT_TRUE(tree_.Create("/a", "da", 0, false, 1, 10).ok());
+  ASSERT_TRUE(tree_.Create("/a/b", "db", 5, false, 2, 20).ok());
+  ASSERT_TRUE(tree_.Create("/a/s-", "", 0, true, 3, 30).ok());
+  auto bytes = tree_.Serialize();
+
+  DataTree copy;
+  ASSERT_TRUE(copy.Load(bytes).ok());
+  EXPECT_EQ(copy.node_count(), tree_.node_count());
+  EXPECT_EQ(copy.Get("/a")->data, "da");
+  EXPECT_EQ(copy.Get("/a/b")->stat.ephemeral_owner, 5u);
+  EXPECT_EQ(copy.Get("/a/s-0000000000")->stat.ctime, 30);
+  // Sequence counters survive, so new sequential names do not collide.
+  EXPECT_EQ(*copy.NextSequence("/a"), 1u);
+  // Byte-identical re-serialization (replicas must agree).
+  EXPECT_EQ(copy.Serialize(), bytes);
+}
+
+TEST_F(DataTreeTest, LoadRejectsGarbage) {
+  std::vector<uint8_t> junk{1, 2, 3};
+  EXPECT_FALSE(tree_.Load(junk).ok());
+}
+
+TEST_F(DataTreeTest, RootAlwaysPresent) {
+  EXPECT_TRUE(tree_.Exists("/"));
+  EXPECT_TRUE(tree_.GetChildren("/")->empty());
+  EXPECT_EQ(tree_.Delete("/", -1, 1).code(), ErrorCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace edc

@@ -1,0 +1,171 @@
+#include "edc/zk/prep.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+namespace edc {
+namespace {
+
+class PrepSessionTest : public ::testing::Test {
+ protected:
+  PrepSessionTest() {
+    (void)tree_.Create("/a", "v0", 0, false, 1, 10);
+    (void)tree_.Create("/q", "", 0, false, 2, 20);
+  }
+
+  PrepSession Make(uint64_t session = 7, uint64_t req = 1) {
+    return PrepSession(&tree_, &outstanding_, session, req, 1000);
+  }
+
+  DataTree tree_;
+  std::deque<PendingDelta> outstanding_;
+};
+
+TEST_F(PrepSessionTest, ReadsFallThroughToTree) {
+  PrepSession prep = Make();
+  EXPECT_TRUE(prep.Exists("/a"));
+  EXPECT_FALSE(prep.Exists("/nope"));
+  auto node = prep.Get("/a");
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ(node->data, "v0");
+  EXPECT_EQ(node->version, 0);
+}
+
+TEST_F(PrepSessionTest, OwnWritesVisibleWithinSession) {
+  PrepSession prep = Make();
+  ASSERT_TRUE(prep.Create("/a/new", "x", false, false).ok());
+  EXPECT_TRUE(prep.Exists("/a/new"));
+  EXPECT_EQ(prep.Get("/a/new")->data, "x");
+  ASSERT_TRUE(prep.SetData("/a/new", "y", -1).ok());
+  EXPECT_EQ(prep.Get("/a/new")->data, "y");
+  EXPECT_EQ(prep.Get("/a/new")->version, 1);
+  ASSERT_TRUE(prep.Delete("/a/new", -1).ok());
+  EXPECT_FALSE(prep.Exists("/a/new"));
+  // Tree untouched until the txn applies.
+  EXPECT_FALSE(tree_.Exists("/a/new"));
+  EXPECT_EQ(prep.ops().size(), 3u);
+}
+
+TEST_F(PrepSessionTest, OutstandingDeltasShadowTree) {
+  // Simulate a proposed-but-uncommitted setData from an earlier request.
+  {
+    PrepSession first = Make(7, 1);
+    ASSERT_TRUE(first.SetData("/a", "v1", 0).ok());
+    outstanding_.push_back(first.TakeDelta());
+  }
+  PrepSession second = Make(7, 2);
+  auto node = second.Get("/a");
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ(node->data, "v1");
+  EXPECT_EQ(node->version, 1);
+  // The version check runs against the overlay, not the stale tree.
+  EXPECT_EQ(second.SetData("/a", "v2", 0).code(), ErrorCode::kBadVersion);
+  EXPECT_TRUE(second.SetData("/a", "v2", 1).ok());
+}
+
+TEST_F(PrepSessionTest, PipelinedCasChainsSeeEachOther) {
+  // Three counter increments prepped back-to-back (none committed) must
+  // produce 1, 2, 3 — the lost-update hazard the overlay exists to prevent.
+  for (int i = 0; i < 3; ++i) {
+    PrepSession prep = Make(7, static_cast<uint64_t>(i + 1));
+    auto node = prep.Get("/a");
+    ASSERT_TRUE(node.ok());
+    ASSERT_TRUE(prep.SetData("/a", "inc" + std::to_string(node->version + 1),
+                             node->version)
+                    .ok());
+    outstanding_.push_back(prep.TakeDelta());
+  }
+  PrepSession check = Make();
+  EXPECT_EQ(check.Get("/a")->data, "inc3");
+  EXPECT_EQ(check.Get("/a")->version, 3);
+}
+
+TEST_F(PrepSessionTest, ChildrenMergeTreeAndOverlay) {
+  (void)tree_.Create("/q/tree-child", "", 0, false, 3, 0);
+  {
+    PrepSession first = Make(7, 1);
+    ASSERT_TRUE(first.Create("/q/pending-child", "", false, false).ok());
+    ASSERT_TRUE(first.Delete("/q/tree-child", -1).ok());
+    outstanding_.push_back(first.TakeDelta());
+  }
+  PrepSession second = Make(7, 2);
+  auto children = second.Children("/q");
+  ASSERT_TRUE(children.ok());
+  EXPECT_EQ(*children, (std::vector<std::string>{"pending-child"}));
+}
+
+TEST_F(PrepSessionTest, SequentialCountersChainAcrossDeltas) {
+  {
+    PrepSession first = Make(7, 1);
+    auto a = first.Create("/q/e-", "", false, true);
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(*a, "/q/e-0000000000");
+    outstanding_.push_back(first.TakeDelta());
+  }
+  PrepSession second = Make(7, 2);
+  auto b = second.Create("/q/e-", "", false, true);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, "/q/e-0000000001");
+}
+
+TEST_F(PrepSessionTest, CreateValidatesLikeTheTree) {
+  PrepSession prep = Make();
+  EXPECT_EQ(prep.Create("/a", "", false, false).code(), ErrorCode::kNodeExists);
+  EXPECT_EQ(prep.Create("/ghost/child", "", false, false).code(), ErrorCode::kNoNode);
+  EXPECT_EQ(prep.Create("bad-path", "", false, false).code(),
+            ErrorCode::kInvalidArgument);
+  // Ephemeral parents cannot have children.
+  ASSERT_TRUE(prep.Create("/eph", "", true, false).ok());
+  EXPECT_EQ(prep.Create("/eph/kid", "", false, false).code(),
+            ErrorCode::kNoChildrenForEphemerals);
+}
+
+TEST_F(PrepSessionTest, DeleteValidatesChildrenThroughOverlay) {
+  PrepSession prep = Make();
+  ASSERT_TRUE(prep.Create("/a/kid", "", false, false).ok());
+  EXPECT_EQ(prep.Delete("/a", -1).code(), ErrorCode::kNotEmpty);
+  ASSERT_TRUE(prep.Delete("/a/kid", -1).ok());
+  EXPECT_TRUE(prep.Delete("/a", -1).ok());
+}
+
+TEST_F(PrepSessionTest, EphemeralOwnerIsSession) {
+  PrepSession prep = Make(42);
+  ASSERT_TRUE(prep.Create("/mine", "", true, false).ok());
+  EXPECT_EQ(prep.Get("/mine")->ephemeral_owner, 42u);
+  ASSERT_EQ(prep.ops().size(), 1u);
+  EXPECT_EQ(prep.ops()[0].ephemeral_owner, 42u);
+}
+
+TEST_F(PrepSessionTest, CloseSessionRemovesEphemeralsFromView) {
+  (void)tree_.Create("/e1", "", 42, false, 5, 0);
+  {
+    PrepSession first = Make(42, 1);
+    ASSERT_TRUE(first.Create("/e2", "", true, false).ok());
+    outstanding_.push_back(first.TakeDelta());
+  }
+  PrepSession closing = Make(42, 2);
+  closing.CloseSession(42);
+  EXPECT_FALSE(closing.Exists("/e1"));
+  EXPECT_FALSE(closing.Exists("/e2"));
+}
+
+TEST_F(PrepSessionTest, BlockRecordsSessionAndRequest) {
+  PrepSession prep = Make(9, 77);
+  prep.Block("/gate");
+  ASSERT_EQ(prep.ops().size(), 1u);
+  EXPECT_EQ(prep.ops()[0].type, ZkTxnOpType::kBlock);
+  EXPECT_EQ(prep.ops()[0].session, 9u);
+  EXPECT_EQ(prep.ops()[0].req_id, 77u);
+}
+
+TEST_F(PrepSessionTest, StateOpsCounted) {
+  PrepSession prep = Make();
+  (void)prep.Create("/x1", "", false, false);
+  (void)prep.SetData("/a", "z", -1);
+  (void)prep.Delete("/x1", -1);
+  EXPECT_EQ(prep.state_ops_performed(), 3u);
+}
+
+}  // namespace
+}  // namespace edc
