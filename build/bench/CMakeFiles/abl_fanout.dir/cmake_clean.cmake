@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_fanout.dir/abl_fanout.cpp.o"
+  "CMakeFiles/abl_fanout.dir/abl_fanout.cpp.o.d"
+  "abl_fanout"
+  "abl_fanout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_fanout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

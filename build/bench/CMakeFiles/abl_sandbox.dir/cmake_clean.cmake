@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sandbox.dir/abl_sandbox.cpp.o"
+  "CMakeFiles/abl_sandbox.dir/abl_sandbox.cpp.o.d"
+  "abl_sandbox"
+  "abl_sandbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sandbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

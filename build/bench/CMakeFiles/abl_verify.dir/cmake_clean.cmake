@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_verify.dir/abl_verify.cpp.o"
+  "CMakeFiles/abl_verify.dir/abl_verify.cpp.o.d"
+  "abl_verify"
+  "abl_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_counter.dir/fig06_counter.cpp.o"
+  "CMakeFiles/fig06_counter.dir/fig06_counter.cpp.o.d"
+  "fig06_counter"
+  "fig06_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

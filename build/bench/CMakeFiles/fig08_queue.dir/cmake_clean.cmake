@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_queue.dir/fig08_queue.cpp.o"
+  "CMakeFiles/fig08_queue.dir/fig08_queue.cpp.o.d"
+  "fig08_queue"
+  "fig08_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_barrier.dir/fig10_barrier.cpp.o"
+  "CMakeFiles/fig10_barrier.dir/fig10_barrier.cpp.o.d"
+  "fig10_barrier"
+  "fig10_barrier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

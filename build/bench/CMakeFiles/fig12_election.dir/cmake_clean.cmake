@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_election.dir/fig12_election.cpp.o"
+  "CMakeFiles/fig12_election.dir/fig12_election.cpp.o.d"
+  "fig12_election"
+  "fig12_election.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_election.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_regular.dir/fig13_regular.cpp.o"
+  "CMakeFiles/fig13_regular.dir/fig13_regular.cpp.o.d"
+  "fig13_regular"
+  "fig13_regular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_regular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ovh_regular.dir/ovh_regular.cpp.o"
+  "CMakeFiles/ovh_regular.dir/ovh_regular.cpp.o.d"
+  "ovh_regular"
+  "ovh_regular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ovh_regular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

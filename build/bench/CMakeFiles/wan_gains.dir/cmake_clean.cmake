@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_gains.dir/wan_gains.cpp.o"
+  "CMakeFiles/wan_gains.dir/wan_gains.cpp.o.d"
+  "wan_gains"
+  "wan_gains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_gains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

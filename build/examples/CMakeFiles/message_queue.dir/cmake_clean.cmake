@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/message_queue.dir/message_queue.cpp.o"
+  "CMakeFiles/message_queue.dir/message_queue.cpp.o.d"
+  "message_queue"
+  "message_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/message_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

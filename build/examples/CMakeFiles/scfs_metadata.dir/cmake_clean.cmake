@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scfs_metadata.dir/scfs_metadata.cpp.o"
+  "CMakeFiles/scfs_metadata.dir/scfs_metadata.cpp.o.d"
+  "scfs_metadata"
+  "scfs_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scfs_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdn_load_balancer.dir/sdn_load_balancer.cpp.o"
+  "CMakeFiles/sdn_load_balancer.dir/sdn_load_balancer.cpp.o.d"
+  "sdn_load_balancer"
+  "sdn_load_balancer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdn_load_balancer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

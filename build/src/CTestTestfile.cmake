@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("edc/common")
+subdirs("edc/sim")
+subdirs("edc/logstore")
+subdirs("edc/script")
+subdirs("edc/zab")
+subdirs("edc/bft")
+subdirs("edc/zk")
+subdirs("edc/ds")
+subdirs("edc/ext")
+subdirs("edc/recipes")
+subdirs("edc/harness")

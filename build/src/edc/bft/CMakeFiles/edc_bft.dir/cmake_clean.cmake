@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edc_bft.dir/messages.cpp.o"
+  "CMakeFiles/edc_bft.dir/messages.cpp.o.d"
+  "CMakeFiles/edc_bft.dir/replica.cpp.o"
+  "CMakeFiles/edc_bft.dir/replica.cpp.o.d"
+  "libedc_bft.a"
+  "libedc_bft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edc_bft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edc_common.dir/histogram.cpp.o"
+  "CMakeFiles/edc_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/edc_common.dir/logging.cpp.o"
+  "CMakeFiles/edc_common.dir/logging.cpp.o.d"
+  "CMakeFiles/edc_common.dir/result.cpp.o"
+  "CMakeFiles/edc_common.dir/result.cpp.o.d"
+  "CMakeFiles/edc_common.dir/strings.cpp.o"
+  "CMakeFiles/edc_common.dir/strings.cpp.o.d"
+  "libedc_common.a"
+  "libedc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

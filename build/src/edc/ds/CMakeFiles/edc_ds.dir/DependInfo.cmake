@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/edc/ds/client.cpp" "src/edc/ds/CMakeFiles/edc_ds.dir/client.cpp.o" "gcc" "src/edc/ds/CMakeFiles/edc_ds.dir/client.cpp.o.d"
+  "/root/repo/src/edc/ds/server.cpp" "src/edc/ds/CMakeFiles/edc_ds.dir/server.cpp.o" "gcc" "src/edc/ds/CMakeFiles/edc_ds.dir/server.cpp.o.d"
+  "/root/repo/src/edc/ds/tuple_space.cpp" "src/edc/ds/CMakeFiles/edc_ds.dir/tuple_space.cpp.o" "gcc" "src/edc/ds/CMakeFiles/edc_ds.dir/tuple_space.cpp.o.d"
+  "/root/repo/src/edc/ds/types.cpp" "src/edc/ds/CMakeFiles/edc_ds.dir/types.cpp.o" "gcc" "src/edc/ds/CMakeFiles/edc_ds.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/edc/bft/CMakeFiles/edc_bft.dir/DependInfo.cmake"
+  "/root/repo/build/src/edc/sim/CMakeFiles/edc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/edc/common/CMakeFiles/edc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edc_ds.dir/client.cpp.o"
+  "CMakeFiles/edc_ds.dir/client.cpp.o.d"
+  "CMakeFiles/edc_ds.dir/server.cpp.o"
+  "CMakeFiles/edc_ds.dir/server.cpp.o.d"
+  "CMakeFiles/edc_ds.dir/tuple_space.cpp.o"
+  "CMakeFiles/edc_ds.dir/tuple_space.cpp.o.d"
+  "CMakeFiles/edc_ds.dir/types.cpp.o"
+  "CMakeFiles/edc_ds.dir/types.cpp.o.d"
+  "libedc_ds.a"
+  "libedc_ds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edc_ds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

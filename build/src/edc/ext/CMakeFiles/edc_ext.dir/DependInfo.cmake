@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/edc/ext/ds_binding.cpp" "src/edc/ext/CMakeFiles/edc_ext.dir/ds_binding.cpp.o" "gcc" "src/edc/ext/CMakeFiles/edc_ext.dir/ds_binding.cpp.o.d"
+  "/root/repo/src/edc/ext/registry.cpp" "src/edc/ext/CMakeFiles/edc_ext.dir/registry.cpp.o" "gcc" "src/edc/ext/CMakeFiles/edc_ext.dir/registry.cpp.o.d"
+  "/root/repo/src/edc/ext/zk_binding.cpp" "src/edc/ext/CMakeFiles/edc_ext.dir/zk_binding.cpp.o" "gcc" "src/edc/ext/CMakeFiles/edc_ext.dir/zk_binding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/edc/zk/CMakeFiles/edc_zk.dir/DependInfo.cmake"
+  "/root/repo/build/src/edc/ds/CMakeFiles/edc_ds.dir/DependInfo.cmake"
+  "/root/repo/build/src/edc/script/CMakeFiles/edc_script.dir/DependInfo.cmake"
+  "/root/repo/build/src/edc/common/CMakeFiles/edc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/edc/zab/CMakeFiles/edc_zab.dir/DependInfo.cmake"
+  "/root/repo/build/src/edc/logstore/CMakeFiles/edc_logstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/edc/bft/CMakeFiles/edc_bft.dir/DependInfo.cmake"
+  "/root/repo/build/src/edc/sim/CMakeFiles/edc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

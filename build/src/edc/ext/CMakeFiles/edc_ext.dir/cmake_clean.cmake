@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edc_ext.dir/ds_binding.cpp.o"
+  "CMakeFiles/edc_ext.dir/ds_binding.cpp.o.d"
+  "CMakeFiles/edc_ext.dir/registry.cpp.o"
+  "CMakeFiles/edc_ext.dir/registry.cpp.o.d"
+  "CMakeFiles/edc_ext.dir/zk_binding.cpp.o"
+  "CMakeFiles/edc_ext.dir/zk_binding.cpp.o.d"
+  "libedc_ext.a"
+  "libedc_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edc_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libedc_ext.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edc_harness.dir/fixture.cpp.o"
+  "CMakeFiles/edc_harness.dir/fixture.cpp.o.d"
+  "libedc_harness.a"
+  "libedc_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edc_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

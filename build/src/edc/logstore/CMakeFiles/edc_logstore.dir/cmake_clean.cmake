@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edc_logstore.dir/logstore.cpp.o"
+  "CMakeFiles/edc_logstore.dir/logstore.cpp.o.d"
+  "libedc_logstore.a"
+  "libedc_logstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edc_logstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

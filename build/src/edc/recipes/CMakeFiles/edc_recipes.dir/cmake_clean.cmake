@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edc_recipes.dir/coord.cpp.o"
+  "CMakeFiles/edc_recipes.dir/coord.cpp.o.d"
+  "CMakeFiles/edc_recipes.dir/recipes.cpp.o"
+  "CMakeFiles/edc_recipes.dir/recipes.cpp.o.d"
+  "libedc_recipes.a"
+  "libedc_recipes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edc_recipes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/edc/script/builtins.cpp" "src/edc/script/CMakeFiles/edc_script.dir/builtins.cpp.o" "gcc" "src/edc/script/CMakeFiles/edc_script.dir/builtins.cpp.o.d"
+  "/root/repo/src/edc/script/interpreter.cpp" "src/edc/script/CMakeFiles/edc_script.dir/interpreter.cpp.o" "gcc" "src/edc/script/CMakeFiles/edc_script.dir/interpreter.cpp.o.d"
+  "/root/repo/src/edc/script/lexer.cpp" "src/edc/script/CMakeFiles/edc_script.dir/lexer.cpp.o" "gcc" "src/edc/script/CMakeFiles/edc_script.dir/lexer.cpp.o.d"
+  "/root/repo/src/edc/script/parser.cpp" "src/edc/script/CMakeFiles/edc_script.dir/parser.cpp.o" "gcc" "src/edc/script/CMakeFiles/edc_script.dir/parser.cpp.o.d"
+  "/root/repo/src/edc/script/value.cpp" "src/edc/script/CMakeFiles/edc_script.dir/value.cpp.o" "gcc" "src/edc/script/CMakeFiles/edc_script.dir/value.cpp.o.d"
+  "/root/repo/src/edc/script/verifier.cpp" "src/edc/script/CMakeFiles/edc_script.dir/verifier.cpp.o" "gcc" "src/edc/script/CMakeFiles/edc_script.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/edc/common/CMakeFiles/edc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

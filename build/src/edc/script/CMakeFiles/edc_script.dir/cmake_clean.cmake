@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edc_script.dir/builtins.cpp.o"
+  "CMakeFiles/edc_script.dir/builtins.cpp.o.d"
+  "CMakeFiles/edc_script.dir/interpreter.cpp.o"
+  "CMakeFiles/edc_script.dir/interpreter.cpp.o.d"
+  "CMakeFiles/edc_script.dir/lexer.cpp.o"
+  "CMakeFiles/edc_script.dir/lexer.cpp.o.d"
+  "CMakeFiles/edc_script.dir/parser.cpp.o"
+  "CMakeFiles/edc_script.dir/parser.cpp.o.d"
+  "CMakeFiles/edc_script.dir/value.cpp.o"
+  "CMakeFiles/edc_script.dir/value.cpp.o.d"
+  "CMakeFiles/edc_script.dir/verifier.cpp.o"
+  "CMakeFiles/edc_script.dir/verifier.cpp.o.d"
+  "libedc_script.a"
+  "libedc_script.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edc_script.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edc_sim.dir/cpu.cpp.o"
+  "CMakeFiles/edc_sim.dir/cpu.cpp.o.d"
+  "CMakeFiles/edc_sim.dir/event_loop.cpp.o"
+  "CMakeFiles/edc_sim.dir/event_loop.cpp.o.d"
+  "CMakeFiles/edc_sim.dir/network.cpp.o"
+  "CMakeFiles/edc_sim.dir/network.cpp.o.d"
+  "libedc_sim.a"
+  "libedc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/edc/zab/messages.cpp" "src/edc/zab/CMakeFiles/edc_zab.dir/messages.cpp.o" "gcc" "src/edc/zab/CMakeFiles/edc_zab.dir/messages.cpp.o.d"
+  "/root/repo/src/edc/zab/node.cpp" "src/edc/zab/CMakeFiles/edc_zab.dir/node.cpp.o" "gcc" "src/edc/zab/CMakeFiles/edc_zab.dir/node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/edc/sim/CMakeFiles/edc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/edc/logstore/CMakeFiles/edc_logstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/edc/common/CMakeFiles/edc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edc_zab.dir/messages.cpp.o"
+  "CMakeFiles/edc_zab.dir/messages.cpp.o.d"
+  "CMakeFiles/edc_zab.dir/node.cpp.o"
+  "CMakeFiles/edc_zab.dir/node.cpp.o.d"
+  "libedc_zab.a"
+  "libedc_zab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edc_zab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/edc/zk/client.cpp" "src/edc/zk/CMakeFiles/edc_zk.dir/client.cpp.o" "gcc" "src/edc/zk/CMakeFiles/edc_zk.dir/client.cpp.o.d"
+  "/root/repo/src/edc/zk/data_tree.cpp" "src/edc/zk/CMakeFiles/edc_zk.dir/data_tree.cpp.o" "gcc" "src/edc/zk/CMakeFiles/edc_zk.dir/data_tree.cpp.o.d"
+  "/root/repo/src/edc/zk/prep.cpp" "src/edc/zk/CMakeFiles/edc_zk.dir/prep.cpp.o" "gcc" "src/edc/zk/CMakeFiles/edc_zk.dir/prep.cpp.o.d"
+  "/root/repo/src/edc/zk/server.cpp" "src/edc/zk/CMakeFiles/edc_zk.dir/server.cpp.o" "gcc" "src/edc/zk/CMakeFiles/edc_zk.dir/server.cpp.o.d"
+  "/root/repo/src/edc/zk/txn.cpp" "src/edc/zk/CMakeFiles/edc_zk.dir/txn.cpp.o" "gcc" "src/edc/zk/CMakeFiles/edc_zk.dir/txn.cpp.o.d"
+  "/root/repo/src/edc/zk/types.cpp" "src/edc/zk/CMakeFiles/edc_zk.dir/types.cpp.o" "gcc" "src/edc/zk/CMakeFiles/edc_zk.dir/types.cpp.o.d"
+  "/root/repo/src/edc/zk/watch_manager.cpp" "src/edc/zk/CMakeFiles/edc_zk.dir/watch_manager.cpp.o" "gcc" "src/edc/zk/CMakeFiles/edc_zk.dir/watch_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/edc/zab/CMakeFiles/edc_zab.dir/DependInfo.cmake"
+  "/root/repo/build/src/edc/sim/CMakeFiles/edc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/edc/logstore/CMakeFiles/edc_logstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/edc/common/CMakeFiles/edc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edc_zk.dir/client.cpp.o"
+  "CMakeFiles/edc_zk.dir/client.cpp.o.d"
+  "CMakeFiles/edc_zk.dir/data_tree.cpp.o"
+  "CMakeFiles/edc_zk.dir/data_tree.cpp.o.d"
+  "CMakeFiles/edc_zk.dir/prep.cpp.o"
+  "CMakeFiles/edc_zk.dir/prep.cpp.o.d"
+  "CMakeFiles/edc_zk.dir/server.cpp.o"
+  "CMakeFiles/edc_zk.dir/server.cpp.o.d"
+  "CMakeFiles/edc_zk.dir/txn.cpp.o"
+  "CMakeFiles/edc_zk.dir/txn.cpp.o.d"
+  "CMakeFiles/edc_zk.dir/types.cpp.o"
+  "CMakeFiles/edc_zk.dir/types.cpp.o.d"
+  "CMakeFiles/edc_zk.dir/watch_manager.cpp.o"
+  "CMakeFiles/edc_zk.dir/watch_manager.cpp.o.d"
+  "libedc_zk.a"
+  "libedc_zk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edc_zk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

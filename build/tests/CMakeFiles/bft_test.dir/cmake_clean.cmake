@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bft_test.dir/bft/bft_test.cpp.o"
+  "CMakeFiles/bft_test.dir/bft/bft_test.cpp.o.d"
+  "bft_test"
+  "bft_test.pdb"
+  "bft_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

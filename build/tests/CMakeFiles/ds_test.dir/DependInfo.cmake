@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ds/ds_service_test.cpp" "tests/CMakeFiles/ds_test.dir/ds/ds_service_test.cpp.o" "gcc" "tests/CMakeFiles/ds_test.dir/ds/ds_service_test.cpp.o.d"
+  "/root/repo/tests/ds/tuple_space_test.cpp" "tests/CMakeFiles/ds_test.dir/ds/tuple_space_test.cpp.o" "gcc" "tests/CMakeFiles/ds_test.dir/ds/tuple_space_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/edc/common/CMakeFiles/edc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/edc/sim/CMakeFiles/edc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/edc/logstore/CMakeFiles/edc_logstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/edc/script/CMakeFiles/edc_script.dir/DependInfo.cmake"
+  "/root/repo/build/src/edc/zab/CMakeFiles/edc_zab.dir/DependInfo.cmake"
+  "/root/repo/build/src/edc/bft/CMakeFiles/edc_bft.dir/DependInfo.cmake"
+  "/root/repo/build/src/edc/zk/CMakeFiles/edc_zk.dir/DependInfo.cmake"
+  "/root/repo/build/src/edc/ds/CMakeFiles/edc_ds.dir/DependInfo.cmake"
+  "/root/repo/build/src/edc/ext/CMakeFiles/edc_ext.dir/DependInfo.cmake"
+  "/root/repo/build/src/edc/recipes/CMakeFiles/edc_recipes.dir/DependInfo.cmake"
+  "/root/repo/build/src/edc/harness/CMakeFiles/edc_harness.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_test.dir/ext/ds_ext_test.cpp.o"
+  "CMakeFiles/ext_test.dir/ext/ds_ext_test.cpp.o.d"
+  "CMakeFiles/ext_test.dir/ext/registry_test.cpp.o"
+  "CMakeFiles/ext_test.dir/ext/registry_test.cpp.o.d"
+  "CMakeFiles/ext_test.dir/ext/rename_ext_test.cpp.o"
+  "CMakeFiles/ext_test.dir/ext/rename_ext_test.cpp.o.d"
+  "CMakeFiles/ext_test.dir/ext/zk_ext_test.cpp.o"
+  "CMakeFiles/ext_test.dir/ext/zk_ext_test.cpp.o.d"
+  "ext_test"
+  "ext_test.pdb"
+  "ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

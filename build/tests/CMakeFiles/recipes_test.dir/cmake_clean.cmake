@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recipes_test.dir/recipes/harness_test.cpp.o"
+  "CMakeFiles/recipes_test.dir/recipes/harness_test.cpp.o.d"
+  "CMakeFiles/recipes_test.dir/recipes/recipes_test.cpp.o"
+  "CMakeFiles/recipes_test.dir/recipes/recipes_test.cpp.o.d"
+  "recipes_test"
+  "recipes_test.pdb"
+  "recipes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recipes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/script_test.dir/script/builtins_test.cpp.o"
+  "CMakeFiles/script_test.dir/script/builtins_test.cpp.o.d"
+  "CMakeFiles/script_test.dir/script/interpreter_test.cpp.o"
+  "CMakeFiles/script_test.dir/script/interpreter_test.cpp.o.d"
+  "CMakeFiles/script_test.dir/script/lexer_test.cpp.o"
+  "CMakeFiles/script_test.dir/script/lexer_test.cpp.o.d"
+  "CMakeFiles/script_test.dir/script/parser_test.cpp.o"
+  "CMakeFiles/script_test.dir/script/parser_test.cpp.o.d"
+  "CMakeFiles/script_test.dir/script/verifier_test.cpp.o"
+  "CMakeFiles/script_test.dir/script/verifier_test.cpp.o.d"
+  "script_test"
+  "script_test.pdb"
+  "script_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/script_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

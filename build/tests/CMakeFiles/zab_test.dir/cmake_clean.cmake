@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zab_test.dir/zab/zab_test.cpp.o"
+  "CMakeFiles/zab_test.dir/zab/zab_test.cpp.o.d"
+  "zab_test"
+  "zab_test.pdb"
+  "zab_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zab_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

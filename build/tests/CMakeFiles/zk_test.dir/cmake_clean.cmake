@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zk_test.dir/zk/data_tree_test.cpp.o"
+  "CMakeFiles/zk_test.dir/zk/data_tree_test.cpp.o.d"
+  "CMakeFiles/zk_test.dir/zk/prep_test.cpp.o"
+  "CMakeFiles/zk_test.dir/zk/prep_test.cpp.o.d"
+  "CMakeFiles/zk_test.dir/zk/zk_service_test.cpp.o"
+  "CMakeFiles/zk_test.dir/zk/zk_service_test.cpp.o.d"
+  "zk_test"
+  "zk_test.pdb"
+  "zk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

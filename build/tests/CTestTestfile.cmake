@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/script_test[1]_include.cmake")
+include("/root/repo/build/tests/zab_test[1]_include.cmake")
+include("/root/repo/build/tests/bft_test[1]_include.cmake")
+include("/root/repo/build/tests/zk_test[1]_include.cmake")
+include("/root/repo/build/tests/ds_test[1]_include.cmake")
+include("/root/repo/build/tests/ext_test[1]_include.cmake")
+include("/root/repo/build/tests/recipes_test[1]_include.cmake")
