@@ -4,7 +4,7 @@
 
 namespace edc {
 
-DsClient::DsClient(EventLoop* loop, Network* net, NodeId id, std::vector<NodeId> replicas,
+DsClient::DsClient(EventLoop* loop, Network* net, NodeId id, ServerList replicas,
                    DsClientOptions options)
     : loop_(loop), net_(net), id_(id), replicas_(std::move(replicas)), options_(options) {
   net_->Register(id_, this);
@@ -18,6 +18,7 @@ void DsClient::Call(DsOp op, ReplyCb done) {
   PendingCall call;
   call.op = std::move(op);
   call.done = std::move(done);
+  call.backoff = options_.reconnect.initial_backoff;
   calls_.emplace(req_id, std::move(call));
   Transmit(req_id);
   ArmRetry(req_id);
@@ -33,7 +34,7 @@ void DsClient::Transmit(uint64_t req_id) {
   req.req_id = req_id;
   req.payload = it->second.op.Encode();
   std::vector<uint8_t> encoded = EncodeBftRequest(req);
-  for (NodeId replica : replicas_) {
+  for (NodeId replica : replicas_.servers) {
     Packet pkt;
     pkt.src = id_;
     pkt.dst = replica;
@@ -44,13 +45,27 @@ void DsClient::Transmit(uint64_t req_id) {
 }
 
 void DsClient::ArmRetry(uint64_t req_id) {
-  loop_->Schedule(options_.retransmit_interval, [this, req_id]() {
-    if (!alive_ || calls_.count(req_id) == 0) {
+  auto arm = calls_.find(req_id);
+  if (arm == calls_.end()) {
+    return;
+  }
+  loop_->Schedule(arm->second.backoff, [this, req_id]() {
+    auto it = calls_.find(req_id);
+    if (!alive_ || it == calls_.end()) {
+      return;
+    }
+    if (options_.reconnect.max_attempts > 0 &&
+        it->second.attempts >= options_.reconnect.max_attempts) {
+      ReplyCb done = std::move(it->second.done);
+      calls_.erase(it);
+      done(Status(ErrorCode::kConnectionLoss, "retransmit attempts exhausted"));
       return;
     }
     // Blocking rd/in legitimately wait; retransmissions are deduplicated by
     // the replicas, so retrying is harmless and covers lost packets and
     // primary failover.
+    ++it->second.attempts;
+    it->second.backoff = std::min(it->second.backoff * 2, options_.reconnect.max_backoff);
     Transmit(req_id);
     ArmRetry(req_id);
   });
@@ -208,6 +223,26 @@ void DsClient::RdAll(DsTemplate templ, ReplyCb done) {
   op.type = DsOpType::kRdAll;
   op.templ = std::move(templ);
   Call(std::move(op), std::move(done));
+}
+
+void DsClient::CallExtension(const std::string& trigger_path, const std::string& args,
+                             ExtensionCb done) {
+  (void)args;  // DepSpace extensions take their arguments from the tuple space
+  Rd(ObjectTemplate(trigger_path), [done = std::move(done)](Result<DsReply> r) {
+    if (!r.ok()) {
+      done(r.status());
+      return;
+    }
+    ExtensionResult result;
+    result.intercepted = true;  // rd returned: extension result or the object
+    result.exists = true;
+    if (!r->tuples.empty() && r->tuples[0].size() > 1) {
+      result.value = FieldToString(r->tuples[0][1]);
+    } else {
+      result.value = r->value;
+    }
+    done(result);
+  });
 }
 
 void DsClient::RegisterExtension(const std::string& name, const std::string& code,

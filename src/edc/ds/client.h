@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "edc/bft/messages.h"
+#include "edc/common/client_api.h"
 #include "edc/ds/types.h"
 #include "edc/sim/event_loop.h"
 #include "edc/sim/network.h"
@@ -26,17 +27,24 @@ namespace edc {
 
 struct DsClientOptions {
   int f = 1;
-  Duration retransmit_interval = Seconds(1);
   Duration lease = Seconds(2);
   Duration renew_interval = Millis(500);
+  // Retransmit policy: initial_backoff is the first retransmit delay (loss
+  // and primary failover are covered by retrying, replicas deduplicate),
+  // doubling up to max_backoff; max_attempts > 0 gives up with
+  // kConnectionLoss after that many retransmits.
+  ReconnectOptions reconnect{Seconds(1), Seconds(8), 0};
 };
 
 class DsClient : public NetworkNode {
  public:
-  using ReplyCb = std::function<void(Result<DsReply>)>;
+  using ReplyCb = ResultCb<DsReply>;
 
-  DsClient(EventLoop* loop, Network* net, NodeId id, std::vector<NodeId> replicas,
+  DsClient(EventLoop* loop, Network* net, NodeId id, ServerList replicas,
            DsClientOptions options);
+  DsClient(EventLoop* loop, Network* net, NodeId id, std::vector<NodeId> replicas,
+           DsClientOptions options)
+      : DsClient(loop, net, id, ServerList{std::move(replicas)}, options) {}
 
   DsClient(const DsClient&) = delete;
   DsClient& operator=(const DsClient&) = delete;
@@ -53,6 +61,13 @@ class DsClient : public NetworkNode {
   void Replace(DsTemplate templ, DsTuple tuple, ReplyCb done);
   void RdAll(DsTemplate templ, ReplyCb done);
   void Call(DsOp op, ReplyCb done);
+
+  // Invokes the extension listening on `trigger_path` (§5.2.2): a blocking
+  // rd on the trigger object the extension intercepts. DepSpace extensions
+  // read their arguments from the tuple space, so `args` is unused here; it
+  // exists for API parity with ZkClient::CallExtension.
+  void CallExtension(const std::string& trigger_path, const std::string& args,
+                     ExtensionCb done);
 
   // EDS conveniences (§5.2.2): registration/ack/deregistration are ordinary
   // tuple operations on the extension manager's dedicated namespace.
@@ -80,6 +95,8 @@ class DsClient : public NetworkNode {
     DsOp op;
     ReplyCb done;
     std::map<std::string, int> votes;  // encoded reply -> count
+    int attempts = 0;
+    Duration backoff = 0;  // next retransmit delay
   };
 
   void Transmit(uint64_t req_id);
@@ -89,7 +106,7 @@ class DsClient : public NetworkNode {
   EventLoop* loop_;
   Network* net_;
   NodeId id_;
-  std::vector<NodeId> replicas_;
+  ServerList replicas_;
   DsClientOptions options_;
 
   uint64_t next_req_ = 0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "edc/common/hash.h"
+
 namespace edc {
 
 void TupleSpace::Out(DsTuple tuple, SimTime now, NodeId owner, Duration lease) {
@@ -114,6 +116,8 @@ std::vector<uint8_t> TupleSpace::Serialize() const {
   }
   return enc.Release();
 }
+
+uint64_t TupleSpace::Digest() const { return Fnv1a64(Serialize()); }
 
 Status TupleSpace::Load(const std::vector<uint8_t>& snapshot) {
   entries_.clear();

@@ -65,6 +65,11 @@ class TupleSpace {
   std::vector<uint8_t> Serialize() const;
   Status Load(const std::vector<uint8_t>& snapshot);
 
+  // Order-sensitive fingerprint of the whole space (FNV-1a over the
+  // serialized form). Replicas that executed the same ordered history agree
+  // on it; invariant checkers compare it across replicas after heal.
+  uint64_t Digest() const;
+
  private:
   std::vector<DsEntry> entries_;
   uint64_t next_seq_ = 1;

@@ -28,6 +28,7 @@ bool IsZkFamily(SystemKind kind) {
 
 CoordFixture::CoordFixture(FixtureOptions options) : options_(options) {
   net_ = std::make_unique<Network>(&loop_, Rng(options_.seed), options_.link);
+  faults_ = std::make_unique<FaultInjector>(&loop_, net_.get());
 }
 
 CoordFixture::~CoordFixture() = default;
@@ -39,6 +40,17 @@ void CoordFixture::Start() {
       auto server = std::make_unique<ZkServer>(&loop_, net_.get(), id, members,
                                                options_.costs, ZkServerOptions{});
       net_->Register(id, server.get());
+      ZkServer* raw = server.get();
+      faults_->RegisterProcess(
+          id,
+          [this, raw, id]() {
+            raw->Crash();
+            net_->SetNodeUp(id, false);
+          },
+          [this, raw, id]() {
+            net_->SetNodeUp(id, true);
+            raw->Restart();
+          });
       zk_servers.push_back(std::move(server));
     }
     if (IsExtensible(options_.system)) {
@@ -55,9 +67,11 @@ void CoordFixture::Start() {
     size_t connected = 0;
     for (size_t i = 0; i < options_.num_clients; ++i) {
       NodeId node = client_node(i);
-      NodeId server = members[i % members.size()];
-      auto client =
-          std::make_unique<ZkClient>(&loop_, net_.get(), node, server, ZkClientOptions{});
+      // Full ensemble list so fixture clients fail over during chaos runs;
+      // preferred index keeps the historical round-robin initial placement.
+      ServerList ensemble{members, i % members.size()};
+      auto client = std::make_unique<ZkClient>(&loop_, net_.get(), node, ensemble,
+                                               ZkClientOptions{});
       client->Connect([&connected](Status s) {
         if (s.ok()) {
           ++connected;
@@ -78,6 +92,17 @@ void CoordFixture::Start() {
     auto server = std::make_unique<DsServer>(&loop_, net_.get(), id, members,
                                              options_.costs, DsServerOptions{});
     net_->Register(id, server.get());
+    DsServer* raw = server.get();
+    faults_->RegisterProcess(
+        id,
+        [this, raw, id]() {
+          raw->Crash();
+          net_->SetNodeUp(id, false);
+        },
+        [this, raw, id]() {
+          net_->SetNodeUp(id, true);
+          raw->Restart();
+        });
     ds_servers.push_back(std::move(server));
   }
   if (IsExtensible(options_.system)) {

@@ -18,6 +18,7 @@
 #include "edc/recipes/coord.h"
 #include "edc/sim/costs.h"
 #include "edc/sim/event_loop.h"
+#include "edc/sim/faults.h"
 #include "edc/sim/network.h"
 #include "edc/zk/client.h"
 #include "edc/zk/server.h"
@@ -60,6 +61,11 @@ class CoordFixture {
   Network& net() { return *net_; }
   void Settle(Duration d) { loop_.RunUntil(loop_.now() + d); }
 
+  // Fault injection: every server is registered with crash/restart closures
+  // at Start(), so plans and direct calls work on either system family.
+  FaultInjector& faults() { return *faults_; }
+  void RunPlan(const FaultPlan& plan) { faults_->Run(plan); }
+
   // Total bytes clients have sent so far (request side of "data sent by
   // client", Fig. 8/10).
   int64_t ClientBytesSent() const;
@@ -72,12 +78,17 @@ class CoordFixture {
   FixtureOptions options_;
   EventLoop loop_;
   std::unique_ptr<Network> net_;
+  std::unique_ptr<FaultInjector> faults_;
   std::vector<std::unique_ptr<ZkExtensionManager>> zk_managers_;
   std::vector<std::unique_ptr<DsExtensionManager>> ds_managers_;
   std::vector<std::unique_ptr<ZkClient>> zk_clients_;
   std::vector<std::unique_ptr<DsClient>> ds_clients_;
   std::vector<std::unique_ptr<CoordClient>> coords_;
 };
+
+// Chaos/fault tests read better against this name: a fixture-as-cluster with
+// FaultPlan execution and registered crash/restart closures.
+using ClusterFixture = CoordFixture;
 
 }  // namespace edc
 

@@ -1,0 +1,66 @@
+// Safety invariants checked during and after chaos runs (see
+// docs/fault_model.md).
+//
+// Three checks cover the properties §5.1's crash-recovery story depends on:
+//   * Single primary per epoch — at no sampled instant do two Zab nodes both
+//     believe they are the active leader of the same epoch.
+//   * Prefix-consistent logs — any two replicas' applied transaction
+//     sequences agree on every zxid both of them applied (snapshot-installed
+//     replicas legitimately miss a prefix; divergence on the overlap is the
+//     bug).
+//   * Matching EDS digests — after a heal, all running DepSpace replicas
+//     converge to byte-identical tuple spaces.
+
+#ifndef EDC_HARNESS_INVARIANTS_H_
+#define EDC_HARNESS_INVARIANTS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "edc/ds/server.h"
+#include "edc/sim/event_loop.h"
+#include "edc/zk/server.h"
+
+namespace edc {
+
+// Continuous checker: samples leadership across the ensemble on a repeating
+// timer between Start() and Stop() (a repeating timer would keep an
+// otherwise-idle EventLoop::Run from terminating, hence the explicit stop).
+// Violations accumulate in violations().
+class InvariantMonitor {
+ public:
+  InvariantMonitor(EventLoop* loop, const std::vector<std::unique_ptr<ZkServer>>* servers,
+                   Duration interval = Millis(25));
+  ~InvariantMonitor();
+
+  void Start();
+  void Stop();
+
+  const std::vector<std::string>& violations() const { return violations_; }
+  bool ok() const { return violations_.empty(); }
+
+ private:
+  void Sample();
+
+  EventLoop* loop_;
+  const std::vector<std::unique_ptr<ZkServer>>* servers_;
+  Duration interval_;
+  TimerId timer_ = kInvalidTimer;
+  bool running_ = false;
+  std::vector<std::string> violations_;
+};
+
+// One-shot: true when every pair of replicas agrees on the transactions at
+// every zxid both applied. `why` (optional) receives the first divergence.
+bool PrefixConsistentLogs(const std::vector<std::unique_ptr<ZkServer>>& servers,
+                          std::string* why = nullptr);
+
+// One-shot: true when all running DepSpace replicas hold identical tuple
+// spaces (same Digest()).
+bool EdsDigestsMatch(const std::vector<std::unique_ptr<DsServer>>& servers,
+                     std::string* why = nullptr);
+
+}  // namespace edc
+
+#endif  // EDC_HARNESS_INVARIANTS_H_

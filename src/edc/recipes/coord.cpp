@@ -107,28 +107,24 @@ void ZkCoordClient::SubObjects(const std::string& path, ListCb done) {
 void ZkCoordClient::Block(const std::string& path, ValueCb done) {
   if (ext_mode_) {
     // A block extension holds the request server-side: one RPC. If no
-    // extension intercepted (none registered / not acknowledged), the reply
-    // is a plain exists answer ("0"/"1" + stat) and we fall back to the
-    // traditional watch protocol.
-    ZkOp op;
-    op.type = ZkOpType::kExists;
-    op.path = path;
-    op.watch = true;
-    client_->Request(op, [this, path, done = std::move(done)](
-                             const ZkReplyMsg& reply) mutable {
-      if (reply.code != ErrorCode::kOk) {
-        done(Status(reply.code, reply.value));
+    // extension intercepted (none registered / not acknowledged), the typed
+    // result is the plain exists answer and we fall back to the traditional
+    // watch protocol.
+    client_->CallExtension(path, "", [this, path, done = std::move(done)](
+                                         Result<ExtensionResult> r) mutable {
+      if (!r.ok()) {
+        done(r.status());
         return;
       }
-      if (reply.has_stat && reply.value == "1") {
+      if (r->intercepted) {
+        done(std::move(r->value));  // extension result / deferred unblock payload
+        return;
+      }
+      if (r->exists) {
         Read(path, std::move(done));
         return;
       }
-      if (!reply.has_stat && reply.value == "0") {
-        block_waiters_[path].push_back(std::move(done));
-        return;
-      }
-      done(reply.value);  // extension result / deferred unblock payload
+      block_waiters_[path].push_back(std::move(done));
     });
     return;
   }

@@ -1,0 +1,185 @@
+#include "edc/sim/faults.h"
+
+#include <utility>
+
+#include "edc/common/hash.h"
+#include "edc/common/logging.h"
+
+namespace edc {
+
+FaultPlan& FaultPlan::CrashAt(SimTime at, NodeId node) {
+  Step s;
+  s.at = at;
+  s.kind = Kind::kCrash;
+  s.node = node;
+  steps_.push_back(std::move(s));
+  return *this;
+}
+
+FaultPlan& FaultPlan::RestartAt(SimTime at, NodeId node) {
+  Step s;
+  s.at = at;
+  s.kind = Kind::kRestart;
+  s.node = node;
+  steps_.push_back(std::move(s));
+  return *this;
+}
+
+FaultPlan& FaultPlan::PartitionAt(SimTime at, std::vector<NodeId> group_a,
+                                  std::vector<NodeId> group_b) {
+  Step s;
+  s.at = at;
+  s.kind = Kind::kPartition;
+  s.group_a = std::move(group_a);
+  s.group_b = std::move(group_b);
+  steps_.push_back(std::move(s));
+  return *this;
+}
+
+FaultPlan& FaultPlan::HealAt(SimTime at) {
+  Step s;
+  s.at = at;
+  s.kind = Kind::kHeal;
+  steps_.push_back(std::move(s));
+  return *this;
+}
+
+FaultPlan& FaultPlan::LinkFaultsAt(SimTime at, NodeId a, NodeId b, LinkFaults faults) {
+  Step s;
+  s.at = at;
+  s.kind = Kind::kLinkFaults;
+  s.node = a;
+  s.peer = b;
+  s.faults = faults;
+  steps_.push_back(std::move(s));
+  return *this;
+}
+
+FaultPlan& FaultPlan::ClearLinkFaultsAt(SimTime at, NodeId a, NodeId b) {
+  Step s;
+  s.at = at;
+  s.kind = Kind::kClearLinkFaults;
+  s.node = a;
+  s.peer = b;
+  steps_.push_back(std::move(s));
+  return *this;
+}
+
+void FaultInjector::RegisterProcess(NodeId id, std::function<void()> crash,
+                                    std::function<void()> restart) {
+  procs_[id] = Process{std::move(crash), std::move(restart)};
+}
+
+void FaultInjector::Crash(NodeId id) {
+  Record("crash node=" + std::to_string(id) + " t=" + std::to_string(loop_->now()));
+  auto it = procs_.find(id);
+  if (it != procs_.end() && it->second.crash) {
+    it->second.crash();
+  } else {
+    net_->SetNodeUp(id, false);
+  }
+}
+
+void FaultInjector::Restart(NodeId id) {
+  Record("restart node=" + std::to_string(id) + " t=" + std::to_string(loop_->now()));
+  auto it = procs_.find(id);
+  if (it != procs_.end() && it->second.restart) {
+    it->second.restart();
+  } else {
+    net_->SetNodeUp(id, true);
+  }
+}
+
+void FaultInjector::Partition(const std::vector<NodeId>& group_a,
+                              const std::vector<NodeId>& group_b) {
+  std::string line = "partition t=" + std::to_string(loop_->now()) + " a=[";
+  for (NodeId n : group_a) {
+    line += std::to_string(n) + ",";
+  }
+  line += "] b=[";
+  for (NodeId n : group_b) {
+    line += std::to_string(n) + ",";
+  }
+  line += "]";
+  Record(line);
+  for (NodeId a : group_a) {
+    for (NodeId b : group_b) {
+      net_->Disconnect(a, b);
+    }
+  }
+}
+
+void FaultInjector::Heal() {
+  Record("heal t=" + std::to_string(loop_->now()));
+  net_->HealAllPartitions();
+}
+
+void FaultInjector::SetLinkFaults(NodeId a, NodeId b, const LinkFaults& faults) {
+  Record("link_faults t=" + std::to_string(loop_->now()) + " a=" + std::to_string(a) +
+         " b=" + std::to_string(b) + " drop=" + std::to_string(faults.drop_probability) +
+         " dup=" + std::to_string(faults.duplicate_probability) +
+         " delay=" + std::to_string(faults.extra_delay));
+  LinkParams params = net_->LinkFor(a, b);
+  params.drop_probability = faults.drop_probability;
+  params.duplicate_probability = faults.duplicate_probability;
+  params.extra_delay = faults.extra_delay;
+  net_->SetLink(a, b, params);
+}
+
+void FaultInjector::ClearLinkFaults(NodeId a, NodeId b) {
+  Record("clear_link_faults t=" + std::to_string(loop_->now()) + " a=" + std::to_string(a) +
+         " b=" + std::to_string(b));
+  net_->ClearLink(a, b);
+}
+
+void FaultInjector::Run(const FaultPlan& plan) {
+  for (const FaultPlan::Step& step : plan.steps_) {
+    FaultPlan::Step s = step;  // own a copy in the closure
+    loop_->ScheduleAt(s.at, [this, s = std::move(s)]() {
+      switch (s.kind) {
+        case FaultPlan::Kind::kCrash:
+          Crash(s.node);
+          break;
+        case FaultPlan::Kind::kRestart:
+          Restart(s.node);
+          break;
+        case FaultPlan::Kind::kPartition:
+          Partition(s.group_a, s.group_b);
+          break;
+        case FaultPlan::Kind::kHeal:
+          Heal();
+          break;
+        case FaultPlan::Kind::kLinkFaults:
+          SetLinkFaults(s.node, s.peer, s.faults);
+          break;
+        case FaultPlan::Kind::kClearLinkFaults:
+          ClearLinkFaults(s.node, s.peer);
+          break;
+      }
+    });
+  }
+}
+
+void FaultInjector::EnablePacketTrace() {
+  if (packet_trace_) {
+    return;
+  }
+  packet_trace_ = true;
+  net_->SetDeliverySink([this](SimTime at, const Packet& pkt) {
+    uint64_t h = digest_;
+    h = Fnv1a64(reinterpret_cast<const uint8_t*>(&at), sizeof(at), h);
+    h = Fnv1a64(reinterpret_cast<const uint8_t*>(&pkt.src), sizeof(pkt.src), h);
+    h = Fnv1a64(reinterpret_cast<const uint8_t*>(&pkt.dst), sizeof(pkt.dst), h);
+    h = Fnv1a64(reinterpret_cast<const uint8_t*>(&pkt.type), sizeof(pkt.type), h);
+    h = Fnv1a64(pkt.payload, h);
+    digest_ = h;
+  });
+}
+
+void FaultInjector::Record(const std::string& line) {
+  EDC_LOG(kDebug) << "fault: " << line;
+  trace_.push_back(line);
+  digest_ = Fnv1a64(line, digest_);
+}
+
+}  // namespace edc

@@ -1,0 +1,128 @@
+// Deterministic fault-injection subsystem.
+//
+// A FaultInjector sits between a test/harness and the simulated cluster and
+// turns "chaos" into a replayable schedule: every fault — crash, restart,
+// partition, heal, lossy/duplicating/slow links — is an event on the shared
+// EventLoop, and every probabilistic decision is drawn from the Network's
+// seeded Rng. Two runs with the same seed and the same FaultPlan therefore
+// produce byte-identical event traces; TraceDigest() folds the trace (and,
+// when packet tracing is on, every delivered packet) into a single uint64
+// that tests compare across runs.
+//
+// Processes register under their NodeId with crash/restart closures; the
+// injector does not know whether a node is a Zab replica, a BFT replica or a
+// client — the closures encapsulate the type-specific recovery path (log
+// replay, re-election, state transfer).
+
+#ifndef EDC_SIM_FAULTS_H_
+#define EDC_SIM_FAULTS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "edc/sim/event_loop.h"
+#include "edc/sim/network.h"
+#include "edc/sim/time.h"
+
+namespace edc {
+
+// Per-link fault knobs applied on top of the network's default LinkParams.
+struct LinkFaults {
+  double drop_probability = 0.0;
+  double duplicate_probability = 0.0;
+  Duration extra_delay = 0;
+};
+
+// A scheduled sequence of fault events, built fluently and executed by
+// FaultInjector::Run. Times are absolute sim times (ns).
+class FaultPlan {
+ public:
+  FaultPlan& CrashAt(SimTime at, NodeId node);
+  FaultPlan& RestartAt(SimTime at, NodeId node);
+  // Partitions every node in `group_a` from every node in `group_b`.
+  FaultPlan& PartitionAt(SimTime at, std::vector<NodeId> group_a, std::vector<NodeId> group_b);
+  // Heals all partitions installed on the network (not just this plan's).
+  FaultPlan& HealAt(SimTime at);
+  FaultPlan& LinkFaultsAt(SimTime at, NodeId a, NodeId b, LinkFaults faults);
+  FaultPlan& ClearLinkFaultsAt(SimTime at, NodeId a, NodeId b);
+
+ private:
+  friend class FaultInjector;
+
+  enum class Kind : uint8_t {
+    kCrash,
+    kRestart,
+    kPartition,
+    kHeal,
+    kLinkFaults,
+    kClearLinkFaults,
+  };
+  struct Step {
+    SimTime at = 0;
+    Kind kind = Kind::kCrash;
+    NodeId node = 0;       // crash/restart; link endpoint a
+    NodeId peer = 0;       // link endpoint b
+    std::vector<NodeId> group_a;  // partition
+    std::vector<NodeId> group_b;
+    LinkFaults faults;
+  };
+  std::vector<Step> steps_;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(EventLoop* loop, Network* net) : loop_(loop), net_(net) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Registers the crash/restart closures for a process. Both must be safe to
+  // invoke repeatedly (Crash on a crashed node is a no-op, etc.).
+  void RegisterProcess(NodeId id, std::function<void()> crash, std::function<void()> restart);
+
+  // Immediate fault actions (also usable directly from tests). Each appends
+  // a line to the trace.
+  void Crash(NodeId id);
+  void Restart(NodeId id);
+  void Partition(const std::vector<NodeId>& group_a, const std::vector<NodeId>& group_b);
+  void Heal();
+  void SetLinkFaults(NodeId a, NodeId b, const LinkFaults& faults);
+  void ClearLinkFaults(NodeId a, NodeId b);
+
+  // Schedules every step of `plan` on the event loop. Call before loop->Run().
+  void Run(const FaultPlan& plan);
+
+  // Folds every delivered packet (time, src, dst, type, payload hash) into
+  // the digest. Off by default: packet tracing is what makes the digest a
+  // whole-run fingerprint, but it touches every delivery, so tests opt in.
+  void EnablePacketTrace();
+
+  bool IsUp(NodeId id) const { return net_->IsNodeUp(id); }
+
+  // Human-readable fault log, one line per event, in execution order.
+  const std::vector<std::string>& trace() const { return trace_; }
+  // Order-sensitive FNV-1a fold of the trace (and packet stream when packet
+  // tracing is enabled). Equal digests => identical runs.
+  uint64_t TraceDigest() const { return digest_; }
+
+ private:
+  void Record(const std::string& line);
+
+  EventLoop* loop_;
+  Network* net_;
+  struct Process {
+    std::function<void()> crash;
+    std::function<void()> restart;
+  };
+  std::unordered_map<NodeId, Process> procs_;
+  std::vector<std::string> trace_;
+  uint64_t digest_ = 0xcbf29ce484222325ULL;  // kFnvOffset
+  bool packet_trace_ = false;
+};
+
+}  // namespace edc
+
+#endif  // EDC_SIM_FAULTS_H_

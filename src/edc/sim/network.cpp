@@ -22,6 +22,11 @@ void Network::SetLink(NodeId a, NodeId b, const LinkParams& params) {
   link_overrides_[PairKey{b, a}] = params;
 }
 
+void Network::ClearLink(NodeId a, NodeId b) {
+  link_overrides_.erase(PairKey{a, b});
+  link_overrides_.erase(PairKey{b, a});
+}
+
 void Network::Disconnect(NodeId a, NodeId b) {
   partitioned_[PairKey{a, b}] = true;
   partitioned_[PairKey{b, a}] = true;
@@ -31,6 +36,8 @@ void Network::Reconnect(NodeId a, NodeId b) {
   partitioned_.erase(PairKey{a, b});
   partitioned_.erase(PairKey{b, a});
 }
+
+void Network::HealAllPartitions() { partitioned_.clear(); }
 
 void Network::SetNodeUp(NodeId id, bool up) { node_up_[id] = up; }
 
@@ -72,28 +79,41 @@ void Network::Send(Packet pkt) {
                                     : 0;
   Duration serialization =
       static_cast<Duration>(static_cast<double>(wire) * 8.0 / link.bandwidth_bps * 1e9);
-  SimTime arrival = loop_->now() + link.latency + jitter + serialization;
+  SimTime arrival = loop_->now() + link.latency + jitter + serialization + link.extra_delay;
 
-  // Enforce per-connection FIFO: never deliver before an earlier packet on
-  // the same (src, dst) pair.
-  auto& last = last_delivery_[PairKey{pkt.src, pkt.dst}];
-  arrival = std::max(arrival, last + 1);
-  last = arrival;
+  // Fault injection: a duplicated packet arrives twice (one extra copy, the
+  // TCP-reset-and-retransmit shape), still respecting per-connection FIFO.
+  int copies = 1;
+  if (link.duplicate_probability > 0.0 && rng_.NextDouble() < link.duplicate_probability) {
+    copies = 2;
+  }
 
-  NodeId dst = pkt.dst;
-  loop_->ScheduleAt(arrival, [this, p = std::move(pkt), dst]() mutable {
-    if (!IsNodeUp(dst)) {
-      return;
-    }
-    auto it = nodes_.find(dst);
-    if (it == nodes_.end()) {
-      return;
-    }
-    auto& dst_stats = stats_[dst];
-    dst_stats.packets_received += 1;
-    dst_stats.bytes_received += static_cast<int64_t>(WireSize(p));
-    it->second->HandlePacket(std::move(p));
-  });
+  for (int copy = 0; copy < copies; ++copy) {
+    // Enforce per-connection FIFO: never deliver before an earlier packet on
+    // the same (src, dst) pair.
+    auto& last = last_delivery_[PairKey{pkt.src, pkt.dst}];
+    arrival = std::max(arrival, last + 1);
+    last = arrival;
+
+    NodeId dst = pkt.dst;
+    Packet p = copy + 1 < copies ? pkt : std::move(pkt);
+    loop_->ScheduleAt(arrival, [this, p = std::move(p), dst]() mutable {
+      if (!IsNodeUp(dst)) {
+        return;
+      }
+      auto it = nodes_.find(dst);
+      if (it == nodes_.end()) {
+        return;
+      }
+      auto& dst_stats = stats_[dst];
+      dst_stats.packets_received += 1;
+      dst_stats.bytes_received += static_cast<int64_t>(WireSize(p));
+      if (delivery_sink_) {
+        delivery_sink_(loop_->now(), p);
+      }
+      it->second->HandlePacket(std::move(p));
+    });
+  }
 }
 
 }  // namespace edc

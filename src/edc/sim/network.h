@@ -16,6 +16,7 @@
 #define EDC_SIM_NETWORK_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <unordered_map>
 #include <vector>
@@ -51,6 +52,10 @@ struct LinkParams {
   Duration jitter = Micros(20);       // uniform [0, jitter)
   double bandwidth_bps = 1e9;         // bits per second
   double drop_probability = 0.0;
+  // Fault-injection knobs (see sim/faults.h): probability that a delivered
+  // packet arrives twice, and a fixed delay added on top of latency+jitter.
+  double duplicate_probability = 0.0;
+  Duration extra_delay = 0;
 };
 
 struct NodeNetStats {
@@ -73,10 +78,23 @@ class Network {
 
   // Overrides link parameters in both directions between a and b.
   void SetLink(NodeId a, NodeId b, const LinkParams& params);
+  // Removes a per-pair override (back to the defaults).
+  void ClearLink(NodeId a, NodeId b);
+  // Effective parameters currently governing src -> dst.
+  const LinkParams& LinkFor(NodeId src, NodeId dst) const { return ParamsFor(src, dst); }
 
   // Partition control (bidirectional).
   void Disconnect(NodeId a, NodeId b);
   void Reconnect(NodeId a, NodeId b);
+  void HealAllPartitions();
+  bool Partitioned(NodeId a, NodeId b) const { return IsPartitioned(a, b); }
+
+  // Observer invoked for every packet actually handed to a node (after
+  // drops, partitions and crashes are resolved). The fault-injection layer
+  // uses it to build the replayable event trace a determinism check
+  // compares across same-seed runs.
+  using DeliverySink = std::function<void(SimTime at, const Packet& pkt)>;
+  void SetDeliverySink(DeliverySink sink) { delivery_sink_ = std::move(sink); }
 
   // A down node neither sends nor receives; packets in flight to it at the
   // time it goes down are lost on arrival.
@@ -116,6 +134,7 @@ class Network {
   std::map<PairKey, SimTime> last_delivery_;  // FIFO enforcement
   std::unordered_map<NodeId, NodeNetStats> stats_;
   int64_t total_bytes_sent_ = 0;
+  DeliverySink delivery_sink_;
 };
 
 }  // namespace edc

@@ -31,7 +31,8 @@ enum class ZabMsgType : uint32_t {
   kAck = kZabTypeBase + 10,
   kCommit = kZabTypeBase + 11,
   kHeartbeat = kZabTypeBase + 12,
-  kMax = kZabTypeBase + 13,
+  kHeartbeatAck = kZabTypeBase + 13,  // follower -> leader: I am alive
+  kMax = kZabTypeBase + 14,
 };
 
 inline bool IsZabPacket(uint32_t type) {
@@ -103,7 +104,7 @@ struct SnapMsg {
   std::vector<uint8_t> snapshot;
 };
 
-// kNewLeader / kUpToDate / kHeartbeat share this shape.
+// kNewLeader / kUpToDate / kHeartbeat / kHeartbeatAck share this shape.
 struct EpochMsg {
   uint32_t epoch = 0;
   uint64_t committed_zxid = 0;

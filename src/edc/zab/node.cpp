@@ -25,6 +25,17 @@ uint64_t ZabNode::last_logged() const {
   return history_.empty() ? base_zxid_ : history_.back().zxid;
 }
 
+SimTime ZabNode::PeerLastSeen(NodeId peer) const {
+  auto it = peer_last_seen_.find(peer);
+  return it == peer_last_seen_.end() ? 0 : it->second;
+}
+
+void ZabNode::TouchPeer(NodeId from) {
+  if (role_ == Role::kLeading) {
+    peer_last_seen_[from] = loop_->now();
+  }
+}
+
 void ZabNode::SendTo(NodeId dst, ZabMsgType type, std::vector<uint8_t> payload) {
   Packet pkt;
   pkt.src = config_.self;
@@ -207,6 +218,7 @@ void ZabNode::BecomeLeader() {
   acks_.clear();
   newleader_acks_.clear();
   newleader_acks_.insert(config_.self);
+  peer_last_seen_.clear();
   // Our whole durable history counts as self-acked.
   for (size_t i = delivered_count_; i < history_.size(); ++i) {
     acks_[history_[i].zxid].insert(config_.self);
@@ -228,6 +240,7 @@ void ZabNode::OnFollowerInfo(NodeId from, const FollowerInfo& info) {
   if (role_ != Role::kLeading) {
     return;
   }
+  TouchPeer(from);
   uint64_t my_last = last_logged();
   if (info.last_zxid > my_last) {
     SendTo(from, ZabMsgType::kTrunc, EncodeZxidMsg({current_epoch_, my_last}));
@@ -265,6 +278,7 @@ void ZabNode::OnAckNewLeader(NodeId from, const FollowerInfo& info) {
   if (role_ != Role::kLeading) {
     return;
   }
+  TouchPeer(from);
   newleader_acks_.insert(from);
   for (const ZabProposal& p : history_) {
     if (p.zxid <= info.last_zxid) {
@@ -314,8 +328,16 @@ void ZabNode::OnAck(NodeId from, const ZxidMsg& msg) {
   if (role_ != Role::kLeading || msg.epoch != current_epoch_) {
     return;
   }
+  TouchPeer(from);
   RecordAck(from, msg.zxid);
   TryCommit();
+}
+
+void ZabNode::OnHeartbeatAck(NodeId from, const EpochMsg& msg) {
+  if (role_ != Role::kLeading || msg.epoch != current_epoch_) {
+    return;
+  }
+  TouchPeer(from);
 }
 
 void ZabNode::TryCommit() {
@@ -471,6 +493,10 @@ void ZabNode::OnHeartbeat(NodeId from, const EpochMsg& msg) {
     if (synced_ && msg.epoch == current_epoch_) {
       DeliverUpTo(msg.committed_zxid);
     }
+    // Answer so the leader can track which replicas are alive (dead-owner
+    // session expiry keys off this).
+    SendTo(leader_, ZabMsgType::kHeartbeatAck,
+           EncodeEpochMsg({current_epoch_, committed_zxid_}));
   }
 }
 
@@ -642,6 +668,13 @@ void ZabNode::Process(Packet&& pkt) {
       auto m = DecodeEpochMsg(pkt.payload);
       if (m.ok()) {
         OnHeartbeat(pkt.src, *m);
+      }
+      break;
+    }
+    case ZabMsgType::kHeartbeatAck: {
+      auto m = DecodeEpochMsg(pkt.payload);
+      if (m.ok()) {
+        OnHeartbeatAck(pkt.src, *m);
       }
       break;
     }

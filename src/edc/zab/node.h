@@ -87,6 +87,12 @@ class ZabNode {
   uint64_t last_committed() const { return committed_zxid_; }
   uint64_t last_logged() const;
 
+  // Leader-side peer liveness: sim time we last heard anything protocol-level
+  // from `peer` this leadership term (heartbeat acks, proposal acks, sync
+  // traffic). 0 = not heard from since this node became leader. The service
+  // layer uses it to expire sessions owned by dead replicas (§5.1).
+  SimTime PeerLastSeen(NodeId peer) const;
+
   // Testing/ablation: forget log entries up to the current commit frontier,
   // keeping a snapshot, to force the SNAP path for lagging followers.
   void CompactLog();
@@ -133,6 +139,8 @@ class ZabNode {
   void OnFollowerInfo(NodeId from, const FollowerInfo& info);
   void OnAckNewLeader(NodeId from, const FollowerInfo& info);
   void OnAck(NodeId from, const ZxidMsg& msg);
+  void OnHeartbeatAck(NodeId from, const EpochMsg& msg);
+  void TouchPeer(NodeId from);
   void RecordAck(NodeId from, uint64_t zxid);
   void TryCommit();
   void ActivateBroadcastIfQuorum();
@@ -186,6 +194,7 @@ class ZabNode {
   bool broadcast_active_ = false;
   std::map<uint64_t, std::set<NodeId>> acks_;
   std::set<NodeId> newleader_acks_;
+  std::map<NodeId, SimTime> peer_last_seen_;  // reset each leadership term
 
   // Follower state.
   bool synced_ = false;

@@ -1,5 +1,6 @@
 #include "edc/zk/client.h"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
@@ -7,9 +8,11 @@
 
 namespace edc {
 
-ZkClient::ZkClient(EventLoop* loop, Network* net, NodeId id, NodeId server,
+ZkClient::ZkClient(EventLoop* loop, Network* net, NodeId id, ServerList servers,
                    ZkClientOptions options)
-    : loop_(loop), net_(net), id_(id), server_(server), options_(options) {
+    : loop_(loop), net_(net), id_(id), servers_(std::move(servers)), options_(options) {
+  server_idx_ = servers_.preferred;
+  server_ = servers_.at(server_idx_);
   net_->Register(id_, this);
 }
 
@@ -29,6 +32,12 @@ void ZkClient::SendConnect() {
 
 void ZkClient::SendPing() {
   if (session_ == 0 || closing_) {
+    return;
+  }
+  // Silence from the replica for a whole session timeout means it is dead or
+  // unreachable: fail over instead of pinging a black hole forever.
+  if (last_rx_ + options_.session_timeout < loop_->now()) {
+    OnConnectionLoss();
     return;
   }
   ZkOp op;
@@ -60,14 +69,90 @@ Status ZkClient::StatusOf(const ZkReplyMsg& reply) {
   return Status(reply.code, reply.value);
 }
 
+void ZkClient::Emit(SessionEvent event) {
+  if (session_cb_) {
+    session_cb_(event);
+  }
+}
+
+void ZkClient::FailPending(ErrorCode code) {
+  std::map<uint64_t, ReplyCb> pending = std::move(pending_);
+  pending_.clear();
+  for (auto& [req_id, cb] : pending) {
+    ZkReplyMsg reply;
+    reply.req_id = req_id;
+    reply.code = code;
+    cb(reply);
+  }
+}
+
+void ZkClient::OnConnectionLoss() {
+  EDC_LOG(kDebug) << "client " << id_ << " lost replica " << server_;
+  loop_->Cancel(ping_timer_);
+  session_ = 0;
+  FailPending(ErrorCode::kConnectionLoss);
+  Emit(SessionEvent::kDisconnected);
+  // The old session is volatile server-side state we cannot resume (watches
+  // and session identity die with it); the reconnect below creates a new one.
+  Emit(SessionEvent::kSessionLost);
+  ScheduleReconnect();
+}
+
+void ZkClient::OnSessionExpired() {
+  EDC_LOG(kDebug) << "client " << id_ << " session expired";
+  loop_->Cancel(ping_timer_);
+  session_ = 0;
+  FailPending(ErrorCode::kSessionExpired);
+  Emit(SessionEvent::kSessionLost);
+  ScheduleReconnect();
+}
+
+void ZkClient::ScheduleReconnect() {
+  if (closing_) {
+    return;
+  }
+  if (options_.reconnect.max_attempts > 0 &&
+      reconnect_attempts_ >= options_.reconnect.max_attempts) {
+    if (connect_cb_) {
+      auto cb = std::move(connect_cb_);
+      connect_cb_ = nullptr;
+      cb(Status(ErrorCode::kConnectionLoss, "reconnect attempts exhausted"));
+    }
+    return;
+  }
+  ++reconnect_attempts_;
+  Duration delay = backoff_;
+  backoff_ = backoff_ == 0 ? options_.reconnect.initial_backoff
+                           : std::min(backoff_ * 2, options_.reconnect.max_backoff);
+  loop_->Cancel(reconnect_timer_);
+  reconnect_timer_ = loop_->Schedule(delay, [this]() {
+    if (closing_ || session_ != 0) {
+      return;
+    }
+    // Rotate to the next replica; a dead one stays silent and the re-armed
+    // chain below moves past it after the backoff.
+    server_idx_ = (server_idx_ + 1) % std::max<size_t>(servers_.size(), 1);
+    server_ = servers_.at(server_idx_);
+    SendConnect();
+    ScheduleReconnect();
+  });
+}
+
 void ZkClient::HandlePacket(Packet&& pkt) {
+  last_rx_ = loop_->now();
   switch (static_cast<ZkMsgType>(pkt.type)) {
     case ZkMsgType::kConnectReply: {
       auto m = DecodeZkConnectReply(pkt.payload);
-      if (!m.ok()) {
-        return;
+      if (!m.ok() || session_ != 0) {
+        return;  // duplicate/stale connect reply
       }
       session_ = m->session;
+      loop_->Cancel(reconnect_timer_);
+      backoff_ = 0;
+      reconnect_attempts_ = 0;
+      bool first = !ever_connected_;
+      ever_connected_ = true;
+      Emit(first ? SessionEvent::kConnected : SessionEvent::kReconnected);
       if (connect_cb_) {
         auto cb = std::move(connect_cb_);
         connect_cb_ = nullptr;
@@ -83,9 +168,9 @@ void ZkClient::HandlePacket(Packet&& pkt) {
       }
       if (m->req_id == 0) {
         // Failed connect (e.g. no leader yet): retry.
-        if (session_ == 0 && connect_cb_) {
+        if (session_ == 0 && connect_cb_ && !closing_) {
           loop_->Schedule(options_.connect_retry, [this]() {
-            if (session_ == 0 && connect_cb_) {
+            if (session_ == 0 && connect_cb_ && !closing_) {
               SendConnect();
             }
           });
@@ -99,6 +184,11 @@ void ZkClient::HandlePacket(Packet&& pkt) {
       ReplyCb cb = std::move(it->second);
       pending_.erase(it);
       cb(*m);
+      // The server no longer knows this session (it expired, or the replica
+      // restarted and replayed a close): everything session-scoped is gone.
+      if (m->code == ErrorCode::kSessionExpired && session_ != 0 && !closing_) {
+        OnSessionExpired();
+      }
       break;
     }
     case ZkMsgType::kWatchEvent: {
@@ -205,14 +295,32 @@ void ZkClient::Multi(std::vector<ZkOp> ops, VoidCb done) {
               [done = std::move(done)](const ZkReplyMsg& reply) { done(StatusOf(reply)); });
 }
 
-void ZkClient::Close(VoidCb done) {
-  closing_ = true;
-  loop_->Cancel(ping_timer_);
+void ZkClient::CallExtension(const std::string& trigger_path, const std::string& args,
+                             ExtensionCb done) {
+  // The invocation is an exists-with-watch on the trigger object; a matching
+  // acknowledged extension intercepts it server-side and its result rides
+  // back on the reply (§5.1.2). Without one, the reply is the plain exists
+  // answer and the creation watch stays armed as the traditional fallback.
   ZkOp op;
-  op.type = ZkOpType::kCloseSession;
-  SendRequest(std::move(op), [this, done = std::move(done)](const ZkReplyMsg& reply) {
-    session_ = 0;
-    done(StatusOf(reply));
+  op.type = ZkOpType::kExists;
+  op.path = trigger_path;
+  op.data = args;
+  op.watch = true;
+  SendRequest(std::move(op), [done = std::move(done)](const ZkReplyMsg& reply) {
+    if (reply.code != ErrorCode::kOk) {
+      done(StatusOf(reply));
+      return;
+    }
+    ExtensionResult result;
+    if (reply.has_stat && reply.value == "1") {
+      result.exists = true;  // plain answer: trigger object present
+    } else if (!reply.has_stat && reply.value == "0") {
+      result.exists = false;  // plain answer: absent, watch armed
+    } else {
+      result.intercepted = true;
+      result.value = reply.value;
+    }
+    done(result);
   });
 }
 
@@ -252,6 +360,22 @@ void ZkClient::DeregisterExtension(const std::string& name, VoidCb done) {
 void ZkClient::AcknowledgeExtension(const std::string& name, VoidCb done) {
   Create("/em/" + name + "/ack-" + std::to_string(session_), "", false, false,
          [done = std::move(done)](Result<std::string> r) { done(r.status()); });
+}
+
+void ZkClient::Close(VoidCb done) {
+  closing_ = true;
+  loop_->Cancel(ping_timer_);
+  loop_->Cancel(reconnect_timer_);
+  if (session_ == 0) {
+    done(Status::Ok());  // nothing to close server-side
+    return;
+  }
+  ZkOp op;
+  op.type = ZkOpType::kCloseSession;
+  SendRequest(std::move(op), [this, done = std::move(done)](const ZkReplyMsg& reply) {
+    session_ = 0;
+    done(StatusOf(reply));
+  });
 }
 
 }  // namespace edc

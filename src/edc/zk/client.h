@@ -1,10 +1,16 @@
 // Asynchronous client library for the ZooKeeper-like service.
 //
-// One client object = one session against one replica. All calls are
-// callback-based (the simulator is a single event loop). The EZK extension
-// conveniences follow §5.1.2: registration and deregistration map to plain
-// create/delete operations on the extension manager's /em subtree — the
-// coordination kernel itself is unchanged.
+// One client object = one session against one replica at a time, drawn from a
+// ServerList (common/client_api.h). All calls are callback-based (the
+// simulator is a single event loop). The client detects replica failure by
+// silence — no reply within the session timeout — fails outstanding calls
+// with kConnectionLoss, and reconnects to the next replica in the list with
+// exponential backoff. Watches and the old session do not survive failover;
+// the application observes SessionEvents and re-arms what it needs.
+//
+// The EZK extension conveniences follow §5.1.2: registration and
+// deregistration map to plain create/delete operations on the extension
+// manager's /em subtree — the coordination kernel itself is unchanged.
 
 #ifndef EDC_ZK_CLIENT_H_
 #define EDC_ZK_CLIENT_H_
@@ -15,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "edc/common/client_api.h"
 #include "edc/sim/event_loop.h"
 #include "edc/sim/network.h"
 #include "edc/zk/types.h"
@@ -25,6 +32,7 @@ struct ZkClientOptions {
   Duration session_timeout = Seconds(5);
   Duration ping_interval = Seconds(1);
   Duration connect_retry = Millis(200);
+  ReconnectOptions reconnect;
 };
 
 class ZkClient : public NetworkNode {
@@ -38,15 +46,19 @@ class ZkClient : public NetworkNode {
     ZkStat stat;
   };
 
-  using VoidCb = std::function<void(Status)>;
-  using StringCb = std::function<void(Result<std::string>)>;
-  using NodeCb = std::function<void(Result<NodeResult>)>;
-  using ExistsCb = std::function<void(Result<ExistsResult>)>;
-  using ChildrenCb = std::function<void(Result<std::vector<std::string>>)>;
+  using VoidCb = StatusCb;
+  using StringCb = StringResultCb;
+  using NodeCb = ResultCb<NodeResult>;
+  using ExistsCb = ResultCb<ExistsResult>;
+  using ChildrenCb = ResultCb<std::vector<std::string>>;
   using ReplyCb = std::function<void(const ZkReplyMsg&)>;
   using WatchCb = std::function<void(const ZkWatchEventMsg&)>;
 
-  ZkClient(EventLoop* loop, Network* net, NodeId id, NodeId server, ZkClientOptions options);
+  ZkClient(EventLoop* loop, Network* net, NodeId id, ServerList servers,
+           ZkClientOptions options);
+  // Single-replica convenience (no failover targets).
+  ZkClient(EventLoop* loop, Network* net, NodeId id, NodeId server, ZkClientOptions options)
+      : ZkClient(loop, net, id, ServerList{server}, options) {}
 
   ZkClient(const ZkClient&) = delete;
   ZkClient& operator=(const ZkClient&) = delete;
@@ -64,21 +76,30 @@ class ZkClient : public NetworkNode {
   void GetChildren(const std::string& path, bool watch, ChildrenCb done);
   void Multi(std::vector<ZkOp> ops, VoidCb done);
 
-  // Low-level escape hatch: send any op, get the raw reply (extension-based
-  // recipes use this for ops whose replies carry extension results).
-  void Request(ZkOp op, ReplyCb done);
+  // Invokes the extension listening on `trigger_path` (§5.1.2): one RPC that
+  // either returns the extension's result (intercepted) or, when no
+  // acknowledged extension matches, a plain exists answer with a creation
+  // watch armed on the trigger object (the traditional fallback).
+  void CallExtension(const std::string& trigger_path, const std::string& args,
+                     ExtensionCb done);
 
-  // Watch notifications for this session (one handler; recipes demultiplex).
-  void SetWatchHandler(WatchCb handler) { watch_handler_ = std::move(handler); }
+  // Deprecated raw escape hatch; use the typed operations or CallExtension.
+  [[deprecated("use typed operations or CallExtension")]] void Request(ZkOp op, ReplyCb done);
 
   // EZK conveniences (§5.1.2).
   void RegisterExtension(const std::string& name, const std::string& code, VoidCb done);
   void DeregisterExtension(const std::string& name, VoidCb done);
   void AcknowledgeExtension(const std::string& name, VoidCb done);
 
+  // Watch notifications for this session (one handler; recipes demultiplex).
+  void SetWatchHandler(WatchCb handler) { watch_handler_ = std::move(handler); }
+  // Session lifecycle notifications (failover, expiry, reconnect).
+  void SetSessionEventHandler(SessionEventCb handler) { session_cb_ = std::move(handler); }
+
   bool connected() const { return session_ != 0; }
   uint64_t session() const { return session_; }
   NodeId id() const { return id_; }
+  NodeId current_server() const { return server_; }
 
   // NetworkNode.
   void HandlePacket(Packet&& pkt) override;
@@ -87,12 +108,19 @@ class ZkClient : public NetworkNode {
   void SendConnect();
   void SendPing();
   void SendRequest(ZkOp op, ReplyCb done);
+  void OnConnectionLoss();
+  void OnSessionExpired();
+  void FailPending(ErrorCode code);
+  void ScheduleReconnect();
+  void Emit(SessionEvent event);
   static Status StatusOf(const ZkReplyMsg& reply);
 
   EventLoop* loop_;
   Network* net_;
   NodeId id_;
-  NodeId server_;
+  ServerList servers_;
+  size_t server_idx_ = 0;
+  NodeId server_ = 0;  // replica currently connected / being tried
   ZkClientOptions options_;
 
   uint64_t session_ = 0;
@@ -100,7 +128,13 @@ class ZkClient : public NetworkNode {
   VoidCb connect_cb_;
   std::map<uint64_t, ReplyCb> pending_;
   WatchCb watch_handler_;
+  SessionEventCb session_cb_;
+  SimTime last_rx_ = 0;       // last packet received from the current replica
+  Duration backoff_ = 0;      // current reconnect backoff
+  int reconnect_attempts_ = 0;
+  bool ever_connected_ = false;
   TimerId ping_timer_ = kInvalidTimer;
+  TimerId reconnect_timer_ = kInvalidTimer;
   bool closing_ = false;
 };
 

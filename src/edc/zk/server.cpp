@@ -4,6 +4,7 @@
 #include <cassert>
 #include <utility>
 
+#include "edc/common/hash.h"
 #include "edc/common/logging.h"
 #include "edc/common/strings.h"
 
@@ -44,6 +45,7 @@ void ZkServer::Start() {
   pending_connects_.clear();
   expiring_sessions_.clear();
   txns_applied_ = 0;
+  applied_log_.clear();
   tree_.Load({});  // empty tree
   (void)tree_.Create(kEmPath, "", 0, false, 0, 0);
   if (hooks_ != nullptr) {
@@ -71,6 +73,7 @@ void ZkServer::Restart() {
   client_nodes_.clear();
   pending_connects_.clear();
   expiring_sessions_.clear();
+  applied_log_.clear();
   tree_.Load({});
   (void)tree_.Create(kEmPath, "", 0, false, 0, 0);
   if (hooks_ != nullptr) {
@@ -91,21 +94,39 @@ void ZkServer::StartSessionTimer() {
   });
 }
 
+bool ZkServer::OwnerReplicaDead(const SessionInfo& info) const {
+  // Leader-side liveness judgment for the replica owning a session: acks and
+  // heartbeat-acks keep PeerLastSeen fresh on a live follower, so silence for
+  // a whole session timeout means the owner is down (or partitioned away —
+  // indistinguishable, and either way its clients cannot be pinging it from
+  // inside our partition). leader_since_ grounds the judgment right after an
+  // election, before any ack has arrived.
+  SimTime heard = std::max(zab_->PeerLastSeen(info.owner), leader_since_);
+  return heard + info.timeout < loop_->now();
+}
+
 void ZkServer::CheckSessions() {
   for (const auto& [session, info] : sessions_) {
-    if (info.owner != id_ || info.timeout <= 0) {
+    if (info.timeout <= 0 || expiring_sessions_.count(session) > 0) {
       continue;
     }
-    if (expiring_sessions_.count(session) > 0) {
-      continue;
+    bool expire = false;
+    if (info.owner == id_) {
+      expire = info.last_seen + info.timeout < loop_->now();
+    } else if (zab_->is_leader()) {
+      // §5.1: sessions owned by a crashed replica must still expire so their
+      // ephemerals and extension registrations are cleaned up; the owner will
+      // never do it, so the leader does.
+      expire = OwnerReplicaDead(info);
     }
-    if (info.last_seen + info.timeout < loop_->now()) {
+    if (expire) {
       expiring_sessions_.insert(session);
       ZkRequestMsg msg;
       msg.session = session;
       msg.req_id = AllocInternalReqId();
       msg.op.type = ZkOpType::kCloseSession;
-      EDC_LOG(kDebug) << "server " << id_ << " expiring session " << session;
+      EDC_LOG(kDebug) << "server " << id_ << " expiring session " << session
+                      << (info.owner == id_ ? "" : " (dead owner)");
       RouteToLeader(id_, msg);
     }
   }
@@ -522,6 +543,7 @@ bool ZkServer::TxnIsDeferred(const ZkTxn& txn) {
 }
 
 void ZkServer::OnDeliver(uint64_t zxid, const std::vector<uint8_t>& txn_bytes) {
+  applied_log_.emplace_back(zxid, Fnv1a64(txn_bytes));
   auto txn = ZkTxn::Decode(txn_bytes);
   if (!txn.ok()) {
     EDC_LOG(kError) << "server " << id_ << ": undecodable txn at zxid " << zxid;
@@ -680,6 +702,9 @@ void ZkServer::OnRoleChange(bool leader, NodeId leader_id, uint32_t epoch) {
   (void)leader_id;
   (void)epoch;
   outstanding_.clear();
+  if (leader) {
+    leader_since_ = loop_->now();
+  }
   EDC_LOG(kDebug) << "server " << id_ << (leader ? " is now leader" : " follows")
                   << " epoch " << epoch;
 }
@@ -707,6 +732,7 @@ std::vector<uint8_t> ZkServer::TakeSnapshot() {
 
 void ZkServer::InstallSnapshot(uint64_t zxid, const std::vector<uint8_t>& snapshot) {
   (void)zxid;
+  applied_log_.clear();  // state is now the snapshot, not per-txn application
   Decoder dec(snapshot);
   auto tree_bytes = dec.GetBytes();
   if (!tree_bytes.ok() || !tree_.Load(*tree_bytes).ok()) {

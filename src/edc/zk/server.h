@@ -77,6 +77,12 @@ class ZkServer : public NetworkNode, public ZabCallbacks {
   ZabNode& zab() { return *zab_; }
   CpuQueue& cpu() { return cpu_; }
   int64_t txns_applied() const { return txns_applied_; }
+  // (zxid, FNV-1a of txn bytes) for every transaction applied since the last
+  // boot/snapshot, in delivery order. Invariant checkers compare the zxid
+  // overlap of these across replicas (prefix consistency).
+  const std::vector<std::pair<uint64_t, uint64_t>>& applied_log() const {
+    return applied_log_;
+  }
 
   // --- services for the extension manager -------------------------------
   // Leader-only: open a prep session for an internal (event-extension)
@@ -94,6 +100,8 @@ class ZkServer : public NetworkNode, public ZabCallbacks {
     Duration timeout = 0;
     SimTime last_seen = 0;  // meaningful on the owner replica only
   };
+
+  bool OwnerReplicaDead(const SessionInfo& info) const;
 
   void StartSessionTimer();
   void CheckSessions();
@@ -142,6 +150,8 @@ class ZkServer : public NetworkNode, public ZabCallbacks {
   uint64_t session_counter_ = 0;
   uint64_t internal_req_counter_ = 0;
   int64_t txns_applied_ = 0;
+  std::vector<std::pair<uint64_t, uint64_t>> applied_log_;  // (zxid, txn hash)
+  SimTime leader_since_ = 0;  // when this replica last became leader
   TimerId session_timer_ = kInvalidTimer;
 };
 

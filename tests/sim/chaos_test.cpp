@@ -1,0 +1,172 @@
+// End-to-end chaos scenarios over whole clusters: partition/heal convergence,
+// client failover, and same-seed replayability (docs/fault_model.md).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "edc/common/rng.h"
+#include "edc/harness/fixture.h"
+#include "edc/harness/invariants.h"
+#include "edc/sim/faults.h"
+#include "edc/zk/client.h"
+#include "edc/zk/server.h"
+
+namespace edc {
+namespace {
+
+// A 2-2 split leaves neither side with the 2f+1 BFT quorum, so nothing
+// commits while the partition holds; client retransmissions carry the stalled
+// request past the heal and every replica executes the same ordered history.
+TEST(ChaosTest, PartitionThenHealEdsReplicasConverge) {
+  FixtureOptions options;
+  options.system = SystemKind::kDepSpace;
+  options.num_clients = 2;
+  options.seed = 5;
+  ClusterFixture fix(options);
+  fix.Start();
+
+  bool pre = false;
+  fix.coord(0)->Create("/chaos/pre", "v", [&](Result<std::string> r) { pre = r.ok(); });
+  fix.Settle(Seconds(1));
+  ASSERT_TRUE(pre);
+
+  fix.faults().Partition({1, 2}, {3, 4});
+  bool during = false;
+  fix.coord(1)->Create("/chaos/during", "v",
+                       [&](Result<std::string> r) { during = r.ok(); });
+  fix.Settle(Seconds(3));
+  EXPECT_FALSE(during) << "no quorum side should have committed";
+
+  fix.faults().Heal();
+  fix.Settle(Seconds(12));
+  EXPECT_TRUE(during) << "retransmitted request should complete after heal";
+
+  std::string why;
+  EXPECT_TRUE(EdsDigestsMatch(fix.ds_servers, &why)) << why;
+  ASSERT_EQ(fix.faults().trace().size(), 2u);
+}
+
+// A client holding a session (and an in-flight watch) against a replica that
+// dies must detect the silence, fail over to a live replica, surface the
+// session-lost/reconnected events, and let the application re-arm the watch.
+TEST(ChaosTest, ClientFailsOverAndReArmsWatch) {
+  EventLoop loop;
+  Network net(&loop, Rng(9), LinkParams{});
+  FaultInjector faults(&loop, &net);
+  std::vector<NodeId> members{1, 2, 3};
+  std::vector<std::unique_ptr<ZkServer>> servers;
+  for (NodeId id : members) {
+    auto server = std::make_unique<ZkServer>(&loop, &net, id, members, CostModel{},
+                                             ZkServerOptions{});
+    net.Register(id, server.get());
+    servers.push_back(std::move(server));
+  }
+  for (auto& s : servers) {
+    s->Start();
+  }
+  loop.RunUntil(loop.now() + Seconds(2));
+
+  // Connect to a follower so failover does not also wait out re-election.
+  size_t follower_idx = 0;
+  for (size_t i = 0; i < servers.size(); ++i) {
+    if (servers[i]->running() && !servers[i]->IsLeader()) {
+      follower_idx = i;
+      break;
+    }
+  }
+  NodeId follower = members[follower_idx];
+
+  ZkClientOptions copts;
+  copts.session_timeout = Seconds(1);
+  copts.ping_interval = Millis(200);
+  ZkClient client(&loop, &net, 100, ServerList{members, follower_idx}, copts);
+  std::vector<SessionEvent> events;
+  client.SetSessionEventHandler([&](SessionEvent e) { events.push_back(e); });
+  int watch_fired = 0;
+  client.SetWatchHandler([&](const ZkWatchEventMsg&) { ++watch_fired; });
+
+  bool connected = false;
+  client.Connect([&](Status s) { connected = s.ok(); });
+  loop.RunUntil(loop.now() + Seconds(1));
+  ASSERT_TRUE(connected);
+  ASSERT_EQ(client.current_server(), follower);
+
+  bool armed = false;
+  client.Exists("/flag", true, [&](Result<ZkClient::ExistsResult> r) {
+    armed = r.ok() && !r->exists;
+  });
+  loop.RunUntil(loop.now() + Millis(500));
+  ASSERT_TRUE(armed);
+
+  faults.Crash(follower);
+  loop.RunUntil(loop.now() + Seconds(5));
+
+  EXPECT_TRUE(client.connected());
+  EXPECT_NE(client.current_server(), follower);
+  auto saw = [&](SessionEvent e) {
+    for (SessionEvent got : events) {
+      if (got == e) {
+        return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(saw(SessionEvent::kDisconnected));
+  EXPECT_TRUE(saw(SessionEvent::kSessionLost));
+  EXPECT_TRUE(saw(SessionEvent::kReconnected));
+
+  // The watch died with the session; re-arm on the new one and trigger it.
+  armed = false;
+  client.Exists("/flag", true, [&](Result<ZkClient::ExistsResult> r) {
+    armed = r.ok() && !r->exists;
+  });
+  loop.RunUntil(loop.now() + Millis(500));
+  ASSERT_TRUE(armed);
+  client.Create("/flag", "x", false, false, [](Result<std::string>) {});
+  loop.RunUntil(loop.now() + Seconds(1));
+  EXPECT_EQ(watch_fired, 1);
+}
+
+// Whole-fixture replayability: boot, crash the elected primary, restart it,
+// drive client traffic throughout — two runs under one seed must fold every
+// delivered packet and fault event to the same digest.
+TEST(ChaosTest, SameSeedFixtureRunsProduceIdenticalTraces) {
+  auto run = [](uint64_t seed) {
+    FixtureOptions options;
+    options.system = SystemKind::kZooKeeper;
+    options.num_clients = 2;
+    options.seed = seed;
+    ClusterFixture fix(options);
+    fix.faults().EnablePacketTrace();
+    fix.Start();
+
+    NodeId leader = 0;
+    for (auto& s : fix.zk_servers) {
+      if (s->running() && s->IsLeader()) {
+        leader = s->id();
+      }
+    }
+    EXPECT_NE(leader, 0);
+
+    SimTime t = fix.loop().now();
+    FaultPlan plan;
+    plan.CrashAt(t + Millis(200), leader).RestartAt(t + Seconds(3), leader);
+    fix.RunPlan(plan);
+    for (int i = 0; i < 10; ++i) {
+      fix.loop().Schedule(Millis(100) * i, [&fix, i]() {
+        fix.coord(i % 2)->Create("/trace/" + std::to_string(i), "x",
+                                 [](Result<std::string>) {});
+      });
+    }
+    fix.Settle(Seconds(8));
+    return fix.faults().TraceDigest();
+  };
+  EXPECT_EQ(run(21), run(21));
+  EXPECT_NE(run(21), run(22));
+}
+
+}  // namespace
+}  // namespace edc
