@@ -4,6 +4,8 @@
 #define EDC_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <string>
@@ -77,6 +79,67 @@ struct SeededAverages {
   RunAggregate throughput;  // ops/s
   RunAggregate latency_ms;
   RunAggregate kb_per_op;
+};
+
+// Machine-readable bench output: one row per (system, clients, seed) run,
+// written to bench_results/BENCH_<name>.json next to the human table so
+// plotting and CI-trend scripts don't have to scrape stdout.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void AddRow(SystemKind system, size_t clients, uint64_t seed, const RunStats& stats) {
+    Row row;
+    row.system = SystemName(system);
+    row.clients = clients;
+    row.seed = seed;
+    row.ops_per_s = stats.ThroughputOpsPerSec();
+    row.p50_ms = static_cast<double>(stats.latency.Percentile(0.5)) / 1e6;
+    row.p99_ms = static_cast<double>(stats.latency.Percentile(0.99)) / 1e6;
+    row.kb_per_op = stats.KbPerOp();
+    rows_.push_back(row);
+  }
+
+  // Writes bench_results/BENCH_<name>.json; failures warn and continue (the
+  // table on stdout is still the primary output).
+  void Write() const {
+    std::error_code ec;
+    std::filesystem::create_directories("bench_results", ec);
+    std::string path = "bench_results/BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return;
+    }
+    out << "{\n  \"bench\": \"" << name_ << "\",\n  \"rows\": [\n";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "    {\"system\": \"%s\", \"clients\": %zu, \"seed\": %llu, "
+                    "\"ops_per_s\": %.3f, \"p50_ms\": %.6f, \"p99_ms\": %.6f, "
+                    "\"kb_per_op\": %.6f}%s\n",
+                    r.system.c_str(), r.clients, static_cast<unsigned long long>(r.seed),
+                    r.ops_per_s, r.p50_ms, r.p99_ms, r.kb_per_op,
+                    i + 1 < rows_.size() ? "," : "");
+      out << buf;
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+  }
+
+ private:
+  struct Row {
+    std::string system;
+    size_t clients = 0;
+    uint64_t seed = 0;
+    double ops_per_s = 0;
+    double p50_ms = 0;
+    double p99_ms = 0;
+    double kb_per_op = 0;
+  };
+  std::string name_;
+  std::vector<Row> rows_;
 };
 
 }  // namespace edc

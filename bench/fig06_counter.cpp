@@ -17,6 +17,7 @@ constexpr int kSeeds = 3;
 
 void Main() {
   BenchTable table({"system", "clients", "kops_per_s", "avg_lat_ms", "retries/op"});
+  BenchJson json("fig06_counter");
   double zk50 = 0;
   double ezk50 = 0;
   for (SystemKind system : AllSystems()) {
@@ -35,6 +36,7 @@ void Main() {
           counters[i]->Increment([done = std::move(done)](Result<int64_t>) { done(); });
         });
         RunStats stats = driver.Run(kWarmup, kMeasure);
+        json.AddRow(system, clients, options.seed, stats);
         avg.throughput.Add(stats.ThroughputOpsPerSec());
         avg.latency_ms.Add(stats.MeanLatencyMs());
         int64_t total_retries = 0;
@@ -58,6 +60,7 @@ void Main() {
   }
   std::printf("=== Fig. 6: shared counter (avg of %d runs) ===\n", kSeeds);
   table.Print();
+  json.Write();
   if (zk50 > 0) {
     std::printf("\nshape check: EZK/ZooKeeper speedup at 50 clients = %.1fx "
                 "(paper: ~20x)\n",

@@ -18,6 +18,7 @@ constexpr int kSeeds = 3;
 
 void Main() {
   BenchTable table({"system", "clients", "kops_per_s", "client_kb_per_op", "retries/op"});
+  BenchJson json("fig08_queue");
   double zk50 = 0;
   double ezk50 = 0;
   double ds50 = 0;
@@ -46,6 +47,7 @@ void Main() {
           });
         });
         RunStats stats = driver.Run(kWarmup, kMeasure);
+        json.AddRow(system, clients, options.seed, stats);
         // One completed iteration = 2 operations (add + remove).
         double ops = static_cast<double>(stats.ops) * 2.0;
         avg.throughput.Add(ops / ToSeconds(kMeasure));
@@ -70,6 +72,7 @@ void Main() {
   }
   std::printf("=== Fig. 8: distributed queue (avg of %d runs) ===\n", kSeeds);
   table.Print();
+  json.Write();
   if (zk50 > 0 && ds50 > 0) {
     std::printf("\nshape check: EZK/ZooKeeper = %.1fx (paper: ~17x), "
                 "EDS/DepSpace = %.1fx (paper: ~24x)\n",

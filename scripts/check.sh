@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full local gate: configure + build, then run the three test tiers the CI
+# presets select — the plain suite, the chaos fault-injection scenarios, and
+# the model-conformance sweeps (docs/model_checking.md). Any failure aborts.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+cd "$BUILD_DIR"
+echo "== tier-1 tests =="
+ctest --output-on-failure -j "$JOBS" -LE 'chaos|model'
+echo "== chaos tests =="
+ctest --output-on-failure -j "$JOBS" -L chaos
+echo "== model-conformance tests =="
+ctest --output-on-failure -j "$JOBS" -L model
+echo "All checks passed."

@@ -1,0 +1,45 @@
+// Conformance checking of recorded histories against sequential models.
+//
+// CheckZkHistory merges the per-replica commit streams (divergence at a zxid
+// is itself a violation), replays them through ZkModel, and validates every
+// client observation: response/commit matching for writes, per-session FIFO
+// of committed writes in zxid order, read plausibility against the path's
+// state history, per-(session,path) mzxid monotonicity, one-shot watch
+// accounting (fires never exceed arms), and atomic apply of committed
+// transactions. CheckDsHistory merges the per-replica execution streams,
+// replays them through DsModel, and requires every accepted client reply to
+// match the model's reply for that (client, req_id).
+//
+// Soundness notes (checks deliberately NOT made, because the implementation
+// legitimately allows the behavior):
+//  - Reads are served from the connected replica and may be stale; they are
+//    validated against ANY state the path passed through, not the latest.
+//  - A synthetic failure (connection loss / session expiry) says nothing
+//    about whether the operation committed; such responses are exempt from
+//    commit-existence checks in both directions.
+//  - A model reply with no matching client response is fine — the response
+//    may still be in flight (or parked) when the run stops.
+
+#ifndef EDC_CHECK_CONFORMANCE_H_
+#define EDC_CHECK_CONFORMANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "edc/check/history.h"
+
+namespace edc {
+
+struct CheckReport {
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+  std::string ToString() const;  // newline-joined, "" when ok
+};
+
+CheckReport CheckZkHistory(const HistoryRecorder& history);
+CheckReport CheckDsHistory(const HistoryRecorder& history);
+
+}  // namespace edc
+
+#endif  // EDC_CHECK_CONFORMANCE_H_

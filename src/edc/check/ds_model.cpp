@@ -1,0 +1,236 @@
+#include "edc/check/ds_model.h"
+
+#include <algorithm>
+#include <variant>
+
+namespace edc {
+
+namespace {
+
+bool PathIsEm(const DsField& f) {
+  return std::holds_alternative<std::string>(f) &&
+         std::get<std::string>(f).rfind("/em", 0) == 0;
+}
+
+}  // namespace
+
+Status DsModel::CheckAccess(const DsTuple* tuple, const DsTemplate* templ) {
+  if (tuple != nullptr && !tuple->empty() && PathIsEm((*tuple)[0])) {
+    return Status(ErrorCode::kAccessDenied, "extension-manager namespace");
+  }
+  if (templ != nullptr && !templ->empty()) {
+    const DsTField& tf = (*templ)[0];
+    if (tf.kind != DsTField::Kind::kAny && PathIsEm(tf.value)) {
+      return Status(ErrorCode::kAccessDenied, "extension-manager namespace");
+    }
+  }
+  return Status::Ok();
+}
+
+bool DsModel::HasMatch(const DsTemplate& templ) const { return FindMatch(templ) >= 0; }
+
+int DsModel::FindMatch(const DsTemplate& templ) const {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (TupleMatches(templ, entries_[i].tuple)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void DsModel::Expire(SimTime ts) {
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [ts](const Entry& e) {
+                                  return e.deadline != 0 && e.deadline <= ts;
+                                }),
+                 entries_.end());
+}
+
+void DsModel::Unblock(const DsTuple& created, std::vector<DsModelReply>* replies) {
+  // All non-consuming (rd) waiters whose template matches, in list order; the
+  // reply carries the created tuple itself, as long as some match remains.
+  auto it = waiters_.begin();
+  while (it != waiters_.end()) {
+    if (it->consume || !TupleMatches(it->templ, created) || !HasMatch(it->templ)) {
+      ++it;
+      continue;
+    }
+    DsReply reply;
+    reply.tuples.push_back(created);
+    replies->push_back(DsModelReply{it->client, it->req_id, std::move(reply)});
+    it = waiters_.erase(it);
+  }
+  // The single oldest consuming (in) waiter; it removes the first tuple its
+  // own template matches, which may differ from the created one.
+  Waiter* best = nullptr;
+  for (Waiter& w : waiters_) {
+    if (w.consume && TupleMatches(w.templ, created) &&
+        (best == nullptr || w.order < best->order)) {
+      best = &w;
+    }
+  }
+  if (best == nullptr) {
+    return;
+  }
+  int idx = FindMatch(best->templ);
+  if (idx < 0) {
+    return;
+  }
+  DsReply reply;
+  reply.tuples.push_back(entries_[static_cast<size_t>(idx)].tuple);
+  replies->push_back(DsModelReply{best->client, best->req_id, std::move(reply)});
+  entries_.erase(entries_.begin() + idx);
+  uint64_t order = best->order;
+  waiters_.erase(std::remove_if(waiters_.begin(), waiters_.end(),
+                                [order](const Waiter& w) { return w.order == order; }),
+                 waiters_.end());
+}
+
+std::vector<DsModelReply> DsModel::Execute(SimTime ts, NodeId client, uint64_t req_id,
+                                           const std::vector<uint8_t>& payload) {
+  std::vector<DsModelReply> replies;
+  auto reply_error = [&](const Status& s) {
+    DsReply reply;
+    reply.code = s.code();
+    reply.value = s.message();
+    replies.push_back(DsModelReply{client, req_id, std::move(reply)});
+  };
+  auto reply_ok = [&](DsReply reply) {
+    replies.push_back(DsModelReply{client, req_id, std::move(reply)});
+  };
+
+  Expire(ts);
+
+  auto op = DsOp::Decode(payload);
+  if (!op.ok()) {
+    reply_error(Status(ErrorCode::kDecodeError));
+    return replies;
+  }
+
+  switch (op->type) {
+    case DsOpType::kOut: {
+      if (auto s = CheckAccess(&op->tuple, nullptr); !s.ok()) {
+        reply_error(s);
+        break;
+      }
+      DsTuple created = op->tuple;
+      entries_.push_back(Entry{op->tuple, op->lease > 0 ? ts + op->lease : 0, client});
+      reply_ok(DsReply{});
+      Unblock(created, &replies);
+      break;
+    }
+    case DsOpType::kRdp: {
+      if (auto s = CheckAccess(nullptr, &op->templ); !s.ok()) {
+        reply_error(s);
+        break;
+      }
+      int idx = FindMatch(op->templ);
+      if (idx < 0) {
+        reply_error(Status(ErrorCode::kNoNode, "no matching tuple"));
+        break;
+      }
+      DsReply reply;
+      reply.tuples.push_back(entries_[static_cast<size_t>(idx)].tuple);
+      reply_ok(std::move(reply));
+      break;
+    }
+    case DsOpType::kInp: {
+      if (auto s = CheckAccess(nullptr, &op->templ); !s.ok()) {
+        reply_error(s);
+        break;
+      }
+      int idx = FindMatch(op->templ);
+      if (idx < 0) {
+        reply_error(Status(ErrorCode::kNoNode, "no matching tuple"));
+        break;
+      }
+      DsReply reply;
+      reply.tuples.push_back(entries_[static_cast<size_t>(idx)].tuple);
+      entries_.erase(entries_.begin() + idx);
+      reply_ok(std::move(reply));
+      break;
+    }
+    case DsOpType::kRd:
+    case DsOpType::kIn: {
+      bool consume = op->type == DsOpType::kIn;
+      if (auto s = CheckAccess(nullptr, &op->templ); !s.ok()) {
+        reply_error(s);
+        break;
+      }
+      int idx = FindMatch(op->templ);
+      if (idx >= 0) {
+        DsReply reply;
+        reply.tuples.push_back(entries_[static_cast<size_t>(idx)].tuple);
+        if (consume) {
+          entries_.erase(entries_.begin() + idx);
+        }
+        reply_ok(std::move(reply));
+      } else {
+        waiters_.push_back(Waiter{op->templ, client, req_id, consume, next_waiter_order_++});
+      }
+      break;
+    }
+    case DsOpType::kCas: {
+      if (auto s = CheckAccess(&op->tuple, &op->templ); !s.ok()) {
+        reply_error(s);
+        break;
+      }
+      if (HasMatch(op->templ)) {
+        reply_error(Status(ErrorCode::kNodeExists, "template already matched"));
+        break;
+      }
+      DsTuple created = op->tuple;
+      entries_.push_back(Entry{op->tuple, op->lease > 0 ? ts + op->lease : 0, client});
+      reply_ok(DsReply{});
+      Unblock(created, &replies);
+      break;
+    }
+    case DsOpType::kReplace: {
+      if (auto s = CheckAccess(&op->tuple, &op->templ); !s.ok()) {
+        reply_error(s);
+        break;
+      }
+      int idx = FindMatch(op->templ);
+      if (idx < 0) {
+        reply_error(Status(ErrorCode::kNoNode, "no matching tuple"));
+        break;
+      }
+      entries_.erase(entries_.begin() + idx);
+      // Replacement tuples carry no lease and raise a "changed" event, which
+      // never unblocks waiters (see DsExecContext::Replace).
+      entries_.push_back(Entry{op->tuple, 0, client});
+      reply_ok(DsReply{});
+      break;
+    }
+    case DsOpType::kRdAll: {
+      DsReply reply;
+      if (CheckAccess(nullptr, &op->templ).ok()) {
+        for (const Entry& e : entries_) {
+          if (TupleMatches(op->templ, e.tuple)) {
+            reply.tuples.push_back(e.tuple);
+          }
+        }
+      }
+      // ACL denial yields an empty OK reply (DsExecContext::RdAll swallows
+      // the status); mirror the quirk.
+      reply_ok(std::move(reply));
+      break;
+    }
+    case DsOpType::kRenew: {
+      size_t count = 0;
+      for (Entry& e : entries_) {
+        if (e.deadline != 0 && e.owner == client && TupleMatches(op->templ, e.tuple)) {
+          e.deadline = ts + op->lease;
+          ++count;
+        }
+      }
+      DsReply reply;
+      reply.value = std::to_string(count);
+      reply_ok(std::move(reply));
+      break;
+    }
+  }
+  return replies;
+}
+
+}  // namespace edc

@@ -1,0 +1,490 @@
+#include "edc/check/explorer.h"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "edc/check/history.h"
+#include "edc/common/rng.h"
+#include "edc/harness/invariants.h"
+
+namespace edc {
+
+namespace {
+
+constexpr Duration kOpTimeout = Millis(2000);
+constexpr Duration kWorkloadDeadline = Seconds(15);
+constexpr Duration kDrainTime = Seconds(3);
+
+std::string MillisStr(Duration d) { return std::to_string(d / 1000000) + "ms"; }
+
+// Drives one client through a seeded sequence of operations. Each operation
+// is raced against a timeout: a pending ZK call can legitimately hang
+// forever (parked across a reconnect, or a blocking DS read with no matching
+// tuple), and the workload must keep making progress through fault windows.
+// The generation counter makes whichever of {completion, timeout} fires
+// first claim the advance; the loser becomes a no-op.
+class Worker {
+ public:
+  Worker(EventLoop* loop, uint64_t seed, size_t ops)
+      : loop_(loop), rng_(seed), remaining_(ops) {}
+  virtual ~Worker() = default;
+
+  void Start() { Next(); }
+  bool done() const { return done_; }
+
+  // Quiesces the worker: every timer callback still queued in the loop
+  // (op timeouts, rescheduled Next calls) becomes a no-op. The worker must
+  // stay alive until the loop stops running — its callbacks capture `this`.
+  void Stop() {
+    remaining_ = 0;
+    ++gen_;
+  }
+
+ protected:
+  virtual void Issue(std::function<void()> done) = 0;
+
+  EventLoop* loop_;
+  Rng rng_;
+
+ private:
+  void Next() {
+    if (remaining_ == 0) {
+      done_ = true;
+      return;
+    }
+    --remaining_;
+    uint64_t cur = ++gen_;
+    auto advance = [this, cur] {
+      if (cur != gen_) {
+        return;
+      }
+      ++gen_;  // claim; the other of {completion, timeout} is now a no-op
+      loop_->Schedule(Millis(5 + rng_.UniformU64(40)), [this] { Next(); });
+    };
+    loop_->Schedule(kOpTimeout, advance);
+    Issue(std::move(advance));
+  }
+
+  size_t remaining_;
+  uint64_t gen_ = 0;
+  bool done_ = false;
+};
+
+class ZkWorker : public Worker {
+ public:
+  ZkWorker(EventLoop* loop, ZkClient* client, uint64_t seed, size_t ops)
+      : Worker(loop, seed, ops), client_(client) {}
+
+ protected:
+  void Issue(std::function<void()> done) override {
+    if (!made_root_) {
+      made_root_ = true;
+      client_->Create("/w", "", false, false, [done](Result<std::string>) { done(); });
+      return;
+    }
+    static const char* kNames[] = {"a", "b", "c", "d", "e", "f"};
+    std::string path = std::string("/w/") + kNames[rng_.UniformU64(6)];
+    std::string data = "v" + std::to_string(rng_.UniformU64(1000));
+    bool watch = rng_.UniformU64(2) == 0;
+    uint64_t pick = rng_.UniformU64(100);
+    if (pick < 25) {
+      bool ephemeral = rng_.UniformU64(4) == 0;
+      bool sequential = rng_.UniformU64(4) == 0;
+      client_->Create(path, data, ephemeral, sequential,
+                      [done](Result<std::string>) { done(); });
+    } else if (pick < 40) {
+      client_->SetData(path, data, -1, [done](Status) { done(); });
+    } else if (pick < 50) {
+      client_->Delete(path, -1, [done](Status) { done(); });
+    } else if (pick < 65) {
+      client_->Exists(path, watch, [done](Result<ZkClient::ExistsResult>) { done(); });
+    } else if (pick < 80) {
+      client_->GetData(path, watch, [done](Result<ZkClient::NodeResult>) { done(); });
+    } else if (pick < 90) {
+      client_->GetChildren(rng_.UniformU64(2) == 0 ? "/w" : path, watch,
+                           [done](Result<std::vector<std::string>>) { done(); });
+    } else {
+      ZkOp create;
+      create.type = ZkOpType::kCreate;
+      create.path = path + "/m";
+      create.data = data;
+      ZkOp set;
+      set.type = ZkOpType::kSetData;
+      set.path = path;
+      set.data = data + "m";
+      client_->Multi({create, set}, [done](Status) { done(); });
+    }
+  }
+
+ private:
+  ZkClient* client_;
+  bool made_root_ = false;
+};
+
+class DsWorker : public Worker {
+ public:
+  DsWorker(EventLoop* loop, DsClient* client, uint64_t seed, size_t ops)
+      : Worker(loop, seed, ops), client_(client) {}
+
+ protected:
+  void Issue(std::function<void()> done) override {
+    std::string key = "k" + std::to_string(rng_.UniformU64(4));
+    DsTuple tuple{DsField{std::string("/w")}, DsField{key},
+                  DsField{static_cast<int64_t>(rng_.UniformU64(100))}};
+    DsTemplate exact{DsTField::Exact(std::string("/w")), DsTField::Exact(key),
+                     DsTField::Any()};
+    DsTemplate broad{DsTField::Prefix("/w"), DsTField::Any(), DsTField::Any()};
+    auto cb = [done](Result<DsReply>) { done(); };
+    uint64_t pick = rng_.UniformU64(100);
+    if (pick < 30) {
+      if (rng_.UniformU64(4) == 0) {
+        DsOp op;
+        op.type = DsOpType::kOut;
+        op.tuple = tuple;
+        op.lease = Seconds(2);
+        client_->Call(std::move(op), cb);
+      } else {
+        client_->Out(tuple, cb);
+      }
+    } else if (pick < 45) {
+      client_->Rdp(exact, cb);
+    } else if (pick < 58) {
+      client_->Inp(exact, cb);
+    } else if (pick < 70) {
+      client_->RdAll(broad, cb);
+    } else if (pick < 80) {
+      client_->Cas(exact, tuple, cb);
+    } else if (pick < 88) {
+      client_->Replace(exact, tuple, cb);
+    } else if (pick < 94) {
+      DsOp op;
+      op.type = DsOpType::kRenew;
+      op.templ = broad;
+      op.lease = Seconds(2);
+      client_->Call(std::move(op), cb);
+    } else if (pick < 97) {
+      client_->Rd(exact, cb);  // blocks until a match appears
+    } else {
+      client_->In(exact, cb);
+    }
+  }
+
+ private:
+  DsClient* client_;
+};
+
+// Deterministic two-client sequence: create /w, arm an exists-watch on
+// /w/flag from client 0, create it from client 1. With an honest server this
+// fires the watch exactly once; a double-firing server is caught by the
+// checker's one-shot accounting.
+void RunWatchPair(CoordFixture& fx) {
+  ZkClient* armer = fx.zk_client(0);
+  ZkClient* creator = fx.zk_client(1);
+  bool finished = false;
+  creator->Create("/w", "", false, false, [&](Result<std::string>) {
+    armer->Exists("/w/flag", true, [&](Result<ZkClient::ExistsResult>) {
+      creator->Create("/w/flag", "x", false, false,
+                      [&](Result<std::string>) { finished = true; });
+    });
+  });
+  SimTime deadline = fx.loop().now() + Seconds(10);
+  while (!finished && fx.loop().now() < deadline) {
+    fx.Settle(Millis(100));
+  }
+}
+
+}  // namespace
+
+FaultPlan PlanSpec::Build(SimTime base) const {
+  FaultPlan plan;
+  for (const PlanEpisode& ep : episodes) {
+    SimTime at = base + ep.start;
+    SimTime end = at + ep.duration;
+    switch (ep.kind) {
+      case EpisodeKind::kCrashRestart:
+        plan.CrashAt(at, ep.node);
+        plan.RestartAt(end, ep.node);
+        break;
+      case EpisodeKind::kPartition:
+        plan.PartitionAt(at, ep.group_a, ep.group_b);
+        plan.HealAt(end);
+        break;
+      case EpisodeKind::kLinkDelay:
+        plan.LinkFaultsAt(at, ep.link_a, ep.link_b, LinkFaults{0.0, 0.0, ep.delay});
+        plan.ClearLinkFaultsAt(end, ep.link_a, ep.link_b);
+        break;
+      case EpisodeKind::kLinkDup:
+        plan.LinkFaultsAt(at, ep.link_a, ep.link_b,
+                          LinkFaults{0.0, ep.dup_probability, 0});
+        plan.ClearLinkFaultsAt(end, ep.link_a, ep.link_b);
+        break;
+    }
+  }
+  return plan;
+}
+
+std::string PlanSpec::ToString() const {
+  if (episodes.empty()) {
+    return "(no fault episodes)";
+  }
+  std::ostringstream os;
+  for (const PlanEpisode& ep : episodes) {
+    os << "  ";
+    switch (ep.kind) {
+      case EpisodeKind::kCrashRestart:
+        os << "crash-restart node=" << ep.node;
+        break;
+      case EpisodeKind::kPartition: {
+        os << "partition {";
+        for (size_t i = 0; i < ep.group_a.size(); ++i) {
+          os << (i ? "," : "") << ep.group_a[i];
+        }
+        os << "}|{";
+        for (size_t i = 0; i < ep.group_b.size(); ++i) {
+          os << (i ? "," : "") << ep.group_b[i];
+        }
+        os << "}";
+        break;
+      }
+      case EpisodeKind::kLinkDelay:
+        os << "link-delay " << ep.link_a << "<->" << ep.link_b << " +"
+           << MillisStr(ep.delay);
+        break;
+      case EpisodeKind::kLinkDup:
+        os << "link-dup " << ep.link_a << "<->" << ep.link_b
+           << " p=" << ep.dup_probability;
+        break;
+    }
+    os << " start=+" << MillisStr(ep.start) << " dur=" << MillisStr(ep.duration) << "\n";
+  }
+  return os.str();
+}
+
+PlanSpec GeneratePlan(SystemKind system, uint64_t seed) {
+  bool zk = IsZkFamily(system);
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + (zk ? 1 : 2));
+  PlanSpec spec;
+  size_t count = 1 + rng.UniformU64(3);
+  SimTime cursor = Millis(500 + rng.UniformU64(500));
+  for (size_t i = 0; i < count; ++i) {
+    PlanEpisode ep;
+    ep.start = cursor;
+    ep.duration = Millis(300 + rng.UniformU64(900));
+    if (zk) {
+      // Servers are {1,2,3}. No drops/dups between Zab peers (see header).
+      switch (rng.UniformU64(3)) {
+        case 0: {
+          ep.kind = EpisodeKind::kCrashRestart;
+          ep.node = static_cast<NodeId>(1 + rng.UniformU64(3));
+          break;
+        }
+        case 1: {
+          ep.kind = EpisodeKind::kPartition;
+          NodeId lone = static_cast<NodeId>(1 + rng.UniformU64(3));
+          ep.group_a = {lone};
+          for (NodeId n = 1; n <= 3; ++n) {
+            if (n != lone) {
+              ep.group_b.push_back(n);
+            }
+          }
+          break;
+        }
+        default: {
+          ep.kind = EpisodeKind::kLinkDelay;
+          ep.link_a = static_cast<NodeId>(1 + rng.UniformU64(3));
+          do {
+            ep.link_b = static_cast<NodeId>(1 + rng.UniformU64(3));
+          } while (ep.link_b == ep.link_a);
+          ep.delay = Millis(20 + rng.UniformU64(100));
+          break;
+        }
+      }
+    } else {
+      // Servers are {1,2,3,4}, f=1 (quorum 3): a 2-2 split stalls ordering
+      // entirely and must heal cleanly. No crash/restart — PBFT state
+      // transfer is out of scope for this replica implementation.
+      switch (rng.UniformU64(3)) {
+        case 0: {
+          ep.kind = EpisodeKind::kPartition;
+          NodeId mate = static_cast<NodeId>(2 + rng.UniformU64(3));
+          ep.group_a = {1, mate};
+          for (NodeId n = 2; n <= 4; ++n) {
+            if (n != mate) {
+              ep.group_b.push_back(n);
+            }
+          }
+          break;
+        }
+        case 1: {
+          ep.kind = EpisodeKind::kLinkDelay;
+          ep.link_a = static_cast<NodeId>(1 + rng.UniformU64(4));
+          do {
+            ep.link_b = static_cast<NodeId>(1 + rng.UniformU64(4));
+          } while (ep.link_b == ep.link_a);
+          ep.delay = Millis(20 + rng.UniformU64(100));
+          break;
+        }
+        default: {
+          ep.kind = EpisodeKind::kLinkDup;
+          ep.link_a = static_cast<NodeId>(1 + rng.UniformU64(4));
+          do {
+            ep.link_b = static_cast<NodeId>(1 + rng.UniformU64(4));
+          } while (ep.link_b == ep.link_a);
+          ep.dup_probability = 0.2 + 0.1 * static_cast<double>(rng.UniformU64(5));
+          break;
+        }
+      }
+    }
+    cursor = ep.start + ep.duration + Millis(200 + rng.UniformU64(600));
+    spec.episodes.push_back(std::move(ep));
+  }
+  return spec;
+}
+
+ScheduleResult RunSchedule(const ExplorerOptions& options, const PlanSpec& plan) {
+  ScheduleResult result;
+  result.plan = plan;
+
+  FixtureOptions fo;
+  fo.system = options.system;
+  fo.num_clients = std::max<size_t>(
+      options.workload == ExplorerOptions::Workload::kWatchPair ? 2 : 1,
+      options.num_clients);
+  fo.seed = options.seed;
+  fo.zk_server.test_double_fire_watches = options.double_fire_bug;
+  // Fast failover so a schedule's fault windows are survivable within the
+  // run: short session timeout, frequent pings, quick reconnect.
+  fo.zk_client.session_timeout = Millis(1500);
+  fo.zk_client.ping_interval = Millis(300);
+  fo.zk_client.reconnect = ReconnectOptions{Millis(200), Seconds(1), 0};
+  fo.ds_client.reconnect = ReconnectOptions{Millis(300), Seconds(2), 0};
+
+  HistoryRecorder recorder;  // outlives the fixture: observers capture it
+  CoordFixture fx(fo);
+  fx.Start();
+  recorder.Attach(fx);
+
+  SimTime base = fx.loop().now();
+  fx.RunPlan(plan.Build(base));
+  SimTime plan_end = base;
+  for (const PlanEpisode& ep : plan.episodes) {
+    plan_end = std::max(plan_end, base + ep.start + ep.duration);
+  }
+
+  bool zk = IsZkFamily(options.system);
+  // Declared at function scope: worker timer callbacks capture raw worker
+  // pointers and may still be queued in the loop during the drain settles
+  // below, so the workers must outlive every Settle call.
+  std::vector<std::unique_ptr<Worker>> workers;
+  if (options.workload == ExplorerOptions::Workload::kWatchPair) {
+    RunWatchPair(fx);
+  } else {
+    for (size_t i = 0; i < fo.num_clients; ++i) {
+      uint64_t wseed = options.seed * 7919 + i + 1;
+      if (zk) {
+        workers.push_back(std::make_unique<ZkWorker>(&fx.loop(), fx.zk_client(i), wseed,
+                                                     options.ops_per_client));
+      } else {
+        workers.push_back(std::make_unique<DsWorker>(&fx.loop(), fx.ds_client(i), wseed,
+                                                     options.ops_per_client));
+      }
+    }
+    for (auto& w : workers) {
+      w->Start();
+    }
+    SimTime deadline = std::max(base + kWorkloadDeadline, plan_end);
+    auto all_done = [&workers] {
+      for (const auto& w : workers) {
+        if (!w->done()) {
+          return false;
+        }
+      }
+      return true;
+    };
+    while (fx.loop().now() < deadline && !all_done()) {
+      fx.Settle(Millis(100));
+    }
+    for (auto& w : workers) {
+      w->Stop();  // drain below completes in-flight ops, issues nothing new
+    }
+  }
+  if (fx.loop().now() < plan_end) {
+    fx.Settle(plan_end - fx.loop().now());
+  }
+  fx.faults().Heal();
+  fx.Settle(kDrainTime);
+
+  CheckReport report = zk ? CheckZkHistory(recorder) : CheckDsHistory(recorder);
+  result.num_calls = zk ? recorder.zk_calls.size() : recorder.ds_calls.size();
+  result.num_responses = zk ? recorder.zk_responses.size() : recorder.ds_responses.size();
+  result.num_commits = zk ? recorder.zk_commits.size() : recorder.ds_execs.size();
+  result.violations = std::move(report.violations);
+  if (zk) {
+    std::string why;
+    if (!PrefixConsistentLogs(fx.zk_servers, &why)) {
+      result.violations.push_back("prefix-consistent logs violated: " + why);
+    }
+  }
+  result.passed = result.violations.empty();
+  return result;
+}
+
+PlanSpec ShrinkPlan(const ExplorerOptions& options, const PlanSpec& plan) {
+  auto still_fails = [&options](const PlanSpec& candidate) {
+    return !RunSchedule(options, candidate).passed;
+  };
+  PlanSpec current = plan;
+  // Pass 1: greedily drop whole episodes.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t i = 0; i < current.episodes.size(); ++i) {
+      PlanSpec candidate = current;
+      candidate.episodes.erase(candidate.episodes.begin() + i);
+      if (still_fails(candidate)) {
+        current = std::move(candidate);
+        progress = true;
+        break;
+      }
+    }
+  }
+  // Pass 2: halve durations and delays of what remains (two rounds).
+  for (int round = 0; round < 2; ++round) {
+    for (size_t i = 0; i < current.episodes.size(); ++i) {
+      if (current.episodes[i].duration < Millis(100)) {
+        continue;
+      }
+      PlanSpec candidate = current;
+      candidate.episodes[i].duration /= 2;
+      candidate.episodes[i].delay /= 2;
+      if (still_fails(candidate)) {
+        current = std::move(candidate);
+      }
+    }
+  }
+  return current;
+}
+
+ScheduleResult ExploreOne(const ExplorerOptions& options) {
+  PlanSpec plan = GeneratePlan(options.system, options.seed);
+  ScheduleResult result = RunSchedule(options, plan);
+  if (!result.passed) {
+    PlanSpec shrunk = ShrinkPlan(options, plan);
+    result = RunSchedule(options, shrunk);
+    result.plan = shrunk;
+    if (result.passed) {
+      // Shrinking must preserve failure by construction; if the final rerun
+      // passes, report the original so the caller still sees the violation.
+      result = RunSchedule(options, plan);
+      result.plan = plan;
+    }
+  }
+  return result;
+}
+
+}  // namespace edc

@@ -1,0 +1,104 @@
+// Randomized schedule explorer for conformance checking.
+//
+// A PlanSpec is a small, shrinkable fault-schedule grammar on top of
+// FaultPlan: a sequence of non-overlapping episodes (crash+restart,
+// partition+heal, degraded link windows) with times relative to a base
+// instant. GeneratePlan draws a spec from the grammar for a seed (the same
+// seed always yields the same spec); RunSchedule boots a fixture, attaches a
+// HistoryRecorder, drives a seeded client workload while the plan executes,
+// and runs the conformance checker over the recorded history. On a
+// violation, ShrinkPlan delta-debugs the spec — dropping episodes, then
+// halving durations and delays — to a minimal plan that still reproduces it.
+//
+// Grammar soundness: faults only ever target server-server links and server
+// processes, never the client side. Client-visible packet duplication or
+// loss would produce histories the checker correctly flags but the real
+// protocols do not defend against (a duplicated reply or watch-event packet
+// is indistinguishable from a server bug). For the ZooKeeper family the
+// grammar additionally avoids drops and duplicates even between servers:
+// Zab's pairwise streams assume the FIFO transport the simulator provides,
+// and a duplicated forwarded write would legitimately commit twice.
+
+#ifndef EDC_CHECK_EXPLORER_H_
+#define EDC_CHECK_EXPLORER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "edc/check/conformance.h"
+#include "edc/harness/fixture.h"
+
+namespace edc {
+
+enum class EpisodeKind : uint8_t {
+  kCrashRestart,  // crash `node`, restart after `duration`
+  kPartition,     // partition group_a | group_b, heal after `duration`
+  kLinkDelay,     // add `delay` to link (link_a, link_b) for `duration`
+  kLinkDup,       // duplicate packets on link (link_a, link_b) for `duration`
+};
+
+struct PlanEpisode {
+  EpisodeKind kind = EpisodeKind::kCrashRestart;
+  NodeId node = 0;
+  std::vector<NodeId> group_a;
+  std::vector<NodeId> group_b;
+  NodeId link_a = 0;
+  NodeId link_b = 0;
+  Duration delay = 0;
+  double dup_probability = 0.0;
+  SimTime start = 0;  // relative to the plan base passed to Build()
+  Duration duration = 0;
+};
+
+struct PlanSpec {
+  std::vector<PlanEpisode> episodes;
+
+  FaultPlan Build(SimTime base) const;
+  // One line per episode, readable and sufficient to reconstruct the spec.
+  std::string ToString() const;
+};
+
+struct ExplorerOptions {
+  SystemKind system = SystemKind::kZooKeeper;
+  uint64_t seed = 1;
+  size_t num_clients = 3;
+  size_t ops_per_client = 12;
+  enum class Workload {
+    kRandom,     // seeded mixed operations on a shared namespace
+    kWatchPair,  // deterministic: client 0 arms a watch, client 1 trips it
+  };
+  Workload workload = Workload::kRandom;
+  // Plants ZkServerOptions::test_double_fire_watches on every replica; the
+  // negative tests prove the checker catches and shrinks it.
+  bool double_fire_bug = false;
+};
+
+struct ScheduleResult {
+  bool passed = true;
+  std::vector<std::string> violations;
+  PlanSpec plan;  // the plan that produced `violations` (shrunk if explored)
+  // History volume, so callers can assert a schedule exercised the system
+  // (an empty history passes every check vacuously).
+  size_t num_calls = 0;
+  size_t num_responses = 0;
+  size_t num_commits = 0;  // ZK commit records / DS exec records
+};
+
+// Deterministic draw from the per-family fault grammar.
+PlanSpec GeneratePlan(SystemKind system, uint64_t seed);
+
+// One complete run: fixture + recorder + workload + plan + checker.
+ScheduleResult RunSchedule(const ExplorerOptions& options, const PlanSpec& plan);
+
+// Requires RunSchedule(options, plan) to fail; returns a locally minimal
+// spec that still fails (greedy episode drops, then duration/delay halving).
+PlanSpec ShrinkPlan(const ExplorerOptions& options, const PlanSpec& plan);
+
+// GeneratePlan + RunSchedule, shrinking on violation. The returned result's
+// violations are those of the *shrunk* plan.
+ScheduleResult ExploreOne(const ExplorerOptions& options);
+
+}  // namespace edc
+
+#endif  // EDC_CHECK_EXPLORER_H_

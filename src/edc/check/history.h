@@ -1,0 +1,117 @@
+// History recording for model-conformance checking.
+//
+// A HistoryRecorder taps the observer hooks of every client and server in a
+// CoordFixture and captures the complete externally visible history of a run:
+// each client invocation, each response delivered to a callback (including
+// synthetic client-side failures), each watch event, and the server-side
+// stream of committed/ordered operations per replica. The conformance checker
+// (conformance.h) replays the server streams through a sequential model and
+// validates the client-side records against it.
+//
+// Records share one global order counter so cross-stream interleaving at a
+// single client is preserved (the checker relies on per-session receive order
+// for its monotonicity and FIFO checks; the simulator is single-threaded, so
+// the counter is a faithful total order of observation).
+
+#ifndef EDC_CHECK_HISTORY_H_
+#define EDC_CHECK_HISTORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "edc/bft/messages.h"
+#include "edc/common/result.h"
+#include "edc/ds/types.h"
+#include "edc/sim/network.h"
+#include "edc/sim/time.h"
+#include "edc/zk/txn.h"
+#include "edc/zk/types.h"
+
+namespace edc {
+
+class CoordFixture;
+
+struct ZkCallRecord {
+  uint64_t order = 0;
+  NodeId client = 0;
+  uint64_t session = 0;
+  uint64_t req_id = 0;
+  ZkOp op;
+  SimTime at = 0;
+};
+
+struct ZkResponseRecord {
+  uint64_t order = 0;
+  NodeId client = 0;
+  uint64_t req_id = 0;
+  ZkReplyMsg reply;
+  bool synthetic = false;  // generated client-side, not received off the wire
+  SimTime at = 0;
+};
+
+struct ZkWatchRecord {
+  uint64_t order = 0;
+  NodeId client = 0;
+  uint64_t session = 0;  // session at delivery time (0 if between sessions)
+  ZkWatchEventMsg event;
+  SimTime at = 0;
+};
+
+struct ZkCommitRecord {
+  uint64_t order = 0;
+  NodeId replica = 0;
+  uint64_t zxid = 0;
+  ZkTxn txn;
+  uint64_t txn_hash = 0;
+};
+
+struct DsCallRecord {
+  uint64_t order = 0;
+  NodeId client = 0;
+  uint64_t req_id = 0;
+  DsOp op;
+  SimTime at = 0;
+};
+
+struct DsResponseRecord {
+  uint64_t order = 0;
+  NodeId client = 0;
+  uint64_t req_id = 0;
+  Result<DsReply> result{ErrorCode::kInternal};
+  SimTime at = 0;
+};
+
+struct DsExecRecord {
+  uint64_t order = 0;
+  NodeId replica = 0;
+  uint64_t seq = 0;
+  SimTime ts = 0;  // ordered timestamp the replica executed against
+  NodeId client = 0;
+  uint64_t req_id = 0;
+  std::vector<uint8_t> payload;
+};
+
+class HistoryRecorder {
+ public:
+  // Installs observers on every client and server of `fixture`; call after
+  // fixture.Start(). The recorder must outlive the fixture's event-loop runs
+  // (the observers capture `this`).
+  void Attach(CoordFixture& fixture);
+
+  std::vector<ZkCallRecord> zk_calls;
+  std::vector<ZkResponseRecord> zk_responses;
+  std::vector<ZkWatchRecord> zk_watches;
+  std::vector<ZkCommitRecord> zk_commits;
+  std::vector<DsCallRecord> ds_calls;
+  std::vector<DsResponseRecord> ds_responses;
+  std::vector<DsExecRecord> ds_execs;
+
+  uint64_t NextOrder() { return ++next_order_; }
+
+ private:
+  uint64_t next_order_ = 0;
+};
+
+}  // namespace edc
+
+#endif  // EDC_CHECK_HISTORY_H_

@@ -1,0 +1,68 @@
+// Executable sequential model of the ZooKeeper-like service state machine.
+//
+// The model replays committed transactions (ZkTxn, as broadcast by the
+// leader) against a flat-map data tree that mirrors DataTree semantics
+// exactly: stat bookkeeping (czxid/mzxid/pzxid, versions, num_children),
+// ephemeral ownership, parent/child constraints, and the attempt-and-skip
+// behavior of ZkServer::ApplyTxn. The conformance checker compares client
+// observations against the state sequence this model produces.
+
+#ifndef EDC_CHECK_ZK_MODEL_H_
+#define EDC_CHECK_ZK_MODEL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "edc/zk/txn.h"
+#include "edc/zk/types.h"
+
+namespace edc {
+
+struct ZkModelNode {
+  std::string data;
+  ZkStat stat;
+};
+
+struct ZkModelApplyResult {
+  // One entry per client-visible op (kCreate/kDelete/kSetData) that failed to
+  // apply. The real server skips such ops and keeps going; a committed client
+  // transaction containing one means prep validated against a different state
+  // than apply saw — broken atomicity.
+  std::vector<std::string> failures;
+  // Every path whose node (or child list) changed, including deleted paths
+  // and parents; the checker re-snapshots these for its per-path histories.
+  std::vector<std::string> touched;
+};
+
+class ZkModel {
+ public:
+  ZkModel();  // boots with "/" and "/em", matching ZkServer::Start()
+
+  ZkModelApplyResult Apply(uint64_t zxid, const ZkTxn& txn);
+
+  bool Exists(const std::string& path) const { return nodes_.count(path) > 0; }
+  const ZkModelNode* Get(const std::string& path) const;
+  // Direct child names in lexicographic order (matches DataTree::GetChildren).
+  std::vector<std::string> Children(const std::string& path) const;
+  bool SessionKnown(uint64_t session) const { return sessions_.count(session) > 0; }
+  const std::map<std::string, ZkModelNode>& nodes() const { return nodes_; }
+
+ private:
+  Status CreateNode(const std::string& path, const std::string& data,
+                    uint64_t ephemeral_owner, uint64_t zxid, SimTime time);
+  Status DeleteNode(const std::string& path, uint64_t zxid);
+  Status SetNodeData(const std::string& path, const std::string& data, uint64_t zxid,
+                     SimTime time);
+  // Preorder DFS, children in name order — mirrors DataTree::EphemeralsOf.
+  void CollectEphemerals(const std::string& path, uint64_t session,
+                         std::vector<std::string>* out) const;
+
+  std::map<std::string, ZkModelNode> nodes_;
+  std::map<uint64_t, uint32_t> sessions_;  // session -> owner replica
+};
+
+}  // namespace edc
+
+#endif  // EDC_CHECK_ZK_MODEL_H_

@@ -19,7 +19,10 @@ void DsClient::Call(DsOp op, ReplyCb done) {
   call.op = std::move(op);
   call.done = std::move(done);
   call.backoff = options_.reconnect.initial_backoff;
-  calls_.emplace(req_id, std::move(call));
+  auto it = calls_.emplace(req_id, std::move(call)).first;
+  if (observer_.on_call) {
+    observer_.on_call(req_id, it->second.op);
+  }
   Transmit(req_id);
   ArmRetry(req_id);
 }
@@ -58,7 +61,11 @@ void DsClient::ArmRetry(uint64_t req_id) {
         it->second.attempts >= options_.reconnect.max_attempts) {
       ReplyCb done = std::move(it->second.done);
       calls_.erase(it);
-      done(Status(ErrorCode::kConnectionLoss, "retransmit attempts exhausted"));
+      Result<DsReply> result{Status(ErrorCode::kConnectionLoss, "retransmit attempts exhausted")};
+      if (observer_.on_reply) {
+        observer_.on_reply(req_id, result);
+      }
+      done(std::move(result));
       return;
     }
     // Blocking rd/in legitimately wait; retransmissions are deduplicated by
@@ -89,17 +96,21 @@ void DsClient::HandlePacket(Packet&& pkt) {
     return;
   }
   ReplyCb done = std::move(it->second.done);
+  uint64_t req_id = reply->req_id;
   calls_.erase(it);
+  Result<DsReply> result{Status(ErrorCode::kInternal, "")};
   auto decoded = DsReply::Decode(reply->payload);
   if (!decoded.ok()) {
-    done(decoded.status());
-    return;
+    result = decoded.status();
+  } else if (decoded->code != ErrorCode::kOk) {
+    result = Status(decoded->code, decoded->value);
+  } else {
+    result = std::move(*decoded);
   }
-  if (decoded->code != ErrorCode::kOk) {
-    done(Status(decoded->code, decoded->value));
-    return;
+  if (observer_.on_reply) {
+    observer_.on_reply(req_id, result);
   }
-  done(std::move(*decoded));
+  done(std::move(result));
 }
 
 void DsClient::Out(DsTuple tuple, ReplyCb done) {

@@ -36,6 +36,14 @@ struct DsClientOptions {
   ReconnectOptions reconnect{Seconds(1), Seconds(8), 0};
 };
 
+// Observation hooks for the model-conformance checker (src/edc/check): every
+// operation submitted and every result delivered to a callback (vote
+// completion or retransmit exhaustion). Unset members cost nothing.
+struct DsClientObserver {
+  std::function<void(uint64_t req_id, const DsOp& op)> on_call;
+  std::function<void(uint64_t req_id, const Result<DsReply>& result)> on_reply;
+};
+
 class DsClient : public NetworkNode {
  public:
   using ReplyCb = ResultCb<DsReply>;
@@ -84,6 +92,9 @@ class DsClient : public NetworkNode {
   // Simulate process death: stop renewing leases and drop pending calls.
   void Kill();
 
+  // History observation (conformance checking); pass {} to detach.
+  void SetObserver(DsClientObserver observer) { observer_ = std::move(observer); }
+
   NodeId id() const { return id_; }
   size_t outstanding() const { return calls_.size(); }
 
@@ -111,6 +122,7 @@ class DsClient : public NetworkNode {
 
   uint64_t next_req_ = 0;
   std::map<uint64_t, PendingCall> calls_;
+  DsClientObserver observer_;
   std::vector<DsTemplate> leases_;
   bool alive_ = true;
   bool auto_renew_all_ = false;

@@ -205,7 +205,9 @@ void DsServer::Reply(NodeId client, uint64_t req_id, const DsReply& reply) {
 }
 
 BftExecOutcome DsServer::Execute(uint64_t seq, SimTime ts, const BftRequest& request) {
-  (void)seq;
+  if (exec_observer_) {
+    exec_observer_(seq, ts, request);
+  }
   ++ops_executed_;
   Duration extra_cpu = costs_.bft_execute_cpu;
 

@@ -126,6 +126,14 @@ class DsServer : public NetworkNode, public BftCallbacks {
   // Fault injection passthrough.
   void SetEquivocate(bool on) { bft_->SetEquivocate(on); }
 
+  // History observation for the model-conformance checker: invoked for every
+  // ordered request this replica executes, in sequence order (noops
+  // included). The checker merges execution streams across replicas by seq;
+  // any divergence in (ts, request) at the same seq is a violation.
+  using ExecObserver =
+      std::function<void(uint64_t seq, SimTime ts, const BftRequest& request)>;
+  void SetExecObserver(ExecObserver observer) { exec_observer_ = std::move(observer); }
+
  private:
   friend class DsExecContext;
 
@@ -159,6 +167,7 @@ class DsServer : public NetworkNode, public BftCallbacks {
   std::vector<Waiter> waiters_;
   uint64_t next_waiter_order_ = 1;
   int64_t ops_executed_ = 0;
+  ExecObserver exec_observer_;
 };
 
 }  // namespace edc

@@ -38,7 +38,7 @@ void CoordFixture::Start() {
     std::vector<NodeId> members{1, 2, 3};
     for (NodeId id : members) {
       auto server = std::make_unique<ZkServer>(&loop_, net_.get(), id, members,
-                                               options_.costs, ZkServerOptions{});
+                                               options_.costs, options_.zk_server);
       net_->Register(id, server.get());
       ZkServer* raw = server.get();
       faults_->RegisterProcess(
@@ -71,7 +71,7 @@ void CoordFixture::Start() {
       // preferred index keeps the historical round-robin initial placement.
       ServerList ensemble{members, i % members.size()};
       auto client = std::make_unique<ZkClient>(&loop_, net_.get(), node, ensemble,
-                                               ZkClientOptions{});
+                                               options_.zk_client);
       client->Connect([&connected](Status s) {
         if (s.ok()) {
           ++connected;
@@ -90,7 +90,7 @@ void CoordFixture::Start() {
   std::vector<NodeId> members{1, 2, 3, 4};
   for (NodeId id : members) {
     auto server = std::make_unique<DsServer>(&loop_, net_.get(), id, members,
-                                             options_.costs, DsServerOptions{});
+                                             options_.costs, options_.ds_server);
     net_->Register(id, server.get());
     DsServer* raw = server.get();
     faults_->RegisterProcess(
@@ -116,7 +116,7 @@ void CoordFixture::Start() {
   }
   for (size_t i = 0; i < options_.num_clients; ++i) {
     auto client = std::make_unique<DsClient>(&loop_, net_.get(), client_node(i), members,
-                                             DsClientOptions{});
+                                             options_.ds_client);
     coords_.push_back(std::make_unique<DsCoordClient>(&loop_, client.get()));
     ds_clients_.push_back(std::move(client));
   }

@@ -43,6 +43,12 @@ struct FixtureOptions {
   LinkParams link;  // LAN defaults; override for the WAN experiment
   CostModel costs;
   ExtensionLimits limits;
+  // Server/client knobs forwarded verbatim to every node of the matching
+  // family (conformance tests tighten timeouts and plant test-only bugs).
+  ZkServerOptions zk_server;
+  ZkClientOptions zk_client;
+  DsServerOptions ds_server;
+  DsClientOptions ds_client;
 };
 
 class CoordFixture {
@@ -56,6 +62,11 @@ class CoordFixture {
   size_t num_clients() const { return coords_.size(); }
   CoordClient* coord(size_t i) { return coords_[i].get(); }
   NodeId client_node(size_t i) const { return 100 + static_cast<NodeId>(i); }
+
+  // Raw clients for observer attachment (history recording); index matches
+  // coord(i). Null for the other family.
+  ZkClient* zk_client(size_t i) { return i < zk_clients_.size() ? zk_clients_[i].get() : nullptr; }
+  DsClient* ds_client(size_t i) { return i < ds_clients_.size() ? ds_clients_[i].get() : nullptr; }
 
   EventLoop& loop() { return loop_; }
   Network& net() { return *net_; }

@@ -15,6 +15,7 @@
 #include <functional>
 #include <vector>
 
+#include "edc/common/result.h"
 #include "edc/sim/event_loop.h"
 #include "edc/sim/time.h"
 
@@ -51,6 +52,19 @@ class LogStore {
 
   // Drops in-flight (unsynced) appends, modeling a crash before fsync.
   void DropUnsynced();
+
+  // On-disk image of the durable records: each record framed as u32 length +
+  // u64 FNV-1a checksum + payload, little-endian, concatenated in append
+  // order. This is the file a crash may tear mid-write.
+  std::vector<uint8_t> SerializeImage() const;
+
+  // Replaces the durable records with the contents of `image`. A truncated
+  // trailing record (torn write — the image simply ends early) is discarded
+  // and the clean prefix is restored; a record whose checksum does not match
+  // its payload (corruption, not truncation) rejects the whole image with
+  // kDecodeError and leaves the store unchanged. Returns the number of
+  // records restored.
+  Result<size_t> RestoreImage(const std::vector<uint8_t>& image);
 
   int64_t syncs() const { return syncs_; }
   int64_t appended_bytes() const { return appended_bytes_; }

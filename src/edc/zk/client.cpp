@@ -26,7 +26,7 @@ void ZkClient::SendConnect() {
   pkt.src = id_;
   pkt.dst = server_;
   pkt.type = static_cast<uint32_t>(ZkMsgType::kConnect);
-  pkt.payload = EncodeZkConnect(ZkConnectMsg{options_.session_timeout});
+  pkt.payload = EncodeZkConnect(ZkConnectMsg{options_.session_timeout, lost_session_});
   net_->Send(std::move(pkt));
 }
 
@@ -52,6 +52,9 @@ void ZkClient::SendRequest(ZkOp op, ReplyCb done) {
   msg.req_id = ++next_req_;
   msg.op = std::move(op);
   pending_[msg.req_id] = std::move(done);
+  if (observer_.on_call) {
+    observer_.on_call(msg.session, msg.req_id, msg.op);
+  }
   Packet pkt;
   pkt.src = id_;
   pkt.dst = server_;
@@ -82,6 +85,30 @@ void ZkClient::FailPending(ErrorCode code) {
     ZkReplyMsg reply;
     reply.req_id = req_id;
     reply.code = code;
+    if (observer_.on_reply) {
+      observer_.on_reply(req_id, reply, /*synthetic=*/true);
+    }
+    cb(reply);
+  }
+}
+
+void ZkClient::ParkPending() {
+  for (auto& [req_id, cb] : pending_) {
+    parked_.emplace(req_id, std::move(cb));
+  }
+  pending_.clear();
+}
+
+void ZkClient::FailParked(ErrorCode code) {
+  std::map<uint64_t, ReplyCb> parked = std::move(parked_);
+  parked_.clear();
+  for (auto& [req_id, cb] : parked) {
+    ZkReplyMsg reply;
+    reply.req_id = req_id;
+    reply.code = code;
+    if (observer_.on_reply) {
+      observer_.on_reply(req_id, reply, /*synthetic=*/true);
+    }
     cb(reply);
   }
 }
@@ -89,8 +116,13 @@ void ZkClient::FailPending(ErrorCode code) {
 void ZkClient::OnConnectionLoss() {
   EDC_LOG(kDebug) << "client " << id_ << " lost replica " << server_;
   loop_->Cancel(ping_timer_);
+  lost_session_ = session_;
   session_ = 0;
-  FailPending(ErrorCode::kConnectionLoss);
+  // Calls in flight cannot be failed accurately yet: if the replicated
+  // session table has already expired the session, they must fail with
+  // kSessionExpired, and only the replica we reconnect to can tell us. Park
+  // them until the connect reply (or reconnect exhaustion) resolves it.
+  ParkPending();
   Emit(SessionEvent::kDisconnected);
   // The old session is volatile server-side state we cannot resume (watches
   // and session identity die with it); the reconnect below creates a new one.
@@ -102,7 +134,9 @@ void ZkClient::OnSessionExpired() {
   EDC_LOG(kDebug) << "client " << id_ << " session expired";
   loop_->Cancel(ping_timer_);
   session_ = 0;
+  lost_session_ = 0;
   FailPending(ErrorCode::kSessionExpired);
+  FailParked(ErrorCode::kSessionExpired);
   Emit(SessionEvent::kSessionLost);
   ScheduleReconnect();
 }
@@ -113,6 +147,7 @@ void ZkClient::ScheduleReconnect() {
   }
   if (options_.reconnect.max_attempts > 0 &&
       reconnect_attempts_ >= options_.reconnect.max_attempts) {
+    FailParked(ErrorCode::kConnectionLoss);
     if (connect_cb_) {
       auto cb = std::move(connect_cb_);
       connect_cb_ = nullptr;
@@ -150,6 +185,12 @@ void ZkClient::HandlePacket(Packet&& pkt) {
       loop_->Cancel(reconnect_timer_);
       backoff_ = 0;
       reconnect_attempts_ = 0;
+      lost_session_ = 0;
+      // Calls parked at connection loss resolve now: the replica reports
+      // whether the old session was already expired out of the replicated
+      // state (its writes can never complete) or merely detached.
+      FailParked(m->old_session_expired ? ErrorCode::kSessionExpired
+                                        : ErrorCode::kConnectionLoss);
       bool first = !ever_connected_;
       ever_connected_ = true;
       Emit(first ? SessionEvent::kConnected : SessionEvent::kReconnected);
@@ -183,6 +224,9 @@ void ZkClient::HandlePacket(Packet&& pkt) {
       }
       ReplyCb cb = std::move(it->second);
       pending_.erase(it);
+      if (observer_.on_reply) {
+        observer_.on_reply(m->req_id, *m, /*synthetic=*/false);
+      }
       cb(*m);
       // The server no longer knows this session (it expired, or the replica
       // restarted and replayed a close): everything session-scoped is gone.
@@ -193,7 +237,13 @@ void ZkClient::HandlePacket(Packet&& pkt) {
     }
     case ZkMsgType::kWatchEvent: {
       auto m = DecodeZkWatchEvent(pkt.payload);
-      if (m.ok() && watch_handler_) {
+      if (!m.ok()) {
+        break;
+      }
+      if (observer_.on_watch) {
+        observer_.on_watch(session_, *m);
+      }
+      if (watch_handler_) {
         watch_handler_(*m);
       }
       break;
@@ -366,6 +416,7 @@ void ZkClient::Close(VoidCb done) {
   closing_ = true;
   loop_->Cancel(ping_timer_);
   loop_->Cancel(reconnect_timer_);
+  FailParked(ErrorCode::kConnectionLoss);
   if (session_ == 0) {
     done(Status::Ok());  // nothing to close server-side
     return;

@@ -35,6 +35,16 @@ struct ZkClientOptions {
   ReconnectOptions reconnect;
 };
 
+// Observation hooks for the model-conformance checker (src/edc/check): every
+// request sent, every reply delivered to a callback (synthetic = generated
+// client-side on connection loss / session expiry, not received off the
+// wire), and every watch event. Unset members cost nothing.
+struct ZkClientObserver {
+  std::function<void(uint64_t session, uint64_t req_id, const ZkOp& op)> on_call;
+  std::function<void(uint64_t req_id, const ZkReplyMsg& reply, bool synthetic)> on_reply;
+  std::function<void(uint64_t session, const ZkWatchEventMsg& event)> on_watch;
+};
+
 class ZkClient : public NetworkNode {
  public:
   struct NodeResult {
@@ -95,6 +105,8 @@ class ZkClient : public NetworkNode {
   void SetWatchHandler(WatchCb handler) { watch_handler_ = std::move(handler); }
   // Session lifecycle notifications (failover, expiry, reconnect).
   void SetSessionEventHandler(SessionEventCb handler) { session_cb_ = std::move(handler); }
+  // History observation (conformance checking); pass {} to detach.
+  void SetObserver(ZkClientObserver observer) { observer_ = std::move(observer); }
 
   bool connected() const { return session_ != 0; }
   uint64_t session() const { return session_; }
@@ -111,6 +123,11 @@ class ZkClient : public NetworkNode {
   void OnConnectionLoss();
   void OnSessionExpired();
   void FailPending(ErrorCode code);
+  // Moves pending calls aside on connection loss; their fate (kConnectionLoss
+  // vs kSessionExpired) is decided when the reconnect lands and the replica
+  // reports whether the old session still exists.
+  void ParkPending();
+  void FailParked(ErrorCode code);
   void ScheduleReconnect();
   void Emit(SessionEvent event);
   static Status StatusOf(const ZkReplyMsg& reply);
@@ -124,11 +141,14 @@ class ZkClient : public NetworkNode {
   ZkClientOptions options_;
 
   uint64_t session_ = 0;
+  uint64_t lost_session_ = 0;  // session held before the current reconnect
   uint64_t next_req_ = 0;
   VoidCb connect_cb_;
   std::map<uint64_t, ReplyCb> pending_;
+  std::map<uint64_t, ReplyCb> parked_;  // pending at connection loss, fate TBD
   WatchCb watch_handler_;
   SessionEventCb session_cb_;
+  ZkClientObserver observer_;
   SimTime last_rx_ = 0;       // last packet received from the current replica
   Duration backoff_ = 0;      // current reconnect backoff
   int reconnect_attempts_ = 0;

@@ -195,7 +195,7 @@ void ZkServer::OnConnect(Packet&& pkt) {
     return;
   }
   uint64_t session = (static_cast<uint64_t>(id_) << 40) | ++session_counter_;
-  pending_connects_[session] = pkt.src;
+  pending_connects_[session] = PendingConnect{pkt.src, m->old_session};
   client_nodes_[session] = pkt.src;
   ZkRequestMsg msg;
   msg.session = session;
@@ -543,11 +543,15 @@ bool ZkServer::TxnIsDeferred(const ZkTxn& txn) {
 }
 
 void ZkServer::OnDeliver(uint64_t zxid, const std::vector<uint8_t>& txn_bytes) {
-  applied_log_.emplace_back(zxid, Fnv1a64(txn_bytes));
+  uint64_t txn_hash = Fnv1a64(txn_bytes);
+  applied_log_.emplace_back(zxid, txn_hash);
   auto txn = ZkTxn::Decode(txn_bytes);
   if (!txn.ok()) {
     EDC_LOG(kError) << "server " << id_ << ": undecodable txn at zxid " << zxid;
     return;
+  }
+  if (commit_observer_) {
+    commit_observer_(zxid, *txn, txn_hash);
   }
   if (!outstanding_.empty() && outstanding_.front().session == txn->session &&
       outstanding_.front().req_id == txn->req_id) {
@@ -606,7 +610,13 @@ void ZkServer::ApplyTxn(uint64_t zxid, const ZkTxn& txn) {
           auto it = pending_connects_.find(op.session);
           if (it != pending_connects_.end()) {
             ZkConnectReplyMsg reply{op.session, ErrorCode::kOk};
-            SendPacket(it->second, ZkMsgType::kConnectReply, EncodeZkConnectReply(reply));
+            // The session table at this zxid is replicated state: the old
+            // session being gone means a close/expiry already committed, so
+            // the client's parked calls can never complete.
+            reply.old_session_expired = it->second.old_session != 0 &&
+                                        sessions_.count(it->second.old_session) == 0;
+            SendPacket(it->second.client, ZkMsgType::kConnectReply,
+                       EncodeZkConnectReply(reply));
             pending_connects_.erase(it);
           }
         }
@@ -688,7 +698,10 @@ void ZkServer::ApplyTxn(uint64_t zxid, const ZkTxn& txn) {
       if (it != client_nodes_.end()) {
         cpu_.Submit(costs_.watch_fire_cpu, []() {});
         ZkWatchEventMsg ev{event.type, event.path};
-        SendPacket(it->second, ZkMsgType::kWatchEvent, EncodeZkWatchEvent(ev));
+        int copies = options_.test_double_fire_watches ? 2 : 1;
+        for (int c = 0; c < copies; ++c) {
+          SendPacket(it->second, ZkMsgType::kWatchEvent, EncodeZkWatchEvent(ev));
+        }
       }
     }
   }
@@ -803,7 +816,7 @@ void ZkServer::SendReplyToClient(uint64_t session, const ZkReplyMsg& reply) {
     if (pending == pending_connects_.end()) {
       return;
     }
-    SendPacket(pending->second, ZkMsgType::kReply, EncodeZkReply(reply));
+    SendPacket(pending->second.client, ZkMsgType::kReply, EncodeZkReply(reply));
     return;
   }
   SendPacket(it->second, ZkMsgType::kReply, EncodeZkReply(reply));

@@ -42,6 +42,10 @@ struct ZkServerOptions {
   Duration zab_leader_timeout = Millis(250);
   Duration zab_election_retry = Millis(120);
   Duration session_check_interval = Millis(200);
+  // Test-only: deliver every watch notification twice. The conformance
+  // checker's negative tests plant this bug to prove a single-fire violation
+  // is caught and shrunk (docs/model_checking.md).
+  bool test_double_fire_watches = false;
 };
 
 class ZkServer : public NetworkNode, public ZabCallbacks {
@@ -83,6 +87,14 @@ class ZkServer : public NetworkNode, public ZabCallbacks {
   const std::vector<std::pair<uint64_t, uint64_t>>& applied_log() const {
     return applied_log_;
   }
+
+  // History observation for the model-conformance checker: invoked for every
+  // decoded transaction this replica applies, in delivery order (including
+  // log replay after a restart — zxids repeat across the reboot, the checker
+  // merges by zxid).
+  using CommitObserver =
+      std::function<void(uint64_t zxid, const ZkTxn& txn, uint64_t txn_hash)>;
+  void SetCommitObserver(CommitObserver observer) { commit_observer_ = std::move(observer); }
 
   // --- services for the extension manager -------------------------------
   // Leader-only: open a prep session for an internal (event-extension)
@@ -143,9 +155,13 @@ class ZkServer : public NetworkNode, public ZabCallbacks {
   std::deque<PendingDelta> outstanding_;
 
   // Connection-local volatile state.
+  struct PendingConnect {
+    NodeId client = 0;
+    uint64_t old_session = 0;  // session the client held before reconnecting
+  };
   WatchManager watch_mgr_;
   std::map<uint64_t, NodeId> client_nodes_;
-  std::map<uint64_t, NodeId> pending_connects_;
+  std::map<uint64_t, PendingConnect> pending_connects_;
   std::set<uint64_t> expiring_sessions_;
   uint64_t session_counter_ = 0;
   uint64_t internal_req_counter_ = 0;
@@ -153,6 +169,7 @@ class ZkServer : public NetworkNode, public ZabCallbacks {
   std::vector<std::pair<uint64_t, uint64_t>> applied_log_;  // (zxid, txn hash)
   SimTime leader_since_ = 0;  // when this replica last became leader
   TimerId session_timer_ = kInvalidTimer;
+  CommitObserver commit_observer_;
 };
 
 }  // namespace edc

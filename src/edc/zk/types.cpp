@@ -202,22 +202,25 @@ Result<ZkWatchEventMsg> DecodeZkWatchEvent(const std::vector<uint8_t>& buf) {
 std::vector<uint8_t> EncodeZkConnect(const ZkConnectMsg& m) {
   Encoder enc;
   enc.PutI64(m.session_timeout);
+  enc.PutU64(m.old_session);
   return enc.Release();
 }
 
 Result<ZkConnectMsg> DecodeZkConnect(const std::vector<uint8_t>& buf) {
   Decoder dec(buf);
   auto t = dec.GetI64();
-  if (!t.ok()) {
-    return t.status();
+  auto old_session = dec.GetU64();
+  if (!t.ok() || !old_session.ok()) {
+    return ErrorCode::kDecodeError;
   }
-  return ZkConnectMsg{*t};
+  return ZkConnectMsg{*t, *old_session};
 }
 
 std::vector<uint8_t> EncodeZkConnectReply(const ZkConnectReplyMsg& m) {
   Encoder enc;
   enc.PutU64(m.session);
   enc.PutU32(static_cast<uint32_t>(m.code));
+  enc.PutBool(m.old_session_expired);
   return enc.Release();
 }
 
@@ -225,10 +228,11 @@ Result<ZkConnectReplyMsg> DecodeZkConnectReply(const std::vector<uint8_t>& buf) 
   Decoder dec(buf);
   auto session = dec.GetU64();
   auto code = dec.GetU32();
-  if (!session.ok() || !code.ok()) {
+  auto expired = dec.GetBool();
+  if (!session.ok() || !code.ok() || !expired.ok()) {
     return ErrorCode::kDecodeError;
   }
-  return ZkConnectReplyMsg{*session, static_cast<ErrorCode>(*code)};
+  return ZkConnectReplyMsg{*session, static_cast<ErrorCode>(*code), *expired};
 }
 
 std::vector<uint8_t> EncodeZkForward(const ZkForwardMsg& m) {

@@ -114,11 +114,19 @@ struct ZkWatchEventMsg {
 
 struct ZkConnectMsg {
   Duration session_timeout = 0;
+  // Session the client held before this (re)connect, 0 on a first connect.
+  // Lets the replica tell the client whether that session is already gone
+  // from the replicated session table (kSessionExpired) or merely detached
+  // (kConnectionLoss).
+  uint64_t old_session = 0;
 };
 
 struct ZkConnectReplyMsg {
   uint64_t session = 0;
   ErrorCode code = ErrorCode::kOk;
+  // True iff ZkConnectMsg::old_session was nonzero and no longer exists in
+  // the replicated session table at the zxid that created the new session.
+  bool old_session_expired = false;
 };
 
 std::vector<uint8_t> EncodeZkRequest(const ZkRequestMsg& m);

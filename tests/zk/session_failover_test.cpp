@@ -1,0 +1,88 @@
+// Regression coverage for the parked-call failover protocol: a call that was
+// pending when the connection dropped is NOT failed immediately. It parks
+// until the reconnect lands and the replica reports (from replicated session
+// state) whether the old session still exists — kConnectionLoss if it does
+// (the caller may retry under the same session guarantees), kSessionExpired
+// if a close/expiry already committed (ephemerals and watches are gone; the
+// caller must rebuild).
+
+#include <gtest/gtest.h>
+
+#include "edc/harness/fixture.h"
+
+namespace edc {
+namespace {
+
+TEST(SessionFailoverTest, ParkedCallFailsConnectionLossWhenSessionSurvives) {
+  FixtureOptions options;
+  options.system = SystemKind::kZooKeeper;
+  options.num_clients = 1;
+  options.zk_client.session_timeout = Millis(1500);
+  options.zk_client.ping_interval = Millis(300);
+  options.zk_client.reconnect.initial_backoff = Millis(200);
+  options.zk_client.reconnect.max_backoff = Seconds(1);
+  // The cluster never probes for dead sessions, so the old session is still
+  // in the replicated table when the reconnect lands elsewhere.
+  options.zk_server.session_check_interval = Seconds(3600);
+  CoordFixture fx(options);
+  fx.Start();
+  ZkClient* client = fx.zk_client(0);  // prefers server 1
+  ASSERT_NE(client, nullptr);
+  ASSERT_EQ(client->current_server(), 1u);
+
+  // Isolate the client from its replica only; servers stay healthy and the
+  // rest of the ensemble remains reachable for the failover.
+  fx.faults().Partition({fx.client_node(0)}, {1});
+  Status result = Status::Ok();
+  bool resolved = false;
+  client->SetData("/x", "v", -1, [&](Status s) {
+    result = s;
+    resolved = true;
+  });
+  // Let the silence run past the session timeout: the call parks, the client
+  // reconnects to server 2, which finds the old session alive.
+  fx.Settle(Seconds(6));
+  ASSERT_TRUE(resolved);
+  EXPECT_EQ(result.code(), ErrorCode::kConnectionLoss) << result.ToString();
+  ASSERT_TRUE(client->connected());
+  EXPECT_NE(client->current_server(), 1u);
+  fx.faults().Heal();
+}
+
+TEST(SessionFailoverTest, ParkedCallFailsSessionExpiredWhenExpiryCommitted) {
+  FixtureOptions options;
+  options.system = SystemKind::kZooKeeper;
+  options.num_clients = 1;
+  options.zk_client.session_timeout = Seconds(1);
+  options.zk_client.ping_interval = Millis(300);
+  // Reconnect deliberately slower than the server-side expiry: by the time
+  // the client reaches another replica, the close-session has committed.
+  options.zk_client.reconnect.initial_backoff = Seconds(3);
+  options.zk_client.reconnect.max_backoff = Seconds(3);
+  options.zk_server.session_check_interval = Millis(100);
+  CoordFixture fx(options);
+  fx.Start();
+  ZkClient* client = fx.zk_client(0);
+  ASSERT_NE(client, nullptr);
+  uint64_t old_session = client->session();
+  ASSERT_NE(old_session, 0u);
+
+  fx.faults().Partition({fx.client_node(0)}, {1});
+  Status result = Status::Ok();
+  bool resolved = false;
+  client->SetData("/x", "v", -1, [&](Status s) {
+    result = s;
+    resolved = true;
+  });
+  // Silence → park (~1s). Cluster expires the session (~1s + check). The
+  // reconnect lands at ~4s on a replica whose table no longer has it.
+  fx.Settle(Seconds(8));
+  ASSERT_TRUE(resolved);
+  EXPECT_EQ(result.code(), ErrorCode::kSessionExpired) << result.ToString();
+  ASSERT_TRUE(client->connected());
+  EXPECT_NE(client->session(), old_session);
+  fx.faults().Heal();
+}
+
+}  // namespace
+}  // namespace edc

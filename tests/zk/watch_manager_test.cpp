@@ -1,0 +1,190 @@
+// WatchManager semantics: one-shot delivery, deletion firing both watch
+// kinds, session cleanup — plus end-to-end coverage of the connection-local
+// watch lifecycle (single fire per arm, re-arm after failover, no phantom
+// fires after session expiry).
+
+#include "edc/zk/watch_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "edc/harness/fixture.h"
+
+namespace edc {
+namespace {
+
+TEST(WatchManagerTest, DataWatchFiresOnceThenGone) {
+  WatchManager wm;
+  wm.AddDataWatch("/a", 7);
+  EXPECT_EQ(wm.data_watch_count(), 1u);
+  EXPECT_EQ(wm.Trigger(ZkEventType::kNodeDataChanged, "/a"), (std::vector<uint64_t>{7}));
+  EXPECT_EQ(wm.data_watch_count(), 0u);
+  EXPECT_TRUE(wm.Trigger(ZkEventType::kNodeDataChanged, "/a").empty());
+}
+
+TEST(WatchManagerTest, DeleteFiresDataAndChildWatches) {
+  WatchManager wm;
+  wm.AddDataWatch("/a", 1);
+  wm.AddChildWatch("/a", 2);
+  std::vector<uint64_t> fired = wm.Trigger(ZkEventType::kNodeDeleted, "/a");
+  EXPECT_EQ(fired, (std::vector<uint64_t>{1, 2}));
+  EXPECT_EQ(wm.data_watch_count(), 0u);
+  EXPECT_EQ(wm.child_watch_count(), 0u);
+}
+
+TEST(WatchManagerTest, EventKindsMatchWatchKinds) {
+  WatchManager wm;
+  wm.AddDataWatch("/a", 1);
+  wm.AddChildWatch("/a", 2);
+  // A membership change pops only the child watch; a data change only the
+  // data watch. Neither disturbs the other registration.
+  EXPECT_EQ(wm.Trigger(ZkEventType::kNodeChildrenChanged, "/a"), (std::vector<uint64_t>{2}));
+  EXPECT_EQ(wm.data_watch_count(), 1u);
+  EXPECT_EQ(wm.Trigger(ZkEventType::kNodeDataChanged, "/a"), (std::vector<uint64_t>{1}));
+  EXPECT_EQ(wm.child_watch_count(), 0u);
+}
+
+TEST(WatchManagerTest, RemoveSessionDropsAllItsWatches) {
+  WatchManager wm;
+  wm.AddDataWatch("/a", 1);
+  wm.AddDataWatch("/a", 2);
+  wm.AddChildWatch("/b", 1);
+  wm.RemoveSession(1);
+  EXPECT_EQ(wm.Trigger(ZkEventType::kNodeDataChanged, "/a"), (std::vector<uint64_t>{2}));
+  EXPECT_TRUE(wm.Trigger(ZkEventType::kNodeChildrenChanged, "/b").empty());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end lifecycle through the service.
+
+FixtureOptions TightOptions(size_t num_clients) {
+  FixtureOptions options;
+  options.system = SystemKind::kZooKeeper;
+  options.num_clients = num_clients;
+  options.zk_client.session_timeout = Millis(1500);
+  options.zk_client.ping_interval = Millis(300);
+  options.zk_client.reconnect.initial_backoff = Millis(200);
+  options.zk_client.reconnect.max_backoff = Seconds(1);
+  return options;
+}
+
+TEST(WatchLifecycleTest, SingleFirePerArm) {
+  CoordFixture fx(TightOptions(1));
+  fx.Start();
+  ZkClient* client = fx.zk_client(0);
+  ASSERT_NE(client, nullptr);
+
+  std::vector<ZkWatchEventMsg> events;
+  client->SetWatchHandler([&](const ZkWatchEventMsg& e) { events.push_back(e); });
+
+  client->Create("/n", "v0", false, false, [](Result<std::string>) {});
+  fx.Settle(Millis(200));
+  client->GetData("/n", /*watch=*/true, [](Result<ZkClient::NodeResult>) {});
+  fx.Settle(Millis(200));
+
+  client->SetData("/n", "v1", -1, [](Status) {});
+  fx.Settle(Millis(200));
+  client->SetData("/n", "v2", -1, [](Status) {});
+  fx.Settle(Millis(200));
+  // Two changes, one armed watch: exactly one notification.
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type, ZkEventType::kNodeDataChanged);
+  EXPECT_EQ(events[0].path, "/n");
+
+  // Re-arming restores delivery for the next change.
+  client->GetData("/n", /*watch=*/true, [](Result<ZkClient::NodeResult>) {});
+  fx.Settle(Millis(200));
+  client->SetData("/n", "v3", -1, [](Status) {});
+  fx.Settle(Millis(200));
+  EXPECT_EQ(events.size(), 2u);
+}
+
+TEST(WatchLifecycleTest, ReArmAfterFailoverDelivers) {
+  CoordFixture fx(TightOptions(2));
+  fx.Start();
+  ZkClient* watcher = fx.zk_client(0);  // prefers server 1
+  ZkClient* writer = fx.zk_client(1);   // prefers server 2
+  ASSERT_NE(watcher, nullptr);
+  ASSERT_NE(writer, nullptr);
+
+  std::vector<ZkWatchEventMsg> events;
+  watcher->SetWatchHandler([&](const ZkWatchEventMsg& e) { events.push_back(e); });
+
+  writer->Create("/n", "v0", false, false, [](Result<std::string>) {});
+  fx.Settle(Millis(300));
+  watcher->Exists("/n", /*watch=*/true, [](Result<ZkClient::ExistsResult>) {});
+  fx.Settle(Millis(300));
+  ASSERT_EQ(watcher->current_server(), 1u);
+
+  // The replica holding the watch dies; its volatile watch table dies with
+  // it. The session fails over but the watch does NOT follow.
+  fx.faults().Crash(1);
+  fx.Settle(Seconds(5));
+  ASSERT_TRUE(watcher->connected());
+  ASSERT_NE(watcher->current_server(), 1u);
+
+  // A change before re-arming is silent — there is no watch anywhere.
+  writer->SetData("/n", "v1", -1, [](Status) {});
+  fx.Settle(Millis(500));
+  EXPECT_TRUE(events.empty());
+
+  // Application re-arms at the new replica; the next change fires exactly
+  // once.
+  watcher->Exists("/n", /*watch=*/true, [](Result<ZkClient::ExistsResult>) {});
+  fx.Settle(Millis(300));
+  writer->SetData("/n", "v2", -1, [](Status) {});
+  fx.Settle(Millis(500));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type, ZkEventType::kNodeDataChanged);
+  EXPECT_EQ(events[0].path, "/n");
+
+  fx.faults().Restart(1);
+  fx.Settle(Seconds(1));
+}
+
+TEST(WatchLifecycleTest, NoPhantomFireAfterSessionExpiry) {
+  FixtureOptions options = TightOptions(2);
+  options.zk_server.session_check_interval = Millis(100);
+  // Keep the watcher from racing a successful reconnect while we arrange the
+  // expiry: long backoff means the old session is judged dead first.
+  options.zk_client.reconnect.initial_backoff = Seconds(4);
+  options.zk_client.reconnect.max_backoff = Seconds(4);
+  CoordFixture fx(options);
+  fx.Start();
+  ZkClient* watcher = fx.zk_client(0);
+  ZkClient* writer = fx.zk_client(1);
+
+  std::vector<ZkWatchEventMsg> events;
+  watcher->SetWatchHandler([&](const ZkWatchEventMsg& e) { events.push_back(e); });
+
+  writer->Create("/n", "v0", false, false, [](Result<std::string>) {});
+  fx.Settle(Millis(300));
+  watcher->GetData("/n", /*watch=*/true, [](Result<ZkClient::NodeResult>) {});
+  fx.Settle(Millis(300));
+  uint64_t old_session = watcher->session();
+  ASSERT_NE(old_session, 0u);
+
+  // Cut the watcher off from the whole ensemble; its session goes silent and
+  // the cluster expires it (close-session commit removes its watches).
+  fx.faults().Partition({fx.client_node(0)}, {1, 2, 3});
+  fx.Settle(Seconds(3));
+
+  // Heal so any erroneously surviving watch COULD be delivered, then trip
+  // the watched node. The expired session must get nothing.
+  fx.faults().Heal();
+  fx.Settle(Millis(100));
+  writer->SetData("/n", "v1", -1, [](Status) {});
+  fx.Settle(Seconds(1));
+  EXPECT_TRUE(events.empty());
+
+  // The watcher eventually comes back with a fresh session — still silent.
+  fx.Settle(Seconds(6));
+  if (watcher->connected()) {
+    EXPECT_NE(watcher->session(), old_session);
+  }
+  EXPECT_TRUE(events.empty());
+}
+
+}  // namespace
+}  // namespace edc
