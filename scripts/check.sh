@@ -21,4 +21,13 @@ echo "== chaos tests =="
 ctest --output-on-failure -j "$JOBS" -L chaos
 echo "== model-conformance tests =="
 ctest --output-on-failure -j "$JOBS" -L model
+# Spotlight the recovery/crash-restart families (docs/bft_recovery.md): these
+# already ran inside the tiers above, but --no-tests=error makes the gate fail
+# loudly if a rename or CMake edit silently drops them from discovery.
+echo "== spotlight: BFT recovery + crash-restart chaos =="
+ctest --output-on-failure -j "$JOBS" --no-tests=error \
+  -R 'BftRecovery\.|ChaosTest\.CrashRestartEdsReplicaRejoinsViaStateTransfer'
+echo "== spotlight: EDS schedule sweep (crash-restart grammar) =="
+ctest --output-on-failure -j "$JOBS" --no-tests=error \
+  -R 'DsScheduleSweep\.'
 echo "All checks passed."

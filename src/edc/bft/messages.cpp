@@ -192,6 +192,69 @@ std::vector<uint8_t> EncodeNewView(const NewViewMsg& m) {
   return enc.Release();
 }
 
+std::vector<uint8_t> EncodeCheckpoint(const CheckpointMsg& m) {
+  Encoder enc;
+  enc.PutU64(m.view);
+  enc.PutU64(m.seq);
+  enc.PutU64(m.digest);
+  return enc.Release();
+}
+
+Result<CheckpointMsg> DecodeCheckpoint(const std::vector<uint8_t>& buf) {
+  Decoder dec(buf);
+  auto view = dec.GetU64();
+  auto seq = dec.GetU64();
+  auto digest = dec.GetU64();
+  if (!view.ok() || !seq.ok() || !digest.ok()) {
+    return ErrorCode::kDecodeError;
+  }
+  return CheckpointMsg{*view, *seq, *digest};
+}
+
+std::vector<uint8_t> EncodeStateRequest(const StateRequestMsg& m) {
+  Encoder enc;
+  enc.PutU64(m.last_executed);
+  return enc.Release();
+}
+
+Result<StateRequestMsg> DecodeStateRequest(const std::vector<uint8_t>& buf) {
+  Decoder dec(buf);
+  auto last = dec.GetU64();
+  if (!last.ok()) {
+    return last.status();
+  }
+  return StateRequestMsg{*last};
+}
+
+std::vector<uint8_t> EncodeStateResponse(const StateResponseMsg& m) {
+  Encoder enc;
+  enc.PutU64(m.view);
+  enc.PutU64(m.seq);
+  enc.PutU64(m.digest);
+  enc.PutBytes(m.state);
+  return enc.Release();
+}
+
+Result<StateResponseMsg> DecodeStateResponse(const std::vector<uint8_t>& buf) {
+  Decoder dec(buf);
+  StateResponseMsg m;
+  auto view = dec.GetU64();
+  auto seq = dec.GetU64();
+  auto digest = dec.GetU64();
+  if (!view.ok() || !seq.ok() || !digest.ok()) {
+    return ErrorCode::kDecodeError;
+  }
+  auto state = dec.GetBytes();
+  if (!state.ok()) {
+    return state.status();
+  }
+  m.view = *view;
+  m.seq = *seq;
+  m.digest = *digest;
+  m.state = std::move(*state);
+  return m;
+}
+
 Result<NewViewMsg> DecodeNewView(const std::vector<uint8_t>& buf) {
   Decoder dec(buf);
   NewViewMsg m;

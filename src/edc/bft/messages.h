@@ -25,7 +25,10 @@ enum class BftMsgType : uint32_t {
   kReply = kBftTypeBase + 4,       // replica -> client
   kViewChange = kBftTypeBase + 5,
   kNewView = kBftTypeBase + 6,
-  kMax = kBftTypeBase + 7,
+  kCheckpoint = kBftTypeBase + 7,     // replica -> all, every K executions
+  kStateRequest = kBftTypeBase + 8,   // lagging replica -> all
+  kStateResponse = kBftTypeBase + 9,  // peer -> lagging replica
+  kMax = kBftTypeBase + 10,
 };
 
 inline bool IsBftPacket(uint32_t type) {
@@ -79,6 +82,31 @@ struct NewViewMsg {
   std::vector<PreparedEntry> reproposed;
 };
 
+// Broadcast after every K-th execution: `digest` fingerprints the full
+// checkpoint state (replica header + framed service snapshot) at `seq`.
+// `view` lets replicas that slept through view changes re-learn the current
+// view from f+1 agreeing peers.
+struct CheckpointMsg {
+  uint64_t view = 0;
+  uint64_t seq = 0;
+  uint64_t digest = 0;
+};
+
+// A lagging replica asks peers for checkpoint state above `last_executed`.
+struct StateRequestMsg {
+  uint64_t last_executed = 0;
+};
+
+// Peer's reply: its current state snapshot at `seq` (= its last executed
+// sequence number). `digest` must equal Fnv1a64(state); the requester only
+// installs once f+1 distinct replicas vouch for the same (seq, digest).
+struct StateResponseMsg {
+  uint64_t view = 0;
+  uint64_t seq = 0;
+  uint64_t digest = 0;
+  std::vector<uint8_t> state;
+};
+
 std::vector<uint8_t> EncodeBftRequest(const BftRequest& m);
 Result<BftRequest> DecodeBftRequest(const std::vector<uint8_t>& buf);
 std::vector<uint8_t> EncodePrePrepare(const PrePrepareMsg& m);
@@ -91,6 +119,12 @@ std::vector<uint8_t> EncodeViewChange(const ViewChangeMsg& m);
 Result<ViewChangeMsg> DecodeViewChange(const std::vector<uint8_t>& buf);
 std::vector<uint8_t> EncodeNewView(const NewViewMsg& m);
 Result<NewViewMsg> DecodeNewView(const std::vector<uint8_t>& buf);
+std::vector<uint8_t> EncodeCheckpoint(const CheckpointMsg& m);
+Result<CheckpointMsg> DecodeCheckpoint(const std::vector<uint8_t>& buf);
+std::vector<uint8_t> EncodeStateRequest(const StateRequestMsg& m);
+Result<StateRequestMsg> DecodeStateRequest(const std::vector<uint8_t>& buf);
+std::vector<uint8_t> EncodeStateResponse(const StateResponseMsg& m);
+Result<StateResponseMsg> DecodeStateResponse(const std::vector<uint8_t>& buf);
 
 }  // namespace edc
 

@@ -5,6 +5,7 @@
 #include <memory>
 #include <utility>
 
+#include "edc/common/hash.h"
 #include "edc/common/logging.h"
 
 namespace edc {
@@ -18,6 +19,8 @@ BftReplica::BftReplica(EventLoop* loop, Network* net, CpuQueue* cpu, const CostM
       config_(std::move(config)),
       callbacks_(callbacks) {
   assert(config_.members.size() >= static_cast<size_t>(3 * config_.f + 1));
+  assert(config_.checkpoint_interval > 0);
+  assert(config_.watermark_window >= 2 * config_.checkpoint_interval);
 }
 
 void BftReplica::Start() {
@@ -25,13 +28,24 @@ void BftReplica::Start() {
   running_ = true;
   view_ = 0;
   view_changing_ = false;
+  vc_target_ = 0;
   next_seq_ = 0;
   last_executed_ = 0;
   last_ts_ = 0;
+  last_exec_ts_ = 0;
   entries_.clear();
   pending_.clear();
   executed_reqs_.clear();
   view_changes_.clear();
+  low_watermark_ = 0;
+  own_checkpoints_.clear();
+  checkpoint_votes_.clear();
+  offered_states_.clear();
+  claimed_views_.clear();
+  own_state_seq_ = 0;
+  own_state_.clear();
+  fetch_target_ = 0;
+  probe_budget_ = 0;
 }
 
 void BftReplica::Crash() {
@@ -41,10 +55,20 @@ void BftReplica::Crash() {
 }
 
 void BftReplica::Restart() {
-  // The service layer must have reset its state machine; we rejoin at view 0
-  // and catch up through normal ordering (acceptable while <= f replicas
-  // misbehave overall, which is what the tests exercise).
+  // The service layer must have reset its state machine; we rejoin with an
+  // empty log and actively probe peers for the latest checkpoint so state
+  // transfer completes even if the cluster is idle (no new checkpoints).
   Start();
+  probe_budget_ = 16;
+  ScheduleCatchupProbe();
+}
+
+size_t BftReplica::dedup_ids() const {
+  size_t total = 0;
+  for (const auto& [client, dedup] : executed_reqs_) {
+    total += dedup.ids.size();
+  }
+  return total;
 }
 
 void BftReplica::SendTo(NodeId dst, BftMsgType type, std::vector<uint8_t> payload) {
@@ -127,6 +151,27 @@ void BftReplica::Process(Packet&& pkt) {
       }
       break;
     }
+    case BftMsgType::kCheckpoint: {
+      auto m = DecodeCheckpoint(pkt.payload);
+      if (m.ok()) {
+        OnCheckpoint(pkt.src, *m);
+      }
+      break;
+    }
+    case BftMsgType::kStateRequest: {
+      auto m = DecodeStateRequest(pkt.payload);
+      if (m.ok()) {
+        OnStateRequest(pkt.src, *m);
+      }
+      break;
+    }
+    case BftMsgType::kStateResponse: {
+      auto m = DecodeStateResponse(pkt.payload);
+      if (m.ok()) {
+        OnStateResponse(pkt.src, std::move(*m));
+      }
+      break;
+    }
     default:
       break;
   }
@@ -134,7 +179,8 @@ void BftReplica::Process(Packet&& pkt) {
 
 bool BftReplica::AlreadyOrdered(const BftRequest& req) const {
   auto it = executed_reqs_.find(req.client);
-  if (it != executed_reqs_.end() && it->second.count(req.req_id) > 0) {
+  if (it != executed_reqs_.end() &&
+      (req.req_id <= it->second.floor || it->second.ids.count(req.req_id) > 0)) {
     return true;
   }
   for (const auto& [seq, entry] : entries_) {
@@ -144,6 +190,13 @@ bool BftReplica::AlreadyOrdered(const BftRequest& req) const {
     }
   }
   return false;
+}
+
+void BftReplica::MarkExecuted(NodeId client, uint64_t req_id) {
+  ClientDedup& dedup = executed_reqs_[client];
+  if (req_id > dedup.floor) {
+    dedup.ids.insert(req_id);
+  }
 }
 
 void BftReplica::OnRequest(BftRequest&& req) {
@@ -164,12 +217,18 @@ void BftReplica::OnRequest(BftRequest&& req) {
 }
 
 void BftReplica::ProposePending() {
-  while (!pending_.empty()) {
+  // Stop at the high watermark: proposals beyond (low + window] would be
+  // rejected by every backup. The rest of the queue drains when the next
+  // stable checkpoint advances the window (MakeStable re-calls this).
+  while (!pending_.empty() && next_seq_ < low_watermark_ + config_.watermark_window) {
     BftRequest req = std::move(pending_.front());
     pending_.pop_front();
     if (!AlreadyOrdered(req)) {
       Propose(std::move(req));
     }
+  }
+  if (!pending_.empty()) {
+    ArmRequestTimer();
   }
 }
 
@@ -209,7 +268,7 @@ void BftReplica::OnPrePrepare(NodeId from, PrePrepareMsg&& msg) {
   if (msg.view != view_ || from != PrimaryOf(view_) || view_changing_) {
     return;
   }
-  if (msg.seq <= last_executed_) {
+  if (msg.seq <= last_executed_ || !InWindow(msg.seq)) {
     return;
   }
   Entry& entry = entries_[msg.seq];
@@ -230,7 +289,8 @@ void BftReplica::OnPrePrepare(NodeId from, PrePrepareMsg&& msg) {
 }
 
 void BftReplica::OnPrepare(NodeId from, const PhaseMsg& msg) {
-  if (msg.view != view_ || view_changing_ || msg.seq <= last_executed_) {
+  if (msg.view != view_ || view_changing_ || msg.seq <= last_executed_ ||
+      !InWindow(msg.seq)) {
     return;
   }
   Entry& entry = entries_[msg.seq];
@@ -258,7 +318,8 @@ void BftReplica::CheckPrepared(uint64_t seq) {
 }
 
 void BftReplica::OnCommit(NodeId from, const PhaseMsg& msg) {
-  if (msg.view != view_ || view_changing_ || msg.seq <= last_executed_) {
+  if (msg.view != view_ || view_changing_ || msg.seq <= last_executed_ ||
+      !InWindow(msg.seq)) {
     return;
   }
   Entry& entry = entries_[msg.seq];
@@ -293,8 +354,9 @@ void BftReplica::TryExecute() {
     }
     entry.executed = true;
     ++last_executed_;
+    last_exec_ts_ = entry.ts;
     if (!entry.request.is_noop()) {
-      executed_reqs_[entry.request.client].insert(entry.request.req_id);
+      MarkExecuted(entry.request.client, entry.request.req_id);
       BftExecOutcome outcome =
           callbacks_->Execute(last_executed_, entry.ts, entry.request);
       if (outcome.cpu_cost > 0) {
@@ -309,6 +371,9 @@ void BftReplica::TryExecute() {
       }
     }
     entries_.erase(it);
+    if (last_executed_ % config_.checkpoint_interval == 0) {
+      TakeLocalCheckpoint();
+    }
   }
   if (pending_.empty() && entries_.empty()) {
     loop_->Cancel(request_timer_);
@@ -319,6 +384,359 @@ void BftReplica::TryExecute() {
   if (is_primary() && !view_changing_) {
     ProposePending();
   }
+}
+
+// ------------------------------------------------- checkpoints / GC / transfer
+
+namespace {
+
+// LogStore::SerializeImage framing for the embedded service snapshot: u32
+// length + u64 FNV-1a checksum + payload, little-endian.
+void AppendFramed(Encoder& enc, const std::vector<uint8_t>& payload) {
+  enc.PutU32(static_cast<uint32_t>(payload.size()));
+  enc.PutU64(Fnv1a64(payload));
+  for (uint8_t b : payload) {
+    enc.PutU8(b);
+  }
+}
+
+Result<std::vector<uint8_t>> ReadFramed(Decoder& dec) {
+  auto len = dec.GetU32();
+  auto sum = dec.GetU64();
+  if (!len.ok() || !sum.ok() || dec.remaining() < *len) {
+    return Status(ErrorCode::kDecodeError, "truncated snapshot frame");
+  }
+  std::vector<uint8_t> payload;
+  payload.reserve(*len);
+  for (uint32_t i = 0; i < *len; ++i) {
+    payload.push_back(*dec.GetU8());
+  }
+  if (Fnv1a64(payload) != *sum) {
+    return Status(ErrorCode::kDecodeError, "snapshot frame checksum mismatch");
+  }
+  return payload;
+}
+
+}  // namespace
+
+std::vector<uint8_t> BftReplica::ComposeCheckpoint() {
+  // Pure function of the executed history: every field below is updated only
+  // during ordered execution (or at the deterministic checkpoint boundary in
+  // GcDedup's case), so replicas at the same sequence number agree
+  // byte-for-byte and the digest doubles as the transfer integrity check.
+  Encoder enc;
+  enc.PutU64(last_executed_);
+  enc.PutI64(last_exec_ts_);
+  enc.PutVarint(executed_reqs_.size());
+  for (const auto& [client, dedup] : executed_reqs_) {
+    enc.PutU32(client);
+    enc.PutU64(dedup.floor);
+    enc.PutVarint(dedup.ids.size());
+    for (uint64_t id : dedup.ids) {
+      enc.PutU64(id);
+    }
+  }
+  AppendFramed(enc, callbacks_->TakeSnapshot());
+  return enc.Release();
+}
+
+void BftReplica::GcDedup() {
+  for (auto& [client, dedup] : executed_reqs_) {
+    uint64_t hi = dedup.ids.empty() ? dedup.floor : *dedup.ids.rbegin();
+    uint64_t floor = hi > config_.dedup_window ? hi - config_.dedup_window : 0;
+    if (floor > dedup.floor) {
+      dedup.floor = floor;
+    }
+    dedup.ids.erase(dedup.ids.begin(), dedup.ids.upper_bound(dedup.floor));
+  }
+}
+
+void BftReplica::TakeLocalCheckpoint() {
+  GcDedup();  // deterministic boundary: same GC point on every replica
+  std::vector<uint8_t> state = ComposeCheckpoint();
+  uint64_t digest = Fnv1a64(state);
+  own_checkpoints_[last_executed_] = digest;
+  while (own_checkpoints_.size() > kMaxTrackedCheckpoints) {
+    own_checkpoints_.erase(own_checkpoints_.begin());
+  }
+  own_state_seq_ = last_executed_;
+  own_state_ = std::move(state);
+  CheckpointMsg msg{view_, last_executed_, digest};
+  BroadcastToReplicas(BftMsgType::kCheckpoint, EncodeCheckpoint(msg));
+  AddCheckpointVote(config_.self, msg.seq, msg.digest, view_);
+}
+
+void BftReplica::OnCheckpoint(NodeId from, const CheckpointMsg& msg) {
+  AddCheckpointVote(from, msg.seq, msg.digest, msg.view);
+}
+
+void BftReplica::OnStateRequest(NodeId from, const StateRequestMsg& msg) {
+  // Two offers. The checkpoint-boundary snapshot verifies against the
+  // CHECKPOINT votes already in flight cluster-wide, so under load a single
+  // response suffices. The freshly composed current-state snapshot covers the
+  // tail beyond the last boundary: in a quiesced cluster all honest replicas
+  // sit at the same sequence number, so f+1 of these match each other — this
+  // is how a requester reaches the final executed state (or any state at all
+  // before the first checkpoint is ever taken).
+  if (own_state_seq_ > msg.last_executed && !own_state_.empty() &&
+      own_state_seq_ != last_executed_) {
+    StateResponseMsg resp{view_, own_state_seq_, Fnv1a64(own_state_), own_state_};
+    SendTo(from, BftMsgType::kStateResponse, EncodeStateResponse(resp));
+  }
+  if (last_executed_ > msg.last_executed) {
+    std::vector<uint8_t> state = ComposeCheckpoint();
+    uint64_t digest = Fnv1a64(state);
+    StateResponseMsg resp{view_, last_executed_, digest, std::move(state)};
+    SendTo(from, BftMsgType::kStateResponse, EncodeStateResponse(resp));
+  }
+}
+
+void BftReplica::OnStateResponse(NodeId from, StateResponseMsg&& msg) {
+  if (Fnv1a64(msg.state) != msg.digest) {
+    return;  // payload does not match its own digest: drop
+  }
+  if (msg.seq > last_executed_) {
+    auto& by_digest = offered_states_[msg.seq];
+    if (by_digest.size() < static_cast<size_t>(config_.f + 1) ||
+        by_digest.count(msg.digest) > 0) {
+      by_digest[msg.digest] = std::move(msg.state);
+    }
+    while (offered_states_.size() > kMaxTrackedCheckpoints) {
+      offered_states_.erase(std::prev(offered_states_.end()));
+    }
+  }
+  AddCheckpointVote(from, msg.seq, msg.digest, msg.view);
+}
+
+void BftReplica::AddCheckpointVote(NodeId from, uint64_t seq, uint64_t digest,
+                                   uint64_t claimed_view) {
+  if (from != config_.self) {
+    uint64_t& claimed = claimed_views_[from];
+    claimed = std::max(claimed, claimed_view);
+    MaybeAdoptView();
+  }
+  if (seq <= low_watermark_) {
+    return;
+  }
+  checkpoint_votes_[seq][from] = digest;
+  while (checkpoint_votes_.size() > kMaxTrackedCheckpoints) {
+    // Honest checkpoints track execution; evict the furthest-future entry
+    // first so a Byzantine flood of bogus high seqs cannot displace them.
+    checkpoint_votes_.erase(std::prev(checkpoint_votes_.end()));
+  }
+
+  // Stability: 2f+1 matching digests (counting our own) for a checkpoint we
+  // have taken ourselves.
+  auto own = own_checkpoints_.find(seq);
+  if (own != own_checkpoints_.end()) {
+    size_t matching = 0;
+    for (const auto& [node, d] : checkpoint_votes_[seq]) {
+      if (d == own->second) {
+        ++matching;
+      }
+    }
+    if (matching >= static_cast<size_t>(2 * config_.f + 1)) {
+      MakeStable(seq);
+      return;
+    }
+  }
+
+  // Gap detection: f+1 distinct replicas (one of them honest) vouch for
+  // state beyond what we can reach by executing what we already hold.
+  if (seq > last_executed_) {
+    size_t agreeing = 0;
+    for (const auto& [node, d] : checkpoint_votes_[seq]) {
+      if (d == digest) {
+        ++agreeing;
+      }
+    }
+    if (agreeing >= static_cast<size_t>(config_.f + 1)) {
+      bool reachable = true;
+      for (uint64_t s = last_executed_ + 1; s <= seq; ++s) {
+        auto it = entries_.find(s);
+        if (it == entries_.end() || !it->second.has_request) {
+          reachable = false;
+          break;
+        }
+      }
+      if (!reachable) {
+        MaybeInstallState();
+        if (last_executed_ < seq && fetch_target_ < seq) {
+          fetch_target_ = seq;
+          StateRequestMsg req{last_executed_};
+          BroadcastToReplicas(BftMsgType::kStateRequest, EncodeStateRequest(req));
+        }
+      }
+    }
+  }
+}
+
+void BftReplica::MaybeAdoptView() {
+  // f+1 peers reporting view >= v means at least one honest replica moved to
+  // v: a rejoining replica adopts it instead of fighting through redundant
+  // view changes. v is the (f+1)-th largest claimed view.
+  if (claimed_views_.size() < static_cast<size_t>(config_.f + 1)) {
+    return;
+  }
+  std::vector<uint64_t> views;
+  views.reserve(claimed_views_.size());
+  for (const auto& [node, v] : claimed_views_) {
+    views.push_back(v);
+  }
+  std::sort(views.begin(), views.end(), std::greater<uint64_t>());
+  uint64_t adopted = views[config_.f];
+  if (adopted > view_) {
+    EDC_LOG(kDebug) << "replica " << config_.self << " adopts view " << adopted
+                    << " from checkpoint traffic (was " << view_ << ")";
+    view_ = adopted;
+    view_changing_ = false;
+    vc_target_ = std::max(vc_target_, adopted);
+    next_seq_ = std::max(next_seq_, last_executed_);
+    if (is_primary()) {
+      ProposePending();
+    }
+  }
+}
+
+void BftReplica::MakeStable(uint64_t seq) {
+  if (seq <= low_watermark_) {
+    return;
+  }
+  low_watermark_ = seq;
+  // Log GC: everything at or below the stable checkpoint is re-creatable
+  // from the checkpoint itself; pre-prepares outside the new window are
+  // rejected from here on.
+  entries_.erase(entries_.begin(), entries_.upper_bound(seq));
+  own_checkpoints_.erase(own_checkpoints_.begin(), own_checkpoints_.lower_bound(seq));
+  checkpoint_votes_.erase(checkpoint_votes_.begin(), checkpoint_votes_.lower_bound(seq));
+  offered_states_.erase(offered_states_.begin(), offered_states_.upper_bound(seq));
+  for (auto it = view_changes_.begin(); it != view_changes_.end();) {
+    it = it->first <= view_ ? view_changes_.erase(it) : std::next(it);
+  }
+  EDC_LOG(kDebug) << "replica " << config_.self << " stable checkpoint at " << seq;
+  if (is_primary() && !view_changing_) {
+    ProposePending();  // the watermark advance may have reopened the window
+  }
+}
+
+void BftReplica::MaybeInstallState() {
+  // Newest first: installing the highest vouched-for checkpoint subsumes the
+  // older ones.
+  for (auto it = checkpoint_votes_.rbegin(); it != checkpoint_votes_.rend(); ++it) {
+    uint64_t seq = it->first;
+    if (seq <= last_executed_) {
+      break;
+    }
+    auto offered = offered_states_.find(seq);
+    if (offered == offered_states_.end()) {
+      continue;
+    }
+    std::map<uint64_t, size_t> by_digest;
+    for (const auto& [node, d] : it->second) {
+      ++by_digest[d];
+    }
+    for (const auto& [digest, votes] : by_digest) {
+      if (votes < static_cast<size_t>(config_.f + 1)) {
+        continue;
+      }
+      auto state = offered->second.find(digest);
+      if (state != offered->second.end() && InstallCheckpoint(seq, state->second)) {
+        return;
+      }
+    }
+  }
+}
+
+bool BftReplica::InstallCheckpoint(uint64_t seq, const std::vector<uint8_t>& state) {
+  Decoder dec(state);
+  auto exec = dec.GetU64();
+  auto exec_ts = dec.GetI64();
+  auto nclients = dec.GetVarint();
+  if (!exec.ok() || !exec_ts.ok() || !nclients.ok() || *exec != seq) {
+    return false;
+  }
+  std::map<NodeId, ClientDedup> dedup;
+  for (uint64_t i = 0; i < *nclients; ++i) {
+    auto client = dec.GetU32();
+    auto floor = dec.GetU64();
+    auto nids = dec.GetVarint();
+    if (!client.ok() || !floor.ok() || !nids.ok()) {
+      return false;
+    }
+    ClientDedup& d = dedup[*client];
+    d.floor = *floor;
+    for (uint64_t j = 0; j < *nids; ++j) {
+      auto id = dec.GetU64();
+      if (!id.ok()) {
+        return false;
+      }
+      d.ids.insert(*id);
+    }
+  }
+  auto service = ReadFramed(dec);
+  if (!service.ok()) {
+    return false;
+  }
+  if (auto s = callbacks_->RestoreSnapshot(*service); !s.ok()) {
+    EDC_LOG(kWarn) << "replica " << config_.self << " snapshot restore failed: "
+                   << s.message();
+    return false;
+  }
+  uint64_t digest = Fnv1a64(state);
+  // A successful install proves a live ordering pipeline at the current view
+  // (someone executed past us), so abandon any lone view change we started
+  // while isolated — otherwise view_changing_ would keep us rejecting
+  // pre-prepares forever. Genuine cluster-wide view changes stall execution,
+  // produce no new checkpoints, and therefore never reach this path.
+  view_changing_ = false;
+  last_executed_ = seq;
+  last_exec_ts_ = *exec_ts;
+  last_ts_ = std::max(last_ts_, last_exec_ts_);
+  executed_reqs_ = std::move(dedup);
+  next_seq_ = std::max(next_seq_, seq);
+  low_watermark_ = seq;
+  entries_.erase(entries_.begin(), entries_.upper_bound(seq));
+  own_checkpoints_[seq] = digest;
+  own_state_seq_ = seq;
+  own_state_ = state;
+  checkpoint_votes_.erase(checkpoint_votes_.begin(), checkpoint_votes_.lower_bound(seq));
+  offered_states_.erase(offered_states_.begin(), offered_states_.upper_bound(seq));
+  fetch_target_ = 0;
+  ++state_transfers_;
+  // Buffered requests the transferred dedup summary shows as executed will
+  // never execute here; dropping them lets the request timer quiesce.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    it = AlreadyOrdered(*it) ? pending_.erase(it) : std::next(it);
+  }
+  EDC_LOG(kInfo) << "replica " << config_.self << " installed checkpoint " << seq
+                 << " via state transfer";
+  TryExecute();  // entries beyond the checkpoint may already be committed
+  return true;
+}
+
+void BftReplica::ScheduleCatchupProbe() {
+  if (!running_ || probe_budget_ <= 0) {
+    return;
+  }
+  --probe_budget_;
+  StateRequestMsg req{last_executed_};
+  BroadcastToReplicas(BftMsgType::kStateRequest, EncodeStateRequest(req));
+  uint64_t gen = generation_;
+  loop_->Schedule(config_.request_timeout * 2, [this, gen]() {
+    if (gen != generation_ || !running_) {
+      return;
+    }
+    // Keep probing while any peer has vouched for state beyond us (or we
+    // have yet to execute anything at all); the budget bounds the idle-timer
+    // lifetime so an up-to-date ensemble quiesces.
+    uint64_t ahead = 0;
+    for (const auto& [seq, votes] : checkpoint_votes_) {
+      ahead = std::max(ahead, seq);
+    }
+    if (ahead > last_executed_ || last_executed_ == 0) {
+      ScheduleCatchupProbe();
+    }
+  });
 }
 
 // -------------------------------------------------------------- view change
@@ -342,7 +760,11 @@ void BftReplica::OnRequestTimeout() {
   bool work_outstanding = !pending_.empty() || !entries_.empty();
   if (view_changing_) {
     // View change itself stalled (e.g. the would-be primary is down); move
-    // to the next view.
+    // to the next view. Also probe for state: if the rest of the cluster is
+    // in fact executing without us (we slept through a partition), peers
+    // answer with a checkpoint and the transfer path rejoins us.
+    StateRequestMsg probe{last_executed_};
+    BroadcastToReplicas(BftMsgType::kStateRequest, EncodeStateRequest(probe));
     StartViewChange(vc_target_ + 1);
     return;
   }
@@ -355,6 +777,8 @@ void BftReplica::OnRequestTimeout() {
     ArmRequestTimer();
     return;
   }
+  StateRequestMsg probe{last_executed_};
+  BroadcastToReplicas(BftMsgType::kStateRequest, EncodeStateRequest(probe));
   StartViewChange(view_ + 1);
 }
 
@@ -449,6 +873,9 @@ void BftReplica::OnNewView(NewViewMsg&& msg) {
 }
 
 void BftReplica::AdoptEntry(const PreparedEntry& e, uint64_t view) {
+  if (!InWindow(e.seq)) {
+    return;  // below the stable checkpoint (or absurdly far ahead)
+  }
   Entry& entry = entries_[e.seq];
   entry.view = view;
   entry.ts = e.ts;

@@ -18,9 +18,22 @@
 // primary stamp different timestamps per backup, which prevents agreement and
 // drives the ensemble through a view change.
 //
-// Omitted relative to full PBFT (documented scope): checkpoints/log GC,
-// MACs/signatures, and state transfer for replicas that slept through whole
-// views (the simulator never needs them at benchmark scale).
+// Checkpoints, log GC and state transfer (docs/bft_recovery.md): every
+// `checkpoint_interval` executed sequence numbers a replica fingerprints its
+// full state (service snapshot + bounded request-dedup summary) and
+// broadcasts CHECKPOINT(seq, digest). On 2f+1 matching digests the
+// checkpoint is stable: the low watermark advances to it, entries at or
+// below it are garbage-collected, and pre-prepares outside
+// (low, low + watermark_window] are rejected. A replica that detects f+1
+// peers vouching for a checkpoint above its own execution point (after a
+// restart, or having slept through a partition) fetches the state with
+// STATE-REQUEST/STATE-RESPONSE, verifies the payload hash against the f+1
+// votes, installs it, and resumes ordered execution from there. Checkpoint
+// messages also carry the sender's view, so a rejoining replica adopts any
+// view that f+1 peers claim.
+//
+// Omitted relative to full PBFT (documented scope): MACs/signatures
+// (authenticated point-to-point links are assumed, as in the simulator).
 
 #ifndef EDC_BFT_REPLICA_H_
 #define EDC_BFT_REPLICA_H_
@@ -52,6 +65,17 @@ class BftCallbacks {
   // Deterministic execution of the request ordered at (seq, ts). The service
   // sends client replies itself via BftReplica::SendReply.
   virtual BftExecOutcome Execute(uint64_t seq, SimTime ts, const BftRequest& request) = 0;
+
+  // Serializes the full service state machine. Must be a pure function of
+  // the executed history (all replicas at the same sequence number return
+  // identical bytes), since the checkpoint digest hashes it. Defaults model
+  // a stateless service so protocol-only tests need no snapshot plumbing.
+  virtual std::vector<uint8_t> TakeSnapshot() { return {}; }
+  // Replaces the service state machine with a transferred snapshot.
+  virtual Status RestoreSnapshot(const std::vector<uint8_t>& snapshot) {
+    (void)snapshot;
+    return Status::Ok();
+  }
 };
 
 struct BftConfig {
@@ -59,6 +83,16 @@ struct BftConfig {
   NodeId self = 0;
   int f = 1;
   Duration request_timeout = Millis(300);
+  // Checkpoint every K executed sequence numbers...
+  uint64_t checkpoint_interval = 8;
+  // ...and accept pre-prepares only within (low, low + window]. Must be a
+  // multiple of checkpoint_interval and at least 2x it, or ordering can
+  // wedge with no checkpoint boundary inside the window.
+  uint64_t watermark_window = 32;
+  // Per-client executed-request-id memory: ids more than this far below the
+  // client's newest executed id are treated as already executed (GC'd at
+  // checkpoint boundaries so the dedup map stays bounded).
+  uint64_t dedup_window = 64;
 };
 
 class BftReplica {
@@ -71,9 +105,9 @@ class BftReplica {
 
   void Start();
   void Crash();
-  void Restart();  // NOTE: rejoining replica replays nothing (no state
-                   // transfer); tests restart replicas only while < f others
-                   // are down, which PBFT tolerates.
+  void Restart();  // Rejoins with empty state and probes peers for the
+                   // latest stable checkpoint (state transfer), so a
+                   // restarted replica catches up even in an idle cluster.
 
   void HandlePacket(Packet&& pkt);
   void SendReply(NodeId client, uint64_t req_id, std::vector<uint8_t> payload);
@@ -82,6 +116,14 @@ class BftReplica {
   uint64_t view() const { return view_; }
   bool is_primary() const { return running_ && PrimaryOf(view_) == config_.self; }
   uint64_t last_executed() const { return last_executed_; }
+
+  // Checkpoint/GC observability (harness invariants and recovery tests).
+  uint64_t low_watermark() const { return low_watermark_; }
+  uint64_t watermark_window() const { return config_.watermark_window; }
+  size_t log_entries() const { return entries_.size(); }
+  uint64_t min_entry_seq() const { return entries_.empty() ? 0 : entries_.begin()->first; }
+  size_t dedup_ids() const;       // total request ids tracked across clients
+  int64_t state_transfers() const { return state_transfers_; }
 
   // Fault injection: primary stamps a different timestamp per backup.
   void SetEquivocate(bool on) { equivocate_ = on; }
@@ -99,10 +141,22 @@ class BftReplica {
     bool executed = false;
   };
 
+  // Bounded per-client dedup: ids <= floor are treated as executed; ids
+  // above it are tracked exactly. GC'd at checkpoint boundaries (a
+  // deterministic point of the execution stream, so snapshots of replicas at
+  // the same sequence number are byte-identical).
+  struct ClientDedup {
+    uint64_t floor = 0;
+    std::set<uint64_t> ids;
+  };
+
   size_t PrepareQuorum() const { return static_cast<size_t>(2 * config_.f + 1); }
   size_t CommitQuorum() const { return static_cast<size_t>(2 * config_.f + 1); }
   NodeId PrimaryOf(uint64_t view) const {
     return config_.members[view % config_.members.size()];
+  }
+  bool InWindow(uint64_t seq) const {
+    return seq > low_watermark_ && seq <= low_watermark_ + config_.watermark_window;
   }
 
   void SendTo(NodeId dst, BftMsgType type, std::vector<uint8_t> payload);
@@ -127,6 +181,22 @@ class BftReplica {
   void AdoptEntry(const PreparedEntry& e, uint64_t view);
 
   bool AlreadyOrdered(const BftRequest& req) const;
+  void MarkExecuted(NodeId client, uint64_t req_id);
+
+  // ---- checkpointing / GC / state transfer ----
+  std::vector<uint8_t> ComposeCheckpoint();  // state at last_executed_
+  void TakeLocalCheckpoint();                // every checkpoint_interval execs
+  void GcDedup();
+  void OnCheckpoint(NodeId from, const CheckpointMsg& msg);
+  void OnStateRequest(NodeId from, const StateRequestMsg& msg);
+  void OnStateResponse(NodeId from, StateResponseMsg&& msg);
+  void AddCheckpointVote(NodeId from, uint64_t seq, uint64_t digest,
+                         uint64_t claimed_view);
+  void MaybeAdoptView();
+  void MakeStable(uint64_t seq);
+  void MaybeInstallState();
+  bool InstallCheckpoint(uint64_t seq, const std::vector<uint8_t>& state);
+  void ScheduleCatchupProbe();
 
   EventLoop* loop_;
   Network* net_;
@@ -145,12 +215,28 @@ class BftReplica {
   uint64_t next_seq_ = 0;  // primary only
   uint64_t last_executed_ = 0;
   SimTime last_ts_ = 0;
+  SimTime last_exec_ts_ = 0;  // ts of the last executed entry (checkpointed)
 
-  std::map<uint64_t, Entry> entries_;  // by seq, current view only
+  std::map<uint64_t, Entry> entries_;  // by seq, within the watermark window
   std::deque<BftRequest> pending_;     // buffered, not yet pre-prepared
-  std::map<NodeId, std::set<uint64_t>> executed_reqs_;  // dedup
+  std::map<NodeId, ClientDedup> executed_reqs_;  // bounded dedup
 
   std::map<uint64_t, std::map<NodeId, ViewChangeMsg>> view_changes_;  // by new_view
+
+  // Checkpoint protocol state.
+  uint64_t low_watermark_ = 0;  // latest stable checkpoint
+  std::map<uint64_t, uint64_t> own_checkpoints_;  // seq -> our digest
+  std::map<uint64_t, std::map<NodeId, uint64_t>> checkpoint_votes_;  // seq -> node -> digest
+  // seq -> digest -> payload whose hash matches that digest (a Byzantine
+  // responder can only add a bogus digest entry, never displace an honest one).
+  std::map<uint64_t, std::map<uint64_t, std::vector<uint8_t>>> offered_states_;
+  std::map<NodeId, uint64_t> claimed_views_;  // newest view each peer reported
+  uint64_t own_state_seq_ = 0;          // seq of our latest composed checkpoint
+  std::vector<uint8_t> own_state_;      // its bytes (served to lagging peers)
+  uint64_t fetch_target_ = 0;  // checkpoint seq currently being fetched (0 = none)
+  int probe_budget_ = 0;       // remaining catch-up probes after a restart
+  int64_t state_transfers_ = 0;
+  static constexpr size_t kMaxTrackedCheckpoints = 64;  // Byzantine spam bound
 
   TimerId request_timer_ = kInvalidTimer;
   uint64_t exec_at_arm_ = 0;  // progress marker: last_executed_ when armed

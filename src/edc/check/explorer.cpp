@@ -306,10 +306,17 @@ PlanSpec GeneratePlan(SystemKind system, uint64_t seed) {
       }
     } else {
       // Servers are {1,2,3,4}, f=1 (quorum 3): a 2-2 split stalls ordering
-      // entirely and must heal cleanly. No crash/restart — PBFT state
-      // transfer is out of scope for this replica implementation.
-      switch (rng.UniformU64(3)) {
+      // entirely and must heal cleanly. Crash/restart exercises PBFT
+      // checkpointing + state transfer; episodes are sequential (the cursor
+      // advances past each episode's end), so at most one replica (= f) is
+      // ever down at a time.
+      switch (rng.UniformU64(4)) {
         case 0: {
+          ep.kind = EpisodeKind::kCrashRestart;
+          ep.node = static_cast<NodeId>(1 + rng.UniformU64(4));
+          break;
+        }
+        case 1: {
           ep.kind = EpisodeKind::kPartition;
           NodeId mate = static_cast<NodeId>(2 + rng.UniformU64(3));
           ep.group_a = {1, mate};
@@ -320,7 +327,7 @@ PlanSpec GeneratePlan(SystemKind system, uint64_t seed) {
           }
           break;
         }
-        case 1: {
+        case 2: {
           ep.kind = EpisodeKind::kLinkDelay;
           ep.link_a = static_cast<NodeId>(1 + rng.UniformU64(4));
           do {
@@ -428,6 +435,14 @@ ScheduleResult RunSchedule(const ExplorerOptions& options, const PlanSpec& plan)
     std::string why;
     if (!PrefixConsistentLogs(fx.zk_servers, &why)) {
       result.violations.push_back("prefix-consistent logs violated: " + why);
+    }
+  } else {
+    std::string why;
+    if (!EdsDigestsMatch(fx.ds_servers, &why)) {
+      result.violations.push_back("EDS digests diverge: " + why);
+    }
+    if (!EdsLogBounded(fx.ds_servers, &why)) {
+      result.violations.push_back("EDS log unbounded: " + why);
     }
   }
   result.passed = result.violations.empty();

@@ -17,7 +17,12 @@
 // is indistinguishable from a server bug). For the ZooKeeper family the
 // grammar additionally avoids drops and duplicates even between servers:
 // Zab's pairwise streams assume the FIFO transport the simulator provides,
-// and a duplicated forwarded write would legitimately commit twice.
+// and a duplicated forwarded write would legitimately commit twice. The EDS
+// family draws crash-restart episodes for its BFT replicas: episodes are
+// sequential, so at most one replica (= f) is down at a time, and a restarted
+// replica must rejoin via checkpoint state transfer — RunSchedule checks the
+// EdsDigestsMatch and EdsLogBounded invariants after the drain on top of the
+// history conformance check.
 
 #ifndef EDC_CHECK_EXPLORER_H_
 #define EDC_CHECK_EXPLORER_H_

@@ -141,6 +141,9 @@ DsServer::DsServer(EventLoop* loop, Network* net, NodeId id, std::vector<NodeId>
   cfg.self = id;
   cfg.f = options_.f;
   cfg.request_timeout = options_.request_timeout;
+  cfg.checkpoint_interval = options_.checkpoint_interval;
+  cfg.watermark_window = options_.watermark_window;
+  cfg.dedup_window = options_.dedup_window;
   bft_ = std::make_unique<BftReplica>(loop, net, &cpu_, costs, cfg, this);
 }
 
@@ -177,6 +180,58 @@ void DsServer::HandlePacket(Packet&& pkt) {
   if (IsBftPacket(pkt.type)) {
     bft_->HandlePacket(std::move(pkt));
   }
+}
+
+std::vector<uint8_t> DsServer::TakeSnapshot() {
+  Encoder enc;
+  enc.PutBytes(space_.Serialize());
+  enc.PutU64(next_waiter_order_);
+  enc.PutVarint(waiters_.size());
+  for (const Waiter& w : waiters_) {
+    EncodeTemplate(enc, w.templ);
+    enc.PutU32(w.client);
+    enc.PutU64(w.req_id);
+    enc.PutBool(w.consume);
+    enc.PutU64(w.order);
+  }
+  return enc.Release();
+}
+
+Status DsServer::RestoreSnapshot(const std::vector<uint8_t>& snapshot) {
+  Decoder dec(snapshot);
+  auto image = dec.GetBytes();
+  auto order = dec.GetU64();
+  auto n = dec.GetVarint();
+  if (!image.ok() || !order.ok() || !n.ok()) {
+    return Status(ErrorCode::kDecodeError, "snapshot header");
+  }
+  std::vector<Waiter> waiters;
+  for (uint64_t i = 0; i < *n; ++i) {
+    Waiter w;
+    auto templ = DecodeTemplate(dec);
+    auto client = dec.GetU32();
+    auto req_id = dec.GetU64();
+    auto consume = dec.GetBool();
+    auto worder = dec.GetU64();
+    if (!templ.ok() || !client.ok() || !req_id.ok() || !consume.ok() || !worder.ok()) {
+      return Status(ErrorCode::kDecodeError, "snapshot waiter");
+    }
+    w.templ = std::move(*templ);
+    w.client = *client;
+    w.req_id = *req_id;
+    w.consume = *consume;
+    w.order = *worder;
+    waiters.push_back(std::move(w));
+  }
+  if (auto s = space_.Load(*image); !s.ok()) {
+    return s;
+  }
+  next_waiter_order_ = *order;
+  waiters_ = std::move(waiters);
+  if (hooks_ != nullptr) {
+    hooks_->OnStateReloaded();  // rebuild the extension registry from /em tuples
+  }
+  return Status::Ok();
 }
 
 Status DsServer::CheckAccess(NodeId client, DsOpType type, const DsTuple* tuple,

@@ -58,6 +58,10 @@ struct DsServerOptions {
   DsAccessControl access;
   DsPolicy policy;
   size_t max_event_rounds = 8;  // unblock/event-extension cascade cap
+  // Passed through to BftConfig (see replica.h for the constraints).
+  uint64_t checkpoint_interval = 8;
+  uint64_t watermark_window = 32;
+  uint64_t dedup_window = 64;
 };
 
 // State-access facade handed to normal execution, extensions and event
@@ -113,8 +117,13 @@ class DsServer : public NetworkNode, public BftCallbacks {
   // NetworkNode.
   void HandlePacket(Packet&& pkt) override;
 
-  // BftCallbacks.
+  // BftCallbacks. The snapshot covers everything replicated execution
+  // mutates: the tuple space, the blocked rd/in waiters (they consume tuples
+  // when unblocked, so a transferred replica must carry them to stay digest-
+  // identical), and the waiter ordering counter.
   BftExecOutcome Execute(uint64_t seq, SimTime ts, const BftRequest& request) override;
+  std::vector<uint8_t> TakeSnapshot() override;
+  Status RestoreSnapshot(const std::vector<uint8_t>& snapshot) override;
 
   NodeId id() const { return id_; }
   bool running() const { return running_; }

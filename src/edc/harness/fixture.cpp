@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "edc/harness/invariants.h"
+
 namespace edc {
 
 const char* SystemName(SystemKind kind) {
@@ -129,6 +131,10 @@ int64_t CoordFixture::ClientBytesSent() const {
     total += net_->StatsFor(client_node(i)).bytes_sent;
   }
   return total;
+}
+
+bool CoordFixture::CheckEdsInvariants(std::string* why) const {
+  return EdsDigestsMatch(ds_servers, why) && EdsLogBounded(ds_servers, why);
 }
 
 }  // namespace edc

@@ -81,6 +81,11 @@ class CoordFixture {
   // client", Fig. 8/10).
   int64_t ClientBytesSent() const;
 
+  // Both one-shot EDS invariants (EdsDigestsMatch + EdsLogBounded) in one
+  // call; `why` receives the first violation. Vacuously true for ZK-family
+  // fixtures.
+  bool CheckEdsInvariants(std::string* why = nullptr) const;
+
   // Direct server access for special benches (fault injection, CPU stats).
   std::vector<std::unique_ptr<ZkServer>> zk_servers;
   std::vector<std::unique_ptr<DsServer>> ds_servers;

@@ -109,4 +109,32 @@ bool EdsDigestsMatch(const std::vector<std::unique_ptr<DsServer>>& servers,
   return true;
 }
 
+bool EdsLogBounded(const std::vector<std::unique_ptr<DsServer>>& servers,
+                   std::string* why) {
+  for (const auto& server : servers) {
+    if (!server->running()) {
+      continue;
+    }
+    const BftReplica& bft = server->bft();
+    uint64_t window = bft.watermark_window();
+    if (bft.last_executed() - bft.low_watermark() > window) {
+      if (why != nullptr) {
+        *why = "node " + std::to_string(server->id()) + " checkpoint lag " +
+               std::to_string(bft.last_executed() - bft.low_watermark()) +
+               " exceeds window " + std::to_string(window);
+      }
+      return false;
+    }
+    if (bft.log_entries() > window) {
+      if (why != nullptr) {
+        *why = "node " + std::to_string(server->id()) + " holds " +
+               std::to_string(bft.log_entries()) + " log entries, window " +
+               std::to_string(window);
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace edc

@@ -10,6 +10,10 @@
 //     bug).
 //   * Matching EDS digests — after a heal, all running DepSpace replicas
 //     converge to byte-identical tuple spaces.
+//   * Bounded EDS logs — checkpointing and log GC keep every running
+//     replica's ordering log within the watermark window; an entry count or
+//     checkpoint lag beyond it means GC regressed (the pre-checkpoint
+//     unbounded-log behaviour).
 
 #ifndef EDC_HARNESS_INVARIANTS_H_
 #define EDC_HARNESS_INVARIANTS_H_
@@ -60,6 +64,12 @@ bool PrefixConsistentLogs(const std::vector<std::unique_ptr<ZkServer>>& servers,
 // spaces (same Digest()).
 bool EdsDigestsMatch(const std::vector<std::unique_ptr<DsServer>>& servers,
                      std::string* why = nullptr);
+
+// One-shot: true when every running DepSpace replica's BFT log is bounded by
+// its watermark window — both the stored entry count and the distance from
+// the last stable checkpoint to the execution point.
+bool EdsLogBounded(const std::vector<std::unique_ptr<DsServer>>& servers,
+                   std::string* why = nullptr);
 
 }  // namespace edc
 

@@ -46,7 +46,47 @@ TEST(ChaosTest, PartitionThenHealEdsReplicasConverge) {
 
   std::string why;
   EXPECT_TRUE(EdsDigestsMatch(fix.ds_servers, &why)) << why;
+  EXPECT_TRUE(EdsLogBounded(fix.ds_servers, &why)) << why;
   ASSERT_EQ(fix.faults().trace().size(), 2u);
+}
+
+// Crash-restart under continuous load: the restarted replica slept through
+// stable checkpoints whose pre-prepares are garbage-collected cluster-wide,
+// so only checkpoint state transfer can rejoin it; afterwards every replica
+// (including the rejoined one) must hold an identical tuple space and a log
+// bounded by the watermark window.
+TEST(ChaosTest, CrashRestartEdsReplicaRejoinsViaStateTransfer) {
+  FixtureOptions options;
+  options.system = SystemKind::kExtensibleDepSpace;
+  options.num_clients = 2;
+  options.seed = 11;
+  ClusterFixture fix(options);
+  fix.Start();
+
+  SimTime t = fix.loop().now();
+  FaultPlan plan;
+  plan.CrashAt(t + Millis(300), 3).RestartAt(t + Seconds(4), 3);
+  fix.RunPlan(plan);
+
+  int completed = 0;
+  for (int i = 0; i < 30; ++i) {
+    fix.loop().Schedule(Millis(150) * i, [&fix, &completed, i]() {
+      fix.coord(i % 2)->Create("/chaos/cr" + std::to_string(i), "v",
+                               [&completed](Result<std::string> r) {
+                                 if (r.ok()) {
+                                   ++completed;
+                                 }
+                               });
+    });
+  }
+  fix.Settle(Seconds(12));
+  EXPECT_GE(completed, 25) << "workload must survive the crash window";
+
+  const BftReplica& rejoined = fix.ds_servers[2]->bft();
+  EXPECT_GE(rejoined.state_transfers(), 1);
+  EXPECT_GT(rejoined.low_watermark(), 0u);
+  std::string why;
+  EXPECT_TRUE(fix.CheckEdsInvariants(&why)) << why;
 }
 
 // A client holding a session (and an in-flight watch) against a replica that
