@@ -45,6 +45,8 @@ extension fan_writer {
 struct FanoutResult {
   double inter_server_kb_per_op = 0;
   double ops_per_sec = 0;
+  RunStats stats;
+  uint64_t seed = 0;
 };
 
 FanoutResult RunOne(SystemKind system, int k, size_t bytes) {
@@ -52,6 +54,7 @@ FanoutResult RunOne(SystemKind system, int k, size_t bytes) {
   options.system = system;
   options.num_clients = 4;
   options.seed = 8000 + static_cast<uint64_t>(k);
+  options.observability = true;
   CoordFixture fixture(options);
   fixture.Start();
 
@@ -96,6 +99,7 @@ FanoutResult RunOne(SystemKind system, int k, size_t bytes) {
   int64_t inter_server = (fixture.net().total_bytes_sent() - total_before) -
                          (client_traffic() - client_before);
   FanoutResult out;
+  out.seed = options.seed;
   out.ops_per_sec = stats.ThroughputOpsPerSec();
   int64_t total_ops = static_cast<int64_t>(
       static_cast<double>(stats.ops) * ToSeconds(kWarmup + kMeasure) / ToSeconds(kMeasure));
@@ -103,12 +107,14 @@ FanoutResult RunOne(SystemKind system, int k, size_t bytes) {
       total_ops > 0 ? static_cast<double>(inter_server) / 1024.0 /
                           static_cast<double>(total_ops)
                     : 0.0;
+  out.stats = stats;
   return out;
 }
 
 void Main() {
   BenchTable table({"system", "objects_written", "payload_bytes", "server_kb_per_op",
                     "kops_per_s"});
+  BenchJson json("abl_fanout");
   for (SystemKind system :
        {SystemKind::kExtensibleZooKeeper, SystemKind::kExtensibleDepSpace}) {
     for (int k : {1, 4, 16}) {
@@ -116,6 +122,14 @@ void Main() {
         FanoutResult r = RunOne(system, k, bytes);
         table.AddRow({SystemName(system), std::to_string(k), std::to_string(bytes),
                       Fmt(r.inter_server_kb_per_op, 3), Fmt(r.ops_per_sec / 1000.0)});
+        // Row label carries the configuration; kb_per_op here reports the
+        // inter-SERVER bytes (the quantity this ablation is about).
+        json.AddCustomRow(std::string(SystemName(system)) + "/k" + std::to_string(k) +
+                              "/b" + std::to_string(bytes),
+                          4, r.seed, r.ops_per_sec,
+                          static_cast<double>(r.stats.latency.Percentile(0.5)) / 1e6,
+                          static_cast<double>(r.stats.latency.Percentile(0.99)) / 1e6,
+                          r.inter_server_kb_per_op, &r.stats.stages);
       }
     }
   }
@@ -123,6 +137,7 @@ void Main() {
   std::printf("EZK ships state deltas (grows with the write set); EDS ships the\n"
               "triggering request (grows with the payload, not the object count).\n\n");
   table.Print();
+  json.Write();
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/gbench_json.h"
 #include "edc/script/interpreter.h"
 #include "edc/script/parser.h"
 
@@ -90,4 +91,4 @@ BENCHMARK(BM_BudgetExhaustion)->Arg(16)->Arg(256)->Arg(4096);
 }  // namespace
 }  // namespace edc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return edc::GBenchMainWithJson("abl_sandbox", argc, argv); }

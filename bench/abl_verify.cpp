@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/gbench_json.h"
 #include "edc/ext/registry.h"
 #include "edc/recipes/scripts.h"
 #include "edc/script/builtins.h"
@@ -105,4 +106,4 @@ BENCHMARK(BM_SubscriptionMatch)->Arg(1)->Arg(8)->Arg(64);
 }  // namespace
 }  // namespace edc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return edc::GBenchMainWithJson("abl_verify", argc, argv); }

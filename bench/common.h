@@ -4,6 +4,7 @@
 #define EDC_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <functional>
@@ -97,6 +98,35 @@ class BenchJson {
     row.p50_ms = static_cast<double>(stats.latency.Percentile(0.5)) / 1e6;
     row.p99_ms = static_cast<double>(stats.latency.Percentile(0.99)) / 1e6;
     row.kb_per_op = stats.KbPerOp();
+    row.queue_ms = stats.stages.MeanMs(Stage::kQueue);
+    row.cpu_ms = stats.stages.MeanMs(Stage::kCpu);
+    row.network_ms = stats.stages.MeanMs(Stage::kNetwork);
+    row.fsync_ms = stats.stages.MeanMs(Stage::kFsync);
+    row.other_ms = stats.stages.MeanMs(Stage::kOther);
+    rows_.push_back(row);
+  }
+
+  // For benches whose metric isn't a ClosedLoop RunStats (barrier waves,
+  // election convergence, google-benchmark micro runs): supply the scalar
+  // columns directly; the breakdown columns stay 0 unless `stages` is given.
+  void AddCustomRow(const std::string& system, size_t clients, uint64_t seed,
+                    double ops_per_s, double p50_ms, double p99_ms, double kb_per_op,
+                    const StageSums* stages = nullptr) {
+    Row row;
+    row.system = system;
+    row.clients = clients;
+    row.seed = seed;
+    row.ops_per_s = ops_per_s;
+    row.p50_ms = p50_ms;
+    row.p99_ms = p99_ms;
+    row.kb_per_op = kb_per_op;
+    if (stages != nullptr) {
+      row.queue_ms = stages->MeanMs(Stage::kQueue);
+      row.cpu_ms = stages->MeanMs(Stage::kCpu);
+      row.network_ms = stages->MeanMs(Stage::kNetwork);
+      row.fsync_ms = stages->MeanMs(Stage::kFsync);
+      row.other_ms = stages->MeanMs(Stage::kOther);
+    }
     rows_.push_back(row);
   }
 
@@ -114,13 +144,16 @@ class BenchJson {
     out << "{\n  \"bench\": \"" << name_ << "\",\n  \"rows\": [\n";
     for (size_t i = 0; i < rows_.size(); ++i) {
       const Row& r = rows_[i];
-      char buf[256];
+      char buf[512];
       std::snprintf(buf, sizeof(buf),
                     "    {\"system\": \"%s\", \"clients\": %zu, \"seed\": %llu, "
                     "\"ops_per_s\": %.3f, \"p50_ms\": %.6f, \"p99_ms\": %.6f, "
-                    "\"kb_per_op\": %.6f}%s\n",
+                    "\"kb_per_op\": %.6f, "
+                    "\"queue_ms\": %.6f, \"cpu_ms\": %.6f, \"network_ms\": %.6f, "
+                    "\"fsync_ms\": %.6f, \"other_ms\": %.6f}%s\n",
                     r.system.c_str(), r.clients, static_cast<unsigned long long>(r.seed),
-                    r.ops_per_s, r.p50_ms, r.p99_ms, r.kb_per_op,
+                    r.ops_per_s, r.p50_ms, r.p99_ms, r.kb_per_op, r.queue_ms, r.cpu_ms,
+                    r.network_ms, r.fsync_ms, r.other_ms,
                     i + 1 < rows_.size() ? "," : "");
       out << buf;
     }
@@ -137,10 +170,39 @@ class BenchJson {
     double p50_ms = 0;
     double p99_ms = 0;
     double kb_per_op = 0;
+    double queue_ms = 0;
+    double cpu_ms = 0;
+    double network_ms = 0;
+    double fsync_ms = 0;
+    double other_ms = 0;
   };
   std::string name_;
   std::vector<Row> rows_;
 };
+
+// True when the user asked for Perfetto trace dumps (EDC_TRACE_DIR set);
+// benches use this to turn on span retention, which is otherwise off to
+// bound memory.
+inline bool TraceExportRequested() {
+  const char* dir = std::getenv("EDC_TRACE_DIR");
+  return dir != nullptr && *dir != '\0';
+}
+
+// Optional trace export for any bench: when EDC_TRACE_DIR is set, dumps the
+// fixture's retained spans as Chrome trace_event JSON (openable in Perfetto)
+// to $EDC_TRACE_DIR/TRACE_<name>.json.
+inline void MaybeExportTrace(CoordFixture& fixture, const std::string& name) {
+  const char* dir = std::getenv("EDC_TRACE_DIR");
+  if (dir == nullptr || *dir == '\0') {
+    return;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  std::string path = std::string(dir) + "/TRACE_" + name + ".json";
+  if (fixture.obs().tracer.ExportJson(path)) {
+    std::printf("wrote %s\n", path.c_str());
+  }
+}
 
 }  // namespace edc
 

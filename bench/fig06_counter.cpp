@@ -29,6 +29,8 @@ void Main() {
         options.system = system;
         options.num_clients = clients;
         options.seed = 1000 + static_cast<uint64_t>(seed);
+        options.observability = true;
+        options.retain_spans = TraceExportRequested();
         CoordFixture fixture(options);
         fixture.Start();
         auto counters = SetupRecipe<SharedCounter>(fixture, IsExtensible(system));
@@ -37,6 +39,9 @@ void Main() {
         });
         RunStats stats = driver.Run(kWarmup, kMeasure);
         json.AddRow(system, clients, options.seed, stats);
+        MaybeExportTrace(fixture, "fig06_counter_" + std::string(SystemName(system)) +
+                                      "_c" + std::to_string(clients) + "_s" +
+                                      std::to_string(seed));
         avg.throughput.Add(stats.ThroughputOpsPerSec());
         avg.latency_ms.Add(stats.MeanLatencyMs());
         int64_t total_retries = 0;

@@ -32,6 +32,8 @@ void Main() {
         options.system = system;
         options.num_clients = clients;
         options.seed = 2000 + static_cast<uint64_t>(seed);
+        options.observability = true;
+        options.retain_spans = TraceExportRequested();
         CoordFixture fixture(options);
         fixture.Start();
         auto queues = SetupRecipe<DistributedQueue>(fixture, IsExtensible(system));
@@ -48,6 +50,9 @@ void Main() {
         });
         RunStats stats = driver.Run(kWarmup, kMeasure);
         json.AddRow(system, clients, options.seed, stats);
+        MaybeExportTrace(fixture, "fig08_queue_" + std::string(SystemName(system)) +
+                                      "_c" + std::to_string(clients) + "_s" +
+                                      std::to_string(seed));
         // One completed iteration = 2 operations (add + remove).
         double ops = static_cast<double>(stats.ops) * 2.0;
         avg.throughput.Add(ops / ToSeconds(kMeasure));

@@ -16,8 +16,11 @@ constexpr int kSeeds = 3;
 constexpr int kRounds = 20;  // measured barrier rounds per run
 
 struct BarrierRun {
-  double latency_ms = 0;  // mean time from round start to last release
-  double kb_per_op = 0;   // client bytes per enter operation
+  double latency_ms = 0;      // mean time from round start to last release
+  double latency_p99_ms = 0;  // tail across the measured rounds
+  double kb_per_op = 0;       // client bytes per enter operation
+  double rounds_per_sec = 0;
+  StageSums stages;           // one breakdown per round (round = the "op")
 };
 
 BarrierRun RunOne(SystemKind system, size_t clients, uint64_t seed) {
@@ -25,6 +28,7 @@ BarrierRun RunOne(SystemKind system, size_t clients, uint64_t seed) {
   options.system = system;
   options.num_clients = clients;
   options.seed = seed;
+  options.observability = true;
   CoordFixture fixture(options);
   fixture.Start();
   auto barriers =
@@ -34,12 +38,22 @@ BarrierRun RunOne(SystemKind system, size_t clients, uint64_t seed) {
   Recorder round_latency;
   int64_t bytes_before = fixture.ClientBytesSent();
   int64_t enters = 0;
+  StageSums stages;
+  Tracer& tracer = fixture.obs().tracer;
+  SimTime run_start = fixture.loop().now();
 
   for (int round = 0; round < kRounds; ++round) {
     SimTime start = fixture.loop().now();
     SimTime last_release = start;
     size_t released = 0;
     bool all_released = false;
+    // One trace per round: every participant's enter lands under it, and the
+    // breakdown covers start -> last release.
+    TraceContext prev = tracer.current();
+    TraceContext root;
+    if (tracer.enabled()) {
+      root = tracer.BeginTrace("barrier.round", 0, start);
+    }
     for (size_t i = 0; i < clients; ++i) {
       barriers[i]->Enter([&](Status s) {
         if (!s.ok()) {
@@ -53,8 +67,14 @@ BarrierRun RunOne(SystemKind system, size_t clients, uint64_t seed) {
       });
       ++enters;
     }
+    if (root.active()) {
+      tracer.SetCurrent(prev);
+    }
     WaitFor(fixture, all_released, "barrier round", Seconds(30));
     round_latency.Record(last_release - start);
+    if (root.active()) {
+      stages.Add(tracer.FinishTrace(root, last_release));
+    }
     bool reset_done = false;
     barriers[0]->Reset([&](Status) { reset_done = true; });
     WaitFor(fixture, reset_done, "barrier reset", Seconds(30));
@@ -62,21 +82,31 @@ BarrierRun RunOne(SystemKind system, size_t clients, uint64_t seed) {
 
   BarrierRun out;
   out.latency_ms = round_latency.Mean() / 1e6;
+  out.latency_p99_ms = static_cast<double>(round_latency.Percentile(0.99)) / 1e6;
   out.kb_per_op = static_cast<double>(fixture.ClientBytesSent() - bytes_before) / 1024.0 /
                   static_cast<double>(enters);
+  Duration elapsed = fixture.loop().now() - run_start;
+  out.rounds_per_sec =
+      elapsed > 0 ? static_cast<double>(kRounds) / ToSeconds(elapsed) : 0.0;
+  out.stages = stages;
   return out;
 }
 
 void Main() {
   BenchTable table({"system", "clients", "avg_lat_ms", "client_kb_per_op"});
+  BenchJson json("fig10_barrier");
   for (SystemKind system : AllSystems()) {
     for (size_t clients : ClientSweep(2)) {
       RunAggregate latency;
       RunAggregate kb;
       for (int seed = 0; seed < kSeeds; ++seed) {
-        BarrierRun run = RunOne(system, clients, 3000 + static_cast<uint64_t>(seed));
+        uint64_t s = 3000 + static_cast<uint64_t>(seed);
+        BarrierRun run = RunOne(system, clients, s);
         latency.Add(run.latency_ms);
         kb.Add(run.kb_per_op);
+        json.AddCustomRow(SystemName(system), clients, s, run.rounds_per_sec,
+                          run.latency_ms, run.latency_p99_ms, run.kb_per_op,
+                          &run.stages);
       }
       table.AddRow({SystemName(system), std::to_string(clients), Fmt(latency.Mean()),
                     Fmt(kb.Mean(), 3)});
@@ -85,6 +115,7 @@ void Main() {
   std::printf("=== Fig. 10: distributed barrier (avg of %d runs, %d rounds each) ===\n",
               kSeeds, kRounds);
   table.Print();
+  json.Write();
 }
 
 }  // namespace

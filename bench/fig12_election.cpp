@@ -20,6 +20,8 @@ constexpr int kSeeds = 3;
 struct ElectionRun {
   double changes_per_sec = 0;
   double signal_latency_ms = 0;
+  double signal_latency_p99_ms = 0;
+  StageSums stages;
 };
 
 ElectionRun RunOne(SystemKind system, size_t clients, uint64_t seed) {
@@ -27,6 +29,7 @@ ElectionRun RunOne(SystemKind system, size_t clients, uint64_t seed) {
   options.system = system;
   options.num_clients = clients;
   options.seed = seed;
+  options.observability = true;
   CoordFixture fixture(options);
   fixture.Start();
   auto elections = SetupRecipe<LeaderElection>(fixture, IsExtensible(system));
@@ -39,6 +42,7 @@ ElectionRun RunOne(SystemKind system, size_t clients, uint64_t seed) {
     SimTime last_abdicated = -1;
     int64_t changes = 0;
     Recorder signal_latency;
+    StageSums stages;
   };
   auto ctx = std::make_shared<Ctx>();
   ctx->fixture = &fixture;
@@ -48,15 +52,31 @@ ElectionRun RunOne(SystemKind system, size_t clients, uint64_t seed) {
 
   // Every candidate loops: becomeLeader -> (on election) abdicate -> repeat.
   std::function<void(size_t)> campaign = [ctx, &campaign](size_t i) {
-    (*ctx->elections)[i]->BecomeLeader([ctx, &campaign, i](Status s) {
+    // One trace per candidacy: covers issue -> elected.
+    Tracer& tracer = ctx->fixture->obs().tracer;
+    TraceContext prev = tracer.current();
+    TraceContext root;
+    if (tracer.enabled()) {
+      root = tracer.BeginTrace("election.become_leader",
+                               static_cast<uint32_t>(ctx->fixture->client_node(i)),
+                               ctx->fixture->loop().now());
+    }
+    (*ctx->elections)[i]->BecomeLeader([ctx, &campaign, i, root](Status s) {
+      SimTime now = ctx->fixture->loop().now();
+      StageBreakdown breakdown;
+      if (root.active()) {
+        breakdown = ctx->fixture->obs().tracer.FinishTrace(root, now);
+      }
       if (!s.ok()) {
         return;  // shutting down
       }
-      SimTime now = ctx->fixture->loop().now();
       if (now >= ctx->measure_start && now <= ctx->measure_end) {
         ++ctx->changes;
         if (ctx->last_abdicated >= 0) {
           ctx->signal_latency.Record(now - ctx->last_abdicated);
+        }
+        if (root.active()) {
+          ctx->stages.Add(breakdown);
         }
       }
       if (now >= ctx->measure_end) {
@@ -69,6 +89,9 @@ ElectionRun RunOne(SystemKind system, size_t clients, uint64_t seed) {
         }
       });
     });
+    if (root.active()) {
+      tracer.SetCurrent(prev);
+    }
   };
   for (size_t i = 0; i < clients; ++i) {
     campaign(i);
@@ -77,20 +100,28 @@ ElectionRun RunOne(SystemKind system, size_t clients, uint64_t seed) {
   ElectionRun out;
   out.changes_per_sec = static_cast<double>(ctx->changes) / ToSeconds(kMeasure);
   out.signal_latency_ms = ctx->signal_latency.Mean() / 1e6;
+  out.signal_latency_p99_ms =
+      static_cast<double>(ctx->signal_latency.Percentile(0.99)) / 1e6;
+  out.stages = ctx->stages;
   fixture.loop().RunUntil(ctx->measure_end + Seconds(2));
   return out;
 }
 
 void Main() {
   BenchTable table({"system", "clients", "changes_per_s", "signal_lat_ms"});
+  BenchJson json("fig12_election");
   for (SystemKind system : AllSystems()) {
     for (size_t clients : ClientSweep(2)) {
       RunAggregate changes;
       RunAggregate latency;
       for (int seed = 0; seed < kSeeds; ++seed) {
-        ElectionRun run = RunOne(system, clients, 4000 + static_cast<uint64_t>(seed));
+        uint64_t s = 4000 + static_cast<uint64_t>(seed);
+        ElectionRun run = RunOne(system, clients, s);
         changes.Add(run.changes_per_sec);
         latency.Add(run.signal_latency_ms);
+        json.AddCustomRow(SystemName(system), clients, s, run.changes_per_sec,
+                          run.signal_latency_ms, run.signal_latency_p99_ms, 0.0,
+                          &run.stages);
       }
       table.AddRow({SystemName(system), std::to_string(clients), Fmt(changes.Mean(), 1),
                     Fmt(latency.Mean())});
@@ -98,6 +129,7 @@ void Main() {
   }
   std::printf("=== Fig. 12: leader election stress (avg of %d runs) ===\n", kSeeds);
   table.Print();
+  json.Write();
 }
 
 }  // namespace

@@ -23,6 +23,9 @@ struct MixedRun {
   double queue_kops = 0;
   double read_ms = 0;
   double write_ms = 0;
+  double read_p99_ms = 0;
+  double write_p99_ms = 0;
+  StageSums stages;
 };
 
 MixedRun RunOne(SystemKind system, size_t queue_clients, uint64_t seed) {
@@ -30,6 +33,7 @@ MixedRun RunOne(SystemKind system, size_t queue_clients, uint64_t seed) {
   options.system = system;
   options.num_clients = queue_clients + kRegularClients;
   options.seed = seed;
+  options.observability = true;
   CoordFixture fixture(options);
   fixture.Start();
 
@@ -95,7 +99,6 @@ MixedRun RunOne(SystemKind system, size_t queue_clients, uint64_t seed) {
     }
   });
   RunStats stats = driver.Run(kWarmup, kMeasure);
-  (void)stats;
 
   MixedRun out;
   int64_t queue_total = 0;
@@ -106,12 +109,16 @@ MixedRun RunOne(SystemKind system, size_t queue_clients, uint64_t seed) {
                    ToSeconds(kWarmup + kMeasure) / 1000.0;
   out.read_ms = read_latency.Mean() / 1e6;
   out.write_ms = write_latency.Mean() / 1e6;
+  out.read_p99_ms = static_cast<double>(read_latency.Percentile(0.99)) / 1e6;
+  out.write_p99_ms = static_cast<double>(write_latency.Percentile(0.99)) / 1e6;
+  out.stages = stats.stages;
   return out;
 }
 
 void Main() {
   BenchTable table(
       {"system", "queue_clients", "queue_kops_per_s", "reg_read_ms", "reg_write_ms"});
+  BenchJson json("fig13_regular");
   for (SystemKind system :
        {SystemKind::kExtensibleZooKeeper, SystemKind::kExtensibleDepSpace}) {
     for (size_t queue_clients : {size_t{1}, size_t{5}, size_t{10}, size_t{20},
@@ -120,10 +127,15 @@ void Main() {
       RunAggregate read_ms;
       RunAggregate write_ms;
       for (int seed = 0; seed < kSeeds; ++seed) {
-        MixedRun run = RunOne(system, queue_clients, 5000 + static_cast<uint64_t>(seed));
+        uint64_t s = 5000 + static_cast<uint64_t>(seed);
+        MixedRun run = RunOne(system, queue_clients, s);
         kops.Add(run.queue_kops);
         read_ms.Add(run.read_ms);
         write_ms.Add(run.write_ms);
+        // ops/s = queue throughput; p50/p99 report the regular writers' view
+        // (the latency the figure is about).
+        json.AddCustomRow(SystemName(system), queue_clients, s, run.queue_kops * 1000.0,
+                          run.write_ms, run.write_p99_ms, 0.0, &run.stages);
       }
       table.AddRow({SystemName(system), std::to_string(queue_clients), Fmt(kops.Mean()),
                     Fmt(read_ms.Mean(), 3), Fmt(write_ms.Mean(), 3)});
@@ -133,6 +145,7 @@ void Main() {
               "(avg of %d runs) ===\n",
               kSeeds);
   table.Print();
+  json.Write();
 }
 
 }  // namespace

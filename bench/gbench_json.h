@@ -1,0 +1,47 @@
+// Shared main() for the google-benchmark micros: runs with the usual console
+// output AND writes bench_results/BENCH_<name>.json (google-benchmark's JSON
+// schema) so every bench binary in this repo leaves a machine-readable
+// artifact, figure benches and micros alike. Implemented by injecting
+// --benchmark_out flags, so an explicit --benchmark_out on the command line
+// still wins (later flags take precedence).
+
+#ifndef EDC_BENCH_GBENCH_JSON_H_
+#define EDC_BENCH_GBENCH_JSON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace edc {
+
+inline int GBenchMainWithJson(const char* name, int argc, char** argv) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  std::string path = std::string("bench_results/BENCH_") + name + ".json";
+  std::string out_flag = "--benchmark_out=" + path;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  std::vector<char*> args;
+  args.reserve(static_cast<size_t>(argc) + 2);
+  args.push_back(argv[0]);
+  args.push_back(out_flag.data());
+  args.push_back(fmt_flag.data());
+  for (int i = 1; i < argc; ++i) {
+    args.push_back(argv[i]);
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  std::printf("wrote %s\n", path.c_str());
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace edc
+
+#endif  // EDC_BENCH_GBENCH_JSON_H_

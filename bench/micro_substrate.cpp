@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/gbench_json.h"
 #include "edc/common/codec.h"
 #include "edc/ds/tuple_space.h"
 #include "edc/zk/data_tree.h"
@@ -112,4 +113,6 @@ BENCHMARK(BM_CodecEncodeDecode)->Arg(64)->Arg(1024);
 }  // namespace
 }  // namespace edc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return edc::GBenchMainWithJson("micro_substrate", argc, argv);
+}

@@ -17,6 +17,7 @@ const std::string kPayload(256, 'x');
 struct Latencies {
   double read_ms = 0;
   double write_ms = 0;
+  RunStats stats;
 };
 
 Latencies RunOne(SystemKind system, uint64_t seed) {
@@ -24,6 +25,7 @@ Latencies RunOne(SystemKind system, uint64_t seed) {
   options.system = system;
   options.num_clients = 20;
   options.seed = seed;
+  options.observability = true;
   CoordFixture fixture(options);
   fixture.Start();
   size_t created = 0;
@@ -56,21 +58,27 @@ Latencies RunOne(SystemKind system, uint64_t seed) {
                                });
     }
   });
-  driver.Run(kWarmup, kMeasure);
-  return Latencies{read_latency.Mean() / 1e6, write_latency.Mean() / 1e6};
+  Latencies out;
+  out.stats = driver.Run(kWarmup, kMeasure);
+  out.read_ms = read_latency.Mean() / 1e6;
+  out.write_ms = write_latency.Mean() / 1e6;
+  return out;
 }
 
 void Main() {
   BenchTable table({"system", "read_ms", "write_ms"});
+  BenchJson json("ovh_regular");
   double lat[4][2] = {};
   int row = 0;
   for (SystemKind system : AllSystems()) {
     RunAggregate read_ms;
     RunAggregate write_ms;
     for (int seed = 0; seed < kSeeds; ++seed) {
-      Latencies l = RunOne(system, 6000 + static_cast<uint64_t>(seed));
+      uint64_t s = 6000 + static_cast<uint64_t>(seed);
+      Latencies l = RunOne(system, s);
       read_ms.Add(l.read_ms);
       write_ms.Add(l.write_ms);
+      json.AddRow(system, 20, s, l.stats);
     }
     lat[row][0] = read_ms.Mean();
     lat[row][1] = write_ms.Mean();
@@ -80,6 +88,7 @@ void Main() {
   std::printf("=== §6.2: regular-operation overhead of extensibility hooks "
               "(no extensions registered) ===\n");
   table.Print();
+  json.Write();
   auto pct = [](double base, double ext) {
     return base > 0 ? (ext - base) / base * 100.0 : 0.0;
   };

@@ -12,19 +12,20 @@ constexpr Duration kWarmup = Seconds(1);
 constexpr Duration kMeasure = Seconds(4);
 constexpr size_t kClients = 20;
 
-double CounterThroughput(SystemKind system, const LinkParams& link, uint64_t seed) {
+RunStats CounterRun(SystemKind system, const LinkParams& link, uint64_t seed) {
   FixtureOptions options;
   options.system = system;
   options.num_clients = kClients;
   options.seed = seed;
   options.link = link;
+  options.observability = true;
   CoordFixture fixture(options);
   fixture.Start();
   auto counters = SetupRecipe<SharedCounter>(fixture, IsExtensible(system));
   ClosedLoop driver(&fixture, [&](size_t i, std::function<void()> done) {
     counters[i]->Increment([done = std::move(done)](Result<int64_t>) { done(); });
   });
-  return driver.Run(kWarmup, kMeasure).ThroughputOpsPerSec();
+  return driver.Run(kWarmup, kMeasure);
 }
 
 void Main() {
@@ -34,20 +35,30 @@ void Main() {
   wan.jitter = Millis(2);
 
   BenchTable table({"network", "system", "counter_ops_per_s"});
+  BenchJson json("wan_gains");
   double thr[2][2] = {};
   const char* nets[2] = {"LAN(0.1ms)", "WAN(20ms)"};
   LinkParams links[2] = {lan, wan};
   SystemKind systems[2] = {SystemKind::kZooKeeper, SystemKind::kExtensibleZooKeeper};
   for (int n = 0; n < 2; ++n) {
     for (int s = 0; s < 2; ++s) {
-      thr[n][s] = CounterThroughput(systems[s], links[n], 7000 + static_cast<uint64_t>(n));
+      uint64_t seed = 7000 + static_cast<uint64_t>(n);
+      RunStats stats = CounterRun(systems[s], links[n], seed);
+      thr[n][s] = stats.ThroughputOpsPerSec();
       table.AddRow({nets[n], SystemName(systems[s]), Fmt(thr[n][s], 1)});
+      // Row label carries the network so LAN and WAN rows stay apart.
+      json.AddCustomRow(std::string(nets[n]) + "/" + SystemName(systems[s]), kClients,
+                        seed, thr[n][s],
+                        static_cast<double>(stats.latency.Percentile(0.5)) / 1e6,
+                        static_cast<double>(stats.latency.Percentile(0.99)) / 1e6,
+                        stats.KbPerOp(), &stats.stages);
     }
   }
   std::printf("=== §6.3: extension gains on wide-area links (shared counter, "
               "%zu clients) ===\n",
               kClients);
   table.Print();
+  json.Write();
   std::printf("\nshape check: EZK/ZooKeeper speedup LAN = %.1fx, WAN = %.1fx "
               "(paper: WAN gain exceeds LAN gain)\n",
               thr[0][1] / thr[0][0], thr[1][1] / thr[1][0]);

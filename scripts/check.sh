@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Full local gate: configure + build, then run the three test tiers the CI
-# presets select — the plain suite, the chaos fault-injection scenarios, and
-# the model-conformance sweeps (docs/model_checking.md). Any failure aborts.
+# Full local gate: configure + build, then run the four test tiers the CI
+# presets select — the plain suite, the chaos fault-injection scenarios, the
+# model-conformance sweeps (docs/model_checking.md), and the observability
+# layer (docs/observability.md). Any failure aborts.
 #
 # Usage: scripts/check.sh [build-dir]   (default: build)
 
@@ -16,11 +17,13 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 
 cd "$BUILD_DIR"
 echo "== tier-1 tests =="
-ctest --output-on-failure -j "$JOBS" -LE 'chaos|model'
+ctest --output-on-failure -j "$JOBS" -LE 'chaos|model|obs'
 echo "== chaos tests =="
 ctest --output-on-failure -j "$JOBS" -L chaos
 echo "== model-conformance tests =="
 ctest --output-on-failure -j "$JOBS" -L model
+echo "== observability tests =="
+ctest --output-on-failure -j "$JOBS" -L obs
 # Spotlight the recovery/crash-restart families (docs/bft_recovery.md): these
 # already ran inside the tiers above, but --no-tests=error makes the gate fail
 # loudly if a rename or CMake edit silently drops them from discovery.
@@ -30,4 +33,7 @@ ctest --output-on-failure -j "$JOBS" --no-tests=error \
 echo "== spotlight: EDS schedule sweep (crash-restart grammar) =="
 ctest --output-on-failure -j "$JOBS" --no-tests=error \
   -R 'DsScheduleSweep\.'
+echo "== spotlight: observability zero-perturbation guarantee =="
+ctest --output-on-failure -j "$JOBS" --no-tests=error \
+  -R 'ObsDeterminismTest\.'
 echo "All checks passed."

@@ -51,7 +51,20 @@ void BftReplica::Start() {
 void BftReplica::Crash() {
   ++generation_;
   running_ = false;
+  request_trace_.clear();
   loop_->Cancel(request_timer_);
+}
+
+void BftReplica::SetObs(Obs* obs) {
+  obs_ = obs;
+  if (obs_ != nullptr) {
+    m_prepares_ = obs_->metrics.GetCounter("bft.prepares");
+    m_commits_ = obs_->metrics.GetCounter("bft.commits");
+    m_checkpoints_ = obs_->metrics.GetCounter("bft.checkpoints");
+    m_state_transfers_ = obs_->metrics.GetCounter("bft.state_transfers");
+  } else {
+    m_prepares_ = m_commits_ = m_checkpoints_ = m_state_transfers_ = nullptr;
+  }
 }
 
 void BftReplica::Restart() {
@@ -203,6 +216,14 @@ void BftReplica::OnRequest(BftRequest&& req) {
   if (AlreadyOrdered(req)) {
     return;
   }
+  if (obs_ != nullptr) {
+    const TraceContext& ctx = obs_->tracer.current();
+    if (ctx.active()) {
+      // First arrival or retransmit both overwrite: the freshest context is
+      // the one the eventual execution should be attributed to.
+      request_trace_[{req.client, req.req_id}] = RequestTrace{ctx, loop_->now()};
+    }
+  }
   for (const BftRequest& p : pending_) {
     if (p.client == req.client && p.req_id == req.req_id) {
       return;
@@ -283,6 +304,9 @@ void BftReplica::OnPrePrepare(NodeId from, PrePrepareMsg&& msg) {
   entry.prepares.insert(from);          // primary's pre-prepare
   entry.prepares.insert(config_.self);  // our own prepare
   PhaseMsg prepare{view_, msg.seq, entry.digest};
+  if (m_prepares_ != nullptr) {
+    m_prepares_->Increment();
+  }
   BroadcastToReplicas(BftMsgType::kPrepare, EncodePhaseMsg(prepare));
   CheckPrepared(msg.seq);
   ArmRequestTimer();
@@ -313,6 +337,9 @@ void BftReplica::CheckPrepared(uint64_t seq) {
   entry.sent_commit = true;
   entry.commits.insert(config_.self);
   PhaseMsg commit{view_, seq, entry.digest};
+  if (m_commits_ != nullptr) {
+    m_commits_->Increment();
+  }
   BroadcastToReplicas(BftMsgType::kCommit, EncodePhaseMsg(commit));
   CheckCommitted(seq);
 }
@@ -357,10 +384,28 @@ void BftReplica::TryExecute() {
     last_exec_ts_ = entry.ts;
     if (!entry.request.is_noop()) {
       MarkExecuted(entry.request.client, entry.request.req_id);
+      // Execute (and the reply it sends) runs under the context captured when
+      // the request arrived, so the reply path stays attributed to it.
+      TraceContext prev;
+      bool restored = false;
+      if (obs_ != nullptr) {
+        auto rit = request_trace_.find({entry.request.client, entry.request.req_id});
+        if (rit != request_trace_.end()) {
+          obs_->tracer.RecordSpanIn(rit->second.ctx, "bft.order", Stage::kOther,
+                                    config_.self, rit->second.at, loop_->now());
+          prev = obs_->tracer.current();
+          obs_->tracer.SetCurrent(rit->second.ctx);
+          request_trace_.erase(rit);
+          restored = true;
+        }
+      }
       BftExecOutcome outcome =
           callbacks_->Execute(last_executed_, entry.ts, entry.request);
       if (outcome.cpu_cost > 0) {
         cpu_->Submit(outcome.cpu_cost, []() {});  // occupy the core
+      }
+      if (restored) {
+        obs_->tracer.SetCurrent(prev);
       }
     }
     // Remove any matching buffered copy and disarm the timer if idle.
@@ -462,6 +507,9 @@ void BftReplica::TakeLocalCheckpoint() {
   own_state_seq_ = last_executed_;
   own_state_ = std::move(state);
   CheckpointMsg msg{view_, last_executed_, digest};
+  if (m_checkpoints_ != nullptr) {
+    m_checkpoints_->Increment();
+  }
   BroadcastToReplicas(BftMsgType::kCheckpoint, EncodeCheckpoint(msg));
   AddCheckpointVote(config_.self, msg.seq, msg.digest, view_);
 }
@@ -703,6 +751,9 @@ bool BftReplica::InstallCheckpoint(uint64_t seq, const std::vector<uint8_t>& sta
   offered_states_.erase(offered_states_.begin(), offered_states_.upper_bound(seq));
   fetch_target_ = 0;
   ++state_transfers_;
+  if (m_state_transfers_ != nullptr) {
+    m_state_transfers_->Increment();
+  }
   // Buffered requests the transferred dedup summary shows as executed will
   // never execute here; dropping them lets the request timer quiesce.
   for (auto it = pending_.begin(); it != pending_.end();) {
@@ -885,6 +936,9 @@ void BftReplica::AdoptEntry(const PreparedEntry& e, uint64_t view) {
   entry.prepares.insert(PrimaryOf(view));
   entry.prepares.insert(config_.self);
   PhaseMsg prepare{view, e.seq, entry.digest};
+  if (m_prepares_ != nullptr) {
+    m_prepares_->Increment();
+  }
   BroadcastToReplicas(BftMsgType::kPrepare, EncodePhaseMsg(prepare));
   CheckPrepared(e.seq);
 }

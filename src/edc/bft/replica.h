@@ -42,9 +42,11 @@
 #include <deque>
 #include <map>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "edc/bft/messages.h"
+#include "edc/obs/obs.h"
 #include "edc/sim/cpu.h"
 #include "edc/sim/costs.h"
 #include "edc/sim/event_loop.h"
@@ -127,6 +129,13 @@ class BftReplica {
 
   // Fault injection: primary stamps a different timestamp per backup.
   void SetEquivocate(bool on) { equivocate_ = on; }
+
+  // Observability (nullable): prepare/commit/checkpoint/state-transfer
+  // counters, plus request trace propagation — the context active when a
+  // client request first arrives is remembered per (client, req_id) and
+  // restored around Execute, so the ordered execution and the reply stay
+  // attributed to the originating operation.
+  void SetObs(Obs* obs);
 
  private:
   struct Entry {
@@ -236,6 +245,18 @@ class BftReplica {
   uint64_t fetch_target_ = 0;  // checkpoint seq currently being fetched (0 = none)
   int probe_budget_ = 0;       // remaining catch-up probes after a restart
   int64_t state_transfers_ = 0;
+
+  // Observability.
+  struct RequestTrace {
+    TraceContext ctx;
+    SimTime at = 0;
+  };
+  Obs* obs_ = nullptr;
+  Counter* m_prepares_ = nullptr;
+  Counter* m_commits_ = nullptr;
+  Counter* m_checkpoints_ = nullptr;
+  Counter* m_state_transfers_ = nullptr;
+  std::map<std::pair<NodeId, uint64_t>, RequestTrace> request_trace_;
   static constexpr size_t kMaxTrackedCheckpoints = 64;  // Byzantine spam bound
 
   TimerId request_timer_ = kInvalidTimer;

@@ -53,7 +53,24 @@ struct ReconnectOptions {
   Duration max_backoff = Seconds(2);
   // 0 = retry forever. Counted per disconnect, reset on success.
   int max_attempts = 0;
+  // Deterministic, seeded jitter: each backoff delay is shortened by a
+  // uniform draw from [0, backoff_jitter * delay]. Without it the simulator's
+  // determinism makes every client disconnected by the same fault retry in
+  // perfect lockstep, hammering the recovering replica with synchronized
+  // bursts. 0 disables jitter (tests that pin exact timings use this). Each
+  // client seeds its private stream from jitter_seed mixed with its own node
+  // id, so runs stay replayable per seed while clients decorrelate.
+  double backoff_jitter = 0.5;
+  uint64_t jitter_seed = 0;
 };
+
+// Mixes a ReconnectOptions jitter seed with a client's node id (splitmix-
+// style odd-constant multiply) so distinct clients draw distinct, stable
+// jitter streams.
+inline uint64_t JitterSeedFor(const ReconnectOptions& options, NodeId id) {
+  uint64_t mixed = options.jitter_seed ^ (0x9E3779B97F4A7C15ULL * (static_cast<uint64_t>(id) + 1));
+  return mixed == 0 ? 0x9E3779B97F4A7C15ULL : mixed;
+}
 
 // Session lifecycle notifications a failover-aware application (or recipe
 // layer) subscribes to. kSessionLost means volatile per-session server state

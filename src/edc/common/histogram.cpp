@@ -51,8 +51,19 @@ int64_t Recorder::Percentile(double q) const {
   if (q >= 1.0) {
     return samples_.back();
   }
-  size_t rank = static_cast<size_t>(q * static_cast<double>(samples_.size() - 1) + 0.5);
-  return samples_[rank];
+  // Linear interpolation between the neighbouring order statistics. The old
+  // nearest-rank rounding (rank = q*(n-1)+0.5) saturated to the maximum for
+  // p99 whenever n <= 50, inflating reported tail latency in low-client
+  // configurations.
+  double pos = q * static_cast<double>(samples_.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  if (lo + 1 >= samples_.size()) {
+    return samples_.back();
+  }
+  double frac = pos - static_cast<double>(lo);
+  double v = static_cast<double>(samples_[lo]) +
+             frac * static_cast<double>(samples_[lo + 1] - samples_[lo]);
+  return static_cast<int64_t>(v);
 }
 
 double Recorder::StdDev() const {

@@ -32,7 +32,9 @@ class Recorder {
   double Mean() const;
   int64_t Min() const;
   int64_t Max() const;
-  // q in [0,1]; nearest-rank on the sorted samples. Returns 0 when empty.
+  // q in [0,1]; linear interpolation between the neighbouring order
+  // statistics of the sorted samples (truncated to int64). Returns 0 when
+  // empty.
   int64_t Percentile(double q) const;
   double StdDev() const;
 

@@ -6,8 +6,23 @@ namespace edc {
 
 DsClient::DsClient(EventLoop* loop, Network* net, NodeId id, ServerList replicas,
                    DsClientOptions options)
-    : loop_(loop), net_(net), id_(id), replicas_(std::move(replicas)), options_(options) {
+    : loop_(loop),
+      net_(net),
+      id_(id),
+      replicas_(std::move(replicas)),
+      options_(options),
+      jitter_rng_(JitterSeedFor(options.reconnect, id)) {
   net_->Register(id_, this);
+}
+
+void DsClient::SetObs(Obs* obs) {
+  obs_ = obs;
+  if (obs_ != nullptr) {
+    m_retransmits_ = obs_->metrics.GetCounter("client.ds.retransmits");
+    m_give_ups_ = obs_->metrics.GetCounter("client.ds.give_ups");
+  } else {
+    m_retransmits_ = m_give_ups_ = nullptr;
+  }
 }
 
 void DsClient::Call(DsOp op, ReplyCb done) {
@@ -52,7 +67,17 @@ void DsClient::ArmRetry(uint64_t req_id) {
   if (arm == calls_.end()) {
     return;
   }
-  loop_->Schedule(arm->second.backoff, [this, req_id]() {
+  Duration delay = arm->second.backoff;
+  // Seeded jitter: shorten each retransmit delay by up to backoff_jitter of
+  // itself so clients hit by the same fault don't retransmit in lockstep.
+  if (options_.reconnect.backoff_jitter > 0.0 && delay > 0) {
+    auto span = static_cast<uint64_t>(options_.reconnect.backoff_jitter *
+                                      static_cast<double>(delay));
+    if (span > 0) {
+      delay -= static_cast<Duration>(jitter_rng_.UniformU64(span + 1));
+    }
+  }
+  loop_->Schedule(delay, [this, req_id]() {
     auto it = calls_.find(req_id);
     if (!alive_ || it == calls_.end()) {
       return;
@@ -61,6 +86,9 @@ void DsClient::ArmRetry(uint64_t req_id) {
         it->second.attempts >= options_.reconnect.max_attempts) {
       ReplyCb done = std::move(it->second.done);
       calls_.erase(it);
+      if (m_give_ups_ != nullptr) {
+        m_give_ups_->Increment();
+      }
       Result<DsReply> result{Status(ErrorCode::kConnectionLoss, "retransmit attempts exhausted")};
       if (observer_.on_reply) {
         observer_.on_reply(req_id, result);
@@ -73,6 +101,9 @@ void DsClient::ArmRetry(uint64_t req_id) {
     // primary failover.
     ++it->second.attempts;
     it->second.backoff = std::min(it->second.backoff * 2, options_.reconnect.max_backoff);
+    if (m_retransmits_ != nullptr) {
+      m_retransmits_->Increment();
+    }
     Transmit(req_id);
     ArmRetry(req_id);
   });

@@ -19,7 +19,9 @@
 
 #include "edc/bft/messages.h"
 #include "edc/common/client_api.h"
+#include "edc/common/rng.h"
 #include "edc/ds/types.h"
+#include "edc/obs/obs.h"
 #include "edc/sim/event_loop.h"
 #include "edc/sim/network.h"
 
@@ -94,6 +96,9 @@ class DsClient : public NetworkNode {
 
   // History observation (conformance checking); pass {} to detach.
   void SetObserver(DsClientObserver observer) { observer_ = std::move(observer); }
+  // Observability (nullable): retransmit / give-up counters in the shared
+  // registry.
+  void SetObs(Obs* obs);
 
   NodeId id() const { return id_; }
   size_t outstanding() const { return calls_.size(); }
@@ -124,9 +129,13 @@ class DsClient : public NetworkNode {
   std::map<uint64_t, PendingCall> calls_;
   DsClientObserver observer_;
   std::vector<DsTemplate> leases_;
+  Rng jitter_rng_;  // private backoff-jitter stream (seeded per client)
   bool alive_ = true;
   bool auto_renew_all_ = false;
   TimerId renew_timer_ = kInvalidTimer;
+  Obs* obs_ = nullptr;
+  Counter* m_retransmits_ = nullptr;
+  Counter* m_give_ups_ = nullptr;
 };
 
 }  // namespace edc

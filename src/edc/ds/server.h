@@ -110,6 +110,15 @@ class DsServer : public NetworkNode, public BftCallbacks {
 
   void SetHooks(DsServerHooks* hooks) { hooks_ = hooks; }
 
+  // Observability (nullable): forwards to the CPU queue and the BFT replica,
+  // both reporting into the shared registry/tracer.
+  void SetObs(Obs* obs) {
+    obs_ = obs;
+    cpu_.SetObs(obs, static_cast<uint32_t>(id_));
+    bft_->SetObs(obs);
+  }
+  Obs* obs() const { return obs_; }
+
   void Start();
   void Crash();
   void Restart();
@@ -170,6 +179,7 @@ class DsServer : public NetworkNode, public BftCallbacks {
   CpuQueue cpu_;
   std::unique_ptr<BftReplica> bft_;
   DsServerHooks* hooks_ = nullptr;
+  Obs* obs_ = nullptr;
 
   bool running_ = false;
   TupleSpace space_;

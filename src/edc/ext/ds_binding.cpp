@@ -464,6 +464,11 @@ DsExecOutcome DsExtensionManager::RunOperationExtension(const LoadedExtension& e
 
   CostModel costs;
   outcome.cpu_cost = costs.ext_invoke_cpu + interp.stats().steps_used * costs.ext_step_cpu;
+  if (Obs* obs = server_->obs()) {
+    obs->metrics.GetCounter("ext.invocations")->Increment();
+    obs->metrics.GetCounter("ext.steps")->Add(
+        static_cast<int64_t>(interp.stats().steps_used));
+  }
 
   if (!result.ok()) {
     outcome.status = result.status();
@@ -527,6 +532,11 @@ void DsExtensionManager::RunEventExtension(LoadedExtension* ext, DsExecContext* 
   std::vector<Value> args;
   args.emplace_back(path);
   auto result = interp.Invoke(handler_name, std::move(args));
+  if (Obs* obs = server_->obs()) {
+    obs->metrics.GetCounter("ext.invocations")->Increment();
+    obs->metrics.GetCounter("ext.steps")->Add(
+        static_cast<int64_t>(interp.stats().steps_used));
+  }
   if (!result.ok()) {
     EDC_LOG(kDebug) << "event extension '" << ext->name
                     << "' failed: " << result.status().ToString();

@@ -388,6 +388,11 @@ ZkPrepOutcome ZkExtensionManager::RunOperationExtension(const LoadedExtension& e
   CostModel costs;
   outcome.extra_cpu = costs.ext_invoke_cpu +
                       interp.stats().steps_used * costs.ext_step_cpu;
+  if (Obs* obs = server_->obs()) {
+    obs->metrics.GetCounter("ext.invocations")->Increment();
+    obs->metrics.GetCounter("ext.steps")->Add(
+        static_cast<int64_t>(interp.stats().steps_used));
+  }
 
   if (!result.ok()) {
     outcome.status = result.status();
@@ -462,6 +467,11 @@ void ZkExtensionManager::RunEventExtensions(const ZkEvent& event, const std::str
     auto result = interp.Invoke(handler_name, std::move(args));
     CostModel costs;
     Duration cpu = costs.ext_invoke_cpu + interp.stats().steps_used * costs.ext_step_cpu;
+    if (Obs* obs = server_->obs()) {
+      obs->metrics.GetCounter("ext.invocations")->Increment();
+      obs->metrics.GetCounter("ext.steps")->Add(
+          static_cast<int64_t>(interp.stats().steps_used));
+    }
     if (!result.ok()) {
       EDC_LOG(kDebug) << "event extension '" << ext->name
                       << "' failed: " << result.status().ToString();

@@ -19,11 +19,31 @@
 
 namespace edc {
 
+// Per-stage latency attribution accumulated across the ops of one run
+// (populated only when the fixture runs with observability on).
+struct StageSums {
+  int64_t ns[kStageCount] = {};
+  int64_t traced_ops = 0;
+
+  void Add(const StageBreakdown& b) {
+    for (size_t i = 0; i < kStageCount; ++i) {
+      ns[i] += b.ns[i];
+    }
+    ++traced_ops;
+  }
+  double MeanMs(Stage stage) const {
+    return traced_ops > 0 ? static_cast<double>(ns[static_cast<size_t>(stage)]) / 1e6 /
+                                static_cast<double>(traced_ops)
+                          : 0.0;
+  }
+};
+
 struct RunStats {
   int64_t ops = 0;             // completed in the measure window
   Recorder latency;            // per-op latency, ns
   int64_t client_bytes = 0;    // bytes sent by clients during the window
   Duration window = 0;
+  StageSums stages;            // queue/cpu/network/fsync/other attribution
 
   double ThroughputOpsPerSec() const {
     return window > 0 ? static_cast<double>(ops) / ToSeconds(window) : 0.0;
@@ -73,18 +93,38 @@ class ClosedLoop {
       if (issued >= self->measure_end) {
         return;
       }
-      self->op(i, [weak, i, issued]() {
+      // Open a trace per operation; everything the op causally triggers
+      // (packets, cpu, fsync) lands under it via the event-loop hooks.
+      Tracer& tracer = self->fixture->obs().tracer;
+      TraceContext prev = tracer.current();
+      TraceContext root;
+      if (tracer.enabled()) {
+        root = tracer.BeginTrace("client.op",
+                                 static_cast<uint32_t>(self->fixture->client_node(i)),
+                                 issued);
+      }
+      self->op(i, [weak, i, issued, root]() {
         auto inner = weak.lock();
         if (!inner) {
           return;
         }
         SimTime done_at = inner->fixture->loop().now();
+        StageBreakdown breakdown;
+        if (root.active()) {
+          breakdown = inner->fixture->obs().tracer.FinishTrace(root, done_at);
+        }
         if (issued >= inner->measure_start && done_at <= inner->measure_end) {
           inner->stats.latency.Record(done_at - issued);
           ++inner->stats.ops;
+          if (root.active()) {
+            inner->stats.stages.Add(breakdown);
+          }
         }
         inner->issue(i);
       });
+      if (root.active()) {
+        tracer.SetCurrent(prev);
+      }
     };
 
     // Snapshot byte counters exactly at the measure boundary.

@@ -35,12 +35,49 @@ CoordFixture::CoordFixture(FixtureOptions options) : options_(options) {
 
 CoordFixture::~CoordFixture() = default;
 
+void CoordFixture::WireObservability() {
+  obs_.tracer.Enable(options_.retain_spans);
+  // Carry the active trace context across every scheduled callback: capture
+  // it when an event is scheduled, re-activate it around the callback. The
+  // hooks only move a 16-byte value — they never touch the schedule itself.
+  loop_.SetContextHooks(
+      [this]() {
+        TraceContext c = obs_.tracer.current();
+        return EventLoop::EventContext{c.trace, c.span};
+      },
+      [this](const EventLoop::EventContext& ctx) {
+        obs_.tracer.SetCurrent(TraceContext{ctx.a, ctx.b});
+      });
+  net_->SetObs(&obs_);
+}
+
+void CoordFixture::CollectMetrics() {
+  if (!options_.observability) {
+    return;
+  }
+  net_->DumpLinkMetrics(&obs_.metrics);
+  for (const auto& server : zk_servers) {
+    obs_.metrics.SetGauge("server." + std::to_string(server->id()) + ".cpu_busy_ns",
+                          server->cpu().busy_ns());
+  }
+  for (const auto& server : ds_servers) {
+    obs_.metrics.SetGauge("server." + std::to_string(server->id()) + ".cpu_busy_ns",
+                          server->cpu().busy_ns());
+  }
+}
+
 void CoordFixture::Start() {
+  if (options_.observability) {
+    WireObservability();
+  }
   if (IsZkFamily(options_.system)) {
     std::vector<NodeId> members{1, 2, 3};
     for (NodeId id : members) {
       auto server = std::make_unique<ZkServer>(&loop_, net_.get(), id, members,
                                                options_.costs, options_.zk_server);
+      if (options_.observability) {
+        server->SetObs(&obs_);
+      }
       net_->Register(id, server.get());
       ZkServer* raw = server.get();
       faults_->RegisterProcess(
@@ -74,6 +111,9 @@ void CoordFixture::Start() {
       ServerList ensemble{members, i % members.size()};
       auto client = std::make_unique<ZkClient>(&loop_, net_.get(), node, ensemble,
                                                options_.zk_client);
+      if (options_.observability) {
+        client->SetObs(&obs_);
+      }
       client->Connect([&connected](Status s) {
         if (s.ok()) {
           ++connected;
@@ -93,6 +133,9 @@ void CoordFixture::Start() {
   for (NodeId id : members) {
     auto server = std::make_unique<DsServer>(&loop_, net_.get(), id, members,
                                              options_.costs, options_.ds_server);
+    if (options_.observability) {
+      server->SetObs(&obs_);
+    }
     net_->Register(id, server.get());
     DsServer* raw = server.get();
     faults_->RegisterProcess(
@@ -119,6 +162,9 @@ void CoordFixture::Start() {
   for (size_t i = 0; i < options_.num_clients; ++i) {
     auto client = std::make_unique<DsClient>(&loop_, net_.get(), client_node(i), members,
                                              options_.ds_client);
+    if (options_.observability) {
+      client->SetObs(&obs_);
+    }
     coords_.push_back(std::make_unique<DsCoordClient>(&loop_, client.get()));
     ds_clients_.push_back(std::move(client));
   }

@@ -13,6 +13,7 @@
 #include "edc/common/rng.h"
 #include "edc/ds/client.h"
 #include "edc/ds/server.h"
+#include "edc/obs/obs.h"
 #include "edc/ext/ds_binding.h"
 #include "edc/ext/zk_binding.h"
 #include "edc/recipes/coord.h"
@@ -49,6 +50,15 @@ struct FixtureOptions {
   ZkClientOptions zk_client;
   DsServerOptions ds_server;
   DsClientOptions ds_client;
+  // Observability: when true, Start() wires a shared Obs (tracer + metrics
+  // registry) through the network, every server and every client, and
+  // installs the event-loop context hooks that carry trace contexts across
+  // scheduled callbacks. Instrumentation only reads the simulated clock —
+  // enabling it never changes schedules, packet traces or applied logs.
+  bool observability = false;
+  // Keep finished spans in memory for ExportJson (Perfetto); off = only
+  // per-op breakdowns survive.
+  bool retain_spans = false;
 };
 
 class CoordFixture {
@@ -81,6 +91,13 @@ class CoordFixture {
   // client", Fig. 8/10).
   int64_t ClientBytesSent() const;
 
+  // Shared observability sinks (valid whether or not observability is on;
+  // metrics/spans only accumulate when it is).
+  Obs& obs() { return obs_; }
+  // Snapshots gauge-style state into the registry: per-link packet/byte
+  // totals and per-server CPU busy time. Call before exporting metrics.
+  void CollectMetrics();
+
   // Both one-shot EDS invariants (EdsDigestsMatch + EdsLogBounded) in one
   // call; `why` receives the first violation. Vacuously true for ZK-family
   // fixtures.
@@ -91,8 +108,11 @@ class CoordFixture {
   std::vector<std::unique_ptr<DsServer>> ds_servers;
 
  private:
+  void WireObservability();
+
   FixtureOptions options_;
   EventLoop loop_;
+  Obs obs_;
   std::unique_ptr<Network> net_;
   std::unique_ptr<FaultInjector> faults_;
   std::vector<std::unique_ptr<ZkExtensionManager>> zk_managers_;

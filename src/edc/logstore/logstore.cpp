@@ -42,8 +42,29 @@ constexpr size_t kRecordHeaderBytes = 12;  // u32 length + u64 checksum
 
 }  // namespace
 
+void LogStore::SetObs(Obs* obs, uint32_t track) {
+  obs_ = obs;
+  track_ = track;
+  if (obs_ != nullptr) {
+    m_syncs_ = obs_->metrics.GetCounter("logstore.syncs");
+    m_bytes_ = obs_->metrics.GetCounter("logstore.bytes");
+    m_batch_records_ = obs_->metrics.GetHistogram("logstore.batch_records");
+    m_batch_bytes_ = obs_->metrics.GetHistogram("logstore.batch_bytes");
+    m_queue_depth_ = obs_->metrics.GetHistogram("logstore.queue_depth");
+  } else {
+    m_syncs_ = m_bytes_ = nullptr;
+    m_batch_records_ = m_batch_bytes_ = m_queue_depth_ = nullptr;
+  }
+}
+
 void LogStore::Append(std::vector<uint8_t> record, DurableCallback on_durable) {
-  pending_.push_back(Pending{std::move(record), std::move(on_durable)});
+  Pending p{std::move(record), std::move(on_durable), TraceContext{}, 0};
+  if (obs_ != nullptr) {
+    p.ctx = obs_->tracer.current();
+    p.at = loop_->now();
+    m_queue_depth_->Record(static_cast<int64_t>(pending_.size()) + 1);
+  }
+  pending_.push_back(std::move(p));
   if (!flush_scheduled_) {
     flush_scheduled_ = true;
     uint64_t epoch = flush_epoch_;
@@ -72,6 +93,12 @@ void LogStore::Flush() {
   disk_free_at_ = durable_at;
   ++syncs_;
   appended_bytes_ += static_cast<int64_t>(batch_bytes);
+  if (obs_ != nullptr) {
+    m_syncs_->Increment();
+    m_bytes_->Add(static_cast<int64_t>(batch_bytes));
+    m_batch_records_->Record(static_cast<int64_t>(pending_.size()));
+    m_batch_bytes_->Record(static_cast<int64_t>(batch_bytes));
+  }
 
   auto batch = std::make_shared<std::vector<Pending>>(std::move(pending_));
   pending_.clear();
@@ -84,8 +111,22 @@ void LogStore::Flush() {
       records_.push_back(std::move(p.record));
     }
     for (Pending& p : *batch) {
+      // Each append waited append-to-durable on the shared fsync: record that
+      // as its kFsync span and run the callback under the appender's context,
+      // so the reply path stays attributed to the originating operation.
+      if (obs_ != nullptr && p.ctx.active()) {
+        obs_->tracer.RecordSpanIn(p.ctx, "log.fsync", Stage::kFsync, track_, p.at,
+                                  loop_->now());
+      }
       if (p.cb) {
-        p.cb();
+        if (obs_ != nullptr) {
+          TraceContext prev = obs_->tracer.current();
+          obs_->tracer.SetCurrent(p.ctx);
+          p.cb();
+          obs_->tracer.SetCurrent(prev);
+        } else {
+          p.cb();
+        }
       }
     }
   });

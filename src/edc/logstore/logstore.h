@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "edc/common/result.h"
+#include "edc/obs/obs.h"
 #include "edc/sim/event_loop.h"
 #include "edc/sim/time.h"
 
@@ -69,10 +70,19 @@ class LogStore {
   int64_t syncs() const { return syncs_; }
   int64_t appended_bytes() const { return appended_bytes_; }
 
+  // Observability (nullable): each append gets a kFsync span covering
+  // append-to-durable (group-commit wait + fsync + disk write), its durable
+  // callback runs under the appender's captured trace context, and the
+  // registry gets sync counts + batch-size/queue-depth histograms. `track`
+  // is the owning node's id.
+  void SetObs(Obs* obs, uint32_t track);
+
  private:
   struct Pending {
     std::vector<uint8_t> record;
     DurableCallback cb;
+    TraceContext ctx;   // appender's context (inactive when obs is off)
+    SimTime at = 0;     // append time, for the fsync span
   };
 
   void Flush();
@@ -86,6 +96,13 @@ class LogStore {
   int64_t syncs_ = 0;
   int64_t appended_bytes_ = 0;
   uint64_t flush_epoch_ = 0;  // invalidates scheduled flushes after DropUnsynced
+  Obs* obs_ = nullptr;
+  uint32_t track_ = 0;
+  Counter* m_syncs_ = nullptr;
+  Counter* m_bytes_ = nullptr;
+  Recorder* m_batch_records_ = nullptr;
+  Recorder* m_batch_bytes_ = nullptr;
+  Recorder* m_queue_depth_ = nullptr;
 };
 
 }  // namespace edc

@@ -1,0 +1,71 @@
+#include "edc/obs/metrics.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace edc {
+
+int64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.total();
+}
+
+int64_t MetricsRegistry::GaugeValue(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second;
+}
+
+const Recorder* MetricsRegistry::Histogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%s\n    \"%s\": %lld", first ? "" : ",", name.c_str(),
+                  static_cast<long long>(counter.total()));
+    out += buf;
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%s\n    \"%s\": %lld", first ? "" : ",", name.c_str(),
+                  static_cast<long long>(value));
+    out += buf;
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, rec] : histograms_) {
+    char buf[320];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n    \"%s\": {\"count\": %zu, \"mean\": %.3f, \"p50\": %lld, "
+                  "\"p99\": %lld, \"max\": %lld}",
+                  first ? "" : ",", name.c_str(), rec.count(), rec.Mean(),
+                  static_cast<long long>(rec.Percentile(0.5)),
+                  static_cast<long long>(rec.Percentile(0.99)),
+                  static_cast<long long>(rec.Max()));
+    out += buf;
+    first = false;
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+bool MetricsRegistry::ExportJson(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << ToJson();
+  return out.good();
+}
+
+}  // namespace edc

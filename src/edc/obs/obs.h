@@ -1,0 +1,20 @@
+// One observability bundle per fixture/cluster: a Tracer (causal spans) and a
+// MetricsRegistry (counters/gauges/histograms). Components take a nullable
+// Obs* via SetObs; null means all instrumentation compiles down to a branch.
+
+#ifndef EDC_OBS_OBS_H_
+#define EDC_OBS_OBS_H_
+
+#include "edc/obs/metrics.h"
+#include "edc/obs/trace.h"
+
+namespace edc {
+
+struct Obs {
+  Tracer tracer;
+  MetricsRegistry metrics;
+};
+
+}  // namespace edc
+
+#endif  // EDC_OBS_OBS_H_

@@ -26,7 +26,33 @@ void CpuQueue::Submit(Duration cost, std::function<void()> done) {
   SimTime finish = start + cost;
   free_at_[best] = finish;
   busy_ns_ += cost;
+  if (obs_ != nullptr) {
+    m_submits_->Increment();
+    m_busy_->Add(cost);
+    m_queue_wait_->Record(start - loop_->now());
+    const TraceContext& ctx = obs_->tracer.current();
+    if (start > loop_->now()) {
+      obs_->tracer.RecordSpanIn(ctx, "cpu.wait", Stage::kQueue, track_, loop_->now(), start);
+    }
+    if (cost > 0) {
+      obs_->tracer.RecordSpanIn(ctx, "cpu.run", Stage::kCpu, track_, start, finish);
+    }
+  }
   loop_->ScheduleAt(finish, std::move(done));
+}
+
+void CpuQueue::SetObs(Obs* obs, uint32_t track) {
+  obs_ = obs;
+  track_ = track;
+  if (obs_ != nullptr) {
+    m_queue_wait_ = obs_->metrics.GetHistogram("cpu.queue_wait_ns");
+    m_busy_ = obs_->metrics.GetCounter("cpu.busy_ns");
+    m_submits_ = obs_->metrics.GetCounter("cpu.submits");
+  } else {
+    m_queue_wait_ = nullptr;
+    m_busy_ = nullptr;
+    m_submits_ = nullptr;
+  }
 }
 
 Duration CpuQueue::QueueDelay() const {

@@ -13,6 +13,7 @@
 #include <functional>
 #include <vector>
 
+#include "edc/obs/obs.h"
 #include "edc/sim/event_loop.h"
 #include "edc/sim/time.h"
 
@@ -40,10 +41,20 @@ class CpuQueue {
 
   int cores() const { return static_cast<int>(free_at_.size()); }
 
+  // Observability (nullable): queue-wait + run spans under the submitter's
+  // trace context (both endpoints are known at Submit time), a queue-wait
+  // histogram, and a cpu-ns counter. `track` is the owning node's id.
+  void SetObs(Obs* obs, uint32_t track);
+
  private:
   EventLoop* loop_;
   std::vector<SimTime> free_at_;
   int64_t busy_ns_ = 0;
+  Obs* obs_ = nullptr;
+  uint32_t track_ = 0;
+  Recorder* m_queue_wait_ = nullptr;
+  Counter* m_busy_ = nullptr;
+  Counter* m_submits_ = nullptr;
 };
 
 }  // namespace edc

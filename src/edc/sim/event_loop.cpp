@@ -18,7 +18,11 @@ TimerId EventLoop::ScheduleAt(SimTime at, Callback cb) {
     at = now_;
   }
   TimerId id = next_id_++;
-  queue_.push(Event{at, next_seq_++, id, std::move(cb)});
+  Event ev{at, next_seq_++, id, std::move(cb), EventContext{}};
+  if (capture_) {
+    ev.ctx = capture_();
+  }
+  queue_.push(std::move(ev));
   return id;
 }
 
@@ -40,7 +44,13 @@ bool EventLoop::PopAndRun() {
   }
   assert(ev.at >= now_);
   now_ = ev.at;
-  ev.cb();
+  if (activate_) {
+    activate_(ev.ctx);
+    ev.cb();
+    activate_(EventContext{});
+  } else {
+    ev.cb();
+  }
   ++events_processed_;
   return true;
 }

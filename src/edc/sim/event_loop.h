@@ -47,6 +47,24 @@ class EventLoop {
   // Makes Run()/RunUntil() return after the current event completes.
   void Stop() { stopped_ = true; }
 
+  // Causal-context propagation (observability): `capture` runs at
+  // Schedule()/ScheduleAt() time and its result is stored with the event;
+  // `activate` runs with that value right before the event's callback and
+  // with a default EventContext right after, restoring ambient state around
+  // every hop of the event graph. The loop itself never interprets the
+  // payload. Hooks must not schedule events — they exist precisely so that
+  // tracing cannot perturb the simulation.
+  struct EventContext {
+    uint64_t a = 0;
+    uint64_t b = 0;
+  };
+  using ContextCapture = std::function<EventContext()>;
+  using ContextActivate = std::function<void(const EventContext&)>;
+  void SetContextHooks(ContextCapture capture, ContextActivate activate) {
+    capture_ = std::move(capture);
+    activate_ = std::move(activate);
+  }
+
   size_t pending() const { return queue_.size() - cancelled_.size(); }
   uint64_t events_processed() const { return events_processed_; }
 
@@ -56,6 +74,7 @@ class EventLoop {
     uint64_t seq;
     TimerId id;
     Callback cb;
+    EventContext ctx;
   };
   struct EventLater {
     bool operator()(const Event& a, const Event& b) const {
@@ -75,6 +94,8 @@ class EventLoop {
   uint64_t events_processed_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
   std::unordered_set<TimerId> cancelled_;
+  ContextCapture capture_;
+  ContextActivate activate_;
 };
 
 }  // namespace edc

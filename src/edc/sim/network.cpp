@@ -1,6 +1,7 @@
 #include "edc/sim/network.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "edc/common/logging.h"
@@ -15,6 +16,43 @@ void Network::Register(NodeId id, NetworkNode* node) {
 void Network::Unregister(NodeId id) {
   nodes_.erase(id);
   node_up_.erase(id);
+  ClearPeerState(id);
+}
+
+void Network::ClearPeerState(NodeId id) {
+  for (auto it = last_delivery_.begin(); it != last_delivery_.end();) {
+    if (it->first.a == id || it->first.b == id) {
+      it = last_delivery_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Network::SetObs(Obs* obs) {
+  obs_ = obs;
+  if (obs_ != nullptr) {
+    m_packets_ = obs_->metrics.GetCounter("net.packets");
+    m_bytes_ = obs_->metrics.GetCounter("net.bytes");
+    m_drops_ = obs_->metrics.GetCounter("net.drops");
+    m_dups_ = obs_->metrics.GetCounter("net.dups");
+  } else {
+    m_packets_ = m_bytes_ = m_drops_ = m_dups_ = nullptr;
+  }
+}
+
+void Network::DumpLinkMetrics(MetricsRegistry* metrics) const {
+  for (const auto& [key, stats] : link_obs_) {
+    std::string prefix = "net.link." + std::to_string(key.a) + "->" + std::to_string(key.b);
+    metrics->SetGauge(prefix + ".packets", stats.packets);
+    metrics->SetGauge(prefix + ".bytes", stats.bytes);
+    if (stats.drops > 0) {
+      metrics->SetGauge(prefix + ".drops", stats.drops);
+    }
+    if (stats.dups > 0) {
+      metrics->SetGauge(prefix + ".dups", stats.dups);
+    }
+  }
 }
 
 void Network::SetLink(NodeId a, NodeId b, const LinkParams& params) {
@@ -39,7 +77,14 @@ void Network::Reconnect(NodeId a, NodeId b) {
 
 void Network::HealAllPartitions() { partitioned_.clear(); }
 
-void Network::SetNodeUp(NodeId id, bool up) { node_up_[id] = up; }
+void Network::SetNodeUp(NodeId id, bool up) {
+  node_up_[id] = up;
+  if (!up) {
+    // A crash resets every connection the node participated in; the FIFO
+    // floors belong to those dead connections, not to the reincarnation.
+    ClearPeerState(id);
+  }
+}
 
 bool Network::IsNodeUp(NodeId id) const {
   auto it = node_up_.find(id);
@@ -64,6 +109,14 @@ void Network::Send(Packet pkt) {
   src_stats.packets_sent += 1;
   src_stats.bytes_sent += static_cast<int64_t>(wire);
   total_bytes_sent_ += static_cast<int64_t>(wire);
+  LinkObsStats* link_obs = nullptr;
+  if (obs_ != nullptr) {
+    m_packets_->Increment();
+    m_bytes_->Add(static_cast<int64_t>(wire));
+    link_obs = &link_obs_[PairKey{pkt.src, pkt.dst}];
+    link_obs->packets += 1;
+    link_obs->bytes += static_cast<int64_t>(wire);
+  }
 
   if (IsPartitioned(pkt.src, pkt.dst)) {
     return;
@@ -71,6 +124,10 @@ void Network::Send(Packet pkt) {
   const LinkParams& link = ParamsFor(pkt.src, pkt.dst);
   if (link.drop_probability > 0.0 && rng_.NextDouble() < link.drop_probability) {
     EDC_LOG(kDebug) << "drop " << pkt.src << "->" << pkt.dst << " type=" << pkt.type;
+    if (link_obs != nullptr) {
+      m_drops_->Increment();
+      link_obs->drops += 1;
+    }
     return;
   }
 
@@ -86,6 +143,10 @@ void Network::Send(Packet pkt) {
   int copies = 1;
   if (link.duplicate_probability > 0.0 && rng_.NextDouble() < link.duplicate_probability) {
     copies = 2;
+    if (link_obs != nullptr) {
+      m_dups_->Increment();
+      link_obs->dups += 1;
+    }
   }
 
   for (int copy = 0; copy < copies; ++copy) {
@@ -94,6 +155,13 @@ void Network::Send(Packet pkt) {
     auto& last = last_delivery_[PairKey{pkt.src, pkt.dst}];
     arrival = std::max(arrival, last + 1);
     last = arrival;
+
+    // The arrival instant is fully determined here, so the in-flight span can
+    // be recorded fully formed — no extra event needed.
+    if (obs_ != nullptr) {
+      obs_->tracer.RecordSpanIn(obs_->tracer.current(), "net.pkt", Stage::kNetwork, pkt.dst,
+                                loop_->now(), arrival);
+    }
 
     NodeId dst = pkt.dst;
     Packet p = copy + 1 < copies ? pkt : std::move(pkt);

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "edc/common/rng.h"
+#include "edc/obs/obs.h"
 #include "edc/sim/event_loop.h"
 #include "edc/sim/time.h"
 
@@ -112,6 +113,14 @@ class Network {
   void ResetStats() { stats_.clear(); }
   int64_t total_bytes_sent() const { return total_bytes_sent_; }
 
+  // Observability (nullable). Counters net.{packets,bytes,drops,dups} are
+  // bumped live; per-directed-link totals accumulate internally and are
+  // published as gauges by DumpLinkMetrics. Packets in flight get a kNetwork
+  // span under the sender's current trace context. Pure recording: no events
+  // scheduled, no extra randomness drawn.
+  void SetObs(Obs* obs);
+  void DumpLinkMetrics(MetricsRegistry* metrics) const;
+
  private:
   struct PairKey {
     NodeId a;
@@ -120,6 +129,17 @@ class Network {
       return a != o.a ? a < o.a : b < o.b;
     }
   };
+  struct LinkObsStats {
+    int64_t packets = 0;
+    int64_t bytes = 0;
+    int64_t drops = 0;
+    int64_t dups = 0;
+  };
+
+  // A node going away (crash or unregister) tears down its connections; the
+  // per-pair FIFO floors die with them. Without this, a restarted node's
+  // first packets inherit the pre-crash ordering floor and arrive late.
+  void ClearPeerState(NodeId id);
 
   const LinkParams& ParamsFor(NodeId src, NodeId dst) const;
   bool IsPartitioned(NodeId a, NodeId b) const;
@@ -135,6 +155,12 @@ class Network {
   std::unordered_map<NodeId, NodeNetStats> stats_;
   int64_t total_bytes_sent_ = 0;
   DeliverySink delivery_sink_;
+  Obs* obs_ = nullptr;
+  Counter* m_packets_ = nullptr;
+  Counter* m_bytes_ = nullptr;
+  Counter* m_drops_ = nullptr;
+  Counter* m_dups_ = nullptr;
+  std::map<PairKey, LinkObsStats> link_obs_;
 };
 
 }  // namespace edc

@@ -85,9 +85,21 @@ void ZabNode::Start() {
   EnterLooking();
 }
 
+void ZabNode::SetObs(Obs* obs) {
+  obs_ = obs;
+  if (obs_ != nullptr) {
+    m_proposals_ = obs_->metrics.GetCounter("zab.proposals");
+    m_commits_ = obs_->metrics.GetCounter("zab.commits");
+    m_heartbeats_ = obs_->metrics.GetCounter("zab.heartbeats");
+  } else {
+    m_proposals_ = m_commits_ = m_heartbeats_ = nullptr;
+  }
+}
+
 void ZabNode::Crash() {
   ++generation_;
   role_ = Role::kDown;
+  proposal_trace_.clear();
   log_->DropUnsynced();
   loop_->Cancel(election_timer_);
   loop_->Cancel(heartbeat_timer_);
@@ -106,6 +118,7 @@ void ZabNode::EnterLooking() {
   synced_ = false;
   broadcast_active_ = false;
   leader_ = 0;
+  proposal_trace_.clear();  // contexts belong to the lost leadership term
   loop_->Cancel(heartbeat_timer_);
   loop_->Cancel(leader_timeout_timer_);
   ++election_round_;
@@ -232,6 +245,9 @@ void ZabNode::SendHeartbeats() {
   if (role_ != Role::kLeading) {
     return;
   }
+  if (m_heartbeats_ != nullptr) {
+    m_heartbeats_->Increment();
+  }
   BroadcastMsg(ZabMsgType::kHeartbeat, EncodeEpochMsg({current_epoch_, committed_zxid_}));
   ArmTimer(&heartbeat_timer_, config_.heartbeat_interval, [this]() { SendHeartbeats(); });
 }
@@ -305,6 +321,13 @@ bool ZabNode::Broadcast(std::vector<uint8_t> txn) {
   ZabProposal proposal;
   proposal.zxid = MakeZxid(current_epoch_, ++counter_);
   proposal.txn = std::move(txn);
+  if (obs_ != nullptr) {
+    m_proposals_->Increment();
+    const TraceContext& ctx = obs_->tracer.current();
+    if (ctx.active()) {
+      proposal_trace_[proposal.zxid] = ProposalTrace{ctx, loop_->now()};
+    }
+  }
   history_.push_back(proposal);
   ProposeMsg msg{current_epoch_, proposal};
   auto payload = EncodeProposeMsg(msg);
@@ -352,9 +375,28 @@ void ZabNode::TryCommit() {
     }
     acks_.erase(it);
     committed_zxid_ = zxid;
+    // Deliver + COMMIT fanout run under the proposing operation's context so
+    // the reply path (and follower commit work) stays attributed to it.
+    TraceContext prev;
+    bool restored = false;
+    if (obs_ != nullptr) {
+      m_commits_->Increment();
+      auto tit = proposal_trace_.find(zxid);
+      if (tit != proposal_trace_.end()) {
+        obs_->tracer.RecordSpanIn(tit->second.ctx, "zab.order", Stage::kOther, config_.self,
+                                  tit->second.at, loop_->now());
+        prev = obs_->tracer.current();
+        obs_->tracer.SetCurrent(tit->second.ctx);
+        proposal_trace_.erase(tit);
+        restored = true;
+      }
+    }
     callbacks_->OnDeliver(zxid, history_[delivered_count_].txn);
     ++delivered_count_;
     BroadcastMsg(ZabMsgType::kCommit, EncodeZxidMsg({current_epoch_, zxid}));
+    if (restored) {
+      obs_->tracer.SetCurrent(prev);
+    }
   }
 }
 

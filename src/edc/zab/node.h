@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "edc/logstore/logstore.h"
+#include "edc/obs/obs.h"
 #include "edc/sim/cpu.h"
 #include "edc/sim/costs.h"
 #include "edc/sim/event_loop.h"
@@ -96,6 +97,13 @@ class ZabNode {
   // Testing/ablation: forget log entries up to the current commit frontier,
   // keeping a snapshot, to force the SNAP path for lagging followers.
   void CompactLog();
+
+  // Observability (nullable): proposal/commit/heartbeat counters, plus
+  // leader-side trace propagation — the context active at Broadcast() is
+  // remembered per zxid and restored around OnDeliver + the COMMIT fanout,
+  // so a committed transaction's delivery (and the follower work the COMMIT
+  // packets trigger) stays attributed to the originating client operation.
+  void SetObs(Obs* obs);
 
  private:
   enum class Role { kDown, kLooking, kFollowing, kLeading };
@@ -202,6 +210,17 @@ class ZabNode {
   TimerId election_timer_ = kInvalidTimer;
   TimerId heartbeat_timer_ = kInvalidTimer;
   TimerId leader_timeout_timer_ = kInvalidTimer;
+
+  // Observability.
+  struct ProposalTrace {
+    TraceContext ctx;
+    SimTime at = 0;
+  };
+  Obs* obs_ = nullptr;
+  Counter* m_proposals_ = nullptr;
+  Counter* m_commits_ = nullptr;
+  Counter* m_heartbeats_ = nullptr;
+  std::map<uint64_t, ProposalTrace> proposal_trace_;  // leader-term scoped
 };
 
 }  // namespace edc

@@ -10,10 +10,26 @@ namespace edc {
 
 ZkClient::ZkClient(EventLoop* loop, Network* net, NodeId id, ServerList servers,
                    ZkClientOptions options)
-    : loop_(loop), net_(net), id_(id), servers_(std::move(servers)), options_(options) {
+    : loop_(loop),
+      net_(net),
+      id_(id),
+      servers_(std::move(servers)),
+      options_(options),
+      jitter_rng_(JitterSeedFor(options.reconnect, id)) {
   server_idx_ = servers_.preferred;
   server_ = servers_.at(server_idx_);
   net_->Register(id_, this);
+}
+
+void ZkClient::SetObs(Obs* obs) {
+  obs_ = obs;
+  if (obs_ != nullptr) {
+    m_failovers_ = obs_->metrics.GetCounter("client.zk.failovers");
+    m_reconnects_ = obs_->metrics.GetCounter("client.zk.reconnect_attempts");
+    m_expired_ = obs_->metrics.GetCounter("client.zk.sessions_expired");
+  } else {
+    m_failovers_ = m_reconnects_ = m_expired_ = nullptr;
+  }
 }
 
 void ZkClient::Connect(VoidCb done) {
@@ -115,6 +131,9 @@ void ZkClient::FailParked(ErrorCode code) {
 
 void ZkClient::OnConnectionLoss() {
   EDC_LOG(kDebug) << "client " << id_ << " lost replica " << server_;
+  if (m_failovers_ != nullptr) {
+    m_failovers_->Increment();
+  }
   loop_->Cancel(ping_timer_);
   lost_session_ = session_;
   session_ = 0;
@@ -132,6 +151,9 @@ void ZkClient::OnConnectionLoss() {
 
 void ZkClient::OnSessionExpired() {
   EDC_LOG(kDebug) << "client " << id_ << " session expired";
+  if (m_expired_ != nullptr) {
+    m_expired_->Increment();
+  }
   loop_->Cancel(ping_timer_);
   session_ = 0;
   lost_session_ = 0;
@@ -156,9 +178,21 @@ void ZkClient::ScheduleReconnect() {
     return;
   }
   ++reconnect_attempts_;
+  if (m_reconnects_ != nullptr) {
+    m_reconnects_->Increment();
+  }
   Duration delay = backoff_;
   backoff_ = backoff_ == 0 ? options_.reconnect.initial_backoff
                            : std::min(backoff_ * 2, options_.reconnect.max_backoff);
+  // Seeded jitter: shorten the delay by up to backoff_jitter of itself so
+  // clients disconnected by the same fault don't reconnect in lockstep.
+  if (options_.reconnect.backoff_jitter > 0.0 && delay > 0) {
+    auto span = static_cast<uint64_t>(options_.reconnect.backoff_jitter *
+                                      static_cast<double>(delay));
+    if (span > 0) {
+      delay -= static_cast<Duration>(jitter_rng_.UniformU64(span + 1));
+    }
+  }
   loop_->Cancel(reconnect_timer_);
   reconnect_timer_ = loop_->Schedule(delay, [this]() {
     if (closing_ || session_ != 0) {

@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "edc/common/client_api.h"
+#include "edc/common/rng.h"
+#include "edc/obs/obs.h"
 #include "edc/sim/event_loop.h"
 #include "edc/sim/network.h"
 #include "edc/zk/types.h"
@@ -107,6 +109,9 @@ class ZkClient : public NetworkNode {
   void SetSessionEventHandler(SessionEventCb handler) { session_cb_ = std::move(handler); }
   // History observation (conformance checking); pass {} to detach.
   void SetObserver(ZkClientObserver observer) { observer_ = std::move(observer); }
+  // Observability (nullable): failover / reconnect-attempt / session-expiry
+  // counters in the shared registry.
+  void SetObs(Obs* obs);
 
   bool connected() const { return session_ != 0; }
   uint64_t session() const { return session_; }
@@ -151,11 +156,16 @@ class ZkClient : public NetworkNode {
   ZkClientObserver observer_;
   SimTime last_rx_ = 0;       // last packet received from the current replica
   Duration backoff_ = 0;      // current reconnect backoff
+  Rng jitter_rng_;            // private backoff-jitter stream (seeded per client)
   int reconnect_attempts_ = 0;
   bool ever_connected_ = false;
   TimerId ping_timer_ = kInvalidTimer;
   TimerId reconnect_timer_ = kInvalidTimer;
   bool closing_ = false;
+  Obs* obs_ = nullptr;
+  Counter* m_failovers_ = nullptr;
+  Counter* m_reconnects_ = nullptr;
+  Counter* m_expired_ = nullptr;
 };
 
 }  // namespace edc

@@ -58,6 +58,16 @@ class ZkServer : public NetworkNode, public ZabCallbacks {
   // ZooKeeper.
   void SetHooks(ZkServerHooks* hooks) { hooks_ = hooks; }
 
+  // Observability (nullable): forwards to the CPU queue, the log store and
+  // the Zab node, all reporting into the shared registry/tracer.
+  void SetObs(Obs* obs) {
+    obs_ = obs;
+    cpu_.SetObs(obs, static_cast<uint32_t>(id_));
+    log_.SetObs(obs, static_cast<uint32_t>(id_));
+    zab_->SetObs(obs);
+  }
+  Obs* obs() const { return obs_; }
+
   void Start();
   void Crash();
   void Restart();
@@ -142,6 +152,7 @@ class ZkServer : public NetworkNode, public ZabCallbacks {
   LogStore log_;
   std::unique_ptr<ZabNode> zab_;
   ZkServerHooks* hooks_ = nullptr;
+  Obs* obs_ = nullptr;
 
   bool running_ = false;
   uint64_t generation_ = 0;

@@ -38,6 +38,51 @@ TEST(RecorderTest, PercentileEdges) {
   EXPECT_NEAR(static_cast<double>(r.Percentile(0.99)), 99.0, 1.0);
 }
 
+TEST(RecorderTest, SingleSampleAllPercentiles) {
+  Recorder r;
+  r.Record(42);
+  EXPECT_EQ(r.Percentile(0.0), 42);
+  EXPECT_EQ(r.Percentile(0.5), 42);
+  EXPECT_EQ(r.Percentile(0.99), 42);
+  EXPECT_EQ(r.Percentile(1.0), 42);
+}
+
+TEST(RecorderTest, TwoSamplesInterpolateMidpoint) {
+  Recorder r;
+  r.Record(100);
+  r.Record(200);
+  EXPECT_EQ(r.Percentile(0.5), 150);
+  EXPECT_EQ(r.Percentile(0.25), 125);
+  EXPECT_EQ(r.Percentile(0.99), 199);
+}
+
+TEST(RecorderTest, SmallSamplePercentileDoesNotSaturateToMax) {
+  // Regression: the old nearest-rank rounding mapped p99 of any n<=50 sample
+  // set to Max(). With 50 samples 1..50, p99 should interpolate between the
+  // 49th and 50th order statistics, not saturate.
+  Recorder r;
+  for (int64_t i = 1; i <= 50; ++i) {
+    r.Record(i * 10);
+  }
+  int64_t p99 = r.Percentile(0.99);
+  EXPECT_LT(p99, r.Max());
+  EXPECT_GT(p99, 490);
+  // p50 of an even-sized set interpolates between the two middle samples.
+  EXPECT_EQ(r.Percentile(0.5), 255);
+}
+
+TEST(RecorderTest, HundredSamplesInterpolated) {
+  Recorder r;
+  for (int64_t i = 1; i <= 100; ++i) {
+    r.Record(i);
+  }
+  // pos = q*(n-1): p50 -> 49.5 -> 50.5 truncated to 50; p90 -> 90.1 -> 90.
+  EXPECT_EQ(r.Percentile(0.5), 50);
+  EXPECT_EQ(r.Percentile(0.9), 90);
+  EXPECT_EQ(r.Percentile(0.99), 99);
+  EXPECT_EQ(r.Percentile(1.0), 100);
+}
+
 TEST(RecorderTest, RecordAfterQueryResorts) {
   Recorder r;
   r.Record(10);

@@ -1,0 +1,87 @@
+// Unit tests for the metrics registry: handle stability, read accessors, and
+// deterministic JSON export.
+
+#include "edc/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace edc {
+namespace {
+
+TEST(MetricsTest, CountersAccumulate) {
+  MetricsRegistry metrics;
+  Counter* c = metrics.GetCounter("zab.commits");
+  c->Increment();
+  c->Add(4);
+  EXPECT_EQ(metrics.CounterValue("zab.commits"), 5);
+  EXPECT_EQ(metrics.CounterValue("does.not.exist"), 0);
+}
+
+TEST(MetricsTest, HandlesStayValidAcrossInsertions) {
+  // Hot paths cache the pointer once; later registrations must not move it.
+  MetricsRegistry metrics;
+  Counter* first = metrics.GetCounter("a");
+  for (int i = 0; i < 100; ++i) {
+    metrics.GetCounter("filler." + std::to_string(i));
+  }
+  first->Increment();
+  EXPECT_EQ(metrics.CounterValue("a"), 1);
+  EXPECT_EQ(metrics.GetCounter("a"), first);
+}
+
+TEST(MetricsTest, GaugesOverwrite) {
+  MetricsRegistry metrics;
+  metrics.SetGauge("cpu.busy_ns", 10);
+  metrics.SetGauge("cpu.busy_ns", 42);
+  EXPECT_EQ(metrics.GaugeValue("cpu.busy_ns"), 42);
+  EXPECT_EQ(metrics.GaugeValue("missing"), 0);
+}
+
+TEST(MetricsTest, HistogramsRecord) {
+  MetricsRegistry metrics;
+  Recorder* h = metrics.GetHistogram("net.rtt_ns");
+  for (int64_t v : {10, 20, 30}) {
+    h->Record(v);
+  }
+  const Recorder* read = metrics.Histogram("net.rtt_ns");
+  ASSERT_NE(read, nullptr);
+  EXPECT_EQ(read->count(), 3u);
+  EXPECT_EQ(read->Percentile(0.5), 20);
+  EXPECT_EQ(metrics.Histogram("missing"), nullptr);
+}
+
+TEST(MetricsTest, ToJsonContainsAllSections) {
+  MetricsRegistry metrics;
+  metrics.GetCounter("net.packets")->Add(7);
+  metrics.SetGauge("server.1.cpu_busy_ns", 123);
+  metrics.GetHistogram("lat")->Record(50);
+  std::string json = metrics.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("net.packets"), std::string::npos);
+  EXPECT_NE(json.find("server.1.cpu_busy_ns"), std::string::npos);
+  // Deterministic: same content twice.
+  EXPECT_EQ(json, metrics.ToJson());
+}
+
+TEST(MetricsTest, ExportJsonWritesFile) {
+  MetricsRegistry metrics;
+  metrics.GetCounter("bft.prepares")->Add(3);
+  std::string path = ::testing::TempDir() + "/edc_metrics_test.json";
+  ASSERT_TRUE(metrics.ExportJson(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("bft.prepares"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace edc

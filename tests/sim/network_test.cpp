@@ -97,6 +97,64 @@ TEST_F(NetworkTest, InFlightPacketLostIfReceiverCrashes) {
   EXPECT_TRUE(b_.received.empty());
 }
 
+TEST_F(NetworkTest, CrashClearsStaleFifoFloor) {
+  // Regression: the per-pair FIFO floor must die with the connection when a
+  // node crashes. A packet sent over a very slow link pushes the (1,2) floor
+  // far into the future; after 2 crashes and restarts, fresh packets belong
+  // to a NEW connection and must arrive at normal link latency instead of
+  // being held behind the dead connection's floor.
+  LinkParams slow;
+  slow.latency = 0;
+  slow.jitter = 0;
+  slow.extra_delay = Seconds(30);
+  net_.SetLink(1, 2, slow);
+  net_.Send(Make(1, 2, 1));   // floors (1,2) delivery near t=30s
+  net_.SetNodeUp(2, false);   // crash tears down the connection + its floor
+  net_.SetNodeUp(2, true);    // restart
+  net_.ClearLink(1, 2);       // restarted node talks over a normal link
+
+  SimTime delivered = 0;
+  net_.SetDeliverySink([&](SimTime at, const Packet& pkt) {
+    if (pkt.type == 2) {
+      delivered = at;
+    }
+  });
+  net_.Send(Make(1, 2, 2));
+  loop_.Run();
+  // The post-restart packet must arrive at normal latency, ahead of the
+  // pre-crash straggler — not held >= 30s behind the stale floor.
+  ASSERT_FALSE(b_.received.empty());
+  EXPECT_EQ(b_.received[0].type, 2u);
+  EXPECT_GT(delivered, 0);
+  EXPECT_LT(delivered, Seconds(1));
+}
+
+TEST_F(NetworkTest, UnregisterClearsStaleFifoFloor) {
+  LinkParams slow;
+  slow.latency = 0;
+  slow.jitter = 0;
+  slow.extra_delay = Seconds(30);
+  net_.SetLink(1, 2, slow);
+  net_.Send(Make(1, 2, 1));
+  net_.Unregister(2);
+  Sink b2;
+  net_.Register(2, &b2);
+  net_.ClearLink(1, 2);
+
+  SimTime delivered = 0;
+  net_.SetDeliverySink([&](SimTime at, const Packet& pkt) {
+    if (pkt.type == 2) {
+      delivered = at;
+    }
+  });
+  net_.Send(Make(1, 2, 2));
+  loop_.Run();
+  ASSERT_FALSE(b2.received.empty());
+  EXPECT_EQ(b2.received[0].type, 2u);
+  EXPECT_GT(delivered, 0);
+  EXPECT_LT(delivered, Seconds(1));
+}
+
 TEST_F(NetworkTest, DropProbabilityOneLosesEverything) {
   LinkParams lossy;
   lossy.drop_probability = 1.0;
