@@ -63,6 +63,28 @@ void BM_MeteredArithmetic(benchmark::State& state) {
 }
 BENCHMARK(BM_MeteredArithmetic);
 
+void BM_ElidedArithmetic(benchmark::State& state) {
+  // The certified path: the static analyzer proved a step bound within
+  // budget, so the binding hands the interpreter an unmetered budget
+  // (docs/static_analysis.md). Steps are still counted — only the per-node
+  // limit comparison disappears. Delta vs BM_MeteredArithmetic is the
+  // per-invocation win that verification buys once at registration.
+  auto program = ParseProgram(kComputeScript);
+  NullHost host;
+  ExecBudget elided;
+  elided.metered = false;
+  int64_t steps = 0;
+  for (auto _ : state) {
+    Interpreter interp(program->get(), &host, elided);
+    auto out = interp.Invoke("read", {Value("/x")});
+    benchmark::DoNotOptimize(out);
+    steps += interp.stats().steps_used;
+  }
+  state.counters["steps_per_s"] =
+      benchmark::Counter(static_cast<double>(steps), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ElidedArithmetic);
+
 void BM_MeteredStrings(benchmark::State& state) {
   auto program = ParseProgram(kStringScript);
   NullHost host;
@@ -73,6 +95,19 @@ void BM_MeteredStrings(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MeteredStrings);
+
+void BM_ElidedStrings(benchmark::State& state) {
+  auto program = ParseProgram(kStringScript);
+  NullHost host;
+  ExecBudget elided;
+  elided.metered = false;
+  for (auto _ : state) {
+    Interpreter interp(program->get(), &host, elided);
+    auto out = interp.Invoke("read", {Value("/x")});
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_ElidedStrings);
 
 void BM_BudgetExhaustion(benchmark::State& state) {
   // Hitting the step limit must be cheap (it is the defense, not the attack).

@@ -8,6 +8,7 @@
 
 #include "bench/gbench_json.h"
 #include "edc/ext/registry.h"
+#include "edc/script/analysis/analyzer.h"
 #include "edc/recipes/scripts.h"
 #include "edc/script/builtins.h"
 #include "edc/script/interpreter.h"
@@ -65,6 +66,20 @@ void BM_ParseAndVerify(benchmark::State& state) {
 }
 BENCHMARK(BM_ParseAndVerify);
 
+void BM_AnalyzeProgram(benchmark::State& state) {
+  // The full registration-time analysis: CFG + dataflow + cost bounding +
+  // determinism taint (docs/static_analysis.md). This is the one-time price
+  // whose payoff is measured by BM_CertifiedInvocation below.
+  VerifierConfig cfg = BenchConfig();
+  cfg.collection_functions = {"children", "sub_objects"};
+  auto program = ParseProgram(kQueueExtension);
+  for (auto _ : state) {
+    AnalysisReport report = AnalyzeProgram(**program, cfg);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_AnalyzeProgram);
+
 void BM_RegistryLoad(benchmark::State& state) {
   VerifierConfig cfg = BenchConfig();
   for (auto _ : state) {
@@ -85,6 +100,22 @@ void BM_ExtensionInvocation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExtensionInvocation);
+
+void BM_CertifiedInvocation(benchmark::State& state) {
+  // Same invocation with the metering the analyzer's certificate makes
+  // redundant elided; delta vs BM_ExtensionInvocation is the recurring
+  // per-request payoff of verifying once at registration.
+  auto program = ParseProgram(kQueueExtension);
+  CannedHost host;
+  ExecBudget elided;
+  elided.metered = false;
+  for (auto _ : state) {
+    Interpreter interp(program->get(), &host, elided);
+    auto out = interp.Invoke("read", {Value("/queue/head")});
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_CertifiedInvocation);
 
 void BM_SubscriptionMatch(benchmark::State& state) {
   // The per-request cost every operation pays on an extensible server.

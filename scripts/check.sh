@@ -1,23 +1,62 @@
 #!/usr/bin/env bash
-# Full local gate: configure + build, then run the four test tiers the CI
-# presets select — the plain suite, the chaos fault-injection scenarios, the
-# model-conformance sweeps (docs/model_checking.md), and the observability
-# layer (docs/observability.md). Any failure aborts.
+# Full local gate: configure + build, then run the test tiers the CI presets
+# select — the plain suite, the chaos fault-injection scenarios, the
+# model-conformance sweeps (docs/model_checking.md), the observability layer
+# (docs/observability.md), and the lint tier (docs/static_analysis.md):
+# edc-lint golden tests, edc-lint over the example scripts, and clang-tidy
+# when available. Any failure aborts.
 #
-# Usage: scripts/check.sh [build-dir]   (default: build)
+# Usage: scripts/check.sh [--lint] [build-dir]   (default build dir: build)
+#   --lint   run only the lint tier (golden tests + edc-lint + clang-tidy)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+LINT_ONLY=0
+if [[ "${1:-}" == "--lint" ]]; then
+  LINT_ONLY=1
+  shift
+fi
+
 BUILD_DIR="${1:-build}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-cmake -B "$BUILD_DIR" -S .
+run_lint_tier() {
+  echo "== lint: edc-lint golden tests =="
+  (cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS" --no-tests=error -L lint)
+  echo "== lint: edc-lint over examples/scripts =="
+  "$BUILD_DIR"/tools/edc-lint examples/scripts/queue_remove.edc \
+    examples/scripts/audit_count.edc
+  # The intentionally-broken example must keep exiting nonzero.
+  if "$BUILD_DIR"/tools/edc-lint examples/scripts/broken_sweeper.edc >/dev/null; then
+    echo "expected broken_sweeper.edc to lint with errors" >&2
+    exit 1
+  fi
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "== lint: clang-tidy (script + ext) =="
+    clang-tidy -p "$BUILD_DIR" --quiet \
+      src/edc/script/*.cpp src/edc/script/analysis/*.cpp src/edc/ext/*.cpp
+  else
+    echo "== lint: clang-tidy not installed; skipping C++ tidy pass =="
+  fi
+}
+
+if [[ "$LINT_ONLY" == 1 ]]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target edc-lint lint_golden_test
+  run_lint_tier
+  echo "Lint checks passed."
+  exit 0
+fi
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 cmake --build "$BUILD_DIR" -j "$JOBS"
+
+run_lint_tier
 
 cd "$BUILD_DIR"
 echo "== tier-1 tests =="
-ctest --output-on-failure -j "$JOBS" -LE 'chaos|model|obs'
+ctest --output-on-failure -j "$JOBS" -LE 'chaos|model|obs|lint'
 echo "== chaos tests =="
 ctest --output-on-failure -j "$JOBS" -L chaos
 echo "== model-conformance tests =="

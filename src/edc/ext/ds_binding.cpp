@@ -97,8 +97,14 @@ class DsScriptHost : public ScriptHost {
       if (auto s = Check1Path(name, args); !s.ok()) {
         return s;
       }
+      // Collection cap (§4.1.2): the static cost pass bounds foreach loops
+      // over these results by max_collection_items, so the runtime must
+      // never hand back more.
       ValueList objs;
       for (const DsEntry& e : ctx_->RdAll(ObjectPrefixTemplate(args[0].AsStr()))) {
+        if (objs.size() >= limits_.max_collection_items) {
+          break;
+        }
         objs.push_back(EntryToValue(e));
       }
       return Value::List(std::move(objs));
@@ -110,6 +116,9 @@ class DsScriptHost : public ScriptHost {
       const std::string& parent = args[0].AsStr();
       ValueList names;
       for (const DsEntry& e : ctx_->RdAll(ObjectPrefixTemplate(parent))) {
+        if (names.size() >= limits_.max_collection_items) {
+          break;
+        }
         std::string path = TuplePath(e.tuple);
         if (ParentPath(path) == parent) {
           names.emplace_back(BaseName(path));
@@ -226,7 +235,8 @@ class DsScriptHost : public ScriptHost {
 // Read-only host for on_unblocked veto handlers: no state mutation allowed.
 class DsReadOnlyHost : public ScriptHost {
  public:
-  DsReadOnlyHost(const TupleSpace* space, NodeId client) : space_(space), client_(client) {}
+  DsReadOnlyHost(const TupleSpace* space, NodeId client, size_t max_items)
+      : space_(space), client_(client), max_items_(max_items) {}
 
   bool HasFunction(const std::string& name) const override {
     return name == "read_object" || name == "exists" || name == "sub_objects" ||
@@ -250,6 +260,9 @@ class DsReadOnlyHost : public ScriptHost {
     }
     ValueList out;
     for (const DsEntry& e : space_->RdAll(ObjectPrefixTemplate(path))) {
+      if (out.size() >= max_items_) {
+        break;
+      }
       if (name == "children") {
         std::string p = TuplePath(e.tuple);
         if (ParentPath(p) == path) {
@@ -265,6 +278,7 @@ class DsReadOnlyHost : public ScriptHost {
  private:
   const TupleSpace* space_;
   NodeId client_;
+  size_t max_items_;
 };
 
 Status CheckSubscriptionsOutsideEm(const Program& program) {
@@ -288,6 +302,10 @@ DsExtensionManager::DsExtensionManager(DsServer* server, ExtensionLimits limits)
   // Active replication: every replica executes every extension, so the white
   // list must be fully deterministic (§4.1.1).
   verifier_config_.require_deterministic = true;
+  // Certification (§4.2): proven-bounded handlers run with metering elided.
+  verifier_config_.certify_max_steps = limits_.max_steps;
+  verifier_config_.collection_functions = {"children", "sub_objects"};
+  verifier_config_.max_collection_items = limits_.max_collection_items;
   server_->SetHooks(this);
 }
 
@@ -459,6 +477,8 @@ DsExecOutcome DsExtensionManager::RunOperationExtension(const LoadedExtension& e
 
   DsScriptHost host(ctx, limits_);
   ExecBudget budget{limits_.max_steps, limits_.max_value_bytes};
+  bool certified = ext.Certified(handler_name);
+  budget.metered = !(certified && limits_.enable_metering_elision);
   Interpreter interp(ext.program.get(), &host, budget);
   auto result = interp.Invoke(handler_name, std::move(args));
 
@@ -468,6 +488,12 @@ DsExecOutcome DsExtensionManager::RunOperationExtension(const LoadedExtension& e
     obs->metrics.GetCounter("ext.invocations")->Increment();
     obs->metrics.GetCounter("ext.steps")->Add(
         static_cast<int64_t>(interp.stats().steps_used));
+    if (certified) {
+      obs->metrics.GetCounter("ext.certified")->Increment();
+    }
+    if (!budget.metered) {
+      obs->metrics.GetCounter("ext.metering_elided")->Increment();
+    }
   }
 
   if (!result.ok()) {
@@ -528,6 +554,8 @@ void DsExtensionManager::RunEventExtension(LoadedExtension* ext, DsExecContext* 
   }
   DsScriptHost host(ctx, limits_);
   ExecBudget budget{limits_.max_steps, limits_.max_value_bytes};
+  bool certified = ext->Certified(handler_name);
+  budget.metered = !(certified && limits_.enable_metering_elision);
   Interpreter interp(ext->program.get(), &host, budget);
   std::vector<Value> args;
   args.emplace_back(path);
@@ -536,6 +564,12 @@ void DsExtensionManager::RunEventExtension(LoadedExtension* ext, DsExecContext* 
     obs->metrics.GetCounter("ext.invocations")->Increment();
     obs->metrics.GetCounter("ext.steps")->Add(
         static_cast<int64_t>(interp.stats().steps_used));
+    if (certified) {
+      obs->metrics.GetCounter("ext.certified")->Increment();
+    }
+    if (!budget.metered) {
+      obs->metrics.GetCounter("ext.metering_elided")->Increment();
+    }
   }
   if (!result.ok()) {
     EDC_LOG(kDebug) << "event extension '" << ext->name
@@ -556,8 +590,9 @@ bool DsExtensionManager::AllowUnblock(NodeId client, const DsTemplate& templ,
     if (ext->program->handlers.count("on_unblocked") == 0) {
       continue;
     }
-    DsReadOnlyHost host(&server_->space(), client);
+    DsReadOnlyHost host(&server_->space(), client, limits_.max_collection_items);
     ExecBudget budget{limits_.max_steps, limits_.max_value_bytes};
+    budget.metered = !(ext->Certified("on_unblocked") && limits_.enable_metering_elision);
     Interpreter interp(ext->program.get(), &host, budget);
     std::vector<Value> args;
     args.emplace_back(path);

@@ -14,7 +14,8 @@ Status ExtensionRegistry::Load(const std::string& name, uint64_t owner,
   if (!program.ok()) {
     return program.status();
   }
-  if (auto s = VerifyProgram(**program, config); !s.ok()) {
+  AnalysisReport report = AnalyzeProgram(**program, config);
+  if (auto s = ToVerifierStatus(report); !s.ok()) {
     return s;
   }
   LoadedExtension ext;
@@ -22,6 +23,7 @@ Status ExtensionRegistry::Load(const std::string& name, uint64_t owner,
   ext.owner = owner;
   ext.program = std::move(*program);
   ext.reg_order = next_order_++;
+  ext.reports = std::move(report.handlers);
   extensions_[name] = std::move(ext);
   return Status::Ok();
 }

@@ -23,6 +23,7 @@
 
 #include "edc/common/codec.h"
 #include "edc/common/result.h"
+#include "edc/script/analysis/analyzer.h"
 #include "edc/script/ast.h"
 #include "edc/script/verifier.h"
 
@@ -39,6 +40,13 @@ struct ExtensionLimits {
   // runtime errors (§4.1.2); eviction bounds the damage of a crash-looping
   // extension.
   int strike_limit = 0;
+  // Cap on list sizes returned by collection host functions (children,
+  // sub_objects). The static cost pass assumes this cap when bounding
+  // foreach loops, so the sandbox must enforce it at runtime.
+  size_t max_collection_items = 256;
+  // When true, handlers certified at registration (proven step bound within
+  // max_steps) run without the per-node step-limit check (§4.2).
+  bool enable_metering_elision = true;
 };
 
 struct LoadedExtension {
@@ -48,6 +56,16 @@ struct LoadedExtension {
   std::set<uint64_t> acks;
   uint64_t reg_order = 0;
   int strikes = 0;
+  // Per-handler analysis verdicts from registration time; drives metering
+  // elision for certified handlers.
+  std::map<std::string, HandlerReport> reports;
+
+  // True iff `handler` was certified by the static analyzer (proven
+  // worst-case step bound within the execution budget).
+  bool Certified(const std::string& handler) const {
+    auto it = reports.find(handler);
+    return it != reports.end() && it->second.certified;
+  }
 };
 
 class ExtensionRegistry {

@@ -106,8 +106,14 @@ class ZkScriptHost : public ScriptHost {
       if (!children.ok()) {
         return ScriptError(children.status().ToString());
       }
+      // Collection cap (§4.1.2): the static cost pass bounds foreach loops
+      // over this list by max_collection_items, so the runtime must never
+      // hand back more.
       ValueList names;
       for (std::string& c : *children) {
+        if (names.size() >= limits_.max_collection_items) {
+          break;
+        }
         names.emplace_back(std::move(c));
       }
       return Value::List(std::move(names));
@@ -123,6 +129,9 @@ class ZkScriptHost : public ScriptHost {
       }
       ValueList objs;
       for (const std::string& c : *children) {
+        if (objs.size() >= limits_.max_collection_items) {
+          break;
+        }
         std::string path = parent == "/" ? "/" + c : parent + "/" + c;
         auto node = prep_->Get(path);
         if (node.ok()) {
@@ -287,6 +296,12 @@ ZkExtensionManager::ZkExtensionManager(ZkServer* server, ExtensionLimits limits)
   }
   // Primary-backup: nondeterministic host functions are admissible (§4.1.1).
   verifier_config_.require_deterministic = false;
+  // Certification (§4.2): a handler whose proven step bound fits the runtime
+  // budget runs unmetered. The cost pass relies on the sandbox capping
+  // collection results, so both sides must agree on the cap.
+  verifier_config_.certify_max_steps = limits_.max_steps;
+  verifier_config_.collection_functions = {"children", "sub_objects"};
+  verifier_config_.max_collection_items = limits_.max_collection_items;
   server_->SetHooks(this);
 }
 
@@ -382,6 +397,8 @@ ZkPrepOutcome ZkExtensionManager::RunOperationExtension(const LoadedExtension& e
 
   ZkScriptHost host(prep, session, limits_, server_->now(), &ext_rng_);
   ExecBudget budget{limits_.max_steps, limits_.max_value_bytes};
+  bool certified = ext.Certified(handler_name);
+  budget.metered = !(certified && limits_.enable_metering_elision);
   Interpreter interp(ext.program.get(), &host, budget);
   auto result = interp.Invoke(handler_name, std::move(args));
 
@@ -392,6 +409,12 @@ ZkPrepOutcome ZkExtensionManager::RunOperationExtension(const LoadedExtension& e
     obs->metrics.GetCounter("ext.invocations")->Increment();
     obs->metrics.GetCounter("ext.steps")->Add(
         static_cast<int64_t>(interp.stats().steps_used));
+    if (certified) {
+      obs->metrics.GetCounter("ext.certified")->Increment();
+    }
+    if (!budget.metered) {
+      obs->metrics.GetCounter("ext.metering_elided")->Increment();
+    }
   }
 
   if (!result.ok()) {
@@ -461,6 +484,8 @@ void ZkExtensionManager::RunEventExtensions(const ZkEvent& event, const std::str
     auto prep = server_->BeginInternalPrep(ext->owner);
     ZkScriptHost host(prep.get(), ext->owner, limits_, server_->now(), &ext_rng_);
     ExecBudget budget{limits_.max_steps, limits_.max_value_bytes};
+    bool certified = ext->Certified(handler_name);
+    budget.metered = !(certified && limits_.enable_metering_elision);
     Interpreter interp(ext->program.get(), &host, budget);
     std::vector<Value> args;
     args.emplace_back(event.path);
@@ -471,6 +496,12 @@ void ZkExtensionManager::RunEventExtensions(const ZkEvent& event, const std::str
       obs->metrics.GetCounter("ext.invocations")->Increment();
       obs->metrics.GetCounter("ext.steps")->Add(
           static_cast<int64_t>(interp.stats().steps_used));
+      if (certified) {
+        obs->metrics.GetCounter("ext.certified")->Increment();
+      }
+      if (!budget.metered) {
+        obs->metrics.GetCounter("ext.metering_elided")->Increment();
+      }
     }
     if (!result.ok()) {
       EDC_LOG(kDebug) << "event extension '" << ext->name

@@ -1,0 +1,269 @@
+#include "edc/script/analysis/cfg.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace edc {
+
+namespace {
+
+// ---- Name resolution ----
+
+class Resolver {
+ public:
+  explicit Resolver(ResolvedNames* out) : out_(out) {}
+
+  void Run(const Handler& handler) {
+    scopes_.emplace_back();
+    for (const std::string& param : handler.params) {
+      int id = NewVar(param, /*is_param=*/true, /*is_loop=*/false,
+                      handler.line, handler.col);
+      scopes_.back()[param] = id;
+      out_->param_ids.push_back(id);
+    }
+    WalkBlock(handler.body, handler.name);
+    scopes_.pop_back();
+  }
+
+ private:
+  void WalkBlock(const Block& block, const std::string& handler_name) {
+    scopes_.emplace_back();
+    for (const StmtPtr& stmt : block) {
+      WalkStmt(*stmt, handler_name);
+    }
+    scopes_.pop_back();
+  }
+
+  void WalkStmt(const Stmt& stmt, const std::string& handler_name) {
+    switch (stmt.kind) {
+      case Stmt::Kind::kLet: {
+        WalkExpr(*stmt.expr, handler_name);
+        int id = NewVar(stmt.name, false, false, stmt.line, stmt.col);
+        scopes_.back()[stmt.name] = id;
+        out_->def_ids[&stmt] = id;
+        return;
+      }
+      case Stmt::Kind::kAssign: {
+        WalkExpr(*stmt.expr, handler_name);
+        int id = Lookup(stmt.name);
+        if (id < 0) {
+          out_->diags.push_back(Diagnostic{
+              kDiagAssignUndeclared, Severity::kError, stmt.line, stmt.col,
+              handler_name,
+              "assignment to undeclared variable '" + stmt.name + "' in handler '" +
+                  handler_name + "'"});
+          id = NewVar(stmt.name, false, false, stmt.line, stmt.col);
+          scopes_.back()[stmt.name] = id;
+        }
+        out_->def_ids[&stmt] = id;
+        return;
+      }
+      case Stmt::Kind::kIf: {
+        WalkExpr(*stmt.expr, handler_name);
+        WalkBlock(stmt.body, handler_name);
+        WalkBlock(stmt.else_body, handler_name);
+        return;
+      }
+      case Stmt::Kind::kForEach: {
+        WalkExpr(*stmt.expr, handler_name);
+        scopes_.emplace_back();
+        int id = NewVar(stmt.name, false, /*is_loop=*/true, stmt.line, stmt.col);
+        scopes_.back()[stmt.name] = id;
+        out_->def_ids[&stmt] = id;
+        WalkBlock(stmt.body, handler_name);
+        scopes_.pop_back();
+        return;
+      }
+      case Stmt::Kind::kReturn:
+        if (stmt.expr) {
+          WalkExpr(*stmt.expr, handler_name);
+        }
+        return;
+      case Stmt::Kind::kExpr:
+        WalkExpr(*stmt.expr, handler_name);
+        return;
+    }
+  }
+
+  void WalkExpr(const Expr& expr, const std::string& handler_name) {
+    switch (expr.kind) {
+      case Expr::Kind::kLiteral:
+        return;
+      case Expr::Kind::kVar: {
+        int id = Lookup(expr.name);
+        if (id < 0) {
+          out_->diags.push_back(Diagnostic{
+              kDiagUseUndeclared, Severity::kError, expr.line, expr.col,
+              handler_name,
+              "use of undeclared variable '" + expr.name + "' in handler '" +
+                  handler_name + "'"});
+          id = NewVar(expr.name, false, false, expr.line, expr.col);
+          scopes_.back()[expr.name] = id;
+        }
+        out_->use_ids[&expr] = id;
+        return;
+      }
+      case Expr::Kind::kUnary:
+        WalkExpr(*expr.lhs, handler_name);
+        return;
+      case Expr::Kind::kBinary:
+      case Expr::Kind::kIndex:
+        WalkExpr(*expr.lhs, handler_name);
+        WalkExpr(*expr.rhs, handler_name);
+        return;
+      case Expr::Kind::kCall:
+      case Expr::Kind::kListLit:
+        for (const ExprPtr& arg : expr.args) {
+          WalkExpr(*arg, handler_name);
+        }
+        return;
+    }
+  }
+
+  int NewVar(const std::string& name, bool is_param, bool is_loop, int line, int col) {
+    out_->vars.push_back(VarInfo{name, is_param, is_loop, line, col});
+    return static_cast<int>(out_->vars.size()) - 1;
+  }
+
+  int Lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) {
+        return found->second;
+      }
+    }
+    return -1;
+  }
+
+  ResolvedNames* out_;
+  std::vector<std::map<std::string, int>> scopes_;
+};
+
+// ---- CFG construction ----
+
+class CfgBuilder {
+ public:
+  explicit CfgBuilder(Cfg* cfg, const std::string& handler_name)
+      : cfg_(cfg), handler_(handler_name) {
+    cfg_->nodes.push_back(CfgNode{CfgNode::Kind::kEntry, nullptr, {}, {}});
+    cfg_->nodes.push_back(CfgNode{CfgNode::Kind::kExit, nullptr, {}, {}});
+  }
+
+  void Run(const Block& body) {
+    std::vector<int> frontier = BuildBlock(body, {cfg_->entry});
+    for (int n : frontier) {
+      Edge(n, cfg_->exit);
+    }
+    ComputeReachability();
+  }
+
+ private:
+  // Builds nodes for `block` with control entering from `frontier`; returns
+  // the nodes whose control falls out the bottom (empty if all paths return).
+  std::vector<int> BuildBlock(const Block& block, std::vector<int> frontier) {
+    bool dead_reported = false;
+    for (const StmtPtr& stmt_ptr : block) {
+      const Stmt& stmt = *stmt_ptr;
+      if (frontier.empty() && !dead_reported) {
+        cfg_->diags.push_back(Diagnostic{
+            kDiagUnreachableCode, Severity::kWarning, stmt.line, stmt.col, handler_,
+            "unreachable code after return in handler '" + handler_ + "'"});
+        dead_reported = true;
+      }
+      switch (stmt.kind) {
+        case Stmt::Kind::kLet:
+        case Stmt::Kind::kAssign:
+        case Stmt::Kind::kExpr: {
+          int n = NewNode(CfgNode::Kind::kStmt, &stmt);
+          Link(frontier, n);
+          frontier = {n};
+          break;
+        }
+        case Stmt::Kind::kReturn: {
+          int n = NewNode(CfgNode::Kind::kStmt, &stmt);
+          Link(frontier, n);
+          Edge(n, cfg_->exit);
+          frontier.clear();
+          break;
+        }
+        case Stmt::Kind::kIf: {
+          int branch = NewNode(CfgNode::Kind::kBranch, &stmt);
+          Link(frontier, branch);
+          std::vector<int> out = BuildBlock(stmt.body, {branch});
+          if (stmt.else_body.empty()) {
+            out.push_back(branch);  // condition false falls through
+          } else {
+            std::vector<int> eout = BuildBlock(stmt.else_body, {branch});
+            out.insert(out.end(), eout.begin(), eout.end());
+          }
+          frontier = std::move(out);
+          break;
+        }
+        case Stmt::Kind::kForEach: {
+          int head = NewNode(CfgNode::Kind::kLoopHead, &stmt);
+          Link(frontier, head);
+          std::vector<int> body_out = BuildBlock(stmt.body, {head});
+          for (int n : body_out) {
+            Edge(n, head);  // back edge
+          }
+          frontier = {head};  // zero or more iterations exit from the head
+          break;
+        }
+      }
+    }
+    return frontier;
+  }
+
+  int NewNode(CfgNode::Kind kind, const Stmt* stmt) {
+    cfg_->nodes.push_back(CfgNode{kind, stmt, {}, {}});
+    return static_cast<int>(cfg_->nodes.size()) - 1;
+  }
+
+  void Edge(int from, int to) {
+    cfg_->nodes[from].succs.push_back(to);
+    cfg_->nodes[to].preds.push_back(from);
+  }
+
+  void Link(const std::vector<int>& frontier, int to) {
+    for (int n : frontier) {
+      Edge(n, to);
+    }
+  }
+
+  void ComputeReachability() {
+    cfg_->reachable.assign(cfg_->nodes.size(), false);
+    std::vector<int> stack{cfg_->entry};
+    cfg_->reachable[cfg_->entry] = true;
+    while (!stack.empty()) {
+      int n = stack.back();
+      stack.pop_back();
+      for (int s : cfg_->nodes[n].succs) {
+        if (!cfg_->reachable[s]) {
+          cfg_->reachable[s] = true;
+          stack.push_back(s);
+        }
+      }
+    }
+  }
+
+  Cfg* cfg_;
+  std::string handler_;
+};
+
+}  // namespace
+
+ResolvedNames ResolveNames(const Handler& handler) {
+  ResolvedNames out;
+  Resolver resolver(&out);
+  resolver.Run(handler);
+  return out;
+}
+
+Cfg BuildCfg(const Handler& handler) {
+  Cfg cfg;
+  CfgBuilder builder(&cfg, handler.name);
+  builder.Run(handler.body);
+  return cfg;
+}
+
+}  // namespace edc

@@ -1,0 +1,273 @@
+#include "edc/script/analysis/cost.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace edc {
+
+namespace {
+
+constexpr int64_t kUnknown = -1;  // list-length lattice top
+
+int64_t SatAdd(int64_t a, int64_t b) {
+  if (a >= kCostCap - b) {
+    return kCostCap;
+  }
+  return a + b;
+}
+
+int64_t SatMul(int64_t a, int64_t b) {
+  if (a == 0 || b == 0) {
+    return 0;
+  }
+  if (a >= kCostCap / b) {
+    return kCostCap;
+  }
+  return a * b;
+}
+
+// Scoped environment mapping variable names to list-length upper bounds.
+// Mirrors the interpreter's scope stack so shadowing resolves identically.
+class BoundEnv {
+ public:
+  void Push() { scopes_.emplace_back(); }
+  void Pop() { scopes_.pop_back(); }
+
+  void Declare(const std::string& name, int64_t bound) {
+    scopes_.back()[name] = bound;
+  }
+
+  void Assign(const std::string& name, int64_t bound) {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) {
+        found->second = bound;
+        return;
+      }
+    }
+    scopes_.back()[name] = bound;
+  }
+
+  int64_t Lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) {
+        return found->second;
+      }
+    }
+    return kUnknown;
+  }
+
+  // Joins two environments of identical shape: bounds that disagree take the
+  // larger value, unknown dominating.
+  static BoundEnv Join(const BoundEnv& a, const BoundEnv& b) {
+    BoundEnv out = a;
+    for (size_t i = 0; i < out.scopes_.size() && i < b.scopes_.size(); ++i) {
+      for (auto& [name, bound] : out.scopes_[i]) {
+        auto it = b.scopes_[i].find(name);
+        int64_t other = it == b.scopes_[i].end() ? kUnknown : it->second;
+        if (bound != other) {
+          bound = (bound == kUnknown || other == kUnknown) ? kUnknown
+                                                           : std::max(bound, other);
+        }
+      }
+      for (const auto& [name, bound] : b.scopes_[i]) {
+        if (out.scopes_[i].count(name) == 0) {
+          out.scopes_[i][name] = bound;
+        }
+      }
+    }
+    return out;
+  }
+
+  // Widens every variable whose bound differs from `before` to unknown.
+  // Returns true if anything changed.
+  bool WidenAgainst(const BoundEnv& before) {
+    bool changed = false;
+    for (size_t i = 0; i < scopes_.size() && i < before.scopes_.size(); ++i) {
+      for (auto& [name, bound] : scopes_[i]) {
+        auto it = before.scopes_[i].find(name);
+        int64_t old = it == before.scopes_[i].end() ? kUnknown : it->second;
+        if (bound != old && bound != kUnknown) {
+          bound = kUnknown;
+          changed = true;
+        }
+      }
+    }
+    return changed;
+  }
+
+  bool Equals(const BoundEnv& other) const { return scopes_ == other.scopes_; }
+
+ private:
+  std::vector<std::map<std::string, int64_t>> scopes_;
+};
+
+class CostAnalyzer {
+ public:
+  explicit CostAnalyzer(const CostContext& ctx) : ctx_(ctx) {}
+
+  CostResult Run(const Handler& handler) {
+    env_ = BoundEnv();
+    env_.Push();
+    for (const std::string& param : handler.params) {
+      env_.Declare(param, kUnknown);
+    }
+    bounded_ = true;
+    int64_t steps = BlockCost(handler.body);
+    return CostResult{bounded_, bounded_ ? steps : 0};
+  }
+
+ private:
+  int64_t BlockCost(const Block& block) {
+    env_.Push();
+    int64_t total = 0;
+    for (const StmtPtr& stmt : block) {
+      total = SatAdd(total, StmtCost(*stmt));
+    }
+    env_.Pop();
+    return total;
+  }
+
+  int64_t StmtCost(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case Stmt::Kind::kLet: {
+        auto [cost, bound] = ExprCost(*stmt.expr);
+        env_.Declare(stmt.name, bound);
+        return SatAdd(1, cost);
+      }
+      case Stmt::Kind::kAssign: {
+        auto [cost, bound] = ExprCost(*stmt.expr);
+        env_.Assign(stmt.name, bound);
+        return SatAdd(1, cost);
+      }
+      case Stmt::Kind::kIf: {
+        auto [cond_cost, cond_bound] = ExprCost(*stmt.expr);
+        (void)cond_bound;
+        BoundEnv base = env_;
+        int64_t then_cost = BlockCost(stmt.body);
+        BoundEnv then_env = env_;
+        env_ = base;
+        int64_t else_cost = BlockCost(stmt.else_body);
+        env_ = BoundEnv::Join(then_env, env_);
+        return SatAdd(SatAdd(1, cond_cost), std::max(then_cost, else_cost));
+      }
+      case Stmt::Kind::kForEach:
+        return ForEachCost(stmt);
+      case Stmt::Kind::kReturn: {
+        if (!stmt.expr) {
+          return 1;
+        }
+        auto [cost, bound] = ExprCost(*stmt.expr);
+        (void)bound;
+        return SatAdd(1, cost);
+      }
+      case Stmt::Kind::kExpr: {
+        auto [cost, bound] = ExprCost(*stmt.expr);
+        (void)bound;
+        return SatAdd(1, cost);
+      }
+    }
+    return 1;
+  }
+
+  int64_t ForEachCost(const Stmt& stmt) {
+    auto [list_cost, list_bound] = ExprCost(*stmt.expr);
+    if (list_bound == kUnknown) {
+      bounded_ = false;
+    }
+    // Fixpoint with widening: run the body transfer until variable bounds in
+    // the surrounding scopes stabilize; widen anything that grew. Cost is
+    // taken from the final (stable, conservative) environment.
+    int64_t body_cost = 0;
+    for (int iter = 0; iter < 64; ++iter) {
+      BoundEnv before = env_;
+      env_.Push();
+      env_.Declare(stmt.name, kUnknown);  // elements have unknown lengths
+      body_cost = BlockCost(stmt.body);
+      env_.Pop();
+      // Drop the loop-variable scope, compare the surviving outer scopes.
+      if (!env_.WidenAgainst(before)) {
+        break;
+      }
+    }
+    int64_t iterations = list_bound == kUnknown ? 0 : list_bound;
+    return SatAdd(SatAdd(1, list_cost), SatMul(iterations, body_cost));
+  }
+
+  // Returns (worst-case step cost, list-length upper bound or kUnknown).
+  std::pair<int64_t, int64_t> ExprCost(const Expr& expr) {
+    switch (expr.kind) {
+      case Expr::Kind::kLiteral:
+        return {1, kUnknown};
+      case Expr::Kind::kVar:
+        return {1, env_.Lookup(expr.name)};
+      case Expr::Kind::kUnary: {
+        auto [cost, bound] = ExprCost(*expr.lhs);
+        (void)bound;
+        return {SatAdd(1, cost), kUnknown};
+      }
+      case Expr::Kind::kBinary:
+      case Expr::Kind::kIndex: {
+        auto [lc, lb] = ExprCost(*expr.lhs);
+        auto [rc, rb] = ExprCost(*expr.rhs);
+        (void)lb;
+        (void)rb;
+        return {SatAdd(1, SatAdd(lc, rc)), kUnknown};
+      }
+      case Expr::Kind::kListLit: {
+        int64_t cost = 1;
+        for (const ExprPtr& item : expr.args) {
+          auto [ic, ib] = ExprCost(*item);
+          (void)ib;
+          cost = SatAdd(cost, ic);
+        }
+        return {cost, static_cast<int64_t>(expr.args.size())};
+      }
+      case Expr::Kind::kCall: {
+        int64_t cost = 1;
+        std::vector<int64_t> arg_bounds;
+        arg_bounds.reserve(expr.args.size());
+        for (const ExprPtr& arg : expr.args) {
+          auto [ac, ab] = ExprCost(*arg);
+          cost = SatAdd(cost, ac);
+          arg_bounds.push_back(ab);
+        }
+        return {cost, CallBound(expr.name, arg_bounds)};
+      }
+    }
+    return {1, kUnknown};
+  }
+
+  // List-length transfer functions for list-producing builtins and for host
+  // collection functions whose result size the sandbox caps.
+  int64_t CallBound(const std::string& name, const std::vector<int64_t>& args) const {
+    if (ctx_.collection_functions.count(name) > 0) {
+      return ctx_.collection_cap;
+    }
+    if (name == "append") {
+      if (!args.empty() && args[0] != kUnknown) {
+        return SatAdd(args[0], 1);
+      }
+      return kUnknown;
+    }
+    if (name == "sort_by") {
+      return args.empty() ? kUnknown : args[0];
+    }
+    return kUnknown;
+  }
+
+  const CostContext& ctx_;
+  BoundEnv env_;
+  bool bounded_ = true;
+};
+
+}  // namespace
+
+CostResult BoundHandlerCost(const Handler& handler, const CostContext& ctx) {
+  CostAnalyzer analyzer(ctx);
+  return analyzer.Run(handler);
+}
+
+}  // namespace edc

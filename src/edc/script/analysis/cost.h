@@ -1,0 +1,58 @@
+// Worst-case step-cost bounding for CoordScript handlers (paper §4.1.1/§4.2).
+//
+// The interpreter charges exactly one ExecBudget step per statement executed
+// and one per expression node evaluated. This pass mirrors that accounting
+// symbolically:
+//
+//   cost(expr)            = 1 + sum(cost(children))        (short-circuit and
+//                                                           error paths only
+//                                                           ever cost less)
+//   cost(let/assign/expr) = 1 + cost(rhs)
+//   cost(return)          = 1 + cost(value)
+//   cost(if)              = 1 + cost(cond) + max(cost(then), cost(else))
+//   cost(foreach)         = 1 + cost(list) + N * cost(body)
+//
+// where N is an upper bound on the iterated list's length, tracked through an
+// abstract lattice over variables: exact(n) for list literals, capped(k) for
+// host collection functions whose result size the sandbox truncates at
+// `max_collection_items`, transfer functions for list-producing builtins
+// (append adds one, sort_by preserves), and top (unbounded) for everything
+// else. foreach bodies are analyzed to a fixpoint with widening: any variable
+// whose bound grows across an iteration is widened to unbounded.
+//
+// A handler whose total bound is finite is `bounded`; if the bound also fits
+// the execution budget it is *certified* and the interpreter may elide
+// per-node limit checks (metering elision) — the certificate proves the check
+// can never fire.
+
+#ifndef EDC_SCRIPT_ANALYSIS_COST_H_
+#define EDC_SCRIPT_ANALYSIS_COST_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "edc/script/ast.h"
+
+namespace edc {
+
+struct CostContext {
+  // Host functions returning collections whose size the sandbox caps at
+  // `collection_cap` items (e.g. children, sub_objects).
+  std::set<std::string> collection_functions;
+  int64_t collection_cap = 256;
+};
+
+struct CostResult {
+  bool bounded = false;
+  int64_t steps = 0;  // valid only if bounded; saturating arithmetic
+};
+
+// Cost bounds saturate here instead of overflowing.
+inline constexpr int64_t kCostCap = INT64_MAX / 4;
+
+CostResult BoundHandlerCost(const Handler& handler, const CostContext& ctx);
+
+}  // namespace edc
+
+#endif  // EDC_SCRIPT_ANALYSIS_COST_H_

@@ -1,0 +1,253 @@
+#include "edc/script/analysis/determinism.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "edc/script/builtins.h"
+
+namespace edc {
+
+namespace {
+
+// Scoped taint environment (true = possibly nondeterministic).
+class TaintEnv {
+ public:
+  void Push() { scopes_.emplace_back(); }
+  void Pop() { scopes_.pop_back(); }
+
+  void Declare(const std::string& name, bool tainted) {
+    scopes_.back()[name] = tainted;
+  }
+
+  void Assign(const std::string& name, bool tainted) {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) {
+        found->second = tainted;
+        return;
+      }
+    }
+    scopes_.back()[name] = tainted;
+  }
+
+  bool Lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) {
+        return found->second;
+      }
+    }
+    return false;
+  }
+
+  static TaintEnv Join(const TaintEnv& a, const TaintEnv& b) {
+    TaintEnv out = a;
+    for (size_t i = 0; i < out.scopes_.size() && i < b.scopes_.size(); ++i) {
+      for (auto& [name, tainted] : out.scopes_[i]) {
+        auto it = b.scopes_[i].find(name);
+        if (it != b.scopes_[i].end()) {
+          tainted = tainted || it->second;
+        }
+      }
+      for (const auto& [name, tainted] : b.scopes_[i]) {
+        out.scopes_[i].emplace(name, tainted);
+      }
+    }
+    return out;
+  }
+
+  bool Equals(const TaintEnv& other) const { return scopes_ == other.scopes_; }
+
+ private:
+  std::vector<std::map<std::string, bool>> scopes_;
+};
+
+class TaintAnalyzer {
+ public:
+  TaintAnalyzer(const DeterminismContext& ctx, const std::string& handler_name)
+      : ctx_(ctx), handler_(handler_name) {}
+
+  DeterminismResult Run(const Handler& handler) {
+    env_ = TaintEnv();
+    env_.Push();
+    for (const std::string& param : handler.params) {
+      // Handler arguments are part of the replicated request: deterministic.
+      env_.Declare(param, false);
+    }
+    WalkBlock(handler.body, /*control_tainted=*/false);
+    DeterminismResult out;
+    out.deterministic = diags_.empty() && !tainted_sink_;
+    out.diags = std::move(diags_);
+    return out;
+  }
+
+ private:
+  void WalkBlock(const Block& block, bool control_tainted) {
+    env_.Push();
+    for (const StmtPtr& stmt : block) {
+      WalkStmt(*stmt, control_tainted);
+    }
+    env_.Pop();
+  }
+
+  void WalkStmt(const Stmt& stmt, bool control_tainted) {
+    switch (stmt.kind) {
+      case Stmt::Kind::kLet: {
+        bool t = ExprTaint(*stmt.expr, control_tainted);
+        env_.Declare(stmt.name, t || control_tainted);
+        return;
+      }
+      case Stmt::Kind::kAssign: {
+        bool t = ExprTaint(*stmt.expr, control_tainted);
+        env_.Assign(stmt.name, t || control_tainted);
+        return;
+      }
+      case Stmt::Kind::kIf: {
+        bool cond = ExprTaint(*stmt.expr, control_tainted);
+        bool inner_control = control_tainted || cond;
+        TaintEnv base = env_;
+        WalkBlock(stmt.body, inner_control);
+        TaintEnv then_env = env_;
+        env_ = base;
+        WalkBlock(stmt.else_body, inner_control);
+        env_ = TaintEnv::Join(then_env, env_);
+        return;
+      }
+      case Stmt::Kind::kForEach: {
+        bool list_taint = ExprTaint(*stmt.expr, control_tainted);
+        bool inner_control = control_tainted || list_taint;
+        // Fixpoint: taint can flow between iterations through assignments to
+        // outer variables. Iterate silently until the environment stabilizes
+        // (the lattice is finite and monotone), then do one reporting pass.
+        suppress_ += 1;
+        for (int iter = 0; iter < 64; ++iter) {
+          TaintEnv before = env_;
+          WalkLoopBody(stmt, inner_control, list_taint);
+          env_ = TaintEnv::Join(before, env_);
+          if (env_.Equals(before)) {
+            break;
+          }
+        }
+        suppress_ -= 1;
+        WalkLoopBody(stmt, inner_control, list_taint);
+        return;
+      }
+      case Stmt::Kind::kReturn: {
+        bool t = stmt.expr ? ExprTaint(*stmt.expr, control_tainted) : false;
+        if (t || control_tainted) {
+          Sink(stmt.line, stmt.col,
+               "nondeterministic value reaches the handler's return value");
+        }
+        return;
+      }
+      case Stmt::Kind::kExpr:
+        // Result discarded: only sinks inside the expression matter, which
+        // ExprTaint reports itself. This is the flow-sensitivity win over the
+        // legacy call-site check.
+        (void)ExprTaint(*stmt.expr, control_tainted);
+        return;
+    }
+  }
+
+  void WalkLoopBody(const Stmt& stmt, bool inner_control, bool list_taint) {
+    env_.Push();
+    env_.Declare(stmt.name, list_taint || inner_control);
+    WalkBlock(stmt.body, inner_control);
+    env_.Pop();
+  }
+
+  bool ExprTaint(const Expr& expr, bool control_tainted) {
+    switch (expr.kind) {
+      case Expr::Kind::kLiteral:
+        return false;
+      case Expr::Kind::kVar:
+        return env_.Lookup(expr.name);
+      case Expr::Kind::kUnary:
+        return ExprTaint(*expr.lhs, control_tainted);
+      case Expr::Kind::kBinary:
+      case Expr::Kind::kIndex: {
+        bool l = ExprTaint(*expr.lhs, control_tainted);
+        bool r = ExprTaint(*expr.rhs, control_tainted);
+        return l || r;
+      }
+      case Expr::Kind::kListLit: {
+        bool t = false;
+        for (const ExprPtr& item : expr.args) {
+          t = ExprTaint(*item, control_tainted) || t;
+        }
+        return t;
+      }
+      case Expr::Kind::kCall: {
+        bool arg_taint = false;
+        for (const ExprPtr& arg : expr.args) {
+          arg_taint = ExprTaint(*arg, control_tainted) || arg_taint;
+        }
+        bool source = false;
+        if (ctx_.allowed_functions != nullptr) {
+          auto it = ctx_.allowed_functions->find(expr.name);
+          if (it != ctx_.allowed_functions->end() && !it->second) {
+            source = true;
+          }
+        }
+        if (IsMutatingHostFn(expr.name) && (arg_taint || control_tainted)) {
+          Sink(expr.line, expr.col,
+               arg_taint
+                   ? "nondeterministic value flows into state-mutating function '" +
+                         expr.name + "'"
+                   : "state-mutating function '" + expr.name +
+                         "' called under a nondeterministic condition");
+        }
+        return source || arg_taint;
+      }
+    }
+    return false;
+  }
+
+  bool IsMutatingHostFn(const std::string& name) const {
+    if (ctx_.allowed_functions == nullptr ||
+        ctx_.allowed_functions->count(name) == 0) {
+      return false;  // not whitelisted: rejected elsewhere (EDC-E012)
+    }
+    if (CoreBuiltins().count(name) > 0) {
+      return false;  // pure builtins have no state effects
+    }
+    return ctx_.read_only_functions.count(name) == 0;
+  }
+
+  void Sink(int line, int col, const std::string& what) {
+    tainted_sink_ = true;
+    if (!ctx_.enforce || suppress_ > 0) {
+      return;
+    }
+    // Dedupe: the reporting pass after a loop fixpoint can re-visit a site.
+    for (const Diagnostic& d : diags_) {
+      if (d.line == line && d.col == col) {
+        return;
+      }
+    }
+    diags_.push_back(Diagnostic{
+        kDiagNondeterminism, Severity::kError, line, col, handler_,
+        what + " in handler '" + handler_ + "' (forbidden under active replication)"});
+  }
+
+  const DeterminismContext& ctx_;
+  std::string handler_;
+  TaintEnv env_;
+  std::vector<Diagnostic> diags_;
+  bool tainted_sink_ = false;
+  int suppress_ = 0;
+};
+
+}  // namespace
+
+std::set<std::string> DefaultReadOnlyFunctions() {
+  return {"read_object", "exists",    "children", "sub_objects",
+          "client_id",   "now",       "random"};
+}
+
+DeterminismResult CheckDeterminism(const Handler& handler, const DeterminismContext& ctx) {
+  TaintAnalyzer analyzer(ctx, handler.name);
+  return analyzer.Run(handler);
+}
+
+}  // namespace edc

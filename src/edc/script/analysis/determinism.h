@@ -1,0 +1,57 @@
+// Flow-sensitive determinism taint analysis (paper §4.1.1, EDS binding).
+//
+// Under active replication every replica executes every handler, so any
+// nondeterministic value that influences replicated state or the reply makes
+// replicas diverge. The legacy verifier rejected *any* call to a function
+// whitelisted as nondeterministic; this pass instead tracks taint:
+//
+//   sources  calls to functions whose whitelist entry says deterministic=false
+//   flow     through variables, expressions, list/map construction, and
+//            implicitly through control (assignments and effects under a
+//            branch whose condition is tainted)
+//   sinks    (a) arguments to state-mutating host functions, (b) mutating
+//            host calls executed under tainted control, (c) return values
+//            (the reply is part of the replicated outcome)
+//
+// A nondeterministic value that provably never reaches a sink — e.g. a dead
+// `let t = now();` used only in a discarded expression — is admissible even
+// under require_deterministic: the replicas cannot diverge on it.
+
+#ifndef EDC_SCRIPT_ANALYSIS_DETERMINISM_H_
+#define EDC_SCRIPT_ANALYSIS_DETERMINISM_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "edc/script/analysis/diagnostics.h"
+#include "edc/script/ast.h"
+
+namespace edc {
+
+struct DeterminismContext {
+  // Full callable whitelist: name -> deterministic.
+  const std::map<std::string, bool>* allowed_functions = nullptr;
+  // Host functions with no replicated-state effects (reads, environment
+  // queries). Anything else that is not a core builtin counts as a mutating
+  // sink.
+  std::set<std::string> read_only_functions;
+  // When false, taint is still computed (for reports) but no diagnostics
+  // are emitted.
+  bool enforce = false;
+};
+
+// The default read-only set, used when a VerifierConfig does not override it.
+std::set<std::string> DefaultReadOnlyFunctions();
+
+struct DeterminismResult {
+  bool deterministic = true;  // no taint reached a sink
+  std::vector<Diagnostic> diags;
+};
+
+DeterminismResult CheckDeterminism(const Handler& handler, const DeterminismContext& ctx);
+
+}  // namespace edc
+
+#endif  // EDC_SCRIPT_ANALYSIS_DETERMINISM_H_

@@ -1,0 +1,45 @@
+#include "edc/script/analysis/diagnostics.h"
+
+#include <algorithm>
+
+namespace edc {
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kNote: return "note";
+  }
+  return "?";
+}
+
+std::string FormatDiagnostic(const std::string& unit, const Diagnostic& diag) {
+  std::string out = unit + ":" + std::to_string(diag.line) + ":" +
+                    std::to_string(diag.col) + ": " + SeverityName(diag.severity) +
+                    ": " + diag.message + " [" + diag.code + "]";
+  return out;
+}
+
+bool HasErrors(const std::vector<Diagnostic>& diags) {
+  for (const Diagnostic& d : diags) {
+    if (d.severity == Severity::kError) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void SortDiagnostics(std::vector<Diagnostic>* diags) {
+  std::stable_sort(diags->begin(), diags->end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.line != b.line) {
+                       return a.line < b.line;
+                     }
+                     if (a.col != b.col) {
+                       return a.col < b.col;
+                     }
+                     return a.code < b.code;
+                   });
+}
+
+}  // namespace edc

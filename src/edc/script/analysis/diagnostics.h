@@ -1,0 +1,62 @@
+// Multi-diagnostic reporting for the CoordScript static analyzer.
+//
+// Unlike the legacy verifier's first-error Reject, analysis passes accumulate
+// every finding with a severity, a stable code (EDC-Exxx / EDC-Wxxx), the
+// source position and the enclosing handler, so `edc-lint` can print a full
+// report and the registry can still reject on the first error.
+
+#ifndef EDC_SCRIPT_ANALYSIS_DIAGNOSTICS_H_
+#define EDC_SCRIPT_ANALYSIS_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+namespace edc {
+
+enum class Severity { kError, kWarning, kNote };
+
+// Diagnostic codes. Errors reject the program at registration; warnings are
+// surfaced by edc-lint / AnalyzeProgram but do not reject.
+inline constexpr char kDiagSourceTooLarge[] = "EDC-E001";
+inline constexpr char kDiagTooManyHandlers[] = "EDC-E002";
+inline constexpr char kDiagTooManySubscriptions[] = "EDC-E003";
+inline constexpr char kDiagNoSubscriptions[] = "EDC-E004";
+inline constexpr char kDiagUnknownKind[] = "EDC-E005";
+inline constexpr char kDiagBadPattern[] = "EDC-E006";
+inline constexpr char kDiagUnknownEntryPoint[] = "EDC-E007";
+inline constexpr char kDiagTooManyStatements[] = "EDC-E008";
+inline constexpr char kDiagNestingTooDeep[] = "EDC-E009";
+inline constexpr char kDiagAssignUndeclared[] = "EDC-E010";
+inline constexpr char kDiagUseUndeclared[] = "EDC-E011";
+inline constexpr char kDiagNotWhitelisted[] = "EDC-E012";
+inline constexpr char kDiagNondeterminism[] = "EDC-E013";
+inline constexpr char kDiagSubWithoutHandler[] = "EDC-E014";
+inline constexpr char kDiagUnusedVariable[] = "EDC-W001";
+inline constexpr char kDiagDeadStore[] = "EDC-W002";
+inline constexpr char kDiagUnreachableCode[] = "EDC-W003";
+inline constexpr char kDiagUseBeforeDef[] = "EDC-W004";
+inline constexpr char kDiagCostUnbounded[] = "EDC-W005";
+inline constexpr char kDiagCostOverBudget[] = "EDC-W006";
+
+struct Diagnostic {
+  std::string code;  // e.g. "EDC-W003"
+  Severity severity = Severity::kError;
+  int line = 0;
+  int col = 0;
+  std::string handler;  // enclosing handler name; empty for program-level
+  std::string message;
+};
+
+const char* SeverityName(Severity severity);
+
+// "unit:line:col: error: message [EDC-E012]"
+std::string FormatDiagnostic(const std::string& unit, const Diagnostic& diag);
+
+bool HasErrors(const std::vector<Diagnostic>& diags);
+
+// Stable presentation order: line, then column, then code.
+void SortDiagnostics(std::vector<Diagnostic>* diags);
+
+}  // namespace edc
+
+#endif  // EDC_SCRIPT_ANALYSIS_DIAGNOSTICS_H_

@@ -1,0 +1,89 @@
+#include "edc/script/analysis/lint.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "edc/script/parser.h"
+
+namespace edc {
+
+namespace {
+
+// Parse/lex Status messages embed "... at line N: ..."; recover N so the
+// diagnostic keeps a real position.
+int LineFromMessage(const std::string& message) {
+  size_t at = message.find("line ");
+  if (at == std::string::npos) {
+    return 1;
+  }
+  int line = std::atoi(message.c_str() + at + 5);
+  return line > 0 ? line : 1;
+}
+
+}  // namespace
+
+VerifierConfig LintVerifierConfig() {
+  VerifierConfig config;
+  config.allowed_functions = CoreAllowedFunctions();
+  // Union of the EZK and EDS service APIs (see zk_binding.cpp /
+  // ds_binding.cpp); nondeterministic entries keep their EZK marking so the
+  // taint pass stays meaningful when linting with --deterministic.
+  for (const char* name :
+       {"create", "create_ephemeral", "create_sequential", "delete_object", "update",
+        "cas", "read_object", "exists", "children", "sub_objects", "block", "monitor",
+        "client_id"}) {
+    config.allowed_functions[name] = true;
+  }
+  config.allowed_functions["now"] = false;
+  config.allowed_functions["random"] = false;
+  config.collection_functions = {"children", "sub_objects"};
+  return config;
+}
+
+LintResult LintSource(const std::string& unit, const std::string& source,
+                      const VerifierConfig& config) {
+  LintResult result;
+  auto program = ParseProgram(source);
+  if (!program.ok()) {
+    const std::string& message = program.status().message();
+    result.diagnostics.push_back(Diagnostic{"EDC-E000", Severity::kError,
+                                            LineFromMessage(message), 1, "", message});
+  } else {
+    AnalysisReport report = AnalyzeProgram(**program, config);
+    result.diagnostics = std::move(report.diagnostics);
+    size_t errors = 0;
+    size_t warnings = 0;
+    for (const Diagnostic& d : result.diagnostics) {
+      if (d.severity == Severity::kError) {
+        ++errors;
+      } else if (d.severity == Severity::kWarning) {
+        ++warnings;
+      }
+    }
+    size_t certified = 0;
+    for (const auto& [name, hr] : report.handlers) {
+      (void)name;
+      if (hr.certified) {
+        ++certified;
+      }
+    }
+    for (const Diagnostic& d : result.diagnostics) {
+      result.formatted += FormatDiagnostic(unit, d) + "\n";
+    }
+    result.formatted += unit + ": " + std::to_string(errors) + " error(s), " +
+                        std::to_string(warnings) + " warning(s), " +
+                        std::to_string(certified) + "/" +
+                        std::to_string(report.handlers.size()) +
+                        " handlers certified\n";
+    result.has_errors = errors > 0;
+    return result;
+  }
+  for (const Diagnostic& d : result.diagnostics) {
+    result.formatted += FormatDiagnostic(unit, d) + "\n";
+  }
+  result.formatted += unit + ": 1 error(s), 0 warning(s), 0/0 handlers certified\n";
+  result.has_errors = true;
+  return result;
+}
+
+}  // namespace edc

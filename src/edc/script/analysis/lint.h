@@ -1,0 +1,34 @@
+// Linting front end over the static analyzer: parse + analyze one CoordScript
+// source and render the diagnostics the way `edc-lint` prints them. Shared by
+// the CLI binary (tools/edc_lint.cpp) and the golden-output tests so both pin
+// the same code path.
+
+#ifndef EDC_SCRIPT_ANALYSIS_LINT_H_
+#define EDC_SCRIPT_ANALYSIS_LINT_H_
+
+#include <string>
+#include <vector>
+
+#include "edc/script/analysis/analyzer.h"
+#include "edc/script/verifier.h"
+
+namespace edc {
+
+struct LintResult {
+  std::vector<Diagnostic> diagnostics;
+  std::string formatted;  // diagnostic lines + one trailing summary line
+  bool has_errors = false;
+};
+
+// Lints `source`, labeling output lines with `unit` (usually the file name).
+LintResult LintSource(const std::string& unit, const std::string& source,
+                      const VerifierConfig& config);
+
+// The whitelist edc-lint checks recipe and example scripts against: core
+// builtins plus the union of both bindings' host APIs (a script is lintable
+// if at least one binding could run it).
+VerifierConfig LintVerifierConfig();
+
+}  // namespace edc
+
+#endif  // EDC_SCRIPT_ANALYSIS_LINT_H_

@@ -32,6 +32,7 @@ struct Expr {
 
   Kind kind;
   int line = 0;
+  int col = 0;
 
   // kLiteral
   Value literal;
@@ -57,6 +58,7 @@ struct Stmt {
 
   Kind kind;
   int line = 0;
+  int col = 0;
 
   std::string name;  // let/assign target, foreach loop variable
   ExprPtr expr;      // initializer / condition / foreach list / return value
@@ -72,13 +74,16 @@ struct Subscription {
                         // event: created|deleted|changed|unblocked
   std::string pattern;  // object path; trailing '*' stripped into `prefix`
   bool prefix = false;
+  int line = 0;  // source line of the 'on' keyword
+  int col = 0;
 };
 
 struct Handler {
   std::string name;
   std::vector<std::string> params;
   Block body;
-  int line = 0;
+  int line = 0;  // source line of the 'fn' keyword
+  int col = 0;
 };
 
 struct Program {

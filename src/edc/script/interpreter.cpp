@@ -15,13 +15,9 @@ Status RuntimeError(int line, const std::string& what) {
 
 }  // namespace
 
-Status Interpreter::ChargeStep(int line) {
-  ++stats_.steps_used;
-  if (stats_.steps_used > budget_.max_steps) {
-    return Status(ErrorCode::kExtensionLimit,
-                  "step budget exceeded at line " + std::to_string(line));
-  }
-  return Status::Ok();
+Status Interpreter::StepLimitError(int line) const {
+  return Status(ErrorCode::kExtensionLimit,
+                "step budget exceeded at line " + std::to_string(line));
 }
 
 Status Interpreter::CheckSize(const Value& v, int line) {
@@ -74,8 +70,8 @@ Result<Interpreter::Flow> Interpreter::ExecBlock(const Block& block) {
 }
 
 Result<Interpreter::Flow> Interpreter::ExecStmt(const Stmt& stmt) {
-  if (auto s = ChargeStep(stmt.line); !s.ok()) {
-    return s;
+  if (!StepOk()) {
+    return StepLimitError(stmt.line);
   }
   switch (stmt.kind) {
     case Stmt::Kind::kLet: {
@@ -151,8 +147,8 @@ Result<Interpreter::Flow> Interpreter::ExecStmt(const Stmt& stmt) {
 }
 
 Result<Value> Interpreter::Eval(const Expr& expr) {
-  if (auto s = ChargeStep(expr.line); !s.ok()) {
-    return s;
+  if (!StepOk()) {
+    return StepLimitError(expr.line);
   }
   switch (expr.kind) {
     case Expr::Kind::kLiteral:

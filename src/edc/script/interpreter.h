@@ -33,6 +33,12 @@ class ScriptHost {
 struct ExecBudget {
   int64_t max_steps = 100000;
   size_t max_value_bytes = 64 * 1024;
+  // Metering elision (§4.2): when false, the per-node step-limit check is
+  // skipped. Only safe for handlers the static analyzer *certified* — their
+  // proven worst-case step bound fits max_steps, so the check can never
+  // fire. steps_used is still counted either way: the execution cost model
+  // (and therefore simulated timing) is identical on both paths.
+  bool metered = true;
 };
 
 struct ExecStats {
@@ -65,7 +71,13 @@ class Interpreter {
   Result<Value> EvalBinary(const Expr& expr);
   Result<Value> EvalCall(const Expr& expr);
 
-  Status ChargeStep(int line);
+  // Hot path: counts the step and reports whether execution may continue.
+  // The error Status is built out of line only on the (cold) failure path.
+  bool StepOk() {
+    ++stats_.steps_used;
+    return !budget_.metered || stats_.steps_used <= budget_.max_steps;
+  }
+  Status StepLimitError(int line) const;
   Status CheckSize(const Value& v, int line);
 
   Value* FindVar(const std::string& name);

@@ -78,14 +78,17 @@ Result<std::vector<Token>> Lex(std::string_view src) {
   std::vector<Token> out;
   size_t i = 0;
   int line = 1;
+  size_t line_start = 0;  // offset of the first character of the current line
 
-  auto push = [&](TokenKind kind) { out.push_back(Token{kind, "", 0, line}); };
+  auto col_at = [&](size_t pos) { return static_cast<int>(pos - line_start) + 1; };
+  auto push = [&](TokenKind kind) { out.push_back(Token{kind, "", 0, line, col_at(i)}); };
 
   while (i < src.size()) {
     char c = src[i];
     if (c == '\n') {
       ++line;
       ++i;
+      line_start = i;
       continue;
     }
     if (std::isspace(static_cast<unsigned char>(c))) {
@@ -106,6 +109,7 @@ Result<std::vector<Token>> Lex(std::string_view src) {
       Token t;
       t.kind = TokenKind::kInt;
       t.line = line;
+      t.col = col_at(start);
       t.int_value = 0;
       for (size_t j = start; j < i; ++j) {
         int64_t digit = src[j] - '0';
@@ -128,11 +132,12 @@ Result<std::vector<Token>> Lex(std::string_view src) {
       if (kw != Keywords().end()) {
         push(kw->second);
       } else {
-        out.push_back(Token{TokenKind::kIdent, std::move(word), 0, line});
+        out.push_back(Token{TokenKind::kIdent, std::move(word), 0, line, col_at(start)});
       }
       continue;
     }
     if (c == '"') {
+      size_t start = i;
       ++i;
       std::string text;
       bool closed = false;
@@ -168,7 +173,7 @@ Result<std::vector<Token>> Lex(std::string_view src) {
       if (!closed) {
         return LexError(line, "unterminated string literal");
       }
-      out.push_back(Token{TokenKind::kString, std::move(text), 0, line});
+      out.push_back(Token{TokenKind::kString, std::move(text), 0, line, col_at(start)});
       continue;
     }
     // Operators and punctuation.
@@ -232,7 +237,7 @@ Result<std::vector<Token>> Lex(std::string_view src) {
         return LexError(line, std::string("unexpected character '") + c + "'");
     }
   }
-  out.push_back(Token{TokenKind::kEof, "", 0, line});
+  out.push_back(Token{TokenKind::kEof, "", 0, line, col_at(i)});
   return out;
 }
 

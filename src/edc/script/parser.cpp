@@ -90,8 +90,10 @@ class Parser {
   }
 
   Result<Subscription> ParseSubscription() {
-    Advance();  // 'on'
+    const Token& on_tok = Advance();  // 'on'
     Subscription sub;
+    sub.line = on_tok.line;
+    sub.col = on_tok.col;
     if (Match(TokenKind::kOp)) {
       sub.is_event = false;
     } else if (Match(TokenKind::kEvent)) {
@@ -126,6 +128,7 @@ class Parser {
   Result<Handler> ParseHandler() {
     Handler handler;
     handler.line = Peek().line;
+    handler.col = Peek().col;
     Advance();  // 'fn'
     auto name = ExpectIdent();
     if (!name.ok()) {
@@ -179,6 +182,7 @@ class Parser {
 
   Result<StmtPtr> ParseStmt() {
     int line = Peek().line;
+    int col = Peek().col;
     if (Match(TokenKind::kLet)) {
       auto name = ExpectIdent();
       if (!name.ok()) {
@@ -197,6 +201,7 @@ class Parser {
       auto stmt = std::make_unique<Stmt>();
       stmt->kind = Stmt::Kind::kLet;
       stmt->line = line;
+      stmt->col = col;
       stmt->name = *name;
       stmt->expr = std::move(*init);
       return stmt;
@@ -229,6 +234,7 @@ class Parser {
       auto stmt = std::make_unique<Stmt>();
       stmt->kind = Stmt::Kind::kForEach;
       stmt->line = line;
+      stmt->col = col;
       stmt->name = *var;
       stmt->expr = std::move(*list);
       stmt->body = std::move(*body);
@@ -238,6 +244,7 @@ class Parser {
       auto stmt = std::make_unique<Stmt>();
       stmt->kind = Stmt::Kind::kReturn;
       stmt->line = line;
+      stmt->col = col;
       if (!Check(TokenKind::kSemicolon)) {
         auto value = ParseExpr();
         if (!value.ok()) {
@@ -264,6 +271,7 @@ class Parser {
       auto stmt = std::make_unique<Stmt>();
       stmt->kind = Stmt::Kind::kAssign;
       stmt->line = line;
+      stmt->col = col;
       stmt->name = name;
       stmt->expr = std::move(*rhs);
       return stmt;
@@ -278,12 +286,14 @@ class Parser {
     auto stmt = std::make_unique<Stmt>();
     stmt->kind = Stmt::Kind::kExpr;
     stmt->line = line;
+    stmt->col = col;
     stmt->expr = std::move(*expr);
     return stmt;
   }
 
   Result<StmtPtr> ParseIf() {
     int line = Peek().line;
+    int col = Peek().col;
     Advance();  // 'if'
     if (auto s = Expect(TokenKind::kLParen); !s.ok()) {
       return s;
@@ -302,6 +312,7 @@ class Parser {
     auto stmt = std::make_unique<Stmt>();
     stmt->kind = Stmt::Kind::kIf;
     stmt->line = line;
+    stmt->col = col;
     stmt->expr = std::move(*cond);
     stmt->body = std::move(*then_block);
     if (Match(TokenKind::kElse)) {
@@ -331,12 +342,12 @@ class Parser {
       return lhs;
     }
     while (Check(TokenKind::kOrOr)) {
-      int line = Advance().line;
+      const Token& op_tok = Advance();
       auto rhs = ParseAnd();
       if (!rhs.ok()) {
         return rhs;
       }
-      lhs = MakeBinary(BinaryOp::kOr, std::move(*lhs), std::move(*rhs), line);
+      lhs = MakeBinary(BinaryOp::kOr, std::move(*lhs), std::move(*rhs), op_tok.line, op_tok.col);
     }
     return lhs;
   }
@@ -347,12 +358,12 @@ class Parser {
       return lhs;
     }
     while (Check(TokenKind::kAndAnd)) {
-      int line = Advance().line;
+      const Token& op_tok = Advance();
       auto rhs = ParseEquality();
       if (!rhs.ok()) {
         return rhs;
       }
-      lhs = MakeBinary(BinaryOp::kAnd, std::move(*lhs), std::move(*rhs), line);
+      lhs = MakeBinary(BinaryOp::kAnd, std::move(*lhs), std::move(*rhs), op_tok.line, op_tok.col);
     }
     return lhs;
   }
@@ -364,12 +375,12 @@ class Parser {
     }
     while (Check(TokenKind::kEq) || Check(TokenKind::kNe)) {
       BinaryOp op = Check(TokenKind::kEq) ? BinaryOp::kEq : BinaryOp::kNe;
-      int line = Advance().line;
+      const Token& op_tok = Advance();
       auto rhs = ParseComparison();
       if (!rhs.ok()) {
         return rhs;
       }
-      lhs = MakeBinary(op, std::move(*lhs), std::move(*rhs), line);
+      lhs = MakeBinary(op, std::move(*lhs), std::move(*rhs), op_tok.line, op_tok.col);
     }
     return lhs;
   }
@@ -388,12 +399,12 @@ class Parser {
         case TokenKind::kGt: op = BinaryOp::kGt; break;
         default: op = BinaryOp::kGe; break;
       }
-      int line = Advance().line;
+      const Token& op_tok = Advance();
       auto rhs = ParseTerm();
       if (!rhs.ok()) {
         return rhs;
       }
-      lhs = MakeBinary(op, std::move(*lhs), std::move(*rhs), line);
+      lhs = MakeBinary(op, std::move(*lhs), std::move(*rhs), op_tok.line, op_tok.col);
     }
     return lhs;
   }
@@ -405,12 +416,12 @@ class Parser {
     }
     while (Check(TokenKind::kPlus) || Check(TokenKind::kMinus)) {
       BinaryOp op = Check(TokenKind::kPlus) ? BinaryOp::kAdd : BinaryOp::kSub;
-      int line = Advance().line;
+      const Token& op_tok = Advance();
       auto rhs = ParseFactor();
       if (!rhs.ok()) {
         return rhs;
       }
-      lhs = MakeBinary(op, std::move(*lhs), std::move(*rhs), line);
+      lhs = MakeBinary(op, std::move(*lhs), std::move(*rhs), op_tok.line, op_tok.col);
     }
     return lhs;
   }
@@ -424,12 +435,12 @@ class Parser {
       BinaryOp op = Check(TokenKind::kStar)
                         ? BinaryOp::kMul
                         : (Check(TokenKind::kSlash) ? BinaryOp::kDiv : BinaryOp::kMod);
-      int line = Advance().line;
+      const Token& op_tok = Advance();
       auto rhs = ParseUnary();
       if (!rhs.ok()) {
         return rhs;
       }
-      lhs = MakeBinary(op, std::move(*lhs), std::move(*rhs), line);
+      lhs = MakeBinary(op, std::move(*lhs), std::move(*rhs), op_tok.line, op_tok.col);
     }
     return lhs;
   }
@@ -437,14 +448,15 @@ class Parser {
   Result<ExprPtr> ParseUnary() {
     if (Check(TokenKind::kMinus) || Check(TokenKind::kBang)) {
       UnaryOp op = Check(TokenKind::kMinus) ? UnaryOp::kNeg : UnaryOp::kNot;
-      int line = Advance().line;
+      const Token& op_tok = Advance();
       auto operand = ParseUnary();
       if (!operand.ok()) {
         return operand;
       }
       auto e = std::make_unique<Expr>();
       e->kind = Expr::Kind::kUnary;
-      e->line = line;
+      e->line = op_tok.line;
+      e->col = op_tok.col;
       e->unary_op = op;
       e->lhs = std::move(*operand);
       return e;
@@ -458,7 +470,7 @@ class Parser {
       return base;
     }
     while (Check(TokenKind::kLBracket)) {
-      int line = Advance().line;
+      const Token& op_tok = Advance();
       auto idx = ParseExpr();
       if (!idx.ok()) {
         return idx;
@@ -468,7 +480,8 @@ class Parser {
       }
       auto e = std::make_unique<Expr>();
       e->kind = Expr::Kind::kIndex;
-      e->line = line;
+      e->line = op_tok.line;
+      e->col = op_tok.col;
       e->lhs = std::move(*base);
       e->rhs = std::move(*idx);
       base = std::move(e);
@@ -478,10 +491,12 @@ class Parser {
 
   Result<ExprPtr> ParsePrimary() {
     int line = Peek().line;
+    int col = Peek().col;
     if (Check(TokenKind::kInt)) {
       auto e = std::make_unique<Expr>();
       e->kind = Expr::Kind::kLiteral;
       e->line = line;
+      e->col = col;
       e->literal = Value(Advance().int_value);
       return e;
     }
@@ -489,6 +504,7 @@ class Parser {
       auto e = std::make_unique<Expr>();
       e->kind = Expr::Kind::kLiteral;
       e->line = line;
+      e->col = col;
       e->literal = Value(Advance().text);
       return e;
     }
@@ -500,6 +516,7 @@ class Parser {
       auto e = std::make_unique<Expr>();
       e->kind = Expr::Kind::kLiteral;
       e->line = line;
+      e->col = col;
       e->literal = Value(v);
       return e;
     }
@@ -507,6 +524,7 @@ class Parser {
       auto e = std::make_unique<Expr>();
       e->kind = Expr::Kind::kLiteral;
       e->line = line;
+      e->col = col;
       e->literal = Value();
       return e;
     }
@@ -516,6 +534,7 @@ class Parser {
         auto e = std::make_unique<Expr>();
         e->kind = Expr::Kind::kCall;
         e->line = line;
+        e->col = col;
         e->name = std::move(name);
         if (!Check(TokenKind::kRParen)) {
           while (true) {
@@ -537,6 +556,7 @@ class Parser {
       auto e = std::make_unique<Expr>();
       e->kind = Expr::Kind::kVar;
       e->line = line;
+      e->col = col;
       e->name = std::move(name);
       return e;
     }
@@ -554,6 +574,7 @@ class Parser {
       auto e = std::make_unique<Expr>();
       e->kind = Expr::Kind::kListLit;
       e->line = line;
+      e->col = col;
       if (!Check(TokenKind::kRBracket)) {
         while (true) {
           auto item = ParseExpr();
@@ -574,10 +595,11 @@ class Parser {
     return Error(std::string("expected expression, found ") + TokenKindName(Peek().kind));
   }
 
-  static ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs, int line) {
+  static ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs, int line, int col) {
     auto e = std::make_unique<Expr>();
     e->kind = Expr::Kind::kBinary;
     e->line = line;
+    e->col = col;
     e->binary_op = op;
     e->lhs = std::move(lhs);
     e->rhs = std::move(rhs);

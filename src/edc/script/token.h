@@ -62,6 +62,7 @@ struct Token {
   std::string text;   // identifier name or string literal contents
   int64_t int_value = 0;
   int line = 0;
+  int col = 0;  // 1-based column of the token's first character
 };
 
 const char* TokenKindName(TokenKind kind);

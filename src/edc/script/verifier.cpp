@@ -1,9 +1,8 @@
 #include "edc/script/verifier.h"
 
 #include <set>
-#include <vector>
 
-#include "edc/common/strings.h"
+#include "edc/script/analysis/analyzer.h"
 #include "edc/script/builtins.h"
 
 namespace edc {
@@ -34,152 +33,6 @@ const std::set<std::string>& EventKinds() {
   return *kKinds;
 }
 
-Status Reject(int line, const std::string& what) {
-  return Status(ErrorCode::kExtensionRejected,
-                "verification failed at line " + std::to_string(line) + ": " + what);
-}
-
-// Walks a handler body tracking lexical scopes, statement count, depth, and
-// the callable white list.
-class BodyChecker {
- public:
-  BodyChecker(const VerifierConfig& config, size_t* statement_count)
-      : config_(config), statement_count_(statement_count) {}
-
-  Status CheckHandler(const Handler& handler) {
-    scopes_.clear();
-    scopes_.emplace_back(handler.params.begin(), handler.params.end());
-    return CheckBlock(handler.body, 1);
-  }
-
- private:
-  Status CheckBlock(const Block& block, size_t depth) {
-    if (depth > config_.max_nesting_depth) {
-      return Reject(block.empty() ? 0 : block.front()->line, "nesting too deep");
-    }
-    scopes_.emplace_back();
-    for (const StmtPtr& stmt : block) {
-      if (auto s = CheckStmt(*stmt, depth); !s.ok()) {
-        return s;
-      }
-    }
-    scopes_.pop_back();
-    return Status::Ok();
-  }
-
-  Status CheckStmt(const Stmt& stmt, size_t depth) {
-    ++*statement_count_;
-    if (*statement_count_ > config_.max_statements) {
-      return Reject(stmt.line, "too many statements (max " +
-                                   std::to_string(config_.max_statements) + ")");
-    }
-    switch (stmt.kind) {
-      case Stmt::Kind::kLet: {
-        if (auto s = CheckExpr(*stmt.expr); !s.ok()) {
-          return s;
-        }
-        scopes_.back().insert(stmt.name);
-        return Status::Ok();
-      }
-      case Stmt::Kind::kAssign: {
-        if (!IsDeclared(stmt.name)) {
-          return Reject(stmt.line, "assignment to undeclared variable '" + stmt.name + "'");
-        }
-        return CheckExpr(*stmt.expr);
-      }
-      case Stmt::Kind::kIf: {
-        if (auto s = CheckExpr(*stmt.expr); !s.ok()) {
-          return s;
-        }
-        if (auto s = CheckBlock(stmt.body, depth + 1); !s.ok()) {
-          return s;
-        }
-        return CheckBlock(stmt.else_body, depth + 1);
-      }
-      case Stmt::Kind::kForEach: {
-        if (auto s = CheckExpr(*stmt.expr); !s.ok()) {
-          return s;
-        }
-        scopes_.emplace_back();
-        scopes_.back().insert(stmt.name);
-        Status s = CheckBlock(stmt.body, depth + 1);
-        scopes_.pop_back();
-        return s;
-      }
-      case Stmt::Kind::kReturn:
-        return stmt.expr ? CheckExpr(*stmt.expr) : Status::Ok();
-      case Stmt::Kind::kExpr:
-        return CheckExpr(*stmt.expr);
-    }
-    return Status::Ok();
-  }
-
-  Status CheckExpr(const Expr& expr) {
-    switch (expr.kind) {
-      case Expr::Kind::kLiteral:
-        return Status::Ok();
-      case Expr::Kind::kVar:
-        if (!IsDeclared(expr.name)) {
-          return Reject(expr.line, "use of undeclared variable '" + expr.name + "'");
-        }
-        return Status::Ok();
-      case Expr::Kind::kUnary:
-        return CheckExpr(*expr.lhs);
-      case Expr::Kind::kBinary: {
-        if (auto s = CheckExpr(*expr.lhs); !s.ok()) {
-          return s;
-        }
-        return CheckExpr(*expr.rhs);
-      }
-      case Expr::Kind::kIndex: {
-        if (auto s = CheckExpr(*expr.lhs); !s.ok()) {
-          return s;
-        }
-        return CheckExpr(*expr.rhs);
-      }
-      case Expr::Kind::kCall: {
-        auto it = config_.allowed_functions.find(expr.name);
-        if (it == config_.allowed_functions.end()) {
-          return Reject(expr.line, "call to function '" + expr.name +
-                                       "' outside the white list");
-        }
-        if (config_.require_deterministic && !it->second) {
-          return Reject(expr.line, "nondeterministic function '" + expr.name +
-                                       "' forbidden under active replication");
-        }
-        for (const ExprPtr& arg : expr.args) {
-          if (auto s = CheckExpr(*arg); !s.ok()) {
-            return s;
-          }
-        }
-        return Status::Ok();
-      }
-      case Expr::Kind::kListLit: {
-        for (const ExprPtr& item : expr.args) {
-          if (auto s = CheckExpr(*item); !s.ok()) {
-            return s;
-          }
-        }
-        return Status::Ok();
-      }
-    }
-    return Status::Ok();
-  }
-
-  bool IsDeclared(const std::string& name) const {
-    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
-      if (it->count(name) > 0) {
-        return true;
-      }
-    }
-    return false;
-  }
-
-  const VerifierConfig& config_;
-  size_t* statement_count_;
-  std::vector<std::set<std::string>> scopes_;
-};
-
 }  // namespace
 
 bool IsKnownOpHandler(const std::string& name) { return OpHandlerNames().count(name) > 0; }
@@ -195,55 +48,11 @@ std::map<std::string, bool> CoreAllowedFunctions() {
   return allowed;
 }
 
+// Thin compatibility wrapper over the static analyzer: callers that only
+// need accept/reject get the first error in the legacy message format;
+// richer consumers (registry, edc-lint) call AnalyzeProgram directly.
 Status VerifyProgram(const Program& program, const VerifierConfig& config) {
-  if (program.source_bytes > config.max_source_bytes) {
-    return Reject(0, "source exceeds " + std::to_string(config.max_source_bytes) + " bytes");
-  }
-  if (program.handlers.size() > config.max_handlers) {
-    return Reject(0, "too many handlers");
-  }
-  if (program.subscriptions.size() > config.max_subscriptions) {
-    return Reject(0, "too many subscriptions");
-  }
-  if (program.subscriptions.empty()) {
-    return Reject(0, "extension declares no subscriptions");
-  }
-  for (const Subscription& sub : program.subscriptions) {
-    if (sub.is_event ? !IsKnownEventKind(sub.kind) : !IsKnownOpKind(sub.kind)) {
-      return Reject(0, "unknown " + std::string(sub.is_event ? "event" : "op") +
-                           " kind '" + sub.kind + "'");
-    }
-    const std::string& p = sub.pattern;
-    if (p != "/" && !ValidatePath(p).ok()) {
-      return Reject(0, "invalid subscription pattern '" + p + "'");
-    }
-  }
-  size_t statements = 0;
-  for (const auto& [name, handler] : program.handlers) {
-    if (!IsKnownOpHandler(name) && !IsKnownEventHandler(name)) {
-      return Reject(handler.line, "unknown handler entry point '" + name + "'");
-    }
-    BodyChecker checker(config, &statements);
-    if (auto s = checker.CheckHandler(handler); !s.ok()) {
-      return s;
-    }
-  }
-  // Every subscription must have a handler able to serve it.
-  bool has_op_handler = false;
-  bool has_event_handler = false;
-  for (const auto& [name, handler] : program.handlers) {
-    has_op_handler = has_op_handler || IsKnownOpHandler(name);
-    has_event_handler = has_event_handler || IsKnownEventHandler(name);
-  }
-  for (const Subscription& sub : program.subscriptions) {
-    if (sub.is_event && !has_event_handler) {
-      return Reject(0, "event subscription without an event handler");
-    }
-    if (!sub.is_event && !has_op_handler) {
-      return Reject(0, "op subscription without an op handler");
-    }
-  }
-  return Status::Ok();
+  return ToVerifierStatus(AnalyzeProgram(program, config));
 }
 
 }  // namespace edc

@@ -11,7 +11,9 @@
 #define EDC_SCRIPT_VERIFIER_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 
 #include "edc/common/result.h"
@@ -26,11 +28,24 @@ struct VerifierConfig {
   size_t max_handlers = 8;
   size_t max_subscriptions = 8;
   // Active replication (EDS) executes extensions on every replica and
-  // therefore rejects calls to nondeterministic functions.
+  // therefore rejects nondeterministic values that reach replicated state or
+  // the reply (flow-sensitive taint analysis; see analysis/determinism.h).
   bool require_deterministic = false;
   // Full callable white list: name -> deterministic. Must include the host
   // (service API) functions the sandbox will expose.
   std::map<std::string, bool> allowed_functions;
+  // Certification threshold for metering elision: a handler whose statically
+  // proven worst-case step bound is <= this is marked certified. Must match
+  // the ExecBudget::max_steps the binding runs with.
+  int64_t certify_max_steps = 100000;
+  // Host functions returning collections whose size the sandbox caps at
+  // `max_collection_items` (the cost pass relies on this cap being enforced
+  // at runtime).
+  std::set<std::string> collection_functions;
+  size_t max_collection_items = 256;
+  // Host functions with no replicated-state effects; empty = use the
+  // analyzer's default set (see DefaultReadOnlyFunctions()).
+  std::set<std::string> read_only_functions;
 };
 
 // Returns the allowed-function map for the core builtins only; bindings add

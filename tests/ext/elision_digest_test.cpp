@@ -1,0 +1,114 @@
+// Determinism-under-certification: running the identical seeded scenario
+// with metering elision enabled vs disabled must produce byte-identical
+// packet traces and replica state. Elision only removes the step-limit
+// comparison for certified handlers; steps are still counted, so the
+// simulated CPU charge — and with it every delivery time in the digest —
+// cannot move (docs/static_analysis.md, "verification pays once").
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "edc/common/result.h"
+#include "edc/harness/fixture.h"
+#include "edc/recipes/scripts.h"
+
+namespace edc {
+namespace {
+
+uint64_t Fnv1aMix(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct RunSig {
+  uint64_t packet_digest = 0;
+  uint64_t state_hash = 0;
+  int64_t invocations = 0;
+  int64_t certified = 0;
+  int64_t elided = 0;
+};
+
+// Registers the counter extension and bumps it repeatedly; the handler is
+// loop-free and whitelisted, so the analyzer certifies it and the elision
+// path actually runs when enabled.
+RunSig RunCounterWorkload(SystemKind system, uint64_t seed, bool elide) {
+  FixtureOptions options;
+  options.system = system;
+  options.num_clients = 1;
+  options.seed = seed;
+  options.observability = true;  // counters only; proven non-perturbing
+  options.limits.enable_metering_elision = elide;
+  ClusterFixture fix(options);
+  fix.faults().EnablePacketTrace();
+  fix.Start();
+
+  fix.loop().Schedule(Millis(10), [&fix]() {
+    fix.coord(0)->Create("/ctr", "0", [](Result<std::string>) {});
+  });
+  fix.loop().Schedule(Millis(200), [&fix]() {
+    fix.coord(0)->RegisterExtension("ctr_increment", kCounterExtension, [](Status) {});
+  });
+  for (int i = 0; i < 8; ++i) {
+    fix.loop().Schedule(Millis(500) + Millis(100) * i, [&fix]() {
+      fix.coord(0)->Read("/ctr-increment", [](Result<std::string>) {});
+    });
+  }
+  fix.Settle(Seconds(5));
+
+  RunSig sig;
+  sig.packet_digest = fix.faults().TraceDigest();
+  uint64_t h = 1469598103934665603ull;
+  if (IsZkFamily(system)) {
+    for (auto& s : fix.zk_servers) {
+      for (const auto& [zxid, txn_hash] : s->applied_log()) {
+        h = Fnv1aMix(h, zxid);
+        h = Fnv1aMix(h, txn_hash);
+      }
+    }
+  } else {
+    std::string why;
+    EXPECT_TRUE(fix.CheckEdsInvariants(&why)) << why;
+    for (auto& s : fix.ds_servers) {
+      h = Fnv1aMix(h, s->space().Digest());
+    }
+  }
+  sig.state_hash = h;
+  sig.invocations = fix.obs().metrics.CounterValue("ext.invocations");
+  sig.certified = fix.obs().metrics.CounterValue("ext.certified");
+  sig.elided = fix.obs().metrics.CounterValue("ext.metering_elided");
+  return sig;
+}
+
+TEST(ElisionDigestTest, EzkDigestsIdenticalWithElisionOnAndOff) {
+  RunSig off = RunCounterWorkload(SystemKind::kExtensibleZooKeeper, 71, false);
+  RunSig on = RunCounterWorkload(SystemKind::kExtensibleZooKeeper, 71, true);
+
+  // The workload really exercised certified handlers, and elision really
+  // toggled: same invocations, elided only in the "on" run.
+  EXPECT_GT(off.invocations, 0);
+  EXPECT_EQ(off.certified, off.invocations);
+  EXPECT_EQ(off.elided, 0);
+  EXPECT_EQ(on.elided, on.invocations);
+
+  EXPECT_EQ(on.packet_digest, off.packet_digest);
+  EXPECT_EQ(on.state_hash, off.state_hash);
+}
+
+TEST(ElisionDigestTest, EdsDigestsIdenticalWithElisionOnAndOff) {
+  RunSig off = RunCounterWorkload(SystemKind::kExtensibleDepSpace, 83, false);
+  RunSig on = RunCounterWorkload(SystemKind::kExtensibleDepSpace, 83, true);
+
+  EXPECT_GT(off.invocations, 0);
+  EXPECT_EQ(off.elided, 0);
+  EXPECT_GT(on.elided, 0);
+
+  EXPECT_EQ(on.packet_digest, off.packet_digest);
+  EXPECT_EQ(on.state_hash, off.state_hash);
+}
+
+}  // namespace
+}  // namespace edc

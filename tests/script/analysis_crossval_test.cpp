@@ -1,0 +1,331 @@
+// Cross-validation of the static analyzer against the interpreter.
+//
+// A seeded generator produces hundreds of random CoordScript handlers from a
+// small grammar (lets, assigns, ifs, foreach over literals and capped host
+// collections, host mutations, nondeterministic calls). For every program:
+//
+//  * Cost soundness: if the analyzer certified the handler, its actual
+//    interpreted step count — against a host that returns collections at the
+//    full configured cap — must never exceed the proven static bound.
+//  * Determinism soundness: if two executions that differ only in their
+//    nondeterministic environment (now/random) diverge in replicated effects
+//    (mutation log, return value, outcome), the determinism taint pass must
+//    have flagged the program. Divergence with no EDC-E013 is a missed bug.
+//
+// The generator's distribution is checked for non-vacuity: enough certified
+// handlers, enough genuinely divergent programs, enough clean ones.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "edc/common/rng.h"
+#include "edc/script/analysis/analyzer.h"
+#include "edc/script/interpreter.h"
+#include "edc/script/parser.h"
+#include "edc/script/verifier.h"
+
+namespace edc {
+namespace {
+
+constexpr size_t kCollectionCap = 4;
+constexpr int kNumSeeds = 220;
+
+VerifierConfig CrossValConfig(bool deterministic) {
+  VerifierConfig cfg;
+  cfg.allowed_functions = CoreAllowedFunctions();
+  for (const char* fn : {"children", "update", "create"}) {
+    cfg.allowed_functions[fn] = true;
+  }
+  cfg.allowed_functions["now"] = false;
+  cfg.allowed_functions["random"] = false;
+  cfg.require_deterministic = deterministic;
+  cfg.collection_functions = {"children"};
+  cfg.max_collection_items = kCollectionCap;
+  return cfg;
+}
+
+// Host mirroring the sandbox contract: collections capped at kCollectionCap,
+// mutations logged, nondeterminism parameterized so two "replicas" can be
+// fed different environments.
+class CrossValHost : public ScriptHost {
+ public:
+  CrossValHost(int64_t now_value, uint64_t random_seed)
+      : now_value_(now_value), rng_(random_seed) {}
+
+  const std::vector<std::string>& mutations() const { return mutations_; }
+
+  bool HasFunction(const std::string& name) const override {
+    return name == "children" || name == "update" || name == "create" ||
+           name == "now" || name == "random";
+  }
+
+  Result<Value> Call(const std::string& name, std::vector<Value>& args) override {
+    if (name == "now") {
+      return Value(now_value_);
+    }
+    if (name == "random") {
+      int64_t bound = !args.empty() && args[0].is_int() ? args[0].AsInt() : 8;
+      return Value(static_cast<int64_t>(rng_.UniformU64(
+          static_cast<uint64_t>(bound > 0 ? bound : 8))));
+    }
+    if (name == "children") {
+      ValueList names;
+      for (size_t i = 0; i < kCollectionCap; ++i) {
+        names.emplace_back("c" + std::to_string(i));
+      }
+      return Value::List(std::move(names));
+    }
+    // update / create: replicated-state effects, logged for divergence
+    // comparison.
+    std::string entry = name;
+    for (const Value& a : args) {
+      entry += "|" + a.ToString();
+    }
+    mutations_.push_back(std::move(entry));
+    return Value(true);
+  }
+
+ private:
+  int64_t now_value_;
+  Rng rng_;
+  std::vector<std::string> mutations_;
+};
+
+// ---- Random program generation ----
+
+class ProgramGen {
+ public:
+  explicit ProgramGen(uint64_t seed) : rng_(seed) {}
+
+  std::string Generate() {
+    src_ = "extension gen {\n  on op read \"/x\";\n  fn read(oid) {\n";
+    vars_ = {"oid_len"};
+    src_ += "    let oid_len = len(oid);\n";
+    size_t n = 2 + rng_.UniformU64(5);
+    for (size_t i = 0; i < n; ++i) {
+      EmitStmt(2, 0);
+    }
+    if (rng_.UniformU64(2) == 0) {
+      src_ += "    return " + IntExpr(0) + ";\n";
+    }
+    src_ += "  }\n}\n";
+    return src_;
+  }
+
+ private:
+  void Indent(int depth) { src_ += std::string(static_cast<size_t>(depth) * 2, ' '); }
+
+  std::string NewVar() {
+    std::string name = "v" + std::to_string(var_counter_++);
+    vars_.push_back(name);
+    return name;
+  }
+
+  std::string PickVar() { return vars_[rng_.UniformU64(vars_.size())]; }
+
+  // Integer-typed expression. Depth-limited so programs stay small.
+  std::string IntExpr(int depth) {
+    switch (rng_.UniformU64(depth >= 2 ? 4 : 6)) {
+      case 0:
+        return std::to_string(rng_.UniformU64(10));
+      case 1:
+      case 2:
+        return PickVar();
+      case 3:
+        return rng_.UniformU64(2) == 0 ? "now()" : "random(8)";
+      case 4:
+        return "(" + IntExpr(depth + 1) + " + " + IntExpr(depth + 1) + ")";
+      default:
+        return "(" + IntExpr(depth + 1) + " * " + IntExpr(depth + 1) + ")";
+    }
+  }
+
+  std::string CondExpr() {
+    return IntExpr(1) + (rng_.UniformU64(2) == 0 ? " < " : " == ") + IntExpr(1);
+  }
+
+  void EmitBlock(int depth, int nest) {
+    size_t saved = vars_.size();
+    size_t n = 1 + rng_.UniformU64(2);
+    for (size_t i = 0; i < n; ++i) {
+      EmitStmt(depth, nest);
+    }
+    vars_.resize(saved);  // interpreter block scoping
+  }
+
+  void EmitStmt(int depth, int nest) {
+    uint64_t pick = rng_.UniformU64(nest >= 2 ? 4 : 6);
+    switch (pick) {
+      case 0: {
+        Indent(depth);
+        src_ += "let " + NewVar() + " = " + IntExpr(0) + ";\n";
+        return;
+      }
+      case 1: {
+        Indent(depth);
+        src_ += PickVar() + " = " + IntExpr(0) + ";\n";
+        return;
+      }
+      case 2: {
+        Indent(depth);
+        src_ += "update(\"/sink\", str(" + IntExpr(0) + "));\n";
+        return;
+      }
+      case 3: {
+        Indent(depth);
+        src_ += "create(\"/out/" + std::to_string(rng_.UniformU64(4)) +
+                "\", str(" + IntExpr(0) + "));\n";
+        return;
+      }
+      case 4: {
+        Indent(depth);
+        src_ += "if (" + CondExpr() + ") {\n";
+        EmitBlock(depth + 1, nest + 1);
+        Indent(depth);
+        if (rng_.UniformU64(2) == 0) {
+          src_ += "} else {\n";
+          EmitBlock(depth + 1, nest + 1);
+          Indent(depth);
+        }
+        src_ += "}\n";
+        return;
+      }
+      default: {
+        Indent(depth);
+        std::string loop_var = "it" + std::to_string(var_counter_++);
+        if (rng_.UniformU64(2) == 0) {
+          size_t len = rng_.UniformU64(4);
+          std::string lit = "[";
+          for (size_t i = 0; i < len; ++i) {
+            lit += (i > 0 ? ", " : "") + std::to_string(rng_.UniformU64(10));
+          }
+          lit += "]";
+          src_ += "foreach (" + loop_var + " in " + lit + ") {\n";
+          vars_.push_back(loop_var);  // int-typed loop variable
+        } else {
+          src_ += "foreach (" + loop_var + " in children(\"/dir\")) {\n";
+          // String-typed loop variable: not added to the int-var pool.
+        }
+        EmitBlock(depth + 1, nest + 1);
+        vars_.erase(std::remove(vars_.begin(), vars_.end(), loop_var), vars_.end());
+        Indent(depth);
+        src_ += "}\n";
+        return;
+      }
+    }
+  }
+
+  Rng rng_;
+  std::string src_;
+  std::vector<std::string> vars_;
+  int var_counter_ = 0;
+};
+
+struct ExecOutcome {
+  bool ok = false;
+  std::string result;
+  std::vector<std::string> mutations;
+  int64_t steps = 0;
+
+  bool Diverges(const ExecOutcome& o) const {
+    return ok != o.ok || result != o.result || mutations != o.mutations;
+  }
+};
+
+ExecOutcome Execute(const Program& program, int64_t now_value, uint64_t random_seed) {
+  CrossValHost host(now_value, random_seed);
+  ExecBudget budget;  // default (generous) metered budget
+  Interpreter interp(&program, &host, budget);
+  auto out = interp.Invoke("read", {Value("/x")});
+  ExecOutcome o;
+  o.ok = out.ok();
+  o.result = out.ok() ? out->ToString() : out.status().ToString();
+  o.mutations = host.mutations();
+  o.steps = interp.stats().steps_used;
+  return o;
+}
+
+TEST(AnalysisCrossValTest, CertifiedBoundsAreSoundAndDivergenceIsFlagged) {
+  int certified = 0;
+  int divergent = 0;
+  int flagged = 0;
+  int clean_runs = 0;
+
+  for (uint64_t seed = 1; seed <= kNumSeeds; ++seed) {
+    ProgramGen gen(seed);
+    std::string src = gen.Generate();
+    auto program = ParseProgram(src);
+    ASSERT_TRUE(program.ok()) << "seed " << seed << ": " << program.status().ToString()
+                              << "\n" << src;
+
+    // ---- Cost-bound soundness (EZK-style permissive config) ----
+    AnalysisReport report = AnalyzeProgram(**program, CrossValConfig(false));
+    ASSERT_EQ(report.handlers.count("read"), 1u) << src;
+    const HandlerReport& hr = report.handlers.at("read");
+    ExecOutcome run = Execute(**program, 1000, 1);
+    if (hr.certified) {
+      ++certified;
+      EXPECT_LE(run.steps, hr.step_bound)
+          << "seed " << seed << ": certified handler exceeded its bound\n" << src;
+    }
+
+    // ---- Determinism soundness (EDS-style strict config) ----
+    AnalysisReport det = AnalyzeProgram(**program, CrossValConfig(true));
+    bool is_flagged = false;
+    for (const Diagnostic& d : det.diagnostics) {
+      is_flagged = is_flagged || d.code == kDiagNondeterminism;
+    }
+    ExecOutcome replica_b = Execute(**program, 7777, 99);
+    bool diverges = run.Diverges(replica_b);
+    if (is_flagged) {
+      ++flagged;
+    }
+    if (diverges) {
+      ++divergent;
+      EXPECT_TRUE(is_flagged)
+          << "seed " << seed
+          << ": replicas diverged but the determinism pass did not flag it\n"
+          << src << "\nrun A: " << run.result << "\nrun B: " << replica_b.result;
+    }
+    if (!is_flagged && !diverges) {
+      ++clean_runs;
+    }
+  }
+
+  // Non-vacuity: the grammar must actually exercise every verdict.
+  EXPECT_GE(certified, kNumSeeds / 2) << "generator stopped producing bounded handlers";
+  EXPECT_GE(divergent, 10) << "generator stopped producing divergent programs";
+  EXPECT_GE(clean_runs, 10) << "generator stopped producing clean programs";
+  EXPECT_GE(flagged, divergent);
+}
+
+// Certified handlers run with metering elided must leave behind the same
+// steps_used as fully metered runs — elision can never shift the execution
+// cost model (and with it, simulated timing or replica digests).
+TEST(AnalysisCrossValTest, ElisionNeverChangesStepAccounting) {
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    ProgramGen gen(seed);
+    auto program = ParseProgram(gen.Generate());
+    ASSERT_TRUE(program.ok());
+
+    CrossValHost host_a(1000, 1);
+    ExecBudget metered;
+    Interpreter a(program->get(), &host_a, metered);
+    auto ra = a.Invoke("read", {Value("/x")});
+
+    CrossValHost host_b(1000, 1);
+    ExecBudget elided;
+    elided.metered = false;
+    Interpreter b(program->get(), &host_b, elided);
+    auto rb = b.Invoke("read", {Value("/x")});
+
+    ASSERT_EQ(ra.ok(), rb.ok());
+    EXPECT_EQ(a.stats().steps_used, b.stats().steps_used) << "seed " << seed;
+    EXPECT_EQ(host_a.mutations(), host_b.mutations()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace edc

@@ -1,0 +1,78 @@
+// Golden-output tests for edc-lint (ctest -L lint).
+//
+// Lints every example script and every built-in recipe extension through the
+// same LintSource path the CLI uses, and compares the full formatted report
+// against the checked-in expectation in tests/script/golden/. A diagnostic
+// drifting (position, wording, severity, certification verdict) fails here
+// first, with the actual output printed for easy golden refresh.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "edc/recipes/scripts.h"
+#include "edc/script/analysis/lint.h"
+
+namespace edc {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(EDC_SOURCE_DIR) + "/tests/script/golden/" + name + ".txt";
+}
+
+void ExpectMatchesGolden(const std::string& unit, const std::string& source) {
+  LintResult result = LintSource(unit, source, LintVerifierConfig());
+  std::string expected = ReadFile(GoldenPath(unit));
+  EXPECT_EQ(result.formatted, expected)
+      << "lint output drifted for " << unit << "; actual output:\n"
+      << result.formatted;
+}
+
+TEST(LintGoldenTest, ExampleQueueRemove) {
+  ExpectMatchesGolden("queue_remove.edc",
+                      ReadFile(std::string(EDC_SOURCE_DIR) +
+                               "/examples/scripts/queue_remove.edc"));
+}
+
+TEST(LintGoldenTest, ExampleAuditCount) {
+  ExpectMatchesGolden("audit_count.edc",
+                      ReadFile(std::string(EDC_SOURCE_DIR) +
+                               "/examples/scripts/audit_count.edc"));
+}
+
+TEST(LintGoldenTest, ExampleBrokenSweeper) {
+  ExpectMatchesGolden("broken_sweeper.edc",
+                      ReadFile(std::string(EDC_SOURCE_DIR) +
+                               "/examples/scripts/broken_sweeper.edc"));
+}
+
+// The recipe extensions (paper Figs. 5/7/9/11) must stay lint-clean and
+// fully certified: they are the scripts every benchmark registers.
+TEST(LintGoldenTest, RecipeCounter) {
+  ExpectMatchesGolden("recipe_counter.edc", kCounterExtension);
+}
+
+TEST(LintGoldenTest, RecipeQueue) {
+  ExpectMatchesGolden("recipe_queue.edc", kQueueExtension);
+}
+
+TEST(LintGoldenTest, RecipeBarrier) {
+  ExpectMatchesGolden("recipe_barrier.edc", kBarrierExtension);
+}
+
+TEST(LintGoldenTest, RecipeElection) {
+  ExpectMatchesGolden("recipe_election.edc", kElectionExtension);
+}
+
+}  // namespace
+}  // namespace edc

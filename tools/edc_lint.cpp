@@ -1,0 +1,82 @@
+// edc-lint: static-analysis driver for CoordScript extension sources.
+//
+// Runs the full registration-time analyzer (structure, scoping, dataflow,
+// cost bounding, determinism taint) over each input file and prints every
+// diagnostic, gcc-style: "file:line:col: severity: message [EDC-Xnnn]".
+//
+// Usage: edc-lint [--deterministic] [--max-steps N] [--werror] file.edc...
+//   --deterministic  check under active-replication rules (EDS): taint from
+//                    nondeterministic calls must not reach state or replies
+//   --max-steps N    certification budget (default 100000)
+//   --werror         treat warnings as errors for the exit code
+//
+// Exit status: 0 clean, 1 diagnostics at error level (or any finding with
+// --werror), 2 usage/IO failure.
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "edc/script/analysis/lint.h"
+
+namespace {
+
+int Usage() {
+  std::cerr << "usage: edc-lint [--deterministic] [--max-steps N] [--werror] "
+               "file.edc...\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  edc::VerifierConfig config = edc::LintVerifierConfig();
+  bool werror = false;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--deterministic") {
+      config.require_deterministic = true;
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "--max-steps") {
+      if (i + 1 >= argc) {
+        return Usage();
+      }
+      config.certify_max_steps = std::atoll(argv[++i]);
+      if (config.certify_max_steps <= 0) {
+        return Usage();
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else {
+      files.push_back(std::move(arg));
+    }
+  }
+  if (files.empty()) {
+    return Usage();
+  }
+
+  bool any_error = false;
+  bool any_warning = false;
+  for (const std::string& file : files) {
+    std::ifstream in(file);
+    if (!in) {
+      std::cerr << "edc-lint: cannot read " << file << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    edc::LintResult result = edc::LintSource(file, buf.str(), config);
+    std::cout << result.formatted;
+    any_error = any_error || result.has_errors;
+    for (const edc::Diagnostic& d : result.diagnostics) {
+      any_warning = any_warning || d.severity == edc::Severity::kWarning;
+    }
+  }
+  return (any_error || (werror && any_warning)) ? 1 : 0;
+}
