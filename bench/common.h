@@ -76,6 +76,56 @@ std::vector<std::unique_ptr<Recipe>> SetupRecipe(CoordFixture& fixture, bool ext
   return recipes;
 }
 
+// Sharded variant of SetupRecipe (docs/sharding.md): one recipe instance per
+// client, namespaced under a subtree pinned to the client's shard
+// (round-robin, client i -> shard i % num_shards). The first client on each
+// shard runs Setup; the rest Attach. With one shard this degenerates to the
+// unsharded layout (empty prefix, shared namespace).
+template <typename Recipe>
+std::vector<std::unique_ptr<Recipe>> SetupShardedRecipe(CoordFixture& fixture, bool ext,
+                                                        const std::string& stem) {
+  size_t shards = fixture.num_shards();
+  std::vector<std::string> prefixes;
+  for (size_t s = 0; s < shards; ++s) {
+    prefixes.push_back(shards > 1 ? fixture.shard_map().SubtreeForShard(stem, s)
+                                  : std::string());
+  }
+  std::vector<std::unique_ptr<Recipe>> recipes;
+  for (size_t i = 0; i < fixture.num_clients(); ++i) {
+    recipes.push_back(
+        std::make_unique<Recipe>(fixture.coord(i), ext, prefixes[i % shards]));
+  }
+  for (size_t s = 0; s < shards && s < fixture.num_clients(); ++s) {
+    bool ready = false;
+    recipes[s]->Setup([&](Status st) {
+      if (!st.ok()) {
+        std::fprintf(stderr, "FATAL: shard %zu setup failed: %s\n", s,
+                     st.ToString().c_str());
+        std::exit(1);
+      }
+      ready = true;
+    });
+    // Registration fans out to every shard (sub-sessions are created on
+    // demand), so give it more headroom than the single-ensemble setup.
+    WaitFor(fixture, ready, "sharded recipe setup", Seconds(30));
+  }
+  size_t attached = std::min(shards, fixture.num_clients());
+  bool all_attached = attached >= fixture.num_clients();
+  for (size_t i = attached; i < fixture.num_clients(); ++i) {
+    recipes[i]->Attach([&, i](Status st) {
+      if (!st.ok()) {
+        std::fprintf(stderr, "FATAL: attach %zu failed: %s\n", i, st.ToString().c_str());
+        std::exit(1);
+      }
+      if (++attached == fixture.num_clients()) {
+        all_attached = true;
+      }
+    });
+  }
+  WaitFor(fixture, all_attached, "sharded recipe attach", Seconds(30));
+  return recipes;
+}
+
 struct SeededAverages {
   RunAggregate throughput;  // ops/s
   RunAggregate latency_ms;

@@ -2,7 +2,8 @@
 # Full local gate: configure + build, then run the test tiers the CI presets
 # select — the plain suite, the chaos fault-injection scenarios, the
 # model-conformance sweeps (docs/model_checking.md), the observability layer
-# (docs/observability.md), and the lint tier (docs/static_analysis.md):
+# (docs/observability.md), the sharded coordination plane (docs/sharding.md),
+# and the lint tier (docs/static_analysis.md):
 # edc-lint golden tests, edc-lint over the example scripts, and clang-tidy
 # when available. Any failure aborts.
 #
@@ -56,13 +57,15 @@ run_lint_tier
 
 cd "$BUILD_DIR"
 echo "== tier-1 tests =="
-ctest --output-on-failure -j "$JOBS" -LE 'chaos|model|obs|lint'
+ctest --output-on-failure -j "$JOBS" -LE 'chaos|model|obs|lint|shard'
 echo "== chaos tests =="
 ctest --output-on-failure -j "$JOBS" -L chaos
 echo "== model-conformance tests =="
 ctest --output-on-failure -j "$JOBS" -L model
 echo "== observability tests =="
 ctest --output-on-failure -j "$JOBS" -L obs
+echo "== sharded coordination plane tests =="
+ctest --output-on-failure -j "$JOBS" --no-tests=error -L shard
 # Spotlight the recovery/crash-restart families (docs/bft_recovery.md): these
 # already ran inside the tiers above, but --no-tests=error makes the gate fail
 # loudly if a rename or CMake edit silently drops them from discovery.

@@ -268,6 +268,15 @@ CheckReport CheckZkHistory(const HistoryRecorder& history) {
         op.type == ZkOpType::kSessionCreate) {
       continue;
     }
+    // Map-version protocol (docs/sharding.md): a kShardMapStale rejection is
+    // an admission bounce that claims nothing about node state, so reads are
+    // exempt from the state-matching checks. Writes need no carve-out — an
+    // error reply without a commit is already accepted below, and a stale
+    // reply WITH a commit stays a violation (that is exactly the duplicated-
+    // op bug the chaos test hunts).
+    if (IsReadOp(op.type) && r.reply.code == ErrorCode::kShardMapStale) {
+      continue;
+    }
 
     if (IsReadOp(op.type)) {
       if (op.type == ZkOpType::kExists) {

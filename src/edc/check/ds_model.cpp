@@ -107,6 +107,25 @@ std::vector<DsModelReply> DsModel::Execute(SimTime ts, NodeId client, uint64_t r
     return replies;
   }
 
+  // Map-version protocol — mirror of the replicated check in
+  // DsServer::Execute (docs/sharding.md).
+  if (op->type == DsOpType::kSetMapVersion) {
+    if (op->map_version > map_version_) {
+      map_version_ = op->map_version;
+    }
+    DsReply reply;
+    reply.value = std::to_string(map_version_);
+    reply_ok(std::move(reply));
+    return replies;
+  }
+  if (map_version_ > 0 && op->map_version < map_version_) {
+    DsReply reply;
+    reply.code = ErrorCode::kShardMapStale;
+    reply.value = std::to_string(map_version_);
+    replies.push_back(DsModelReply{client, req_id, std::move(reply)});
+    return replies;
+  }
+
   switch (op->type) {
     case DsOpType::kOut: {
       if (auto s = CheckAccess(&op->tuple, nullptr); !s.ok()) {
@@ -216,6 +235,8 @@ std::vector<DsModelReply> DsModel::Execute(SimTime ts, NodeId client, uint64_t r
       reply_ok(std::move(reply));
       break;
     }
+    case DsOpType::kSetMapVersion:
+      break;  // handled above, before the switch
     case DsOpType::kRenew: {
       size_t count = 0;
       for (Entry& e : entries_) {

@@ -63,6 +63,7 @@ class DsModel {
 
   std::vector<Entry> entries_;
   std::vector<Waiter> waiters_;
+  uint64_t map_version_ = 0;  // mirrors DsServer's replicated shard-map version
   uint64_t next_waiter_order_ = 1;
 };
 

@@ -91,12 +91,26 @@ struct DsExecRecord {
   std::vector<uint8_t> payload;
 };
 
+class ZkClient;
+class DsClient;
+class ZkServer;
+class DsServer;
+
 class HistoryRecorder {
  public:
   // Installs observers on every client and server of `fixture`; call after
   // fixture.Start(). The recorder must outlive the fixture's event-loop runs
   // (the observers capture `this`).
   void Attach(CoordFixture& fixture);
+
+  // Granular attachment for sharded fixtures (docs/sharding.md): each shard
+  // gets its own recorder + checker (histories are per-ensemble), wired to
+  // the shard's replicas and to the routers' per-shard sub-clients (via
+  // ZkShardRouter::SetSubClientHook / the DS equivalent).
+  void AttachZkClient(EventLoop* loop, ZkClient* client);
+  void AttachDsClient(EventLoop* loop, DsClient* client);
+  void AttachZkServer(ZkServer* server);
+  void AttachDsServer(DsServer* server);
 
   std::vector<ZkCallRecord> zk_calls;
   std::vector<ZkResponseRecord> zk_responses;

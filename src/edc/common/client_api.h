@@ -37,7 +37,7 @@ struct ServerList {
   size_t preferred = 0;  // index of the replica to try first
 
   ServerList() = default;
-  ServerList(std::vector<NodeId> s, size_t pref = 0)  // NOLINT(runtime/explicit)
+  explicit ServerList(std::vector<NodeId> s, size_t pref = 0)
       : servers(std::move(s)), preferred(pref) {}
   ServerList(std::initializer_list<NodeId> s) : servers(s) {}
 

@@ -31,6 +31,20 @@ inline uint64_t Fnv1a64(std::string_view s, uint64_t seed = kFnvOffset) {
   return Fnv1a64(reinterpret_cast<const uint8_t*>(s.data()), s.size(), seed);
 }
 
+// Murmur3 fmix64 finalizer. Raw FNV-1a clusters inputs that differ only in
+// their final byte or two (those bytes pass through just one or two prime
+// multiplies, so the hashes sit within ~2^41 of each other — one vnode gap
+// on a 2^64 ring). Anything placing FNV output on a ring or bucketing it
+// must run it through this first.
+inline uint64_t MixBits(uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
 }  // namespace edc
 
 #endif  // EDC_COMMON_HASH_H_

@@ -32,6 +32,8 @@ std::string_view ErrorCodeName(ErrorCode code) {
       return "ACCESS_DENIED";
     case ErrorCode::kPolicyViolation:
       return "POLICY_VIOLATION";
+    case ErrorCode::kShardMapStale:
+      return "SHARD_MAP_STALE";
     case ErrorCode::kExtensionRejected:
       return "EXTENSION_REJECTED";
     case ErrorCode::kExtensionError:

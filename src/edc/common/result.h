@@ -35,6 +35,10 @@ enum class ErrorCode : int {
   kSessionExpired,
   kAccessDenied,
   kPolicyViolation,  // DepSpace-style policy layer rejected the operation
+  // Sharded routing (docs/sharding.md): the request carried a shard-map
+  // version older than the one the replica group expects; the client must
+  // refresh its ShardMap and re-route.
+  kShardMapStale,
   // Extension machinery.
   kExtensionRejected,   // verifier refused the extension at registration
   kExtensionError,      // extension raised or crashed during execution

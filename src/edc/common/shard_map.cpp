@@ -1,0 +1,100 @@
+#include "edc/common/shard_map.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "edc/common/hash.h"
+
+namespace edc {
+
+namespace {
+
+// First path component: "/app/x/y" -> "app", "/app" -> "app", "/" -> "".
+std::string SubtreeKey(const std::string& path) {
+  size_t start = 0;
+  while (start < path.size() && path[start] == '/') {
+    ++start;
+  }
+  size_t end = path.find('/', start);
+  if (end == std::string::npos) {
+    end = path.size();
+  }
+  return path.substr(start, end - start);
+}
+
+uint64_t VnodePoint(uint32_t shard_id, int vnode) {
+  std::string label = "shard:" + std::to_string(shard_id) + "#" + std::to_string(vnode);
+  return MixBits(Fnv1a64(label));
+}
+
+}  // namespace
+
+CoordKey CoordKey::ForPath(const std::string& path) { return CoordKey(SubtreeKey(path)); }
+
+CoordKey CoordKey::ForField(const std::string& field) {
+  if (!field.empty() && field[0] == '/') {
+    return CoordKey(SubtreeKey(field));
+  }
+  return CoordKey(field);
+}
+
+uint64_t CoordKey::RingPoint() const { return MixBits(Fnv1a64("key:" + key_)); }
+
+ShardMap ShardMap::Single(ServerList ensemble) {
+  ShardMap map;
+  map.AddShard(0, std::move(ensemble));
+  return map;
+}
+
+void ShardMap::AddShard(uint32_t shard_id, ServerList ensemble) {
+  for (const ShardEntry& e : entries_) {
+    assert(e.shard_id != shard_id && "duplicate shard id");
+    (void)e;
+  }
+  entries_.push_back(ShardEntry{shard_id, std::move(ensemble)});
+  ++version_;
+  RebuildRing();
+}
+
+void ShardMap::RemoveShard(uint32_t shard_id) {
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const ShardEntry& e) { return e.shard_id == shard_id; }),
+                 entries_.end());
+  ++version_;
+  RebuildRing();
+}
+
+void ShardMap::RebuildRing() {
+  ring_.clear();
+  ring_.reserve(entries_.size() * kVnodesPerShard);
+  for (uint32_t i = 0; i < entries_.size(); ++i) {
+    for (int v = 0; v < kVnodesPerShard; ++v) {
+      ring_.emplace_back(VnodePoint(entries_[i].shard_id, v), i);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+size_t ShardMap::IndexFor(const CoordKey& key) const {
+  assert(key.routable() && "routing an unroutable key");
+  assert(!ring_.empty() && "routing on an empty shard map");
+  uint64_t point = key.RingPoint();
+  auto it = std::upper_bound(ring_.begin(), ring_.end(),
+                             std::make_pair(point, uint32_t{0xffffffff}));
+  if (it == ring_.end()) {
+    it = ring_.begin();  // wrap around
+  }
+  return it->second;
+}
+
+std::string ShardMap::SubtreeForShard(const std::string& stem, size_t target) const {
+  assert(target < entries_.size());
+  for (int salt = 0;; ++salt) {
+    std::string path = stem + std::to_string(salt);
+    if (IndexFor(CoordKey::ForPath(path)) == target) {
+      return path;
+    }
+  }
+}
+
+}  // namespace edc

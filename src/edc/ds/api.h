@@ -1,0 +1,51 @@
+// Abstract client-side surface of the DepSpace-like service.
+//
+// Mirrors zk/api.h for the tuple-space side: recipes and the harness program
+// against DsApi; DsClient implements it by multicasting to one replica
+// ensemble, DsShardRouter (edc/route) by routing each operation to the shard
+// its first field hashes to (docs/sharding.md).
+
+#ifndef EDC_DS_API_H_
+#define EDC_DS_API_H_
+
+#include <cstdint>
+#include <string>
+
+#include "edc/common/client_api.h"
+#include "edc/ds/types.h"
+
+namespace edc {
+
+class DsApi {
+ public:
+  using ReplyCb = ResultCb<DsReply>;
+
+  virtual ~DsApi() = default;
+
+  virtual void Out(DsTuple tuple, ReplyCb done) = 0;
+  // Lease tuple (monitor primitive); auto-renewed until ReleaseLease/crash.
+  virtual void OutLease(DsTuple tuple, ReplyCb done) = 0;
+  virtual void ReleaseLease(const DsTemplate& templ) = 0;
+  virtual void Rdp(DsTemplate templ, ReplyCb done) = 0;
+  virtual void Inp(DsTemplate templ, ReplyCb done) = 0;
+  virtual void Rd(DsTemplate templ, ReplyCb done) = 0;  // blocking
+  virtual void In(DsTemplate templ, ReplyCb done) = 0;  // blocking
+  virtual void Cas(DsTemplate templ, DsTuple tuple, ReplyCb done) = 0;
+  virtual void Replace(DsTemplate templ, DsTuple tuple, ReplyCb done) = 0;
+  virtual void RdAll(DsTemplate templ, ReplyCb done) = 0;
+
+  virtual void CallExtension(const std::string& trigger_path, const std::string& args,
+                             ExtensionCb done) = 0;
+  virtual void RegisterExtension(const std::string& name, const std::string& code,
+                                 ReplyCb done) = 0;
+  virtual void DeregisterExtension(const std::string& name, ReplyCb done) = 0;
+  virtual void AcknowledgeExtension(const std::string& name, ReplyCb done) = 0;
+
+  virtual void EnableAutoRenewAll() = 0;
+
+  virtual NodeId id() const = 0;
+};
+
+}  // namespace edc
+
+#endif  // EDC_DS_API_H_

@@ -4,12 +4,14 @@
 
 namespace edc {
 
-DsClient::DsClient(EventLoop* loop, Network* net, NodeId id, ServerList replicas,
+DsClient::DsClient(EventLoop* loop, Network* net, NodeId id, ShardView view,
                    DsClientOptions options)
     : loop_(loop),
       net_(net),
       id_(id),
-      replicas_(std::move(replicas)),
+      replicas_(std::move(view.ensemble)),
+      shard_id_(view.shard_id),
+      map_version_(view.map_version),
       options_(options),
       jitter_rng_(JitterSeedFor(options.reconnect, id)) {
   net_->Register(id_, this);
@@ -32,6 +34,11 @@ void DsClient::Call(DsOp op, ReplyCb done) {
   uint64_t req_id = ++next_req_;
   PendingCall call;
   call.op = std::move(op);
+  if (call.op.type != DsOpType::kSetMapVersion) {
+    // Stamp the routing version; kSetMapVersion carries the TARGET version in
+    // the same field and must pass through untouched.
+    call.op.map_version = map_version_;
+  }
   call.done = std::move(done);
   call.backoff = options_.reconnect.initial_backoff;
   auto it = calls_.emplace(req_id, std::move(call)).first;

@@ -20,6 +20,8 @@
 #include "edc/bft/messages.h"
 #include "edc/common/client_api.h"
 #include "edc/common/rng.h"
+#include "edc/common/shard_map.h"
+#include "edc/ds/api.h"
 #include "edc/ds/types.h"
 #include "edc/obs/obs.h"
 #include "edc/sim/event_loop.h"
@@ -46,30 +48,30 @@ struct DsClientObserver {
   std::function<void(uint64_t req_id, const Result<DsReply>& result)> on_reply;
 };
 
-class DsClient : public NetworkNode {
+class DsClient : public NetworkNode, public DsApi {
  public:
   using ReplyCb = ResultCb<DsReply>;
 
-  DsClient(EventLoop* loop, Network* net, NodeId id, ServerList replicas,
+  // The one entry point: a ShardView names the replica ensemble to multicast
+  // to plus the shard-map version to stamp on every operation
+  // (ShardView::Standalone(ServerList{...}) for unsharded deployments).
+  DsClient(EventLoop* loop, Network* net, NodeId id, ShardView view,
            DsClientOptions options);
-  DsClient(EventLoop* loop, Network* net, NodeId id, std::vector<NodeId> replicas,
-           DsClientOptions options)
-      : DsClient(loop, net, id, ServerList{std::move(replicas)}, options) {}
 
   DsClient(const DsClient&) = delete;
   DsClient& operator=(const DsClient&) = delete;
 
-  void Out(DsTuple tuple, ReplyCb done);
+  void Out(DsTuple tuple, ReplyCb done) override;
   // Lease tuple (monitor primitive); auto-renewed until ReleaseLease/crash.
-  void OutLease(DsTuple tuple, ReplyCb done);
-  void ReleaseLease(const DsTemplate& templ);
-  void Rdp(DsTemplate templ, ReplyCb done);
-  void Inp(DsTemplate templ, ReplyCb done);
-  void Rd(DsTemplate templ, ReplyCb done);   // blocking
-  void In(DsTemplate templ, ReplyCb done);   // blocking
-  void Cas(DsTemplate templ, DsTuple tuple, ReplyCb done);
-  void Replace(DsTemplate templ, DsTuple tuple, ReplyCb done);
-  void RdAll(DsTemplate templ, ReplyCb done);
+  void OutLease(DsTuple tuple, ReplyCb done) override;
+  void ReleaseLease(const DsTemplate& templ) override;
+  void Rdp(DsTemplate templ, ReplyCb done) override;
+  void Inp(DsTemplate templ, ReplyCb done) override;
+  void Rd(DsTemplate templ, ReplyCb done) override;   // blocking
+  void In(DsTemplate templ, ReplyCb done) override;   // blocking
+  void Cas(DsTemplate templ, DsTuple tuple, ReplyCb done) override;
+  void Replace(DsTemplate templ, DsTuple tuple, ReplyCb done) override;
+  void RdAll(DsTemplate templ, ReplyCb done) override;
   void Call(DsOp op, ReplyCb done);
 
   // Invokes the extension listening on `trigger_path` (§5.2.2): a blocking
@@ -77,19 +79,20 @@ class DsClient : public NetworkNode {
   // read their arguments from the tuple space, so `args` is unused here; it
   // exists for API parity with ZkClient::CallExtension.
   void CallExtension(const std::string& trigger_path, const std::string& args,
-                     ExtensionCb done);
+                     ExtensionCb done) override;
 
   // EDS conveniences (§5.2.2): registration/ack/deregistration are ordinary
   // tuple operations on the extension manager's dedicated namespace.
-  void RegisterExtension(const std::string& name, const std::string& code, ReplyCb done);
-  void DeregisterExtension(const std::string& name, ReplyCb done);
-  void AcknowledgeExtension(const std::string& name, ReplyCb done);
+  void RegisterExtension(const std::string& name, const std::string& code,
+                         ReplyCb done) override;
+  void DeregisterExtension(const std::string& name, ReplyCb done) override;
+  void AcknowledgeExtension(const std::string& name, ReplyCb done) override;
 
   // Periodically renews EVERY lease tuple this client owns (universal
   // template) — needed when a server-side extension created lease tuples on
   // the client's behalf (monitor inside an extension): the client is the
   // owner and must keep them alive.
-  void EnableAutoRenewAll();
+  void EnableAutoRenewAll() override;
 
   // Simulate process death: stop renewing leases and drop pending calls.
   void Kill();
@@ -100,8 +103,18 @@ class DsClient : public NetworkNode {
   // registry.
   void SetObs(Obs* obs);
 
-  NodeId id() const { return id_; }
+  NodeId id() const override { return id_; }
   size_t outstanding() const { return calls_.size(); }
+
+  // Map-version protocol (docs/sharding.md): the version stamped on every
+  // outgoing operation; raised by the router after a map refresh.
+  uint64_t map_version() const { return map_version_; }
+  void set_map_version(uint64_t v) {
+    if (v > map_version_) {
+      map_version_ = v;
+    }
+  }
+  uint32_t shard_id() const { return shard_id_; }
 
   // NetworkNode.
   void HandlePacket(Packet&& pkt) override;
@@ -123,6 +136,8 @@ class DsClient : public NetworkNode {
   Network* net_;
   NodeId id_;
   ServerList replicas_;
+  uint32_t shard_id_ = 0;
+  uint64_t map_version_ = 0;
   DsClientOptions options_;
 
   uint64_t next_req_ = 0;

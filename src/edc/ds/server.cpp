@@ -151,6 +151,7 @@ void DsServer::Start() {
   running_ = true;
   space_.Load({});
   waiters_.clear();
+  map_version_ = 0;
   ops_executed_ = 0;
   if (hooks_ != nullptr) {
     hooks_->OnStateReloaded();
@@ -167,6 +168,7 @@ void DsServer::Restart() {
   running_ = true;
   space_.Load({});
   waiters_.clear();
+  map_version_ = 0;  // rebuilt by log replay / state transfer
   if (hooks_ != nullptr) {
     hooks_->OnStateReloaded();
   }
@@ -194,6 +196,7 @@ std::vector<uint8_t> DsServer::TakeSnapshot() {
     enc.PutBool(w.consume);
     enc.PutU64(w.order);
   }
+  enc.PutVarint(map_version_);
   return enc.Release();
 }
 
@@ -223,11 +226,16 @@ Status DsServer::RestoreSnapshot(const std::vector<uint8_t>& snapshot) {
     w.order = *worder;
     waiters.push_back(std::move(w));
   }
+  auto map_version = dec.GetVarint();
+  if (!map_version.ok()) {
+    return Status(ErrorCode::kDecodeError, "snapshot map version");
+  }
   if (auto s = space_.Load(*image); !s.ok()) {
     return s;
   }
   next_waiter_order_ = *order;
   waiters_ = std::move(waiters);
+  map_version_ = *map_version;
   if (hooks_ != nullptr) {
     hooks_->OnStateReloaded();  // rebuild the extension registry from /em tuples
   }
@@ -277,6 +285,30 @@ BftExecOutcome DsServer::Execute(uint64_t seq, SimTime ts, const BftRequest& req
   if (!op.ok()) {
     DsReply reply;
     reply.code = ErrorCode::kDecodeError;
+    Reply(request.client, request.req_id, reply);
+    ProcessEvents(&ctx, &extra_cpu);
+    return BftExecOutcome{extra_cpu};
+  }
+
+  // Map-version protocol (docs/sharding.md). Both branches are part of the
+  // replicated state machine: the version only changes at an ordered
+  // kSetMapVersion and the staleness check reads that replicated version, so
+  // all correct replicas accept/reject the same requests and vote
+  // identically. The current version rides back in `value` either way.
+  if (op->type == DsOpType::kSetMapVersion) {
+    if (op->map_version > map_version_) {
+      map_version_ = op->map_version;
+    }
+    DsReply reply;
+    reply.value = std::to_string(map_version_);
+    Reply(request.client, request.req_id, reply);
+    ProcessEvents(&ctx, &extra_cpu);
+    return BftExecOutcome{extra_cpu};
+  }
+  if (map_version_ > 0 && op->map_version < map_version_) {
+    DsReply reply;
+    reply.code = ErrorCode::kShardMapStale;
+    reply.value = std::to_string(map_version_);
     Reply(request.client, request.req_id, reply);
     ProcessEvents(&ctx, &extra_cpu);
     return BftExecOutcome{extra_cpu};
@@ -395,6 +427,10 @@ DsExecOutcome DsServer::ExecuteNormal(DsExecContext* ctx, const DsOp& op) {
       outcome.result = std::to_string(n);
       break;
     }
+    case DsOpType::kSetMapVersion:
+      // Handled before the extension/policy layers in Execute().
+      outcome.status = Status(ErrorCode::kInternal, "unreachable");
+      break;
   }
   return outcome;
 }

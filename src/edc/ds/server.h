@@ -136,6 +136,11 @@ class DsServer : public NetworkNode, public BftCallbacks {
 
   NodeId id() const { return id_; }
   bool running() const { return running_; }
+  // Replicated shard-map version (docs/sharding.md): raised only by an
+  // ordered kSetMapVersion op, carried in snapshots, and rebuilt by log
+  // replay — so every replica starts rejecting stale clients at the same
+  // sequence number and execution digests stay identical across the group.
+  uint64_t map_version() const { return map_version_; }
   const TupleSpace& space() const { return space_; }
   BftReplica& bft() { return *bft_; }
   CpuQueue& cpu() { return cpu_; }
@@ -184,6 +189,7 @@ class DsServer : public NetworkNode, public BftCallbacks {
   bool running_ = false;
   TupleSpace space_;
   std::vector<Waiter> waiters_;
+  uint64_t map_version_ = 0;  // replicated; see map_version()
   uint64_t next_waiter_order_ = 1;
   int64_t ops_executed_ = 0;
   ExecObserver exec_observer_;

@@ -160,6 +160,7 @@ std::vector<uint8_t> DsOp::Encode() const {
   EncodeTuple(enc, tuple);
   EncodeTemplate(enc, templ);
   enc.PutI64(lease);
+  enc.PutVarint(map_version);
   return enc.Release();
 }
 
@@ -167,7 +168,7 @@ Result<DsOp> DsOp::Decode(const std::vector<uint8_t>& buf) {
   Decoder dec(buf);
   DsOp op;
   auto type = dec.GetU8();
-  if (!type.ok() || *type > static_cast<uint8_t>(DsOpType::kRenew)) {
+  if (!type.ok() || *type > static_cast<uint8_t>(DsOpType::kSetMapVersion)) {
     return ErrorCode::kDecodeError;
   }
   op.type = static_cast<DsOpType>(*type);
@@ -186,6 +187,11 @@ Result<DsOp> DsOp::Decode(const std::vector<uint8_t>& buf) {
     return lease.status();
   }
   op.lease = *lease;
+  auto map_version = dec.GetVarint();
+  if (!map_version.ok()) {
+    return map_version.status();
+  }
+  op.map_version = *map_version;
   return op;
 }
 

@@ -67,6 +67,11 @@ enum class DsOpType : uint8_t {
   kReplace = 6,  // atomically inp(templ) + out(tuple)
   kRdAll = 7,    // read all matches
   kRenew = 8,    // extend leases of matching tuples owned by the caller
+  // Administrative (docs/sharding.md): raise the replica group's replicated
+  // shard-map version to this op's map_version. Ordered like any other op so
+  // every replica flips to rejecting stale clients at the same point in the
+  // execution sequence — a per-replica check would split votes.
+  kSetMapVersion = 9,
 };
 
 struct DsOp {
@@ -74,6 +79,9 @@ struct DsOp {
   DsTuple tuple;
   DsTemplate templ;
   Duration lease = 0;
+  // Shard-map version the client routed with; replicas whose replicated
+  // version is newer reject with kShardMapStale. 0 = standalone client.
+  uint64_t map_version = 0;
 
   std::vector<uint8_t> Encode() const;
   static Result<DsOp> Decode(const std::vector<uint8_t>& buf);

@@ -331,6 +331,7 @@ std::string DsExtensionManager::KindOf(const DsOp& op) {
       return "update";
     }
     case DsOpType::kRenew:
+    case DsOpType::kSetMapVersion:
       return "";
   }
   return "";

@@ -67,7 +67,11 @@ bool ExtensionRegistry::SubscriptionMatches(const Subscription& sub, bool is_eve
     return false;
   }
   if (sub.prefix) {
-    return PathIsUnder(path, sub.pattern);
+    if (sub.subtree) {
+      return PathIsUnder(path, sub.pattern);
+    }
+    return path.size() >= sub.pattern.size() &&
+           path.compare(0, sub.pattern.size(), sub.pattern) == 0;
   }
   return sub.pattern == path;
 }

@@ -70,6 +70,10 @@ void CoordFixture::Start() {
   if (options_.observability) {
     WireObservability();
   }
+  if (options_.num_shards > 1) {
+    StartSharded();
+    return;
+  }
   if (IsZkFamily(options_.system)) {
     std::vector<NodeId> members{1, 2, 3};
     for (NodeId id : members) {
@@ -109,7 +113,8 @@ void CoordFixture::Start() {
       // Full ensemble list so fixture clients fail over during chaos runs;
       // preferred index keeps the historical round-robin initial placement.
       ServerList ensemble{members, i % members.size()};
-      auto client = std::make_unique<ZkClient>(&loop_, net_.get(), node, ensemble,
+      auto client = std::make_unique<ZkClient>(&loop_, net_.get(), node,
+                                               ShardView::Standalone(std::move(ensemble)),
                                                options_.zk_client);
       if (options_.observability) {
         client->SetObs(&obs_);
@@ -160,7 +165,8 @@ void CoordFixture::Start() {
     server->Start();
   }
   for (size_t i = 0; i < options_.num_clients; ++i) {
-    auto client = std::make_unique<DsClient>(&loop_, net_.get(), client_node(i), members,
+    auto client = std::make_unique<DsClient>(&loop_, net_.get(), client_node(i),
+                                             ShardView::Standalone(ServerList{members}),
                                              options_.ds_client);
     if (options_.observability) {
       client->SetObs(&obs_);
@@ -171,8 +177,190 @@ void CoordFixture::Start() {
   loop_.RunUntil(loop_.now() + Millis(500));
 }
 
+void CoordFixture::BootShard(size_t s) {
+  NodeId base = static_cast<NodeId>(1 + 10 * s);
+  if (IsZkFamily(options_.system)) {
+    std::vector<NodeId> members{base, base + 1, base + 2};
+    size_t first = zk_servers.size();
+    for (NodeId id : members) {
+      auto server = std::make_unique<ZkServer>(&loop_, net_.get(), id, members,
+                                               options_.costs, options_.zk_server);
+      if (options_.observability) {
+        server->SetObs(&obs_);
+      }
+      net_->Register(id, server.get());
+      ZkServer* raw = server.get();
+      faults_->RegisterProcess(
+          id,
+          [this, raw, id]() {
+            raw->Crash();
+            net_->SetNodeUp(id, false);
+          },
+          [this, raw, id]() {
+            net_->SetNodeUp(id, true);
+            raw->Restart();
+          });
+      zk_servers.push_back(std::move(server));
+    }
+    for (size_t i = first; i < zk_servers.size(); ++i) {
+      if (IsExtensible(options_.system)) {
+        zk_managers_.push_back(
+            std::make_unique<ZkExtensionManager>(zk_servers[i].get(), options_.limits));
+      }
+      zk_servers[i]->Start();
+    }
+    shard_map_.AddShard(static_cast<uint32_t>(s), ServerList{members});
+    return;
+  }
+
+  std::vector<NodeId> members{base, base + 1, base + 2, base + 3};
+  size_t first = ds_servers.size();
+  for (NodeId id : members) {
+    auto server = std::make_unique<DsServer>(&loop_, net_.get(), id, members,
+                                             options_.costs, options_.ds_server);
+    if (options_.observability) {
+      server->SetObs(&obs_);
+    }
+    net_->Register(id, server.get());
+    DsServer* raw = server.get();
+    faults_->RegisterProcess(
+        id,
+        [this, raw, id]() {
+          raw->Crash();
+          net_->SetNodeUp(id, false);
+        },
+        [this, raw, id]() {
+          net_->SetNodeUp(id, true);
+          raw->Restart();
+        });
+    ds_servers.push_back(std::move(server));
+  }
+  for (size_t i = first; i < ds_servers.size(); ++i) {
+    if (IsExtensible(options_.system)) {
+      ds_managers_.push_back(
+          std::make_unique<DsExtensionManager>(ds_servers[i].get(), options_.limits));
+    }
+    ds_servers[i]->Start();
+  }
+  // Per-shard admin client for the ordered kSetMapVersion op; version 0 in
+  // its own view so it is never rejected as stale itself.
+  ds_admins_.push_back(std::make_unique<DsClient>(
+      &loop_, net_.get(), static_cast<NodeId>(70000 + s),
+      ShardView::Standalone(ServerList{members}), options_.ds_client));
+  shard_map_.AddShard(static_cast<uint32_t>(s), ServerList{members});
+}
+
+void CoordFixture::PushShardVersions() {
+  uint64_t version = shard_map_.version();
+  // ZK: admission-level configuration, set directly on every replica.
+  for (auto& server : zk_servers) {
+    server->SetShardInfo(ServerShardOf(server->id()), version);
+  }
+  // DepSpace: replicated state — an ordered admin op per shard so all
+  // replicas of a group flip at the same execution point.
+  for (auto& admin : ds_admins_) {
+    DsOp op;
+    op.type = DsOpType::kSetMapVersion;
+    op.map_version = version;
+    admin->Call(std::move(op), [](Result<DsReply>) {});
+  }
+  if (!ds_admins_.empty()) {
+    loop_.RunUntil(loop_.now() + Millis(500));
+  }
+}
+
+void CoordFixture::StartSharded() {
+  for (size_t s = 0; s < options_.num_shards; ++s) {
+    BootShard(s);
+  }
+  if (IsZkFamily(options_.system)) {
+    loop_.RunUntil(loop_.now() + Seconds(2));  // per-shard leader elections
+  }
+  PushShardVersions();
+
+  if (IsZkFamily(options_.system)) {
+    size_t connected = 0;
+    for (size_t i = 0; i < options_.num_clients; ++i) {
+      ZkShardRouterOptions ropts;
+      ropts.client = options_.zk_client;
+      auto router = std::make_unique<ZkShardRouter>(
+          &loop_, net_.get(), client_node(i), shard_map_,
+          [this]() { return shard_map_; }, ropts);
+      if (options_.observability) {
+        router->SetObs(&obs_);
+      }
+      router->Connect([&connected](Status s) {
+        if (s.ok()) {
+          ++connected;
+        }
+      });
+      coords_.push_back(std::make_unique<ZkCoordClient>(router.get(),
+                                                        IsExtensible(options_.system)));
+      zk_routers_.push_back(std::move(router));
+    }
+    loop_.RunUntil(loop_.now() + Seconds(2));
+    assert(connected == options_.num_clients && "zk routers failed to connect");
+    (void)connected;
+    return;
+  }
+
+  for (size_t i = 0; i < options_.num_clients; ++i) {
+    DsShardRouterOptions ropts;
+    ropts.client = options_.ds_client;
+    auto router = std::make_unique<DsShardRouter>(
+        &loop_, net_.get(), client_node(i), shard_map_,
+        [this]() { return shard_map_; }, ropts);
+    if (options_.observability) {
+      router->SetObs(&obs_);
+    }
+    coords_.push_back(std::make_unique<DsCoordClient>(&loop_, router.get()));
+    ds_routers_.push_back(std::move(router));
+  }
+  loop_.RunUntil(loop_.now() + Millis(500));
+}
+
+void CoordFixture::AddShard() {
+  assert(options_.num_shards > 1 && "AddShard requires a sharded fixture");
+  BootShard(shard_map_.size());
+  options_.num_shards = shard_map_.size();
+  PushShardVersions();
+}
+
+std::vector<ZkServer*> CoordFixture::ZkShardServers(uint32_t shard) const {
+  std::vector<ZkServer*> out;
+  for (const auto& server : zk_servers) {
+    if (ServerShardOf(server->id()) == shard) {
+      out.push_back(server.get());
+    }
+  }
+  return out;
+}
+
+std::vector<DsServer*> CoordFixture::DsShardServers(uint32_t shard) const {
+  std::vector<DsServer*> out;
+  for (const auto& server : ds_servers) {
+    if (ServerShardOf(server->id()) == shard) {
+      out.push_back(server.get());
+    }
+  }
+  return out;
+}
+
 int64_t CoordFixture::ClientBytesSent() const {
   int64_t total = 0;
+  if (options_.num_shards > 1) {
+    for (const auto& router : zk_routers_) {
+      for (NodeId id : router->sub_client_ids()) {
+        total += net_->StatsFor(id).bytes_sent;
+      }
+    }
+    for (const auto& router : ds_routers_) {
+      for (NodeId id : router->sub_client_ids()) {
+        total += net_->StatsFor(id).bytes_sent;
+      }
+    }
+    return total;
+  }
   for (size_t i = 0; i < coords_.size(); ++i) {
     total += net_->StatsFor(client_node(i)).bytes_sent;
   }
@@ -180,6 +368,17 @@ int64_t CoordFixture::ClientBytesSent() const {
 }
 
 bool CoordFixture::CheckEdsInvariants(std::string* why) const {
+  if (options_.num_shards > 1) {
+    // Each shard orders an independent history; digests are only comparable
+    // within one replica group.
+    for (const ShardEntry& entry : shard_map_.entries()) {
+      std::vector<DsServer*> group = DsShardServers(entry.shard_id);
+      if (!EdsDigestsMatch(group, why) || !EdsLogBounded(group, why)) {
+        return false;
+      }
+    }
+    return true;
+  }
   return EdsDigestsMatch(ds_servers, why) && EdsLogBounded(ds_servers, why);
 }
 

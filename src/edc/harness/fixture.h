@@ -11,12 +11,14 @@
 #include <vector>
 
 #include "edc/common/rng.h"
+#include "edc/common/shard_map.h"
 #include "edc/ds/client.h"
 #include "edc/ds/server.h"
 #include "edc/obs/obs.h"
 #include "edc/ext/ds_binding.h"
 #include "edc/ext/zk_binding.h"
 #include "edc/recipes/coord.h"
+#include "edc/route/shard_router.h"
 #include "edc/sim/costs.h"
 #include "edc/sim/event_loop.h"
 #include "edc/sim/faults.h"
@@ -59,6 +61,13 @@ struct FixtureOptions {
   // Keep finished spans in memory for ExportJson (Perfetto); off = only
   // per-op breakdowns survive.
   bool retain_spans = false;
+  // Sharded coordination plane (docs/sharding.md). 1 = the exact legacy
+  // single-ensemble topology: raw clients, no ShardMap, no map-version
+  // stamping — byte-identical to pre-shard fixtures. >1 boots that many
+  // independent ensembles (shard s: ZK replicas {1+10s..3+10s}, DepSpace
+  // {1+10s..4+10s}) behind a ShardMap, and every coord(i) drives a
+  // ZkShardRouter/DsShardRouter instead of a raw client.
+  size_t num_shards = 1;
 };
 
 class CoordFixture {
@@ -71,12 +80,44 @@ class CoordFixture {
 
   size_t num_clients() const { return coords_.size(); }
   CoordClient* coord(size_t i) { return coords_[i].get(); }
-  NodeId client_node(size_t i) const { return 100 + static_cast<NodeId>(i); }
+  // Sharded clients are routers owning one sub-client per shard, so their
+  // node ids are spaced a ZkShardRouterOptions::id_stride apart.
+  NodeId client_node(size_t i) const {
+    return options_.num_shards > 1 ? 1000 + static_cast<NodeId>(i) * 64
+                                   : 100 + static_cast<NodeId>(i);
+  }
 
   // Raw clients for observer attachment (history recording); index matches
-  // coord(i). Null for the other family.
+  // coord(i). Null for the other family — and null in sharded mode, where
+  // zk_router(i)/ds_router(i) expose the per-shard sub-clients instead.
   ZkClient* zk_client(size_t i) { return i < zk_clients_.size() ? zk_clients_[i].get() : nullptr; }
   DsClient* ds_client(size_t i) { return i < ds_clients_.size() ? ds_clients_[i].get() : nullptr; }
+
+  // Sharded topology (null/empty when num_shards == 1).
+  size_t num_shards() const { return options_.num_shards; }
+  const ShardMap& shard_map() const { return shard_map_; }
+  ZkShardRouter* zk_router(size_t i) {
+    return i < zk_routers_.size() ? zk_routers_[i].get() : nullptr;
+  }
+  DsShardRouter* ds_router(size_t i) {
+    return i < ds_routers_.size() ? ds_routers_[i].get() : nullptr;
+  }
+  // Which shard a SERVER node id belongs to (boot scheme above).
+  static uint32_t ServerShardOf(NodeId server_id) {
+    return static_cast<uint32_t>((server_id - 1) / 10);
+  }
+  // This shard's slice of the flat zk_servers/ds_servers vectors.
+  std::vector<ZkServer*> ZkShardServers(uint32_t shard) const;
+  std::vector<DsServer*> DsShardServers(uint32_t shard) const;
+
+  // Mid-run topology change: boots one more ensemble, adds it to the map
+  // (bumping the version) and pushes the new expected version to every
+  // replica — ZK admission config directly, DepSpace via the ordered
+  // kSetMapVersion admin op. Routers keep using their old map until a
+  // replica rejects them as stale; the refresh then re-routes onto the new
+  // shard. ZK callers should Settle ~2s afterwards for the new ensemble's
+  // election. Requires num_shards > 1 at construction.
+  void AddShard();
 
   EventLoop& loop() { return loop_; }
   Network& net() { return *net_; }
@@ -109,6 +150,12 @@ class CoordFixture {
 
  private:
   void WireObservability();
+  void StartSharded();
+  // Boots shard `s`'s ensemble (servers + extension managers + fault
+  // closures), starts it, and adds it to shard_map_ (bumps the version).
+  void BootShard(size_t s);
+  // Pushes shard_map_.version() to every replica as its expected version.
+  void PushShardVersions();
 
   FixtureOptions options_;
   EventLoop loop_;
@@ -120,6 +167,11 @@ class CoordFixture {
   std::vector<std::unique_ptr<ZkClient>> zk_clients_;
   std::vector<std::unique_ptr<DsClient>> ds_clients_;
   std::vector<std::unique_ptr<CoordClient>> coords_;
+  // Sharded mode only.
+  ShardMap shard_map_;  // authoritative copy; routers pull it via their source
+  std::vector<std::unique_ptr<ZkShardRouter>> zk_routers_;
+  std::vector<std::unique_ptr<DsShardRouter>> ds_routers_;
+  std::vector<std::unique_ptr<DsClient>> ds_admins_;  // per-shard kSetMapVersion senders
 };
 
 // Chaos/fault tests read better against this name: a fixture-as-cluster with

@@ -49,8 +49,26 @@ void InvariantMonitor::Sample() {
   timer_ = loop_->Schedule(interval_, [this]() { Sample(); });
 }
 
+namespace {
+
+template <typename T>
+std::vector<T*> RawPtrs(const std::vector<std::unique_ptr<T>>& owned) {
+  std::vector<T*> out;
+  out.reserve(owned.size());
+  for (const auto& p : owned) {
+    out.push_back(p.get());
+  }
+  return out;
+}
+
+}  // namespace
+
 bool PrefixConsistentLogs(const std::vector<std::unique_ptr<ZkServer>>& servers,
                           std::string* why) {
+  return PrefixConsistentLogs(RawPtrs(servers), why);
+}
+
+bool PrefixConsistentLogs(const std::vector<ZkServer*>& servers, std::string* why) {
   for (size_t a = 0; a < servers.size(); ++a) {
     for (size_t b = a + 1; b < servers.size(); ++b) {
       const auto& log_a = servers[a]->applied_log();
@@ -84,6 +102,10 @@ bool PrefixConsistentLogs(const std::vector<std::unique_ptr<ZkServer>>& servers,
 
 bool EdsDigestsMatch(const std::vector<std::unique_ptr<DsServer>>& servers,
                      std::string* why) {
+  return EdsDigestsMatch(RawPtrs(servers), why);
+}
+
+bool EdsDigestsMatch(const std::vector<DsServer*>& servers, std::string* why) {
   bool have_reference = false;
   uint64_t reference = 0;
   NodeId reference_node = 0;
@@ -111,6 +133,10 @@ bool EdsDigestsMatch(const std::vector<std::unique_ptr<DsServer>>& servers,
 
 bool EdsLogBounded(const std::vector<std::unique_ptr<DsServer>>& servers,
                    std::string* why) {
+  return EdsLogBounded(RawPtrs(servers), why);
+}
+
+bool EdsLogBounded(const std::vector<DsServer*>& servers, std::string* why) {
   for (const auto& server : servers) {
     if (!server->running()) {
       continue;

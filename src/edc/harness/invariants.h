@@ -57,17 +57,23 @@ class InvariantMonitor {
 
 // One-shot: true when every pair of replicas agrees on the transactions at
 // every zxid both applied. `why` (optional) receives the first divergence.
+// The raw-pointer overloads exist for sharded fixtures, which group a flat
+// server vector per shard before checking — cross-shard comparisons are
+// meaningless (each shard orders an independent history, docs/sharding.md).
+bool PrefixConsistentLogs(const std::vector<ZkServer*>& servers, std::string* why = nullptr);
 bool PrefixConsistentLogs(const std::vector<std::unique_ptr<ZkServer>>& servers,
                           std::string* why = nullptr);
 
 // One-shot: true when all running DepSpace replicas hold identical tuple
 // spaces (same Digest()).
+bool EdsDigestsMatch(const std::vector<DsServer*>& servers, std::string* why = nullptr);
 bool EdsDigestsMatch(const std::vector<std::unique_ptr<DsServer>>& servers,
                      std::string* why = nullptr);
 
 // One-shot: true when every running DepSpace replica's BFT log is bounded by
 // its watermark window — both the stored entry count and the distance from
 // the last stable checkpoint to the execution point.
+bool EdsLogBounded(const std::vector<DsServer*>& servers, std::string* why = nullptr);
 bool EdsLogBounded(const std::vector<std::unique_ptr<DsServer>>& servers,
                    std::string* why = nullptr);
 

@@ -6,7 +6,7 @@ namespace edc {
 
 // ---------------------------------------------------------------------- ZK
 
-ZkCoordClient::ZkCoordClient(ZkClient* client, bool ext_mode)
+ZkCoordClient::ZkCoordClient(ZkApi* client, bool ext_mode)
     : client_(client), ext_mode_(ext_mode) {
   client_->SetWatchHandler(
       [this](const ZkWatchEventMsg& event) { DispatchWatchEvent(event); });
@@ -49,7 +49,7 @@ void ZkCoordClient::Delete(const std::string& path, Cb done) {
 
 void ZkCoordClient::Read(const std::string& path, ValueCb done) {
   client_->GetData(path, false, [this, path, done = std::move(done)](
-                                    Result<ZkClient::NodeResult> r) {
+                                    Result<ZkApi::NodeResult> r) {
     if (!r.ok()) {
       done(r.status());
       return;
@@ -89,7 +89,7 @@ void ZkCoordClient::SubObjects(const std::string& path, ListCb done) {
       std::string child = path == "/" ? "/" + (*r)[i] : path + "/" + (*r)[i];
       client_->GetData(child, false,
                        [child, i, objects, remaining, done](
-                           Result<ZkClient::NodeResult> node) {
+                           Result<ZkApi::NodeResult> node) {
                          if (node.ok()) {
                            (*objects)[i] =
                                CoordObject{child, node->data, node->stat.ctime};
@@ -130,7 +130,7 @@ void ZkCoordClient::Block(const std::string& path, ValueCb done) {
   }
   // Traditional: exists-with-watch, then wait for the creation notification.
   client_->Exists(path, true, [this, path, done = std::move(done)](
-                                  Result<ZkClient::ExistsResult> r) mutable {
+                                  Result<ZkApi::ExistsResult> r) mutable {
     if (!r.ok()) {
       done(r.status());
       return;
@@ -150,7 +150,7 @@ void ZkCoordClient::Monitor(const std::string& path, Cb done) {
 
 void ZkCoordClient::OnDeleted(const std::string& path, std::function<void()> fired) {
   client_->Exists(path, true, [this, path, fired = std::move(fired)](
-                                  Result<ZkClient::ExistsResult> r) mutable {
+                                  Result<ZkApi::ExistsResult> r) mutable {
     if (!r.ok() || !r->exists) {
       fired();  // already gone
       return;
@@ -170,7 +170,7 @@ void ZkCoordClient::AcknowledgeExtension(const std::string& name, Cb done) {
 
 // ---------------------------------------------------------------------- DS
 
-DsCoordClient::DsCoordClient(EventLoop* loop, DsClient* client)
+DsCoordClient::DsCoordClient(EventLoop* loop, DsApi* client)
     : loop_(loop), client_(client) {}
 
 namespace {

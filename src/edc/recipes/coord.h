@@ -19,9 +19,10 @@
 #include <string>
 #include <vector>
 
-#include "edc/ds/client.h"
+#include "edc/ds/api.h"
+#include "edc/sim/event_loop.h"
 #include "edc/sim/time.h"
-#include "edc/zk/client.h"
+#include "edc/zk/api.h"
 
 namespace edc {
 
@@ -79,8 +80,10 @@ class CoordClient {
 class ZkCoordClient : public CoordClient {
  public:
   // `ext_mode` tells Block() that a server-side extension will hold the
-  // request (single RPC) instead of the exists-watch protocol.
-  ZkCoordClient(ZkClient* client, bool ext_mode);
+  // request (single RPC) instead of the exists-watch protocol. The client
+  // may be a plain ZkClient or a ZkShardRouter (edc/route) — recipes are
+  // topology-blind.
+  ZkCoordClient(ZkApi* client, bool ext_mode);
 
   void Create(const std::string& path, const std::string& data, ValueCb done) override;
   void Delete(const std::string& path, Cb done) override;
@@ -97,12 +100,12 @@ class ZkCoordClient : public CoordClient {
   std::string tag() const override;
   NodeId node() const override { return client_->id(); }
 
-  ZkClient* raw() { return client_; }
+  ZkApi* raw() { return client_; }
 
  private:
   void DispatchWatchEvent(const ZkWatchEventMsg& event);
 
-  ZkClient* client_;
+  ZkApi* client_;
   bool ext_mode_;
   std::map<std::string, int32_t> last_read_version_;
   std::map<std::string, std::vector<ValueCb>> block_waiters_;
@@ -113,7 +116,7 @@ class ZkCoordClient : public CoordClient {
 
 class DsCoordClient : public CoordClient {
  public:
-  DsCoordClient(EventLoop* loop, DsClient* client);
+  DsCoordClient(EventLoop* loop, DsApi* client);
 
   void Create(const std::string& path, const std::string& data, ValueCb done) override;
   void Delete(const std::string& path, Cb done) override;
@@ -131,14 +134,14 @@ class DsCoordClient : public CoordClient {
   std::string tag() const override { return std::to_string(client_->id()); }
   NodeId node() const override { return client_->id(); }
 
-  DsClient* raw() { return client_; }
+  DsApi* raw() { return client_; }
 
   // DepSpace has no deletion notifications; OnDeleted polls at this period.
   static constexpr Duration kDeletionPollInterval = Millis(50);
 
  private:
   EventLoop* loop_;
-  DsClient* client_;
+  DsApi* client_;
 };
 
 }  // namespace edc

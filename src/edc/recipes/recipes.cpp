@@ -24,16 +24,65 @@ void CreateIgnoringExists(CoordClient* client, const std::string& path,
 
 }  // namespace
 
+std::string PrefixedExtensionName(const std::string& prefix, const std::string& base) {
+  if (prefix.empty()) {
+    return base;
+  }
+  std::string tag;
+  for (char c : prefix) {
+    tag.push_back(c == '/' ? '_' : c);
+  }
+  // "/g0" -> "_g0" -> "g0_ctr_increment".
+  if (!tag.empty() && tag[0] == '_') {
+    tag.erase(0, 1);
+  }
+  return tag + "_" + base;
+}
+
+std::string NamespacedScript(const std::string& script, const std::string& old_name,
+                             const std::string& new_name, const std::string& prefix) {
+  std::string out = script;
+  size_t pos = out.find(old_name);
+  if (pos != std::string::npos) {
+    out.replace(pos, old_name.size(), new_name);
+  }
+  if (prefix.empty()) {
+    return out;
+  }
+  std::string rewritten;
+  rewritten.reserve(out.size() + 16 * prefix.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    rewritten.push_back(out[i]);
+    if (out[i] == '"' && i + 1 < out.size() && out[i + 1] == '/') {
+      rewritten += prefix;
+    }
+  }
+  return rewritten;
+}
+
 // ------------------------------------------------------------ SharedCounter
 
 void SharedCounter::Setup(CoordClient::Cb done) {
-  CreateIgnoringExists(client_, "/ctr", "0", [this, done = std::move(done)](Status s) {
-    if (!s.ok() || !use_extension_) {
-      done(s);
+  auto rest = [this, done](Status s0) {
+    if (!s0.ok()) {
+      done(s0);
       return;
     }
-    client_->RegisterExtension("ctr_increment", kCounterExtension, std::move(done));
-  });
+    CreateIgnoringExists(client_, prefix_ + "/ctr", "0", [this, done](Status s) {
+      if (!s.ok() || !use_extension_) {
+        done(s);
+        return;
+      }
+      client_->RegisterExtension(
+          ext_name_, NamespacedScript(kCounterExtension, "ctr_increment", ext_name_, prefix_),
+          done);
+    });
+  };
+  if (prefix_.empty()) {
+    rest(Status::Ok());
+    return;
+  }
+  CreateIgnoringExists(client_, prefix_, "", rest);
 }
 
 void SharedCounter::Attach(CoordClient::Cb done) {
@@ -41,13 +90,13 @@ void SharedCounter::Attach(CoordClient::Cb done) {
     done(Status::Ok());
     return;
   }
-  client_->AcknowledgeExtension("ctr_increment", std::move(done));
+  client_->AcknowledgeExtension(ext_name_, std::move(done));
 }
 
 void SharedCounter::Increment(IntCb done) {
   if (use_extension_) {
     // Fig. 5 bottom: a single remote call to the trigger object.
-    client_->Read("/ctr-increment", [done = std::move(done)](Result<std::string> r) {
+    client_->Read(prefix_ + "/ctr-increment", [done = std::move(done)](Result<std::string> r) {
       if (!r.ok()) {
         done(r.status());
         return;
@@ -66,7 +115,7 @@ void SharedCounter::Increment(IntCb done) {
 
 void SharedCounter::TryIncrement(std::shared_ptr<IntCb> done) {
   // Fig. 5 top: read, then conditional write; retry on contention.
-  client_->Read("/ctr", [this, done](Result<std::string> r) {
+  client_->Read(prefix_ + "/ctr", [this, done](Result<std::string> r) {
     if (!r.ok()) {
       (*done)(r.status());
       return;
@@ -77,7 +126,7 @@ void SharedCounter::TryIncrement(std::shared_ptr<IntCb> done) {
       return;
     }
     int64_t next = *current + 1;
-    client_->Cas("/ctr", *r, std::to_string(next), [this, done, next](Status s) {
+    client_->Cas(prefix_ + "/ctr", *r, std::to_string(next), [this, done, next](Status s) {
       if (s.ok()) {
         (*done)(next);
         return;
@@ -95,13 +144,26 @@ void SharedCounter::TryIncrement(std::shared_ptr<IntCb> done) {
 // --------------------------------------------------------- DistributedQueue
 
 void DistributedQueue::Setup(CoordClient::Cb done) {
-  CreateIgnoringExists(client_, "/queue", "", [this, done = std::move(done)](Status s) {
-    if (!s.ok() || !use_extension_) {
-      done(s);
+  auto rest = [this, done](Status s0) {
+    if (!s0.ok()) {
+      done(s0);
       return;
     }
-    client_->RegisterExtension("queue_remove", kQueueExtension, std::move(done));
-  });
+    CreateIgnoringExists(client_, prefix_ + "/queue", "", [this, done](Status s) {
+      if (!s.ok() || !use_extension_) {
+        done(s);
+        return;
+      }
+      client_->RegisterExtension(
+          ext_name_, NamespacedScript(kQueueExtension, "queue_remove", ext_name_, prefix_),
+          done);
+    });
+  };
+  if (prefix_.empty()) {
+    rest(Status::Ok());
+    return;
+  }
+  CreateIgnoringExists(client_, prefix_, "", rest);
 }
 
 void DistributedQueue::Attach(CoordClient::Cb done) {
@@ -109,19 +171,19 @@ void DistributedQueue::Attach(CoordClient::Cb done) {
     done(Status::Ok());
     return;
   }
-  client_->AcknowledgeExtension("queue_remove", std::move(done));
+  client_->AcknowledgeExtension(ext_name_, std::move(done));
 }
 
 void DistributedQueue::Add(const std::string& element_id, const std::string& data,
                            CoordClient::Cb done) {
   // Identical in both variants (Fig. 7, T1-T4 / C1-C3).
-  client_->Create("/queue/" + element_id, data,
+  client_->Create(prefix_ + "/queue/" + element_id, data,
                   [done = std::move(done)](Result<std::string> r) { done(r.status()); });
 }
 
 void DistributedQueue::Remove(ValueCb done) {
   if (use_extension_) {
-    client_->Read("/queue/head", std::move(done));
+    client_->Read(prefix_ + "/queue/head", std::move(done));
     return;
   }
   TryRemove(std::make_shared<ValueCb>(std::move(done)), 0);
@@ -134,7 +196,7 @@ void DistributedQueue::TryRemove(std::shared_ptr<ValueCb> done, int attempts) {
   }
   // Fig. 7 left: learn all elements, order by creation time, try to delete
   // head-first; on losing every race, start over.
-  client_->SubObjects("/queue", [this, done, attempts](
+  client_->SubObjects(prefix_ + "/queue", [this, done, attempts](
                                     Result<std::vector<CoordObject>> r) {
     if (!r.ok()) {
       (*done)(r.status());

@@ -15,13 +15,29 @@
 
 namespace edc {
 
+// Namespace support for sharded deployments (docs/sharding.md): a recipe
+// constructed with prefix "/g0" keeps all of its objects — including the
+// extension trigger — inside the "/g0" subtree, so the whole recipe stays on
+// one shard. The extension name is prefixed too ("g0_ctr_increment") because
+// every namespace registers its own rewritten copy of the script.
+std::string PrefixedExtensionName(const std::string& prefix, const std::string& base);
+// Rewrites a CoordScript source for a namespace: renames the extension
+// declaration and prepends `prefix` to every path literal (`"/...` ->
+// `"<prefix>/...`). Only valid for scripts without hardcoded path lengths
+// (counter, queue — not barrier/election, see scripts.h).
+std::string NamespacedScript(const std::string& script, const std::string& old_name,
+                             const std::string& new_name, const std::string& prefix);
+
 // Fig. 5: shared counter.
 class SharedCounter {
  public:
   using IntCb = std::function<void(Result<int64_t>)>;
 
-  SharedCounter(CoordClient* client, bool use_extension)
-      : client_(client), use_extension_(use_extension) {}
+  SharedCounter(CoordClient* client, bool use_extension, std::string prefix = "")
+      : client_(client),
+        use_extension_(use_extension),
+        prefix_(std::move(prefix)),
+        ext_name_(PrefixedExtensionName(prefix_, "ctr_increment")) {}
 
   // Owner: creates /ctr (and registers the extension).
   void Setup(CoordClient::Cb done);
@@ -36,6 +52,8 @@ class SharedCounter {
 
   CoordClient* client_;
   bool use_extension_;
+  std::string prefix_;
+  std::string ext_name_;
   int64_t retries_ = 0;
 };
 
@@ -44,8 +62,11 @@ class DistributedQueue {
  public:
   using ValueCb = CoordClient::ValueCb;
 
-  DistributedQueue(CoordClient* client, bool use_extension)
-      : client_(client), use_extension_(use_extension) {}
+  DistributedQueue(CoordClient* client, bool use_extension, std::string prefix = "")
+      : client_(client),
+        use_extension_(use_extension),
+        prefix_(std::move(prefix)),
+        ext_name_(PrefixedExtensionName(prefix_, "queue_remove")) {}
 
   void Setup(CoordClient::Cb done);
   void Attach(CoordClient::Cb done);
@@ -59,6 +80,8 @@ class DistributedQueue {
 
   CoordClient* client_;
   bool use_extension_;
+  std::string prefix_;
+  std::string ext_name_;
   int64_t retries_ = 0;
 };
 

@@ -134,6 +134,106 @@ extension scfs_rename {
 }
 )";
 
+// Cross-shard atomic multi (docs/sharding.md): each shard runs this handler
+// as the participant of a two-phase commit driven by the ZkTwoPhase
+// coordinator (two_phase.h). The trigger paths are prefix subscriptions
+// because the coordinator salts them per shard ("/2pc-prepare<salt>") to pin
+// each leg onto its participant shard's consistent-hash arc.
+//
+// prepare spec: "txid|op;op;..." with op = "kind:path[:data]", kind one of
+//   c (create/upsert), u (update/upsert), d (delete-if-present).
+// Paths and data must not contain ':' ';' or '|'. Lock check runs before any
+// mutation, so a conflicting prepare leaves no state behind; locks record the
+// owning txid, making prepare/commit/abort idempotent under coordinator
+// retries. commit/abort spec: the bare txid.
+inline constexpr char kTwoPhaseExtension[] = R"(
+extension two_phase {
+  on op update "/2pc-prepare*";
+  on op update "/2pc-commit*";
+  on op update "/2pc-abort*";
+  fn update(oid, spec) {
+    if (!exists("/2pc-locks")) { create("/2pc-locks", ""); }
+    if (!exists("/2pc-stage")) { create("/2pc-stage", ""); }
+    if (starts_with(oid, "/2pc-prepare")) {
+      let sep = index_of(spec, "|");
+      if (sep < 1) { return error("prepare spec must be txid|ops"); }
+      let txid = substr(spec, 0, sep);
+      let body = substr(spec, sep + 1, len(spec) - sep - 1);
+      if (exists("/2pc-stage/" + txid)) { return "prepared"; }
+      foreach (item in split(body, ";")) {
+        let fields = split(item, ":");
+        if (len(fields) < 2) { return error("bad op " + item); }
+        let flat = "";
+        foreach (seg in split(get(fields, 1), "/")) {
+          if (len(seg) > 0) { flat = flat + "_" + seg; }
+        }
+        let lock = read_object("/2pc-locks/" + flat);
+        if (lock != null && get(lock, "data") != txid) {
+          return error("locked " + get(fields, 1));
+        }
+      }
+      foreach (item in split(body, ";")) {
+        let fields = split(item, ":");
+        let flat = "";
+        foreach (seg in split(get(fields, 1), "/")) {
+          if (len(seg) > 0) { flat = flat + "_" + seg; }
+        }
+        if (!exists("/2pc-locks/" + flat)) {
+          create("/2pc-locks/" + flat, txid);
+        }
+      }
+      create("/2pc-stage/" + txid, body);
+      return "prepared";
+    }
+    if (starts_with(oid, "/2pc-commit")) {
+      let stage = read_object("/2pc-stage/" + spec);
+      if (stage == null) { return "committed"; }
+      foreach (item in split(get(stage, "data"), ";")) {
+        let fields = split(item, ":");
+        let kind = get(fields, 0);
+        let path = get(fields, 1);
+        let data = "";
+        if (len(fields) > 2) { data = get(fields, 2); }
+        if (kind == "c" || kind == "u") {
+          if (exists(path)) { update(path, data); } else { create(path, data); }
+        }
+        if (kind == "d") {
+          if (exists(path)) { delete_object(path); }
+        }
+        let flat = "";
+        foreach (seg in split(path, "/")) {
+          if (len(seg) > 0) { flat = flat + "_" + seg; }
+        }
+        let lock = read_object("/2pc-locks/" + flat);
+        if (lock != null && get(lock, "data") == spec) {
+          delete_object("/2pc-locks/" + flat);
+        }
+      }
+      delete_object("/2pc-stage/" + spec);
+      return "committed";
+    }
+    if (starts_with(oid, "/2pc-abort")) {
+      let stage = read_object("/2pc-stage/" + spec);
+      if (stage == null) { return "aborted"; }
+      foreach (item in split(get(stage, "data"), ";")) {
+        let fields = split(item, ":");
+        let flat = "";
+        foreach (seg in split(get(fields, 1), "/")) {
+          if (len(seg) > 0) { flat = flat + "_" + seg; }
+        }
+        let lock = read_object("/2pc-locks/" + flat);
+        if (lock != null && get(lock, "data") == spec) {
+          delete_object("/2pc-locks/" + flat);
+        }
+      }
+      delete_object("/2pc-stage/" + spec);
+      return "aborted";
+    }
+    return error("unknown 2pc trigger");
+  }
+}
+)";
+
 }  // namespace edc
 
 #endif  // EDC_RECIPES_SCRIPTS_H_

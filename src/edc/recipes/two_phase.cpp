@@ -1,0 +1,144 @@
+#include "edc/recipes/two_phase.h"
+
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "edc/recipes/scripts.h"
+
+namespace edc {
+
+namespace {
+
+constexpr char kExtName[] = "two_phase";
+
+bool WireSafe(const std::string& s) {
+  for (char c : s) {
+    if (c == ':' || c == ';' || c == '|') {
+      return false;
+    }
+  }
+  return true;
+}
+
+char KindChar(TwoPhaseOp::Kind kind) {
+  switch (kind) {
+    case TwoPhaseOp::Kind::kCreate:
+      return 'c';
+    case TwoPhaseOp::Kind::kUpdate:
+      return 'u';
+    case TwoPhaseOp::Kind::kDelete:
+      return 'd';
+  }
+  return 'c';
+}
+
+// One in-flight transaction: the per-shard legs with their trigger paths
+// (pinned once, from the map snapshot at Multi() time) and encoded bodies.
+struct Tx {
+  struct Leg {
+    std::string prepare_path;
+    std::string commit_path;
+    std::string abort_path;
+    std::string body;
+  };
+  std::string txid;
+  std::vector<Leg> legs;
+  size_t remaining = 0;
+  Status first_error;
+  StatusCb done;
+};
+
+}  // namespace
+
+void ZkTwoPhase::Setup(StatusCb done) {
+  router_->RegisterExtension(kExtName, kTwoPhaseExtension, std::move(done));
+}
+
+void ZkTwoPhase::Attach(StatusCb done) {
+  router_->AcknowledgeExtension(kExtName, std::move(done));
+}
+
+void ZkTwoPhase::Multi(std::vector<TwoPhaseOp> ops, StatusCb done) {
+  if (ops.empty()) {
+    if (done) {
+      done(Status(ErrorCode::kInvalidArgument, "empty transaction"));
+    }
+    return;
+  }
+  for (const TwoPhaseOp& op : ops) {
+    if (!WireSafe(op.path) || !WireSafe(op.data)) {
+      if (done) {
+        done(Status(ErrorCode::kInvalidArgument,
+                    "2pc paths/data must not contain ':', ';' or '|'"));
+      }
+      return;
+    }
+  }
+
+  // Group ops by the shard their path routes to under the current map.
+  const ShardMap& map = router_->map();
+  std::map<size_t, std::string> bodies;
+  for (const TwoPhaseOp& op : ops) {
+    size_t shard = map.IndexFor(CoordKey::ForPath(op.path));
+    std::string& body = bodies[shard];
+    if (!body.empty()) {
+      body.push_back(';');
+    }
+    body.push_back(KindChar(op.kind));
+    body.push_back(':');
+    body += op.path;
+    if (op.kind != TwoPhaseOp::Kind::kDelete) {
+      body.push_back(':');
+      body += op.data;
+    }
+  }
+
+  auto tx = std::make_shared<Tx>();
+  tx->txid = "t" + std::to_string(router_->id()) + "-" + std::to_string(++tx_counter_);
+  tx->done = std::move(done);
+  for (auto& [shard, body] : bodies) {
+    Tx::Leg leg;
+    // Each trigger is salted so its subtree hashes onto the participant
+    // shard's arc; the three salts are found independently (a prepare salt
+    // does not route the commit path).
+    leg.prepare_path = map.SubtreeForShard("/2pc-prepare", shard);
+    leg.commit_path = map.SubtreeForShard("/2pc-commit", shard);
+    leg.abort_path = map.SubtreeForShard("/2pc-abort", shard);
+    leg.body = std::move(body);
+    tx->legs.push_back(std::move(leg));
+  }
+
+  // Phase 1: prepare every leg.
+  tx->remaining = tx->legs.size();
+  ZkShardRouter* router = router_;
+  for (Tx::Leg& leg : tx->legs) {
+    router_->SetData(leg.prepare_path, tx->txid + "|" + leg.body, -1,
+                     [tx, router](Status s) {
+                       if (!s.ok() && tx->first_error.ok()) {
+                         tx->first_error = s;
+                       }
+                       if (--tx->remaining != 0) {
+                         return;
+                       }
+                       // Phase 2: commit everywhere, or abort everywhere if
+                       // any prepare failed (abort on a shard that never
+                       // staged is a no-op, so blanket abort is safe).
+                       bool commit = tx->first_error.ok();
+                       tx->remaining = tx->legs.size();
+                       for (Tx::Leg& l : tx->legs) {
+                         const std::string& path = commit ? l.commit_path : l.abort_path;
+                         router->SetData(path, tx->txid, -1, [tx, commit](Status s2) {
+                           if (commit && !s2.ok() && tx->first_error.ok()) {
+                             tx->first_error = s2;
+                           }
+                           if (--tx->remaining == 0 && tx->done) {
+                             tx->done(tx->first_error);
+                           }
+                         });
+                       }
+                     });
+  }
+}
+
+}  // namespace edc

@@ -1,0 +1,70 @@
+// Cross-shard atomic multi for the sharded coordination plane
+// (docs/sharding.md): ZkShardRouter::Multi rejects transactions that span
+// shards, because no single ensemble orders them. ZkTwoPhase supplies the
+// missing atomicity as a recipe on the extension mechanism — each shard runs
+// the kTwoPhaseExtension participant (scripts.h) which locks and stages the
+// shard's slice of the transaction; the coordinator drives prepare on every
+// participant shard, then commit everywhere (or abort everywhere if any
+// prepare lost a lock race).
+//
+// Semantics: all-or-nothing across shards. Ops are upserts ("c"/"u" create
+// or overwrite, "d" deletes if present) — precondition checks (version
+// pins, must-not-exist) are the caller's job before calling Multi. If the
+// coordinator dies between prepare and commit, locks and staged ops remain
+// until a new coordinator retries the same txid (prepare/commit/abort are
+// idempotent); the chaos tests exercise retries, not coordinator recovery.
+
+#ifndef EDC_RECIPES_TWO_PHASE_H_
+#define EDC_RECIPES_TWO_PHASE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "edc/route/shard_router.h"
+
+namespace edc {
+
+struct TwoPhaseOp {
+  enum class Kind { kCreate, kUpdate, kDelete };
+  Kind kind = Kind::kCreate;
+  std::string path;
+  std::string data;  // ignored for kDelete
+
+  static TwoPhaseOp Create(std::string path, std::string data) {
+    return TwoPhaseOp{Kind::kCreate, std::move(path), std::move(data)};
+  }
+  static TwoPhaseOp Update(std::string path, std::string data) {
+    return TwoPhaseOp{Kind::kUpdate, std::move(path), std::move(data)};
+  }
+  static TwoPhaseOp Delete(std::string path) {
+    return TwoPhaseOp{Kind::kDelete, std::move(path), ""};
+  }
+};
+
+class ZkTwoPhase {
+ public:
+  explicit ZkTwoPhase(ZkShardRouter* router) : router_(router) {}
+
+  // Registers the participant extension on every shard (the registering
+  // client owns it there). Call once per deployment.
+  void Setup(StatusCb done);
+  // Acknowledges the extension on every shard so this client may trigger it.
+  void Attach(StatusCb done);
+
+  // Atomically applies `ops` across however many shards they span (a
+  // single-shard transaction is one prepare+commit round on that shard).
+  // Paths and data must not contain ':', ';' or '|' (the participant's wire
+  // format).
+  void Multi(std::vector<TwoPhaseOp> ops, StatusCb done);
+
+  int64_t transactions() const { return tx_counter_; }
+
+ private:
+  ZkShardRouter* router_;
+  int64_t tx_counter_ = 0;
+};
+
+}  // namespace edc
+
+#endif  // EDC_RECIPES_TWO_PHASE_H_

@@ -1,0 +1,695 @@
+#include "edc/route/shard_router.h"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+namespace edc {
+
+// ------------------------------------------------------------- ZkShardRouter
+
+ZkShardRouter::ZkShardRouter(EventLoop* loop, Network* net, NodeId base_id, ShardMap map,
+                             ShardMapSource source, ZkShardRouterOptions options)
+    : loop_(loop),
+      net_(net),
+      base_id_(base_id),
+      map_(std::move(map)),
+      source_(std::move(source)),
+      options_(std::move(options)) {
+  assert(!map_.empty() && "router needs at least one shard");
+}
+
+ZkShardRouter::~ZkShardRouter() = default;
+
+ZkShardRouter::Sub& ZkShardRouter::EnsureSub(size_t entry_idx) {
+  const ShardEntry& e = map_.entry(entry_idx);
+  auto it = subs_.find(e.shard_id);
+  if (it != subs_.end()) {
+    return it->second;
+  }
+  ShardView view{e.shard_id, map_.version(), e.ensemble};
+  // Spread the initial replica placement of a shard's many routers across the
+  // ensemble instead of dog-piling replica 0.
+  if (!view.ensemble.empty()) {
+    view.ensemble.preferred =
+        (base_id_ / options_.id_stride + e.shard_id) % view.ensemble.size();
+  }
+  Sub& sub = subs_[e.shard_id];
+  sub.client = std::make_unique<ZkClient>(loop_, net_, base_id_ + e.shard_id,
+                                          std::move(view), options_.client);
+  if (obs_ != nullptr) {
+    sub.client->SetObs(obs_);
+  }
+  if (watch_handler_) {
+    sub.client->SetWatchHandler(watch_handler_);
+  }
+  if (session_cb_) {
+    sub.client->SetSessionEventHandler(session_cb_);
+  }
+  if (sub_hook_) {
+    sub_hook_(e.shard_id, sub.client.get());
+  }
+  uint32_t shard_id = e.shard_id;
+  sub.connecting = true;
+  sub.client->Connect([this, shard_id](Status) {
+    Sub& s = subs_[shard_id];
+    s.connecting = false;
+    // Flush even on a (rare, attempts-bounded) connect failure: the queued
+    // ops then fail through the sub-client with an honest error instead of
+    // hanging forever.
+    s.connected = s.client->connected();
+    std::vector<std::function<void(ZkClient*)>> waiting;
+    waiting.swap(s.waiting);
+    for (auto& fn : waiting) {
+      fn(s.client.get());
+    }
+  });
+  return sub;
+}
+
+void ZkShardRouter::WhenReady(size_t entry_idx, std::function<void(ZkClient*)> fn) {
+  Sub& sub = EnsureSub(entry_idx);
+  if (sub.connected || sub.client->connected()) {
+    fn(sub.client.get());
+    return;
+  }
+  sub.waiting.push_back(std::move(fn));
+}
+
+bool ZkShardRouter::RefreshMap() {
+  if (!source_) {
+    return false;
+  }
+  ShardMap fresh = source_();
+  if (fresh.version() <= map_.version()) {
+    return false;
+  }
+  map_ = std::move(fresh);
+  ++stale_refreshes_;
+  for (auto& [shard_id, sub] : subs_) {
+    sub.client->set_map_version(map_.version());
+  }
+  return true;
+}
+
+void ZkShardRouter::Connect(VoidCb done) {
+  WhenReady(0, [done](ZkClient* c) {
+    if (done) {
+      done(c->connected() ? Status() : Status(ErrorCode::kConnectionLoss, "connect failed"));
+    }
+  });
+}
+
+void ZkShardRouter::Close(VoidCb done) {
+  auto remaining = std::make_shared<size_t>(subs_.size());
+  if (*remaining == 0) {
+    if (done) {
+      done(Status());
+    }
+    return;
+  }
+  for (auto& [shard_id, sub] : subs_) {
+    sub.client->Close([remaining, done](Status) {
+      if (--*remaining == 0 && done) {
+        done(Status());
+      }
+    });
+  }
+}
+
+void ZkShardRouter::IssueV(const CoordKey& key,
+                           std::function<void(ZkClient*, VoidCb)> issue, VoidCb done,
+                           int attempt) {
+  uint64_t issued = map_.version();
+  WhenReady(map_.IndexFor(key), [this, key, issue, done, attempt, issued](ZkClient* c) {
+    issue(c, [this, key, issue, done, attempt, issued](Status s) {
+      if (Stale(s) && attempt < options_.stale_retry_limit &&
+          (RefreshMap() || map_.version() > issued)) {
+        IssueV(key, issue, done, attempt + 1);
+        return;
+      }
+      if (done) {
+        done(s);
+      }
+    });
+  });
+}
+
+void ZkShardRouter::Create(const std::string& path, const std::string& data,
+                           bool ephemeral, bool sequential, StringCb done) {
+  Issue<std::string>(
+      CoordKey::ForPath(path),
+      [path, data, ephemeral, sequential](ZkClient* c, StringCb cb) {
+        c->Create(path, data, ephemeral, sequential, std::move(cb));
+      },
+      std::move(done));
+}
+
+void ZkShardRouter::Delete(const std::string& path, int32_t version, VoidCb done) {
+  IssueV(
+      CoordKey::ForPath(path),
+      [path, version](ZkClient* c, VoidCb cb) { c->Delete(path, version, std::move(cb)); },
+      std::move(done));
+}
+
+void ZkShardRouter::Exists(const std::string& path, bool watch, ExistsCb done) {
+  Issue<ExistsResult>(
+      CoordKey::ForPath(path),
+      [path, watch](ZkClient* c, ExistsCb cb) { c->Exists(path, watch, std::move(cb)); },
+      std::move(done));
+}
+
+void ZkShardRouter::GetData(const std::string& path, bool watch, NodeCb done) {
+  Issue<NodeResult>(
+      CoordKey::ForPath(path),
+      [path, watch](ZkClient* c, NodeCb cb) { c->GetData(path, watch, std::move(cb)); },
+      std::move(done));
+}
+
+void ZkShardRouter::SetData(const std::string& path, const std::string& data,
+                            int32_t version, VoidCb done) {
+  IssueV(
+      CoordKey::ForPath(path),
+      [path, data, version](ZkClient* c, VoidCb cb) {
+        c->SetData(path, data, version, std::move(cb));
+      },
+      std::move(done));
+}
+
+void ZkShardRouter::GetChildren(const std::string& path, bool watch, ChildrenCb done) {
+  Issue<std::vector<std::string>>(
+      CoordKey::ForPath(path),
+      [path, watch](ZkClient* c, ChildrenCb cb) {
+        c->GetChildren(path, watch, std::move(cb));
+      },
+      std::move(done));
+}
+
+void ZkShardRouter::Multi(std::vector<ZkOp> ops, VoidCb done) {
+  if (ops.empty()) {
+    if (done) {
+      done(Status(ErrorCode::kInvalidArgument, "empty multi"));
+    }
+    return;
+  }
+  CoordKey key = CoordKey::ForPath(ops[0].path);
+  size_t shard = map_.IndexFor(key);
+  for (const ZkOp& op : ops) {
+    if (map_.IndexFor(CoordKey::ForPath(op.path)) != shard) {
+      if (done) {
+        done(Status(ErrorCode::kInvalidArgument,
+                    "multi spans shards; use the TwoPhaseMulti recipe"));
+      }
+      return;
+    }
+  }
+  auto shared_ops = std::make_shared<std::vector<ZkOp>>(std::move(ops));
+  IssueV(
+      key,
+      [shared_ops](ZkClient* c, VoidCb cb) { c->Multi(*shared_ops, std::move(cb)); },
+      std::move(done));
+}
+
+void ZkShardRouter::CallExtension(const std::string& trigger_path, const std::string& args,
+                                  ExtensionCb done) {
+  Issue<ExtensionResult>(
+      CoordKey::ForPath(trigger_path),
+      [trigger_path, args](ZkClient* c, ExtensionCb cb) {
+        c->CallExtension(trigger_path, args, std::move(cb));
+      },
+      std::move(done));
+}
+
+void ZkShardRouter::FanOut(std::function<void(ZkClient*, VoidCb)> issue, VoidCb done) {
+  size_t n = map_.size();
+  auto remaining = std::make_shared<size_t>(n);
+  auto first_error = std::make_shared<Status>();
+  for (size_t i = 0; i < n; ++i) {
+    WhenReady(i, [issue, remaining, first_error, done](ZkClient* c) {
+      issue(c, [remaining, first_error, done](Status s) {
+        if (!s.ok() && first_error->ok()) {
+          *first_error = s;
+        }
+        if (--*remaining == 0 && done) {
+          done(*first_error);
+        }
+      });
+    });
+  }
+}
+
+void ZkShardRouter::RegisterExtension(const std::string& name, const std::string& code,
+                                      VoidCb done) {
+  FanOut(
+      [name, code](ZkClient* c, VoidCb cb) {
+        c->RegisterExtension(name, code, std::move(cb));
+      },
+      std::move(done));
+}
+
+void ZkShardRouter::DeregisterExtension(const std::string& name, VoidCb done) {
+  FanOut([name](ZkClient* c, VoidCb cb) { c->DeregisterExtension(name, std::move(cb)); },
+         std::move(done));
+}
+
+void ZkShardRouter::AcknowledgeExtension(const std::string& name, VoidCb done) {
+  FanOut([name](ZkClient* c, VoidCb cb) { c->AcknowledgeExtension(name, std::move(cb)); },
+         std::move(done));
+}
+
+void ZkShardRouter::SetWatchHandler(WatchCb handler) {
+  watch_handler_ = std::move(handler);
+  for (auto& [shard_id, sub] : subs_) {
+    sub.client->SetWatchHandler(watch_handler_);
+  }
+}
+
+void ZkShardRouter::SetSessionEventHandler(SessionEventCb handler) {
+  session_cb_ = std::move(handler);
+  for (auto& [shard_id, sub] : subs_) {
+    sub.client->SetSessionEventHandler(session_cb_);
+  }
+}
+
+bool ZkShardRouter::connected() const {
+  auto it = subs_.find(map_.entry(0).shard_id);
+  return it != subs_.end() && it->second.client->connected();
+}
+
+uint64_t ZkShardRouter::session() const {
+  auto it = subs_.find(map_.entry(0).shard_id);
+  return it == subs_.end() ? 0 : it->second.client->session();
+}
+
+ZkClient* ZkShardRouter::shard_client(uint32_t shard_id) const {
+  auto it = subs_.find(shard_id);
+  return it == subs_.end() ? nullptr : it->second.client.get();
+}
+
+std::vector<NodeId> ZkShardRouter::sub_client_ids() const {
+  std::vector<NodeId> ids;
+  ids.reserve(subs_.size());
+  for (const auto& [shard_id, sub] : subs_) {
+    ids.push_back(sub.client->id());
+  }
+  return ids;
+}
+
+void ZkShardRouter::SetSubClientHook(std::function<void(uint32_t, ZkClient*)> hook) {
+  sub_hook_ = std::move(hook);
+  if (!sub_hook_) {
+    return;
+  }
+  for (auto& [shard_id, sub] : subs_) {
+    sub_hook_(shard_id, sub.client.get());
+  }
+}
+
+void ZkShardRouter::SetObs(Obs* obs) {
+  obs_ = obs;
+  for (auto& [shard_id, sub] : subs_) {
+    sub.client->SetObs(obs);
+  }
+}
+
+// ------------------------------------------------------------- DsShardRouter
+
+DsShardRouter::DsShardRouter(EventLoop* loop, Network* net, NodeId base_id, ShardMap map,
+                             ShardMapSource source, DsShardRouterOptions options)
+    : loop_(loop),
+      net_(net),
+      base_id_(base_id),
+      map_(std::move(map)),
+      source_(std::move(source)),
+      options_(std::move(options)) {
+  assert(!map_.empty() && "router needs at least one shard");
+}
+
+DsShardRouter::~DsShardRouter() = default;
+
+CoordKey DsShardRouter::KeyOf(const DsTuple& tuple) {
+  if (tuple.empty()) {
+    return CoordKey::Unroutable();
+  }
+  return CoordKey::ForField(FieldToString(tuple[0]));
+}
+
+CoordKey DsShardRouter::KeyOf(const DsTemplate& templ) {
+  if (templ.empty() || templ[0].kind == DsTField::Kind::kAny) {
+    return CoordKey::Unroutable();
+  }
+  // kPrefix first fields are path prefixes; ForField reduces paths to their
+  // subtree key, so a prefix template colocates with every tuple it matches.
+  return CoordKey::ForField(FieldToString(templ[0].value));
+}
+
+DsClient* DsShardRouter::EnsureSub(size_t entry_idx) {
+  const ShardEntry& e = map_.entry(entry_idx);
+  auto it = subs_.find(e.shard_id);
+  if (it != subs_.end()) {
+    return it->second.get();
+  }
+  ShardView view{e.shard_id, map_.version(), e.ensemble};
+  auto client = std::make_unique<DsClient>(loop_, net_, base_id_ + e.shard_id,
+                                           std::move(view), options_.client);
+  DsClient* raw = client.get();
+  if (obs_ != nullptr) {
+    raw->SetObs(obs_);
+  }
+  if (auto_renew_all_) {
+    raw->EnableAutoRenewAll();
+  }
+  if (sub_hook_) {
+    sub_hook_(e.shard_id, raw);
+  }
+  subs_[e.shard_id] = std::move(client);
+  return raw;
+}
+
+bool DsShardRouter::RefreshMap() {
+  if (!source_) {
+    return false;
+  }
+  ShardMap fresh = source_();
+  if (fresh.version() <= map_.version()) {
+    return false;
+  }
+  map_ = std::move(fresh);
+  ++stale_refreshes_;
+  for (auto& [shard_id, sub] : subs_) {
+    sub->set_map_version(map_.version());
+  }
+  return true;
+}
+
+namespace {
+
+bool RejectUnroutable(const CoordKey& key, const char* op, const DsApi::ReplyCb& done) {
+  if (key.routable()) {
+    return false;
+  }
+  if (done) {
+    done(Status(ErrorCode::kInvalidArgument,
+                std::string(op) +
+                    ": wildcard first field cannot be routed to one shard; "
+                    "pin the first field (RdAll scatter-gathers)"));
+  }
+  return true;
+}
+
+}  // namespace
+
+void DsShardRouter::Out(DsTuple tuple, ReplyCb done) {
+  CoordKey key = KeyOf(tuple);
+  if (RejectUnroutable(key, "out", done)) {
+    return;
+  }
+  auto shared = std::make_shared<DsTuple>(std::move(tuple));
+  Issue<DsReply>(
+      key, [shared](DsClient* c, ReplyCb cb) { c->Out(*shared, std::move(cb)); },
+      std::move(done));
+}
+
+void DsShardRouter::OutLease(DsTuple tuple, ReplyCb done) {
+  CoordKey key = KeyOf(tuple);
+  if (RejectUnroutable(key, "outLease", done)) {
+    return;
+  }
+  auto shared = std::make_shared<DsTuple>(std::move(tuple));
+  Issue<DsReply>(
+      key, [shared](DsClient* c, ReplyCb cb) { c->OutLease(*shared, std::move(cb)); },
+      std::move(done));
+}
+
+void DsShardRouter::ReleaseLease(const DsTemplate& templ) {
+  CoordKey key = KeyOf(templ);
+  if (key.routable()) {
+    EnsureSub(map_.IndexFor(key))->ReleaseLease(templ);
+    return;
+  }
+  // Wildcard release: leases only live on shards this router has touched.
+  for (auto& [shard_id, sub] : subs_) {
+    sub->ReleaseLease(templ);
+  }
+}
+
+void DsShardRouter::Rdp(DsTemplate templ, ReplyCb done) {
+  CoordKey key = KeyOf(templ);
+  if (RejectUnroutable(key, "rdp", done)) {
+    return;
+  }
+  auto shared = std::make_shared<DsTemplate>(std::move(templ));
+  Issue<DsReply>(
+      key, [shared](DsClient* c, ReplyCb cb) { c->Rdp(*shared, std::move(cb)); },
+      std::move(done));
+}
+
+void DsShardRouter::Inp(DsTemplate templ, ReplyCb done) {
+  CoordKey key = KeyOf(templ);
+  if (RejectUnroutable(key, "inp", done)) {
+    return;
+  }
+  auto shared = std::make_shared<DsTemplate>(std::move(templ));
+  Issue<DsReply>(
+      key, [shared](DsClient* c, ReplyCb cb) { c->Inp(*shared, std::move(cb)); },
+      std::move(done));
+}
+
+void DsShardRouter::Rd(DsTemplate templ, ReplyCb done) {
+  CoordKey key = KeyOf(templ);
+  if (RejectUnroutable(key, "rd", done)) {
+    return;
+  }
+  auto shared = std::make_shared<DsTemplate>(std::move(templ));
+  Issue<DsReply>(
+      key, [shared](DsClient* c, ReplyCb cb) { c->Rd(*shared, std::move(cb)); },
+      std::move(done));
+}
+
+void DsShardRouter::In(DsTemplate templ, ReplyCb done) {
+  CoordKey key = KeyOf(templ);
+  if (RejectUnroutable(key, "in", done)) {
+    return;
+  }
+  auto shared = std::make_shared<DsTemplate>(std::move(templ));
+  Issue<DsReply>(
+      key, [shared](DsClient* c, ReplyCb cb) { c->In(*shared, std::move(cb)); },
+      std::move(done));
+}
+
+void DsShardRouter::Cas(DsTemplate templ, DsTuple tuple, ReplyCb done) {
+  CoordKey tkey = KeyOf(templ);
+  CoordKey vkey = KeyOf(tuple);
+  CoordKey key = tkey.routable() ? tkey : vkey;
+  if (RejectUnroutable(key, "cas", done)) {
+    return;
+  }
+  if (tkey.routable() && vkey.routable() &&
+      map_.IndexFor(tkey) != map_.IndexFor(vkey)) {
+    if (done) {
+      done(Status(ErrorCode::kInvalidArgument,
+                  "cas template and tuple route to different shards"));
+    }
+    return;
+  }
+  auto st = std::make_shared<DsTemplate>(std::move(templ));
+  auto sv = std::make_shared<DsTuple>(std::move(tuple));
+  Issue<DsReply>(
+      key, [st, sv](DsClient* c, ReplyCb cb) { c->Cas(*st, *sv, std::move(cb)); },
+      std::move(done));
+}
+
+void DsShardRouter::Replace(DsTemplate templ, DsTuple tuple, ReplyCb done) {
+  CoordKey tkey = KeyOf(templ);
+  CoordKey vkey = KeyOf(tuple);
+  CoordKey key = tkey.routable() ? tkey : vkey;
+  if (RejectUnroutable(key, "replace", done)) {
+    return;
+  }
+  if (tkey.routable() && vkey.routable() &&
+      map_.IndexFor(tkey) != map_.IndexFor(vkey)) {
+    if (done) {
+      done(Status(ErrorCode::kInvalidArgument,
+                  "replace template and tuple route to different shards"));
+    }
+    return;
+  }
+  auto st = std::make_shared<DsTemplate>(std::move(templ));
+  auto sv = std::make_shared<DsTuple>(std::move(tuple));
+  Issue<DsReply>(
+      key, [st, sv](DsClient* c, ReplyCb cb) { c->Replace(*st, *sv, std::move(cb)); },
+      std::move(done));
+}
+
+void DsShardRouter::RdAll(DsTemplate templ, ReplyCb done) {
+  CoordKey key = KeyOf(templ);
+  auto shared = std::make_shared<DsTemplate>(std::move(templ));
+  if (key.routable()) {
+    Issue<DsReply>(
+        key, [shared](DsClient* c, ReplyCb cb) { c->RdAll(*shared, std::move(cb)); },
+        std::move(done));
+    return;
+  }
+  // Scatter-gather over every shard; merged tuples come back in shard-index
+  // order so same-seed runs stay byte-identical.
+  size_t n = map_.size();
+  auto legs = std::make_shared<std::vector<Result<DsReply>>>(n, Result<DsReply>(DsReply{}));
+  auto remaining = std::make_shared<size_t>(n);
+  for (size_t i = 0; i < n; ++i) {
+    DsClient* c = EnsureSub(i);
+    c->RdAll(*shared, [i, legs, remaining, done](Result<DsReply> r) {
+      (*legs)[i] = std::move(r);
+      if (--*remaining != 0) {
+        return;
+      }
+      DsReply merged;
+      for (Result<DsReply>& leg : *legs) {
+        if (!leg.ok()) {
+          if (done) {
+            done(std::move(leg));
+          }
+          return;
+        }
+        if (leg->code != ErrorCode::kOk && merged.code == ErrorCode::kOk) {
+          merged.code = leg->code;
+          merged.value = leg->value;
+        }
+        for (DsTuple& t : leg->tuples) {
+          merged.tuples.push_back(std::move(t));
+        }
+      }
+      if (done) {
+        done(std::move(merged));
+      }
+    });
+  }
+}
+
+void DsShardRouter::CallExtension(const std::string& trigger_path, const std::string& args,
+                                  ExtensionCb done) {
+  Issue<ExtensionResult>(
+      CoordKey::ForPath(trigger_path),
+      [trigger_path, args](DsClient* c, ExtensionCb cb) {
+        c->CallExtension(trigger_path, args, std::move(cb));
+      },
+      std::move(done));
+}
+
+namespace {
+
+// Joins a DS fan-out: first failed leg (transport error or reply error code)
+// wins; otherwise the last ok reply is delivered.
+struct DsFanJoin {
+  size_t remaining;
+  Result<DsReply> outcome{DsReply{}};
+  bool failed = false;
+};
+
+}  // namespace
+
+void DsShardRouter::RegisterExtension(const std::string& name, const std::string& code,
+                                      ReplyCb done) {
+  size_t n = map_.size();
+  auto join = std::make_shared<DsFanJoin>();
+  join->remaining = n;
+  for (size_t i = 0; i < n; ++i) {
+    EnsureSub(i)->RegisterExtension(name, code, [join, done](Result<DsReply> r) {
+      bool bad = !r.ok() || r->code != ErrorCode::kOk;
+      if (bad && !join->failed) {
+        join->failed = true;
+        join->outcome = std::move(r);
+      } else if (!join->failed) {
+        join->outcome = std::move(r);
+      }
+      if (--join->remaining == 0 && done) {
+        done(std::move(join->outcome));
+      }
+    });
+  }
+}
+
+void DsShardRouter::DeregisterExtension(const std::string& name, ReplyCb done) {
+  size_t n = map_.size();
+  auto join = std::make_shared<DsFanJoin>();
+  join->remaining = n;
+  for (size_t i = 0; i < n; ++i) {
+    EnsureSub(i)->DeregisterExtension(name, [join, done](Result<DsReply> r) {
+      bool bad = !r.ok() || r->code != ErrorCode::kOk;
+      if (bad && !join->failed) {
+        join->failed = true;
+        join->outcome = std::move(r);
+      } else if (!join->failed) {
+        join->outcome = std::move(r);
+      }
+      if (--join->remaining == 0 && done) {
+        done(std::move(join->outcome));
+      }
+    });
+  }
+}
+
+void DsShardRouter::AcknowledgeExtension(const std::string& name, ReplyCb done) {
+  size_t n = map_.size();
+  auto join = std::make_shared<DsFanJoin>();
+  join->remaining = n;
+  for (size_t i = 0; i < n; ++i) {
+    EnsureSub(i)->AcknowledgeExtension(name, [join, done](Result<DsReply> r) {
+      bool bad = !r.ok() || r->code != ErrorCode::kOk;
+      if (bad && !join->failed) {
+        join->failed = true;
+        join->outcome = std::move(r);
+      } else if (!join->failed) {
+        join->outcome = std::move(r);
+      }
+      if (--join->remaining == 0 && done) {
+        done(std::move(join->outcome));
+      }
+    });
+  }
+}
+
+void DsShardRouter::EnableAutoRenewAll() {
+  auto_renew_all_ = true;
+  for (auto& [shard_id, sub] : subs_) {
+    sub->EnableAutoRenewAll();
+  }
+}
+
+DsClient* DsShardRouter::shard_client(uint32_t shard_id) const {
+  auto it = subs_.find(shard_id);
+  return it == subs_.end() ? nullptr : it->second.get();
+}
+
+std::vector<NodeId> DsShardRouter::sub_client_ids() const {
+  std::vector<NodeId> ids;
+  ids.reserve(subs_.size());
+  for (const auto& [shard_id, sub] : subs_) {
+    ids.push_back(sub->id());
+  }
+  return ids;
+}
+
+void DsShardRouter::Kill() {
+  for (auto& [shard_id, sub] : subs_) {
+    sub->Kill();
+  }
+}
+
+void DsShardRouter::SetSubClientHook(std::function<void(uint32_t, DsClient*)> hook) {
+  sub_hook_ = std::move(hook);
+  if (!sub_hook_) {
+    return;
+  }
+  for (auto& [shard_id, sub] : subs_) {
+    sub_hook_(shard_id, sub.get());
+  }
+}
+
+void DsShardRouter::SetObs(Obs* obs) {
+  obs_ = obs;
+  for (auto& [shard_id, sub] : subs_) {
+    sub->SetObs(obs);
+  }
+}
+
+}  // namespace edc

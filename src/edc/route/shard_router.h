@@ -1,0 +1,271 @@
+// Client-side shard routing for the coordination plane (docs/sharding.md).
+//
+// A router implements the same abstract client surface as a plain client
+// (ZkApi / DsApi) but owns one lazily created sub-client per shard of a
+// ShardMap. Every operation's CoordKey picks the shard on the consistent-hash
+// ring; the op is forwarded to that shard's sub-client unchanged, so recipes
+// written against the API run on a sharded deployment without edits.
+//
+// Map refresh: sub-clients stamp the router's map version on every request.
+// When a replica that has been told a newer version rejects with
+// kShardMapStale, the router pulls a fresh map from its ShardMapSource,
+// raises every sub-client's stamp, re-routes the op (possibly to a different,
+// newly added shard) and retries — bounded by stale_retry_limit so a router
+// whose source is itself behind surfaces the error instead of spinning.
+//
+// Cross-shard operations: ZK Multi spanning shards is rejected with
+// kInvalidArgument (atomicity across shards is the TwoPhaseMulti recipe's
+// job, recipes/two_phase.h); DS ops whose first template field is a wildcard
+// cannot be routed — RdAll scatter-gathers across all shards, the
+// single-tuple ops reject (a scattered Inp could consume one tuple per
+// shard). Extension register/deregister/acknowledge fan out to every shard so
+// an extension is callable wherever its trigger subtree lands.
+
+#ifndef EDC_ROUTE_SHARD_ROUTER_H_
+#define EDC_ROUTE_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "edc/common/client_api.h"
+#include "edc/common/shard_map.h"
+#include "edc/ds/api.h"
+#include "edc/ds/client.h"
+#include "edc/sim/event_loop.h"
+#include "edc/sim/network.h"
+#include "edc/zk/api.h"
+#include "edc/zk/client.h"
+
+namespace edc {
+
+// Pull-based map discovery: invoked on a stale rejection to fetch the current
+// map (in the simulator this reads the harness's authoritative copy; a real
+// deployment would ask a config service). May return a map no newer than the
+// router's — the retry then only proceeds if some other path already raised
+// the version.
+using ShardMapSource = std::function<ShardMap()>;
+
+struct ZkShardRouterOptions {
+  ZkClientOptions client;  // applied to every per-shard sub-client
+  // Give up and surface kShardMapStale after this many refresh+retry rounds.
+  int stale_retry_limit = 3;
+  // Sub-client node id = base_id + shard_id; callers space router base ids at
+  // least this far apart and keep shard ids below it.
+  uint32_t id_stride = 64;
+};
+
+class ZkShardRouter : public ZkApi {
+ public:
+  // `map` must be non-empty. `source` may be null (stale errors surface).
+  ZkShardRouter(EventLoop* loop, Network* net, NodeId base_id, ShardMap map,
+                ShardMapSource source, ZkShardRouterOptions options);
+  ~ZkShardRouter() override;
+
+  ZkShardRouter(const ZkShardRouter&) = delete;
+  ZkShardRouter& operator=(const ZkShardRouter&) = delete;
+
+  // ZkApi. Connect establishes the primary (entry 0) session — other shards'
+  // sessions open on first use; ops issued before their shard is connected
+  // queue and drain in order once it is.
+  void Connect(VoidCb done) override;
+  void Close(VoidCb done) override;
+  void Create(const std::string& path, const std::string& data, bool ephemeral,
+              bool sequential, StringCb done) override;
+  void Delete(const std::string& path, int32_t version, VoidCb done) override;
+  void Exists(const std::string& path, bool watch, ExistsCb done) override;
+  void GetData(const std::string& path, bool watch, NodeCb done) override;
+  void SetData(const std::string& path, const std::string& data, int32_t version,
+               VoidCb done) override;
+  void GetChildren(const std::string& path, bool watch, ChildrenCb done) override;
+  void Multi(std::vector<ZkOp> ops, VoidCb done) override;
+  void CallExtension(const std::string& trigger_path, const std::string& args,
+                     ExtensionCb done) override;
+  void RegisterExtension(const std::string& name, const std::string& code,
+                         VoidCb done) override;
+  void DeregisterExtension(const std::string& name, VoidCb done) override;
+  void AcknowledgeExtension(const std::string& name, VoidCb done) override;
+  void SetWatchHandler(WatchCb handler) override;
+  void SetSessionEventHandler(SessionEventCb handler) override;
+  bool connected() const override;
+  uint64_t session() const override;  // primary sub-session (entry 0)
+  NodeId id() const override { return base_id_; }
+
+  // Topology introspection (tests, harness, benches).
+  size_t shard_count() const { return map_.size(); }
+  uint64_t map_version() const { return map_.version(); }
+  const ShardMap& map() const { return map_; }
+  // The sub-client serving `shard_id`, or null if none was created yet.
+  ZkClient* shard_client(uint32_t shard_id) const;
+  std::vector<NodeId> sub_client_ids() const;
+  int stale_refreshes() const { return stale_refreshes_; }
+
+  // Invoked for every sub-client at creation (and immediately for existing
+  // ones when set) — the conformance harness attaches per-shard observers
+  // here. Runs before the sub-client's Connect.
+  void SetSubClientHook(std::function<void(uint32_t shard_id, ZkClient*)> hook);
+  void SetObs(Obs* obs);
+
+ private:
+  struct Sub {
+    std::unique_ptr<ZkClient> client;
+    bool connected = false;
+    bool connecting = false;
+    std::vector<std::function<void(ZkClient*)>> waiting;
+  };
+
+  Sub& EnsureSub(size_t entry_idx);
+  // Runs `fn` on the sub-client for map entry `entry_idx` once its session is
+  // up (immediately if it already is).
+  void WhenReady(size_t entry_idx, std::function<void(ZkClient*)> fn);
+  bool RefreshMap();
+  // Fan `issue` out to every shard in the current map; `done` fires once with
+  // the first error (or ok) after all legs returned.
+  void FanOut(std::function<void(ZkClient*, VoidCb)> issue, VoidCb done);
+
+  template <typename T>
+  static bool Stale(const Result<T>& r) {
+    return !r.ok() && r.status().code() == ErrorCode::kShardMapStale;
+  }
+  static bool Stale(const Status& s) { return s.code() == ErrorCode::kShardMapStale; }
+
+  // Routes `issue` to the shard owning `key`; on a stale rejection, refreshes
+  // the map and re-routes (the key may now land on a different shard).
+  template <typename T>
+  void Issue(const CoordKey& key, std::function<void(ZkClient*, ResultCb<T>)> issue,
+             ResultCb<T> done, int attempt = 0) {
+    uint64_t issued = map_.version();
+    WhenReady(map_.IndexFor(key),
+              [this, key, issue, done, attempt, issued](ZkClient* c) {
+                issue(c, [this, key, issue, done, attempt, issued](Result<T> r) {
+                  if (Stale(r) && attempt < options_.stale_retry_limit &&
+                      (RefreshMap() || map_.version() > issued)) {
+                    Issue<T>(key, issue, done, attempt + 1);
+                    return;
+                  }
+                  if (done) {
+                    done(std::move(r));
+                  }
+                });
+              });
+  }
+  void IssueV(const CoordKey& key, std::function<void(ZkClient*, VoidCb)> issue,
+              VoidCb done, int attempt = 0);
+
+  EventLoop* loop_;
+  Network* net_;
+  NodeId base_id_;
+  ShardMap map_;
+  ShardMapSource source_;
+  ZkShardRouterOptions options_;
+  std::map<uint32_t, Sub> subs_;  // by shard id; survives map refreshes
+  WatchCb watch_handler_;
+  SessionEventCb session_cb_;
+  std::function<void(uint32_t, ZkClient*)> sub_hook_;
+  Obs* obs_ = nullptr;
+  int stale_refreshes_ = 0;
+};
+
+struct DsShardRouterOptions {
+  DsClientOptions client;
+  int stale_retry_limit = 3;
+  uint32_t id_stride = 64;
+};
+
+class DsShardRouter : public DsApi {
+ public:
+  DsShardRouter(EventLoop* loop, Network* net, NodeId base_id, ShardMap map,
+                ShardMapSource source, DsShardRouterOptions options);
+  ~DsShardRouter() override;
+
+  DsShardRouter(const DsShardRouter&) = delete;
+  DsShardRouter& operator=(const DsShardRouter&) = delete;
+
+  // DsApi.
+  void Out(DsTuple tuple, ReplyCb done) override;
+  void OutLease(DsTuple tuple, ReplyCb done) override;
+  void ReleaseLease(const DsTemplate& templ) override;
+  void Rdp(DsTemplate templ, ReplyCb done) override;
+  void Inp(DsTemplate templ, ReplyCb done) override;
+  void Rd(DsTemplate templ, ReplyCb done) override;
+  void In(DsTemplate templ, ReplyCb done) override;
+  void Cas(DsTemplate templ, DsTuple tuple, ReplyCb done) override;
+  void Replace(DsTemplate templ, DsTuple tuple, ReplyCb done) override;
+  void RdAll(DsTemplate templ, ReplyCb done) override;
+  void CallExtension(const std::string& trigger_path, const std::string& args,
+                     ExtensionCb done) override;
+  void RegisterExtension(const std::string& name, const std::string& code,
+                         ReplyCb done) override;
+  void DeregisterExtension(const std::string& name, ReplyCb done) override;
+  void AcknowledgeExtension(const std::string& name, ReplyCb done) override;
+  void EnableAutoRenewAll() override;
+  NodeId id() const override { return base_id_; }
+
+  // Routing keys (exposed for tests): a tuple routes by its first field, a
+  // template by its first field when exact/prefix (wildcard = unroutable).
+  static CoordKey KeyOf(const DsTuple& tuple);
+  static CoordKey KeyOf(const DsTemplate& templ);
+
+  // Topology introspection.
+  size_t shard_count() const { return map_.size(); }
+  uint64_t map_version() const { return map_.version(); }
+  const ShardMap& map() const { return map_; }
+  DsClient* shard_client(uint32_t shard_id) const;
+  std::vector<NodeId> sub_client_ids() const;
+  int stale_refreshes() const { return stale_refreshes_; }
+  void Kill();  // simulate process death across all sub-clients
+
+  void SetSubClientHook(std::function<void(uint32_t shard_id, DsClient*)> hook);
+  void SetObs(Obs* obs);
+
+ private:
+  DsClient* EnsureSub(size_t entry_idx);
+  bool RefreshMap();
+
+  static bool Stale(const Result<DsReply>& r) {
+    // A DS stale rejection is an ordered, executed reply — it arrives as a
+    // successful vote whose reply code is kShardMapStale.
+    return r.ok() ? r->code == ErrorCode::kShardMapStale
+                  : r.status().code() == ErrorCode::kShardMapStale;
+  }
+  static bool Stale(const Result<ExtensionResult>& r) {
+    return !r.ok() && r.status().code() == ErrorCode::kShardMapStale;
+  }
+
+  template <typename T>
+  void Issue(const CoordKey& key, std::function<void(DsClient*, ResultCb<T>)> issue,
+             ResultCb<T> done, int attempt = 0) {
+    uint64_t issued = map_.version();
+    DsClient* c = EnsureSub(map_.IndexFor(key));
+    issue(c, [this, key, issue, done, attempt, issued](Result<T> r) {
+      if (Stale(r) && attempt < options_.stale_retry_limit &&
+          (RefreshMap() || map_.version() > issued)) {
+        Issue<T>(key, issue, done, attempt + 1);
+        return;
+      }
+      if (done) {
+        done(std::move(r));
+      }
+    });
+  }
+
+  EventLoop* loop_;
+  Network* net_;
+  NodeId base_id_;
+  ShardMap map_;
+  ShardMapSource source_;
+  DsShardRouterOptions options_;
+  std::map<uint32_t, std::unique_ptr<DsClient>> subs_;  // by shard id
+  std::function<void(uint32_t, DsClient*)> sub_hook_;
+  Obs* obs_ = nullptr;
+  bool auto_renew_all_ = false;
+  int stale_refreshes_ = 0;
+};
+
+}  // namespace edc
+
+#endif  // EDC_ROUTE_SHARD_ROUTER_H_

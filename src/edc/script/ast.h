@@ -74,6 +74,10 @@ struct Subscription {
                         // event: created|deleted|changed|unblocked
   std::string pattern;  // object path; trailing '*' stripped into `prefix`
   bool prefix = false;
+  // With prefix set: true for "/x/*" (matches the subtree under /x, path
+  // semantics), false for "/x*" (plain string prefix, matches siblings such
+  // as /x1 and /x2 as well as deeper paths).
+  bool subtree = false;
   int line = 0;  // source line of the 'on' keyword
   int col = 0;
 };

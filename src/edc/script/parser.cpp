@@ -113,10 +113,16 @@ class Parser {
     if (!sub.pattern.empty() && sub.pattern.back() == '*') {
       sub.prefix = true;
       sub.pattern.pop_back();
-      // "/queue/*" means everything under /queue; normalize away a trailing
-      // slash so prefix matching uses path semantics.
+      // "/queue/*" means everything under /queue; normalize away the trailing
+      // slash so prefix matching uses path semantics. Without a slash before
+      // the star ("/2pc-prepare*") the match is a plain string prefix, which
+      // also covers sibling paths like /2pc-prepare1.
       if (sub.pattern.size() > 1 && sub.pattern.back() == '/') {
         sub.pattern.pop_back();
+        sub.subtree = true;
+      } else if (sub.pattern.empty() || sub.pattern == "/") {
+        sub.pattern = "/";
+        sub.subtree = true;
       }
     }
     if (auto s = Expect(TokenKind::kSemicolon); !s.ok()) {

@@ -532,7 +532,18 @@ void ZabNode::OnHeartbeat(NodeId from, const EpochMsg& msg) {
       return;
     }
     ResetLeaderTimeout();
-    if (synced_ && msg.epoch == current_epoch_) {
+    if (!synced_ || msg.epoch > current_epoch_) {
+      // Our FollowerInfo can race the leader's own election: it is dropped
+      // while the leader is still LOOKING, leaving us permanently unsynced —
+      // its heartbeats keep resetting our timeout (so we never re-look) and
+      // our acks carry a stale epoch (so the leader counts us dead and
+      // expires every session we host). Restart the sync handshake instead.
+      synced_ = false;
+      current_epoch_ = std::max(current_epoch_, msg.epoch);
+      SendTo(leader_, ZabMsgType::kFollowerInfo, EncodeFollowerInfo({last_logged()}));
+      return;
+    }
+    if (msg.epoch == current_epoch_) {
       DeliverUpTo(msg.committed_zxid);
     }
     // Answer so the leader can track which replicas are alive (dead-owner

@@ -1,0 +1,79 @@
+// Abstract client-side surface of the ZooKeeper-like service.
+//
+// Everything above the transport — recipes, the extension conveniences, the
+// conformance harness — programs against this interface. Two implementations
+// exist: ZkClient (one session against one replica ensemble) and
+// ZkShardRouter (edc/route), which fans the same surface out over a
+// ShardMap's worth of per-shard ZkClients. Keeping the surface abstract is
+// what lets a recipe run unchanged on a standalone ensemble and on a sharded
+// deployment.
+
+#ifndef EDC_ZK_API_H_
+#define EDC_ZK_API_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "edc/common/client_api.h"
+#include "edc/zk/types.h"
+
+namespace edc {
+
+class ZkApi {
+ public:
+  struct NodeResult {
+    std::string data;
+    ZkStat stat;
+  };
+  struct ExistsResult {
+    bool exists = false;
+    ZkStat stat;
+  };
+
+  using VoidCb = StatusCb;
+  using StringCb = StringResultCb;
+  using NodeCb = ResultCb<NodeResult>;
+  using ExistsCb = ResultCb<ExistsResult>;
+  using ChildrenCb = ResultCb<std::vector<std::string>>;
+  using WatchCb = std::function<void(const ZkWatchEventMsg&)>;
+
+  virtual ~ZkApi() = default;
+
+  virtual void Connect(VoidCb done) = 0;
+  virtual void Close(VoidCb done) = 0;
+
+  virtual void Create(const std::string& path, const std::string& data, bool ephemeral,
+                      bool sequential, StringCb done) = 0;
+  virtual void Delete(const std::string& path, int32_t version, VoidCb done) = 0;
+  virtual void Exists(const std::string& path, bool watch, ExistsCb done) = 0;
+  virtual void GetData(const std::string& path, bool watch, NodeCb done) = 0;
+  virtual void SetData(const std::string& path, const std::string& data, int32_t version,
+                       VoidCb done) = 0;
+  virtual void GetChildren(const std::string& path, bool watch, ChildrenCb done) = 0;
+  // Atomic multi-transaction. Implementations may require all ops to live on
+  // one shard (kInvalidArgument otherwise); cross-shard atomicity is the
+  // TwoPhaseMulti recipe's job (docs/sharding.md).
+  virtual void Multi(std::vector<ZkOp> ops, VoidCb done) = 0;
+
+  virtual void CallExtension(const std::string& trigger_path, const std::string& args,
+                             ExtensionCb done) = 0;
+  virtual void RegisterExtension(const std::string& name, const std::string& code,
+                                 VoidCb done) = 0;
+  virtual void DeregisterExtension(const std::string& name, VoidCb done) = 0;
+  virtual void AcknowledgeExtension(const std::string& name, VoidCb done) = 0;
+
+  virtual void SetWatchHandler(WatchCb handler) = 0;
+  virtual void SetSessionEventHandler(SessionEventCb handler) = 0;
+
+  virtual bool connected() const = 0;
+  // A stable session identity for path construction (recipes tag ephemeral
+  // paths with it). Routers report their primary sub-session.
+  virtual uint64_t session() const = 0;
+  virtual NodeId id() const = 0;
+};
+
+}  // namespace edc
+
+#endif  // EDC_ZK_API_H_

@@ -8,12 +8,14 @@
 
 namespace edc {
 
-ZkClient::ZkClient(EventLoop* loop, Network* net, NodeId id, ServerList servers,
+ZkClient::ZkClient(EventLoop* loop, Network* net, NodeId id, ShardView view,
                    ZkClientOptions options)
     : loop_(loop),
       net_(net),
       id_(id),
-      servers_(std::move(servers)),
+      servers_(std::move(view.ensemble)),
+      shard_id_(view.shard_id),
+      map_version_(view.map_version),
       options_(options),
       jitter_rng_(JitterSeedFor(options.reconnect, id)) {
   server_idx_ = servers_.preferred;
@@ -66,6 +68,7 @@ void ZkClient::SendRequest(ZkOp op, ReplyCb done) {
   ZkRequestMsg msg;
   msg.session = session_;
   msg.req_id = ++next_req_;
+  msg.map_version = map_version_;
   msg.op = std::move(op);
   pending_[msg.req_id] = std::move(done);
   if (observer_.on_call) {

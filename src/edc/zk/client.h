@@ -1,7 +1,9 @@
 // Asynchronous client library for the ZooKeeper-like service.
 //
-// One client object = one session against one replica at a time, drawn from a
-// ServerList (common/client_api.h). All calls are callback-based (the
+// One client object = one session against one replica at a time, drawn from
+// the ensemble of the ShardView it was constructed with (common/shard_map.h;
+// ShardView::Standalone wraps a plain ServerList for unsharded deployments).
+// All calls are callback-based (the
 // simulator is a single event loop). The client detects replica failure by
 // silence — no reply within the session timeout — fails outstanding calls
 // with kConnectionLoss, and reconnects to the next replica in the list with
@@ -23,9 +25,11 @@
 
 #include "edc/common/client_api.h"
 #include "edc/common/rng.h"
+#include "edc/common/shard_map.h"
 #include "edc/obs/obs.h"
 #include "edc/sim/event_loop.h"
 #include "edc/sim/network.h"
+#include "edc/zk/api.h"
 #include "edc/zk/types.h"
 
 namespace edc {
@@ -47,76 +51,75 @@ struct ZkClientObserver {
   std::function<void(uint64_t session, const ZkWatchEventMsg& event)> on_watch;
 };
 
-class ZkClient : public NetworkNode {
+class ZkClient : public NetworkNode, public ZkApi {
  public:
-  struct NodeResult {
-    std::string data;
-    ZkStat stat;
-  };
-  struct ExistsResult {
-    bool exists = false;
-    ZkStat stat;
-  };
-
-  using VoidCb = StatusCb;
-  using StringCb = StringResultCb;
-  using NodeCb = ResultCb<NodeResult>;
-  using ExistsCb = ResultCb<ExistsResult>;
-  using ChildrenCb = ResultCb<std::vector<std::string>>;
   using ReplyCb = std::function<void(const ZkReplyMsg&)>;
-  using WatchCb = std::function<void(const ZkWatchEventMsg&)>;
 
-  ZkClient(EventLoop* loop, Network* net, NodeId id, ServerList servers,
+  ZkClient(EventLoop* loop, Network* net, NodeId id, ShardView view,
            ZkClientOptions options);
-  // Single-replica convenience (no failover targets).
+  // Single-replica convenience (no failover targets, standalone map).
   ZkClient(EventLoop* loop, Network* net, NodeId id, NodeId server, ZkClientOptions options)
-      : ZkClient(loop, net, id, ServerList{server}, options) {}
+      : ZkClient(loop, net, id, ShardView::Standalone(ServerList{server}), options) {}
 
   ZkClient(const ZkClient&) = delete;
   ZkClient& operator=(const ZkClient&) = delete;
 
-  void Connect(VoidCb done);
-  void Close(VoidCb done);
+  void Connect(VoidCb done) override;
+  void Close(VoidCb done) override;
 
   void Create(const std::string& path, const std::string& data, bool ephemeral,
-              bool sequential, StringCb done);
-  void Delete(const std::string& path, int32_t version, VoidCb done);
-  void Exists(const std::string& path, bool watch, ExistsCb done);
-  void GetData(const std::string& path, bool watch, NodeCb done);
+              bool sequential, StringCb done) override;
+  void Delete(const std::string& path, int32_t version, VoidCb done) override;
+  void Exists(const std::string& path, bool watch, ExistsCb done) override;
+  void GetData(const std::string& path, bool watch, NodeCb done) override;
   void SetData(const std::string& path, const std::string& data, int32_t version,
-               VoidCb done);
-  void GetChildren(const std::string& path, bool watch, ChildrenCb done);
-  void Multi(std::vector<ZkOp> ops, VoidCb done);
+               VoidCb done) override;
+  void GetChildren(const std::string& path, bool watch, ChildrenCb done) override;
+  void Multi(std::vector<ZkOp> ops, VoidCb done) override;
 
   // Invokes the extension listening on `trigger_path` (§5.1.2): one RPC that
   // either returns the extension's result (intercepted) or, when no
   // acknowledged extension matches, a plain exists answer with a creation
   // watch armed on the trigger object (the traditional fallback).
   void CallExtension(const std::string& trigger_path, const std::string& args,
-                     ExtensionCb done);
+                     ExtensionCb done) override;
 
   // Deprecated raw escape hatch; use the typed operations or CallExtension.
   [[deprecated("use typed operations or CallExtension")]] void Request(ZkOp op, ReplyCb done);
 
   // EZK conveniences (§5.1.2).
-  void RegisterExtension(const std::string& name, const std::string& code, VoidCb done);
-  void DeregisterExtension(const std::string& name, VoidCb done);
-  void AcknowledgeExtension(const std::string& name, VoidCb done);
+  void RegisterExtension(const std::string& name, const std::string& code,
+                         VoidCb done) override;
+  void DeregisterExtension(const std::string& name, VoidCb done) override;
+  void AcknowledgeExtension(const std::string& name, VoidCb done) override;
 
   // Watch notifications for this session (one handler; recipes demultiplex).
-  void SetWatchHandler(WatchCb handler) { watch_handler_ = std::move(handler); }
+  void SetWatchHandler(WatchCb handler) override { watch_handler_ = std::move(handler); }
   // Session lifecycle notifications (failover, expiry, reconnect).
-  void SetSessionEventHandler(SessionEventCb handler) { session_cb_ = std::move(handler); }
+  void SetSessionEventHandler(SessionEventCb handler) override {
+    session_cb_ = std::move(handler);
+  }
   // History observation (conformance checking); pass {} to detach.
   void SetObserver(ZkClientObserver observer) { observer_ = std::move(observer); }
   // Observability (nullable): failover / reconnect-attempt / session-expiry
   // counters in the shared registry.
   void SetObs(Obs* obs);
 
-  bool connected() const { return session_ != 0; }
-  uint64_t session() const { return session_; }
-  NodeId id() const { return id_; }
+  bool connected() const override { return session_ != 0; }
+  uint64_t session() const override { return session_; }
+  NodeId id() const override { return id_; }
   NodeId current_server() const { return server_; }
+
+  // Map-version protocol (docs/sharding.md): the version stamped on every
+  // outgoing request. The router raises it after a map refresh; servers
+  // reject anything older than their expected version with kShardMapStale.
+  uint64_t map_version() const { return map_version_; }
+  void set_map_version(uint64_t v) {
+    if (v > map_version_) {
+      map_version_ = v;
+    }
+  }
+  uint32_t shard_id() const { return shard_id_; }
 
   // NetworkNode.
   void HandlePacket(Packet&& pkt) override;
@@ -141,6 +144,8 @@ class ZkClient : public NetworkNode {
   Network* net_;
   NodeId id_;
   ServerList servers_;
+  uint32_t shard_id_ = 0;
+  uint64_t map_version_ = 0;
   size_t server_idx_ = 0;
   NodeId server_ = 0;  // replica currently connected / being tried
   ZkClientOptions options_;

@@ -231,6 +231,21 @@ void ZkServer::OnClientRequest(Packet&& pkt) {
     return;
   }
 
+  // Map-version protocol (docs/sharding.md): reject clients routing with a
+  // stale shard map before the request touches the tree or the ordering
+  // pipeline. The expected version rides back in `value` so the client can
+  // tell how far behind it is. Session closes stay admissible — a stale
+  // client must still be able to leave cleanly.
+  if (expected_map_version_ > 0 && msg.map_version < expected_map_version_ &&
+      msg.op.type != ZkOpType::kCloseSession) {
+    ZkReplyMsg reply;
+    reply.req_id = msg.req_id;
+    reply.code = ErrorCode::kShardMapStale;
+    reply.value = std::to_string(expected_map_version_);
+    SendPacket(pkt.src, ZkMsgType::kReply, EncodeZkReply(reply));
+    return;
+  }
+
   // Extension-subscribed operations take the leader path even when they are
   // reads; the subscription check itself is the §6.2 "overhead" hot path.
   bool matched = false;

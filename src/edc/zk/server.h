@@ -58,6 +58,23 @@ class ZkServer : public NetworkNode, public ZabCallbacks {
   // ZooKeeper.
   void SetHooks(ZkServerHooks* hooks) { hooks_ = hooks; }
 
+  // Sharded deployments (docs/sharding.md): tell the replica which shard it
+  // serves and the minimum shard-map version clients must route with.
+  // Requests stamped with an older version are rejected at admission with
+  // kShardMapStale (pings and session closes are exempt). The version only
+  // ever moves forward; 0 (the default) disables the check entirely, so
+  // standalone deployments behave exactly as before. Admission-level
+  // configuration, not replicated state: reads are admitted per replica
+  // anyway, and writes are checked before they enter the ordering pipeline.
+  void SetShardInfo(uint32_t shard_id, uint64_t expected_map_version) {
+    shard_id_ = shard_id;
+    if (expected_map_version > expected_map_version_) {
+      expected_map_version_ = expected_map_version;
+    }
+  }
+  uint32_t shard_id() const { return shard_id_; }
+  uint64_t expected_map_version() const { return expected_map_version_; }
+
   // Observability (nullable): forwards to the CPU queue, the log store and
   // the Zab node, all reporting into the shared registry/tracer.
   void SetObs(Obs* obs) {
@@ -156,6 +173,8 @@ class ZkServer : public NetworkNode, public ZabCallbacks {
 
   bool running_ = false;
   uint64_t generation_ = 0;
+  uint32_t shard_id_ = 0;
+  uint64_t expected_map_version_ = 0;  // survives Crash()/Restart()
 
   // Replicated state machine.
   DataTree tree_;

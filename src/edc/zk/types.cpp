@@ -100,6 +100,7 @@ std::vector<uint8_t> EncodeZkRequest(const ZkRequestMsg& m) {
   Encoder enc;
   enc.PutU64(m.session);
   enc.PutU64(m.req_id);
+  enc.PutVarint(m.map_version);
   m.op.Encode(enc);
   return enc.Release();
 }
@@ -109,11 +110,13 @@ Result<ZkRequestMsg> DecodeZkRequest(const std::vector<uint8_t>& buf) {
   ZkRequestMsg m;
   auto session = dec.GetU64();
   auto req_id = dec.GetU64();
-  if (!session.ok() || !req_id.ok()) {
+  auto map_version = dec.GetVarint();
+  if (!session.ok() || !req_id.ok() || !map_version.ok()) {
     return ErrorCode::kDecodeError;
   }
   m.session = *session;
   m.req_id = *req_id;
+  m.map_version = *map_version;
   auto op = ZkOp::Decode(dec);
   if (!op.ok()) {
     return op.status();

@@ -88,6 +88,10 @@ struct ZkStat {
 struct ZkRequestMsg {
   uint64_t session = 0;
   uint64_t req_id = 0;
+  // Shard-map version the client routed with (docs/sharding.md). Replicas
+  // configured with a newer expected version reject the request with
+  // kShardMapStale. 0 = standalone client, never rejected.
+  uint64_t map_version = 0;
   ZkOp op;
 };
 

@@ -40,7 +40,8 @@ class DsCluster {
 
   DsClient* AddClient(DsClientOptions options = DsClientOptions{}) {
     NodeId id = next_client_id++;
-    auto client = std::make_unique<DsClient>(&loop, net.get(), id, members, options);
+    auto client = std::make_unique<DsClient>(
+        &loop, net.get(), id, ShardView::Standalone(ServerList{members}), options);
     DsClient* raw = client.get();
     clients.push_back(std::move(client));
     return raw;

@@ -1,0 +1,154 @@
+// CoordKey / ShardMap unit tests: subtree colocation, ring distribution
+// bounds, and the consistent-hash stability property (adding or removing a
+// shard moves only keys that involve the changed shard, about 1/N of them).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "edc/common/shard_map.h"
+
+namespace edc {
+namespace {
+
+ShardMap MapOfSize(size_t n) {
+  ShardMap map;
+  for (size_t s = 0; s < n; ++s) {
+    NodeId base = static_cast<NodeId>(1 + 10 * s);
+    map.AddShard(static_cast<uint32_t>(s), ServerList{base, base + 1, base + 2});
+  }
+  return map;
+}
+
+std::vector<std::string> SampleKeys(size_t n) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys.push_back("key-" + std::to_string(i));
+  }
+  return keys;
+}
+
+TEST(CoordKeyTest, PathKeyIsFirstComponent) {
+  EXPECT_EQ(CoordKey::ForPath("/app/x/y").key(), "app");
+  EXPECT_EQ(CoordKey::ForPath("/app").key(), "app");
+  EXPECT_TRUE(CoordKey::ForPath("/app").routable());
+  // Root-level paths stay routable (empty key).
+  EXPECT_TRUE(CoordKey::ForPath("/").routable());
+  EXPECT_TRUE(CoordKey::ForPath("").routable());
+  EXPECT_FALSE(CoordKey::Unroutable().routable());
+}
+
+TEST(CoordKeyTest, PathShapedFieldsReduceToSubtreeKey) {
+  // A tuple whose first field is a path must colocate with the znode subtree
+  // of the same name, and with prefix templates over it.
+  EXPECT_EQ(CoordKey::ForField("/q/item3").key(), CoordKey::ForPath("/q/other").key());
+  EXPECT_EQ(CoordKey::ForField("/q").key(), "q");
+  // Non-path fields are used whole.
+  EXPECT_EQ(CoordKey::ForField("ticket").key(), "ticket");
+}
+
+TEST(CoordKeyTest, SubtreeColocation) {
+  ShardMap map = MapOfSize(4);
+  for (const std::string stem : {"app", "locks", "cfg", "q7"}) {
+    size_t parent = map.IndexFor(CoordKey::ForPath("/" + stem));
+    EXPECT_EQ(map.IndexFor(CoordKey::ForPath("/" + stem + "/a")), parent) << stem;
+    EXPECT_EQ(map.IndexFor(CoordKey::ForPath("/" + stem + "/a/b/c")), parent) << stem;
+    EXPECT_EQ(map.IndexFor(CoordKey::ForField("/" + stem + "/t1")), parent) << stem;
+  }
+}
+
+TEST(CoordKeyTest, RingPointIsStable) {
+  // Same key, same point — the ring position depends only on the key bytes.
+  EXPECT_EQ(CoordKey::ForPath("/a/b").RingPoint(), CoordKey::ForPath("/a/c").RingPoint());
+  EXPECT_EQ(CoordKey::ForField("x").RingPoint(), CoordKey::ForField("x").RingPoint());
+}
+
+TEST(ShardMapTest, DistributionIsBounded) {
+  // With 64 vnodes per shard no shard should be starved or hog the ring.
+  const size_t kKeys = 8000;
+  for (size_t shards : {2u, 4u, 8u, 16u}) {
+    ShardMap map = MapOfSize(shards);
+    std::map<size_t, size_t> counts;
+    for (const std::string& k : SampleKeys(kKeys)) {
+      counts[map.IndexFor(CoordKey::ForPath("/" + k))]++;
+    }
+    EXPECT_EQ(counts.size(), shards) << shards << " shards: some shard got no keys";
+    double expected = static_cast<double>(kKeys) / static_cast<double>(shards);
+    for (const auto& [idx, count] : counts) {
+      EXPECT_GT(count, expected / 3.0) << idx << "/" << shards;
+      EXPECT_LT(count, expected * 3.0) << idx << "/" << shards;
+    }
+  }
+}
+
+TEST(ShardMapTest, AddShardMovesOnlyToTheNewShard) {
+  std::vector<std::string> keys = SampleKeys(8000);
+  ShardMap before = MapOfSize(4);
+  ShardMap after = MapOfSize(4);
+  after.AddShard(4, ServerList{41, 42, 43});
+  ASSERT_GT(after.version(), before.version());
+
+  size_t moved = 0;
+  for (const std::string& k : keys) {
+    CoordKey key = CoordKey::ForPath("/" + k);
+    size_t b = before.IndexFor(key);
+    size_t a = after.IndexFor(key);
+    if (before.entry(b).shard_id != after.entry(a).shard_id) {
+      ++moved;
+      // A key that moved must have moved TO the new shard.
+      EXPECT_EQ(after.entry(a).shard_id, 4u) << k;
+    }
+  }
+  // About 1/5 of keys should move; never more than twice that.
+  EXPECT_GT(moved, keys.size() / 20);
+  EXPECT_LT(moved, 2 * keys.size() / 5);
+}
+
+TEST(ShardMapTest, RemoveShardMovesOnlyFromTheRemovedShard) {
+  std::vector<std::string> keys = SampleKeys(8000);
+  ShardMap before = MapOfSize(4);
+  ShardMap after = MapOfSize(4);
+  after.RemoveShard(2);
+  ASSERT_GT(after.version(), before.version());
+
+  for (const std::string& k : keys) {
+    CoordKey key = CoordKey::ForPath("/" + k);
+    uint32_t b = before.entry(before.IndexFor(key)).shard_id;
+    uint32_t a = after.entry(after.IndexFor(key)).shard_id;
+    if (b != a) {
+      // A key that moved must have moved FROM the removed shard.
+      EXPECT_EQ(b, 2u) << k;
+    } else {
+      EXPECT_NE(a, 2u) << k;
+    }
+  }
+}
+
+TEST(ShardMapTest, SubtreeForShardPinsAndIsDeterministic) {
+  ShardMap map = MapOfSize(8);
+  for (size_t target = 0; target < map.size(); ++target) {
+    std::string path = map.SubtreeForShard("/fig", target);
+    EXPECT_EQ(path.compare(0, 4, "/fig"), 0) << path;
+    EXPECT_EQ(map.IndexFor(CoordKey::ForPath(path)), target) << path;
+    // Children of the pinned subtree stay on the target shard.
+    EXPECT_EQ(map.IndexFor(CoordKey::ForPath(path + "/child")), target) << path;
+    EXPECT_EQ(map.SubtreeForShard("/fig", target), path);
+  }
+}
+
+TEST(ShardMapTest, ViewCarriesVersionAndEnsemble) {
+  ShardMap map = MapOfSize(2);
+  uint64_t v = map.version();
+  ShardView view = map.View(1);
+  EXPECT_EQ(view.shard_id, 1u);
+  EXPECT_EQ(view.map_version, v);
+  EXPECT_EQ(view.ensemble.size(), 3u);
+  map.AddShard(2, ServerList{21, 22, 23});
+  EXPECT_EQ(map.View(2).map_version, v + 1);
+}
+
+}  // namespace
+}  // namespace edc

@@ -1,0 +1,321 @@
+// Shard-map-change chaos: bump the shard map mid-traffic (AddShard) and
+// assert no operation is lost or duplicated. Every router sub-client and
+// every replica feeds a per-shard HistoryRecorder (histories are
+// per-ensemble; cross-shard comparisons are meaningless), and each shard's
+// history must pass the model-conformance checker — a stale rejection that
+// nevertheless committed, a double apply after a router retry, or a lost
+// acknowledged write would all surface as violations. A rerun with the same
+// seed must produce byte-identical per-shard applied logs.
+//
+// Data is NOT migrated when the map changes (docs/sharding.md): a key that
+// moves to the new shard reads as absent there afterwards. The tests
+// partition keys into moved/unmoved via the before/after maps and assert
+// both classes behave exactly as specified — unmoved keys keep their data,
+// moved keys miss deterministically, nothing hangs or double-fires.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "edc/check/conformance.h"
+#include "edc/check/history.h"
+#include "edc/harness/fixture.h"
+#include "edc/route/shard_router.h"
+
+namespace edc {
+namespace {
+
+constexpr size_t kMaxShards = 3;  // 2 at boot + 1 added mid-run
+
+bool Unmoved(const ShardMap& before, const ShardMap& after, const CoordKey& key) {
+  return before.entry(before.IndexFor(key)).shard_id ==
+         after.entry(after.IndexFor(key)).shard_id;
+}
+
+// FNV-1a over one shard's per-replica applied logs: replica boundaries and
+// (zxid, txn-hash) pairs all feed the digest, so any reordering, loss or
+// duplication anywhere in the shard changes it.
+uint64_t ZkShardDigest(const std::vector<ZkServer*>& servers) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  for (ZkServer* server : servers) {
+    mix(0xb0a7ull);  // replica boundary
+    mix(server->id());
+    for (const auto& [zxid, txn_hash] : server->applied_log()) {
+      mix(zxid);
+      mix(txn_hash);
+    }
+  }
+  return h;
+}
+
+struct ZkChaosOutcome {
+  int writes_issued = 0;
+  int writes_completed = 0;
+  int writes_ok = 0;
+  int reads_issued = 0;
+  int reads_completed = 0;
+  int read_hits = 0;    // unmoved keys that returned their data
+  int read_misses = 0;  // moved keys that read as absent on the new shard
+  int expected_hits = 0;
+  int expected_misses = 0;
+  int stale_refreshes = 0;
+  uint64_t final_map_version = 0;
+  uint64_t fixture_map_version = 0;
+  std::vector<uint64_t> shard_digests;
+  std::vector<std::string> violations;
+  std::array<size_t, kMaxShards> calls_per_shard{};
+};
+
+// One full scenario: 2 clients drive keyed creates/reads against a 2-shard
+// deployment, the map grows to 3 shards mid-traffic, traffic continues.
+ZkChaosOutcome RunZkChaos(uint64_t seed) {
+  FixtureOptions options;
+  options.system = SystemKind::kZooKeeper;
+  options.num_clients = 2;
+  options.num_shards = 2;
+  options.seed = seed;
+  CoordFixture fixture(options);
+  fixture.Start();
+
+  std::array<HistoryRecorder, kMaxShards> recs;
+  EventLoop* loop = &fixture.loop();
+  for (size_t i = 0; i < 2; ++i) {
+    fixture.zk_router(i)->SetSubClientHook([&recs, loop](uint32_t shard, ZkClient* c) {
+      ASSERT_LT(shard, kMaxShards);
+      recs[shard].AttachZkClient(loop, c);
+    });
+  }
+  for (uint32_t s = 0; s < 2; ++s) {
+    for (ZkServer* server : fixture.ZkShardServers(s)) {
+      recs[s].AttachZkServer(server);
+    }
+  }
+
+  ZkChaosOutcome out;
+  auto write = [&](size_t client, const std::string& path, const std::string& data) {
+    ++out.writes_issued;
+    fixture.zk_router(client)->Create(path, data, false, false,
+                                      [&out](Result<std::string> r) {
+                                        ++out.writes_completed;
+                                        out.writes_ok += r.ok();
+                                      });
+  };
+
+  // Phase 1: both clients write 20 keys each against the 2-shard map.
+  for (size_t c = 0; c < 2; ++c) {
+    for (int i = 0; i < 20; ++i) {
+      write(c, "/cx" + std::to_string(c) + "-" + std::to_string(i), "p1");
+    }
+  }
+  fixture.Settle(Seconds(3));
+  EXPECT_EQ(out.writes_completed, out.writes_issued);
+
+  // Mid-traffic topology change: a third ensemble joins, every old replica
+  // starts rejecting version-stamped traffic as stale.
+  ShardMap before = fixture.shard_map();
+  fixture.AddShard();
+  ShardMap after = fixture.shard_map();
+  for (ZkServer* server : fixture.ZkShardServers(2)) {
+    recs[2].AttachZkServer(server);
+  }
+
+  // Phase 2, immediately (new shard is still electing): re-read phase-1 keys
+  // and write 20 more per client. Keys on old shards bounce once with
+  // kShardMapStale and retry after the refresh; keys that now route to shard
+  // 2 queue behind its sub-client's session and read as absent there.
+  for (size_t c = 0; c < 2; ++c) {
+    for (int i = 0; i < 20; ++i) {
+      std::string path = "/cx" + std::to_string(c) + "-" + std::to_string(i);
+      bool stays = Unmoved(before, after, CoordKey::ForPath(path));
+      (stays ? out.expected_hits : out.expected_misses) += 1;
+      ++out.reads_issued;
+      fixture.zk_router(c)->GetData(path, false,
+                                    [&out, stays](Result<ZkApi::NodeResult> r) {
+                                      ++out.reads_completed;
+                                      if (r.ok() && stays) {
+                                        ++out.read_hits;
+                                      } else if (!r.ok() && !stays &&
+                                                 r.status().code() == ErrorCode::kNoNode) {
+                                        ++out.read_misses;
+                                      }
+                                    });
+      write(c, "/cx" + std::to_string(c) + "-" + std::to_string(20 + i), "p2");
+    }
+  }
+  fixture.Settle(Seconds(15));  // election + failover budget for the new shard
+
+  for (size_t i = 0; i < 2; ++i) {
+    ZkShardRouter* router = fixture.zk_router(i);
+    out.stale_refreshes += router->stale_refreshes();
+    out.final_map_version = router->map_version();
+    EXPECT_EQ(router->shard_count(), 3u);
+  }
+  out.fixture_map_version = fixture.shard_map().version();
+  for (uint32_t s = 0; s < kMaxShards; ++s) {
+    out.shard_digests.push_back(ZkShardDigest(fixture.ZkShardServers(s)));
+    out.calls_per_shard[s] = recs[s].zk_calls.size();
+    CheckReport report = CheckZkHistory(recs[s]);
+    for (const std::string& v : report.violations) {
+      out.violations.push_back("shard " + std::to_string(s) + ": " + v);
+    }
+  }
+  return out;
+}
+
+TEST(ShardChaosTest, MapBumpMidTrafficLosesNothing) {
+  ZkChaosOutcome out = RunZkChaos(11);
+
+  // No lost or duplicated completions: every issued op calls back exactly
+  // once (a duplicate callback would push completed past issued).
+  EXPECT_EQ(out.writes_completed, out.writes_issued);
+  EXPECT_EQ(out.writes_ok, out.writes_issued);  // stale bounces retried internally
+  EXPECT_EQ(out.reads_completed, out.reads_issued);
+
+  // Unmoved keys keep their data; moved keys miss on the new shard — and
+  // every read falls in exactly one of the two classes.
+  EXPECT_EQ(out.read_hits, out.expected_hits);
+  EXPECT_EQ(out.read_misses, out.expected_misses);
+  EXPECT_GT(out.expected_misses, 0);  // the change really moved keys
+
+  // The routers really went through the stale-refresh protocol and ended on
+  // the fixture's current map.
+  EXPECT_GE(out.stale_refreshes, 1);
+  EXPECT_EQ(out.final_map_version, out.fixture_map_version);
+
+  // Per-shard histories conform to the sequential model.
+  std::string all;
+  for (const std::string& v : out.violations) {
+    all += v + "\n";
+  }
+  EXPECT_TRUE(out.violations.empty()) << all;
+
+  // The new shard actually took traffic.
+  EXPECT_GT(out.calls_per_shard[2], 0u);
+}
+
+TEST(ShardChaosTest, SameSeedSamePerShardDigests) {
+  ZkChaosOutcome a = RunZkChaos(23);
+  ZkChaosOutcome b = RunZkChaos(23);
+  ASSERT_EQ(a.shard_digests.size(), b.shard_digests.size());
+  for (size_t s = 0; s < a.shard_digests.size(); ++s) {
+    EXPECT_EQ(a.shard_digests[s], b.shard_digests[s]) << "shard " << s;
+  }
+  EXPECT_EQ(a.writes_ok, b.writes_ok);
+  EXPECT_EQ(a.read_hits, b.read_hits);
+
+  // A different seed must still conform but may schedule differently.
+  ZkChaosOutcome c = RunZkChaos(29);
+  EXPECT_TRUE(c.violations.empty());
+}
+
+// --- DepSpace variant ----------------------------------------------------
+
+TEST(ShardChaosTest, DsMapBumpMidTrafficConforms) {
+  FixtureOptions options;
+  options.system = SystemKind::kDepSpace;
+  options.num_clients = 2;
+  options.num_shards = 2;
+  options.seed = 17;
+  CoordFixture fixture(options);
+  fixture.Start();
+
+  std::array<HistoryRecorder, kMaxShards> recs;
+  EventLoop* loop = &fixture.loop();
+  for (size_t i = 0; i < 2; ++i) {
+    fixture.ds_router(i)->SetSubClientHook([&recs, loop](uint32_t shard, DsClient* c) {
+      ASSERT_LT(shard, kMaxShards);
+      recs[shard].AttachDsClient(loop, c);
+    });
+  }
+  for (uint32_t s = 0; s < 2; ++s) {
+    for (DsServer* server : fixture.DsShardServers(s)) {
+      recs[s].AttachDsServer(server);
+    }
+  }
+
+  int issued = 0;
+  int completed = 0;
+  int out_ok = 0;
+  int rd_hits = 0;
+  int rd_misses = 0;
+  int expected_hits = 0;
+  int expected_misses = 0;
+  auto out_op = [&](size_t client, const std::string& key) {
+    ++issued;
+    fixture.ds_router(client)->Out(DsTuple{DsField{key}, DsField{"v"}},
+                                   [&](Result<DsReply> r) {
+                                     ++completed;
+                                     out_ok += r.ok() && r->code == ErrorCode::kOk;
+                                   });
+  };
+
+  for (size_t c = 0; c < 2; ++c) {
+    for (int i = 0; i < 15; ++i) {
+      out_op(c, "dk" + std::to_string(c) + "-" + std::to_string(i));
+    }
+  }
+  fixture.Settle(Seconds(3));
+  ASSERT_EQ(completed, issued);
+
+  ShardMap before = fixture.shard_map();
+  fixture.AddShard();
+  ShardMap after = fixture.shard_map();
+  for (DsServer* server : fixture.DsShardServers(2)) {
+    recs[2].AttachDsServer(server);
+  }
+
+  for (size_t c = 0; c < 2; ++c) {
+    for (int i = 0; i < 15; ++i) {
+      std::string key = "dk" + std::to_string(c) + "-" + std::to_string(i);
+      bool stays = Unmoved(before, after, CoordKey::ForField(key));
+      (stays ? expected_hits : expected_misses) += 1;
+      ++issued;
+      // A present tuple comes back as an ok reply carrying it; a miss (the
+      // moved key's tuple was never migrated) surfaces as kNoNode.
+      fixture.ds_router(c)->Rdp(DsTemplate{DsTField::Exact(key), DsTField::Any()},
+                                [&, stays](Result<DsReply> r) {
+                                  ++completed;
+                                  if (stays && r.ok() && r->code == ErrorCode::kOk &&
+                                      r->tuples.size() == 1) {
+                                    ++rd_hits;
+                                  } else if (!stays && !r.ok() &&
+                                             r.status().code() == ErrorCode::kNoNode) {
+                                    ++rd_misses;
+                                  }
+                                });
+      out_op(c, "dk" + std::to_string(c) + "-" + std::to_string(15 + i));
+    }
+  }
+  fixture.Settle(Seconds(8));
+
+  EXPECT_EQ(completed, issued);
+  EXPECT_EQ(out_ok, 2 * 30);  // every Out (both phases) acknowledged once
+  EXPECT_EQ(rd_hits, expected_hits);
+  EXPECT_EQ(rd_misses, expected_misses);
+
+  int refreshes = 0;
+  for (size_t i = 0; i < 2; ++i) {
+    refreshes += fixture.ds_router(i)->stale_refreshes();
+    EXPECT_EQ(fixture.ds_router(i)->map_version(), fixture.shard_map().version());
+  }
+  EXPECT_GE(refreshes, 1);
+
+  for (uint32_t s = 0; s < kMaxShards; ++s) {
+    CheckReport report = CheckDsHistory(recs[s]);
+    EXPECT_TRUE(report.ok()) << "shard " << s << ":\n" << report.ToString();
+  }
+  // Replica groups stay internally consistent after the change.
+  std::string why;
+  EXPECT_TRUE(fixture.CheckEdsInvariants(&why)) << why;
+}
+
+}  // namespace
+}  // namespace edc

@@ -122,7 +122,8 @@ TEST(ChaosTest, ClientFailsOverAndReArmsWatch) {
   ZkClientOptions copts;
   copts.session_timeout = Seconds(1);
   copts.ping_interval = Millis(200);
-  ZkClient client(&loop, &net, 100, ServerList{members, follower_idx}, copts);
+  ZkClient client(&loop, &net, 100,
+                  ShardView::Standalone(ServerList{members, follower_idx}), copts);
   std::vector<SessionEvent> events;
   client.SetSessionEventHandler([&](SessionEvent e) { events.push_back(e); });
   int watch_fired = 0;

@@ -75,9 +75,9 @@ struct ChaosCluster {
 
   ZkClient* AddClient(size_t preferred_idx) {
     NodeId id = next_client_id++;
-    auto client = std::make_unique<ZkClient>(&loop, net.get(), id,
-                                             ServerList{{1, 2, 3}, preferred_idx},
-                                             ZkClientOptions{});
+    auto client = std::make_unique<ZkClient>(
+        &loop, net.get(), id, ShardView::Standalone(ServerList{{1, 2, 3}, preferred_idx}),
+        ZkClientOptions{});
     ZkClient* raw = client.get();
     clients.push_back(std::move(client));
     bool connected = false;
