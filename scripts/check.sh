@@ -57,7 +57,7 @@ run_lint_tier
 
 cd "$BUILD_DIR"
 echo "== tier-1 tests =="
-ctest --output-on-failure -j "$JOBS" -LE 'chaos|model|obs|lint|shard'
+ctest --output-on-failure -j "$JOBS" -LE 'chaos|model|obs|lint|shard|pipeline'
 echo "== chaos tests =="
 ctest --output-on-failure -j "$JOBS" -L chaos
 echo "== model-conformance tests =="
@@ -66,6 +66,8 @@ echo "== observability tests =="
 ctest --output-on-failure -j "$JOBS" -L obs
 echo "== sharded coordination plane tests =="
 ctest --output-on-failure -j "$JOBS" --no-tests=error -L shard
+echo "== pipeline determinism tests =="
+ctest --output-on-failure -j "$JOBS" --no-tests=error -L pipeline
 # Spotlight the recovery/crash-restart families (docs/bft_recovery.md): these
 # already ran inside the tiers above, but --no-tests=error makes the gate fail
 # loudly if a rename or CMake edit silently drops them from discovery.

@@ -77,6 +77,11 @@ struct ExplorerOptions {
   // Plants ZkServerOptions::test_double_fire_watches on every replica; the
   // negative tests prove the checker catches and shrinks it.
   bool double_fire_bug = false;
+  // Forwarded verbatim to every ZK-family replica. The pipeline crash sweep
+  // plants an aggressively pipelined LogStoreConfig here so crash episodes
+  // land while several batches are in flight; defaults reproduce the plain
+  // sweep configuration.
+  ZkServerOptions zk_server;
 };
 
 struct ScheduleResult {

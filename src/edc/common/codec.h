@@ -56,6 +56,10 @@ class Encoder {
   std::vector<uint8_t> Release() { return std::move(buf_); }
   size_t size() const { return buf_.size(); }
 
+  // Drops the contents but keeps the allocation, so a hot path can reuse one
+  // encoder as a per-batch arena without reallocating per message.
+  void Clear() { buf_.clear(); }
+
  private:
   template <typename T>
   void PutFixed(T v) {

@@ -1,17 +1,33 @@
-// Simulated durable write-ahead log with group commit.
+// Simulated durable write-ahead log with pipelined group commit.
 //
 // Real coordination services bound write throughput with the fsync path;
 // ZooKeeper batches concurrent appends into one sync. We reproduce that
-// shape: appends arriving within `group_commit_window` share a single
+// shape: appends arriving within the group-commit window share a single
 // simulated fsync whose latency is `fsync_latency` plus a size-proportional
-// disk-bandwidth term. The log's contents survive simulated crashes (the
-// in-memory image models the on-disk file), which is what lets a recovering
-// replica replay its history during state transfer.
+// disk-bandwidth term. Since PR 7 the device models `pipeline_depth`
+// concurrent fsync channels: while one batch's fsync is in flight the next
+// batch accumulates and is submitted without waiting, so the log is no
+// longer limited to one batch per fsync. Batches may complete out of order
+// across channels, but records_, durability callbacks and spans are always
+// published strictly in submission order (see docs/replication_pipeline.md
+// for the ordering invariants). The group-commit window itself adapts to
+// load when `adaptive_window` is set: it doubles when batches fill up and
+// halves when they run near-empty, deterministically, so two runs of the
+// same schedule see the same window trajectory.
+//
+// The log's contents survive simulated crashes (the in-memory image models
+// the on-disk file), which is what lets a recovering replica replay its
+// history during state transfer. A crash (DropUnsynced) loses every batch
+// that has not yet been *published* — including batches whose fsync already
+// completed at the device but that are still waiting behind an earlier
+// in-flight batch — so recovery always truncates to the published durable
+// prefix.
 
 #ifndef EDC_LOGSTORE_LOGSTORE_H_
 #define EDC_LOGSTORE_LOGSTORE_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <vector>
 
@@ -26,22 +42,59 @@ struct LogStoreConfig {
   Duration fsync_latency = Micros(60);
   Duration group_commit_window = Micros(20);
   double disk_bandwidth_bps = 2e9;  // bits/s sequential write
+
+  // Number of fsync batches that may be in flight at the device at once.
+  // 1 reproduces the pre-pipelining serial group commit exactly (every batch
+  // waits for the previous one's fsync); clamped up to 1.
+  size_t pipeline_depth = 4;
+
+  // Adaptive group-commit sizing: the live window starts at
+  // group_commit_window and, at each batch submission, doubles when the batch
+  // had >= window_grow_records entries (queue pressure: trade latency for
+  // fewer, larger fsyncs) and halves when it had <= window_shrink_records
+  // (idle: stop making lone appends wait), clamped to
+  // [min_window, max_window]. Off = fixed window, legacy behaviour.
+  bool adaptive_window = true;
+  Duration min_window = Micros(5);
+  Duration max_window = Micros(160);
+  size_t window_grow_records = 8;
+  size_t window_shrink_records = 2;
 };
+
+// Legacy (pre-pipelining) configuration: serial fsyncs, fixed window. The
+// determinism suite runs the same schedule under this and the pipelined
+// default and asserts identical record contents and callback order.
+inline LogStoreConfig LegacyLogStoreConfig() {
+  LogStoreConfig cfg;
+  cfg.pipeline_depth = 1;
+  cfg.adaptive_window = false;
+  return cfg;
+}
 
 class LogStore {
  public:
   using DurableCallback = std::function<void()>;
 
-  LogStore(EventLoop* loop, LogStoreConfig config) : loop_(loop), config_(config) {}
+  LogStore(EventLoop* loop, LogStoreConfig config)
+      : loop_(loop), config_(config), window_(InitialWindow(config)) {
+    channel_free_at_.assign(config_.pipeline_depth > 0 ? config_.pipeline_depth : 1, 0);
+  }
 
   LogStore(const LogStore&) = delete;
   LogStore& operator=(const LogStore&) = delete;
 
-  // Appends a record; `on_durable` fires once the shared fsync completes.
+  // Appends a record; `on_durable` fires once the record's batch is durable
+  // AND every earlier batch has been published (record-order semantics).
   void Append(std::vector<uint8_t> record, DurableCallback on_durable);
 
+  // Fires once after every publication run that completed at least one batch
+  // (i.e. once per group of in-order durable callbacks), after those
+  // callbacks. Replication uses it to send one cumulative ACK per durable
+  // batch instead of one per record.
+  void SetBatchDurableCallback(std::function<void()> cb) { batch_cb_ = std::move(cb); }
+
   // Durable records, in append order. Records that have been appended but not
-  // yet synced are NOT visible here (a crash would lose them).
+  // yet synced-and-published are NOT visible here (a crash would lose them).
   const std::vector<std::vector<uint8_t>>& records() const { return records_; }
 
   // Drops durable records with index >= first_removed (log truncation after
@@ -51,7 +104,11 @@ class LogStore {
   // Drops the first `count` durable records (checkpoint + log rotation).
   void DropHead(size_t count);
 
-  // Drops in-flight (unsynced) appends, modeling a crash before fsync.
+  // Drops in-flight appends, modeling a crash before fsync: the accumulating
+  // batch and every submitted-but-unpublished batch are lost, even if their
+  // device-level fsync had already completed — only the published prefix
+  // (records()) survives. The adaptive window resets to its initial value,
+  // as a restarted process would rebuild it from scratch.
   void DropUnsynced();
 
   // On-disk image of the durable records: each record framed as u32 length +
@@ -69,12 +126,17 @@ class LogStore {
 
   int64_t syncs() const { return syncs_; }
   int64_t appended_bytes() const { return appended_bytes_; }
+  // Submitted-but-unpublished batches (pipeline occupancy right now).
+  size_t inflight_batches() const { return inflight_.size(); }
+  // Live adaptive group-commit window.
+  Duration current_window() const { return window_; }
 
-  // Observability (nullable): each append gets a kFsync span covering
-  // append-to-durable (group-commit wait + fsync + disk write), its durable
-  // callback runs under the appender's captured trace context, and the
-  // registry gets sync counts + batch-size/queue-depth histograms. `track`
-  // is the owning node's id.
+  // Observability (nullable): each append gets kFsync spans covering
+  // append-to-submission (group-commit wait) and submission-to-publication
+  // (fsync + disk write + in-order publication wait), its durable callback
+  // runs under the appender's captured trace context, and the registry gets
+  // sync counts + batch-size/queue-depth/pipeline-depth/window histograms.
+  // `track` is the owning node's id.
   void SetObs(Obs* obs, uint32_t track);
 
  private:
@@ -82,20 +144,35 @@ class LogStore {
     std::vector<uint8_t> record;
     DurableCallback cb;
     TraceContext ctx;   // appender's context (inactive when obs is off)
-    SimTime at = 0;     // append time, for the fsync span
+    SimTime at = 0;     // append time, for the group-commit wait span
   };
 
+  struct Batch {
+    uint64_t seq = 0;
+    std::vector<Pending> entries;
+    SimTime submitted_at = 0;
+    bool durable = false;  // device fsync done; publication may still wait
+  };
+
+  static Duration InitialWindow(const LogStoreConfig& config);
+
   void Flush();
+  void AdaptWindow(size_t batch_records);
+  void PublishDurablePrefix();
 
   EventLoop* loop_;
   LogStoreConfig config_;
   std::vector<std::vector<uint8_t>> records_;
   std::vector<Pending> pending_;
+  std::deque<Batch> inflight_;          // submission order; front = oldest
+  std::vector<SimTime> channel_free_at_;  // per-channel device availability
+  Duration window_;                     // live adaptive window
+  uint64_t next_batch_seq_ = 0;
   bool flush_scheduled_ = false;
-  SimTime disk_free_at_ = 0;
   int64_t syncs_ = 0;
   int64_t appended_bytes_ = 0;
   uint64_t flush_epoch_ = 0;  // invalidates scheduled flushes after DropUnsynced
+  std::function<void()> batch_cb_;
   Obs* obs_ = nullptr;
   uint32_t track_ = 0;
   Counter* m_syncs_ = nullptr;
@@ -103,6 +180,8 @@ class LogStore {
   Recorder* m_batch_records_ = nullptr;
   Recorder* m_batch_bytes_ = nullptr;
   Recorder* m_queue_depth_ = nullptr;
+  Recorder* m_inflight_ = nullptr;
+  Recorder* m_window_us_ = nullptr;
 };
 
 }  // namespace edc

@@ -24,7 +24,11 @@ struct CostModel {
   Duration watch_fire_cpu = Micros(2);    // per triggered watch/notification
 
   // Zab-style primary-backup broadcast.
-  Duration zab_propose_cpu = Micros(3);   // leader, per proposal sent
+  // Proposal handling dropped from 3us to 2us when the propose path moved to
+  // the single-pass arena codec (PR 7): the txn is serialized once for wire
+  // and log together, and followers slice the log record straight out of the
+  // received frame instead of re-encoding (see bench/micro_substrate.cpp).
+  Duration zab_propose_cpu = Micros(2);   // leader, per proposal sent
   Duration zab_ack_cpu = Micros(1);
   Duration zab_commit_cpu = Micros(2);
 

@@ -173,6 +173,14 @@ void FaultInjector::EnablePacketTrace() {
     h = Fnv1a64(reinterpret_cast<const uint8_t*>(&pkt.type), sizeof(pkt.type), h);
     h = Fnv1a64(pkt.payload, h);
     digest_ = h;
+    // Semantic digest: same fields minus delivery time, folded commutatively
+    // so it is invariant to delivery order (pipelining reshuffles timing,
+    // not traffic).
+    uint64_t s = Fnv1a64(reinterpret_cast<const uint8_t*>(&pkt.src), sizeof(pkt.src));
+    s = Fnv1a64(reinterpret_cast<const uint8_t*>(&pkt.dst), sizeof(pkt.dst), s);
+    s = Fnv1a64(reinterpret_cast<const uint8_t*>(&pkt.type), sizeof(pkt.type), s);
+    s = Fnv1a64(pkt.payload, s);
+    semantic_digest_ += s;
   });
 }
 

@@ -108,6 +108,15 @@ class FaultInjector {
   // tracing is enabled). Equal digests => identical runs.
   uint64_t TraceDigest() const { return digest_; }
 
+  // Time-free, order-insensitive companion to TraceDigest(): a commutative
+  // (wrapping-sum) fold of per-packet FNV hashes over (src, dst, type,
+  // payload) only. Two runs that deliver the same multiset of packets — e.g.
+  // a depth-1 vs pipelined replication run whose delivery timing shifts but
+  // whose protocol traffic is byte-identical — compare equal here even
+  // though the time-stamped TraceDigest() differs. Requires
+  // EnablePacketTrace().
+  uint64_t SemanticPacketDigest() const { return semantic_digest_; }
+
  private:
   void Record(const std::string& line);
 
@@ -120,6 +129,7 @@ class FaultInjector {
   std::unordered_map<NodeId, Process> procs_;
   std::vector<std::string> trace_;
   uint64_t digest_ = 0xcbf29ce484222325ULL;  // kFnvOffset
+  uint64_t semantic_digest_ = 0;
   bool packet_trace_ = false;
 };
 

@@ -144,9 +144,13 @@ Result<EpochMsg> DecodeEpochMsg(const std::vector<uint8_t>& buf) {
 
 std::vector<uint8_t> EncodeProposeMsg(const ProposeMsg& m) {
   Encoder enc;
+  EncodeProposeMsgInto(m, enc);
+  return enc.Release();
+}
+
+void EncodeProposeMsgInto(const ProposeMsg& m, Encoder& enc) {
   enc.PutU32(m.epoch);
   m.proposal.Encode(enc);
-  return enc.Release();
 }
 
 Result<ProposeMsg> DecodeProposeMsg(const std::vector<uint8_t>& buf) {
@@ -163,6 +167,33 @@ Result<ProposeMsg> DecodeProposeMsg(const std::vector<uint8_t>& buf) {
   }
   m.proposal = std::move(*p);
   return m;
+}
+
+Result<ProposeFrameView> DecodeProposeMsgView(const std::vector<uint8_t>& buf) {
+  Decoder dec(buf);
+  ProposeFrameView v;
+  auto epoch = dec.GetU32();
+  if (!epoch.ok()) {
+    return epoch.status();
+  }
+  v.epoch = *epoch;
+  v.record = buf.data() + kProposeHeaderBytes;
+  v.record_size = buf.size() - kProposeHeaderBytes;
+  auto zxid = dec.GetU64();
+  if (!zxid.ok()) {
+    return zxid.status();
+  }
+  v.zxid = *zxid;
+  auto n = dec.GetVarint();
+  if (!n.ok()) {
+    return n.status();
+  }
+  if (dec.remaining() < *n) {
+    return Status(ErrorCode::kDecodeError, "truncated buffer");
+  }
+  v.txn = buf.data() + (buf.size() - dec.remaining());
+  v.txn_size = static_cast<size_t>(*n);
+  return v;
 }
 
 std::vector<uint8_t> EncodeZxidMsg(const ZxidMsg& m) {

@@ -116,6 +116,25 @@ struct ProposeMsg {
   ZabProposal proposal;
 };
 
+// Byte offset of the embedded proposal frame inside a kPropose payload (the
+// u32 epoch header precedes it). The durable log record for a proposal is
+// exactly the payload suffix starting here — the replication hot path relies
+// on that to serialize each transaction once (arena encode on the leader,
+// frame slicing on followers) instead of once per consumer.
+constexpr size_t kProposeHeaderBytes = 4;
+
+// Zero-copy view of a kPropose payload: all pointers borrow the packet
+// buffer, which must outlive the view. `record` spans the proposal frame
+// (zxid + txn), i.e. the bytes a follower appends to its log verbatim.
+struct ProposeFrameView {
+  uint32_t epoch = 0;
+  uint64_t zxid = 0;
+  const uint8_t* txn = nullptr;
+  size_t txn_size = 0;
+  const uint8_t* record = nullptr;
+  size_t record_size = 0;
+};
+
 // kAck / kCommit payload.
 struct ZxidMsg {
   uint32_t epoch = 0;
@@ -136,7 +155,13 @@ Result<SnapMsg> DecodeSnapMsg(const std::vector<uint8_t>& buf);
 std::vector<uint8_t> EncodeEpochMsg(const EpochMsg& m);
 Result<EpochMsg> DecodeEpochMsg(const std::vector<uint8_t>& buf);
 std::vector<uint8_t> EncodeProposeMsg(const ProposeMsg& m);
+// Arena variant: appends the frame to `enc` (typically a reused per-batch
+// encoder) instead of allocating a fresh buffer per message.
+void EncodeProposeMsgInto(const ProposeMsg& m, Encoder& enc);
 Result<ProposeMsg> DecodeProposeMsg(const std::vector<uint8_t>& buf);
+// Zero-copy variant: validates the frame and returns borrowed spans into
+// `buf` (no txn copy); see ProposeFrameView.
+Result<ProposeFrameView> DecodeProposeMsgView(const std::vector<uint8_t>& buf);
 std::vector<uint8_t> EncodeZxidMsg(const ZxidMsg& m);
 Result<ZxidMsg> DecodeZxidMsg(const std::vector<uint8_t>& buf);
 

@@ -19,6 +19,10 @@ ZabNode::ZabNode(EventLoop* loop, Network* net, CpuQueue* cpu, LogStore* log,
       config_(std::move(config)),
       callbacks_(callbacks) {
   assert(!config_.members.empty());
+  // One cumulative ack per durable log batch (instead of one per record):
+  // the LogStore tells us when a publication run finished; by then every
+  // per-record callback has advanced durable_zxid_.
+  log_->SetBatchDurableCallback([this]() { OnLocalBatchDurable(); });
 }
 
 uint64_t ZabNode::last_logged() const {
@@ -80,8 +84,10 @@ void ZabNode::Start() {
   delivered_count_ = 0;
   synced_ = false;
   broadcast_active_ = false;
-  acks_.clear();
+  acked_.clear();
   newleader_acks_.clear();
+  durable_zxid_ = last_logged();  // replayed records are durable by definition
+  acked_zxid_ = 0;
   EnterLooking();
 }
 
@@ -118,6 +124,7 @@ void ZabNode::EnterLooking() {
   synced_ = false;
   broadcast_active_ = false;
   leader_ = 0;
+  acked_zxid_ = 0;  // a future leader must hear our acks afresh
   proposal_trace_.clear();  // contexts belong to the lost leadership term
   loop_->Cancel(heartbeat_timer_);
   loop_->Cancel(leader_timeout_timer_);
@@ -228,14 +235,12 @@ void ZabNode::BecomeLeader() {
   leader_ = config_.self;
   counter_ = 0;
   broadcast_active_ = false;
-  acks_.clear();
+  acked_.clear();
   newleader_acks_.clear();
   newleader_acks_.insert(config_.self);
   peer_last_seen_.clear();
   // Our whole durable history counts as self-acked.
-  for (size_t i = delivered_count_; i < history_.size(); ++i) {
-    acks_[history_[i].zxid].insert(config_.self);
-  }
+  acked_[config_.self] = last_logged();
   EDC_LOG(kInfo) << "node " << config_.self << " LEADING epoch=" << current_epoch_;
   ActivateBroadcastIfQuorum();
   SendHeartbeats();
@@ -296,11 +301,7 @@ void ZabNode::OnAckNewLeader(NodeId from, const FollowerInfo& info) {
   }
   TouchPeer(from);
   newleader_acks_.insert(from);
-  for (const ZabProposal& p : history_) {
-    if (p.zxid <= info.last_zxid) {
-      RecordAck(from, p.zxid);
-    }
-  }
+  RecordAck(from, info.last_zxid);
   ActivateBroadcastIfQuorum();
   TryCommit();
 }
@@ -328,12 +329,21 @@ bool ZabNode::Broadcast(std::vector<uint8_t> txn) {
       proposal_trace_[proposal.zxid] = ProposalTrace{ctx, loop_->now()};
     }
   }
-  history_.push_back(proposal);
-  ProposeMsg msg{current_epoch_, proposal};
-  auto payload = EncodeProposeMsg(msg);
-  BroadcastMsg(ZabMsgType::kPropose, payload);
+  // Single-pass arena encode: the kPropose frame is built once in the reused
+  // arena; the wire payload is the whole frame and the durable log record is
+  // its proposal suffix (epoch header stripped), so the txn bytes are
+  // serialized exactly once instead of once per consumer.
+  arena_.Clear();
+  EncodeProposeMsgInto({current_epoch_, proposal}, arena_);
+  const std::vector<uint8_t>& frame = arena_.buffer();
+  std::vector<uint8_t> record(frame.begin() + kProposeHeaderBytes, frame.end());
   uint64_t zxid = proposal.zxid;
-  AppendDurable(std::move(proposal), [this, zxid]() {
+  history_.push_back(std::move(proposal));
+  BroadcastMsg(ZabMsgType::kPropose, frame);
+  // The proposal streams out immediately — durability of earlier proposals
+  // is NOT awaited; the LogStore pipelines this append behind any fsync
+  // still in flight, and the self-ack below lands whenever its batch does.
+  AppendRecordDurable(zxid, std::move(record), [this, zxid]() {
     RecordAck(config_.self, zxid);
     TryCommit();
   });
@@ -341,10 +351,8 @@ bool ZabNode::Broadcast(std::vector<uint8_t> txn) {
 }
 
 void ZabNode::RecordAck(NodeId from, uint64_t zxid) {
-  if (zxid <= committed_zxid_) {
-    return;
-  }
-  acks_[zxid].insert(from);
+  uint64_t& window = acked_[from];
+  window = std::max(window, zxid);
 }
 
 void ZabNode::OnAck(NodeId from, const ZxidMsg& msg) {
@@ -367,13 +375,21 @@ void ZabNode::TryCommit() {
   if (role_ != Role::kLeading || !broadcast_active_) {
     return;
   }
+  // Advance the commit point from the cumulative ack window: commit the next
+  // undelivered zxid while a quorum's windows cover it. Acks may arrive out
+  // of order across pipelined batches, but the scan is strictly in history
+  // order, so a gap can never commit before everything preceding it.
   while (delivered_count_ < history_.size()) {
     uint64_t zxid = history_[delivered_count_].zxid;
-    auto it = acks_.find(zxid);
-    if (it == acks_.end() || it->second.size() < Quorum()) {
+    size_t votes = 0;
+    for (const auto& [node, window] : acked_) {
+      if (window >= zxid) {
+        ++votes;
+      }
+    }
+    if (votes < Quorum()) {
       break;
     }
-    acks_.erase(it);
     committed_zxid_ = zxid;
     // Deliver + COMMIT fanout run under the proposing operation's context so
     // the reply path (and follower commit work) stays attributed to it.
@@ -406,6 +422,7 @@ void ZabNode::BecomeFollower(NodeId leader, uint32_t leader_epoch) {
   role_ = Role::kFollowing;
   leader_ = leader;
   synced_ = false;
+  acked_zxid_ = 0;  // this leader has heard nothing from us yet
   current_epoch_ = std::max(current_epoch_, leader_epoch);
   EDC_LOG(kDebug) << "node " << config_.self << " FOLLOWING " << leader;
   SendTo(leader, ZabMsgType::kFollowerInfo, EncodeFollowerInfo({last_logged()}));
@@ -423,12 +440,27 @@ void ZabNode::OnDiff(DiffMsg&& msg) {
   if (role_ != Role::kFollowing) {
     return;
   }
+  // Re-log the whole diff through one arena buffer (one growing allocation
+  // per batch, record boundaries tracked by offset) instead of a fresh
+  // encoder per proposal.
+  arena_.Clear();
+  std::vector<uint64_t> zxids;
+  std::vector<size_t> offsets;
   for (ZabProposal& p : msg.proposals) {
     if (p.zxid <= last_logged()) {
       continue;
     }
-    history_.push_back(p);
-    AppendDurable(std::move(p), nullptr);
+    offsets.push_back(arena_.size());
+    p.Encode(arena_);
+    zxids.push_back(p.zxid);
+    history_.push_back(std::move(p));
+  }
+  offsets.push_back(arena_.size());
+  const std::vector<uint8_t>& buf = arena_.buffer();
+  for (size_t i = 0; i < zxids.size(); ++i) {
+    std::vector<uint8_t> record(buf.begin() + static_cast<ptrdiff_t>(offsets[i]),
+                                buf.begin() + static_cast<ptrdiff_t>(offsets[i + 1]));
+    AppendRecordDurable(zxids[i], std::move(record), nullptr);
   }
   DeliverUpTo(msg.committed_zxid);
   ResetLeaderTimeout();
@@ -471,6 +503,9 @@ void ZabNode::OnNewLeader(const EpochMsg& msg) {
   current_epoch_ = std::max(current_epoch_, msg.epoch);
   synced_ = true;
   DeliverUpTo(msg.committed_zxid);
+  // AckNewLeader claims everything up to last_logged(); suppress redundant
+  // cumulative acks for the same prefix.
+  acked_zxid_ = last_logged();
   SendTo(leader_, ZabMsgType::kAckNewLeader, EncodeFollowerInfo({last_logged()}));
   callbacks_->OnRoleChange(false, leader_, current_epoch_);
   ResetLeaderTimeout();
@@ -483,22 +518,55 @@ void ZabNode::OnUpToDate(const EpochMsg& msg) {
   }
 }
 
-void ZabNode::OnPropose(const ProposeMsg& msg) {
+void ZabNode::OnPropose(const ProposeFrameView& msg) {
   if (role_ != Role::kFollowing || !synced_ || msg.epoch != current_epoch_) {
     return;
   }
-  if (msg.proposal.zxid <= last_logged()) {
+  uint64_t last = last_logged();
+  if (msg.zxid <= last) {
     return;  // duplicate
   }
-  ZabProposal p = msg.proposal;
-  uint64_t zxid = p.zxid;
-  history_.push_back(p);
-  AppendDurable(std::move(p), [this, zxid]() {
-    if (role_ == Role::kFollowing && synced_) {
-      SendTo(leader_, ZabMsgType::kAck, EncodeZxidMsg({current_epoch_, zxid}));
-    }
-  });
+  // Cumulative acks claim everything <= the acked zxid, so the local log
+  // must never hold a gap: a non-contiguous proposal means we missed
+  // traffic (e.g. across a healed partition in the same epoch) — drop it
+  // and restart the sync handshake instead of logging around the hole.
+  uint64_t expected = ZxidEpoch(last) == msg.epoch ? last + 1 : MakeZxid(msg.epoch, 1);
+  if (msg.zxid != expected) {
+    synced_ = false;
+    SendTo(leader_, ZabMsgType::kFollowerInfo, EncodeFollowerInfo({last}));
+    ResetLeaderTimeout();
+    return;
+  }
+  // Zero-copy append: the durable log record is the proposal frame sliced
+  // straight out of the packet payload — no re-encode on the follower.
+  ZabProposal p;
+  p.zxid = msg.zxid;
+  p.txn.assign(msg.txn, msg.txn + msg.txn_size);
+  history_.push_back(std::move(p));
+  std::vector<uint8_t> record(msg.record, msg.record + msg.record_size);
+  uint64_t zxid = msg.zxid;
+  if (config_.ack_aggregation) {
+    // OnLocalBatchDurable sends one cumulative kAck per durable batch.
+    AppendRecordDurable(zxid, std::move(record), nullptr);
+  } else {
+    AppendRecordDurable(zxid, std::move(record), [this, zxid]() {
+      if (role_ == Role::kFollowing && synced_) {
+        SendTo(leader_, ZabMsgType::kAck, EncodeZxidMsg({current_epoch_, zxid}));
+      }
+    });
+  }
   ResetLeaderTimeout();
+}
+
+void ZabNode::OnLocalBatchDurable() {
+  if (!config_.ack_aggregation || role_ != Role::kFollowing || !synced_) {
+    return;
+  }
+  if (durable_zxid_ <= acked_zxid_) {
+    return;
+  }
+  acked_zxid_ = durable_zxid_;
+  SendTo(leader_, ZabMsgType::kAck, EncodeZxidMsg({current_epoch_, acked_zxid_}));
 }
 
 void ZabNode::OnCommitMsg(const ZxidMsg& msg) {
@@ -567,13 +635,24 @@ void ZabNode::DeliverUpTo(uint64_t frontier) {
 
 void ZabNode::AppendDurable(ZabProposal proposal, std::function<void()> on_durable) {
   Encoder enc;
+  uint64_t zxid = proposal.zxid;
   proposal.Encode(enc);
+  AppendRecordDurable(zxid, enc.Release(), std::move(on_durable));
+}
+
+void ZabNode::AppendRecordDurable(uint64_t zxid, std::vector<uint8_t> record,
+                                  std::function<void()> on_durable) {
   uint64_t gen = generation_;
-  log_->Append(enc.Release(), [this, gen, cb = std::move(on_durable)]() {
-    if (gen != generation_ || !cb) {
+  log_->Append(std::move(record), [this, gen, zxid, cb = std::move(on_durable)]() {
+    if (gen != generation_) {
       return;
     }
-    cb();
+    // The LogStore publishes durability strictly in append order, so this
+    // watermark is the highest *contiguously* durable zxid.
+    durable_zxid_ = std::max(durable_zxid_, zxid);
+    if (cb) {
+      cb();
+    }
   });
 }
 
@@ -697,7 +776,9 @@ void ZabNode::Process(Packet&& pkt) {
       break;
     }
     case ZabMsgType::kPropose: {
-      auto m = DecodeProposeMsg(pkt.payload);
+      // Zero-copy dispatch: the view borrows pkt.payload, which stays alive
+      // for the whole Process call.
+      auto m = DecodeProposeMsgView(pkt.payload);
       if (m.ok()) {
         OnPropose(*m);
       }

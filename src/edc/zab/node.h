@@ -14,6 +14,14 @@
 //   * Broadcast — leader assigns zxids (epoch<<32|counter), appends durably,
 //     sends PROPOSE; followers append durably and ACK; quorum acks commit
 //     in zxid order; COMMIT/heartbeats move the followers' commit frontier.
+//     Since PR 7 this phase is pipelined: the leader streams proposals
+//     without waiting for earlier batches' durability (the LogStore keeps
+//     several fsync batches in flight), followers ack as their local batches
+//     become durable — by default one cumulative ACK per durable batch
+//     instead of one per record (ZabConfig::ack_aggregation) — and the
+//     leader's commit point advances from a per-member cumulative ack window
+//     (highest contiguously-durable zxid) rather than per-zxid ack sets.
+//     Commits remain strictly zxid-ordered; see docs/replication_pipeline.md.
 //
 // Crash/recovery: Crash() wipes volatile state (the durable LogStore
 // survives); Restart() reloads the log and re-enters election. Delivery
@@ -56,6 +64,11 @@ struct ZabConfig {
   Duration heartbeat_interval = Millis(50);
   Duration leader_timeout = Millis(250);
   Duration election_retry = Millis(120);
+  // Followers send one cumulative kAck per durable log batch instead of one
+  // per record. Off reproduces the legacy per-record ack stream packet for
+  // packet (the pipeline determinism suite uses that for trace-digest
+  // comparisons across pipeline depths).
+  bool ack_aggregation = true;
 };
 
 class ZabNode {
@@ -156,7 +169,8 @@ class ZabNode {
 
   // Following.
   void BecomeFollower(NodeId leader, uint32_t leader_epoch);
-  void OnPropose(const ProposeMsg& msg);
+  void OnPropose(const ProposeFrameView& msg);
+  void OnLocalBatchDurable();
   void OnCommitMsg(const ZxidMsg& msg);
   void OnDiff(DiffMsg&& msg);
   void OnTrunc(const ZxidMsg& msg);
@@ -169,6 +183,10 @@ class ZabNode {
   // Shared.
   void DeliverUpTo(uint64_t frontier);
   void AppendDurable(ZabProposal proposal, std::function<void()> on_durable);
+  // Appends pre-encoded proposal-frame bytes (the hot path: the frame was
+  // already built once for the wire) and tracks the local durable watermark.
+  void AppendRecordDurable(uint64_t zxid, std::vector<uint8_t> record,
+                           std::function<void()> on_durable);
   const ZabProposal* FindInHistory(uint64_t zxid) const;
   void ArmTimer(TimerId* slot, Duration delay, std::function<void()> fn);
 
@@ -200,12 +218,26 @@ class ZabNode {
   // Leader state.
   uint32_t counter_ = 0;
   bool broadcast_active_ = false;
-  std::map<uint64_t, std::set<NodeId>> acks_;
+  // Cumulative ack window: highest zxid each member has made contiguously
+  // durable this leadership term. An ack for zxid z covers everything <= z —
+  // sound because followers append strictly in zxid order (OnPropose rejects
+  // gaps and forces a resync) and the LogStore publishes durability in
+  // append order. TryCommit advances the commit point while a quorum's
+  // window covers the next undelivered zxid, which tolerates acks arriving
+  // out of order across pipelined batches without ever committing a gap.
+  std::map<NodeId, uint64_t> acked_;
   std::set<NodeId> newleader_acks_;
   std::map<NodeId, SimTime> peer_last_seen_;  // reset each leadership term
 
   // Follower state.
   bool synced_ = false;
+  uint64_t durable_zxid_ = 0;  // highest zxid locally durable this boot
+  uint64_t acked_zxid_ = 0;    // highest zxid acked to the current leader
+
+  // Reused per-batch encode arena for the proposal hot path (leader frame
+  // build + follower DIFF re-logging): one growing buffer per batch instead
+  // of one allocation per message.
+  Encoder arena_;
 
   TimerId election_timer_ = kInvalidTimer;
   TimerId heartbeat_timer_ = kInvalidTimer;

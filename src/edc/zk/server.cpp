@@ -31,6 +31,7 @@ ZkServer::ZkServer(EventLoop* loop, Network* net, NodeId id, std::vector<NodeId>
   zcfg.heartbeat_interval = options.zab_heartbeat;
   zcfg.leader_timeout = options.zab_leader_timeout;
   zcfg.election_retry = options.zab_election_retry;
+  zcfg.ack_aggregation = options.zab_ack_aggregation;
   zab_ = std::make_unique<ZabNode>(loop, net, &cpu_, &log_, costs, zcfg, this);
 }
 

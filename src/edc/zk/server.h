@@ -41,6 +41,9 @@ struct ZkServerOptions {
   Duration zab_heartbeat = Millis(50);
   Duration zab_leader_timeout = Millis(250);
   Duration zab_election_retry = Millis(120);
+  // Followers ack once per durable log batch (cumulative) instead of once
+  // per record; off = legacy per-record ack stream (ZabConfig::ack_aggregation).
+  bool zab_ack_aggregation = true;
   Duration session_check_interval = Millis(200);
   // Test-only: deliver every watch notification twice. The conformance
   // checker's negative tests plant this bug to prove a single-fire violation

@@ -1,0 +1,344 @@
+// Pipelined group-commit determinism + crash-point suite (ctest -L pipeline).
+//
+// Pins the PR 7 LogStore pipelining contract from docs/replication_pipeline.md:
+//   * depth 1 + fixed window reproduces the legacy serial fsync timing exactly;
+//   * deeper pipelines overlap fsyncs (a batch is submitted while earlier
+//     batches' fsyncs are in flight) but publication — records(), durable
+//     callbacks, the batch hook — stays strictly in submission order even
+//     when channels complete out of order at the device;
+//   * a crash (DropUnsynced) at ANY boundary between submitted batches
+//     truncates to the published durable prefix, which round-trips through
+//     SerializeImage/RestoreImage;
+//   * adaptive group-commit sizing is fully deterministic: the same append
+//     schedule produces the same window trajectory, sync count and callback
+//     order on every run, and the same records under every pipeline depth.
+
+#include "edc/logstore/logstore.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "edc/common/hash.h"
+#include "edc/obs/obs.h"
+
+namespace edc {
+namespace {
+
+std::vector<uint8_t> Rec(uint8_t tag, size_t n = 8) { return std::vector<uint8_t>(n, tag); }
+
+// 8-byte record at 2e9 bits/s: 8 * 8 / 2e9 * 1e9 = 32 ns of write time.
+constexpr Duration kWrite8 = 32;
+
+TEST(PipelineLogStoreTest, DepthOneReproducesLegacySerialTiming) {
+  // The legacy contract, hand-computed: flush at window expiry, durable at
+  // max(now, disk_free) + fsync + write, next batch waits out the previous
+  // fsync on the single channel.
+  EventLoop loop;
+  LogStore log(&loop, LegacyLogStoreConfig());
+  std::vector<SimTime> durable_at;
+  log.Append(Rec(1), [&] { durable_at.push_back(loop.now()); });
+  loop.ScheduleAt(Micros(30), [&] {
+    log.Append(Rec(2), [&] { durable_at.push_back(loop.now()); });
+  });
+  loop.Run();
+  ASSERT_EQ(durable_at.size(), 2u);
+  // Batch 1: submit t=20us, durable 20us + 60us + 32ns.
+  EXPECT_EQ(durable_at[0], Micros(80) + kWrite8);
+  // Batch 2: submit t=50us, but the single channel is busy until 80.032us:
+  // durable = 80.032us + 60us + 32ns. No overlap at depth 1.
+  EXPECT_EQ(durable_at[1], Micros(140) + 2 * kWrite8);
+  EXPECT_EQ(log.syncs(), 2);
+}
+
+TEST(PipelineLogStoreTest, DeeperPipelineOverlapsFsyncs) {
+  // Same schedule as above but with idle channels available: batch 2 starts
+  // its fsync immediately at submission instead of queueing behind batch 1.
+  EventLoop loop;
+  LogStoreConfig cfg;
+  cfg.pipeline_depth = 4;
+  cfg.adaptive_window = false;
+  LogStore log(&loop, cfg);
+  std::vector<SimTime> durable_at;
+  log.Append(Rec(1), [&] { durable_at.push_back(loop.now()); });
+  loop.ScheduleAt(Micros(30), [&] {
+    log.Append(Rec(2), [&] { durable_at.push_back(loop.now()); });
+  });
+  loop.Run();
+  ASSERT_EQ(durable_at.size(), 2u);
+  EXPECT_EQ(durable_at[0], Micros(80) + kWrite8);
+  // Batch 2: submit t=50us on a free channel, durable 50us + 60us + 32ns —
+  // 30us earlier than the depth-1 run. The fsync wall is gone.
+  EXPECT_EQ(durable_at[1], Micros(110) + kWrite8);
+  EXPECT_EQ(log.syncs(), 2);
+}
+
+TEST(PipelineLogStoreTest, OutOfOrderDeviceCompletionPublishesInSubmissionOrder) {
+  // Batch 1 is a huge write (1 MB => 4 ms device time); batch 2 is tiny and
+  // its channel finishes ~3.9 ms earlier. Publication must still be batch 1
+  // first, batch 2 gated behind it, at batch 1's completion instant.
+  EventLoop loop;
+  LogStoreConfig cfg;
+  cfg.pipeline_depth = 4;
+  cfg.adaptive_window = false;
+  LogStore log(&loop, cfg);
+  std::vector<int> order;
+  std::vector<SimTime> at;
+  int batch_hook_fires = 0;
+  log.SetBatchDurableCallback([&] { ++batch_hook_fires; });
+  log.Append(std::vector<uint8_t>(1 << 20, 0xaa), [&] {
+    order.push_back(1);
+    at.push_back(loop.now());
+  });
+  loop.ScheduleAt(Micros(30), [&] {
+    log.Append(Rec(2), [&] {
+      order.push_back(2);
+      at.push_back(loop.now());
+    });
+  });
+  loop.Run();
+  ASSERT_EQ(order, (std::vector<int>{1, 2}));
+  // 1 MB at 2e9 bits/s = 4.194304 ms; batch 1 submit 20us, fsync 60us.
+  const SimTime batch1_durable =
+      Micros(80) + static_cast<Duration>((1 << 20) * 8.0 / 2e9 * 1e9);
+  EXPECT_EQ(at[0], batch1_durable);
+  EXPECT_EQ(at[1], batch1_durable);  // gated: published in the same run
+  ASSERT_EQ(log.records().size(), 2u);
+  EXPECT_EQ(log.records()[1], Rec(2));
+  // Both batches published in one run => one cumulative batch notification.
+  EXPECT_EQ(batch_hook_fires, 1);
+}
+
+TEST(PipelineLogStoreTest, CrashLosesDeviceDurableButUnpublishedBatches) {
+  // Same out-of-order shape, but the store crashes after batch 2's device
+  // fsync completed and before batch 1 (and therefore batch 2) published:
+  // recovery must see the empty published prefix, not batch 2.
+  EventLoop loop;
+  LogStoreConfig cfg;
+  cfg.pipeline_depth = 4;
+  cfg.adaptive_window = false;
+  LogStore log(&loop, cfg);
+  int durable = 0;
+  log.Append(std::vector<uint8_t>(1 << 20, 0xaa), [&] { ++durable; });
+  loop.ScheduleAt(Micros(30), [&] { log.Append(Rec(2), [&] { ++durable; }); });
+  // Batch 2's channel is done at ~110us; batch 1 publishes at ~4.27ms.
+  loop.ScheduleAt(Micros(200), [&] { log.DropUnsynced(); });
+  loop.Run();
+  EXPECT_EQ(durable, 0);
+  EXPECT_TRUE(log.records().empty());
+  // The store keeps working after the crash.
+  log.Append(Rec(3), [&] { ++durable; });
+  loop.Run();
+  EXPECT_EQ(durable, 1);
+  ASSERT_EQ(log.records().size(), 1u);
+  EXPECT_EQ(log.records()[0], Rec(3));
+}
+
+TEST(PipelineLogStoreTest, CrashAtEveryBatchBoundaryTruncatesToDurablePrefix) {
+  // Six single-record batches staggered 25us apart under a depth-3 pipeline.
+  // Reference run: collect each batch's publication time. Then for every
+  // boundary, crash just after the j-th publication and assert the store
+  // holds exactly the first j records — and that the on-disk image of that
+  // state round-trips.
+  LogStoreConfig cfg;
+  cfg.pipeline_depth = 3;
+  cfg.adaptive_window = false;
+  constexpr int kBatches = 6;
+
+  std::vector<SimTime> publish_at;
+  {
+    EventLoop loop;
+    LogStore log(&loop, cfg);
+    for (int i = 0; i < kBatches; ++i) {
+      loop.ScheduleAt(Micros(25) * i, [&, i] {
+        log.Append(Rec(static_cast<uint8_t>(i + 1)), [&] { publish_at.push_back(loop.now()); });
+      });
+    }
+    loop.Run();
+    ASSERT_EQ(publish_at.size(), static_cast<size_t>(kBatches));
+    for (int i = 1; i < kBatches; ++i) {
+      ASSERT_GE(publish_at[i], publish_at[i - 1]) << "publication must be ordered";
+    }
+  }
+
+  for (int j = 0; j <= kBatches; ++j) {
+    EventLoop loop;
+    LogStore log(&loop, cfg);
+    // Crash 1ns after the j-th publication (j=0: before any). The crash also
+    // silences the writer: a crashed process stops appending.
+    SimTime crash_at = j == 0 ? publish_at[0] - 1 : publish_at[j - 1] + 1;
+    bool crashed = false;
+    for (int i = 0; i < kBatches; ++i) {
+      loop.ScheduleAt(Micros(25) * i, [&, i] {
+        if (!crashed) {
+          log.Append(Rec(static_cast<uint8_t>(i + 1)), nullptr);
+        }
+      });
+    }
+    loop.ScheduleAt(crash_at, [&] {
+      crashed = true;
+      log.DropUnsynced();
+    });
+    loop.Run();
+    ASSERT_EQ(log.records().size(), static_cast<size_t>(j)) << "crash after batch " << j;
+    for (int i = 0; i < j; ++i) {
+      EXPECT_EQ(log.records()[i], Rec(static_cast<uint8_t>(i + 1)));
+    }
+    // Recovery truncates to this durable prefix: image round-trip.
+    EventLoop loop2;
+    LogStore restored(&loop2, cfg);
+    auto n = restored.RestoreImage(log.SerializeImage());
+    ASSERT_TRUE(n.status().ok());
+    EXPECT_EQ(*n, static_cast<size_t>(j));
+    EXPECT_EQ(restored.records(), log.records());
+  }
+}
+
+TEST(PipelineLogStoreTest, AdaptiveWindowGrowsUnderPressureAndShrinksWhenIdle) {
+  EventLoop loop;
+  LogStoreConfig cfg;  // pipelined + adaptive defaults
+  ASSERT_TRUE(cfg.adaptive_window);
+  LogStore log(&loop, cfg);
+  EXPECT_EQ(log.current_window(), Micros(20));
+  // Pressure: a 10-record batch (>= window_grow_records) doubles the window.
+  for (int i = 0; i < 10; ++i) {
+    log.Append(Rec(static_cast<uint8_t>(i)), nullptr);
+  }
+  loop.Run();
+  EXPECT_EQ(log.current_window(), Micros(40));
+  // Still pressured: grows toward the cap.
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      log.Append(Rec(1), nullptr);
+    }
+    loop.Run();
+  }
+  EXPECT_EQ(log.current_window(), Micros(160));  // clamped at max_window
+  // Idle: lone appends (<= window_shrink_records) halve it back to the floor.
+  std::vector<Duration> trajectory;
+  for (int i = 0; i < 7; ++i) {
+    log.Append(Rec(1), nullptr);
+    loop.Run();
+    trajectory.push_back(log.current_window());
+  }
+  EXPECT_EQ(trajectory, (std::vector<Duration>{Micros(80), Micros(40), Micros(20), Micros(10),
+                                               Micros(5), Micros(5), Micros(5)}));
+}
+
+// Runs a fixed two-phase workload (a burst, then staggered singles) and
+// returns a fingerprint of everything callers can observe: record bytes,
+// callback order, sync count, window trajectory.
+struct WorkloadResult {
+  uint64_t records_hash = kFnvOffset;
+  std::vector<int> callback_order;
+  std::vector<SimTime> callback_times;
+  int64_t syncs = 0;
+  std::vector<Duration> windows;
+
+  bool operator==(const WorkloadResult& o) const {
+    return records_hash == o.records_hash && callback_order == o.callback_order &&
+           callback_times == o.callback_times && syncs == o.syncs && windows == o.windows;
+  }
+};
+
+WorkloadResult RunWorkload(const LogStoreConfig& cfg) {
+  EventLoop loop;
+  LogStore log(&loop, cfg);
+  WorkloadResult r;
+  int tag = 0;
+  auto append = [&](uint8_t v) {
+    int id = tag++;
+    log.Append(Rec(v, 8 + v % 5), [&r, id, &loop, &log] {
+      r.callback_order.push_back(id);
+      r.callback_times.push_back(loop.now());
+      r.windows.push_back(log.current_window());
+    });
+  };
+  for (int i = 0; i < 12; ++i) {
+    append(static_cast<uint8_t>(i));
+  }
+  for (int i = 0; i < 8; ++i) {
+    loop.ScheduleAt(Micros(300) + Micros(40) * i,
+                    [&append, i] { append(static_cast<uint8_t>(100 + i)); });
+  }
+  loop.Run();
+  for (const auto& rec : log.records()) {
+    r.records_hash = Fnv1a64(rec, r.records_hash);
+  }
+  r.syncs = log.syncs();
+  return r;
+}
+
+TEST(PipelineLogStoreTest, AdaptiveSizingIsDeterministicAcrossRuns) {
+  LogStoreConfig cfg;  // pipelined + adaptive defaults
+  WorkloadResult a = RunWorkload(cfg);
+  WorkloadResult b = RunWorkload(cfg);
+  EXPECT_TRUE(a == b) << "same schedule must reproduce byte-identical behaviour";
+  EXPECT_FALSE(a.callback_order.empty());
+}
+
+TEST(PipelineLogStoreTest, RecordsAndCallbackOrderIdenticalAcrossPipelineDepths) {
+  // Timing shifts across depths, but content and order — what replication
+  // feeds on — must not.
+  WorkloadResult legacy = RunWorkload(LegacyLogStoreConfig());
+  for (size_t depth : {size_t{2}, size_t{4}, size_t{8}}) {
+    LogStoreConfig cfg;
+    cfg.pipeline_depth = depth;
+    cfg.adaptive_window = false;
+    WorkloadResult r = RunWorkload(cfg);
+    EXPECT_EQ(r.records_hash, legacy.records_hash) << "depth " << depth;
+    EXPECT_EQ(r.callback_order, legacy.callback_order) << "depth " << depth;
+  }
+  // Adaptive sizing changes batching (sync count) but never content/order.
+  WorkloadResult adaptive = RunWorkload(LogStoreConfig{});
+  EXPECT_EQ(adaptive.records_hash, legacy.records_hash);
+  EXPECT_EQ(adaptive.callback_order, legacy.callback_order);
+}
+
+TEST(PipelineLogStoreTest, InflightHistogramShowsPipelineDepthAboveOne) {
+  // The observability contract tests rely on: "logstore.inflight" proves the
+  // pipeline actually overlapped batches (no vacuous determinism pass).
+  EventLoop loop;
+  Obs obs;
+  LogStoreConfig cfg;
+  cfg.pipeline_depth = 4;
+  cfg.adaptive_window = false;
+  LogStore log(&loop, cfg);
+  log.SetObs(&obs, 1);
+  log.Append(std::vector<uint8_t>(1 << 20, 0xaa), nullptr);  // 4ms of write
+  for (int i = 0; i < 3; ++i) {
+    loop.ScheduleAt(Micros(30) * (i + 1), [&] { log.Append(Rec(7), nullptr); });
+  }
+  loop.Run();
+  const Recorder* inflight = obs.metrics.Histogram("logstore.inflight");
+  ASSERT_NE(inflight, nullptr);
+  EXPECT_GT(inflight->Max(), 1);
+  const Recorder* window = obs.metrics.Histogram("logstore.window_us");
+  ASSERT_NE(window, nullptr);
+  EXPECT_EQ(window->count(), static_cast<size_t>(log.syncs()));
+}
+
+TEST(PipelineLogStoreTest, BatchHookFiresOncePerPublicationRun) {
+  EventLoop loop;
+  LogStoreConfig cfg;
+  cfg.pipeline_depth = 2;
+  cfg.adaptive_window = false;
+  LogStore log(&loop, cfg);
+  int fires = 0;
+  int durable = 0;
+  log.SetBatchDurableCallback([&] { ++fires; });
+  // Three well-separated batches => three publication runs.
+  for (int i = 0; i < 3; ++i) {
+    loop.ScheduleAt(Micros(200) * i, [&] {
+      log.Append(Rec(1), [&] { ++durable; });
+      log.Append(Rec(2), [&] { ++durable; });
+    });
+  }
+  loop.Run();
+  EXPECT_EQ(durable, 6);
+  EXPECT_EQ(fires, 3);  // cumulative: one per batch, not one per record
+}
+
+}  // namespace
+}  // namespace edc
