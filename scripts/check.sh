@@ -3,6 +3,7 @@
 # select — the plain suite, the chaos fault-injection scenarios, the
 # model-conformance sweeps (docs/model_checking.md), the observability layer
 # (docs/observability.md), the sharded coordination plane (docs/sharding.md),
+# the dynamic-membership suite (docs/reconfig.md),
 # and the lint tier (docs/static_analysis.md):
 # edc-lint golden tests, edc-lint over the example scripts, and clang-tidy
 # when available. Any failure aborts.
@@ -57,7 +58,7 @@ run_lint_tier
 
 cd "$BUILD_DIR"
 echo "== tier-1 tests =="
-ctest --output-on-failure -j "$JOBS" -LE 'chaos|model|obs|lint|shard|pipeline'
+ctest --output-on-failure -j "$JOBS" -LE 'chaos|model|obs|lint|shard|pipeline|reconfig'
 echo "== chaos tests =="
 ctest --output-on-failure -j "$JOBS" -L chaos
 echo "== model-conformance tests =="
@@ -68,6 +69,8 @@ echo "== sharded coordination plane tests =="
 ctest --output-on-failure -j "$JOBS" --no-tests=error -L shard
 echo "== pipeline determinism tests =="
 ctest --output-on-failure -j "$JOBS" --no-tests=error -L pipeline
+echo "== dynamic membership (reconfig) tests =="
+ctest --output-on-failure -j "$JOBS" --no-tests=error -L reconfig
 # Spotlight the recovery/crash-restart families (docs/bft_recovery.md): these
 # already ran inside the tiers above, but --no-tests=error makes the gate fail
 # loudly if a rename or CMake edit silently drops them from discovery.
@@ -80,4 +83,10 @@ ctest --output-on-failure -j "$JOBS" --no-tests=error \
 echo "== spotlight: observability zero-perturbation guarantee =="
 ctest --output-on-failure -j "$JOBS" --no-tests=error \
   -R 'ObsDeterminismTest\.'
+echo "== spotlight: snapshot-shipped join + leader removal (docs/reconfig.md) =="
+ctest --output-on-failure -j "$JOBS" --no-tests=error \
+  -R 'ReconfigAcceptance\.|ReconfigZabTest\.JoinerBehindLogFloorCatchesUpViaSnapshot|ReconfigServiceTest\.RollingReplacementKeepsClientConnected'
+echo "== spotlight: membership-episode schedule sweep =="
+ctest --output-on-failure -j "$JOBS" --no-tests=error \
+  -R 'ReconfigScheduleSweep\.'
 echo "All checks passed."

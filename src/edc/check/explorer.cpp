@@ -198,6 +198,79 @@ void RunWatchPair(CoordFixture& fx) {
   }
 }
 
+bool IsMembershipEpisode(EpisodeKind kind) {
+  return kind == EpisodeKind::kJoin || kind == EpisodeKind::kRemoveFollower ||
+         kind == EpisodeKind::kRemoveLeader || kind == EpisodeKind::kObserverPromote;
+}
+
+// Executes one membership episode against a running ZK fixture. Reconfig
+// failures (no quorum inside an overlapping fault window, leader churn) are
+// tolerated: the sweep asserts safety after the drain, not reconfig liveness.
+void RunMembershipEpisode(CoordFixture& fx, const PlanEpisode& ep) {
+  auto leader_of = [&fx]() -> ZkServer* {
+    for (const auto& s : fx.zk_servers) {
+      if (s->running() && s->zab().is_leader()) {
+        return s.get();
+      }
+    }
+    return nullptr;
+  };
+  auto retryable = [](const Status& s) {
+    return s.code() == ErrorCode::kNotReady || s.code() == ErrorCode::kTimeout ||
+           s.code() == ErrorCode::kConnectionLoss;
+  };
+  switch (ep.kind) {
+    case EpisodeKind::kJoin:
+      fx.JoinReplica(ep.node, Seconds(20));
+      break;
+    case EpisodeKind::kObserverPromote: {
+      // Two-phase: register + boot the observer now, promote after the
+      // episode's duration of commit-stream tailing.
+      if (fx.ZkServerById(ep.node) == nullptr) {
+        fx.BootExtraZkReplica(ep.node);
+      }
+      std::string id = std::to_string(ep.node);
+      if (!fx.AdminReconfig("add_observer " + id).ok()) {
+        break;
+      }
+      fx.Settle(ep.duration);
+      SimTime deadline = fx.loop().now() + Seconds(10);
+      Status s;
+      do {
+        s = fx.AdminReconfig("promote " + id);
+        if (s.ok() || !retryable(s)) {
+          break;
+        }
+        fx.Settle(Millis(200));
+      } while (fx.loop().now() < deadline);
+      break;
+    }
+    case EpisodeKind::kRemoveFollower: {
+      ZkServer* leader = leader_of();
+      for (NodeId v : fx.CurrentZkVoters()) {
+        if (leader != nullptr && v == leader->id()) {
+          continue;
+        }
+        ZkServer* srv = fx.ZkServerById(v);
+        if (srv == nullptr || !srv->running()) {
+          continue;
+        }
+        fx.RemoveReplica(v);
+        break;
+      }
+      break;
+    }
+    case EpisodeKind::kRemoveLeader: {
+      if (ZkServer* leader = leader_of()) {
+        fx.RemoveReplica(leader->id());
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
 }  // namespace
 
 FaultPlan PlanSpec::Build(SimTime base) const {
@@ -222,6 +295,13 @@ FaultPlan PlanSpec::Build(SimTime base) const {
         plan.LinkFaultsAt(at, ep.link_a, ep.link_b,
                           LinkFaults{0.0, ep.dup_probability, 0});
         plan.ClearLinkFaultsAt(end, ep.link_a, ep.link_b);
+        break;
+      case EpisodeKind::kJoin:
+      case EpisodeKind::kRemoveFollower:
+      case EpisodeKind::kRemoveLeader:
+      case EpisodeKind::kObserverPromote:
+        // Membership episodes are executed by RunSchedule's drive loop, not
+        // scheduled as fault steps (see explorer.h).
         break;
     }
   }
@@ -258,6 +338,18 @@ std::string PlanSpec::ToString() const {
       case EpisodeKind::kLinkDup:
         os << "link-dup " << ep.link_a << "<->" << ep.link_b
            << " p=" << ep.dup_probability;
+        break;
+      case EpisodeKind::kJoin:
+        os << "join node=" << ep.node;
+        break;
+      case EpisodeKind::kRemoveFollower:
+        os << "remove-follower";
+        break;
+      case EpisodeKind::kRemoveLeader:
+        os << "remove-leader";
+        break;
+      case EpisodeKind::kObserverPromote:
+        os << "observer-promote node=" << ep.node;
         break;
     }
     os << " start=+" << MillisStr(ep.start) << " dur=" << MillisStr(ep.duration) << "\n";
@@ -353,6 +445,48 @@ PlanSpec GeneratePlan(SystemKind system, uint64_t seed) {
   return spec;
 }
 
+PlanSpec GenerateReconfigPlan(SystemKind system, uint64_t seed) {
+  PlanSpec spec = GeneratePlan(system, seed);
+  if (!IsZkFamily(system)) {
+    return spec;  // DepSpace has no reconfig path
+  }
+  // Separate Rng stream: the fault half of the plan stays identical to
+  // GeneratePlan's draw for the same seed.
+  Rng rng(seed * 0x2545f4914f6cdd1dULL + 3);
+  SimTime cursor = 0;
+  for (const PlanEpisode& ep : spec.episodes) {
+    cursor = std::max(cursor, ep.start + ep.duration);
+  }
+  cursor += Millis(300 + rng.UniformU64(700));
+  size_t count = 1 + rng.UniformU64(2);
+  // Fresh replica ids: the base ensemble is {1,2,3}.
+  NodeId next_joiner = 4;
+  for (size_t i = 0; i < count; ++i) {
+    PlanEpisode ep;
+    ep.start = cursor;
+    ep.duration = Millis(400 + rng.UniformU64(800));
+    switch (rng.UniformU64(4)) {
+      case 0:
+        ep.kind = EpisodeKind::kJoin;
+        ep.node = next_joiner++;
+        break;
+      case 1:
+        ep.kind = EpisodeKind::kRemoveFollower;
+        break;
+      case 2:
+        ep.kind = EpisodeKind::kRemoveLeader;
+        break;
+      default:
+        ep.kind = EpisodeKind::kObserverPromote;
+        ep.node = next_joiner++;
+        break;
+    }
+    cursor = ep.start + ep.duration + Millis(500 + rng.UniformU64(1500));
+    spec.episodes.push_back(std::move(ep));
+  }
+  return spec;
+}
+
 ScheduleResult RunSchedule(const ExplorerOptions& options, const PlanSpec& plan) {
   ScheduleResult result;
   result.plan = plan;
@@ -385,6 +519,24 @@ ScheduleResult RunSchedule(const ExplorerOptions& options, const PlanSpec& plan)
   }
 
   bool zk = IsZkFamily(options.system);
+  // Membership episodes run inline from the drive loop (their actions block
+  // on catch-up / activation replies, advancing sim time themselves).
+  std::vector<PlanEpisode> membership;
+  if (zk) {
+    for (const PlanEpisode& ep : plan.episodes) {
+      if (IsMembershipEpisode(ep.kind)) {
+        membership.push_back(ep);
+      }
+    }
+  }
+  size_t next_membership = 0;
+  auto run_due_membership = [&] {
+    while (next_membership < membership.size() &&
+           fx.loop().now() >= base + membership[next_membership].start) {
+      RunMembershipEpisode(fx, membership[next_membership]);
+      ++next_membership;
+    }
+  };
   // Declared at function scope: worker timer callbacks capture raw worker
   // pointers and may still be queued in the loop during the drain settles
   // below, so the workers must outlive every Settle call.
@@ -414,7 +566,9 @@ ScheduleResult RunSchedule(const ExplorerOptions& options, const PlanSpec& plan)
       }
       return true;
     };
-    while (fx.loop().now() < deadline && !all_done()) {
+    while (fx.loop().now() < deadline &&
+           (!all_done() || next_membership < membership.size())) {
+      run_due_membership();
       fx.Settle(Millis(100));
     }
     for (auto& w : workers) {
@@ -424,8 +578,12 @@ ScheduleResult RunSchedule(const ExplorerOptions& options, const PlanSpec& plan)
   if (fx.loop().now() < plan_end) {
     fx.Settle(plan_end - fx.loop().now());
   }
+  run_due_membership();  // anything the deadline cut off still executes once
   fx.faults().Heal();
   fx.Settle(kDrainTime);
+  if (!membership.empty()) {
+    fx.Settle(Seconds(2));  // re-elections after a leader removal
+  }
 
   CheckReport report = zk ? CheckZkHistory(recorder) : CheckDsHistory(recorder);
   result.num_calls = zk ? recorder.zk_calls.size() : recorder.ds_calls.size();
@@ -436,6 +594,28 @@ ScheduleResult RunSchedule(const ExplorerOptions& options, const PlanSpec& plan)
     std::string why;
     if (!PrefixConsistentLogs(fx.zk_servers, &why)) {
       result.violations.push_back("prefix-consistent logs violated: " + why);
+    }
+    // Membership agreement: after the drain, every running replica that is
+    // still a member holds the same activated configuration. Removed
+    // replicas retire (running() == false) and are excluded.
+    if (!membership.empty()) {
+      ZkServer* ref = nullptr;
+      for (const auto& s : fx.zk_servers) {
+        if (!s->running() || !s->zab().membership().Contains(s->id())) {
+          continue;
+        }
+        if (ref == nullptr) {
+          ref = s.get();
+          continue;
+        }
+        const ZabMembership& a = ref->zab().membership();
+        const ZabMembership& b = s->zab().membership();
+        if (a.voters != b.voters || a.observers != b.observers) {
+          result.violations.push_back(
+              "membership diverges: node " + std::to_string(ref->id()) + " vs node " +
+              std::to_string(s->id()));
+        }
+      }
     }
   } else {
     std::string why;

@@ -41,6 +41,16 @@ enum class EpisodeKind : uint8_t {
   kPartition,     // partition group_a | group_b, heal after `duration`
   kLinkDelay,     // add `delay` to link (link_a, link_b) for `duration`
   kLinkDup,       // duplicate packets on link (link_a, link_b) for `duration`
+  // Membership episodes (ZK family only, docs/reconfig.md). These are not
+  // FaultPlan steps — RunSchedule executes them inline from its drive loop
+  // via the fixture's membership drivers, because a join blocks on
+  // snapshot-shipped catch-up and a removal must resolve "the leader" at
+  // execution time, not plan-generation time.
+  kJoin,             // boot `node` as observer, catch it up, promote to voter
+  kRemoveFollower,   // remove the first running non-leader voter
+  kRemoveLeader,     // remove the current leader (step-down + re-election)
+  kObserverPromote,  // add `node` as observer at `start`; promote at
+                     // `start + duration` (two-phase join)
 };
 
 struct PlanEpisode {
@@ -97,6 +107,11 @@ struct ScheduleResult {
 
 // Deterministic draw from the per-family fault grammar.
 PlanSpec GeneratePlan(SystemKind system, uint64_t seed);
+
+// GeneratePlan's fault episodes plus one or two membership episodes (join /
+// remove-follower / remove-leader / observer-promote) appended after them.
+// ZK family only: DepSpace has no reconfig path.
+PlanSpec GenerateReconfigPlan(SystemKind system, uint64_t seed);
 
 // One complete run: fixture + recorder + workload + plan + checker.
 ScheduleResult RunSchedule(const ExplorerOptions& options, const PlanSpec& plan);

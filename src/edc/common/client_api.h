@@ -81,6 +81,9 @@ enum class SessionEvent : uint8_t {
   kDisconnected = 1, // replica unreachable; failover in progress
   kSessionLost = 2,  // old session is dead (expired or replica lost it)
   kReconnected = 3,  // new session established on a (possibly new) replica
+  // The ensemble reconfigured: the client refreshed its ServerList from the
+  // replica's membership push, so future failovers target live members.
+  kMembershipChanged = 4,
 };
 
 using SessionEventCb = std::function<void(SessionEvent)>;

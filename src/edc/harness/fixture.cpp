@@ -326,6 +326,155 @@ void CoordFixture::AddShard() {
   PushShardVersions();
 }
 
+std::vector<NodeId> CoordFixture::CurrentZkVoters() const {
+  // Prefer a running voter's view (authoritative for the active quorum);
+  // fall back to any running replica (e.g. only observers are left).
+  for (const auto& server : zk_servers) {
+    if (server->running() && server->zab().is_voter()) {
+      return server->zab().membership().voters;
+    }
+  }
+  for (const auto& server : zk_servers) {
+    if (server->running()) {
+      return server->zab().membership().voters;
+    }
+  }
+  return {};
+}
+
+ZkServer* CoordFixture::ZkServerById(NodeId id) {
+  for (const auto& server : zk_servers) {
+    if (server->id() == id) {
+      return server.get();
+    }
+  }
+  return nullptr;
+}
+
+ZkServer* CoordFixture::BootExtraZkReplica(NodeId id) {
+  assert(IsZkFamily(options_.system) && options_.num_shards == 1 &&
+         "BootExtraZkReplica: single-ensemble ZK fixtures only");
+  ZkServerOptions opts = options_.zk_server;
+  opts.observer = true;
+  auto server = std::make_unique<ZkServer>(&loop_, net_.get(), id, CurrentZkVoters(),
+                                           options_.costs, opts);
+  if (options_.observability) {
+    server->SetObs(&obs_);
+  }
+  net_->Register(id, server.get());
+  ZkServer* raw = server.get();
+  faults_->RegisterProcess(
+      id,
+      [this, raw, id]() {
+        raw->Crash();
+        net_->SetNodeUp(id, false);
+      },
+      [this, raw, id]() {
+        net_->SetNodeUp(id, true);
+        raw->Restart();
+      });
+  zk_servers.push_back(std::move(server));
+  faults_->Note("boot-observer " + std::to_string(id));
+  raw->Start();
+  return raw;
+}
+
+ZkClient* CoordFixture::AdminZk() {
+  if (admin_zk_) {
+    return admin_zk_.get();
+  }
+  std::vector<NodeId> voters = CurrentZkVoters();
+  if (voters.empty()) {
+    return nullptr;
+  }
+  admin_zk_ = std::make_unique<ZkClient>(&loop_, net_.get(), 90001,
+                                         ShardView::Standalone(ServerList{std::move(voters)}),
+                                         options_.zk_client);
+  bool done = false;
+  admin_zk_->Connect([&done](Status) { done = true; });
+  SimTime deadline = loop_.now() + Seconds(5);
+  while (!done && loop_.now() < deadline) {
+    loop_.RunUntil(loop_.now() + Millis(1));  // fine slices: don't quantize timings
+  }
+  return admin_zk_.get();
+}
+
+Status CoordFixture::AdminReconfig(const std::string& spec, Duration timeout) {
+  ZkClient* admin = AdminZk();
+  if (admin == nullptr) {
+    return Status(ErrorCode::kConnectionLoss, "no admin session (no running replica)");
+  }
+  bool done = false;
+  Status out;
+  admin->Reconfig(spec, [&done, &out](Status s) {
+    done = true;
+    out = s;
+  });
+  SimTime deadline = loop_.now() + timeout;
+  while (!done && loop_.now() < deadline) {
+    loop_.RunUntil(loop_.now() + Millis(1));  // fine slices: don't quantize timings
+  }
+  if (!done) {
+    return Status(ErrorCode::kTimeout, "reconfig reply timed out: " + spec);
+  }
+  faults_->Note("reconfig '" + spec + "' -> " + (out.ok() ? "ok" : out.message()));
+  return out;
+}
+
+Status CoordFixture::JoinReplica(NodeId id, Duration timeout) {
+  SimTime deadline = loop_.now() + timeout;
+  if (ZkServerById(id) == nullptr) {
+    BootExtraZkReplica(id);
+  }
+  // Register the joiner as an observer first so it starts receiving the
+  // commit stream; retry while an earlier reconfig is still in flight.
+  Status s;
+  do {
+    s = AdminReconfig("add_observer " + std::to_string(id));
+    if (!s.ok() && s.code() != ErrorCode::kNotReady) {
+      return s;
+    }
+    if (!s.ok()) {
+      Settle(Millis(200));
+    }
+  } while (!s.ok() && loop_.now() < deadline);
+  if (!s.ok()) {
+    return Status(ErrorCode::kTimeout, "add_observer never accepted");
+  }
+  // Catch-up happens via snapshot-ship + log suffix; the leader rejects the
+  // promotion (kNotReady) while the joiner still lags the commit frontier by
+  // more than promote_lag, so retry until it lands or we time out.
+  while (loop_.now() < deadline) {
+    Settle(Millis(200));
+    s = AdminReconfig("promote " + std::to_string(id));
+    if (s.ok()) {
+      return Status::Ok();
+    }
+    if (s.code() != ErrorCode::kNotReady && s.code() != ErrorCode::kTimeout &&
+        s.code() != ErrorCode::kConnectionLoss) {
+      return s;
+    }
+  }
+  return Status(ErrorCode::kTimeout, "joiner " + std::to_string(id) + " never promoted");
+}
+
+Status CoordFixture::RemoveReplica(NodeId id, Duration timeout) {
+  SimTime deadline = loop_.now() + timeout;
+  Status s;
+  do {
+    s = AdminReconfig("remove " + std::to_string(id));
+    if (s.ok()) {
+      return Status::Ok();
+    }
+    if (s.code() != ErrorCode::kNotReady && s.code() != ErrorCode::kTimeout &&
+        s.code() != ErrorCode::kConnectionLoss) {
+      return s;
+    }
+    Settle(Millis(200));
+  } while (loop_.now() < deadline);
+  return Status(ErrorCode::kTimeout, "remove " + std::to_string(id) + " never accepted");
+}
+
 std::vector<ZkServer*> CoordFixture::ZkShardServers(uint32_t shard) const {
   std::vector<ZkServer*> out;
   for (const auto& server : zk_servers) {

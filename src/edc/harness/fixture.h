@@ -123,6 +123,28 @@ class CoordFixture {
   Network& net() { return *net_; }
   void Settle(Duration d) { loop_.RunUntil(loop_.now() + d); }
 
+  // --- Dynamic ZK membership (docs/reconfig.md); single-ensemble ZK only ---
+  // Boots a brand-new replica as a non-voting observer whose Zab contact list
+  // is the current voter set, registers it with the network and the fault
+  // injector, and starts it. Does not change the membership itself — pair
+  // with AdminReconfig("add_observer N") or use JoinReplica for the full
+  // flow. The new replica catches up by snapshot + log suffix as needed.
+  ZkServer* BootExtraZkReplica(NodeId id);
+  // Issues a single-change reconfig spec ("add_observer 4", "promote 4",
+  // "remove 2", ...) through a dedicated admin session and runs the sim
+  // until the activation reply arrives. kTimeout if it never does.
+  Status AdminReconfig(const std::string& spec, Duration timeout = Seconds(5));
+  // Full join flow, safe under concurrent client load: add the node as an
+  // observer, boot it, let it catch up (snapshot-ship + log replay), then
+  // promote it to voter — retrying while the leader still judges it lagging.
+  Status JoinReplica(NodeId id, Duration timeout = Seconds(30));
+  // Removes a member (voter or observer). The removed replica retires itself
+  // when the change activates; its clients fail over via membership pushes.
+  Status RemoveReplica(NodeId id, Duration timeout = Seconds(10));
+  // The voter list as seen by any running replica (empty for non-ZK).
+  std::vector<NodeId> CurrentZkVoters() const;
+  ZkServer* ZkServerById(NodeId id);
+
   // Fault injection: every server is registered with crash/restart closures
   // at Start(), so plans and direct calls work on either system family.
   FaultInjector& faults() { return *faults_; }
@@ -151,6 +173,8 @@ class CoordFixture {
  private:
   void WireObservability();
   void StartSharded();
+  // Lazily-connected admin session used by AdminReconfig (node id 90001).
+  ZkClient* AdminZk();
   // Boots shard `s`'s ensemble (servers + extension managers + fault
   // closures), starts it, and adds it to shard_map_ (bumps the version).
   void BootShard(size_t s);
@@ -167,6 +191,7 @@ class CoordFixture {
   std::vector<std::unique_ptr<ZkClient>> zk_clients_;
   std::vector<std::unique_ptr<DsClient>> ds_clients_;
   std::vector<std::unique_ptr<CoordClient>> coords_;
+  std::unique_ptr<ZkClient> admin_zk_;  // AdminReconfig session
   // Sharded mode only.
   ShardMap shard_map_;  // authoritative copy; routers pull it via their source
   std::vector<std::unique_ptr<ZkShardRouter>> zk_routers_;

@@ -124,6 +124,27 @@ class LogStore {
   // records restored.
   Result<size_t> RestoreImage(const std::vector<uint8_t>& image);
 
+  // Durable snapshot section (models the fsynced snapshot file that sits next
+  // to the log): a single opaque state image covering every transaction up to
+  // and including `zxid`. Written atomically (rename-into-place semantics),
+  // so it survives DropUnsynced; the caller is responsible for only storing a
+  // snapshot after a successful install/serialize. Records() then holds only
+  // the log suffix after `zxid` — snapshot_zxid() is the log floor a recovery
+  // or a state-transfer donor must respect.
+  void StoreSnapshot(uint64_t zxid, std::vector<uint8_t> image) {
+    snapshot_zxid_ = zxid;
+    snapshot_ = std::move(image);
+    has_snapshot_ = true;
+  }
+  bool has_snapshot() const { return has_snapshot_; }
+  uint64_t snapshot_zxid() const { return snapshot_zxid_; }
+  const std::vector<uint8_t>& snapshot() const { return snapshot_; }
+  void ClearSnapshot() {
+    has_snapshot_ = false;
+    snapshot_zxid_ = 0;
+    snapshot_.clear();
+  }
+
   int64_t syncs() const { return syncs_; }
   int64_t appended_bytes() const { return appended_bytes_; }
   // Submitted-but-unpublished batches (pipeline occupancy right now).
@@ -172,6 +193,9 @@ class LogStore {
   int64_t syncs_ = 0;
   int64_t appended_bytes_ = 0;
   uint64_t flush_epoch_ = 0;  // invalidates scheduled flushes after DropUnsynced
+  bool has_snapshot_ = false;
+  uint64_t snapshot_zxid_ = 0;
+  std::vector<uint8_t> snapshot_;
   std::function<void()> batch_cb_;
   Obs* obs_ = nullptr;
   uint32_t track_ = 0;

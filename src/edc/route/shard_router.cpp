@@ -210,6 +210,18 @@ void ZkShardRouter::Multi(std::vector<ZkOp> ops, VoidCb done) {
       std::move(done));
 }
 
+void ZkShardRouter::Reconfig(size_t entry_idx, const std::string& spec, VoidCb done) {
+  if (entry_idx >= map_.size()) {
+    if (done) {
+      done(Status(ErrorCode::kInvalidArgument, "no such shard"));
+    }
+    return;
+  }
+  WhenReady(entry_idx, [spec, done = std::move(done)](ZkClient* c) {
+    c->Reconfig(spec, done);
+  });
+}
+
 void ZkShardRouter::CallExtension(const std::string& trigger_path, const std::string& args,
                                   ExtensionCb done) {
   Issue<ExtensionResult>(

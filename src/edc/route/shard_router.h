@@ -95,6 +95,12 @@ class ZkShardRouter : public ZkApi {
   uint64_t session() const override;  // primary sub-session (entry 0)
   NodeId id() const override { return base_id_; }
 
+  // Administrative ensemble reconfiguration of one shard (docs/reconfig.md):
+  // pass-through to that shard's sub-client. The sub-client's failover list
+  // refreshes from the membership push; the shard map itself (which replicas
+  // make up the shard) is the map source's business, not the router's.
+  void Reconfig(size_t entry_idx, const std::string& spec, VoidCb done);
+
   // Topology introspection (tests, harness, benches).
   size_t shard_count() const { return map_.size(); }
   uint64_t map_version() const { return map_.version(); }

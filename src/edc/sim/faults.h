@@ -95,6 +95,12 @@ class FaultInjector {
   // Schedules every step of `plan` on the event loop. Call before loop->Run().
   void Run(const FaultPlan& plan);
 
+  // Appends an arbitrary event line to the trace (and digest). Harness-level
+  // actions that perturb the cluster but are not faults — membership joins,
+  // removals, promotions — record themselves here so TraceDigest() stays a
+  // whole-run fingerprint.
+  void Note(const std::string& line) { Record(line); }
+
   // Folds every delivered packet (time, src, dst, type, payload hash) into
   // the digest. Off by default: packet tracing is what makes the digest a
   // whole-run fingerprint, but it touches every delivery, so tests opt in.

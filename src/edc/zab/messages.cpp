@@ -2,6 +2,77 @@
 
 namespace edc {
 
+std::vector<uint8_t> EncodeZabMembership(const ZabMembership& m) {
+  Encoder enc;
+  enc.PutVarint(m.voters.size());
+  for (NodeId v : m.voters) {
+    enc.PutU32(v);
+  }
+  enc.PutVarint(m.observers.size());
+  for (NodeId o : m.observers) {
+    enc.PutU32(o);
+  }
+  return enc.Release();
+}
+
+Result<ZabMembership> DecodeZabMembership(const std::vector<uint8_t>& buf) {
+  Decoder dec(buf);
+  ZabMembership m;
+  auto nv = dec.GetVarint();
+  if (!nv.ok()) {
+    return nv.status();
+  }
+  for (uint64_t i = 0; i < *nv; ++i) {
+    auto v = dec.GetU32();
+    if (!v.ok()) {
+      return v.status();
+    }
+    m.voters.push_back(*v);
+  }
+  auto no = dec.GetVarint();
+  if (!no.ok()) {
+    return no.status();
+  }
+  for (uint64_t i = 0; i < *no; ++i) {
+    auto o = dec.GetU32();
+    if (!o.ok()) {
+      return o.status();
+    }
+    m.observers.push_back(*o);
+  }
+  if (m.voters.empty()) {
+    return Status(ErrorCode::kDecodeError, "membership without voters");
+  }
+  return m;
+}
+
+std::vector<uint8_t> EncodeZabSnapshot(const ZabSnapshot& s) {
+  Encoder enc;
+  enc.PutBytes(EncodeZabMembership(s.membership));
+  enc.PutBytes(s.state);
+  return enc.Release();
+}
+
+Result<ZabSnapshot> DecodeZabSnapshot(const std::vector<uint8_t>& buf) {
+  Decoder dec(buf);
+  ZabSnapshot s;
+  auto member_bytes = dec.GetBytes();
+  if (!member_bytes.ok()) {
+    return member_bytes.status();
+  }
+  auto membership = DecodeZabMembership(*member_bytes);
+  if (!membership.ok()) {
+    return membership.status();
+  }
+  s.membership = std::move(*membership);
+  auto state = dec.GetBytes();
+  if (!state.ok()) {
+    return state.status();
+  }
+  s.state = std::move(*state);
+  return s;
+}
+
 std::vector<uint8_t> EncodeElectionVote(const ElectionVote& m) {
   Encoder enc;
   enc.PutU64(m.election_round);
@@ -184,6 +255,11 @@ Result<ProposeFrameView> DecodeProposeMsgView(const std::vector<uint8_t>& buf) {
     return zxid.status();
   }
   v.zxid = *zxid;
+  auto flags = dec.GetU8();
+  if (!flags.ok()) {
+    return flags.status();
+  }
+  v.flags = *flags;
   auto n = dec.GetVarint();
   if (!n.ok()) {
     return n.status();

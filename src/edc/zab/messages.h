@@ -45,12 +45,21 @@ inline uint64_t MakeZxid(uint32_t epoch, uint32_t counter) {
 inline uint32_t ZxidEpoch(uint64_t zxid) { return static_cast<uint32_t>(zxid >> 32); }
 inline uint32_t ZxidCounter(uint64_t zxid) { return static_cast<uint32_t>(zxid); }
 
+// Proposal flag bits. A reconfiguration proposal carries an encoded
+// ZabMembership as its txn; it is activated by the protocol layer at commit
+// and never delivered to the state machine callbacks.
+constexpr uint8_t kReconfigFlag = 0x1;
+
 struct ZabProposal {
   uint64_t zxid = 0;
+  uint8_t flags = 0;
   std::vector<uint8_t> txn;
+
+  bool is_reconfig() const { return (flags & kReconfigFlag) != 0; }
 
   void Encode(Encoder& enc) const {
     enc.PutU64(zxid);
+    enc.PutU8(flags);
     enc.PutBytes(txn);
   }
   static Result<ZabProposal> Decode(Decoder& dec) {
@@ -60,6 +69,11 @@ struct ZabProposal {
       return zxid.status();
     }
     p.zxid = *zxid;
+    auto flags = dec.GetU8();
+    if (!flags.ok()) {
+      return flags.status();
+    }
+    p.flags = *flags;
     auto txn = dec.GetBytes();
     if (!txn.ok()) {
       return txn.status();
@@ -68,6 +82,48 @@ struct ZabProposal {
     return p;
   }
 };
+
+// An ensemble membership: the voter set (quorums are majorities of it) plus
+// the observer set (receive the proposal/commit stream, never vote, never
+// count toward acks, never lead). Reconfiguration replicates the *full* next
+// membership through the log — activation is therefore idempotent and a new
+// leader taking over an in-flight reconfig needs no delta reconstruction.
+// `version` is the zxid of the reconfig entry that activated this membership
+// (0 for the boot configuration); it is runtime state, not encoded.
+struct ZabMembership {
+  uint64_t version = 0;
+  std::vector<NodeId> voters;
+  std::vector<NodeId> observers;
+
+  bool IsVoter(NodeId id) const {
+    for (NodeId v : voters) {
+      if (v == id) return true;
+    }
+    return false;
+  }
+  bool IsObserver(NodeId id) const {
+    for (NodeId o : observers) {
+      if (o == id) return true;
+    }
+    return false;
+  }
+  bool Contains(NodeId id) const { return IsVoter(id) || IsObserver(id); }
+};
+
+std::vector<uint8_t> EncodeZabMembership(const ZabMembership& m);
+Result<ZabMembership> DecodeZabMembership(const std::vector<uint8_t>& buf);
+
+// Snapshot wire/durable wrapper: the service-layer state image plus the
+// membership in force at the snapshot frontier, so a joiner installing a
+// snapshot (and a node recovering one from its log store) also recovers the
+// correct quorum definition.
+struct ZabSnapshot {
+  ZabMembership membership;
+  std::vector<uint8_t> state;
+};
+
+std::vector<uint8_t> EncodeZabSnapshot(const ZabSnapshot& s);
+Result<ZabSnapshot> DecodeZabSnapshot(const std::vector<uint8_t>& buf);
 
 // kElection payload.
 struct ElectionVote {
@@ -129,6 +185,7 @@ constexpr size_t kProposeHeaderBytes = 4;
 struct ProposeFrameView {
   uint32_t epoch = 0;
   uint64_t zxid = 0;
+  uint8_t flags = 0;
   const uint8_t* txn = nullptr;
   size_t txn_size = 0;
   const uint8_t* record = nullptr;

@@ -19,10 +19,25 @@ ZabNode::ZabNode(EventLoop* loop, Network* net, CpuQueue* cpu, LogStore* log,
       config_(std::move(config)),
       callbacks_(callbacks) {
   assert(!config_.members.empty());
+  membership_ = BootMembership();
+  ResetAdmission();
   // One cumulative ack per durable log batch (instead of one per record):
   // the LogStore tells us when a publication run finished; by then every
   // per-record callback has advanced durable_zxid_.
   log_->SetBatchDurableCallback([this]() { OnLocalBatchDurable(); });
+}
+
+ZabMembership ZabNode::BootMembership() const {
+  ZabMembership m;
+  for (NodeId n : config_.members) {
+    if (!config_.observer || n != config_.self) {
+      m.voters.push_back(n);
+    }
+  }
+  if (config_.observer) {
+    m.observers.push_back(config_.self);
+  }
+  return m;
 }
 
 uint64_t ZabNode::last_logged() const {
@@ -50,11 +65,23 @@ void ZabNode::SendTo(NodeId dst, ZabMsgType type, std::vector<uint8_t> payload) 
 }
 
 void ZabNode::BroadcastMsg(ZabMsgType type, const std::vector<uint8_t>& payload) {
-  for (NodeId peer : config_.members) {
+  // Observers get the full stream (proposals, commits, heartbeats) — they
+  // just never count toward a quorum.
+  for (NodeId peer : membership_.voters) {
     if (peer != config_.self) {
       SendTo(peer, type, payload);
     }
   }
+  for (NodeId peer : membership_.observers) {
+    if (peer != config_.self) {
+      SendTo(peer, type, payload);
+    }
+  }
+}
+
+uint64_t ZabNode::PeerAckWindow(NodeId peer) const {
+  auto it = acked_.find(peer);
+  return it == acked_.end() ? 0 : it->second;
 }
 
 void ZabNode::ArmTimer(TimerId* slot, Duration delay, std::function<void()> fn) {
@@ -71,16 +98,46 @@ void ZabNode::ArmTimer(TimerId* slot, Duration delay, std::function<void()> fn) 
 void ZabNode::Start() {
   ++generation_;
   history_.clear();
+  membership_ = BootMembership();
+  base_zxid_ = 0;
+  committed_zxid_ = 0;
+  // Recover the durable snapshot first (it is the log's floor): the log
+  // records are exactly the suffix after its zxid. An unusable snapshot
+  // (decode failure or a service-level install failure) makes the log suffix
+  // meaningless — start empty and let the sync phase re-fetch via SNAP.
+  if (log_->has_snapshot()) {
+    uint64_t snap_zxid = log_->snapshot_zxid();
+    auto snap = DecodeZabSnapshot(log_->snapshot());
+    if (snap.ok() && callbacks_->InstallSnapshot(snap_zxid, snap->state)) {
+      snap->membership.version = snap_zxid;
+      membership_ = std::move(snap->membership);
+      base_zxid_ = snap_zxid;
+      committed_zxid_ = snap_zxid;
+    } else {
+      EDC_LOG(kInfo) << "node " << config_.self
+                     << " durable snapshot unusable; discarding log suffix";
+      log_->ClearSnapshot();
+      log_->Truncate(0);
+    }
+  }
   for (const auto& record : log_->records()) {
     Decoder dec(record);
     auto p = ZabProposal::Decode(dec);
     if (p.ok()) {
+      // Latest-config rule: the newest reconfig entry in the durable log
+      // governs (commit status is unknowable at boot; see membership_ docs).
+      if (p->is_reconfig()) {
+        auto m = DecodeZabMembership(p->txn);
+        if (m.ok()) {
+          m->version = p->zxid;
+          membership_ = std::move(*m);
+        }
+      }
       history_.push_back(std::move(*p));
     }
   }
-  current_epoch_ = history_.empty() ? 0 : ZxidEpoch(history_.back().zxid);
-  base_zxid_ = 0;
-  committed_zxid_ = 0;
+  ResetAdmission();
+  current_epoch_ = history_.empty() ? ZxidEpoch(base_zxid_) : ZxidEpoch(history_.back().zxid);
   delivered_count_ = 0;
   synced_ = false;
   broadcast_active_ = false;
@@ -131,7 +188,13 @@ void ZabNode::EnterLooking() {
   ++election_round_;
   my_vote_ = Vote{current_epoch_, last_logged(), config_.self};
   tally_.clear();
-  tally_[config_.self] = my_vote_;
+  if (is_voter()) {
+    tally_[config_.self] = my_vote_;
+  } else if (!membership_.voters.empty()) {
+    // Observers/learners never stand for election; they vote for some actual
+    // voter purely so settled nodes answer with LeaderInfo and pull them in.
+    my_vote_ = Vote{0, 0, membership_.voters.front()};
+  }
   EDC_LOG(kDebug) << "node " << config_.self << " LOOKING round=" << election_round_
                   << " zxid=" << my_vote_.zxid;
   SendMyVote(0);
@@ -178,22 +241,32 @@ void ZabNode::OnElectionVote(const ElectionVote& vote, NodeId from) {
   if (vote.election_round > election_round_) {
     election_round_ = vote.election_round;
     tally_.clear();
-    tally_[config_.self] = my_vote_;
+    if (is_voter()) {
+      tally_[config_.self] = my_vote_;
+    }
   } else if (vote.election_round < election_round_) {
     SendMyVote(from);
     return;
   }
+  // Only voters' ballots count, and only ballots for nodes this node's
+  // membership recognises as voters may be adopted — a zombie running an
+  // older membership can neither elect itself nor skew a live election.
   Vote candidate{vote.vote_epoch, vote.vote_zxid, vote.vote_for};
-  if (candidate.BetterThan(my_vote_)) {
+  if (is_voter() && membership_.IsVoter(candidate.node) && candidate.BetterThan(my_vote_)) {
     my_vote_ = candidate;
     tally_[config_.self] = my_vote_;
     SendMyVote(0);
   }
-  tally_[from] = candidate;
+  if (membership_.IsVoter(from) && membership_.IsVoter(candidate.node)) {
+    tally_[from] = candidate;
+  }
   CheckElectionDecision();
 }
 
 void ZabNode::CheckElectionDecision() {
+  if (!is_voter()) {
+    return;  // observers wait for LeaderInfo/heartbeat; they never decide
+  }
   size_t agree = 0;
   uint32_t max_epoch = current_epoch_;
   for (const auto& [node, vote] : tally_) {
@@ -272,7 +345,7 @@ void ZabNode::OnFollowerInfo(NodeId from, const FollowerInfo& info) {
     SnapMsg snap;
     snap.snapshot_zxid = committed_zxid_;
     snap.epoch = current_epoch_;
-    snap.snapshot = callbacks_->TakeSnapshot();
+    snap.snapshot = EncodeZabSnapshot({membership_, callbacks_->TakeSnapshot()});
     SendTo(from, ZabMsgType::kSnap, EncodeSnapMsg(snap));
     DiffMsg tail;
     tail.committed_zxid = committed_zxid_;
@@ -300,7 +373,10 @@ void ZabNode::OnAckNewLeader(NodeId from, const FollowerInfo& info) {
     return;
   }
   TouchPeer(from);
-  newleader_acks_.insert(from);
+  if (membership_.IsVoter(from)) {
+    newleader_acks_.insert(from);
+  }
+  // Record every learner's window (observer promotion gates on it).
   RecordAck(from, info.last_zxid);
   ActivateBroadcastIfQuorum();
   TryCommit();
@@ -316,11 +392,91 @@ void ZabNode::ActivateBroadcastIfQuorum() {
 }
 
 bool ZabNode::Broadcast(std::vector<uint8_t> txn) {
+  return BroadcastInternal(std::move(txn), 0);
+}
+
+Status ZabNode::ProposeReconfig(ZabMembership next) {
+  if (role_ != Role::kLeading || !broadcast_active_) {
+    return Status(ErrorCode::kNotReady, "not the active leader");
+  }
+  if (HasPendingReconfig()) {
+    return Status(ErrorCode::kNotReady, "a reconfiguration is already in flight");
+  }
+  Status valid = ValidateReconfig(next);
+  if (!valid.ok()) {
+    return valid;
+  }
+  if (!BroadcastInternal(EncodeZabMembership(next), kReconfigFlag)) {
+    return Status(ErrorCode::kNotReady, "broadcast unavailable");
+  }
+  return Status();
+}
+
+bool ZabNode::HasPendingReconfig() const {
+  for (size_t i = delivered_count_; i < history_.size(); ++i) {
+    if (history_[i].is_reconfig()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Status ZabNode::ValidateReconfig(const ZabMembership& next) const {
+  if (next.voters.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "reconfig needs at least one voter");
+  }
+  for (NodeId v : next.voters) {
+    if (next.IsObserver(v)) {
+      return Status(ErrorCode::kInvalidArgument, "node listed as both voter and observer");
+    }
+  }
+  // Diff against the current membership; exactly one node may change role
+  // (joining, leaving, or moving between the voter and observer tiers).
+  size_t changes = 0;
+  NodeId new_voter = 0;
+  auto role_of = [](const ZabMembership& m, NodeId id) {
+    return m.IsVoter(id) ? 2 : m.IsObserver(id) ? 1 : 0;
+  };
+  std::set<NodeId> all;
+  for (NodeId n : membership_.voters) all.insert(n);
+  for (NodeId n : membership_.observers) all.insert(n);
+  for (NodeId n : next.voters) all.insert(n);
+  for (NodeId n : next.observers) all.insert(n);
+  for (NodeId n : all) {
+    int before = role_of(membership_, n);
+    int after = role_of(next, n);
+    if (before == after) {
+      continue;
+    }
+    ++changes;
+    if (after == 2) {
+      new_voter = n;
+    }
+  }
+  if (changes == 0) {
+    return Status(ErrorCode::kInvalidArgument, "reconfig changes nothing");
+  }
+  if (changes > 1) {
+    return Status(ErrorCode::kInvalidArgument, "one membership change at a time");
+  }
+  if (new_voter != 0 && new_voter != config_.self) {
+    // Promotion gate: a voter that is far behind the commit frontier would
+    // stall every future quorum. Let it catch up as an observer first.
+    uint64_t window = PeerAckWindow(new_voter);
+    if (window + config_.promote_lag < committed_zxid_) {
+      return Status(ErrorCode::kNotReady, "candidate voter lags the commit frontier");
+    }
+  }
+  return Status();
+}
+
+bool ZabNode::BroadcastInternal(std::vector<uint8_t> txn, uint8_t flags) {
   if (role_ != Role::kLeading || !broadcast_active_) {
     return false;
   }
   ZabProposal proposal;
   proposal.zxid = MakeZxid(current_epoch_, ++counter_);
+  proposal.flags = flags;
   proposal.txn = std::move(txn);
   if (obs_ != nullptr) {
     m_proposals_->Increment();
@@ -381,9 +537,13 @@ void ZabNode::TryCommit() {
   // order, so a gap can never commit before everything preceding it.
   while (delivered_count_ < history_.size()) {
     uint64_t zxid = history_[delivered_count_].zxid;
+    // Only voters' windows count — and because a reconfig entry swaps
+    // membership_ the moment it commits (below), entries behind it in the
+    // same scan are already judged against the *new* quorum, exactly the
+    // pipelined-backlog semantics docs/reconfig.md specifies.
     size_t votes = 0;
     for (const auto& [node, window] : acked_) {
-      if (window >= zxid) {
+      if (window >= zxid && membership_.IsVoter(node)) {
         ++votes;
       }
     }
@@ -391,6 +551,7 @@ void ZabNode::TryCommit() {
       break;
     }
     committed_zxid_ = zxid;
+    bool reconfig = history_[delivered_count_].is_reconfig();
     // Deliver + COMMIT fanout run under the proposing operation's context so
     // the reply path (and follower commit work) stays attributed to it.
     TraceContext prev;
@@ -407,13 +568,22 @@ void ZabNode::TryCommit() {
         restored = true;
       }
     }
-    callbacks_->OnDeliver(zxid, history_[delivered_count_].txn);
+    if (!reconfig) {
+      callbacks_->OnDeliver(zxid, history_[delivered_count_].txn);
+    }
     ++delivered_count_;
+    // The COMMIT fans out to the *old* membership on purpose: a node the
+    // reconfig removes still learns its removal committed and retires
+    // cleanly instead of lingering as a live zombie.
     BroadcastMsg(ZabMsgType::kCommit, EncodeZxidMsg({current_epoch_, zxid}));
     if (restored) {
       obs_->tracer.SetCurrent(prev);
     }
+    if (reconfig && !ActivateMembership(zxid, history_[delivered_count_ - 1].txn)) {
+      return;  // this node retired (it was removed)
+    }
   }
+  MaybeAutoCompact();
 }
 
 // --------------------------------------------------------------- following
@@ -443,6 +613,27 @@ void ZabNode::OnDiff(DiffMsg&& msg) {
   // Re-log the whole diff through one arena buffer (one growing allocation
   // per batch, record boundaries tracked by offset) instead of a fresh
   // encoder per proposal.
+  // Contiguity gate (mirrors OnPropose): cumulative acks claim everything up
+  // to the acked zxid, so the log may never hold a gap. A diff whose first
+  // new proposal does not extend our log contiguously — e.g. the in-flight
+  // DIFF behind a SNAP whose install failed — is dropped wholesale and the
+  // sync handshake restarts from our true position.
+  uint64_t expect_after = last_logged();
+  for (const ZabProposal& p : msg.proposals) {
+    if (p.zxid <= expect_after) {
+      continue;
+    }
+    uint64_t expected = ZxidEpoch(expect_after) == ZxidEpoch(p.zxid)
+                            ? expect_after + 1
+                            : MakeZxid(ZxidEpoch(p.zxid), 1);
+    if (p.zxid != expected || ZxidEpoch(p.zxid) < ZxidEpoch(expect_after)) {
+      synced_ = false;
+      SendTo(leader_, ZabMsgType::kFollowerInfo, EncodeFollowerInfo({last_logged()}));
+      ResetLeaderTimeout();
+      return;
+    }
+    expect_after = p.zxid;
+  }
   arena_.Clear();
   std::vector<uint64_t> zxids;
   std::vector<size_t> offsets;
@@ -463,6 +654,9 @@ void ZabNode::OnDiff(DiffMsg&& msg) {
     AppendRecordDurable(zxids[i], std::move(record), nullptr);
   }
   DeliverUpTo(msg.committed_zxid);
+  if (role_ != Role::kFollowing) {
+    return;  // delivering a reconfig retired this node
+  }
   ResetLeaderTimeout();
 }
 
@@ -471,14 +665,23 @@ void ZabNode::OnTrunc(const ZxidMsg& msg) {
     return;
   }
   size_t keep = 0;
+  bool dropped_reconfig = false;
   while (keep < history_.size() && history_[keep].zxid <= msg.zxid) {
     ++keep;
+  }
+  for (size_t i = keep; i < history_.size(); ++i) {
+    dropped_reconfig |= history_[i].is_reconfig();
   }
   history_.resize(keep);
   // The durable log may contain fewer records (unsynced appends were lost in
   // a crash) but never more than history_; align conservatively.
   if (log_->records().size() > keep) {
     log_->Truncate(keep);
+  }
+  if (dropped_reconfig) {
+    // A never-committed reconfig we had provisionally adopted (latest-config
+    // rule at boot) just left the log; fall back to the durable evidence.
+    RecomputeMembershipFromLog();
   }
   ResetLeaderTimeout();
 }
@@ -487,12 +690,33 @@ void ZabNode::OnSnap(SnapMsg&& msg) {
   if (role_ != Role::kFollowing) {
     return;
   }
-  callbacks_->InstallSnapshot(msg.snapshot_zxid, msg.snapshot);
+  // Install transactionally: a decode failure (corrupt/truncated image, or a
+  // crash mid-install simulated above us) must leave every bit of local
+  // state untouched so the handshake can simply be re-run — the leader
+  // re-offers the same snapshot to our unchanged FollowerInfo (idempotent
+  // re-fetch).
+  auto snap = DecodeZabSnapshot(msg.snapshot);
+  if (!snap.ok() || !callbacks_->InstallSnapshot(msg.snapshot_zxid, snap->state)) {
+    EDC_LOG(kInfo) << "node " << config_.self << " snapshot install failed; re-requesting sync";
+    synced_ = false;
+    SendTo(leader_, ZabMsgType::kFollowerInfo, EncodeFollowerInfo({last_logged()}));
+    ResetLeaderTimeout();
+    return;
+  }
+  // Persist the raw wrapper blob first (models fsync + rename-into-place of
+  // the snapshot file): only after this may the log prefix be forgotten, or
+  // a crash between the two would leave a suffix-only log with no base.
+  log_->StoreSnapshot(msg.snapshot_zxid, std::move(msg.snapshot));
   history_.clear();
   log_->Truncate(0);
   base_zxid_ = msg.snapshot_zxid;
   committed_zxid_ = msg.snapshot_zxid;
   delivered_count_ = 0;
+  snap->membership.version = msg.snapshot_zxid;
+  membership_ = std::move(snap->membership);
+  if (membership_.Contains(config_.self)) {
+    admitted_ = true;  // exclusion stays provisional: the snapshot may predate our add
+  }
   ResetLeaderTimeout();
 }
 
@@ -503,6 +727,9 @@ void ZabNode::OnNewLeader(const EpochMsg& msg) {
   current_epoch_ = std::max(current_epoch_, msg.epoch);
   synced_ = true;
   DeliverUpTo(msg.committed_zxid);
+  if (role_ != Role::kFollowing) {
+    return;  // delivering a reconfig retired this node
+  }
   // AckNewLeader claims everything up to last_logged(); suppress redundant
   // cumulative acks for the same prefix.
   acked_zxid_ = last_logged();
@@ -514,6 +741,9 @@ void ZabNode::OnNewLeader(const EpochMsg& msg) {
 void ZabNode::OnUpToDate(const EpochMsg& msg) {
   if (role_ == Role::kFollowing && synced_) {
     DeliverUpTo(msg.committed_zxid);
+    if (role_ != Role::kFollowing) {
+      return;  // delivering a reconfig retired this node
+    }
     ResetLeaderTimeout();
   }
 }
@@ -541,6 +771,7 @@ void ZabNode::OnPropose(const ProposeFrameView& msg) {
   // straight out of the packet payload — no re-encode on the follower.
   ZabProposal p;
   p.zxid = msg.zxid;
+  p.flags = msg.flags;  // a reconfig entry must stay a reconfig entry
   p.txn.assign(msg.txn, msg.txn + msg.txn_size);
   history_.push_back(std::move(p));
   std::vector<uint8_t> record(msg.record, msg.record + msg.record_size);
@@ -574,6 +805,9 @@ void ZabNode::OnCommitMsg(const ZxidMsg& msg) {
     return;
   }
   DeliverUpTo(msg.zxid);
+  if (role_ != Role::kFollowing) {
+    return;  // delivering a reconfig retired this node
+  }
   ResetLeaderTimeout();
 }
 
@@ -613,6 +847,9 @@ void ZabNode::OnHeartbeat(NodeId from, const EpochMsg& msg) {
     }
     if (msg.epoch == current_epoch_) {
       DeliverUpTo(msg.committed_zxid);
+      if (role_ != Role::kFollowing) {
+        return;  // delivering a reconfig retired this node
+      }
     }
     // Answer so the leader can track which replicas are alive (dead-owner
     // session expiry keys off this).
@@ -627,10 +864,21 @@ void ZabNode::DeliverUpTo(uint64_t frontier) {
   while (delivered_count_ < history_.size() &&
          history_[delivered_count_].zxid <= frontier) {
     committed_zxid_ = history_[delivered_count_].zxid;
-    callbacks_->OnDeliver(committed_zxid_, history_[delivered_count_].txn);
-    ++delivered_count_;
+    const ZabProposal& entry = history_[delivered_count_];
+    if (entry.is_reconfig()) {
+      uint64_t zxid = entry.zxid;
+      std::vector<uint8_t> txn = entry.txn;  // copy: activation may mutate history_
+      ++delivered_count_;
+      if (!ActivateMembership(zxid, txn)) {
+        return;  // this node retired (it was removed)
+      }
+    } else {
+      callbacks_->OnDeliver(entry.zxid, entry.txn);
+      ++delivered_count_;
+    }
   }
   committed_zxid_ = std::max(committed_zxid_, std::min(frontier, last_logged()));
+  MaybeAutoCompact();
 }
 
 void ZabNode::AppendDurable(ZabProposal proposal, std::function<void()> on_durable) {
@@ -665,6 +913,79 @@ const ZabProposal* ZabNode::FindInHistory(uint64_t zxid) const {
   return nullptr;
 }
 
+bool ZabNode::ActivateMembership(uint64_t zxid, const std::vector<uint8_t>& txn) {
+  auto next = DecodeZabMembership(txn);
+  if (!next.ok()) {
+    return true;  // malformed entry: leave the current membership in force
+  }
+  bool was_admitted = admitted_;
+  next->version = zxid;
+  membership_ = std::move(*next);
+  if (membership_.Contains(config_.self)) {
+    admitted_ = true;
+  }
+  EDC_LOG(kInfo) << "node " << config_.self << " membership v" << zxid << " voters="
+                 << membership_.voters.size() << " observers=" << membership_.observers.size();
+  callbacks_->OnMembershipChange(zxid, membership_);
+  // Only an admitted member retires on exclusion: a joiner catching up
+  // replays configs that predate its own add and must sail past them.
+  if (was_admitted && !membership_.Contains(config_.self)) {
+    Retire();
+    return false;
+  }
+  return true;
+}
+
+void ZabNode::Retire() {
+  EDC_LOG(kInfo) << "node " << config_.self << " retired by reconfig";
+  ++generation_;  // kills timers and pending log callbacks, like a crash...
+  role_ = Role::kDown;
+  leader_ = 0;
+  proposal_trace_.clear();
+  // ...but the durable log is NOT dropped: retirement is an orderly exit,
+  // not a crash, and the history may still serve a later re-add.
+  loop_->Cancel(election_timer_);
+  loop_->Cancel(heartbeat_timer_);
+  loop_->Cancel(leader_timeout_timer_);
+}
+
+void ZabNode::RecomputeMembershipFromLog() {
+  ZabMembership m = BootMembership();
+  uint64_t version = 0;
+  if (log_->has_snapshot() && log_->snapshot_zxid() == base_zxid_) {
+    auto snap = DecodeZabSnapshot(log_->snapshot());
+    if (snap.ok()) {
+      m = std::move(snap->membership);
+      version = base_zxid_;
+    }
+  }
+  for (const ZabProposal& p : history_) {
+    if (p.is_reconfig()) {
+      auto nm = DecodeZabMembership(p.txn);
+      if (nm.ok()) {
+        m = std::move(*nm);
+        version = p.zxid;
+      }
+    }
+  }
+  m.version = version;
+  membership_ = std::move(m);
+  ResetAdmission();
+}
+
+void ZabNode::ResetAdmission() {
+  // A version-0 membership is pure boot config: voters are the bootstrap
+  // ensemble (admitted by construction) while an observer's self-entry is
+  // provisional. Anything with version > 0 is durable evidence and governs.
+  admitted_ = membership_.version > 0 ? membership_.Contains(config_.self) : !config_.observer;
+}
+
+void ZabNode::MaybeAutoCompact() {
+  if (config_.snapshot_every > 0 && delivered_count_ >= config_.snapshot_every) {
+    CompactLog();
+  }
+}
+
 void ZabNode::CompactLog() {
   size_t drop = 0;
   while (drop < history_.size() && history_[drop].zxid <= committed_zxid_ &&
@@ -674,7 +995,17 @@ void ZabNode::CompactLog() {
   if (drop == 0) {
     return;
   }
+  // Delivery tracks the commit frontier on every role, so the dropped prefix
+  // is exactly the delivered prefix and the service state machine currently
+  // *is* the state at history_[drop-1].zxid: pair them in a durable snapshot
+  // (with the membership in force there) before forgetting the records. A
+  // restart then installs the snapshot and replays only the kept suffix, and
+  // a lagging peer whose zxid predates the new base gets the SNAP path.
+  ZabSnapshot snap;
+  snap.membership = membership_;
+  snap.state = callbacks_->TakeSnapshot();
   base_zxid_ = history_[drop - 1].zxid;
+  log_->StoreSnapshot(base_zxid_, EncodeZabSnapshot(snap));
   history_.erase(history_.begin(), history_.begin() + static_cast<ptrdiff_t>(drop));
   delivered_count_ -= drop;
   log_->DropHead(drop);

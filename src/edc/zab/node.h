@@ -25,8 +25,26 @@
 //
 // Crash/recovery: Crash() wipes volatile state (the durable LogStore
 // survives); Restart() reloads the log and re-enters election. Delivery
-// replays from zxid 0, so the owning service must reset its state machine on
-// restart and rebuild via OnDeliver/InstallSnapshot.
+// replays from zxid 0 (or from the durable snapshot's zxid when the LogStore
+// holds one), so the owning service must reset its state machine on restart
+// and rebuild via OnDeliver/InstallSnapshot.
+//
+// Membership (docs/reconfig.md): the ensemble is dynamic. A reconfiguration
+// is an ordinary proposal flagged kReconfigFlag whose txn encodes the *full*
+// next membership; it commits under the quorum of the membership in force
+// when it was proposed and activates at commit, on each node independently,
+// the moment the entry's position in the log is reached — so activation
+// respects the pipelined cumulative-ack windows by construction. Observers
+// receive the proposal/commit stream, append, ack (so the leader can track
+// their catch-up lag) and serve as learners, but never count toward any
+// quorum and never stand for election. A node that activates a membership
+// excluding itself retires (role kDown). A follower whose requested sync
+// zxid predates the leader's log floor (base_zxid_, i.e. the compacted
+// prefix) receives a SNAP carrying a ZabSnapshot wrapper — service state
+// plus the membership at the snapshot frontier — which it persists in the
+// LogStore's durable snapshot section before truncating its log, so the
+// installed state survives its own later crashes. A failed install mutates
+// nothing and re-requests sync (idempotent re-fetch).
 
 #ifndef EDC_ZAB_NODE_H_
 #define EDC_ZAB_NODE_H_
@@ -49,13 +67,24 @@ namespace edc {
 class ZabCallbacks {
  public:
   virtual ~ZabCallbacks() = default;
-  // Committed transactions, strictly in zxid order.
+  // Committed transactions, strictly in zxid order. Reconfiguration entries
+  // are consumed by the protocol layer and never reach this hook.
   virtual void OnDeliver(uint64_t zxid, const std::vector<uint8_t>& txn) = 0;
   // Role transitions (leader elected, lost leadership, new epoch).
   virtual void OnRoleChange(bool leader, NodeId leader_id, uint32_t epoch) = 0;
-  // State transfer hooks.
+  // State transfer hooks. InstallSnapshot must be transactional: on any
+  // decode failure it returns false having mutated nothing (the protocol
+  // layer then re-requests the snapshot), and only a true return means the
+  // state machine now reflects everything up to `zxid`.
   virtual std::vector<uint8_t> TakeSnapshot() = 0;
-  virtual void InstallSnapshot(uint64_t zxid, const std::vector<uint8_t>& snapshot) = 0;
+  virtual bool InstallSnapshot(uint64_t zxid, const std::vector<uint8_t>& snapshot) = 0;
+  // A reconfiguration committed and activated: `membership` is now in force
+  // (`zxid` is the reconfig entry). Fired after quorum/broadcast bookkeeping
+  // switched over, and before the node retires if it was removed.
+  virtual void OnMembershipChange(uint64_t zxid, const ZabMembership& membership) {
+    (void)zxid;
+    (void)membership;
+  }
 };
 
 struct ZabConfig {
@@ -69,6 +98,18 @@ struct ZabConfig {
   // packet (the pipeline determinism suite uses that for trace-digest
   // comparisons across pipeline depths).
   bool ack_aggregation = true;
+  // This node boots as a non-voting observer: `members` is its contact list
+  // of voters (self is NOT a voter until a reconfig promotes it). Voting
+  // nodes list themselves in `members` and leave this false.
+  bool observer = false;
+  // Promotion gate: a reconfig adding a voter is rejected unless the
+  // candidate's cumulative ack window is within this many zxids of the
+  // commit frontier (a voter that is far behind would stall every quorum).
+  uint64_t promote_lag = 32;
+  // When > 0, automatically compact the log (snapshot + DropHead) whenever
+  // the delivered prefix reaches this many entries. 0 = manual CompactLog()
+  // only (the legacy behaviour every pre-reconfig test assumes).
+  size_t snapshot_every = 0;
 };
 
 class ZabNode {
@@ -89,6 +130,31 @@ class ZabNode {
   // Leader-only: order `txn`. Returns false when this node cannot currently
   // broadcast (not leader, or sync phase still in progress).
   bool Broadcast(std::vector<uint8_t> txn);
+
+  // Leader-only: replicate a membership change. Exactly one change relative
+  // to the current membership is allowed per reconfig (add/remove one voter,
+  // add/remove one observer, or promote one observer to voter); the change
+  // activates on every node when the entry commits. Fails with kNotReady
+  // when this node is not the active leader or another reconfig is still in
+  // flight, kInvalidArgument on a malformed delta, and kNotReady when a
+  // voter candidate's ack window lags the commit frontier by more than
+  // config.promote_lag (let it catch up as an observer first and retry).
+  Status ProposeReconfig(ZabMembership next);
+  // An appended-but-not-yet-activated reconfig entry exists in the log.
+  bool HasPendingReconfig() const;
+
+  const ZabMembership& membership() const { return membership_; }
+  bool is_voter() const { return membership_.IsVoter(config_.self); }
+  // Whether any activated (version > 0) membership — or the bootstrap voter
+  // config — includes this node. A joining observer stays un-admitted while
+  // it catches up past configs that predate its add; only an admitted node
+  // retires on exclusion. Inside OnMembershipChange this still reports the
+  // pre-change value for an excluding config, so service layers can decide
+  // whether the exclusion retires them or is just history sailing past.
+  bool admitted() const { return admitted_; }
+  // Leader-side catch-up introspection: highest contiguously durable zxid
+  // `peer` has acked this leadership term (0 = nothing yet).
+  uint64_t PeerAckWindow(NodeId peer) const;
 
   // Routes a Zab-range packet into the protocol (charges CPU internally).
   void HandlePacket(Packet&& pkt);
@@ -140,11 +206,27 @@ class ZabNode {
     }
   };
 
-  size_t Quorum() const { return config_.members.size() / 2 + 1; }
+  size_t Quorum() const { return membership_.voters.size() / 2 + 1; }
   void SendTo(NodeId dst, ZabMsgType type, std::vector<uint8_t> payload);
   void BroadcastMsg(ZabMsgType type, const std::vector<uint8_t>& payload);
 
   void Process(Packet&& pkt);
+
+  // Membership.
+  ZabMembership BootMembership() const;
+  Status ValidateReconfig(const ZabMembership& next) const;
+  // Decodes and installs the membership carried by a committed reconfig
+  // entry, fires OnMembershipChange, and retires this node when the new
+  // membership drops it. Returns false exactly when the node retired (the
+  // caller must stop touching state).
+  bool ActivateMembership(uint64_t zxid, const std::vector<uint8_t>& txn);
+  // Re-derives membership from durable evidence (snapshot + the last
+  // reconfig entry still in the log) after a truncation discarded entries.
+  void RecomputeMembershipFromLog();
+  // Re-derives admitted_ from the membership in force (see its doc).
+  void ResetAdmission();
+  void Retire();
+  void MaybeAutoCompact();
 
   // Election.
   void EnterLooking();
@@ -166,6 +248,7 @@ class ZabNode {
   void TryCommit();
   void ActivateBroadcastIfQuorum();
   void SendHeartbeats();
+  bool BroadcastInternal(std::vector<uint8_t> txn, uint8_t flags);
 
   // Following.
   void BecomeFollower(NodeId leader, uint32_t leader_epoch);
@@ -202,6 +285,22 @@ class ZabNode {
   uint64_t generation_ = 0;  // invalidates timers/log-callbacks across crashes
   uint32_t current_epoch_ = 0;
   NodeId leader_ = 0;
+
+  // The membership in force: quorums are majorities of membership_.voters;
+  // BroadcastMsg fans out to voters and observers alike. Rebuilt on every
+  // Start/Restart from boot config + durable snapshot + the log's last
+  // reconfig entry (latest-wins, Raft-style — commit status of a logged
+  // reconfig is unknowable at boot and single-change memberships have
+  // pairwise-intersecting quorums, so acting on the newest is safe).
+  ZabMembership membership_;
+  // Whether a membership actually admitted this node. A bootstrap voter is
+  // admitted by construction; a joining observer's self-entry in its boot
+  // config is provisional — it becomes real only once an activated (or
+  // durably logged) config with version > 0 includes the node. Retirement
+  // requires admission first: otherwise a joiner replaying historical
+  // reconfig entries that predate its own add would retire itself before
+  // ever reaching the entry that admits it.
+  bool admitted_ = false;
 
   // Log state. `history_` mirrors the durable log plus in-flight appends;
   // entries at index i have zxid history_[i].zxid, all > base_zxid_.

@@ -272,6 +272,36 @@ void ZkClient::HandlePacket(Packet&& pkt) {
       }
       break;
     }
+    case ZkMsgType::kMembershipEvent: {
+      auto m = DecodeZkMembershipEvent(pkt.payload);
+      if (!m.ok() || m->version <= membership_version_) {
+        break;  // stale or reordered push
+      }
+      membership_version_ = m->version;
+      // Failover targets: voters first, then observers (both serve clients).
+      std::vector<NodeId> fresh = m->voters;
+      fresh.insert(fresh.end(), m->observers.begin(), m->observers.end());
+      size_t idx = 0;
+      bool still_member = false;
+      for (size_t i = 0; i < fresh.size(); ++i) {
+        if (fresh[i] == server_) {
+          idx = i;
+          still_member = true;
+          break;
+        }
+      }
+      servers_ = ServerList(std::move(fresh), idx);
+      server_idx_ = idx;
+      EDC_LOG(kDebug) << "client " << id_ << " refreshed ensemble (version "
+                      << m->version << ", " << servers_.size() << " servers)";
+      Emit(SessionEvent::kMembershipChanged);
+      if (!still_member && session_ != 0 && !closing_) {
+        // Our replica was removed and is about to stop serving; fail over now
+        // instead of waiting out the session timeout on a black hole.
+        OnConnectionLoss();
+      }
+      break;
+    }
     case ZkMsgType::kWatchEvent: {
       auto m = DecodeZkWatchEvent(pkt.payload);
       if (!m.ok()) {
@@ -372,6 +402,14 @@ void ZkClient::GetChildren(const std::string& path, bool watch, ChildrenCb done)
     }
     done(reply.children);
   });
+}
+
+void ZkClient::Reconfig(const std::string& spec, VoidCb done) {
+  ZkOp op;
+  op.type = ZkOpType::kReconfig;
+  op.data = spec;
+  SendRequest(std::move(op),
+              [done = std::move(done)](const ZkReplyMsg& reply) { done(StatusOf(reply)); });
 }
 
 void ZkClient::Multi(std::vector<ZkOp> ops, VoidCb done) {

@@ -84,6 +84,13 @@ class ZkClient : public NetworkNode, public ZkApi {
   void CallExtension(const std::string& trigger_path, const std::string& args,
                      ExtensionCb done) override;
 
+  // Administrative ensemble reconfiguration (docs/reconfig.md): a
+  // single-change spec such as "add_observer 4", "promote 4" or "remove 2".
+  // Completes when the change has committed and activated cluster-wide (the
+  // reply is sent at activation); the membership push that accompanies it
+  // refreshes this client's failover list.
+  void Reconfig(const std::string& spec, VoidCb done);
+
   // Deprecated raw escape hatch; use the typed operations or CallExtension.
   [[deprecated("use typed operations or CallExtension")]] void Request(ZkOp op, ReplyCb done);
 
@@ -109,6 +116,12 @@ class ZkClient : public NetworkNode, public ZkApi {
   uint64_t session() const override { return session_; }
   NodeId id() const override { return id_; }
   NodeId current_server() const { return server_; }
+  // The failover list this client currently rotates over. Seeded at
+  // construction; refreshed by kMembershipEvent pushes when the ensemble
+  // reconfigures (historically it was fixed for the client's lifetime, so
+  // failover could target removed replicas forever).
+  const ServerList& servers() const { return servers_; }
+  uint64_t membership_version() const { return membership_version_; }
 
   // Map-version protocol (docs/sharding.md): the version stamped on every
   // outgoing request. The router raises it after a map refresh; servers
@@ -146,6 +159,7 @@ class ZkClient : public NetworkNode, public ZkApi {
   ServerList servers_;
   uint32_t shard_id_ = 0;
   uint64_t map_version_ = 0;
+  uint64_t membership_version_ = 0;  // zxid of the newest membership push
   size_t server_idx_ = 0;
   NodeId server_ = 0;  // replica currently connected / being tried
   ZkClientOptions options_;

@@ -60,6 +60,15 @@ class DataTree {
   std::vector<uint8_t> Serialize() const;
   Status Load(const std::vector<uint8_t>& snapshot);
 
+  // Framed snapshot codec for state transfer, using the LogStore's on-disk
+  // record convention: u32 payload length + u64 FNV-1a checksum + payload
+  // (the Serialize() bytes), little-endian. RestoreImage verifies the frame,
+  // decodes into a scratch tree and swaps only on full success — a truncated
+  // or corrupted image (any byte, any offset) fails with kDecodeError and
+  // leaves this tree exactly as it was. Never half-applies.
+  std::vector<uint8_t> SerializeImage() const;
+  Status RestoreImage(const std::vector<uint8_t>& image);
+
  private:
   struct Node {
     std::string data;

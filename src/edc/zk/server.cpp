@@ -32,6 +32,9 @@ ZkServer::ZkServer(EventLoop* loop, Network* net, NodeId id, std::vector<NodeId>
   zcfg.leader_timeout = options.zab_leader_timeout;
   zcfg.election_retry = options.zab_election_retry;
   zcfg.ack_aggregation = options.zab_ack_aggregation;
+  zcfg.observer = options.observer;
+  zcfg.snapshot_every = options.zab_snapshot_every;
+  zcfg.promote_lag = options.zab_promote_lag;
   zab_ = std::make_unique<ZabNode>(loop, net, &cpu_, &log_, costs, zcfg, this);
 }
 
@@ -45,6 +48,7 @@ void ZkServer::Start() {
   client_nodes_.clear();
   pending_connects_.clear();
   expiring_sessions_.clear();
+  pending_reconfig_ = PendingReconfig{};
   txns_applied_ = 0;
   applied_log_.clear();
   tree_.Load({});  // empty tree
@@ -74,6 +78,7 @@ void ZkServer::Restart() {
   client_nodes_.clear();
   pending_connects_.clear();
   expiring_sessions_.clear();
+  pending_reconfig_ = PendingReconfig{};
   applied_log_.clear();
   tree_.Load({});
   (void)tree_.Create(kEmPath, "", 0, false, 0, 0);
@@ -363,6 +368,14 @@ void ZkServer::DoPrep(uint32_t origin, ZkRequestMsg msg) {
     return;
   }
 
+  // Ensemble reconfiguration is an administrative operation that bypasses the
+  // prep pipeline: it is replicated as a flagged Zab entry, never becomes a
+  // ZkTxn, and its reply is sent at activation (OnMembershipChange).
+  if (msg.op.type == ZkOpType::kReconfig) {
+    DoReconfig(origin, msg);
+    return;
+  }
+
   // Registration-time hook (verify + rewrite of /em creates).
   if (hooks_ != nullptr && !IsReadOp(msg.op.type)) {
     Duration extra = 0;
@@ -514,6 +527,76 @@ void ZkServer::DoPrep(uint32_t origin, ZkRequestMsg msg) {
     outstanding_.pop_back();
     fail(Status(ErrorCode::kNotReady, "broadcast failed"));
   }
+}
+
+Status ZkServer::ParseReconfigSpec(const std::string& spec, ZabMembership* next) const {
+  size_t space = spec.find(' ');
+  if (space == std::string::npos) {
+    return Status(ErrorCode::kInvalidArgument, "reconfig spec: '<verb> <node>'");
+  }
+  std::string verb = spec.substr(0, space);
+  auto id = ParseInt64(spec.substr(space + 1));
+  if (!id.ok() || *id <= 0) {
+    return Status(ErrorCode::kInvalidArgument, "reconfig spec: bad node id");
+  }
+  NodeId node = static_cast<NodeId>(*id);
+  const ZabMembership& cur = zab_->membership();
+  next->voters = cur.voters;
+  next->observers = cur.observers;
+  auto erase = [](std::vector<NodeId>& v, NodeId n) {
+    v.erase(std::remove(v.begin(), v.end(), n), v.end());
+  };
+  if (verb == "add_observer") {
+    if (cur.Contains(node)) {
+      return Status(ErrorCode::kInvalidArgument, "already a member");
+    }
+    next->observers.push_back(node);
+  } else if (verb == "add_voter") {
+    if (cur.IsVoter(node)) {
+      return Status(ErrorCode::kInvalidArgument, "already a voter");
+    }
+    erase(next->observers, node);
+    next->voters.push_back(node);
+  } else if (verb == "promote") {
+    if (!cur.IsObserver(node)) {
+      return Status(ErrorCode::kInvalidArgument, "not an observer");
+    }
+    erase(next->observers, node);
+    next->voters.push_back(node);
+  } else if (verb == "remove") {
+    if (!cur.Contains(node)) {
+      return Status(ErrorCode::kInvalidArgument, "not a member");
+    }
+    erase(next->voters, node);
+    erase(next->observers, node);
+  } else {
+    return Status(ErrorCode::kInvalidArgument, "unknown reconfig verb: " + verb);
+  }
+  return Status::Ok();
+}
+
+void ZkServer::DoReconfig(uint32_t origin, const ZkRequestMsg& msg) {
+  auto fail = [&](const Status& status) {
+    ZkReplyMsg reply;
+    reply.req_id = msg.req_id;
+    reply.code = status.code();
+    reply.value = status.message();
+    RouteReply(origin, msg.session, std::move(reply));
+  };
+  if (pending_reconfig_.active) {
+    fail(Status(ErrorCode::kNotReady, "a reconfiguration is already in flight"));
+    return;
+  }
+  ZabMembership next;
+  if (auto s = ParseReconfigSpec(msg.op.data, &next); !s.ok()) {
+    fail(s);
+    return;
+  }
+  if (auto s = zab_->ProposeReconfig(std::move(next)); !s.ok()) {
+    fail(s);
+    return;
+  }
+  pending_reconfig_ = PendingReconfig{true, origin, msg.session, msg.req_id};
 }
 
 bool ZkServer::ProposeFromPrep(PrepSession* prep, bool has_result, std::string result,
@@ -731,6 +814,16 @@ void ZkServer::OnRoleChange(bool leader, NodeId leader_id, uint32_t epoch) {
   (void)leader_id;
   (void)epoch;
   outstanding_.clear();
+  if (pending_reconfig_.active) {
+    // The proposal may still commit under the next leader, but this replica
+    // can no longer promise activation; the admin retries idempotently.
+    ZkReplyMsg reply;
+    reply.req_id = pending_reconfig_.req_id;
+    reply.code = ErrorCode::kNotReady;
+    reply.value = "leadership changed during reconfig";
+    RouteReply(pending_reconfig_.origin, pending_reconfig_.session, std::move(reply));
+    pending_reconfig_ = PendingReconfig{};
+  }
   if (leader) {
     leader_since_ = loop_->now();
   }
@@ -740,7 +833,9 @@ void ZkServer::OnRoleChange(bool leader, NodeId leader_id, uint32_t epoch) {
 
 std::vector<uint8_t> ZkServer::TakeSnapshot() {
   Encoder enc;
-  enc.PutBytes(tree_.Serialize());
+  // The tree section is itself framed (length + FNV) so truncation or
+  // corruption anywhere inside it is detected before a byte is applied.
+  enc.PutBytes(tree_.SerializeImage());
   enc.PutVarint(sessions_.size());
   for (const auto& [session, info] : sessions_) {
     enc.PutU64(session);
@@ -759,58 +854,118 @@ std::vector<uint8_t> ZkServer::TakeSnapshot() {
   return enc.Release();
 }
 
-void ZkServer::InstallSnapshot(uint64_t zxid, const std::vector<uint8_t>& snapshot) {
-  (void)zxid;
-  applied_log_.clear();  // state is now the snapshot, not per-txn application
+bool ZkServer::InstallSnapshot(uint64_t zxid, const std::vector<uint8_t>& snapshot) {
+  // Decode every section into temporaries first: a snapshot that fails
+  // anywhere — truncated tree image, torn session table, trailing garbage —
+  // must leave the replica exactly as it was so the Zab layer can re-request
+  // state transfer (the joiner re-sends FollowerInfo and the leader re-offers
+  // the snapshot).
   Decoder dec(snapshot);
   auto tree_bytes = dec.GetBytes();
-  if (!tree_bytes.ok() || !tree_.Load(*tree_bytes).ok()) {
-    EDC_LOG(kError) << "server " << id_ << ": snapshot tree load failed";
-    return;
+  if (!tree_bytes.ok()) {
+    EDC_LOG(kError) << "server " << id_ << ": snapshot tree section missing";
+    return false;
   }
-  sessions_.clear();
+  std::map<uint64_t, SessionInfo> fresh_sessions;
   auto n_sessions = dec.GetVarint();
-  if (n_sessions.ok()) {
-    for (uint64_t i = 0; i < *n_sessions; ++i) {
-      auto session = dec.GetU64();
-      auto owner = dec.GetU32();
-      auto timeout = dec.GetI64();
-      if (!session.ok() || !owner.ok() || !timeout.ok()) {
-        break;
-      }
-      SessionInfo info;
-      info.owner = *owner;
-      info.timeout = *timeout;
-      info.last_seen = loop_->now();
-      sessions_[*session] = info;
-      if (*owner == id_) {
-        session_counter_ = std::max(session_counter_, *session & ((uint64_t{1} << 40) - 1));
-      }
-    }
+  if (!n_sessions.ok()) {
+    return false;
   }
-  block_table_.clear();
+  for (uint64_t i = 0; i < *n_sessions; ++i) {
+    auto session = dec.GetU64();
+    auto owner = dec.GetU32();
+    auto timeout = dec.GetI64();
+    if (!session.ok() || !owner.ok() || !timeout.ok()) {
+      EDC_LOG(kError) << "server " << id_ << ": snapshot session table truncated";
+      return false;
+    }
+    SessionInfo info;
+    info.owner = *owner;
+    info.timeout = *timeout;
+    info.last_seen = loop_->now();
+    fresh_sessions[*session] = info;
+  }
+  std::map<std::string, std::vector<std::pair<uint64_t, uint64_t>>> fresh_blocks;
   auto n_blocks = dec.GetVarint();
-  if (n_blocks.ok()) {
-    for (uint64_t i = 0; i < *n_blocks; ++i) {
-      auto path = dec.GetString();
-      auto n_waiters = dec.GetVarint();
-      if (!path.ok() || !n_waiters.ok()) {
-        break;
+  if (!n_blocks.ok()) {
+    return false;
+  }
+  for (uint64_t i = 0; i < *n_blocks; ++i) {
+    auto path = dec.GetString();
+    auto n_waiters = dec.GetVarint();
+    if (!path.ok() || !n_waiters.ok()) {
+      EDC_LOG(kError) << "server " << id_ << ": snapshot block table truncated";
+      return false;
+    }
+    auto& waiters = fresh_blocks[*path];
+    for (uint64_t j = 0; j < *n_waiters; ++j) {
+      auto session = dec.GetU64();
+      auto req_id = dec.GetU64();
+      if (!session.ok() || !req_id.ok()) {
+        return false;
       }
-      auto& waiters = block_table_[*path];
-      for (uint64_t j = 0; j < *n_waiters; ++j) {
-        auto session = dec.GetU64();
-        auto req_id = dec.GetU64();
-        if (!session.ok() || !req_id.ok()) {
-          break;
-        }
-        waiters.emplace_back(*session, *req_id);
-      }
+      waiters.emplace_back(*session, *req_id);
     }
   }
+  if (!dec.AtEnd()) {
+    EDC_LOG(kError) << "server " << id_ << ": snapshot has trailing bytes";
+    return false;
+  }
+  // The framed tree image is validated (length + checksum + structure) and
+  // swapped in atomically by RestoreImage; it is the last fallible step.
+  if (auto s = tree_.RestoreImage(*tree_bytes); !s.ok()) {
+    EDC_LOG(kError) << "server " << id_ << ": snapshot tree load failed: " << s.ToString();
+    return false;
+  }
+  sessions_ = std::move(fresh_sessions);
+  block_table_ = std::move(fresh_blocks);
+  for (const auto& [session, info] : sessions_) {
+    if (info.owner == id_) {
+      session_counter_ = std::max(session_counter_, session & ((uint64_t{1} << 40) - 1));
+    }
+  }
+  applied_log_.clear();  // state is now the snapshot at `zxid`, not per-txn application
+  (void)zxid;
   watch_mgr_.Clear();
   if (hooks_ != nullptr) {
     hooks_->OnStateReloaded();
+  }
+  return true;
+}
+
+void ZkServer::OnMembershipChange(uint64_t zxid, const ZabMembership& membership) {
+  // Push the new ensemble to every connected client so failover lists stay
+  // live (satellite: clients historically kept the boot-time ServerList
+  // forever and could fail over into removed replicas).
+  ZkMembershipEventMsg ev;
+  ev.version = zxid;
+  ev.voters = membership.voters;
+  ev.observers = membership.observers;
+  std::set<NodeId> clients;
+  for (const auto& [session, node] : client_nodes_) {
+    clients.insert(node);
+  }
+  for (NodeId c : clients) {
+    SendPacket(c, ZkMsgType::kMembershipEvent, EncodeZkMembershipEvent(ev));
+  }
+  if (pending_reconfig_.active) {
+    ZkReplyMsg reply;
+    reply.req_id = pending_reconfig_.req_id;
+    reply.value = "ok";
+    RouteReply(pending_reconfig_.origin, pending_reconfig_.session, std::move(reply));
+    pending_reconfig_ = PendingReconfig{};
+  }
+  if (!membership.Contains(id_) && zab_->admitted()) {
+    // Removed from the ensemble: the Zab node retires itself right after this
+    // callback; stop serving clients too. The durable log is kept. A joiner
+    // that was never admitted is just replaying configs that predate its own
+    // add — it keeps running and waits for the entry that admits it.
+    EDC_LOG(kInfo) << "server " << id_ << " removed from ensemble at zxid " << zxid
+                   << "; retiring";
+    ++generation_;
+    running_ = false;
+    loop_->Cancel(session_timer_);
+    session_timer_ = kInvalidTimer;
   }
 }
 

@@ -49,6 +49,17 @@ struct ZkServerOptions {
   // checker's negative tests plant this bug to prove a single-fire violation
   // is caught and shrunk (docs/model_checking.md).
   bool test_double_fire_watches = false;
+  // Boot as a non-voting observer (docs/reconfig.md): `members` is then the
+  // contact list of the current voters, not a tier this replica belongs to.
+  // A later "promote" reconfig turns the replica into a voter.
+  bool observer = false;
+  // Auto-compaction: snapshot + drop the delivered log prefix every N
+  // delivered transactions (ZabConfig::snapshot_every). 0 = never (legacy);
+  // joiners then always catch up by full log replay.
+  size_t zab_snapshot_every = 0;
+  // Commit-frontier slack a candidate voter must be within before a
+  // "promote" reconfig is accepted (ZabConfig::promote_lag).
+  uint64_t zab_promote_lag = 32;
 };
 
 class ZkServer : public NetworkNode, public ZabCallbacks {
@@ -99,7 +110,15 @@ class ZkServer : public NetworkNode, public ZabCallbacks {
   void OnDeliver(uint64_t zxid, const std::vector<uint8_t>& txn) override;
   void OnRoleChange(bool leader, NodeId leader_id, uint32_t epoch) override;
   std::vector<uint8_t> TakeSnapshot() override;
-  void InstallSnapshot(uint64_t zxid, const std::vector<uint8_t>& snapshot) override;
+  // Transactional: decodes every section into temporaries and swaps only on
+  // full success. Returns false — with zero state mutated — on any framing,
+  // checksum or structural failure, so the Zab layer can re-request the
+  // snapshot instead of running on a half-installed tree.
+  bool InstallSnapshot(uint64_t zxid, const std::vector<uint8_t>& snapshot) override;
+  // A reconfiguration activated at `zxid`: push the new ensemble to every
+  // connected client, complete a pending admin reconfig reply, and stop
+  // serving if this replica was removed.
+  void OnMembershipChange(uint64_t zxid, const ZabMembership& membership) override;
 
   // Introspection (extension manager, tests, benches).
   NodeId id() const { return id_; }
@@ -155,6 +174,11 @@ class ZkServer : public NetworkNode, public ZabCallbacks {
   void RouteToLeader(uint32_t origin, const ZkRequestMsg& msg);
   void PrepAndPropose(uint32_t origin, ZkRequestMsg msg);
   void DoPrep(uint32_t origin, ZkRequestMsg msg);
+  // Leader-side handling of an admin kReconfig request: parse the
+  // single-change spec against the live membership and replicate it through
+  // the Zab log. The reply is sent when the change activates (or fails).
+  void DoReconfig(uint32_t origin, const ZkRequestMsg& msg);
+  Status ParseReconfigSpec(const std::string& spec, ZabMembership* next) const;
 
   void ApplyTxn(uint64_t zxid, const ZkTxn& txn);
   static bool TxnIsDeferred(const ZkTxn& txn);
@@ -186,6 +210,16 @@ class ZkServer : public NetworkNode, public ZabCallbacks {
 
   // Leader-only pipeline state.
   std::deque<PendingDelta> outstanding_;
+
+  // Leader-only: the admin reconfig awaiting activation (at most one — Zab
+  // rejects a second while one is in flight). Cleared on role change.
+  struct PendingReconfig {
+    bool active = false;
+    uint32_t origin = 0;
+    uint64_t session = 0;
+    uint64_t req_id = 0;
+  };
+  PendingReconfig pending_reconfig_;
 
   // Connection-local volatile state.
   struct PendingConnect {

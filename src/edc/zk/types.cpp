@@ -26,7 +26,7 @@ Result<ZkOp> ZkOp::Decode(Decoder& dec, int depth) {
   }
   ZkOp op;
   auto type = dec.GetU8();
-  if (!type.ok() || *type > static_cast<uint8_t>(ZkOpType::kSessionCreate)) {
+  if (!type.ok() || *type > static_cast<uint8_t>(ZkOpType::kReconfig)) {
     return ErrorCode::kDecodeError;
   }
   op.type = static_cast<ZkOpType>(*type);
@@ -292,6 +292,53 @@ Result<ZkForwardReplyMsg> DecodeZkForwardReply(const std::vector<uint8_t>& buf) 
     return reply.status();
   }
   m.reply = std::move(*reply);
+  return m;
+}
+
+std::vector<uint8_t> EncodeZkMembershipEvent(const ZkMembershipEventMsg& m) {
+  Encoder enc;
+  enc.PutU64(m.version);
+  enc.PutVarint(m.voters.size());
+  for (uint32_t v : m.voters) {
+    enc.PutU32(v);
+  }
+  enc.PutVarint(m.observers.size());
+  for (uint32_t o : m.observers) {
+    enc.PutU32(o);
+  }
+  return enc.Release();
+}
+
+Result<ZkMembershipEventMsg> DecodeZkMembershipEvent(const std::vector<uint8_t>& buf) {
+  Decoder dec(buf);
+  ZkMembershipEventMsg m;
+  auto version = dec.GetU64();
+  auto nv = dec.GetVarint();
+  if (!version.ok() || !nv.ok()) {
+    return ErrorCode::kDecodeError;
+  }
+  m.version = *version;
+  for (uint64_t i = 0; i < *nv; ++i) {
+    auto v = dec.GetU32();
+    if (!v.ok()) {
+      return v.status();
+    }
+    m.voters.push_back(*v);
+  }
+  auto no = dec.GetVarint();
+  if (!no.ok()) {
+    return no.status();
+  }
+  for (uint64_t i = 0; i < *no; ++i) {
+    auto o = dec.GetU32();
+    if (!o.ok()) {
+      return o.status();
+    }
+    m.observers.push_back(*o);
+  }
+  if (m.voters.empty()) {
+    return Status(ErrorCode::kDecodeError, "membership event without voters");
+  }
   return m;
 }
 

@@ -27,7 +27,8 @@ enum class ZkMsgType : uint32_t {
   kWatchEvent = kZkTypeBase + 4,    // replica -> client
   kForward = kZkTypeBase + 5,       // follower -> leader (writes / ext ops)
   kForwardReply = kZkTypeBase + 6,  // leader -> follower (error short-circuit)
-  kMax = kZkTypeBase + 7,
+  kMembershipEvent = kZkTypeBase + 7,  // replica -> client (ensemble changed)
+  kMax = kZkTypeBase + 8,
 };
 
 inline bool IsZkPacket(uint32_t type) {
@@ -47,6 +48,11 @@ enum class ZkOpType : uint8_t {
   // Internal: replica -> leader session establishment (never sent by
   // clients; `data` carries the session timeout in ns).
   kSessionCreate = 9,
+  // Administrative ensemble reconfiguration (docs/reconfig.md). `data`
+  // carries a single-change spec: "add_observer N", "add_voter N",
+  // "promote N" or "remove N". Leader-only; replicated through the Zab log
+  // and activated at commit.
+  kReconfig = 10,
 };
 
 inline bool IsReadOp(ZkOpType t) {
@@ -160,6 +166,19 @@ std::vector<uint8_t> EncodeZkForward(const ZkForwardMsg& m);
 Result<ZkForwardMsg> DecodeZkForward(const std::vector<uint8_t>& buf);
 std::vector<uint8_t> EncodeZkForwardReply(const ZkForwardReplyMsg& m);
 Result<ZkForwardReplyMsg> DecodeZkForwardReply(const std::vector<uint8_t>& buf);
+
+// Pushed by a replica to its connected clients when a reconfiguration
+// activates: the authoritative voter list (the servers a session can fail
+// over to) plus the observer tier, stamped with the activating zxid so
+// clients can discard stale or reordered events.
+struct ZkMembershipEventMsg {
+  uint64_t version = 0;  // zxid of the activating reconfig commit
+  std::vector<uint32_t> voters;     // NodeId; this header stays network-free
+  std::vector<uint32_t> observers;
+};
+
+std::vector<uint8_t> EncodeZkMembershipEvent(const ZkMembershipEventMsg& m);
+Result<ZkMembershipEventMsg> DecodeZkMembershipEvent(const std::vector<uint8_t>& buf);
 
 }  // namespace edc
 

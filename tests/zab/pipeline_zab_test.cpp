@@ -73,8 +73,9 @@ class PipelineReplica : public NetworkNode, public ZabCallbacks {
 
   void OnRoleChange(bool, NodeId, uint32_t) override {}
   std::vector<uint8_t> TakeSnapshot() override { return Txn(state); }
-  void InstallSnapshot(uint64_t, const std::vector<uint8_t>& snap) override {
+  bool InstallSnapshot(uint64_t, const std::vector<uint8_t>& snap) override {
     state = TxnStr(snap);
+    return true;
   }
 
   CpuQueue cpu;

@@ -51,10 +51,14 @@ class TestReplica : public NetworkNode, public ZabCallbacks {
 
   std::vector<uint8_t> TakeSnapshot() override { return Txn(state); }
 
-  void InstallSnapshot(uint64_t zxid, const std::vector<uint8_t>& snap) override {
+  bool InstallSnapshot(uint64_t zxid, const std::vector<uint8_t>& snap) override {
+    if (reject_installs) {
+      return false;
+    }
     state = TxnStr(snap);
     snapshot_installs++;
     (void)zxid;
+    return true;
   }
 
   void ResetServiceState() {
@@ -73,6 +77,9 @@ class TestReplica : public NetworkNode, public ZabCallbacks {
   NodeId known_leader = 0;
   uint32_t last_epoch = 0;
   int snapshot_installs = 0;
+  // Test hook: fail every InstallSnapshot, modeling a joiner that crashes (or
+  // receives a torn image) mid-install; the node must re-request transfer.
+  bool reject_installs = false;
 };
 
 class ZabClusterTest : public ::testing::Test {
