@@ -1,13 +1,20 @@
 // Ablation: cost of the sandbox's per-step metering and value-size
-// accounting (§4.1.2). Compares interpreter throughput on compute-heavy
-// scripts under different budgets and measures the raw steps/second the
-// metered interpreter sustains.
+// accounting (§4.1.2), and of tree-walking itself. Compares interpreter
+// throughput on compute-heavy scripts under different budgets, measures the
+// raw steps/second the metered interpreter sustains, and stacks the bytecode
+// VM (docs/bytecode_vm.md) on top: BM_Vm* are the certified-dispatch
+// counterparts of BM_Elided*, and BM_InterpreterFallback* pin what an
+// uncertified handler pays for staying on the tree walker.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
 
 #include "bench/gbench_json.h"
 #include "edc/script/interpreter.h"
 #include "edc/script/parser.h"
+#include "edc/script/vm/compiler.h"
+#include "edc/script/vm/vm.h"
 
 namespace edc {
 namespace {
@@ -108,6 +115,75 @@ void BM_ElidedStrings(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ElidedStrings);
+
+// Compiles the single handler of `source` into a one-entry module; aborts if
+// the compiler refuses (the bench scripts are all certified shapes).
+CompiledModule CompileBenchModule(const char* source) {
+  auto program = ParseProgram(source);
+  CompiledModule module;
+  for (const auto& [name, handler] : (*program)->handlers) {
+    CompiledHandler compiled;
+    if (!CompileHandler(handler, CompileOptions{}, 0, &compiled)) {
+      std::abort();
+    }
+    module.handlers.emplace(name, std::move(compiled));
+  }
+  return module;
+}
+
+void BM_VmArithmetic(benchmark::State& state) {
+  // The full certified hot path: registration compiled the handler to
+  // register bytecode, so dispatch skips both the per-node limit check and
+  // the tree walk. Delta vs BM_ElidedArithmetic is what compilation buys on
+  // top of metering elision; steps_used stays identical to both interpreter
+  // rows by construction.
+  CompiledModule module = CompileBenchModule(kComputeScript);
+  NullHost host;
+  ExecBudget elided;
+  elided.metered = false;
+  int64_t steps = 0;
+  for (auto _ : state) {
+    Vm vm(&module, &host, elided);
+    auto out = vm.Invoke("read", {Value("/x")});
+    benchmark::DoNotOptimize(out);
+    steps += vm.stats().steps_used;
+  }
+  state.counters["steps_per_s"] =
+      benchmark::Counter(static_cast<double>(steps), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_VmArithmetic);
+
+void BM_VmStrings(benchmark::State& state) {
+  CompiledModule module = CompileBenchModule(kStringScript);
+  NullHost host;
+  ExecBudget elided;
+  elided.metered = false;
+  for (auto _ : state) {
+    Vm vm(&module, &host, elided);
+    auto out = vm.Invoke("read", {Value("/x")});
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_VmStrings);
+
+void BM_InterpreterFallbackArithmetic(benchmark::State& state) {
+  // The uncertified ablation row: same script, but the registry found no
+  // compiled handler, so execution falls back to the fully metered tree
+  // walker. Identical numbers to BM_MeteredArithmetic by construction — the
+  // row exists so the JSON snapshot names the fallback cost explicitly.
+  auto program = ParseProgram(kComputeScript);
+  NullHost host;
+  int64_t steps = 0;
+  for (auto _ : state) {
+    Interpreter interp(program->get(), &host, ExecBudget{});
+    auto out = interp.Invoke("read", {Value("/x")});
+    benchmark::DoNotOptimize(out);
+    steps += interp.stats().steps_used;
+  }
+  state.counters["steps_per_s"] =
+      benchmark::Counter(static_cast<double>(steps), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpreterFallbackArithmetic);
 
 void BM_BudgetExhaustion(benchmark::State& state) {
   // Hitting the step limit must be cheap (it is the defense, not the attack).

@@ -4,6 +4,7 @@
 # model-conformance sweeps (docs/model_checking.md), the observability layer
 # (docs/observability.md), the sharded coordination plane (docs/sharding.md),
 # the dynamic-membership suite (docs/reconfig.md),
+# the bytecode-VM conformance tier (docs/bytecode_vm.md),
 # and the lint tier (docs/static_analysis.md):
 # edc-lint golden tests, edc-lint over the example scripts, and clang-tidy
 # when available. Any failure aborts.
@@ -58,7 +59,7 @@ run_lint_tier
 
 cd "$BUILD_DIR"
 echo "== tier-1 tests =="
-ctest --output-on-failure -j "$JOBS" -LE 'chaos|model|obs|lint|shard|pipeline|reconfig'
+ctest --output-on-failure -j "$JOBS" -LE 'chaos|model|obs|lint|shard|pipeline|reconfig|vm'
 echo "== chaos tests =="
 ctest --output-on-failure -j "$JOBS" -L chaos
 echo "== model-conformance tests =="
@@ -71,6 +72,8 @@ echo "== pipeline determinism tests =="
 ctest --output-on-failure -j "$JOBS" --no-tests=error -L pipeline
 echo "== dynamic membership (reconfig) tests =="
 ctest --output-on-failure -j "$JOBS" --no-tests=error -L reconfig
+echo "== bytecode VM conformance tests =="
+ctest --output-on-failure -j "$JOBS" --no-tests=error -L vm
 # Spotlight the recovery/crash-restart families (docs/bft_recovery.md): these
 # already ran inside the tiers above, but --no-tests=error makes the gate fail
 # loudly if a rename or CMake edit silently drops them from discovery.

@@ -408,6 +408,13 @@ DsExecOutcome DsExtensionManager::HandleEmTraffic(DsExecContext* ctx, NodeId cli
       outcome.status = s;
       return outcome;
     }
+    if (Obs* obs = server_->obs()) {
+      LoadedExtension* loaded = registry_.Find(BaseName(path));
+      if (loaded != nullptr && loaded->compiled != nullptr) {
+        obs->metrics.GetCounter("ext.compiled")
+            ->Add(static_cast<int64_t>(loaded->compiled->handlers.size()));
+      }
+    }
     outcome.has_result = true;
     return outcome;
   }
@@ -477,23 +484,22 @@ DsExecOutcome DsExtensionManager::RunOperationExtension(const LoadedExtension& e
   }
 
   DsScriptHost host(ctx, limits_);
-  ExecBudget budget{limits_.max_steps, limits_.max_value_bytes};
-  bool certified = ext.Certified(handler_name);
-  budget.metered = !(certified && limits_.enable_metering_elision);
-  Interpreter interp(ext.program.get(), &host, budget);
-  auto result = interp.Invoke(handler_name, std::move(args));
+  HandlerRun run = RunExtensionHandler(ext, handler_name, std::move(args), &host, limits_);
+  const Result<Value>& result = run.result;
 
   CostModel costs;
-  outcome.cpu_cost = costs.ext_invoke_cpu + interp.stats().steps_used * costs.ext_step_cpu;
+  outcome.cpu_cost = costs.ext_invoke_cpu + run.steps_used * costs.ext_step_cpu;
   if (Obs* obs = server_->obs()) {
     obs->metrics.GetCounter("ext.invocations")->Increment();
-    obs->metrics.GetCounter("ext.steps")->Add(
-        static_cast<int64_t>(interp.stats().steps_used));
-    if (certified) {
+    obs->metrics.GetCounter("ext.steps")->Add(run.steps_used);
+    if (run.certified) {
       obs->metrics.GetCounter("ext.certified")->Increment();
     }
-    if (!budget.metered) {
+    if (!run.metered) {
       obs->metrics.GetCounter("ext.metering_elided")->Increment();
+    }
+    if (run.vm_dispatched) {
+      obs->metrics.GetCounter("ext.vm_dispatches")->Increment();
     }
   }
 
@@ -554,22 +560,21 @@ void DsExtensionManager::RunEventExtension(LoadedExtension* ext, DsExecContext* 
     return;
   }
   DsScriptHost host(ctx, limits_);
-  ExecBudget budget{limits_.max_steps, limits_.max_value_bytes};
-  bool certified = ext->Certified(handler_name);
-  budget.metered = !(certified && limits_.enable_metering_elision);
-  Interpreter interp(ext->program.get(), &host, budget);
   std::vector<Value> args;
   args.emplace_back(path);
-  auto result = interp.Invoke(handler_name, std::move(args));
+  HandlerRun run = RunExtensionHandler(*ext, handler_name, std::move(args), &host, limits_);
+  const Result<Value>& result = run.result;
   if (Obs* obs = server_->obs()) {
     obs->metrics.GetCounter("ext.invocations")->Increment();
-    obs->metrics.GetCounter("ext.steps")->Add(
-        static_cast<int64_t>(interp.stats().steps_used));
-    if (certified) {
+    obs->metrics.GetCounter("ext.steps")->Add(run.steps_used);
+    if (run.certified) {
       obs->metrics.GetCounter("ext.certified")->Increment();
     }
-    if (!budget.metered) {
+    if (!run.metered) {
       obs->metrics.GetCounter("ext.metering_elided")->Increment();
+    }
+    if (run.vm_dispatched) {
+      obs->metrics.GetCounter("ext.vm_dispatches")->Increment();
     }
   }
   if (!result.ok()) {
@@ -592,14 +597,11 @@ bool DsExtensionManager::AllowUnblock(NodeId client, const DsTemplate& templ,
       continue;
     }
     DsReadOnlyHost host(&server_->space(), client, limits_.max_collection_items);
-    ExecBudget budget{limits_.max_steps, limits_.max_value_bytes};
-    budget.metered = !(ext->Certified("on_unblocked") && limits_.enable_metering_elision);
-    Interpreter interp(ext->program.get(), &host, budget);
     std::vector<Value> args;
     args.emplace_back(path);
-    auto result = interp.Invoke("on_unblocked", std::move(args));
+    HandlerRun run = RunExtensionHandler(*ext, "on_unblocked", std::move(args), &host, limits_);
     // Convention: a falsy return re-blocks the operation (§5.2.2).
-    if (result.ok() && !result->Truthy()) {
+    if (run.result.ok() && !run.result->Truthy()) {
       return false;
     }
   }

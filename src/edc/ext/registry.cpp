@@ -5,6 +5,8 @@
 
 #include "edc/common/strings.h"
 #include "edc/script/parser.h"
+#include "edc/script/vm/compiler.h"
+#include "edc/script/vm/vm.h"
 
 namespace edc {
 
@@ -24,8 +26,39 @@ Status ExtensionRegistry::Load(const std::string& name, uint64_t owner,
   ext.program = std::move(*program);
   ext.reg_order = next_order_++;
   ext.reports = std::move(report.handlers);
+  // Compile the certified handlers once, here, so every later invocation
+  // dispatches straight into bytecode ("verification pays once", §4.2).
+  CompileOptions copts;
+  copts.collection_functions = config.collection_functions;
+  copts.max_collection_items = static_cast<int64_t>(config.max_collection_items);
+  ext.compiled = std::make_shared<const CompiledModule>(
+      CompileProgram(*ext.program, ext.reports, copts));
   extensions_[name] = std::move(ext);
   return Status::Ok();
+}
+
+HandlerRun RunExtensionHandler(const LoadedExtension& ext, const std::string& handler_name,
+                               std::vector<Value> args, ScriptHost* host,
+                               const ExtensionLimits& limits) {
+  HandlerRun run;
+  run.certified = ext.Certified(handler_name);
+  ExecBudget budget{limits.max_steps, limits.max_value_bytes};
+  budget.metered = !(run.certified && limits.enable_metering_elision);
+  run.metered = budget.metered;
+  const CompiledHandler* compiled =
+      (limits.enable_vm && ext.compiled != nullptr) ? ext.compiled->Find(handler_name)
+                                                    : nullptr;
+  if (compiled != nullptr) {
+    Vm vm(ext.compiled.get(), host, budget);
+    run.result = vm.Run(*compiled, std::move(args));
+    run.steps_used = vm.stats().steps_used;
+    run.vm_dispatched = true;
+    return run;
+  }
+  Interpreter interp(ext.program.get(), host, budget);
+  run.result = interp.Invoke(handler_name, std::move(args));
+  run.steps_used = interp.stats().steps_used;
+  return run;
 }
 
 void ExtensionRegistry::Unload(const std::string& name) { extensions_.erase(name); }

@@ -25,7 +25,9 @@
 #include "edc/common/result.h"
 #include "edc/script/analysis/analyzer.h"
 #include "edc/script/ast.h"
+#include "edc/script/interpreter.h"
 #include "edc/script/verifier.h"
+#include "edc/script/vm/bytecode.h"
 
 namespace edc {
 
@@ -47,6 +49,13 @@ struct ExtensionLimits {
   // When true, handlers certified at registration (proven step bound within
   // max_steps) run without the per-node step-limit check (§4.2).
   bool enable_metering_elision = true;
+  // When true, handlers that compiled to bytecode at registration dispatch
+  // through the register VM instead of the tree-walking interpreter
+  // (docs/bytecode_vm.md). Results, error Statuses and steps_used are
+  // identical on both engines; this switch exists so the equivalence can be
+  // checked end to end (tests/ext/elision_digest_test.cpp) and as a
+  // kill switch.
+  bool enable_vm = true;
 };
 
 struct LoadedExtension {
@@ -59,6 +68,9 @@ struct LoadedExtension {
   // Per-handler analysis verdicts from registration time; drives metering
   // elision for certified handlers.
   std::map<std::string, HandlerReport> reports;
+  // Bytecode for the certified handlers (compiled once at registration;
+  // uncertified or uncompilable handlers are absent and keep interpreting).
+  std::shared_ptr<const CompiledModule> compiled;
 
   // True iff `handler` was certified by the static analyzer (proven
   // worst-case step bound within the execution budget).
@@ -67,6 +79,23 @@ struct LoadedExtension {
     return it != reports.end() && it->second.certified;
   }
 };
+
+// Outcome of one handler dispatch through RunExtensionHandler.
+struct HandlerRun {
+  Result<Value> result = Value();
+  int64_t steps_used = 0;     // identical on either engine
+  bool certified = false;     // analyzer verdict for the handler
+  bool metered = false;       // step-limit check was active
+  bool vm_dispatched = false; // ran on the bytecode VM (vs interpreter)
+};
+
+// Shared dispatch path for the EZK and EDS bindings: builds the ExecBudget
+// from `limits` (metering elision for certified handlers), runs
+// `handler_name` on the bytecode VM when a compiled form exists and
+// limits.enable_vm is set, and falls back to the interpreter otherwise.
+HandlerRun RunExtensionHandler(const LoadedExtension& ext, const std::string& handler_name,
+                               std::vector<Value> args, ScriptHost* host,
+                               const ExtensionLimits& limits);
 
 class ExtensionRegistry {
  public:

@@ -396,24 +396,22 @@ ZkPrepOutcome ZkExtensionManager::RunOperationExtension(const LoadedExtension& e
   }
 
   ZkScriptHost host(prep, session, limits_, server_->now(), &ext_rng_);
-  ExecBudget budget{limits_.max_steps, limits_.max_value_bytes};
-  bool certified = ext.Certified(handler_name);
-  budget.metered = !(certified && limits_.enable_metering_elision);
-  Interpreter interp(ext.program.get(), &host, budget);
-  auto result = interp.Invoke(handler_name, std::move(args));
+  HandlerRun run = RunExtensionHandler(ext, handler_name, std::move(args), &host, limits_);
+  const Result<Value>& result = run.result;
 
   CostModel costs;
-  outcome.extra_cpu = costs.ext_invoke_cpu +
-                      interp.stats().steps_used * costs.ext_step_cpu;
+  outcome.extra_cpu = costs.ext_invoke_cpu + run.steps_used * costs.ext_step_cpu;
   if (Obs* obs = server_->obs()) {
     obs->metrics.GetCounter("ext.invocations")->Increment();
-    obs->metrics.GetCounter("ext.steps")->Add(
-        static_cast<int64_t>(interp.stats().steps_used));
-    if (certified) {
+    obs->metrics.GetCounter("ext.steps")->Add(run.steps_used);
+    if (run.certified) {
       obs->metrics.GetCounter("ext.certified")->Increment();
     }
-    if (!budget.metered) {
+    if (!run.metered) {
       obs->metrics.GetCounter("ext.metering_elided")->Increment();
+    }
+    if (run.vm_dispatched) {
+      obs->metrics.GetCounter("ext.vm_dispatches")->Increment();
     }
   }
 
@@ -483,24 +481,23 @@ void ZkExtensionManager::RunEventExtensions(const ZkEvent& event, const std::str
     // Event extensions run with the registrant's privileges (§3.2).
     auto prep = server_->BeginInternalPrep(ext->owner);
     ZkScriptHost host(prep.get(), ext->owner, limits_, server_->now(), &ext_rng_);
-    ExecBudget budget{limits_.max_steps, limits_.max_value_bytes};
-    bool certified = ext->Certified(handler_name);
-    budget.metered = !(certified && limits_.enable_metering_elision);
-    Interpreter interp(ext->program.get(), &host, budget);
     std::vector<Value> args;
     args.emplace_back(event.path);
-    auto result = interp.Invoke(handler_name, std::move(args));
+    HandlerRun run = RunExtensionHandler(*ext, handler_name, std::move(args), &host, limits_);
+    const Result<Value>& result = run.result;
     CostModel costs;
-    Duration cpu = costs.ext_invoke_cpu + interp.stats().steps_used * costs.ext_step_cpu;
+    Duration cpu = costs.ext_invoke_cpu + run.steps_used * costs.ext_step_cpu;
     if (Obs* obs = server_->obs()) {
       obs->metrics.GetCounter("ext.invocations")->Increment();
-      obs->metrics.GetCounter("ext.steps")->Add(
-          static_cast<int64_t>(interp.stats().steps_used));
-      if (certified) {
+      obs->metrics.GetCounter("ext.steps")->Add(run.steps_used);
+      if (run.certified) {
         obs->metrics.GetCounter("ext.certified")->Increment();
       }
-      if (!budget.metered) {
+      if (!run.metered) {
         obs->metrics.GetCounter("ext.metering_elided")->Increment();
+      }
+      if (run.vm_dispatched) {
+        obs->metrics.GetCounter("ext.vm_dispatches")->Increment();
       }
     }
     if (!result.ok()) {
@@ -542,6 +539,12 @@ void ZkExtensionManager::ObserveAppliedOp(const ZkTxnOp& op) {
                                 verifier_config_);
       if (!s.ok()) {
         EDC_LOG(kError) << "replicated extension failed to load: " << s.ToString();
+      } else if (Obs* obs = server_->obs()) {
+        LoadedExtension* loaded = registry_.Find(BaseName(op.path));
+        if (loaded != nullptr && loaded->compiled != nullptr) {
+          obs->metrics.GetCounter("ext.compiled")
+              ->Add(static_cast<int64_t>(loaded->compiled->handlers.size()));
+        }
       }
       return;
     }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <iterator>
 
 #include "edc/common/strings.h"
 
@@ -128,7 +129,9 @@ std::map<std::string, BuiltinInfo> BuildRegistry() {
       return s;
     }
     int64_t v = args[0].AsInt();
-    return Value(v < 0 ? -v : v);
+    // Wrap-around via unsigned arithmetic; no UB. abs(INT64_MIN) wraps to
+    // INT64_MIN, consistent with the language's two's-complement arithmetic.
+    return Value(v < 0 ? static_cast<int64_t>(0 - static_cast<uint64_t>(v)) : v);
   });
 
   add("min", [](std::vector<Value>& args) -> Result<Value> {
@@ -411,6 +414,26 @@ std::map<std::string, BuiltinInfo> BuildRegistry() {
 const std::map<std::string, BuiltinInfo>& CoreBuiltins() {
   static const auto* kRegistry = new std::map<std::string, BuiltinInfo>(BuildRegistry());
   return *kRegistry;
+}
+
+const std::vector<const BuiltinInfo*>& BuiltinsByIndex() {
+  static const auto* kByIndex = [] {
+    auto* v = new std::vector<const BuiltinInfo*>();
+    for (const auto& [name, info] : CoreBuiltins()) {
+      v->push_back(&info);
+    }
+    return v;
+  }();
+  return *kByIndex;
+}
+
+int BuiltinIndexOf(const std::string& name) {
+  const auto& reg = CoreBuiltins();
+  auto it = reg.find(name);
+  if (it == reg.end()) {
+    return -1;
+  }
+  return static_cast<int>(std::distance(reg.begin(), it));
 }
 
 }  // namespace edc

@@ -28,6 +28,15 @@ struct BuiltinInfo {
 // Name -> implementation for every core builtin.
 const std::map<std::string, BuiltinInfo>& CoreBuiltins();
 
+// Dense index view of CoreBuiltins() for the bytecode VM: the compiler
+// resolves a builtin call to its index once, and kCallBuiltin dispatches
+// straight into this vector — no per-call map lookup. Indices are stable for
+// the process lifetime (CoreBuiltins() is immutable after first use).
+const std::vector<const BuiltinInfo*>& BuiltinsByIndex();
+
+// Index of `name` in BuiltinsByIndex(), or -1 if it is not a core builtin.
+int BuiltinIndexOf(const std::string& name);
+
 // Convenience for error construction inside builtins and host functions.
 Status ScriptError(const std::string& message);
 

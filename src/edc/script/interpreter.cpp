@@ -171,7 +171,9 @@ Result<Value> Interpreter::Eval(const Expr& expr) {
       if (!v->is_int()) {
         return RuntimeError(expr.line, "unary '-' on non-int");
       }
-      return Value(-v->AsInt());
+      // Wrap-around via unsigned arithmetic; no UB on INT64_MIN (which
+      // negates to itself), matching binary sub/mul/add.
+      return Value(static_cast<int64_t>(0 - static_cast<uint64_t>(v->AsInt())));
     }
     case Expr::Kind::kBinary:
       return EvalBinary(expr);
@@ -373,7 +375,16 @@ Result<Value> Interpreter::EvalCall(const Expr& expr) {
     return out;
   }
   if (host_ != nullptr && host_->HasFunction(expr.name)) {
-    return host_->Call(expr.name, args);
+    auto out = host_->Call(expr.name, args);
+    if (!out.ok()) {
+      return out;
+    }
+    // Host results obey max_value_bytes exactly like builtin results: a
+    // binding must not be able to materialize values past the sandbox limit.
+    if (auto s = CheckSize(*out, expr.line); !s.ok()) {
+      return s;
+    }
+    return out;
   }
   return RuntimeError(expr.line, "unknown function '" + expr.name + "'");
 }

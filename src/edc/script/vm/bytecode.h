@@ -1,0 +1,133 @@
+// Register bytecode for certified CoordScript handlers (ROADMAP item 3).
+//
+// The tree-walking interpreter pays a virtual-dispatch + scope-map toll on
+// every AST node; for handlers the static analyzer has *certified* (proven
+// worst-case step bound within the execution budget, docs/static_analysis.md)
+// we can afford a one-time compile at registration and run a flat register
+// machine on the hot path instead. The contract that makes the swap safe:
+//
+//   * Step accounting is instruction-for-instruction identical to the
+//     interpreter. Every instruction carries the number of ExecBudget steps
+//     the interpreter would have charged by the time it reaches the same
+//     point (its own AST node plus any parent nodes folded into it), charged
+//     *before* the instruction executes — so steps_used agrees with the
+//     interpreter at every observable exit: normal return, runtime error,
+//     value-size abort. Replica digests and simulated timing cannot move.
+//   * Error Status codes, messages and line attribution replicate the
+//     interpreter byte for byte.
+//   * Anything the compiler cannot lower faithfully (e.g. a variable the
+//     scoping pass could not resolve) simply fails to compile; the binding
+//     falls back to the interpreter. Compilation is an optimization, never a
+//     semantic fork.
+//
+// See docs/bytecode_vm.md for the instruction-set walkthrough and the
+// step-accounting equivalence argument.
+
+#ifndef EDC_SCRIPT_VM_BYTECODE_H_
+#define EDC_SCRIPT_VM_BYTECODE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "edc/script/value.h"
+
+namespace edc {
+
+enum class OpCode : uint8_t {
+  // dst = constants[aux]
+  kLoadConst,
+  // dst = constants[aux], then value-size check (a folded expression whose
+  // interpreter counterpart ran CheckSize: string concat / list literal).
+  kLoadConstChecked,
+  // dst = reg[a]  (variable reads; charges the kVar node's step)
+  kMove,
+  // dst = -reg[a] (unsigned-wrap negation; type-checked) / !Truthy(reg[a])
+  kNeg,
+  kNot,
+  // dst = reg[a] <op> reg[b], with the interpreter's exact type checks,
+  // wrap-around arithmetic and division/modulo guards. kAdd also handles
+  // string concatenation (+ size check), mirroring EvalBinary.
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  // dst = Truthy(reg[a]) as bool (closes short-circuit lowering).
+  kTruthy,
+  // pc = aux
+  kJump,
+  // if !Truthy(reg[a]) pc = aux
+  kJumpIfFalse,
+  // if Truthy(reg[a]) pc = aux
+  kJumpIfTrue,
+  // dst = reg[a][reg[b]] (list / map / string indexing, interpreter checks)
+  kIndex,
+  // dst = list(reg[a] .. reg[a + b - 1]), then value-size check
+  kMakeList,
+  // dst = builtins-by-index[aux](reg[a] .. reg[a + b - 1]), then size check.
+  // The registry index is resolved at compile time: no per-call map lookup.
+  kCallBuiltin,
+  // dst = host->Call(host_names[aux], reg[a] .. reg[a + b - 1]), then size
+  // check — host results obey max_value_bytes exactly like builtin results.
+  kCallHost,
+  // foreach header: type-check reg[a] as a list and snapshot it into
+  // iterator slot b (cached data pointer + length; the snapshot keeps the
+  // shared list alive even if the body rebinds the source variable).
+  // aux carries the compile-time iteration bound (0 = unproven): the length
+  // of a literal list, or the analyzer's collection cap for capped host
+  // collection functions — certified handlers never iterate past it.
+  kIterInit,
+  // As kIterInit but the compiler proved reg[a] is a list (it was built by a
+  // list literal), so the runtime type check is elided.
+  kIterInitList,
+  // if slot b has items left: dst = next element, fall through; else pc = aux
+  kIterNext,
+  // return reg[a] / return null (handler falls off the end or bare return)
+  kReturn,
+  kReturnNull,
+};
+
+struct Instruction {
+  OpCode op;
+  uint16_t dst = 0;
+  uint16_t a = 0;
+  uint16_t b = 0;
+  uint32_t aux = 0;    // constant index / jump target / builtin index / bound
+  uint32_t steps = 0;  // ExecBudget steps charged before executing
+  int32_t line = 0;    // source line for error attribution
+};
+
+struct CompiledHandler {
+  std::string name;
+  uint16_t num_params = 0;
+  uint16_t num_registers = 0;
+  uint16_t num_iter_slots = 0;
+  std::vector<Instruction> code;
+  std::vector<Value> constants;
+  std::vector<std::string> host_names;  // kCallHost targets, by aux index
+  int64_t step_bound = 0;               // analyzer-proven worst case
+};
+
+// All handlers of one extension that compiled successfully. Handlers that
+// were not certified (or hit an unsupported construct) are simply absent and
+// keep running through the interpreter.
+struct CompiledModule {
+  std::map<std::string, CompiledHandler> handlers;
+
+  const CompiledHandler* Find(const std::string& name) const {
+    auto it = handlers.find(name);
+    return it == handlers.end() ? nullptr : &it->second;
+  }
+};
+
+}  // namespace edc
+
+#endif  // EDC_SCRIPT_VM_BYTECODE_H_

@@ -1,0 +1,53 @@
+// Register-machine executor for compiled CoordScript handlers.
+//
+// Drop-in replacement for the tree-walking Interpreter on certified
+// handlers: same Invoke contract, same ExecStats, byte-identical error
+// Statuses, and steps_used that agrees with the interpreter at every exit
+// (each instruction charges the steps its folded AST nodes would have cost
+// *before* executing — see bytecode.h).
+//
+// The step-limit check is defense in depth only: every handler that reaches
+// the VM was certified by the static analyzer, so its proven worst-case
+// bound fits the budget and the limit cannot fire. (An instruction carrying
+// several folded node charges reports the limit at instruction granularity,
+// which is why uncertified code must not be run metered-to-the-edge here.)
+
+#ifndef EDC_SCRIPT_VM_VM_H_
+#define EDC_SCRIPT_VM_VM_H_
+
+#include <string>
+#include <vector>
+
+#include "edc/common/result.h"
+#include "edc/script/interpreter.h"
+#include "edc/script/value.h"
+#include "edc/script/vm/bytecode.h"
+
+namespace edc {
+
+class Vm {
+ public:
+  // `module` and `host` must outlive the VM.
+  Vm(const CompiledModule* module, ScriptHost* host, ExecBudget budget)
+      : module_(module), host_(host), budget_(budget) {}
+
+  // Runs compiled handler `name` with `args` (missing parameters become
+  // null, extra args are dropped), mirroring Interpreter::Invoke.
+  Result<Value> Invoke(const std::string& name, std::vector<Value> args);
+
+  // Runs an already-resolved handler (the bindings resolve once per dispatch
+  // via CompiledModule::Find and skip the by-name lookup here).
+  Result<Value> Run(const CompiledHandler& handler, std::vector<Value> args);
+
+  const ExecStats& stats() const { return stats_; }
+
+ private:
+  const CompiledModule* module_;
+  ScriptHost* host_;
+  ExecBudget budget_;
+  ExecStats stats_;
+};
+
+}  // namespace edc
+
+#endif  // EDC_SCRIPT_VM_VM_H_

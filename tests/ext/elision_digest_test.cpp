@@ -30,18 +30,21 @@ struct RunSig {
   int64_t invocations = 0;
   int64_t certified = 0;
   int64_t elided = 0;
+  int64_t vm_dispatches = 0;
 };
 
 // Registers the counter extension and bumps it repeatedly; the handler is
 // loop-free and whitelisted, so the analyzer certifies it and the elision
 // path actually runs when enabled.
-RunSig RunCounterWorkload(SystemKind system, uint64_t seed, bool elide) {
+RunSig RunCounterWorkload(SystemKind system, uint64_t seed, bool elide,
+                          bool vm = true) {
   FixtureOptions options;
   options.system = system;
   options.num_clients = 1;
   options.seed = seed;
   options.observability = true;  // counters only; proven non-perturbing
   options.limits.enable_metering_elision = elide;
+  options.limits.enable_vm = vm;
   ClusterFixture fix(options);
   fix.faults().EnablePacketTrace();
   fix.Start();
@@ -80,6 +83,7 @@ RunSig RunCounterWorkload(SystemKind system, uint64_t seed, bool elide) {
   sig.invocations = fix.obs().metrics.CounterValue("ext.invocations");
   sig.certified = fix.obs().metrics.CounterValue("ext.certified");
   sig.elided = fix.obs().metrics.CounterValue("ext.metering_elided");
+  sig.vm_dispatches = fix.obs().metrics.CounterValue("ext.vm_dispatches");
   return sig;
 }
 
@@ -96,6 +100,40 @@ TEST(ElisionDigestTest, EzkDigestsIdenticalWithElisionOnAndOff) {
 
   EXPECT_EQ(on.packet_digest, off.packet_digest);
   EXPECT_EQ(on.state_hash, off.state_hash);
+}
+
+// Same property for the bytecode VM: dispatching certified handlers to
+// compiled code instead of the tree walker must be invisible to the digest.
+// steps_used is charged instruction-for-instruction identically, so the
+// simulated CPU time — and therefore every packet timestamp — cannot move.
+TEST(ElisionDigestTest, EzkDigestsIdenticalWithVmOnAndOff) {
+  RunSig interp = RunCounterWorkload(SystemKind::kExtensibleZooKeeper, 71, true,
+                                     /*vm=*/false);
+  RunSig vm = RunCounterWorkload(SystemKind::kExtensibleZooKeeper, 71, true,
+                                 /*vm=*/true);
+
+  // The toggle really routed execution: every certified invocation went
+  // through the VM in one run and none in the other.
+  EXPECT_GT(vm.invocations, 0);
+  EXPECT_EQ(vm.vm_dispatches, vm.invocations);
+  EXPECT_EQ(interp.vm_dispatches, 0);
+
+  EXPECT_EQ(vm.packet_digest, interp.packet_digest);
+  EXPECT_EQ(vm.state_hash, interp.state_hash);
+}
+
+TEST(ElisionDigestTest, EdsDigestsIdenticalWithVmOnAndOff) {
+  RunSig interp = RunCounterWorkload(SystemKind::kExtensibleDepSpace, 83, true,
+                                     /*vm=*/false);
+  RunSig vm = RunCounterWorkload(SystemKind::kExtensibleDepSpace, 83, true,
+                                 /*vm=*/true);
+
+  EXPECT_GT(vm.invocations, 0);
+  EXPECT_GT(vm.vm_dispatches, 0);
+  EXPECT_EQ(interp.vm_dispatches, 0);
+
+  EXPECT_EQ(vm.packet_digest, interp.packet_digest);
+  EXPECT_EQ(vm.state_hash, interp.state_hash);
 }
 
 TEST(ElisionDigestTest, EdsDigestsIdenticalWithElisionOnAndOff) {

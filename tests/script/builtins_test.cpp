@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 namespace edc {
 namespace {
 
@@ -39,6 +41,14 @@ TEST(BuiltinsTest, MinMaxAbs) {
   EXPECT_EQ(Call("min", {Value("b"), Value("a")})->AsStr(), "a");
   EXPECT_EQ(Call("abs", {Value(-9)})->AsInt(), 9);
   EXPECT_FALSE(Call("min", {Value(1), Value("x")}).ok());
+}
+
+TEST(BuiltinsTest, AbsAtInt64MinWrapsInsteadOfOverflowing) {
+  // -INT64_MIN is undefined in signed arithmetic; the builtin wraps via
+  // unsigned negation, so abs(INT64_MIN) == INT64_MIN (two's complement).
+  auto out = Call("abs", {Value(INT64_MIN)});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->AsInt(), INT64_MIN);
 }
 
 TEST(BuiltinsTest, StringOps) {

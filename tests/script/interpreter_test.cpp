@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <map>
 
 #include "edc/script/parser.h"
@@ -13,13 +14,17 @@ namespace {
 class FakeHost : public ScriptHost {
  public:
   bool HasFunction(const std::string& name) const override {
-    return name == "read_object" || name == "update" || name == "now";
+    return name == "read_object" || name == "update" || name == "now" ||
+           name == "blob";
   }
 
   Result<Value> Call(const std::string& name, std::vector<Value>& args) override {
     calls.push_back(name);
     if (name == "now") {
       return Value(static_cast<int64_t>(12345));
+    }
+    if (name == "blob") {
+      return Value(std::string(1 << 20, 'x'));
     }
     if (name == "read_object") {
       auto it = store.find(args[0].AsStr());
@@ -204,6 +209,29 @@ TEST(InterpreterTest, ValueSizeBudgetEnforced) {
         return s;
       } })", "handle_op", {}, &host, tiny);
   EXPECT_EQ(out.code(), ErrorCode::kExtensionLimit);
+}
+
+TEST(InterpreterTest, UnaryNegationAtInt64MinWraps) {
+  // Regression: `-x` used to negate the signed value directly, which is UB
+  // when x == INT64_MIN. The interpreter now wraps via unsigned negation.
+  FakeHost host;
+  auto out = RunScript(R"(
+    extension m { on op any "/x"; fn handle_op(r) { return -r; } })",
+                 "handle_op", {Value(INT64_MIN)}, &host);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->AsInt(), INT64_MIN);
+}
+
+TEST(InterpreterTest, OversizedHostResultIsRejected) {
+  // Regression: host-function return values used to skip the value-size
+  // check that every builtin result and concatenation already went through.
+  FakeHost host;
+  auto out = RunScript(R"(
+    extension m { on op any "/x"; fn handle_op(r) { return blob(); } })",
+                 "handle_op", {}, &host);
+  EXPECT_EQ(out.code(), ErrorCode::kExtensionLimit);
+  EXPECT_NE(out.status().message().find("value size limit exceeded"),
+            std::string::npos);
 }
 
 TEST(InterpreterTest, StepsUsedReported) {
