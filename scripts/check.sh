@@ -35,6 +35,24 @@ run_lint_tier() {
     echo "expected broken_sweeper.edc to lint with errors" >&2
     exit 1
   fi
+  echo "== lint: edc-lint --format=json gate =="
+  # Machine-readable pass over the clean examples: valid single-document
+  # output, no error-severity findings, and every handler carrying a finite
+  # inferred bound ("step_bound":null would mean the analyzer lost a bound).
+  JSON_OUT="$("$BUILD_DIR"/tools/edc-lint --format=json \
+    examples/scripts/queue_remove.edc examples/scripts/audit_count.edc)"
+  if [[ "$JSON_OUT" != *'"files":['* || "$JSON_OUT" != *'"registry":['* ]]; then
+    echo "edc-lint --format=json output missing files/registry sections" >&2
+    exit 1
+  fi
+  if [[ "$JSON_OUT" == *'"severity":"error"'* ]]; then
+    echo "edc-lint --format=json reported errors on clean examples" >&2
+    exit 1
+  fi
+  if [[ "$JSON_OUT" == *'"step_bound":null'* ]]; then
+    echo "edc-lint --format=json lost a step bound on clean examples" >&2
+    exit 1
+  fi
   if command -v clang-tidy >/dev/null 2>&1; then
     echo "== lint: clang-tidy (script + ext) =="
     clang-tidy -p "$BUILD_DIR" --quiet \

@@ -306,6 +306,10 @@ DsExtensionManager::DsExtensionManager(DsServer* server, ExtensionLimits limits)
   verifier_config_.certify_max_steps = limits_.max_steps;
   verifier_config_.collection_functions = {"children", "sub_objects"};
   verifier_config_.max_collection_items = limits_.max_collection_items;
+  // Seed the analyzer's input/value-size assumptions from the actual runtime
+  // limits (see zk_binding.cpp for the rationale).
+  verifier_config_.max_input_bytes = limits_.max_input_bytes;
+  verifier_config_.max_value_bytes = limits_.max_value_bytes;
   server_->SetHooks(this);
 }
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "edc/common/strings.h"
+#include "edc/script/analysis/registry_lint.h"
 #include "edc/script/parser.h"
 #include "edc/script/vm/compiler.h"
 #include "edc/script/vm/vm.h"
@@ -34,7 +35,17 @@ Status ExtensionRegistry::Load(const std::string& name, uint64_t owner,
   ext.compiled = std::make_shared<const CompiledModule>(
       CompileProgram(*ext.program, ext.reports, copts));
   extensions_[name] = std::move(ext);
+  RefreshLint();
   return Status::Ok();
+}
+
+void ExtensionRegistry::RefreshLint() {
+  std::vector<RegistryLintUnit> units;
+  units.reserve(extensions_.size());
+  for (const auto& [name, ext] : extensions_) {
+    units.push_back(RegistryLintUnit{name, ext.reg_order, ext.program.get()});
+  }
+  lint_warnings_ = LintRegistry(units);
 }
 
 HandlerRun RunExtensionHandler(const LoadedExtension& ext, const std::string& handler_name,
@@ -42,9 +53,33 @@ HandlerRun RunExtensionHandler(const LoadedExtension& ext, const std::string& ha
                                const ExtensionLimits& limits) {
   HandlerRun run;
   run.certified = ext.Certified(handler_name);
-  ExecBudget budget{limits.max_steps, limits.max_value_bytes};
+  ExecBudget budget;
+  budget.max_steps = limits.max_steps;
+  budget.max_value_bytes = limits.max_value_bytes;
+  budget.max_input_bytes = limits.max_input_bytes;
+  budget.max_collection_items = limits.max_collection_items;
   budget.metered = !(run.certified && limits.enable_metering_elision);
   run.metered = budget.metered;
+  // Argument ingest check, identical on both engines (pre-dispatch, zero
+  // steps): the analyzer seeded the handler's parameter bounds from
+  // max_input_bytes, so an oversized argument must never reach a certified
+  // handler — the proven step bound would not cover it.
+  for (const Value& arg : args) {
+    bool oversized = false;
+    if (arg.is_list()) {
+      for (const Value& item : arg.AsList()) {
+        oversized = oversized || item.ApproxSize() > limits.max_input_bytes;
+      }
+    } else {
+      oversized = arg.ApproxSize() > limits.max_input_bytes;
+    }
+    if (oversized) {
+      run.result = Status(ErrorCode::kExtensionLimit,
+                          "argument size limit exceeded for handler '" +
+                              handler_name + "'");
+      return run;
+    }
+  }
   const CompiledHandler* compiled =
       (limits.enable_vm && ext.compiled != nullptr) ? ext.compiled->Find(handler_name)
                                                     : nullptr;
@@ -61,10 +96,14 @@ HandlerRun RunExtensionHandler(const LoadedExtension& ext, const std::string& ha
   return run;
 }
 
-void ExtensionRegistry::Unload(const std::string& name) { extensions_.erase(name); }
+void ExtensionRegistry::Unload(const std::string& name) {
+  extensions_.erase(name);
+  RefreshLint();
+}
 
 void ExtensionRegistry::Clear() {
   extensions_.clear();
+  lint_warnings_.clear();
   next_order_ = 1;
 }
 

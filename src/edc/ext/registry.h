@@ -44,8 +44,16 @@ struct ExtensionLimits {
   int strike_limit = 0;
   // Cap on list sizes returned by collection host functions (children,
   // sub_objects). The static cost pass assumes this cap when bounding
-  // foreach loops, so the sandbox must enforce it at runtime.
+  // foreach loops, so the sandbox must enforce it at runtime. The same cap
+  // bounds lists built by builtins (split, append) inside the sandbox.
   size_t max_collection_items = 256;
+  // Ingest cap on values crossing into the sandbox: handler arguments and
+  // host-call results (element-wise for lists) must fit in this many
+  // ApproxSize bytes. The abstract-interpretation layer seeds its input
+  // string-length intervals from this number, so handlers looping over
+  // split() of their inputs get finite certified step bounds
+  // (docs/static_analysis.md).
+  size_t max_input_bytes = 2048;
   // When true, handlers certified at registration (proven step bound within
   // max_steps) run without the per-node step-limit check (§4.2).
   bool enable_metering_elision = true;
@@ -136,8 +144,17 @@ class ExtensionRegistry {
   static bool SubscriptionMatches(const Subscription& sub, bool is_event,
                                   const std::string& kind, const std::string& path);
 
+  // Cross-extension lint findings (EDC-W010..W012: shadowed triggers,
+  // redundant subscriptions, conflicting-type writes), recomputed over the
+  // whole registry after every Load/Unload. Warnings only — they never
+  // reject a registration. Diagnostic::handler carries the extension name.
+  const std::vector<Diagnostic>& lint_warnings() const { return lint_warnings_; }
+
  private:
+  void RefreshLint();
+
   std::map<std::string, LoadedExtension> extensions_;
+  std::vector<Diagnostic> lint_warnings_;
   uint64_t next_order_ = 1;
 };
 

@@ -302,6 +302,13 @@ ZkExtensionManager::ZkExtensionManager(ZkServer* server, ExtensionLimits limits)
   verifier_config_.certify_max_steps = limits_.max_steps;
   verifier_config_.collection_functions = {"children", "sub_objects"};
   verifier_config_.max_collection_items = limits_.max_collection_items;
+  // The abstract-interpretation layer seeds handler inputs and its
+  // string-length top from the *actual* runtime limits, not defaults: a host
+  // with a tighter budget gets tighter (still sound) bounds, and one with
+  // max_steps below a handler's bound rejects certification instead of
+  // mis-certifying.
+  verifier_config_.max_input_bytes = limits_.max_input_bytes;
+  verifier_config_.max_value_bytes = limits_.max_value_bytes;
   server_->SetHooks(this);
 }
 

@@ -176,6 +176,8 @@ AnalysisReport AnalyzeProgram(const Program& program, const VerifierConfig& conf
   CostContext cost_ctx;
   cost_ctx.collection_functions = config.collection_functions;
   cost_ctx.collection_cap = static_cast<int64_t>(config.max_collection_items);
+  cost_ctx.max_input_bytes = static_cast<int64_t>(config.max_input_bytes);
+  cost_ctx.max_value_bytes = static_cast<int64_t>(config.max_value_bytes);
 
   DeterminismContext det_ctx;
   det_ctx.allowed_functions = &config.allowed_functions;
@@ -203,6 +205,7 @@ AnalysisReport AnalyzeProgram(const Program& program, const VerifierConfig& conf
 
     HandlerReport hr;
     CostResult cost = BoundHandlerCost(handler, cost_ctx);
+    diags.insert(diags.end(), cost.diags.begin(), cost.diags.end());
     hr.cost_bounded = cost.bounded;
     hr.step_bound = cost.steps;
     hr.certified = cost.bounded && cost.steps <= config.certify_max_steps;

@@ -1,4 +1,5 @@
-// Worst-case step-cost bounding for CoordScript handlers (paper §4.1.1/§4.2).
+// Worst-case step-cost bounding for CoordScript handlers (paper §4.1.1/§4.2),
+// built on the interval/length abstract domain in domains.h.
 //
 // The interpreter charges exactly one ExecBudget step per statement executed
 // and one per expression node evaluated. This pass mirrors that accounting
@@ -10,15 +11,29 @@
 //   cost(let/assign/expr) = 1 + cost(rhs)
 //   cost(return)          = 1 + cost(value)
 //   cost(if)              = 1 + cost(cond) + max(cost(then), cost(else))
-//   cost(foreach)         = 1 + cost(list) + N * cost(body)
+//   cost(foreach)         = 1 + cost(list) + min(N * K, N * c + k * T)
 //
-// where N is an upper bound on the iterated list's length, tracked through an
-// abstract lattice over variables: exact(n) for list literals, capped(k) for
-// host collection functions whose result size the sandbox truncates at
-// `max_collection_items`, transfer functions for list-producing builtins
-// (append adds one, sort_by preserves), and top (unbounded) for everything
-// else. foreach bodies are analyzed to a fixpoint with widening: any variable
-// whose bound grows across an iteration is widened to unbounded.
+// where N bounds the iterated list's cardinality, K the per-iteration body
+// cost with a concrete element bound, and (c, k, T) the *amortized* candidate:
+// the body cost is re-derived as an affine form c + k*len(element) in the
+// element's string length, and summed over the whole loop using the list's
+// total-length bound T (sum of element lengths <= source-string length for
+// split() results). The amortized candidate is what certifies nested
+// foreach-over-split() handlers: a seg-loop whose trip count is
+// min(len_i + 1, cap) costs Sum_i (c + k*len_i) <= N*c + k*T instead of the
+// hopeless N * (max_len + 1) * K.
+//
+// Bounds flow from three runtime-enforced caps (see domains.h): handler
+// arguments and host results are ingest-capped at max_input_bytes (element-
+// wise for lists), builtin list results never exceed the collection cap, and
+// no materialized value exceeds max_value_bytes. foreach bodies run to a
+// fixpoint with widening; statements after a branch that provably returns are
+// costed under max() rather than summed.
+//
+// The pass doubles as the precision-diagnostic engine: it emits EDC-W007
+// (possible division/modulo by zero), EDC-W008 (get()/index provably out of
+// range) and EDC-W009 (interval-proven dead branch) from a final
+// diagnostics-enabled pass over the stabilized environments.
 //
 // A handler whose total bound is finite is `bounded`; if the bound also fits
 // the execution budget it is *certified* and the interpreter may elide
@@ -31,7 +46,9 @@
 #include <cstdint>
 #include <set>
 #include <string>
+#include <vector>
 
+#include "edc/script/analysis/diagnostics.h"
 #include "edc/script/ast.h"
 
 namespace edc {
@@ -41,11 +58,19 @@ struct CostContext {
   // `collection_cap` items (e.g. children, sub_objects).
   std::set<std::string> collection_functions;
   int64_t collection_cap = 256;
+  // Element-wise ingest cap on handler arguments and host results; seeds the
+  // analyzer's input string-length intervals (ExecBudget::max_input_bytes).
+  int64_t max_input_bytes = 2048;
+  // Global materialization cap — no value a handler can hold exceeds it
+  // (ExecBudget::max_value_bytes); the analyzer's string-length top.
+  int64_t max_value_bytes = 64 * 1024;
 };
 
 struct CostResult {
   bool bounded = false;
   int64_t steps = 0;  // valid only if bounded; saturating arithmetic
+  // Precision diagnostics (EDC-W007..W009) found while propagating bounds.
+  std::vector<Diagnostic> diags;
 };
 
 // Cost bounds saturate here instead of overflowing.

@@ -37,6 +37,14 @@ inline constexpr char kDiagUnreachableCode[] = "EDC-W003";
 inline constexpr char kDiagUseBeforeDef[] = "EDC-W004";
 inline constexpr char kDiagCostUnbounded[] = "EDC-W005";
 inline constexpr char kDiagCostOverBudget[] = "EDC-W006";
+// Precision diagnostics from the interval/length abstract domain (cost.cpp).
+inline constexpr char kDiagDivByZero[] = "EDC-W007";
+inline constexpr char kDiagIndexOutOfRange[] = "EDC-W008";
+inline constexpr char kDiagDeadBranch[] = "EDC-W009";
+// Whole-registry lint (registry_lint.cpp): cross-extension trigger analysis.
+inline constexpr char kDiagShadowedSubscription[] = "EDC-W010";
+inline constexpr char kDiagUnmatchableSubscription[] = "EDC-W011";
+inline constexpr char kDiagConflictingWrites[] = "EDC-W012";
 
 struct Diagnostic {
   std::string code;  // e.g. "EDC-W003"

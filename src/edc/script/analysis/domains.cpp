@@ -1,0 +1,471 @@
+#include "edc/script/analysis/domains.h"
+
+#include <algorithm>
+
+namespace edc {
+
+namespace {
+
+// True iff lo <= a*b <= hi never leaves int64 (checked in 128-bit).
+bool MulFits(int64_t a, int64_t b, int64_t* out) {
+  __int128 p = static_cast<__int128>(a) * static_cast<__int128>(b);
+  if (p < static_cast<__int128>(INT64_MIN) || p > static_cast<__int128>(INT64_MAX)) {
+    return false;
+  }
+  *out = static_cast<int64_t>(p);
+  return true;
+}
+
+bool AddFits(int64_t a, int64_t b, int64_t* out) {
+  __int128 s = static_cast<__int128>(a) + static_cast<__int128>(b);
+  if (s < static_cast<__int128>(INT64_MIN) || s > static_cast<__int128>(INT64_MAX)) {
+    return false;
+  }
+  *out = static_cast<int64_t>(s);
+  return true;
+}
+
+// Longest decimal rendering of an int64 ("-9223372036854775808").
+constexpr int64_t kIntStrLen = 20;
+
+// |v| as int64; callers guard v != INT64_MIN.
+int64_t Abs64(int64_t v) { return v < 0 ? -v : v; }
+
+}  // namespace
+
+int64_t AbsSatAdd(int64_t a, int64_t b) {
+  if (a >= kAbsInf || b >= kAbsInf || a >= kAbsInf - b) {
+    return kAbsInf;
+  }
+  return a + b;
+}
+
+int64_t AbsSatMul(int64_t a, int64_t b) {
+  if (a == 0 || b == 0) {
+    return 0;
+  }
+  if (a >= kAbsInf || b >= kAbsInf || a >= kAbsInf / b) {
+    return kAbsInf;
+  }
+  return a * b;
+}
+
+// ---- Interval ----
+
+Interval Interval::Join(const Interval& a, const Interval& b) {
+  return Interval{std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+Interval Interval::Add(const Interval& a, const Interval& b) {
+  Interval out;
+  if (a.IsTop() || b.IsTop() || !AddFits(a.lo, b.lo, &out.lo) ||
+      !AddFits(a.hi, b.hi, &out.hi)) {
+    return Top();  // runtime addition wraps: an overflow can be anything
+  }
+  return out;
+}
+
+Interval Interval::Sub(const Interval& a, const Interval& b) {
+  Interval out;
+  if (a.IsTop() || b.IsTop() || !AddFits(a.lo, b.hi == INT64_MIN ? INT64_MAX : -b.hi, &out.lo) ||
+      !AddFits(a.hi, b.lo == INT64_MIN ? INT64_MAX : -b.lo, &out.hi)) {
+    return Top();
+  }
+  if (b.hi == INT64_MIN || b.lo == INT64_MIN) {
+    return Top();  // negation of INT64_MIN wraps
+  }
+  return out;
+}
+
+Interval Interval::Mul(const Interval& a, const Interval& b) {
+  if (a.IsTop() || b.IsTop()) {
+    return Top();
+  }
+  int64_t cand[4];
+  if (!MulFits(a.lo, b.lo, &cand[0]) || !MulFits(a.lo, b.hi, &cand[1]) ||
+      !MulFits(a.hi, b.lo, &cand[2]) || !MulFits(a.hi, b.hi, &cand[3])) {
+    return Top();
+  }
+  return Interval{*std::min_element(cand, cand + 4), *std::max_element(cand, cand + 4)};
+}
+
+Interval Interval::Div(const Interval& a, const Interval& b) {
+  if (a.IsTop() || b.IsTop()) {
+    return Top();
+  }
+  // INT64_MIN / -1 wraps at runtime; bail near the edge.
+  if (a.lo == INT64_MIN || b.lo == INT64_MIN) {
+    return Top();
+  }
+  // |a/b| <= |a| for |b| >= 1 (the divisor is nonzero on the success path).
+  int64_t m = std::max(Abs64(a.lo), Abs64(a.hi));
+  return Interval{-m, m};
+}
+
+Interval Interval::Mod(const Interval& a, const Interval& b) {
+  if (b.IsTop() || b.lo == INT64_MIN) {
+    if (a.IsTop() || a.lo == INT64_MIN) {
+      return Top();
+    }
+    int64_t m = std::max(Abs64(a.lo), Abs64(a.hi));
+    return Interval{-m, m};  // |a % b| <= |a|
+  }
+  int64_t mb = std::max(Abs64(b.lo), Abs64(b.hi));
+  if (mb == 0) {
+    return Top();  // divisor interval is exactly {0}: runtime error path
+  }
+  // |a % b| < |b|; additionally <= |a| when a is known.
+  int64_t m = mb - 1;
+  if (!a.IsTop() && a.lo != INT64_MIN) {
+    m = std::min(m, std::max(Abs64(a.lo), Abs64(a.hi)));
+  }
+  return Interval{-m, m};
+}
+
+Interval Interval::Neg(const Interval& a) {
+  if (a.IsTop() || a.lo == INT64_MIN) {
+    return Top();
+  }
+  return Interval{-a.hi, -a.lo};
+}
+
+// ---- AffBound ----
+
+AffBound AffBound::Add(const AffBound& a, const AffBound& b) {
+  if (a.IsInf() || b.IsInf()) {
+    return Inf();
+  }
+  return AffBound{AbsSatAdd(a.c, b.c), AbsSatAdd(a.k, b.k)};
+}
+
+AffBound AffBound::AddConst(const AffBound& a, int64_t d) {
+  if (a.IsInf()) {
+    return Inf();
+  }
+  return AffBound{AbsSatAdd(a.c, d), a.k};
+}
+
+AffBound AffBound::Max(const AffBound& a, const AffBound& b) {
+  if (a.IsInf() || b.IsInf()) {
+    return Inf();
+  }
+  return AffBound{std::max(a.c, b.c), std::max(a.k, b.k)};
+}
+
+AffBound AffBound::MinConst(const AffBound& a, int64_t m) {
+  if (a.k == 0) {
+    return Const(std::min(a.c, m));
+  }
+  return a;  // the affine form is still a sound upper bound
+}
+
+AffBound AffBound::Mul(const AffBound& a, const AffBound& b) {
+  if (a.IsInf() || b.IsInf() || (a.k > 0 && b.k > 0)) {
+    return Inf();  // quadratic in the symbol: not representable
+  }
+  return AffBound{AbsSatMul(a.c, b.c),
+                  AbsSatAdd(AbsSatMul(a.c, b.k), AbsSatMul(a.k, b.c))};
+}
+
+AffBound AffBound::PickMin(const AffBound& a, const AffBound& b, int64_t at) {
+  if (a.IsInf()) {
+    return b;
+  }
+  if (b.IsInf()) {
+    return a;
+  }
+  if (a.c <= b.c && a.k <= b.k) {
+    return a;
+  }
+  if (b.c <= a.c && b.k <= a.k) {
+    return b;
+  }
+  return a.EvalAt(at) <= b.EvalAt(at) ? a : b;
+}
+
+int64_t AffBound::EvalAt(int64_t s) const {
+  if (IsInf()) {
+    return kAbsInf;
+  }
+  return AbsSatAdd(c, AbsSatMul(k, s));
+}
+
+// ---- AbsValue ----
+
+AbsValue AbsValue::Any() { return AbsValue{}; }
+
+AbsValue AbsValue::OfType(unsigned type_mask) {
+  AbsValue v;
+  v.types = type_mask;
+  return v;
+}
+
+AbsValue AbsValue::Bool() {
+  AbsValue v = OfType(kTBool);
+  v.num = Interval::Range(0, 1);
+  return v;
+}
+
+AbsValue AbsValue::BoolExact(bool b) {
+  AbsValue v = OfType(kTBool);
+  v.num = Interval::Exact(b ? 1 : 0);
+  return v;
+}
+
+AbsValue AbsValue::Int(Interval iv) {
+  AbsValue v = OfType(kTInt);
+  v.num = iv;
+  return v;
+}
+
+AbsValue AbsValue::Str(AffBound len) {
+  AbsValue v = OfType(kTStr);
+  v.str_len = len;
+  return v;
+}
+
+AbsValue AbsValue::OfLiteral(const Value& v) {
+  switch (v.type()) {
+    case Value::Type::kNull:
+      return OfType(kTNull);
+    case Value::Type::kBool:
+      return BoolExact(v.AsBool());
+    case Value::Type::kInt:
+      return Int(Interval::Exact(v.AsInt()));
+    case Value::Type::kStr:
+      return Str(AffBound::Const(static_cast<int64_t>(v.AsStr().size())));
+    case Value::Type::kList:
+    case Value::Type::kMap:
+      // The grammar has no list/map literals beyond kListLit (handled by the
+      // cost pass directly); stay conservative.
+      return Any();
+  }
+  return Any();
+}
+
+AbsValue AbsValue::Join(const AbsValue& a, const AbsValue& b) {
+  AbsValue out;
+  out.types = a.types | b.types;
+  out.num = Interval::Join(a.num, b.num);
+  out.str_len = AffBound::Max(a.str_len, b.str_len);
+  out.card = AffBound::Max(a.card, b.card);
+  out.elem_len = AffBound::Max(a.elem_len, b.elem_len);
+  out.total_len = AffBound::Max(a.total_len, b.total_len);
+  return out;
+}
+
+AbsValue AbsValue::Widened(int64_t max_value_bytes) {
+  // Widening target: any type, any int, but string lengths still obey the
+  // global materialization cap (every value a variable can hold passed a
+  // max_value_bytes check or is an input/literal below it). Cardinality and
+  // totals stay unbounded: a variable can be rebound to a raw parameter
+  // list, which no cap governs.
+  AbsValue v;
+  v.str_len = AffBound::Const(max_value_bytes);
+  v.elem_len = AffBound::Const(max_value_bytes);
+  return v;
+}
+
+// ---- Transfer helpers ----
+
+AffBound StrishLen(const AbsValue& v, const DomainContext& ctx) {
+  AffBound out = AffBound::Const(0);
+  if (v.May(kTNull)) {
+    out = AffBound::Max(out, AffBound::Const(4));  // "null"
+  }
+  if (v.May(kTBool)) {
+    out = AffBound::Max(out, AffBound::Const(5));  // "false"
+  }
+  if (v.May(kTInt)) {
+    out = AffBound::Max(out, AffBound::Const(kIntStrLen));
+  }
+  if (v.May(kTStr)) {
+    out = AffBound::Max(out, v.str_len);
+  }
+  if (v.May(kTList) || v.May(kTMap)) {
+    // ToString of a collection serializes the whole (<= max_value_bytes)
+    // value; the rendering adds brackets/quotes bounded by ~4 bytes per
+    // element, all within 2x the ApproxSize footprint.
+    out = AffBound::Max(out, AffBound::Const(AbsSatMul(ctx.max_value_bytes, 2)));
+  }
+  return out;
+}
+
+AbsValue ClampResult(AbsValue v, const DomainContext& ctx) {
+  // Every builtin/host result passes a max_value_bytes ApproxSize check, so:
+  // a string is at most max_value_bytes long, a collection holds at most
+  // max_value_bytes/8 items (each item accounts >= 8 bytes), and no string
+  // inside can exceed max_value_bytes.
+  v.str_len = AffBound::MinConst(v.str_len, ctx.max_value_bytes);
+  v.card = AffBound::MinConst(v.card, ctx.max_value_bytes / 8);
+  v.elem_len = AffBound::MinConst(v.elem_len, ctx.max_value_bytes);
+  v.total_len = AffBound::MinConst(v.total_len, ctx.max_value_bytes);
+  return v;
+}
+
+AbsValue ElementOf(const AbsValue& coll, const DomainContext& ctx, bool symbolic) {
+  AbsValue elem;  // elements can be anything
+  AffBound len = symbolic ? AffBound::Sym() : coll.elem_len;
+  // Any string reachable in the element — including the element itself when
+  // it is a string, and strings nested one level down when it is a map —
+  // is covered by the collection's elem_len bound.
+  elem.str_len = len;
+  elem.elem_len = len;
+  elem.card = AffBound::MinConst(AffBound::Inf(), ctx.max_value_bytes / 8);
+  elem.total_len = AffBound::MinConst(AffBound::Inf(), ctx.max_value_bytes);
+  return elem;
+}
+
+AbsValue SeedParam(const DomainContext& ctx) {
+  // Handler arguments pass the pre-dispatch ingest check: a non-list
+  // argument fits max_input_bytes entirely; a list argument admits each
+  // element up to max_input_bytes but its *cardinality is unbounded* — no
+  // runtime cap governs argument lists, so a foreach over a raw parameter
+  // must stay uncertified (EDC-W005).
+  AbsValue v;
+  v.str_len = AffBound::Const(ctx.max_input_bytes);
+  v.elem_len = AffBound::Const(ctx.max_input_bytes);
+  return v;
+}
+
+AbsValue TransferHost(const std::string& name, const DomainContext& ctx) {
+  if (ctx.collection_functions != nullptr && ctx.collection_functions->count(name) > 0) {
+    AbsValue v = AbsValue::OfType(kTList);
+    v.card = AffBound::Const(ctx.collection_cap);
+    v.elem_len = AffBound::Const(ctx.max_input_bytes);
+    v.total_len = AffBound::Const(
+        std::min(AbsSatMul(ctx.collection_cap, ctx.max_input_bytes), ctx.max_value_bytes));
+    return ClampResult(v, ctx);
+  }
+  // Generic host result: ingest-capped. A non-list result fits
+  // max_input_bytes entirely (so any string in or of it is shorter); a list
+  // result admits each element up to max_input_bytes with the whole list
+  // bounded by max_value_bytes.
+  AbsValue v;
+  v.str_len = AffBound::Const(ctx.max_input_bytes);
+  v.elem_len = AffBound::Const(ctx.max_input_bytes);
+  return ClampResult(v, ctx);
+}
+
+AbsValue TransferBuiltin(const std::string& name, const std::vector<AbsValue>& args,
+                         const DomainContext& ctx) {
+  const auto arg = [&](size_t i) -> AbsValue {
+    return i < args.size() ? args[i] : AbsValue::Any();
+  };
+
+  if (name == "len") {
+    AbsValue a = arg(0);
+    AffBound ub = AffBound::Const(0);
+    if (a.May(kTStr)) {
+      ub = AffBound::Max(ub, a.str_len);
+    }
+    if (a.May(kTList) || a.May(kTMap)) {
+      ub = AffBound::Max(ub, a.card);
+    }
+    Interval iv = ub.IsConst() ? Interval::Range(0, ub.c) : Interval::Range(0, INT64_MAX);
+    return AbsValue::Int(iv);
+  }
+  if (name == "str") {
+    return ClampResult(AbsValue::Str(StrishLen(arg(0), ctx)), ctx);
+  }
+  if (name == "parse_int") {
+    return AbsValue::Int(Interval::Top());
+  }
+  if (name == "abs") {
+    Interval a = arg(0).num;
+    if (arg(0).Only(kTInt) && !a.IsTop() && a.lo != INT64_MIN) {
+      int64_t m = std::max(Abs64(a.lo), Abs64(a.hi));
+      return AbsValue::Int(Interval::Range(0, m));
+    }
+    return AbsValue::Int(Interval::Top());  // abs(INT64_MIN) wraps negative
+  }
+  if (name == "min" || name == "max") {
+    AbsValue a = arg(0);
+    AbsValue b = arg(1);
+    if (a.Only(kTInt) && b.Only(kTInt)) {
+      Interval iv = name == "min"
+                        ? Interval::Range(std::min(a.num.lo, b.num.lo),
+                                          std::min(a.num.hi, b.num.hi))
+                        : Interval::Range(std::max(a.num.lo, b.num.lo),
+                                          std::max(a.num.hi, b.num.hi));
+      return AbsValue::Int(iv);
+    }
+    return ClampResult(AbsValue::Join(a, b), ctx);
+  }
+  if (name == "concat") {
+    AffBound len = AffBound::Const(0);
+    for (const AbsValue& a : args) {
+      len = AffBound::Add(len, StrishLen(a, ctx));
+    }
+    return ClampResult(AbsValue::Str(len), ctx);
+  }
+  if (name == "substr") {
+    AffBound len = arg(0).str_len;
+    Interval count = arg(2).num;
+    if (count.hi != INT64_MAX) {
+      len = AffBound::PickMin(len, AffBound::Const(std::max<int64_t>(0, count.hi)),
+                              ctx.max_input_bytes);
+    }
+    return ClampResult(AbsValue::Str(len), ctx);
+  }
+  if (name == "starts_with" || name == "ends_with" || name == "contains" ||
+      name == "has") {
+    return AbsValue::Bool();
+  }
+  if (name == "index_of") {
+    AffBound sl = arg(0).str_len;
+    Interval iv = sl.IsConst() ? Interval::Range(-1, std::max<int64_t>(0, sl.c - 1))
+                               : Interval::Range(-1, INT64_MAX);
+    return AbsValue::Int(iv);
+  }
+  if (name == "split") {
+    AffBound sl = arg(0).str_len;
+    AbsValue v = AbsValue::OfType(kTList);
+    // A string of length L splits into at most L+1 pieces; the runtime
+    // additionally aborts past the collection cap. The pieces are disjoint
+    // substrings, so their lengths sum to at most L.
+    v.card = AffBound::MinConst(AffBound::AddConst(sl, 1), ctx.collection_cap);
+    v.elem_len = sl;
+    v.total_len = sl;
+    return ClampResult(v, ctx);
+  }
+  if (name == "append") {
+    AbsValue l = arg(0);
+    AffBound xl = StrishLen(arg(1), ctx);
+    AbsValue v = AbsValue::OfType(kTList);
+    v.card = AffBound::MinConst(AffBound::AddConst(l.card, 1), ctx.collection_cap);
+    v.elem_len = AffBound::Max(l.elem_len, xl);
+    v.total_len = AffBound::Add(l.total_len, xl);
+    return ClampResult(v, ctx);
+  }
+  if (name == "get") {
+    AbsValue base = arg(0);
+    AbsValue elem = ElementOf(base, ctx, /*symbolic=*/false);
+    if (base.May(kTMap)) {
+      elem.types |= kTNull;  // missing map key yields null
+    }
+    return elem;
+  }
+  if (name == "keys") {
+    AbsValue m = arg(0);
+    AbsValue v = AbsValue::OfType(kTList);
+    v.card = m.card;
+    v.elem_len = m.elem_len;  // keys are covered by the per-item ApproxSize
+    v.total_len = AffBound::Mul(m.card, m.elem_len);
+    return ClampResult(v, ctx);
+  }
+  if (name == "min_by" || name == "max_by") {
+    AbsValue elem = ElementOf(arg(0), ctx, /*symbolic=*/false);
+    elem.types |= kTNull;  // empty list yields null
+    return elem;
+  }
+  if (name == "sort_by") {
+    return arg(0);  // stable permutation: all bounds preserved
+  }
+  if (name == "error") {
+    return AbsValue::Any();  // never returns normally
+  }
+  return ClampResult(AbsValue::Any(), ctx);
+}
+
+}  // namespace edc

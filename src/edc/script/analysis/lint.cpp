@@ -67,13 +67,14 @@ LintResult LintSource(const std::string& unit, const std::string& source,
         ++certified;
       }
     }
+    result.handlers = std::move(report.handlers);
     for (const Diagnostic& d : result.diagnostics) {
       result.formatted += FormatDiagnostic(unit, d) + "\n";
     }
     result.formatted += unit + ": " + std::to_string(errors) + " error(s), " +
                         std::to_string(warnings) + " warning(s), " +
                         std::to_string(certified) + "/" +
-                        std::to_string(report.handlers.size()) +
+                        std::to_string(result.handlers.size()) +
                         " handlers certified\n";
     result.has_errors = errors > 0;
     return result;

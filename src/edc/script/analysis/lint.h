@@ -6,6 +6,7 @@
 #ifndef EDC_SCRIPT_ANALYSIS_LINT_H_
 #define EDC_SCRIPT_ANALYSIS_LINT_H_
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,10 @@ struct LintResult {
   std::vector<Diagnostic> diagnostics;
   std::string formatted;  // diagnostic lines + one trailing summary line
   bool has_errors = false;
+  // Per-handler analyzer verdicts (inferred step bounds, certification,
+  // determinism); empty when the source does not parse. Feeds --dump-bounds
+  // and the JSON output format.
+  std::map<std::string, HandlerReport> handlers;
 };
 
 // Lints `source`, labeling output lines with `unit` (usually the file name).

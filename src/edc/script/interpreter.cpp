@@ -28,6 +28,46 @@ Status Interpreter::CheckSize(const Value& v, int line) {
   return Status::Ok();
 }
 
+Status Interpreter::CheckHostResult(const Value& v, int line) {
+  if (auto s = CheckSize(v, line); !s.ok()) {
+    return s;
+  }
+  // Element-wise ingest cap: list results admit each element up to
+  // max_input_bytes (the list itself is governed by max_value_bytes and the
+  // host-side collection cap); any other result must fit entirely. This is
+  // the runtime contract behind the analyzer's input seeding
+  // (docs/static_analysis.md) — without it no split()-heavy loop could ever
+  // have a finite certified bound.
+  if (v.is_list()) {
+    for (const Value& item : v.AsList()) {
+      if (item.ApproxSize() > budget_.max_input_bytes) {
+        return Status(ErrorCode::kExtensionLimit,
+                      "value size limit exceeded at line " + std::to_string(line));
+      }
+    }
+    return Status::Ok();
+  }
+  if (v.ApproxSize() > budget_.max_input_bytes) {
+    return Status(ErrorCode::kExtensionLimit,
+                  "value size limit exceeded at line " + std::to_string(line));
+  }
+  return Status::Ok();
+}
+
+Status Interpreter::CheckBuiltinResult(const Value& v, int line) {
+  if (auto s = CheckSize(v, line); !s.ok()) {
+    return s;
+  }
+  // Builtins that return lists (split, append, keys, sort_by) obey the
+  // collection cap; the cardinality transfer functions in
+  // analysis/domains.cpp assume this check exists.
+  if (v.is_list() && v.AsList().size() > budget_.max_collection_items) {
+    return Status(ErrorCode::kExtensionLimit,
+                  "collection size limit exceeded at line " + std::to_string(line));
+  }
+  return Status::Ok();
+}
+
 Value* Interpreter::FindVar(const std::string& name) {
   for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
     auto found = it->find(name);
@@ -369,7 +409,7 @@ Result<Value> Interpreter::EvalCall(const Expr& expr) {
     if (!out.ok()) {
       return out;
     }
-    if (auto s = CheckSize(*out, expr.line); !s.ok()) {
+    if (auto s = CheckBuiltinResult(*out, expr.line); !s.ok()) {
       return s;
     }
     return out;
@@ -379,9 +419,10 @@ Result<Value> Interpreter::EvalCall(const Expr& expr) {
     if (!out.ok()) {
       return out;
     }
-    // Host results obey max_value_bytes exactly like builtin results: a
-    // binding must not be able to materialize values past the sandbox limit.
-    if (auto s = CheckSize(*out, expr.line); !s.ok()) {
+    // Host results obey max_value_bytes exactly like builtin results, plus
+    // the element-wise ingest cap: a binding must not be able to materialize
+    // values past the sandbox limits the analyzer assumed.
+    if (auto s = CheckHostResult(*out, expr.line); !s.ok()) {
       return s;
     }
     return out;

@@ -33,6 +33,18 @@ class ScriptHost {
 struct ExecBudget {
   int64_t max_steps = 100000;
   size_t max_value_bytes = 64 * 1024;
+  // Ingest cap on values crossing the host boundary into the script: each
+  // host-call result (element-wise for lists — the list itself is governed
+  // by max_value_bytes and max_collection_items) must fit in this many
+  // ApproxSize bytes. The static analyzer seeds its input string-length
+  // intervals from the same number, so the cap is what makes certified step
+  // bounds finite for split()-heavy handlers (docs/static_analysis.md).
+  size_t max_input_bytes = 2048;
+  // Cap on the length of any list a *builtin* returns (split, append, keys,
+  // sort_by); exceeding it aborts with kExtensionLimit. List literals are
+  // exempt (their length is statically exact). The analyzer's cardinality
+  // transfer functions assume this cap is enforced here.
+  size_t max_collection_items = 256;
   // Metering elision (§4.2): when false, the per-node step-limit check is
   // skipped. Only safe for handlers the static analyzer *certified* — their
   // proven worst-case step bound fits max_steps, so the check can never
@@ -79,6 +91,10 @@ class Interpreter {
   }
   Status StepLimitError(int line) const;
   Status CheckSize(const Value& v, int line);
+  // Host results additionally obey the element-wise ingest cap
+  // (max_input_bytes); builtin list results obey max_collection_items.
+  Status CheckHostResult(const Value& v, int line);
+  Status CheckBuiltinResult(const Value& v, int line);
 
   Value* FindVar(const std::string& name);
 

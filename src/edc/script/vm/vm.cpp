@@ -261,6 +261,26 @@ Result<Value> Vm::Run(const CompiledHandler& handler, std::vector<Value> args) {
         if (out->ApproxSize() > budget_.max_value_bytes) {
           return LimitError(insn.line, "value size limit exceeded");
         }
+        if (insn.op == OpCode::kCallBuiltin) {
+          // Builtin list results obey the collection cap — the runtime
+          // contract behind the analyzer's split()/append cardinality
+          // transfer functions (analysis/domains.cpp).
+          if (out->is_list() && out->AsList().size() > budget_.max_collection_items) {
+            return LimitError(insn.line, "collection size limit exceeded");
+          }
+        } else {
+          // Host results additionally obey the element-wise ingest cap
+          // (max_input_bytes), mirroring Interpreter::CheckHostResult.
+          if (out->is_list()) {
+            for (const Value& item : out->AsList()) {
+              if (item.ApproxSize() > budget_.max_input_bytes) {
+                return LimitError(insn.line, "value size limit exceeded");
+              }
+            }
+          } else if (out->ApproxSize() > budget_.max_input_bytes) {
+            return LimitError(insn.line, "value size limit exceeded");
+          }
+        }
         regs[insn.dst] = std::move(*out);
         break;
       }

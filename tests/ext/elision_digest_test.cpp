@@ -12,6 +12,7 @@
 #include "edc/common/result.h"
 #include "edc/harness/fixture.h"
 #include "edc/recipes/scripts.h"
+#include "edc/recipes/two_phase.h"
 
 namespace edc {
 namespace {
@@ -131,6 +132,72 @@ TEST(ElisionDigestTest, EdsDigestsIdenticalWithVmOnAndOff) {
   EXPECT_GT(vm.invocations, 0);
   EXPECT_GT(vm.vm_dispatches, 0);
   EXPECT_EQ(interp.vm_dispatches, 0);
+
+  EXPECT_EQ(vm.packet_digest, interp.packet_digest);
+  EXPECT_EQ(vm.state_hash, interp.state_hash);
+}
+
+// The 2PC participant is the stress case for the interval/length analysis:
+// nested foreach over split() results, certified only via the amortized
+// total-length bound. Moving it from the metered tree walker onto the VM
+// must be invisible to the packet trace and replica state — this is the
+// end-to-end proof that the newly-certified handler's dispatch change is
+// digest-neutral.
+RunSig RunTwoPhaseWorkload(uint64_t seed, bool vm) {
+  FixtureOptions options;
+  options.system = SystemKind::kExtensibleZooKeeper;
+  options.num_clients = 1;
+  options.num_shards = 2;
+  options.seed = seed;
+  options.observability = true;
+  options.limits.enable_vm = vm;
+  ClusterFixture fix(options);
+  fix.faults().EnablePacketTrace();
+  fix.Start();
+
+  ZkTwoPhase tp(fix.zk_router(0));
+  tp.Setup([](Status) {});
+  fix.Settle(Seconds(3));
+  tp.Attach([](Status) {});
+  fix.Settle(Seconds(2));
+
+  const ShardMap& map = fix.shard_map();
+  std::string a = map.SubtreeForShard("/ta", 0);
+  std::string b = map.SubtreeForShard("/tb", 1);
+  tp.Multi({TwoPhaseOp::Create(a, "va"), TwoPhaseOp::Create(b, "vb")},
+           [](Status) {});
+  fix.Settle(Seconds(5));
+  tp.Multi({TwoPhaseOp::Update(a, "va2"), TwoPhaseOp::Delete(b)}, [](Status) {});
+  fix.Settle(Seconds(5));
+
+  RunSig sig;
+  sig.packet_digest = fix.faults().TraceDigest();
+  uint64_t h = 1469598103934665603ull;
+  for (auto& s : fix.zk_servers) {
+    for (const auto& [zxid, txn_hash] : s->applied_log()) {
+      h = Fnv1aMix(h, zxid);
+      h = Fnv1aMix(h, txn_hash);
+    }
+  }
+  sig.state_hash = h;
+  sig.invocations = fix.obs().metrics.CounterValue("ext.invocations");
+  sig.certified = fix.obs().metrics.CounterValue("ext.certified");
+  sig.elided = fix.obs().metrics.CounterValue("ext.metering_elided");
+  sig.vm_dispatches = fix.obs().metrics.CounterValue("ext.vm_dispatches");
+  return sig;
+}
+
+TEST(ElisionDigestTest, TwoPhaseDigestsIdenticalWithVmOnAndOff) {
+  RunSig interp = RunTwoPhaseWorkload(101, /*vm=*/false);
+  RunSig vm = RunTwoPhaseWorkload(101, /*vm=*/true);
+
+  // Every prepare/commit invocation is certified and, with the VM on, every
+  // one of them dispatched to compiled code.
+  EXPECT_GT(vm.invocations, 0);
+  EXPECT_EQ(vm.certified, vm.invocations);
+  EXPECT_EQ(vm.vm_dispatches, vm.invocations);
+  EXPECT_EQ(interp.vm_dispatches, 0);
+  EXPECT_EQ(interp.invocations, vm.invocations);
 
   EXPECT_EQ(vm.packet_digest, interp.packet_digest);
   EXPECT_EQ(vm.state_hash, interp.state_hash);

@@ -384,5 +384,235 @@ TEST(AnalysisCrossValTest, ElisionNeverChangesStepAccounting) {
   }
 }
 
+// ---- split()-heavy arm ----
+//
+// The interval/length domain's headline precision win is the amortized bound
+// for foreach-over-split() (the 2PC shape), so it gets its own generator arm:
+// strings come from a host fetch() at worst-case ingest size, separators are
+// sprinkled densely enough that split() fans out hard, and loops nest. The
+// analyzer's bound must dominate the real step count on every certified
+// program, and the VM must stay observationally identical on the corpus.
+
+constexpr size_t kSplitCap = 64;       // builtin collection cap for this arm
+constexpr size_t kSplitInputCap = 512; // host-result ingest cap for this arm
+
+VerifierConfig SplitArmConfig() {
+  VerifierConfig cfg;
+  cfg.allowed_functions = CoreAllowedFunctions();
+  cfg.allowed_functions["fetch"] = true;
+  cfg.allowed_functions["update"] = true;
+  cfg.max_collection_items = kSplitCap;
+  cfg.max_input_bytes = kSplitInputCap;
+  return cfg;
+}
+
+// Host whose fetch() returns a deterministic pseudo-random string (seeded, so
+// interpreter and VM replays see the identical sequence) with separator
+// characters mixed in. Lengths push against the ingest cap; the Value header
+// overhead (16 bytes) is left as headroom.
+class SplitHost : public ScriptHost {
+ public:
+  explicit SplitHost(uint64_t seed) : rng_(seed) {}
+
+  const std::vector<std::string>& mutations() const { return mutations_; }
+
+  bool HasFunction(const std::string& name) const override {
+    return name == "fetch" || name == "update";
+  }
+
+  Result<Value> Call(const std::string& name, std::vector<Value>& args) override {
+    if (name == "fetch") {
+      static constexpr char kAlphabet[] = "abcdefgh;:./";
+      size_t len = 32 + rng_.UniformU64(kSplitInputCap - 64);
+      std::string s;
+      s.reserve(len);
+      for (size_t i = 0; i < len; ++i) {
+        s += kAlphabet[rng_.UniformU64(sizeof(kAlphabet) - 1)];
+      }
+      return Value(std::move(s));
+    }
+    std::string entry = name;
+    for (const Value& a : args) {
+      entry += "|" + a.ToString();
+    }
+    mutations_.push_back(std::move(entry));
+    return Value(true);
+  }
+
+ private:
+  Rng rng_;
+  std::vector<std::string> mutations_;
+};
+
+class SplitGen {
+ public:
+  explicit SplitGen(uint64_t seed) : rng_(seed) {}
+
+  std::string Generate() {
+    src_ =
+        "extension sgen {\n  on op read \"/x\";\n  fn read(oid) {\n"
+        "    let total = 0;\n"
+        "    let blob = fetch(\"/blob\");\n";
+    size_t n = 1 + rng_.UniformU64(3);
+    for (size_t i = 0; i < n; ++i) {
+      EmitSplitLoop(2, 0, i == 0 ? "blob" : StrSource());
+    }
+    src_ += "    return total;\n  }\n}\n";
+    return src_;
+  }
+
+ private:
+  void Indent(int depth) { src_ += std::string(static_cast<size_t>(depth) * 2, ' '); }
+
+  std::string Sep() {
+    static constexpr const char* kSeps[] = {"\";\"", "\":\"", "\".\"", "\"/\""};
+    return kSeps[rng_.UniformU64(4)];
+  }
+
+  std::string StrSource() {
+    switch (rng_.UniformU64(3)) {
+      case 0:
+        return "oid";
+      case 1:
+        return "blob";
+      default:
+        return "substr(blob, 0, " + std::to_string(8 + rng_.UniformU64(200)) + ")";
+    }
+  }
+
+  void EmitSplitLoop(int depth, int nest, const std::string& source) {
+    std::string v = "p" + std::to_string(var_counter_++);
+    Indent(depth);
+    src_ += "foreach (" + v + " in split(" + source + ", " + Sep() + ")) {\n";
+    size_t n = 1 + rng_.UniformU64(2);
+    for (size_t i = 0; i < n; ++i) {
+      EmitBodyStmt(depth + 1, nest, v);
+    }
+    Indent(depth);
+    src_ += "}\n";
+  }
+
+  void EmitBodyStmt(int depth, int nest, const std::string& piece) {
+    uint64_t pick = rng_.UniformU64(nest >= 1 ? 4 : 5);
+    switch (pick) {
+      case 0:
+        Indent(depth);
+        src_ += "total = total + len(" + piece + ");\n";
+        return;
+      case 1:
+        Indent(depth);
+        src_ += "if (len(" + piece + ") > " + std::to_string(rng_.UniformU64(8)) +
+                ") {\n";
+        Indent(depth + 1);
+        src_ += "total = total + 1;\n";
+        Indent(depth);
+        src_ += "}\n";
+        return;
+      case 2:
+        Indent(depth);
+        src_ += "update(\"/sink\", " + piece + ");\n";
+        return;
+      case 3: {
+        // Guarded get(): index provably in range after the len() check, so
+        // this must never trip EDC-W008 or a runtime OOB.
+        std::string parts = "q" + std::to_string(var_counter_++);
+        size_t idx = rng_.UniformU64(3);
+        Indent(depth);
+        src_ += "let " + parts + " = split(" + piece + ", " + Sep() + ");\n";
+        Indent(depth);
+        src_ += "if (len(" + parts + ") > " + std::to_string(idx) + ") {\n";
+        Indent(depth + 1);
+        src_ += "total = total + len(get(" + parts + ", " + std::to_string(idx) +
+                "));\n";
+        Indent(depth);
+        src_ += "}\n";
+        return;
+      }
+      default:
+        // Nested foreach over a split of the current piece: the amortized
+        // (total-length) accounting is what keeps this certifiable.
+        EmitSplitLoop(depth, nest + 1, piece);
+        return;
+    }
+  }
+
+  Rng rng_;
+  std::string src_;
+  int var_counter_ = 0;
+};
+
+ExecBudget SplitArmBudget() {
+  ExecBudget budget;
+  budget.max_collection_items = kSplitCap;
+  budget.max_input_bytes = kSplitInputCap;
+  return budget;
+}
+
+TEST(AnalysisCrossValTest, SplitHeavyBoundsAreSoundAndVmMatches) {
+  int certified = 0;
+  int completed = 0;
+  for (uint64_t seed = 1; seed <= kNumSeeds; ++seed) {
+    SplitGen gen(seed);
+    std::string src = gen.Generate();
+    auto program = ParseProgram(src);
+    ASSERT_TRUE(program.ok()) << "seed " << seed << ": "
+                              << program.status().ToString() << "\n" << src;
+
+    AnalysisReport report = AnalyzeProgram(**program, SplitArmConfig());
+    ASSERT_EQ(report.handlers.count("read"), 1u) << src;
+    const HandlerReport& hr = report.handlers.at("read");
+    // split() always yields a finite (capped) list, so every program in this
+    // arm must get a finite bound; precision may only affect certification.
+    EXPECT_TRUE(hr.cost_bounded) << "seed " << seed << "\n" << src;
+    for (const Diagnostic& d : report.diagnostics) {
+      EXPECT_NE(d.code, kDiagIndexOutOfRange)
+          << "seed " << seed << ": guarded get() flagged\n" << src;
+    }
+
+    SplitHost host(seed * 7919);
+    Interpreter interp(program->get(), &host, SplitArmBudget());
+    auto out = interp.Invoke("read", {Value("/req/part.a;part.b:tail")});
+    int64_t steps = interp.stats().steps_used;
+    if (out.ok()) {
+      ++completed;
+    }
+    if (hr.certified) {
+      ++certified;
+      EXPECT_LE(steps, hr.step_bound)
+          << "seed " << seed << ": certified split handler exceeded its bound\n"
+          << src;
+    }
+
+    // VM twin under the identical budget and an identically-seeded host: the
+    // corpus is all builtins + host calls, so everything must compile, and
+    // outcome/result/mutations/steps must match byte for byte.
+    CompileOptions opts;
+    opts.max_collection_items = static_cast<int64_t>(kSplitCap);
+    CompiledModule module;
+    CompiledHandler compiled;
+    ASSERT_TRUE(CompileHandler((*program)->handlers.at("read"), opts, 0, &compiled))
+        << "seed " << seed << ": compiler refused a split-arm program\n" << src;
+    module.handlers.emplace("read", std::move(compiled));
+    SplitHost vm_host(seed * 7919);
+    Vm vm(&module, &vm_host, SplitArmBudget());
+    auto vm_out = vm.Invoke("read", {Value("/req/part.a;part.b:tail")});
+    EXPECT_EQ(out.ok(), vm_out.ok()) << "seed " << seed << "\n" << src;
+    EXPECT_EQ(out.ok() ? out->ToString() : out.status().ToString(),
+              vm_out.ok() ? vm_out->ToString() : vm_out.status().ToString())
+        << "seed " << seed << "\n" << src;
+    EXPECT_EQ(host.mutations(), vm_host.mutations()) << "seed " << seed << "\n" << src;
+    EXPECT_EQ(steps, vm.stats().steps_used)
+        << "seed " << seed << ": step accounting diverged\n" << src;
+  }
+
+  // Non-vacuity: the arm must mostly certify (that is the point of the
+  // amortized bound) and mostly run to completion (the caps are load-bearing
+  // but not the common case).
+  EXPECT_GE(certified, (kNumSeeds * 9) / 10)
+      << "split-heavy programs stopped certifying";
+  EXPECT_GE(completed, kNumSeeds / 2)
+      << "split-heavy programs stopped completing under the caps";
+}
+
 }  // namespace
 }  // namespace edc

@@ -438,6 +438,208 @@ TEST(AnalysisTest, UnmeteredBudgetIgnoresStepLimit) {
   EXPECT_EQ(rb->AsInt(), 16);
 }
 
+// ---- Interval-domain precision diagnostics (EDC-W007..W009) ----
+
+TEST(AnalysisTest, DivisionByPossiblyZeroIntervalWarns) {
+  auto report = Analyze(R"(
+    extension e {
+      on op read "/x";
+      fn read(o) {
+        let d = 0;
+        return 10 / d;
+      }
+    })", TestConfig());
+  EXPECT_TRUE(report.ok());  // warning, not error: runtime still catches it
+  const Diagnostic* d = FindCode(report, kDiagDivByZero);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->line, 6);
+  EXPECT_NE(d->message.find("[0, 0]"), std::string::npos);
+}
+
+TEST(AnalysisTest, ModuloByPossiblyZeroIntervalWarns) {
+  // len(o) has interval [0, N]: zero is possible, so `% len(o)` warns even
+  // though the divisor is not a constant.
+  auto report = Analyze(R"(
+    extension e {
+      on op read "/x";
+      fn read(o) {
+        return 10 % len(o);
+      }
+    })", TestConfig());
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(HasCode(report, kDiagDivByZero));
+}
+
+TEST(AnalysisTest, NoDivWarningWhenIntervalExcludesZero) {
+  // len(o) + 1 is in [1, N]: provably nonzero, no warning. A divisor with an
+  // unknown (top) interval — parse_int — must stay silent too; warning on
+  // every unknown divisor would be noise, not precision.
+  auto report = Analyze(R"(
+    extension e {
+      on op read "/x";
+      fn read(o) {
+        let a = 100 / (len(o) + 1);
+        let b = 100 / parse_int(o);
+        return a + b;
+      }
+    })", TestConfig());
+  EXPECT_TRUE(report.ok());
+  EXPECT_FALSE(HasCode(report, kDiagDivByZero));
+}
+
+TEST(AnalysisTest, IndexProvablyOutOfRangeWarns) {
+  auto report = Analyze(R"(
+    extension e {
+      on op read "/x";
+      fn read(o) {
+        let xs = [1, 2, 3];
+        return get(xs, 5);
+      }
+    })", TestConfig());
+  EXPECT_TRUE(report.ok());
+  const Diagnostic* d = FindCode(report, kDiagIndexOutOfRange);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("at least 5"), std::string::npos);
+  EXPECT_NE(d->message.find("3 item(s)"), std::string::npos);
+}
+
+TEST(AnalysisTest, NegativeIndexWarnsViaSubscript) {
+  auto report = Analyze(R"(
+    extension e {
+      on op read "/x";
+      fn read(o) {
+        let xs = [1, 2, 3];
+        return xs[0 - 1];
+      }
+    })", TestConfig());
+  EXPECT_TRUE(report.ok());
+  const Diagnostic* d = FindCode(report, kDiagIndexOutOfRange);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("negative"), std::string::npos);
+}
+
+TEST(AnalysisTest, InRangeIndexDoesNotWarn) {
+  auto report = Analyze(R"(
+    extension e {
+      on op read "/x";
+      fn read(o) {
+        let xs = [1, 2, 3];
+        return get(xs, 2) + xs[0];
+      }
+    })", TestConfig());
+  EXPECT_TRUE(report.ok());
+  EXPECT_FALSE(HasCode(report, kDiagIndexOutOfRange));
+}
+
+TEST(AnalysisTest, DeadBranchProvablyFalseWarns) {
+  auto report = Analyze(R"(
+    extension e {
+      on op read "/x";
+      fn read(o) {
+        let x = 5;
+        if (x > 9) {
+          return 1;
+        }
+        return 0;
+      }
+    })", TestConfig());
+  EXPECT_TRUE(report.ok());
+  const Diagnostic* d = FindCode(report, kDiagDeadBranch);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("provably false"), std::string::npos);
+}
+
+TEST(AnalysisTest, DeadElseBranchProvablyTrueWarns) {
+  auto report = Analyze(R"(
+    extension e {
+      on op read "/x";
+      fn read(o) {
+        let x = 5;
+        if (x < 9) {
+          return 1;
+        } else {
+          return 2;
+        }
+      }
+    })", TestConfig());
+  EXPECT_TRUE(report.ok());
+  const Diagnostic* d = FindCode(report, kDiagDeadBranch);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("provably true"), std::string::npos);
+}
+
+TEST(AnalysisTest, UndecidableBranchDoesNotWarn) {
+  auto report = Analyze(R"(
+    extension e {
+      on op read "/x";
+      fn read(o) {
+        if (len(o) > 9) {
+          return 1;
+        }
+        return 0;
+      }
+    })", TestConfig());
+  EXPECT_TRUE(report.ok());
+  EXPECT_FALSE(HasCode(report, kDiagDeadBranch));
+}
+
+// ---- Amortized split() bounds and budget seeding ----
+
+constexpr char kSplitLoopExt[] = R"(
+    extension e {
+      on op read "/x";
+      fn read(o) {
+        let total = 0;
+        foreach (part in split(o, "/")) {
+          foreach (ch in split(part, ".")) {
+            total = total + len(ch);
+          }
+        }
+        return total;
+      }
+    })";
+
+TEST(AnalysisTest, NestedSplitLoopsCertifyWithAmortizedBound) {
+  // The paper's 2PC shape in miniature: foreach over split() of a request
+  // parameter, with a nested split inside. The naive product bound (pieces x
+  // pieces x per-char work) explodes; the amortized total-length accounting
+  // must keep the bound inside the default certification budget.
+  auto report = Analyze(kSplitLoopExt, TestConfig());
+  EXPECT_TRUE(report.ok());
+  const HandlerReport& hr = report.handlers.at("read");
+  EXPECT_TRUE(hr.cost_bounded);
+  EXPECT_TRUE(hr.certified);
+  EXPECT_GT(hr.step_bound, 0);
+  EXPECT_LE(hr.step_bound, 50000);
+  EXPECT_FALSE(HasCode(report, kDiagCostUnbounded));
+  EXPECT_FALSE(HasCode(report, kDiagCostOverBudget));
+}
+
+TEST(AnalysisTest, TinyStepBudgetRejectsDefaultCertifiableHandler) {
+  // Regression for budget seeding: the same handler that certifies under the
+  // default budget must be *rejected* (not mis-certified) when the registry
+  // is configured with max_steps=10 — the analyzer has to compare its bound
+  // against the configured limit, not a baked-in default.
+  VerifierConfig cfg = TestConfig();
+  cfg.certify_max_steps = 10;
+  auto report = Analyze(kSplitLoopExt, cfg);
+  EXPECT_TRUE(report.ok());
+  const HandlerReport& hr = report.handlers.at("read");
+  EXPECT_TRUE(hr.cost_bounded);
+  EXPECT_FALSE(hr.certified);
+  EXPECT_TRUE(HasCode(report, kDiagCostOverBudget));
+
+  // And the runtime agrees: a metered run under the same 10-step limit trips
+  // kExtensionLimit instead of completing.
+  auto prog = ParseProgram(kSplitLoopExt);
+  ASSERT_TRUE(prog.ok());
+  ExecBudget tiny;
+  tiny.max_steps = 10;
+  Interpreter interp(prog->get(), nullptr, tiny);
+  auto run = interp.Invoke("read", {Value("/a/b.c/d")});
+  EXPECT_EQ(run.status().code(), ErrorCode::kExtensionLimit);
+}
+
 TEST(AnalysisTest, LintFormatsDiagnosticsAndSummary) {
   LintResult r = LintSource("demo.edc", R"(
     extension e {

@@ -74,5 +74,19 @@ TEST(LintGoldenTest, RecipeElection) {
   ExpectMatchesGolden("recipe_election.edc", kElectionExtension);
 }
 
+TEST(LintGoldenTest, RecipeRename) {
+  ExpectMatchesGolden("recipe_rename.edc", kRenameExtension);
+}
+
+// The 2PC coordinator was the one recipe the pre-interval cost pass could
+// not certify (nested foreach over split() results). The abstract domain's
+// amortized accounting now proves a finite bound — the golden pins the
+// "1/1 handlers certified" verdict so a soundness-motivated precision loss
+// shows up here before it silently pushes 2PC back onto the metered
+// interpreter.
+TEST(LintGoldenTest, RecipeTwoPhase) {
+  ExpectMatchesGolden("recipe_two_phase.edc", kTwoPhaseExtension);
+}
+
 }  // namespace
 }  // namespace edc

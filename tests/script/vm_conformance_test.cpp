@@ -350,9 +350,10 @@ TEST(VmConformanceTest, ExampleBrokenSweeperFallsBackToInterpreter) {
 // Every recipe handler the analyzer certifies must actually reach bytecode:
 // otherwise the hot path silently degrades to the interpreter and the
 // "verification pays once" benefit evaporates without any test noticing.
-// two_phase/update is the known exception — its nested foreach over split()
-// results defeats the cost pass, so it stays on the metered interpreter path
-// (certification is this PR's dispatch gate, not something it changes).
+// two_phase/update — long the known exception — now certifies too: the
+// interval/length abstract domain bounds its nested foreach-over-split()
+// loops via the amortized total-length accounting (docs/static_analysis.md),
+// so every recipe handler runs on the VM.
 TEST(VmConformanceTest, AllCertifiedRecipeHandlersCompile) {
   const std::tuple<const char*, const char*, bool> recipes[] = {
       {"counter", kCounterExtension, true},
@@ -360,7 +361,7 @@ TEST(VmConformanceTest, AllCertifiedRecipeHandlersCompile) {
       {"barrier", kBarrierExtension, true},
       {"election", kElectionExtension, true},
       {"rename", kRenameExtension, true},
-      {"two_phase", kTwoPhaseExtension, false},
+      {"two_phase", kTwoPhaseExtension, true},
   };
   for (const auto& [name, source, want_certified] : recipes) {
     auto program = ParseProgram(source);

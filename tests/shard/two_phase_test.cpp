@@ -190,6 +190,38 @@ TEST(TwoPhaseTest, SingleShardTransactionWorks) {
   EXPECT_EQ(ReadVia(fixture, router, p2), "two");
 }
 
+// The participant handler's certification is what the interval/length
+// analysis layer exists for: every 2PC prepare/commit on every shard must be
+// a certified invocation dispatched to the bytecode VM, not the metered tree
+// walker (docs/static_analysis.md). A precision regression that decertifies
+// the handler shows up here as vm_dispatches < invocations.
+TEST(TwoPhaseTest, ParticipantHandlerIsCertifiedAndRunsOnVm) {
+  FixtureOptions options = ShardedEzk(4, 1);
+  options.observability = true;
+  CoordFixture fixture(options);
+  fixture.Start();
+  ZkShardRouter* router = fixture.zk_router(0);
+  ZkTwoPhase tp(router);
+  SetupTwoPhase(fixture, tp);
+
+  const ShardMap& map = fixture.shard_map();
+  std::string a = map.SubtreeForShard("/ma", 0);
+  std::string b = map.SubtreeForShard("/mb", 1);
+  Status multi = Status(ErrorCode::kInternal, "unset");
+  tp.Multi({TwoPhaseOp::Create(a, "va"), TwoPhaseOp::Create(b, "vb")},
+           [&](Status s) { multi = s; });
+  fixture.Settle(Seconds(5));
+  ASSERT_TRUE(multi.ok()) << multi.ToString();
+
+  // Registration compiled the handler on every shard, and every invocation
+  // (prepare + commit on two shards) was certified and VM-dispatched.
+  int64_t invocations = fixture.obs().metrics.CounterValue("ext.invocations");
+  EXPECT_GT(fixture.obs().metrics.CounterValue("ext.compiled"), 0);
+  EXPECT_GT(invocations, 0);
+  EXPECT_EQ(fixture.obs().metrics.CounterValue("ext.certified"), invocations);
+  EXPECT_EQ(fixture.obs().metrics.CounterValue("ext.vm_dispatches"), invocations);
+}
+
 // --- Prefix-parameterized recipes pinned to a shard ----------------------
 
 TEST(ShardedRecipesTest, PrefixedCountersRunIndependentlyPerShard) {
